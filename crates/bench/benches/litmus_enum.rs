@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks of the formal layer: candidate-execution
+//! enumeration and Theorem-1 checking throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risotto_litmus::{behaviors, corpus};
+use risotto_mappings::check::check_mapping;
+use risotto_mappings::scheme::{verified_x86_to_arm, RmwLowering};
+use risotto_memmodel::{Arm, X86Tso};
+
+fn bench_enumeration(c: &mut Criterion) {
+    c.bench_function("enumerate_mp_x86", |b| {
+        let p = corpus::mp();
+        b.iter(|| behaviors(&p, &X86Tso::new()))
+    });
+    c.bench_function("enumerate_sbq_arm", |b| {
+        let p = corpus::sbq_arm_qemu();
+        b.iter(|| behaviors(&p, &Arm::corrected()))
+    });
+    c.bench_function("theorem1_check_sbal", |b| {
+        let p = corpus::sbal_x86();
+        let s = verified_x86_to_arm(RmwLowering::Casal);
+        b.iter(|| check_mapping(&s, &p, &X86Tso::new(), &Arm::corrected()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

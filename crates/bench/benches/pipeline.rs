@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the DBT pipeline itself: frontend
+//! decode+translate, optimizer, backend lowering, and machine execution
+//! throughput. These measure the *simulator's* speed (not guest
+//! performance — that's the fig12–fig15 binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risotto_guest_x86::{AluOp, Assembler, Cond, Gpr};
+use risotto_host_arm::{lower_block, BackendConfig, CostModel, Event, Machine, RmwStyle};
+use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
+
+fn hot_block_bytes() -> Vec<u8> {
+    let mut a = Assembler::new(0x1000);
+    a.load(Gpr::RAX, Gpr::RDI, 0);
+    a.alu_ri(AluOp::Add, Gpr::RAX, 5);
+    a.alu_ri(AluOp::Mul, Gpr::RAX, 3);
+    a.store(Gpr::RDI, 8, Gpr::RAX);
+    a.load(Gpr::RBX, Gpr::RDI, 16);
+    a.alu_rr(AluOp::Xor, Gpr::RBX, Gpr::RAX);
+    a.store(Gpr::RDI, 24, Gpr::RBX);
+    a.cmp_ri(Gpr::RAX, 100);
+    a.jcc_to(Cond::L, "out");
+    a.label("out");
+    a.hlt();
+    a.finish().unwrap().0
+}
+
+fn fetcher(bytes: Vec<u8>) -> impl Fn(u64) -> [u8; 16] {
+    move |addr| {
+        let mut w = [0u8; 16];
+        let off = (addr - 0x1000) as usize;
+        for i in 0..16 {
+            w[i] = bytes.get(off + i).copied().unwrap_or(0);
+        }
+        w
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let bytes = hot_block_bytes();
+    let fetch = fetcher(bytes);
+    c.bench_function("frontend_translate_block", |b| {
+        b.iter(|| translate_block(0x1000, FrontendConfig::risotto(), &fetch).unwrap())
+    });
+    let block = translate_block(0x1000, FrontendConfig::risotto(), &fetch).unwrap();
+    c.bench_function("optimizer_full_pipeline", |b| {
+        b.iter(|| {
+            let mut blk = block.clone();
+            optimize(&mut blk, OptPolicy::Verified)
+        })
+    });
+    let mut opt = block.clone();
+    optimize(&mut opt, OptPolicy::Verified);
+    c.bench_function("backend_lower_block", |b| {
+        b.iter(|| lower_block(&opt, BackendConfig::dbt(RmwStyle::Casal)))
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    // A tight host loop: measure simulated instructions per second.
+    use risotto_host_arm::{AOp, ACond, HostInsn, Xreg};
+    c.bench_function("machine_100k_steps", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(1, CostModel::uniform());
+            let code = m.install_code(&[
+                HostInsn::MovImm { dst: Xreg(0), imm: 100_000 },
+                HostInsn::AluImm { op: AOp::Sub, dst: Xreg(0), a: Xreg(0), imm: 1 },
+                HostInsn::CmpImm { a: Xreg(0), imm: 0 },
+                HostInsn::BCond { cond: ACond::Ne, rel: -28 },
+                HostInsn::Hlt,
+            ]);
+            m.start_core(0, code);
+            assert_eq!(m.run(1_000_000), Event::AllHalted);
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Developer tool: dump the full translation pipeline for a guest snippet
+//! — guest disassembly, TCG IR before and after optimization, and the
+//! lowered host code — under each setup.
+//!
+//! ```sh
+//! cargo run --release -p risotto-bench --bin dump_translation [setup]
+//! ```
+
+use risotto_core::Setup;
+use risotto_guest_x86::{disassemble, AluOp, Assembler, FpOp, Gpr};
+use risotto_host_arm::{lower_block, BackendConfig, RmwStyle};
+use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "risotto".into());
+    let setups: Vec<Setup> = match which.as_str() {
+        "all" => Setup::ALL.to_vec(),
+        name => vec![*Setup::ALL
+            .iter()
+            .find(|s| s.name() == name)
+            .unwrap_or_else(|| panic!("unknown setup `{name}` (try qemu/no-fences/tcg-ver/risotto/native/all)"))],
+    };
+
+    // A representative block: load, FP work, CAS, store.
+    let mut a = Assembler::new(0x1000);
+    a.load(Gpr::RAX, Gpr::RDI, 0);
+    a.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
+    a.alu_ri(AluOp::Add, Gpr::RAX, 1);
+    a.cmpxchg(Gpr::RSI, 0, Gpr::RAX);
+    a.store(Gpr::RDI, 8, Gpr::RAX);
+    a.hlt();
+    let (bytes, _) = a.finish().unwrap();
+
+    println!("=== guest (MiniX86) ===");
+    for (addr, insn, _) in disassemble(&bytes, 0x1000) {
+        println!("  {addr:#06x}:  {insn}");
+    }
+
+    let fetch = |addr: u64| {
+        let mut w = [0u8; 16];
+        let off = (addr - 0x1000) as usize;
+        for (i, slot) in w.iter_mut().enumerate() {
+            *slot = bytes.get(off + i).copied().unwrap_or(0);
+        }
+        w
+    };
+
+    for setup in setups {
+        let (fe, be, policy) = match setup {
+            Setup::Qemu => (FrontendConfig::qemu(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::QemuUnsound),
+            Setup::NoFences => (FrontendConfig::no_fences(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::QemuUnsound),
+            Setup::TcgVer => (FrontendConfig::tcg_ver(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::Verified),
+            Setup::Risotto => (FrontendConfig::risotto(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::Verified),
+            Setup::Native => (FrontendConfig::no_fences(), BackendConfig::native(), OptPolicy::Verified),
+        };
+        println!("\n################ setup: {} ################", setup.name());
+        let mut block = translate_block(0x1000, fe, fetch).unwrap();
+        println!("--- TCG IR (frontend output: {} ops) ---", block.ops.len());
+        for op in &block.ops {
+            println!("  {op:?}");
+        }
+        let stats = optimize(&mut block, policy);
+        println!(
+            "--- TCG IR (optimized: {} ops; folded {}, merged {}, dce {}) ---",
+            block.ops.len(),
+            stats.folded,
+            stats.fences_merged,
+            stats.dce_removed
+        );
+        for op in &block.ops {
+            println!("  {op:?}");
+        }
+        println!("  exit: {:?}", block.exit);
+        let host = lower_block(&block, be);
+        println!("--- host (MiniArm, {} insns) ---", host.len());
+        for insn in &host {
+            println!("  {insn:?}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates Figure 12: PARSEC + Phoenix run time under each setup,
+//! relative to QEMU (lower is better), plus the fence share of QEMU's
+//! execution time (the §7.2 "cost of memory ordering" analysis).
+
+use risotto_bench::{print_table, run};
+use risotto_core::Setup;
+use risotto_workloads::kernels;
+
+fn main() {
+    let threads = 4;
+    println!("Figure 12 — PARSEC & Phoenix run time relative to QEMU ({threads} threads)");
+    println!("(columns are % of qemu's runtime; lower is better)\n");
+    let mut rows = Vec::new();
+    let mut avgs = [0f64; 4]; // no-fences, tcg-ver, risotto, native
+    let mut fence_shares: Vec<(String, f64)> = Vec::new();
+    let workloads = kernels::all();
+    for w in &workloads {
+        let scale: u64 = match w.name {
+            "matrixmultiply" => 24,
+            "canneal" | "freqmine" | "histogram" | "vips" | "wordcount" | "stringmatch" => 4096,
+            _ => 2048,
+        };
+        let bin = (w.build)(scale, threads);
+        let qemu = run(&bin, Setup::Qemu, threads, false);
+        let mut cells = vec![w.name.to_string()];
+        for (i, s) in [Setup::NoFences, Setup::TcgVer, Setup::Risotto, Setup::Native]
+            .iter()
+            .enumerate()
+        {
+            let r = run(&bin, *s, threads, false);
+            assert_eq!(r.exit_vals[0], qemu.exit_vals[0], "{} checksum mismatch", w.name);
+            let rel = 100.0 * r.cycles as f64 / qemu.cycles as f64;
+            avgs[i] += rel;
+            cells.push(format!("{rel:.1}%"));
+        }
+        let fence_share = qemu.stats.fence_cycles as f64 / (qemu.cycles.max(1) * threads as u64) as f64;
+        fence_shares.push((w.name.to_string(), fence_share));
+        cells.push(format!("{}", qemu.cycles));
+        rows.push(cells);
+    }
+    let n = workloads.len() as f64;
+    rows.push(vec![
+        "AVERAGE".into(),
+        format!("{:.1}%", avgs[0] / n),
+        format!("{:.1}%", avgs[1] / n),
+        format!("{:.1}%", avgs[2] / n),
+        format!("{:.1}%", avgs[3] / n),
+        String::new(),
+    ]);
+    print_table(
+        &["benchmark", "no-fences", "tcg-ver", "risotto", "native", "qemu cycles"],
+        &rows,
+    );
+    println!("\nFence share of qemu execution time (per core, §7.2):");
+    let mut fr: Vec<Vec<String>> = fence_shares
+        .iter()
+        .map(|(n, f)| vec![n.clone(), format!("{:.1}%", f * 100.0)])
+        .collect();
+    let avg = fence_shares.iter().map(|(_, f)| f).sum::<f64>() / fence_shares.len() as f64;
+    let max = fence_shares.iter().cloned().fold(("".to_string(), 0.0), |a, b| if b.1 > a.1 { b } else { a });
+    fr.push(vec!["AVERAGE".into(), format!("{:.1}%", avg * 100.0)]);
+    fr.push(vec![format!("MAX ({})", max.0), format!("{:.1}%", max.1 * 100.0)]);
+    print_table(&["benchmark", "fence share"], &fr);
+}

@@ -1,0 +1,69 @@
+//! Regenerates Figure 13: OpenSSL digests, RSA sign/verify, and the
+//! sqlite speedtest — speedup of risotto (host-linked native libraries)
+//! and native execution over QEMU (translated guest libraries).
+
+use risotto_bench::{ops_per_sec, print_table, run, speedup};
+use risotto_core::Setup;
+use risotto_workloads::libbench::{digest_bench, rsa_bench, sqlite_bench, DigestAlgo};
+
+fn main() {
+    println!("Figure 13 — OpenSSL & sqlite speedup over QEMU (higher is better)\n");
+    let mut rows = Vec::new();
+
+    // Digests: md5/sha1/sha256 × {1024, 8192}-byte buffers.
+    for (algo, name) in [
+        (DigestAlgo::Md5, "md5"),
+        (DigestAlgo::Sha1, "sha1"),
+        (DigestAlgo::Sha256, "sha256"),
+    ] {
+        for len in [1024usize, 8192] {
+            let iters = if len == 1024 { 6 } else { 2 };
+            let bin = digest_bench(algo, len, iters);
+            let qemu = run(&bin, Setup::Qemu, 1, false);
+            let ris = run(&bin, Setup::Risotto, 1, true);
+            let nat = run(&bin, Setup::Native, 1, true);
+            assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "{name}-{len} digest mismatch");
+            assert_eq!(qemu.exit_vals[0], nat.exit_vals[0]);
+            rows.push(vec![
+                format!("{name}-{len}"),
+                speedup(qemu.cycles, ris.cycles),
+                speedup(qemu.cycles, nat.cycles),
+                format!("{:.0} ops/s", ops_per_sec(iters, qemu.cycles)),
+            ]);
+        }
+    }
+
+    // RSA 1024/2048 sign/verify (modulus 2^(64·n) − 159).
+    for (nlimbs, label) in [(16usize, "rsa1024"), (32, "rsa2048")] {
+        for (sign, op) in [(true, "sign"), (false, "verify")] {
+            let bin = rsa_bench(nlimbs, sign, 1);
+            let qemu = run(&bin, Setup::Qemu, 1, false);
+            let ris = run(&bin, Setup::Risotto, 1, true);
+            let nat = run(&bin, Setup::Native, 1, true);
+            assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "{label}-{op} result mismatch");
+            rows.push(vec![
+                format!("{label}-{op}"),
+                speedup(qemu.cycles, ris.cycles),
+                speedup(qemu.cycles, nat.cycles),
+                format!("{:.0} ops/s", ops_per_sec(1, qemu.cycles)),
+            ]);
+        }
+    }
+
+    // sqlite speedtest.
+    {
+        let bin = sqlite_bench(20);
+        let qemu = run(&bin, Setup::Qemu, 1, false);
+        let ris = run(&bin, Setup::Risotto, 1, true);
+        let nat = run(&bin, Setup::Native, 1, true);
+        assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "sqlite checksum mismatch");
+        rows.push(vec![
+            "sqlite".into(),
+            speedup(qemu.cycles, ris.cycles),
+            speedup(qemu.cycles, nat.cycles),
+            format!("{:.0} ops/s", ops_per_sec(20, qemu.cycles)),
+        ]);
+    }
+
+    print_table(&["benchmark", "risotto", "native", "qemu raw"], &rows);
+}

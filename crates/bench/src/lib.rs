@@ -1,0 +1,81 @@
+//! # risotto-bench
+//!
+//! The evaluation harness: shared runners and table formatting for the
+//! figure-regenerating binaries (`fig12_parsec_phoenix`,
+//! `fig13_openssl_sqlite`, `fig14_mathlib`, `fig15_cas`,
+//! `verify_mappings`) and the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use risotto_core::{Emulator, HostLibrary, Idl, Report, Setup};
+use risotto_guest_x86::GuestBinary;
+use risotto_host_arm::CostModel;
+
+/// Simulated host clock (the paper's testbed runs at 2.0 GHz).
+pub const CLOCK_HZ: f64 = 2.0e9;
+
+/// Runs a binary under a setup, optionally linking the standard host
+/// libraries (libm + libcrypto + libkv).
+///
+/// # Panics
+///
+/// Panics on any emulation error — benchmarks must run clean.
+pub fn run(bin: &GuestBinary, setup: Setup, cores: usize, link: bool) -> Report {
+    let mut emu = Emulator::new(bin, setup, cores, CostModel::thunderx2_like());
+    if link {
+        let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
+        for lib in [
+            risotto_nativelib::hostlibs::libm(),
+            risotto_nativelib::hostlibs::libcrypto(),
+            risotto_nativelib::hostlibs::libkv(),
+        ] {
+            let lib: HostLibrary = lib;
+            emu.link_library(bin, &idl, lib);
+        }
+    }
+    emu.run(20_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", setup.name()))
+}
+
+/// Converts simulated cycles to operations per second for `ops`
+/// operations.
+pub fn ops_per_sec(ops: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    ops as f64 * CLOCK_HZ / cycles as f64
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(part: u64, whole: u64) -> String {
+    format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+}
+
+/// Formats a speedup.
+pub fn speedup(base: u64, new: u64) -> String {
+    format!("{:.2}x", base as f64 / new as f64)
+}

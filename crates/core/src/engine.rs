@@ -1,0 +1,484 @@
+//! The Risotto DBT engine: execution loop, translation-block cache,
+//! setup presets, syscall layer and the dynamic host linker (§4.2, §6).
+//!
+//! The engine owns a [`Machine`] and drives it through events: on a
+//! translation miss it decodes the guest basic block, applies the
+//! configured x86→TCG mapping and optimizer, lowers it per the TCG→Arm
+//! scheme and installs the host code; on a guest syscall it services the
+//! virtual OS interface (write / spawn / join / exit). When host linking
+//! is enabled, translating a PLT address instead emits a marshaling thunk
+//! that calls the registered native host function directly (§6.2).
+
+use crate::idl::Idl;
+use risotto_guest_x86::{syscalls, GuestBinary, Gpr, DATA_BASE, STACK_SIZE, STACK_TOP, TEXT_BASE};
+use risotto_host_arm::{
+    lower_block, BackendConfig, CoreStats, CostModel, Event, HostInsn, Machine, MemOrder,
+    NativeFn, RmwStyle, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+};
+use risotto_tcg::{optimize_with, translate_block, FrontendConfig, OptPolicy, PassConfig, TranslateError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-core guest env block base (20 regs × 8 bytes, padded to 0x100).
+pub const ENV_REGION: u64 = 0xF000_0000;
+/// Per-core spill area base (temp index × 8).
+pub const SPILL_REGION: u64 = 0xF800_0000;
+const ENV_STRIDE: u64 = 0x100;
+const SPILL_STRIDE: u64 = 0x10000;
+
+/// The evaluation setups of §7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setup {
+    /// Vanilla QEMU 6.1: leading fences (Fig. 2), fence-oblivious
+    /// optimizer, helper-call RMWs.
+    Qemu,
+    /// QEMU with all guest-ordering fences removed — incorrect, used only
+    /// as the performance oracle.
+    NoFences,
+    /// QEMU with the verified mappings (Fig. 7) and sound optimizations,
+    /// but still helper-call RMWs.
+    TcgVer,
+    /// Full Risotto: verified mappings, fence merging, direct `casal`
+    /// CAS (§6.3), dynamic host linker (§6.2).
+    Risotto,
+    /// Native-oracle execution of the same program (see
+    /// [`BackendConfig::native`]).
+    Native,
+}
+
+impl Setup {
+    /// All five setups, in the paper's presentation order.
+    pub const ALL: [Setup; 5] =
+        [Setup::Qemu, Setup::NoFences, Setup::TcgVer, Setup::Risotto, Setup::Native];
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Setup::Qemu => "qemu",
+            Setup::NoFences => "no-fences",
+            Setup::TcgVer => "tcg-ver",
+            Setup::Risotto => "risotto",
+            Setup::Native => "native",
+        }
+    }
+
+    fn frontend(self) -> FrontendConfig {
+        match self {
+            Setup::Qemu => FrontendConfig::qemu(),
+            Setup::NoFences => FrontendConfig::no_fences(),
+            Setup::TcgVer => FrontendConfig::tcg_ver(),
+            Setup::Risotto => FrontendConfig::risotto(),
+            // The native oracle compiles from the same source; ordering
+            // comes from its own (Arm) primitives, not inserted fences.
+            Setup::Native => FrontendConfig::no_fences(),
+        }
+    }
+
+    fn opt_policy(self) -> OptPolicy {
+        match self {
+            Setup::Qemu | Setup::NoFences => OptPolicy::QemuUnsound,
+            _ => OptPolicy::Verified,
+        }
+    }
+
+    fn backend(self) -> BackendConfig {
+        match self {
+            Setup::Native => BackendConfig::native(),
+            // QEMU's helpers use casal with GCC ≥ 10 (§3.1); the RMW style
+            // here only affects direct `Cas` ops, which exist in the
+            // Risotto/NoFences frontends.
+            _ => BackendConfig::dbt(RmwStyle::Casal),
+        }
+    }
+
+    /// Whether the dynamic host linker is active (§6.2).
+    pub fn host_linking(self) -> bool {
+        matches!(self, Setup::Risotto | Setup::Native)
+    }
+}
+
+/// A native host shared library: named functions over machine memory.
+pub struct HostLibrary {
+    /// Library name (diagnostic only).
+    pub name: String,
+    /// Exported functions.
+    pub funcs: Vec<(String, NativeFn)>,
+}
+
+impl fmt::Debug for HostLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostLibrary")
+            .field("name", &self.name)
+            .field("funcs", &self.funcs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EmuError {
+    /// Guest instruction decoding failed during translation.
+    Translate(TranslateError),
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// `spawn` with no idle core left.
+    TooManyThreads,
+    /// Unknown guest syscall.
+    BadSyscall(u64),
+    /// `join` on an invalid thread.
+    BadJoin(u64),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Translate(e) => write!(f, "translation failed: {e}"),
+            EmuError::OutOfFuel => write!(f, "execution budget exhausted"),
+            EmuError::TooManyThreads => write!(f, "spawn: no idle core"),
+            EmuError::BadSyscall(n) => write!(f, "unknown syscall {n}"),
+            EmuError::BadJoin(t) => write!(f, "join on invalid thread {t}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+impl From<TranslateError> for EmuError {
+    fn from(e: TranslateError) -> Self {
+        EmuError::Translate(e)
+    }
+}
+
+/// The result of a completed emulation.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Parallel runtime in simulated cycles (max core clock).
+    pub cycles: u64,
+    /// Translated blocks.
+    pub tb_count: usize,
+    /// Bytes of generated host code.
+    pub code_bytes: usize,
+    /// Aggregated core statistics.
+    pub stats: CoreStats,
+    /// Exit value per core (`None` if the core never ran).
+    pub exit_vals: Vec<Option<u64>>,
+    /// Bytes written via the `WRITE` syscall.
+    pub output: Vec<u8>,
+}
+
+/// The DBT engine.
+#[derive(Debug)]
+pub struct Emulator {
+    setup: Setup,
+    machine: Machine,
+    text: Vec<u8>,
+    entry: u64,
+    /// PLT vaddr → (native function id, arity) for host-linked imports.
+    plt_natives: HashMap<u64, (u16, usize)>,
+    exit_vals: Vec<Option<u64>>,
+    output: Vec<u8>,
+    tb_count: usize,
+    core_started: Vec<bool>,
+    passes: PassConfig,
+    rmw_style: RmwStyle,
+}
+
+impl Emulator {
+    /// Loads a guest binary under the given setup.
+    pub fn new(binary: &GuestBinary, setup: Setup, n_cores: usize, cost: CostModel) -> Emulator {
+        let mut machine = Machine::new(n_cores, cost);
+        machine.mem.write_bytes(TEXT_BASE, &binary.text);
+        machine.mem.write_bytes(DATA_BASE, &binary.data);
+        Emulator {
+            setup,
+            machine,
+            text: binary.text.clone(),
+            entry: binary.entry,
+            plt_natives: HashMap::new(),
+            exit_vals: vec![None; n_cores],
+            output: Vec::new(),
+            tb_count: 0,
+            core_started: vec![false; n_cores],
+            passes: PassConfig::all(),
+            rmw_style: RmwStyle::Casal,
+        }
+    }
+
+    /// Overrides how direct TCG `Cas`/`AtomicAdd` ops are lowered (§6.3
+    /// ablation): `casal` vs the `DMBFF; RMW2; DMBFF` exclusive loop. Only
+    /// affects setups whose frontend emits direct RMW ops (risotto,
+    /// no-fences).
+    pub fn set_rmw_style(&mut self, style: RmwStyle) {
+        self.rmw_style = style;
+    }
+
+    /// Overrides the optimizer pass configuration (ablation studies).
+    pub fn set_passes(&mut self, passes: PassConfig) {
+        self.passes = passes;
+    }
+
+    /// The active setup.
+    pub fn setup(&self) -> Setup {
+        self.setup
+    }
+
+    /// Read access to guest/machine memory (for assertions).
+    pub fn mem(&self) -> &risotto_guest_x86::SparseMem {
+        &self.machine.mem
+    }
+
+    /// Links a host library against the binary's imports (§6.2): every
+    /// `.dynsym` entry that both appears in `idl` and is exported by `lib`
+    /// gets its PLT entry redirected to the native function. No-op unless
+    /// the setup enables host linking.
+    ///
+    /// Returns the names actually linked.
+    pub fn link_library(&mut self, binary: &GuestBinary, idl: &Idl, lib: HostLibrary) -> Vec<String> {
+        if !self.setup.host_linking() {
+            return Vec::new();
+        }
+        let mut linked = Vec::new();
+        for (name, f) in lib.funcs {
+            let Some(func) = idl.lookup(&name) else { continue };
+            let Some(sym) = binary.dynsyms.iter().find(|d| d.name == name) else { continue };
+            let id = self.machine.register_native(f);
+            self.plt_natives.insert(sym.plt_vaddr, (id, func.params.len()));
+            linked.push(name);
+        }
+        linked
+    }
+
+    fn env_base(core: usize) -> u64 {
+        ENV_REGION + core as u64 * ENV_STRIDE
+    }
+
+    fn env_addr(core: usize, reg: u8) -> u64 {
+        Self::env_base(core) + reg as u64 * 8
+    }
+
+    fn read_guest_reg(&self, core: usize, reg: Gpr) -> u64 {
+        if self.setup == Setup::Native {
+            self.machine.reg(core, Xreg(6 + reg.0))
+        } else {
+            self.machine.mem.read_u64(Self::env_addr(core, reg.0))
+        }
+    }
+
+    fn write_guest_reg(&mut self, core: usize, reg: Gpr, val: u64) {
+        if self.setup == Setup::Native {
+            self.machine.set_reg(core, Xreg(6 + reg.0), val);
+        } else {
+            self.machine.mem.write_u64(Self::env_addr(core, reg.0), val);
+        }
+    }
+
+    fn init_core(&mut self, core: usize, arg: Option<u64>) {
+        let stack_top = STACK_TOP - core as u64 * STACK_SIZE;
+        if self.setup == Setup::Native {
+            for g in 0..16 {
+                self.machine.set_reg(core, Xreg(6 + g), 0);
+            }
+        } else {
+            for r in 0..risotto_tcg::env::COUNT as u8 {
+                self.machine.mem.write_u64(Self::env_addr(core, r), 0);
+            }
+            self.machine.set_reg(core, ENV_BASE, Self::env_base(core));
+        }
+        self.machine
+            .set_reg(core, SPILL_BASE, SPILL_REGION + core as u64 * SPILL_STRIDE);
+        self.write_guest_reg(core, Gpr::RSP, stack_top);
+        if let Some(a) = arg {
+            self.write_guest_reg(core, Gpr::RDI, a);
+        }
+        self.core_started[core] = true;
+    }
+
+    /// Ensures a translation exists for `guest_pc`; returns its host pc.
+    fn ensure_translated(&mut self, guest_pc: u64) -> Result<u64, EmuError> {
+        if let Some(host) = self.machine.lookup_tb(guest_pc) {
+            return Ok(host);
+        }
+        let code = if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
+            self.build_native_thunk(func, nargs)
+        } else {
+            let text = &self.text;
+            let fetch = |addr: u64| -> [u8; 16] {
+                let mut w = [0u8; 16];
+                if addr >= TEXT_BASE {
+                    let off = (addr - TEXT_BASE) as usize;
+                    for (i, slot) in w.iter_mut().enumerate() {
+                        *slot = text.get(off + i).copied().unwrap_or(0);
+                    }
+                }
+                w
+            };
+            let mut block = translate_block(guest_pc, self.setup.frontend(), fetch)?;
+            optimize_with(&mut block, self.setup.opt_policy(), self.passes);
+            let mut backend = self.setup.backend();
+            if self.setup != Setup::Native {
+                backend.rmw = self.rmw_style;
+            }
+            lower_block(&block, backend)
+        };
+        let host = self.machine.install_code(&code);
+        self.machine.map_tb(guest_pc, host);
+        self.tb_count += 1;
+        Ok(host)
+    }
+
+    /// Builds the marshaling thunk that calls a native host function from
+    /// guest code (§6.2): copy guest argument registers into the host
+    /// ABI's, call, write the result back, and perform the guest `ret`.
+    fn build_native_thunk(&self, func: u16, nargs: usize) -> Vec<HostInsn> {
+        let mut code = Vec::new();
+        if self.setup == Setup::Native {
+            // Native ABI: direct register moves, no memory marshaling.
+            for (i, g) in Gpr::ARGS.iter().take(nargs).enumerate() {
+                code.push(HostInsn::MovReg { dst: Xreg(i as u8), src: Xreg(6 + g.0) });
+            }
+            code.push(HostInsn::NativeCall { func });
+            code.push(HostInsn::MovReg { dst: Xreg(6 + Gpr::RAX.0), src: Xreg(0) });
+            // ret: pop the return address from the guest stack (RSP = X10).
+            let rsp = Xreg(6 + Gpr::RSP.0);
+            code.push(HostInsn::Ldr { dst: Xreg(29), base: rsp, off: 0, order: MemOrder::Plain });
+            code.push(HostInsn::AluImm {
+                op: risotto_host_arm::AOp::Add,
+                dst: rsp,
+                a: rsp,
+                imm: 8,
+            });
+            code.push(HostInsn::ExitTb(TbExitKind::JumpReg { reg: Xreg(29) }));
+        } else {
+            // DBT ABI: marshal through the env block — this load/store
+            // traffic *is* the marshaling overhead visible in Fig. 14.
+            for (i, g) in Gpr::ARGS.iter().take(nargs).enumerate() {
+                code.push(HostInsn::Ldr {
+                    dst: Xreg(i as u8),
+                    base: ENV_BASE,
+                    off: g.0 as i32 * 8,
+                    order: MemOrder::Plain,
+                });
+            }
+            code.push(HostInsn::NativeCall { func });
+            code.push(HostInsn::Str {
+                src: Xreg(0),
+                base: ENV_BASE,
+                off: Gpr::RAX.0 as i32 * 8,
+                order: MemOrder::Plain,
+            });
+            // Guest ret through the env'd RSP.
+            code.push(HostInsn::Ldr {
+                dst: Xreg(25),
+                base: ENV_BASE,
+                off: Gpr::RSP.0 as i32 * 8,
+                order: MemOrder::Plain,
+            });
+            code.push(HostInsn::Ldr { dst: Xreg(26), base: Xreg(25), off: 0, order: MemOrder::Plain });
+            code.push(HostInsn::AluImm {
+                op: risotto_host_arm::AOp::Add,
+                dst: Xreg(25),
+                a: Xreg(25),
+                imm: 8,
+            });
+            code.push(HostInsn::Str {
+                src: Xreg(25),
+                base: ENV_BASE,
+                off: Gpr::RSP.0 as i32 * 8,
+                order: MemOrder::Plain,
+            });
+            code.push(HostInsn::ExitTb(TbExitKind::JumpReg { reg: Xreg(26) }));
+        }
+        code
+    }
+
+    fn service_syscall(&mut self, core: usize, next: u64) -> Result<(), EmuError> {
+        let n = self.read_guest_reg(core, Gpr::RAX);
+        let a1 = self.read_guest_reg(core, Gpr::RDI);
+        let a2 = self.read_guest_reg(core, Gpr::RSI);
+        let a3 = self.read_guest_reg(core, Gpr::RDX);
+        match n {
+            syscalls::EXIT => {
+                self.exit_vals[core] = Some(a1);
+                self.machine.halt_core(core);
+                return Ok(());
+            }
+            syscalls::WRITE => {
+                let bytes = self.machine.mem.read_bytes(a2, a3 as usize);
+                self.output.extend_from_slice(&bytes);
+                self.write_guest_reg(core, Gpr::RAX, a3);
+            }
+            syscalls::SPAWN => {
+                let child = self.machine.idle_core().ok_or(EmuError::TooManyThreads)?;
+                self.init_core(child, Some(a2));
+                let host = self.ensure_translated(a1)?;
+                self.machine.start_core(child, host);
+                // The child begins *now*, not at machine time zero — it
+                // inherits the spawning core's clock (plus a small fork
+                // cost), so the discrete-event scheduler interleaves it
+                // realistically.
+                self.machine.add_cycles(child, self.machine.core_cycles(core) + 50);
+                self.write_guest_reg(core, Gpr::RAX, child as u64);
+            }
+            syscalls::JOIN => {
+                let target = a1 as usize;
+                if target >= self.machine.n_cores() || target == core {
+                    return Err(EmuError::BadJoin(a1));
+                }
+                if self.machine.core_halted(target) && self.core_started[target] {
+                    let v = self.exit_vals[target].unwrap_or(0);
+                    self.write_guest_reg(core, Gpr::RAX, v);
+                } else {
+                    // Busy-wait: charge some cycles and retry the syscall.
+                    self.machine.add_cycles(core, 64);
+                    return Ok(());
+                }
+            }
+            syscalls::GETTID => {
+                self.write_guest_reg(core, Gpr::RAX, core as u64);
+            }
+            other => return Err(EmuError::BadSyscall(other)),
+        }
+        let host = self.ensure_translated(next)?;
+        self.machine.set_pc(core, host);
+        Ok(())
+    }
+
+    /// Runs the program to completion (all threads halted).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults, runaway execution (`fuel` steps), and syscall
+    /// misuse.
+    pub fn run(&mut self, fuel: u64) -> Result<Report, EmuError> {
+        self.init_core(0, None);
+        let entry = self.entry;
+        let host = self.ensure_translated(entry)?;
+        self.machine.start_core(0, host);
+        loop {
+            match self.machine.run(fuel) {
+                Event::AllHalted => break,
+                Event::TranslationMiss { guest_pc, .. } => {
+                    self.ensure_translated(guest_pc)?;
+                }
+                Event::GuestSyscall { core, next } => {
+                    self.service_syscall(core, next)?;
+                }
+                Event::OutOfFuel => return Err(EmuError::OutOfFuel),
+            }
+        }
+        // HLT'd threads report guest RAX as their exit value.
+        for core in 0..self.machine.n_cores() {
+            if self.core_started[core] && self.exit_vals[core].is_none() {
+                self.exit_vals[core] = Some(self.read_guest_reg(core, Gpr::RAX));
+            }
+        }
+        Ok(Report {
+            cycles: self.machine.clock(),
+            tb_count: self.tb_count,
+            code_bytes: self.machine.code_size(),
+            stats: self.machine.total_stats(),
+            exit_vals: self.exit_vals.clone(),
+            output: self.output.clone(),
+        })
+    }
+}

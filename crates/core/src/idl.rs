@@ -1,0 +1,182 @@
+//! The Interface Definition Language of the dynamic host linker (§6.2).
+//!
+//! Function signatures cannot be recovered from a raw binary, so Risotto
+//! reads an IDL file describing the shared-library functions that may be
+//! linked natively. The grammar is C-prototype-like, one function per
+//! line; `#` starts a comment:
+//!
+//! ```text
+//! # math
+//! f64 sin(f64);
+//! u64 md5(ptr, u64, ptr);
+//! void kv_put(ptr, u64, u64);
+//! ```
+
+use std::fmt;
+
+/// Parameter / return types. Values travel as 64-bit register words in
+/// both ABIs (f64 as bit patterns), so marshaling is a register-file
+/// mapping; the types exist to validate arity and document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdlType {
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// IEEE-754 double (bit pattern in a register).
+    F64,
+    /// Guest pointer.
+    Ptr,
+    /// No value (return type only).
+    Void,
+}
+
+impl IdlType {
+    fn parse(s: &str) -> Option<IdlType> {
+        Some(match s {
+            "u64" => IdlType::U64,
+            "i64" => IdlType::I64,
+            "f64" => IdlType::F64,
+            "ptr" => IdlType::Ptr,
+            "void" => IdlType::Void,
+            _ => return None,
+        })
+    }
+}
+
+/// One described function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlFunc {
+    /// Function name, as it appears in `.dynsym`.
+    pub name: String,
+    /// Return type.
+    pub ret: IdlType,
+    /// Parameter types (at most 6: the register-argument ABI).
+    pub params: Vec<IdlType>,
+}
+
+/// A parsed IDL file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Idl {
+    /// Described functions.
+    pub funcs: Vec<IdlFunc>,
+}
+
+impl Idl {
+    /// Parses IDL text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdlError`] with a line number on malformed input.
+    pub fn parse(text: &str) -> Result<Idl, IdlError> {
+        let mut funcs = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            funcs.push(parse_line(line).map_err(|msg| IdlError {
+                line: lineno + 1,
+                message: msg,
+            })?);
+        }
+        Ok(Idl { funcs })
+    }
+
+    /// Looks up a function by name.
+    pub fn lookup(&self, name: &str) -> Option<&IdlFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+fn parse_line(line: &str) -> Result<IdlFunc, String> {
+    let line = line.strip_suffix(';').ok_or("missing trailing `;`")?.trim();
+    let open = line.find('(').ok_or("missing `(`")?;
+    let close = line.rfind(')').ok_or("missing `)`")?;
+    if close < open {
+        return Err("mismatched parentheses".into());
+    }
+    let head = line[..open].trim();
+    let (ret_s, name) = head
+        .rsplit_once(char::is_whitespace)
+        .ok_or("expected `<ret-type> <name>(...)`")?;
+    let ret = IdlType::parse(ret_s.trim()).ok_or_else(|| format!("unknown type `{ret_s}`"))?;
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("invalid function name `{name}`"));
+    }
+    let args_s = line[open + 1..close].trim();
+    let mut params = Vec::new();
+    if !args_s.is_empty() && args_s != "void" {
+        for p in args_s.split(',') {
+            let t = IdlType::parse(p.trim())
+                .ok_or_else(|| format!("unknown parameter type `{}`", p.trim()))?;
+            if t == IdlType::Void {
+                return Err("`void` is not a parameter type".into());
+            }
+            params.push(t);
+        }
+    }
+    if params.len() > 6 {
+        return Err("more than 6 parameters (register ABI limit)".into());
+    }
+    Ok(IdlFunc { name: name.to_owned(), ret, params })
+}
+
+/// An IDL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for IdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IDL line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let idl = Idl::parse("f64 sin(f64);").unwrap();
+        assert_eq!(
+            idl.funcs,
+            vec![IdlFunc { name: "sin".into(), ret: IdlType::F64, params: vec![IdlType::F64] }]
+        );
+    }
+
+    #[test]
+    fn parses_comments_blank_lines_and_multi_arg() {
+        let text = "\n# digests\nu64 md5(ptr, u64, ptr);  # (buf, len, out)\nvoid flush();\n";
+        let idl = Idl::parse(text).unwrap();
+        assert_eq!(idl.funcs.len(), 2);
+        assert_eq!(idl.funcs[0].params, vec![IdlType::Ptr, IdlType::U64, IdlType::Ptr]);
+        assert_eq!(idl.funcs[1].ret, IdlType::Void);
+        assert!(idl.funcs[1].params.is_empty());
+        assert!(idl.lookup("md5").is_some());
+        assert!(idl.lookup("sha1").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "f64 sin(f64)",        // no semicolon
+            "sin(f64);",           // no return type
+            "f64 (f64);",          // no name
+            "q32 sin(f64);",       // unknown type
+            "f64 sin(void, u64);", // void param
+            "u64 f(u64,u64,u64,u64,u64,u64,u64);", // 7 params
+        ] {
+            assert!(Idl::parse(bad).is_err(), "should reject: {bad}");
+        }
+        let err = Idl::parse("ok line is not\nf64 sin(f64)\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Dynamic-linker edge cases (§6.2): partial IDL coverage, missing
+//! imports, unknown exports, and argument-count marshaling.
+
+use risotto_core::{Emulator, HostLibrary, Idl, Setup};
+use risotto_guest_x86::{AluOp, GelfBuilder, Gpr};
+use risotto_host_arm::{CostModel, NativeResult};
+
+fn lib_with(funcs: Vec<(&str, u64)>) -> HostLibrary {
+    HostLibrary {
+        name: "test".into(),
+        funcs: funcs
+            .into_iter()
+            .map(|(name, mult)| {
+                let f: risotto_host_arm::NativeFn = Box::new(move |_m, args: &[u64; 6]| {
+                    NativeResult { ret: args.iter().sum::<u64>() * mult, cost: 3 }
+                });
+                (name.to_string(), f)
+            })
+            .collect(),
+    }
+}
+
+/// Builds a binary importing `f` and `g`; guest impls return distinct
+/// values so we can tell which path ran.
+fn two_import_binary() -> risotto_guest_x86::GuestBinary {
+    let mut b = GelfBuilder::new("main");
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::RDI, 10);
+    b.asm.mov_ri(Gpr::RSI, 1);
+    b.call_plt("f");
+    b.asm.mov_rr(Gpr::RBX, Gpr::RAX);
+    b.asm.mov_ri(Gpr::RDI, 10);
+    b.asm.mov_ri(Gpr::RSI, 1);
+    b.call_plt("g");
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RBX);
+    b.asm.hlt();
+    b.plt_stub("f", "guest_f");
+    b.plt_stub("g", "guest_g");
+    b.asm.label("guest_f");
+    b.asm.mov_ri(Gpr::RAX, 1000); // guest f: constant 1000
+    b.asm.ret();
+    b.asm.label("guest_g");
+    b.asm.mov_ri(Gpr::RAX, 2000); // guest g: constant 2000
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+#[test]
+fn idl_gates_which_imports_link() {
+    let bin = two_import_binary();
+    // IDL only describes `f`: `g` stays translated even though the library
+    // exports both.
+    let idl = Idl::parse("u64 f(u64, u64);").unwrap();
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
+    let linked = emu.link_library(&bin, &idl, lib_with(vec![("f", 7), ("g", 9)]));
+    assert_eq!(linked, vec!["f".to_string()]);
+    let r = emu.run(10_000_000).unwrap();
+    // f native: (10+1)*7 = 77; g guest: 2000.
+    assert_eq!(r.exit_vals[0], Some(77 + 2000));
+    assert_eq!(r.stats.native_calls, 1);
+}
+
+#[test]
+fn library_exports_not_imported_are_ignored() {
+    let bin = two_import_binary();
+    let idl = Idl::parse("u64 f(u64, u64);\nu64 g(u64, u64);\nu64 h(u64);").unwrap();
+    // The library exports `h`, which the binary never imports: no link,
+    // no crash.
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
+    let linked = emu.link_library(&bin, &idl, lib_with(vec![("h", 3)]));
+    assert!(linked.is_empty());
+    let r = emu.run(10_000_000).unwrap();
+    assert_eq!(r.exit_vals[0], Some(3000), "all guest paths");
+}
+
+#[test]
+fn marshaling_passes_exactly_the_declared_arity() {
+    // Declare f with a single parameter: the second guest argument must
+    // NOT reach the native function (it sees 0 there).
+    let bin = two_import_binary();
+    let idl = Idl::parse("u64 f(u64);\nu64 g(u64, u64);").unwrap();
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
+    let linked = emu.link_library(&bin, &idl, lib_with(vec![("f", 1), ("g", 1)]));
+    assert_eq!(linked.len(), 2);
+    let r = emu.run(10_000_000).unwrap();
+    // f: only RDI=10 marshaled → 10; g: 10+1 → 11.
+    assert_eq!(r.exit_vals[0], Some(10 + 11));
+}
+
+#[test]
+fn linking_twice_is_idempotent_per_symbol() {
+    let bin = two_import_binary();
+    let idl = Idl::parse("u64 f(u64, u64);\nu64 g(u64, u64);").unwrap();
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
+    emu.link_library(&bin, &idl, lib_with(vec![("f", 7)]));
+    // Second library also exports f (and g): f is re-bound (last wins,
+    // like LD_PRELOAD ordering), g links fresh.
+    emu.link_library(&bin, &idl, lib_with(vec![("f", 5), ("g", 5)]));
+    let r = emu.run(10_000_000).unwrap();
+    assert_eq!(r.exit_vals[0], Some(11 * 5 + 11 * 5));
+}

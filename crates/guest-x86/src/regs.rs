@@ -1,0 +1,251 @@
+//! MiniX86 register file and condition flags.
+
+use std::fmt;
+
+/// A MiniX86 general-purpose register (64-bit).
+///
+/// The names follow x86-64; the numbering follows the classic encoding
+/// (`RAX`=0 … `RDI`=7, `R8`…`R15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(pub u8);
+
+impl Gpr {
+    /// Accumulator; return value; implicit operand of `CMPXCHG`/`DIV`.
+    pub const RAX: Gpr = Gpr(0);
+    /// Counter; 4th argument.
+    pub const RCX: Gpr = Gpr(1);
+    /// Data; 3rd argument; remainder of `DIV`.
+    pub const RDX: Gpr = Gpr(2);
+    /// Callee-saved.
+    pub const RBX: Gpr = Gpr(3);
+    /// Stack pointer.
+    pub const RSP: Gpr = Gpr(4);
+    /// Frame pointer (callee-saved).
+    pub const RBP: Gpr = Gpr(5);
+    /// 2nd argument.
+    pub const RSI: Gpr = Gpr(6);
+    /// 1st argument.
+    pub const RDI: Gpr = Gpr(7);
+    /// 5th argument.
+    pub const R8: Gpr = Gpr(8);
+    /// 6th argument.
+    pub const R9: Gpr = Gpr(9);
+    /// Caller-saved scratch.
+    pub const R10: Gpr = Gpr(10);
+    /// Caller-saved scratch.
+    pub const R11: Gpr = Gpr(11);
+    /// Callee-saved.
+    pub const R12: Gpr = Gpr(12);
+    /// Callee-saved.
+    pub const R13: Gpr = Gpr(13);
+    /// Callee-saved.
+    pub const R14: Gpr = Gpr(14);
+    /// Callee-saved.
+    pub const R15: Gpr = Gpr(15);
+
+    /// Number of GPRs.
+    pub const COUNT: usize = 16;
+
+    /// The System-V-style integer argument registers, in order.
+    pub const ARGS: [Gpr; 6] = [Gpr::RDI, Gpr::RSI, Gpr::RDX, Gpr::RCX, Gpr::R8, Gpr::R9];
+
+    /// Index into a register file array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        match NAMES.get(self.0 as usize) {
+            Some(n) => f.write_str(n),
+            None => write!(f, "r?{}", self.0),
+        }
+    }
+}
+
+/// Condition flags produced by `CMP`/`TEST` and the ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag (bit 63 of the result).
+    pub sf: bool,
+    /// Carry flag (unsigned overflow / borrow).
+    pub cf: bool,
+    /// Overflow flag (signed overflow).
+    pub of: bool,
+}
+
+impl Flags {
+    /// Flags after computing `a - b` (the `CMP` semantics).
+    pub fn from_sub(a: u64, b: u64) -> Flags {
+        let (res, borrow) = a.overflowing_sub(b);
+        let sa = a as i64;
+        let sb = b as i64;
+        let (sres, soverflow) = sa.overflowing_sub(sb);
+        let _ = sres;
+        Flags { zf: res == 0, sf: (res as i64) < 0, cf: borrow, of: soverflow }
+    }
+
+    /// Flags after a logical operation producing `res` (CF=OF=0).
+    pub fn from_logic(res: u64) -> Flags {
+        Flags { zf: res == 0, sf: (res as i64) < 0, cf: false, of: false }
+    }
+
+    /// Flags after computing `a + b`.
+    pub fn from_add(a: u64, b: u64) -> Flags {
+        let (res, carry) = a.overflowing_add(b);
+        let (_, soverflow) = (a as i64).overflowing_add(b as i64);
+        Flags { zf: res == 0, sf: (res as i64) < 0, cf: carry, of: soverflow }
+    }
+}
+
+/// Branch conditions (the `Jcc` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// `JE` / `JZ`: ZF.
+    E = 0,
+    /// `JNE` / `JNZ`: !ZF.
+    Ne = 1,
+    /// `JL`: SF≠OF (signed less).
+    L = 2,
+    /// `JGE`: SF=OF.
+    Ge = 3,
+    /// `JLE`: ZF ∨ SF≠OF.
+    Le = 4,
+    /// `JG`: !ZF ∧ SF=OF.
+    G = 5,
+    /// `JB`: CF (unsigned below).
+    B = 6,
+    /// `JAE`: !CF.
+    Ae = 7,
+    /// `JBE`: CF ∨ ZF.
+    Be = 8,
+    /// `JA`: !CF ∧ !ZF.
+    A = 9,
+    /// `JS`: SF.
+    S = 10,
+    /// `JNS`: !SF.
+    Ns = 11,
+}
+
+impl Cond {
+    /// Evaluates the condition against `flags`.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::L => f.sf != f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Ae => !f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+        }
+    }
+
+    /// The negated condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::B => Cond::Ae,
+            Cond::Ae => Cond::B,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+        }
+    }
+
+    /// Decodes from the byte produced by `self as u8`.
+    pub fn from_u8(v: u8) -> Option<Cond> {
+        Some(match v {
+            0 => Cond::E,
+            1 => Cond::Ne,
+            2 => Cond::L,
+            3 => Cond::Ge,
+            4 => Cond::Le,
+            5 => Cond::G,
+            6 => Cond::B,
+            7 => Cond::Ae,
+            8 => Cond::Be,
+            9 => Cond::A,
+            10 => Cond::S,
+            11 => Cond::Ns,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_flag_semantics() {
+        let f = Flags::from_sub(5, 5);
+        assert!(f.zf && !f.cf);
+        assert!(Cond::E.eval(f));
+        assert!(Cond::Ge.eval(f));
+        assert!(Cond::Le.eval(f));
+        assert!(!Cond::L.eval(f));
+
+        let f = Flags::from_sub(3, 5);
+        assert!(!f.zf && f.cf);
+        assert!(Cond::L.eval(f));
+        assert!(Cond::B.eval(f));
+        assert!(!Cond::G.eval(f));
+
+        // Signed vs unsigned disagreement: u64::MAX is -1 signed.
+        let f = Flags::from_sub(u64::MAX, 1);
+        assert!(Cond::A.eval(f), "u64::MAX > 1 unsigned");
+        assert!(Cond::L.eval(f), "-1 < 1 signed");
+        assert!(!Cond::G.eval(f));
+    }
+
+    #[test]
+    fn signed_comparison_uses_of() {
+        // i64::MIN - 1 overflows: signed less-than must still hold.
+        let f = Flags::from_sub(i64::MIN as u64, 1);
+        assert!(Cond::L.eval(f));
+        assert!(!Cond::Ge.eval(f));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for v in 0..12 {
+            let c = Cond::from_u8(v).unwrap();
+            assert_eq!(c.negate().negate(), c);
+            // Negation flips evaluation on arbitrary flags.
+            for f in [
+                Flags::from_sub(1, 2),
+                Flags::from_sub(2, 1),
+                Flags::from_sub(1, 1),
+                Flags::from_logic(0),
+            ] {
+                assert_ne!(c.eval(f), c.negate().eval(f));
+            }
+        }
+    }
+
+    #[test]
+    fn gpr_display() {
+        assert_eq!(Gpr::RAX.to_string(), "rax");
+        assert_eq!(Gpr::R15.to_string(), "r15");
+    }
+}

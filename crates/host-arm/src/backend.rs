@@ -1,0 +1,746 @@
+//! The TCG→MiniArm backend.
+//!
+//! Lowers optimized [`TcgBlock`]s to host code per the TCG→Arm mapping
+//! scheme (Fig. 7b): plain `ld`/`st` → `LDR`/`STR`, fences via the minimal
+//! `DMB` lowering, TCG `Cas` either as `casal` (Risotto's §6.3 fast path)
+//! or as a `DMBFF`-bracketed `LDXR`/`STXR` loop, helper calls as `Hcall`.
+//!
+//! Register convention (normal mode):
+//!
+//! * `X27` — guest env base (GPRs + flags, 8 bytes each),
+//! * `X28` — per-core spill area base,
+//! * `X9`–`X26` — allocatable temps (linear scan, spill on pressure),
+//! * `X0`–`X5` — helper/native call arguments.
+//!
+//! The *native oracle* mode (`BackendConfig::native()`) models natively
+//! compiled code for the evaluation's `native` bars: guest registers map
+//! directly onto host registers (`X6`–`X21`, flags `X22`–`X25`) with no
+//! env traffic, floating point uses hardware instructions, no guest-
+//! ordering fences are present (the native frontend never inserts them;
+//! the programmer's own `MFENCE`s still lower to `DMB FF`), and RMWs use
+//! `casal`.
+
+use crate::insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, TbExitKind, Xreg};
+use risotto_memmodel::FenceKind;
+use risotto_tcg::{BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
+use std::collections::HashMap;
+
+/// Env base register.
+pub const ENV_BASE: Xreg = Xreg(27);
+/// Spill area base register.
+pub const SPILL_BASE: Xreg = Xreg(28);
+
+/// How TCG `Cas`/`AtomicAdd` ops are lowered (Fig. 7b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwStyle {
+    /// `RMW1_AL`: single `casal` / `ldaddal` (needs the corrected Arm
+    /// model, §3.3/§6.3).
+    Casal,
+    /// `DMBFF; RMW2; DMBFF`: exclusive-pair loop bracketed by full fences.
+    Rmw2Fenced,
+}
+
+/// Backend configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendConfig {
+    /// RMW lowering for TCG `Cas`/`AtomicAdd` ops.
+    pub rmw: RmwStyle,
+    /// Lower FP helpers to hardware FP instead of `Hcall` soft-float.
+    pub hardware_fp: bool,
+    /// Native-oracle register mapping (no env traffic, no fences).
+    pub direct_regs: bool,
+}
+
+impl BackendConfig {
+    /// The DBT backend used by the `qemu`, `tcg-ver` and `no-fences`
+    /// setups (helper-based RMWs arrive as `CallHelper`, so `rmw` is
+    /// irrelevant there) and by `risotto` (whose frontend emits `Cas`).
+    pub fn dbt(rmw: RmwStyle) -> BackendConfig {
+        BackendConfig { rmw, hardware_fp: false, direct_regs: false }
+    }
+
+    /// The native-oracle backend (see module docs).
+    pub fn native() -> BackendConfig {
+        BackendConfig { rmw: RmwStyle::Casal, hardware_fp: true, direct_regs: true }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Host mini-assembler with labels.
+// ---------------------------------------------------------------------
+
+/// A small label-resolving assembler over [`HostInsn`].
+#[derive(Debug, Default)]
+pub struct HostAsm {
+    items: Vec<Item>,
+    next_label: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    Insn(HostInsn),
+    Label(u32),
+    BCondTo(ACond, u32),
+    BTo(u32),
+}
+
+impl HostAsm {
+    /// Creates an empty assembler.
+    pub fn new() -> HostAsm {
+        HostAsm::default()
+    }
+
+    /// Allocates a fresh label id.
+    pub fn fresh_label(&mut self) -> u32 {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    /// Emits an instruction.
+    pub fn push(&mut self, i: HostInsn) {
+        self.items.push(Item::Insn(i));
+    }
+
+    /// Binds a label here.
+    pub fn bind(&mut self, label: u32) {
+        self.items.push(Item::Label(label));
+    }
+
+    /// Conditional branch to a label.
+    pub fn bcond_to(&mut self, cond: ACond, label: u32) {
+        self.items.push(Item::BCondTo(cond, label));
+    }
+
+    /// Unconditional branch to a label.
+    pub fn b_to(&mut self, label: u32) {
+        self.items.push(Item::BTo(label));
+    }
+
+    /// Resolves labels into relative branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unbound label (a backend bug).
+    pub fn finish(self) -> Vec<HostInsn> {
+        // Pass 1: byte offsets.
+        let size_of = |i: &Item| -> usize {
+            match i {
+                Item::Insn(insn) => {
+                    let mut b = Vec::new();
+                    insn.encode(&mut b)
+                }
+                Item::Label(_) => 0,
+                Item::BCondTo(..) => {
+                    let mut b = Vec::new();
+                    HostInsn::BCond { cond: ACond::Eq, rel: 0 }.encode(&mut b)
+                }
+                Item::BTo(_) => {
+                    let mut b = Vec::new();
+                    HostInsn::B { rel: 0 }.encode(&mut b)
+                }
+            }
+        };
+        let mut offsets = Vec::with_capacity(self.items.len() + 1);
+        let mut labels: HashMap<u32, usize> = HashMap::new();
+        let mut off = 0usize;
+        for item in &self.items {
+            offsets.push(off);
+            if let Item::Label(l) = item {
+                labels.insert(*l, off);
+            }
+            off += size_of(item);
+        }
+        offsets.push(off);
+        // Pass 2: materialize.
+        let mut out = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let next = offsets[idx] + size_of(item);
+            match item {
+                Item::Insn(i) => out.push(*i),
+                Item::Label(_) => {}
+                Item::BCondTo(c, l) => {
+                    let target = *labels.get(l).expect("unbound label");
+                    out.push(HostInsn::BCond { cond: *c, rel: target as i32 - next as i32 });
+                }
+                Item::BTo(l) => {
+                    let target = *labels.get(l).expect("unbound label");
+                    out.push(HostInsn::B { rel: target as i32 - next as i32 });
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linear-scan register allocation.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Alloc {
+    pool: Vec<Xreg>,
+    /// temp → host reg
+    in_reg: HashMap<Temp, Xreg>,
+    /// temp → spilled flag (slot = temp index)
+    spilled: HashMap<Temp, bool>,
+    /// reg → temp
+    holder: HashMap<Xreg, Temp>,
+    last_use: Vec<usize>,
+}
+
+impl Alloc {
+    fn new(pool: Vec<Xreg>, block: &TcgBlock) -> Alloc {
+        let mut last_use = vec![0usize; block.n_temps as usize];
+        for (i, op) in block.ops.iter().enumerate() {
+            for u in op.uses() {
+                last_use[u.0 as usize] = i;
+            }
+            if let Some(d) = op.def() {
+                last_use[d.0 as usize] = last_use[d.0 as usize].max(i);
+            }
+        }
+        let exit_idx = block.ops.len();
+        match &block.exit {
+            TbExit::JumpReg(t) => last_use[t.0 as usize] = exit_idx,
+            TbExit::CondJump { flag, .. } => last_use[flag.0 as usize] = exit_idx,
+            _ => {}
+        }
+        Alloc { pool, in_reg: HashMap::new(), spilled: HashMap::new(), holder: HashMap::new(), last_use }
+    }
+
+    fn free_dead(&mut self, idx: usize) {
+        let dead: Vec<Temp> = self
+            .in_reg
+            .keys()
+            .copied()
+            .filter(|t| self.last_use[t.0 as usize] < idx)
+            .collect();
+        for t in dead {
+            if let Some(r) = self.in_reg.remove(&t) {
+                self.holder.remove(&r);
+            }
+        }
+    }
+
+    fn free_reg(&mut self, asm: &mut HostAsm, idx: usize, forbid: &[Xreg]) -> Xreg {
+        for &r in &self.pool {
+            if !self.holder.contains_key(&r) && !forbid.contains(&r) {
+                return r;
+            }
+        }
+        // Spill the holder with the furthest next use.
+        let (&victim_reg, &victim_temp) = self
+            .holder
+            .iter()
+            .filter(|(r, _)| !forbid.contains(r))
+            .max_by_key(|(_, t)| self.last_use[t.0 as usize])
+            .expect("register pool exhausted");
+        let _ = idx;
+        asm.push(HostInsn::Str {
+            src: victim_reg,
+            base: SPILL_BASE,
+            off: victim_temp.0 as i32 * 8,
+            order: MemOrder::Plain,
+        });
+        self.spilled.insert(victim_temp, true);
+        self.in_reg.remove(&victim_temp);
+        self.holder.remove(&victim_reg);
+        victim_reg
+    }
+
+    /// Register holding `t`, reloading from the spill area if needed.
+    fn use_reg(&mut self, asm: &mut HostAsm, idx: usize, t: Temp, forbid: &[Xreg]) -> Xreg {
+        if let Some(&r) = self.in_reg.get(&t) {
+            return r;
+        }
+        let r = self.free_reg(asm, idx, forbid);
+        debug_assert!(
+            self.spilled.get(&t).copied().unwrap_or(false),
+            "use of temp {t:?} that was never defined"
+        );
+        asm.push(HostInsn::Ldr {
+            dst: r,
+            base: SPILL_BASE,
+            off: t.0 as i32 * 8,
+            order: MemOrder::Plain,
+        });
+        self.in_reg.insert(t, r);
+        self.holder.insert(r, t);
+        r
+    }
+
+    /// Register for defining `t`.
+    fn def_reg(&mut self, asm: &mut HostAsm, idx: usize, t: Temp, forbid: &[Xreg]) -> Xreg {
+        if let Some(&r) = self.in_reg.get(&t) {
+            return r;
+        }
+        let r = self.free_reg(asm, idx, forbid);
+        self.in_reg.insert(t, r);
+        self.holder.insert(r, t);
+        r
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lowering.
+// ---------------------------------------------------------------------
+
+fn helper_index(h: Helper) -> u8 {
+    match h {
+        Helper::CmpxchgSc => 0,
+        Helper::XaddSc => 1,
+        Helper::FpAdd => 2,
+        Helper::FpSub => 3,
+        Helper::FpMul => 4,
+        Helper::FpDiv => 5,
+        Helper::FpSqrt => 6,
+        Helper::FpCvtIF => 7,
+        Helper::FpCvtFI => 8,
+    }
+}
+
+fn fp_op_of(h: Helper) -> Option<AFpOp> {
+    Some(match h {
+        Helper::FpAdd => AFpOp::Add,
+        Helper::FpSub => AFpOp::Sub,
+        Helper::FpMul => AFpOp::Mul,
+        Helper::FpDiv => AFpOp::Div,
+        Helper::FpSqrt => AFpOp::Sqrt,
+        Helper::FpCvtIF => AFpOp::CvtIF,
+        Helper::FpCvtFI => AFpOp::CvtFI,
+        _ => return None,
+    })
+}
+
+fn bin_op_of(b: BinOp) -> AOp {
+    match b {
+        BinOp::Add => AOp::Add,
+        BinOp::Sub => AOp::Sub,
+        BinOp::And => AOp::And,
+        BinOp::Or => AOp::Orr,
+        BinOp::Xor => AOp::Eor,
+        BinOp::Shl => AOp::Lsl,
+        BinOp::Shr => AOp::Lsr,
+        BinOp::Sar => AOp::Asr,
+        BinOp::Mul => AOp::Mul,
+        BinOp::MulHi => AOp::Umulh,
+        BinOp::Divu => AOp::Udiv,
+        BinOp::Remu => AOp::Urem,
+    }
+}
+
+fn cond_of(c: CondOp) -> ACond {
+    match c {
+        CondOp::Eq => ACond::Eq,
+        CondOp::Ne => ACond::Ne,
+        CondOp::LtU => ACond::Lo,
+        CondOp::LtS => ACond::Lt,
+    }
+}
+
+/// Env register location in native (direct-mapped) mode.
+fn direct_reg(env_reg: u8) -> Xreg {
+    if env_reg < 16 {
+        Xreg(6 + env_reg) // guest GPRs → X6..X21
+    } else {
+        Xreg(22 + (env_reg - 16)) // flags → X22..X25
+    }
+}
+
+/// Lowers an (optimized) TCG block to host instructions.
+pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
+    let pool: Vec<Xreg> = if cfg.direct_regs {
+        [0, 1, 2, 3, 4, 5, 26, 29].iter().map(|&r| Xreg(r)).collect()
+    } else {
+        (9..=26).map(Xreg).collect()
+    };
+    let mut alloc = Alloc::new(pool, block);
+    let mut asm = HostAsm::new();
+
+    for (idx, op) in block.ops.iter().enumerate() {
+        alloc.free_dead(idx);
+        match op {
+            TcgOp::MovI { dst, val } => {
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[]);
+                asm.push(HostInsn::MovImm { dst: rd, imm: *val });
+            }
+            TcgOp::Mov { dst, src } => {
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[rs]);
+                asm.push(HostInsn::MovReg { dst: rd, src: rs });
+            }
+            TcgOp::GetReg { dst, reg } => {
+                if cfg.direct_regs {
+                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[]);
+                    asm.push(HostInsn::MovReg { dst: rd, src: direct_reg(*reg) });
+                } else {
+                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[]);
+                    asm.push(HostInsn::Ldr {
+                        dst: rd,
+                        base: ENV_BASE,
+                        off: *reg as i32 * 8,
+                        order: MemOrder::Plain,
+                    });
+                }
+            }
+            TcgOp::SetReg { reg, src } => {
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[]);
+                if cfg.direct_regs {
+                    asm.push(HostInsn::MovReg { dst: direct_reg(*reg), src: rs });
+                } else {
+                    asm.push(HostInsn::Str {
+                        src: rs,
+                        base: ENV_BASE,
+                        off: *reg as i32 * 8,
+                        order: MemOrder::Plain,
+                    });
+                }
+            }
+            TcgOp::Ld { dst, addr } => {
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra]);
+                asm.push(HostInsn::Ldr { dst: rd, base: ra, off: 0, order: MemOrder::Plain });
+            }
+            TcgOp::St { addr, src } => {
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra]);
+                asm.push(HostInsn::Str { src: rs, base: ra, off: 0, order: MemOrder::Plain });
+            }
+            TcgOp::Ld8 { dst, addr } => {
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra]);
+                asm.push(HostInsn::LdrB { dst: rd, base: ra, off: 0 });
+            }
+            TcgOp::St8 { addr, src } => {
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra]);
+                asm.push(HostInsn::StrB { src: rs, base: ra, off: 0 });
+            }
+            TcgOp::Bin { op, dst, a, b } => {
+                let ra = alloc.use_reg(&mut asm, idx, *a, &[]);
+                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb]);
+                asm.push(HostInsn::Alu { op: bin_op_of(*op), dst: rd, a: ra, b: rb });
+            }
+            TcgOp::Setcond { cond, dst, a, b } => {
+                let ra = alloc.use_reg(&mut asm, idx, *a, &[]);
+                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb]);
+                asm.push(HostInsn::Cmp { a: ra, b: rb });
+                asm.push(HostInsn::Cset { dst: rd, cond: cond_of(*cond) });
+            }
+            TcgOp::Fence(k) => {
+                // Note: the native oracle reaches here too — its frontend
+                // emits no guest-*ordering* fences, so any fence left in
+                // the IR is the programmer's own (MFENCE → Fsc) and must
+                // be honoured.
+                if let Some(dmb) = k.arm_dmb() {
+                    let d = match dmb {
+                        FenceKind::DmbLd => Dmb::Ld,
+                        FenceKind::DmbSt => Dmb::St,
+                        _ => Dmb::Ff,
+                    };
+                    asm.push(HostInsn::Barrier(d));
+                }
+            }
+            TcgOp::Cas { dst, addr, expect, new } => {
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
+                let re = alloc.use_reg(&mut asm, idx, *expect, &[ra]);
+                let rn = alloc.use_reg(&mut asm, idx, *new, &[ra, re]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, re, rn]);
+                match cfg.rmw {
+                    RmwStyle::Casal => {
+                        // casal rd, rn, [ra] with rd preloaded with expect.
+                        asm.push(HostInsn::MovReg { dst: rd, src: re });
+                        asm.push(HostInsn::Cas { cmp_old: rd, new: rn, addr: ra, acq_rel: true });
+                    }
+                    RmwStyle::Rmw2Fenced => {
+                        // DMBFF; loop: ldxr rd; cmp rd, re; b.ne done;
+                        // stxr status, rn; cbnz loop; done: DMBFF.
+                        let status = Xreg(8); // outside the allocatable pool
+                        let l_loop = asm.fresh_label();
+                        let l_done = asm.fresh_label();
+                        asm.push(HostInsn::Barrier(Dmb::Ff));
+                        asm.bind(l_loop);
+                        asm.push(HostInsn::Ldxr { dst: rd, addr: ra, acquire: false });
+                        asm.push(HostInsn::Cmp { a: rd, b: re });
+                        asm.bcond_to(ACond::Ne, l_done);
+                        asm.push(HostInsn::Stxr { status, src: rn, addr: ra, release: false });
+                        asm.push(HostInsn::CmpImm { a: status, imm: 0 });
+                        asm.bcond_to(ACond::Ne, l_loop);
+                        asm.bind(l_done);
+                        asm.push(HostInsn::Barrier(Dmb::Ff));
+                    }
+                }
+            }
+            TcgOp::AtomicAdd { dst, addr, val } => {
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
+                let rv = alloc.use_reg(&mut asm, idx, *val, &[ra]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rv]);
+                match cfg.rmw {
+                    RmwStyle::Casal => {
+                        asm.push(HostInsn::LdaddAl { old: rd, addend: rv, addr: ra });
+                    }
+                    RmwStyle::Rmw2Fenced => {
+                        let status = Xreg(8);
+                        let tmp = Xreg(7);
+                        let l_loop = asm.fresh_label();
+                        asm.push(HostInsn::Barrier(Dmb::Ff));
+                        asm.bind(l_loop);
+                        asm.push(HostInsn::Ldxr { dst: rd, addr: ra, acquire: false });
+                        asm.push(HostInsn::Alu { op: AOp::Add, dst: tmp, a: rd, b: rv });
+                        asm.push(HostInsn::Stxr { status, src: tmp, addr: ra, release: false });
+                        asm.push(HostInsn::CmpImm { a: status, imm: 0 });
+                        asm.bcond_to(ACond::Ne, l_loop);
+                        asm.push(HostInsn::Barrier(Dmb::Ff));
+                    }
+                }
+            }
+            TcgOp::CallHelper { helper, args, ret } => {
+                if cfg.hardware_fp {
+                    if let Some(fp) = fp_op_of(*helper) {
+                        let ra = alloc.use_reg(&mut asm, idx, args[0], &[]);
+                        let rb = alloc.use_reg(&mut asm, idx, args[1], &[ra]);
+                        if let Some(r) = ret {
+                            let rd = alloc.def_reg(&mut asm, idx, *r, &[ra, rb]);
+                            asm.push(HostInsn::Fp { op: fp, dst: rd, a: ra, b: rb });
+                        }
+                        continue;
+                    }
+                }
+                // Marshal args into X0..; call; move result out.
+                for (i, a) in args.iter().enumerate() {
+                    let ra = alloc.use_reg(&mut asm, idx, *a, &[]);
+                    asm.push(HostInsn::MovReg { dst: Xreg(i as u8), src: ra });
+                }
+                asm.push(HostInsn::Hcall { helper: helper_index(*helper) });
+                if let Some(r) = ret {
+                    let rd = alloc.def_reg(&mut asm, idx, *r, &[]);
+                    asm.push(HostInsn::MovReg { dst: rd, src: Xreg(0) });
+                }
+            }
+        }
+    }
+
+    // Exit.
+    let exit_idx = block.ops.len();
+    alloc.free_dead(exit_idx);
+    match &block.exit {
+        TbExit::Jump(pc) => {
+            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *pc }));
+        }
+        TbExit::JumpReg(t) => {
+            let r = alloc.use_reg(&mut asm, exit_idx, *t, &[]);
+            asm.push(HostInsn::ExitTb(TbExitKind::JumpReg { reg: r }));
+        }
+        TbExit::CondJump { flag, taken, fallthrough } => {
+            let r = alloc.use_reg(&mut asm, exit_idx, *flag, &[]);
+            let l_taken = asm.fresh_label();
+            asm.push(HostInsn::CmpImm { a: r, imm: 0 });
+            asm.bcond_to(ACond::Ne, l_taken);
+            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *fallthrough }));
+            asm.bind(l_taken);
+            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *taken }));
+        }
+        TbExit::Halt => asm.push(HostInsn::ExitTb(TbExitKind::Halt)),
+        TbExit::Syscall { next } => {
+            asm.push(HostInsn::ExitTb(TbExitKind::Syscall { next: *next }));
+        }
+    }
+    asm.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risotto_tcg::{FrontendConfig, OptPolicy};
+
+    fn lower_snippet(
+        f: impl FnOnce(&mut risotto_guest_x86::Assembler),
+        fe: FrontendConfig,
+        be: BackendConfig,
+        opt: bool,
+    ) -> Vec<HostInsn> {
+        let mut a = risotto_guest_x86::Assembler::new(0x1000);
+        f(&mut a);
+        let (bytes, _) = a.finish().unwrap();
+        let fetch = move |addr: u64| {
+            let mut w = [0u8; 16];
+            let off = (addr - 0x1000) as usize;
+            for i in 0..16 {
+                w[i] = bytes.get(off + i).copied().unwrap_or(0);
+            }
+            w
+        };
+        let mut block = risotto_tcg::translate_block(0x1000, fe, fetch).unwrap();
+        if opt {
+            risotto_tcg::optimize(&mut block, OptPolicy::Verified);
+        }
+        lower_block(&block, be)
+    }
+
+    #[test]
+    fn load_store_lowering_matches_fig7c() {
+        use risotto_guest_x86::Gpr;
+        // Verified: LDR; DMBLD … DMBST; STR.
+        let code = lower_snippet(
+            |a| {
+                a.load(Gpr::RAX, Gpr::RDI, 0);
+                a.store(Gpr::RSI, 0, Gpr::RAX);
+                a.hlt();
+            },
+            FrontendConfig::tcg_ver(),
+            BackendConfig::dbt(RmwStyle::Rmw2Fenced),
+            false,
+        );
+        let dmb_ld = code.iter().filter(|i| matches!(i, HostInsn::Barrier(Dmb::Ld))).count();
+        let dmb_st = code.iter().filter(|i| matches!(i, HostInsn::Barrier(Dmb::St))).count();
+        assert_eq!(dmb_ld, 1);
+        assert_eq!(dmb_st, 1);
+    }
+
+    #[test]
+    fn qemu_lowering_matches_fig2() {
+        use risotto_guest_x86::Gpr;
+        // Qemu (Fig. 2): RMOV → DMBLD; LDR and WMOV → DMBFF; STR.
+        let code = lower_snippet(
+            |a| {
+                a.load(Gpr::RAX, Gpr::RDI, 0);
+                a.store(Gpr::RSI, 0, Gpr::RAX);
+                a.hlt();
+            },
+            FrontendConfig::qemu(),
+            BackendConfig::dbt(RmwStyle::Rmw2Fenced),
+            false,
+        );
+        let dmb_ff = code.iter().filter(|i| matches!(i, HostInsn::Barrier(Dmb::Ff))).count();
+        let dmb_ld = code.iter().filter(|i| matches!(i, HostInsn::Barrier(Dmb::Ld))).count();
+        assert_eq!(dmb_ff, 1);
+        assert_eq!(dmb_ld, 1);
+    }
+
+    #[test]
+    fn cas_lowers_to_casal_or_fenced_loop() {
+        use risotto_guest_x86::Gpr;
+        let snippet = |a: &mut risotto_guest_x86::Assembler| {
+            a.cmpxchg(Gpr::RDI, 0, Gpr::RSI);
+            a.hlt();
+        };
+        let casal = lower_snippet(
+            snippet,
+            FrontendConfig::risotto(),
+            BackendConfig::dbt(RmwStyle::Casal),
+            false,
+        );
+        assert!(casal.iter().any(|i| matches!(i, HostInsn::Cas { acq_rel: true, .. })));
+        assert!(!casal.iter().any(|i| matches!(i, HostInsn::Ldxr { .. })));
+
+        let loop_ = lower_snippet(
+            snippet,
+            FrontendConfig::risotto(),
+            BackendConfig::dbt(RmwStyle::Rmw2Fenced),
+            false,
+        );
+        assert!(loop_.iter().any(|i| matches!(i, HostInsn::Ldxr { .. })));
+        let ffs = loop_.iter().filter(|i| matches!(i, HostInsn::Barrier(Dmb::Ff))).count();
+        assert!(ffs >= 2, "RMW2 lowering needs bracketing DMBFFs");
+    }
+
+    #[test]
+    fn helper_cas_becomes_hcall() {
+        use risotto_guest_x86::Gpr;
+        let code = lower_snippet(
+            |a| {
+                a.cmpxchg(Gpr::RDI, 0, Gpr::RSI);
+                a.hlt();
+            },
+            FrontendConfig::qemu(),
+            BackendConfig::dbt(RmwStyle::Casal),
+            false,
+        );
+        assert!(code.iter().any(|i| matches!(i, HostInsn::Hcall { helper: 0 })));
+        assert!(!code.iter().any(|i| matches!(i, HostInsn::Cas { .. })));
+    }
+
+    #[test]
+    fn native_mode_uses_hardware_fp_and_no_fences() {
+        use risotto_guest_x86::{FpOp, Gpr};
+        let code = lower_snippet(
+            |a| {
+                a.load(Gpr::RAX, Gpr::RDI, 0);
+                a.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
+                a.store(Gpr::RDI, 0, Gpr::RAX);
+                a.hlt();
+            },
+            // The engine pairs the native backend with the fence-free
+            // frontend: ordering comes from the programmer's own fences.
+            FrontendConfig::no_fences(),
+            BackendConfig::native(),
+            false,
+        );
+        assert!(code.iter().any(|i| matches!(i, HostInsn::Fp { .. })));
+        assert!(!code.iter().any(|i| matches!(i, HostInsn::Hcall { .. })));
+        assert!(
+            !code.iter().any(|i| matches!(i, HostInsn::Barrier(_))),
+            "no mapping-inserted fences in native mode"
+        );
+        // No env traffic either: loads/stores only for guest data.
+        assert!(!code
+            .iter()
+            .any(|i| matches!(i, HostInsn::Ldr { base, .. } if *base == ENV_BASE)));
+    }
+
+    #[test]
+    fn label_fixups_resolve() {
+        let mut asm = HostAsm::new();
+        let l = asm.fresh_label();
+        asm.push(HostInsn::MovImm { dst: Xreg(0), imm: 1 });
+        asm.bcond_to(ACond::Eq, l);
+        asm.push(HostInsn::Nop);
+        asm.push(HostInsn::Nop);
+        asm.bind(l);
+        asm.push(HostInsn::Hlt);
+        let code = asm.finish();
+        match code[1] {
+            HostInsn::BCond { rel, .. } => assert_eq!(rel, 2, "skip two 1-byte nops"),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_pressure_spills_and_reloads() {
+        // A block with >18 simultaneously live temps: force spilling.
+        let mut block = TcgBlock {
+            guest_pc: 0,
+            guest_len: 0,
+            ops: vec![],
+            exit: TbExit::Halt,
+            n_temps: 0,
+        };
+        let mut temps = Vec::new();
+        for i in 0..24 {
+            let t = block.new_temp();
+            block.ops.push(TcgOp::MovI { dst: t, val: i as u64 });
+            temps.push(t);
+        }
+        // Use them all afterwards so they stay live.
+        for pair in temps.chunks(2) {
+            if let [a, b] = pair {
+                let d = block.new_temp();
+                block.ops.push(TcgOp::Bin { op: BinOp::Add, dst: d, a: *a, b: *b });
+                block.ops.push(TcgOp::SetReg { reg: 0, src: d });
+            }
+        }
+        let code = lower_block(&block, BackendConfig::dbt(RmwStyle::Casal));
+        let spls = code
+            .iter()
+            .filter(|i| matches!(i, HostInsn::Str { base, .. } if *base == SPILL_BASE))
+            .count();
+        let rlds = code
+            .iter()
+            .filter(|i| matches!(i, HostInsn::Ldr { base, .. } if *base == SPILL_BASE))
+            .count();
+        assert!(spls > 0 && rlds > 0, "expected spill traffic ({spls} spills, {rlds} reloads)");
+    }
+}

@@ -1,0 +1,1080 @@
+//! The multi-core weak-memory host machine simulator.
+//!
+//! Cores execute MiniArm code from a shared code cache against shared
+//! memory, with per-core FIFO *store buffers* (stores become globally
+//! visible when drained; loads forward from the own buffer), per-core
+//! exclusive monitors for `LDXR`/`STXR`, and a calibrated cycle-cost
+//! model. Scheduling is discrete-event: the core with the smallest local
+//! clock runs next, so the reported runtime is the maximum core clock —
+//! a parallel-execution time.
+//!
+//! Operationally the machine is TSO-like (store buffering only). The
+//! *additional* Arm weakness (load-load reordering etc.) is covered
+//! exactly by the axiomatic layer (`risotto-memmodel`/`risotto-litmus`);
+//! see DESIGN.md §10. Fences, acquire/release and atomics still have
+//! their architectural *costs* and their buffer-drain semantics here.
+
+use crate::cost::CostModel;
+use crate::insn::{AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg};
+#[cfg(test)]
+use crate::insn::ACond;
+use risotto_guest_x86::SparseMem;
+use std::collections::{HashMap, VecDeque};
+
+/// Base address where translated host code lives (outside guest ranges).
+pub const CODE_BASE: u64 = 0x4000_0000;
+
+/// Store-buffer capacity per core.
+const STORE_BUFFER_CAP: usize = 16;
+/// Age (cycles) after which a buffered store drains on its own.
+const DRAIN_AGE: u64 = 96;
+
+/// A result returned by a registered native host function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeResult {
+    /// Return value (goes to X0).
+    pub ret: u64,
+    /// Cycles charged for the native execution.
+    pub cost: u64,
+}
+
+/// A native host library function: receives shared memory and the six
+/// argument registers.
+pub type NativeFn = Box<dyn FnMut(&mut SparseMem, &[u64; 6]) -> NativeResult>;
+
+/// Events that suspend the machine back to the DBT engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Every started core has halted.
+    AllHalted,
+    /// A TB exit targeted a guest pc with no installed translation; the
+    /// engine must translate and [`Machine::map_tb`] it, then resume.
+    TranslationMiss {
+        /// Core that missed.
+        core: usize,
+        /// Guest pc needing translation.
+        guest_pc: u64,
+    },
+    /// A guest syscall; the engine services it and redirects the core.
+    GuestSyscall {
+        /// Core performing the syscall.
+        core: usize,
+        /// Guest pc following the syscall.
+        next: u64,
+    },
+    /// The global step budget was exhausted (runaway guest).
+    OutOfFuel,
+}
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions executed.
+    pub insns: u64,
+    /// `DMB` barriers executed, by kind (LD, ST, FF).
+    pub dmb: [u64; 3],
+    /// Atomic RMW instructions executed.
+    pub atomics: u64,
+    /// Helper calls.
+    pub helper_calls: u64,
+    /// Native library calls.
+    pub native_calls: u64,
+    /// Cycles attributed to barriers.
+    pub fence_cycles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Core {
+    regs: [u64; Xreg::COUNT],
+    nzcv: Nzcv,
+    pc: u64,
+    cycles: u64,
+    halted: bool,
+    started: bool,
+    store_buffer: VecDeque<(u64, u64, u64)>, // (addr, value, insert_cycle)
+    monitor: Option<u64>,
+    stats: CoreStats,
+    /// Per-core deterministic jitter stream: real machines have timing
+    /// noise that breaks the phase-lock a discrete-event simulator
+    /// otherwise falls into on contended atomics.
+    jitter: u64,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            regs: [0; Xreg::COUNT],
+            nzcv: Nzcv::default(),
+            pc: 0,
+            cycles: 0,
+            halted: true,
+            started: false,
+            store_buffer: VecDeque::new(),
+            monitor: None,
+            stats: CoreStats::default(),
+            jitter: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Next jitter value in 0..16 (xorshift, seeded per construction and
+    /// perturbed by the core's own execution history).
+    fn next_jitter(&mut self) -> u64 {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        self.jitter & 15
+    }
+
+    fn get(&self, r: Xreg) -> u64 {
+        if r.0 == 31 {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set(&mut self, r: Xreg, v: u64) {
+        if r.0 != 31 {
+            self.regs[r.index()] = v;
+        }
+    }
+}
+
+/// The host machine.
+pub struct Machine {
+    /// Shared memory (guest address space + runtime areas).
+    pub mem: SparseMem,
+    cores: Vec<Core>,
+    code: Vec<u8>,
+    decode_cache: HashMap<u64, (HostInsn, u16)>,
+    tb_map: HashMap<u64, u64>,
+    natives: Vec<NativeFn>,
+    cost: CostModel,
+    /// Recent RMW sites for the contention model: addr → (cycle, core).
+    rmw_history: HashMap<u64, Vec<(u64, usize)>>,
+    total_steps: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("code_bytes", &self.code.len())
+            .field("tbs", &self.tb_map.len())
+            .field("natives", &self.natives.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with `n_cores` (all idle) and a cost model.
+    pub fn new(n_cores: usize, cost: CostModel) -> Machine {
+        Machine {
+            mem: SparseMem::new(),
+            cores: (0..n_cores)
+                .map(|i| {
+                    let mut c = Core::new();
+                    c.jitter = c.jitter.wrapping_mul(i as u64 * 2 + 1);
+                    c
+                })
+                .collect(),
+            code: Vec::new(),
+            decode_cache: HashMap::new(),
+            tb_map: HashMap::new(),
+            natives: Vec::new(),
+            cost,
+            rmw_history: HashMap::new(),
+            total_steps: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Installs encoded host instructions; returns their start address.
+    pub fn install_code(&mut self, insns: &[HostInsn]) -> u64 {
+        let addr = CODE_BASE + self.code.len() as u64;
+        for i in insns {
+            i.encode(&mut self.code);
+        }
+        addr
+    }
+
+    /// Total bytes of installed host code (code-cache footprint).
+    pub fn code_size(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Registers a translation: guest pc → host code address.
+    pub fn map_tb(&mut self, guest_pc: u64, host_pc: u64) {
+        self.tb_map.insert(guest_pc, host_pc);
+    }
+
+    /// Looks up a translation.
+    pub fn lookup_tb(&self, guest_pc: u64) -> Option<u64> {
+        self.tb_map.get(&guest_pc).copied()
+    }
+
+    /// Registers a native host function; returns its index for
+    /// [`HostInsn::NativeCall`].
+    pub fn register_native(&mut self, f: NativeFn) -> u16 {
+        self.natives.push(f);
+        (self.natives.len() - 1) as u16
+    }
+
+    /// Starts (or restarts) a core at a host code address.
+    pub fn start_core(&mut self, core: usize, host_pc: u64) {
+        let c = &mut self.cores[core];
+        c.pc = host_pc;
+        c.halted = false;
+        c.started = true;
+    }
+
+    /// Sets a core register (engine use: env pointers, arguments).
+    pub fn set_reg(&mut self, core: usize, r: Xreg, v: u64) {
+        self.cores[core].set(r, v);
+    }
+
+    /// Reads a core register.
+    pub fn reg(&self, core: usize, r: Xreg) -> u64 {
+        self.cores[core].get(r)
+    }
+
+    /// Redirects a core to another host pc (engine use after servicing an
+    /// event).
+    pub fn set_pc(&mut self, core: usize, host_pc: u64) {
+        self.cores[core].pc = host_pc;
+    }
+
+    /// Halts a core (engine use: guest thread exit).
+    pub fn halt_core(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        Self::drain_all_of(&mut c.store_buffer, &mut self.mem);
+        c.halted = true;
+    }
+
+    /// `true` if the core has halted.
+    pub fn core_halted(&self, core: usize) -> bool {
+        self.cores[core].halted
+    }
+
+    /// An idle core index (never started), if any.
+    pub fn idle_core(&self) -> Option<usize> {
+        self.cores.iter().position(|c| !c.started)
+    }
+
+    /// The core's local clock.
+    pub fn core_cycles(&self, core: usize) -> u64 {
+        self.cores[core].cycles
+    }
+
+    /// Advances a core's clock without executing (engine use: model a
+    /// blocked wait, e.g. a guest `join` retry).
+    pub fn add_cycles(&mut self, core: usize, cycles: u64) {
+        self.cores[core].cycles += cycles;
+    }
+
+    /// Total executed machine steps across all cores.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// The machine clock: max over started cores (parallel runtime).
+    pub fn clock(&self) -> u64 {
+        self.cores.iter().filter(|c| c.started).map(|c| c.cycles).max().unwrap_or(0)
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self, core: usize) -> CoreStats {
+        self.cores[core].stats
+    }
+
+    /// Aggregated statistics over all cores.
+    pub fn total_stats(&self) -> CoreStats {
+        let mut t = CoreStats::default();
+        for c in &self.cores {
+            t.insns += c.stats.insns;
+            for i in 0..3 {
+                t.dmb[i] += c.stats.dmb[i];
+            }
+            t.atomics += c.stats.atomics;
+            t.helper_calls += c.stats.helper_calls;
+            t.native_calls += c.stats.native_calls;
+            t.fence_cycles += c.stats.fence_cycles;
+        }
+        t
+    }
+
+    fn drain_all_of(buf: &mut VecDeque<(u64, u64, u64)>, mem: &mut SparseMem) {
+        while let Some((a, v, _)) = buf.pop_front() {
+            mem.write_u64(a, v);
+        }
+    }
+
+    fn drain_all(&mut self, core: usize) {
+        while let Some((a, v, _)) = self.cores[core].store_buffer.pop_front() {
+            self.mem.write_u64(a, v);
+            Self::invalidate_monitors(&mut self.cores, core, a);
+        }
+    }
+
+    fn drain_aged(&mut self, core: usize) {
+        let now = self.cores[core].cycles;
+        while let Some(&(a, v, t)) = self.cores[core].store_buffer.front() {
+            if now.saturating_sub(t) < DRAIN_AGE
+                && self.cores[core].store_buffer.len() <= STORE_BUFFER_CAP
+            {
+                break;
+            }
+            self.cores[core].store_buffer.pop_front();
+            self.mem.write_u64(a, v);
+            Self::invalidate_monitors(&mut self.cores, core, a);
+        }
+    }
+
+    fn invalidate_monitors(cores: &mut [Core], writer: usize, addr: u64) {
+        for (i, c) in cores.iter_mut().enumerate() {
+            if i != writer && c.monitor == Some(addr) {
+                c.monitor = None;
+            }
+        }
+    }
+
+    /// Reads for core `core`: forwards from its own store buffer, else
+    /// global memory.
+    fn read_for(&self, core: usize, addr: u64) -> u64 {
+        let c = &self.cores[core];
+        for &(a, v, _) in c.store_buffer.iter().rev() {
+            if a == addr {
+                return v;
+            }
+            // Overlapping-but-unequal: conservative callers drain first.
+        }
+        self.mem.read_u64(addr)
+    }
+
+    fn buffered_overlap(&self, core: usize, addr: u64) -> bool {
+        self.cores[core]
+            .store_buffer
+            .iter()
+            .any(|&(a, _, _)| a != addr && a.abs_diff(addr) < 8)
+    }
+
+    /// Cycle cost of an exclusive/atomic access to `addr`: `base` plus the
+    /// cache-line ping-pong penalty per recently contending core plus a
+    /// little seeded jitter. The penalty is physical (line ownership), so
+    /// it applies to `casal`/`ldaddal`, helper atomics *and* `ldxr`.
+    fn atomic_cost(&mut self, core: usize, addr: u64, base: u64) -> u64 {
+        let now = self.cores[core].cycles;
+        let window = self.cost.contend_window;
+        let hist = self.rmw_history.entry(addr & !7).or_default();
+        hist.retain(|&(t, _)| now.saturating_sub(t) <= window);
+        let others: std::collections::HashSet<usize> =
+            hist.iter().filter(|&&(_, c)| c != core).map(|&(_, c)| c).collect();
+        hist.push((now, core));
+        let jitter = self.cores[core].next_jitter();
+        base + self.cost.atomic_contend * others.len() as u64 + jitter
+    }
+
+    /// Runs until an [`Event`] occurs, executing at most `fuel` steps.
+    pub fn run(&mut self, fuel: u64) -> Event {
+        let mut budget = fuel;
+        loop {
+            // Pick the runnable core with the smallest clock.
+            let mut pick: Option<usize> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.started
+                    && !c.halted
+                    && pick.is_none_or(|p| c.cycles < self.cores[p].cycles)
+                {
+                    pick = Some(i);
+                }
+            }
+            let core = match pick {
+                Some(c) => c,
+                None => return Event::AllHalted,
+            };
+            if budget == 0 {
+                return Event::OutOfFuel;
+            }
+            budget -= 1;
+            if let Some(ev) = self.step(core) {
+                return ev;
+            }
+        }
+    }
+
+    /// Decodes (with caching) at a host pc.
+    fn fetch(&mut self, pc: u64) -> (HostInsn, u16) {
+        if let Some(&hit) = self.decode_cache.get(&pc) {
+            return hit;
+        }
+        let off = (pc - CODE_BASE) as usize;
+        let (insn, len) = HostInsn::decode(&self.code[off..])
+            .unwrap_or_else(|e| panic!("host decode fault at {pc:#x}: {e}"));
+        let entry = (insn, len as u16);
+        self.decode_cache.insert(pc, entry);
+        entry
+    }
+
+    /// Executes one instruction on `core`; returns an event if the machine
+    /// must suspend.
+    fn step(&mut self, core: usize) -> Option<Event> {
+        self.total_steps += 1;
+        self.drain_aged(core);
+        let pc = self.cores[core].pc;
+        let (insn, len) = self.fetch(pc);
+        let next = pc + len as u64;
+        let cost = &{ self.cost };
+        {
+            let c = &mut self.cores[core];
+            c.pc = next;
+            c.stats.insns += 1;
+        }
+        use HostInsn::*;
+        match insn {
+            MovImm { dst, imm } => {
+                self.cores[core].set(dst, imm);
+                self.cores[core].cycles += cost.alu;
+            }
+            MovReg { dst, src } => {
+                let v = self.cores[core].get(src);
+                self.cores[core].set(dst, v);
+                self.cores[core].cycles += cost.alu;
+            }
+            Ldr { dst, base, off, order } => {
+                let addr = self.cores[core].get(base).wrapping_add(off as i64 as u64);
+                if self.buffered_overlap(core, addr) {
+                    self.drain_all(core);
+                }
+                let v = self.read_for(core, addr);
+                self.cores[core].set(dst, v);
+                self.cores[core].cycles += cost.load
+                    + if order == MemOrder::Plain { 0 } else { cost.acq_rel_extra };
+            }
+            Str { src, base, off, order } => {
+                let addr = self.cores[core].get(base).wrapping_add(off as i64 as u64);
+                let v = self.cores[core].get(src);
+                if self.buffered_overlap(core, addr) {
+                    self.drain_all(core);
+                }
+                // All stores go through the FIFO buffer; its order already
+                // gives release stores their prior-store ordering (the
+                // machine never delays loads), so `stlr` needs no drain —
+                // only its extra latency.
+                if order != MemOrder::Plain {
+                    self.cores[core].cycles += cost.acq_rel_extra;
+                }
+                let cyc = self.cores[core].cycles;
+                self.cores[core].store_buffer.push_back((addr, v, cyc));
+                self.cores[core].cycles += cost.store;
+            }
+            LdrB { dst, base, off } => {
+                let addr = self.cores[core].get(base).wrapping_add(off as i64 as u64);
+                // Byte loads bypass the (u64-granular) store buffer: drain
+                // any overlapping entries first.
+                if self.cores[core].store_buffer.iter().any(|&(a, _, _)| a.abs_diff(addr) < 8) {
+                    self.drain_all(core);
+                }
+                let v = self.mem.read_u8(addr) as u64;
+                self.cores[core].set(dst, v);
+                self.cores[core].cycles += cost.load;
+            }
+            StrB { src, base, off } => {
+                let addr = self.cores[core].get(base).wrapping_add(off as i64 as u64);
+                let v = self.cores[core].get(src) as u8;
+                self.drain_all(core);
+                self.mem.write_u8(addr, v);
+                Self::invalidate_monitors(&mut self.cores, core, addr & !7);
+                self.cores[core].cycles += cost.store;
+            }
+            Ldxr { dst, addr, acquire } => {
+                let a = self.cores[core].get(addr);
+                self.drain_all(core);
+                let v = self.mem.read_u64(a);
+                self.cores[core].set(dst, v);
+                self.cores[core].monitor = Some(a);
+                // Taking the line exclusively pays the same ping-pong
+                // penalty as a single-instruction atomic.
+                let ac = self.atomic_cost(core, a, cost.exclusive);
+                self.cores[core].cycles += ac + if acquire { cost.acq_rel_extra } else { 0 };
+            }
+            Stxr { status, src, addr, release } => {
+                let a = self.cores[core].get(addr);
+                let v = self.cores[core].get(src);
+                self.drain_all(core);
+                let ok = self.cores[core].monitor == Some(a);
+                self.cores[core].monitor = None;
+                if ok {
+                    self.mem.write_u64(a, v);
+                    Self::invalidate_monitors(&mut self.cores, core, a);
+                }
+                self.cores[core].set(status, if ok { 0 } else { 1 });
+                self.cores[core].stats.atomics += 1;
+                self.cores[core].cycles +=
+                    cost.exclusive + if release { cost.acq_rel_extra } else { 0 };
+            }
+            Cas { cmp_old, new, addr, acq_rel } => {
+                let a = self.cores[core].get(addr);
+                self.drain_all(core);
+                let expected = self.cores[core].get(cmp_old);
+                let newv = self.cores[core].get(new);
+                let old = self.mem.read_u64(a);
+                if old == expected {
+                    self.mem.write_u64(a, newv);
+                    Self::invalidate_monitors(&mut self.cores, core, a);
+                }
+                self.cores[core].set(cmp_old, old);
+                self.cores[core].stats.atomics += 1;
+                let extra = if acq_rel { cost.acq_rel_extra } else { 0 };
+                let ac = self.atomic_cost(core, a, cost.atomic);
+                self.cores[core].cycles += ac + extra;
+            }
+            LdaddAl { old, addend, addr } => {
+                let a = self.cores[core].get(addr);
+                self.drain_all(core);
+                let add = self.cores[core].get(addend);
+                let prev = self.mem.read_u64(a);
+                self.mem.write_u64(a, prev.wrapping_add(add));
+                Self::invalidate_monitors(&mut self.cores, core, a);
+                self.cores[core].set(old, prev);
+                self.cores[core].stats.atomics += 1;
+                let ac = self.atomic_cost(core, a, cost.atomic);
+                self.cores[core].cycles += ac;
+            }
+            Barrier(d) => {
+                // Only the full barrier needs a drain: it orders prior
+                // writes against later *reads*. `DMB ST` (write→write) is
+                // free ordering under a FIFO buffer, and `DMB LD` orders
+                // loads, which this machine never delays.
+                match d {
+                    Dmb::Ff => self.drain_all(core),
+                    Dmb::Ld | Dmb::St => {}
+                }
+                let c = &mut self.cores[core];
+                let cyc = match d {
+                    Dmb::Ld => cost.dmb_ld,
+                    Dmb::St => cost.dmb_st,
+                    Dmb::Ff => cost.dmb_ff,
+                };
+                c.stats.dmb[d as usize] += 1;
+                c.stats.fence_cycles += cyc;
+                c.cycles += cyc;
+            }
+            Alu { op, dst, a, b } => {
+                let c = &mut self.cores[core];
+                let r = op.apply(c.get(a), c.get(b));
+                c.set(dst, r);
+                c.cycles += match op {
+                    AOp::Mul => cost.mul,
+                    AOp::Udiv | AOp::Urem => cost.div,
+                    _ => cost.alu,
+                };
+            }
+            AluImm { op, dst, a, imm } => {
+                let c = &mut self.cores[core];
+                let r = op.apply(c.get(a), imm);
+                c.set(dst, r);
+                c.cycles += match op {
+                    AOp::Mul => cost.mul,
+                    AOp::Udiv | AOp::Urem => cost.div,
+                    _ => cost.alu,
+                };
+            }
+            Cmp { a, b } => {
+                let c = &mut self.cores[core];
+                c.nzcv = Nzcv::from_cmp(c.get(a), c.get(b));
+                c.cycles += cost.alu;
+            }
+            CmpImm { a, imm } => {
+                let c = &mut self.cores[core];
+                c.nzcv = Nzcv::from_cmp(c.get(a), imm);
+                c.cycles += cost.alu;
+            }
+            Cset { dst, cond } => {
+                let c = &mut self.cores[core];
+                let v = cond.eval(c.nzcv) as u64;
+                c.set(dst, v);
+                c.cycles += cost.alu;
+            }
+            Fp { op, dst, a, b } => {
+                let c = &mut self.cores[core];
+                let r = op.apply(c.get(a), c.get(b));
+                c.set(dst, r);
+                c.cycles += cost.hardfloat;
+            }
+            BCond { cond, rel } => {
+                let c = &mut self.cores[core];
+                if cond.eval(c.nzcv) {
+                    c.pc = next.wrapping_add(rel as i64 as u64);
+                }
+                c.cycles += cost.branch;
+            }
+            B { rel } => {
+                let c = &mut self.cores[core];
+                c.pc = next.wrapping_add(rel as i64 as u64);
+                c.cycles += cost.branch;
+            }
+            Br { reg } => {
+                let c = &mut self.cores[core];
+                c.pc = c.get(reg);
+                c.cycles += cost.branch;
+            }
+            Bl { rel } => {
+                let c = &mut self.cores[core];
+                c.set(Xreg::LR, next);
+                c.pc = next.wrapping_add(rel as i64 as u64);
+                c.cycles += cost.call;
+            }
+            Blr { reg } => {
+                let c = &mut self.cores[core];
+                c.set(Xreg::LR, next);
+                c.pc = c.get(reg);
+                c.cycles += cost.call;
+            }
+            Ret => {
+                let c = &mut self.cores[core];
+                c.pc = c.get(Xreg::LR);
+                c.cycles += cost.call;
+            }
+            Hcall { helper } => {
+                self.exec_helper(core, helper);
+            }
+            NativeCall { func } => {
+                let args = [
+                    self.cores[core].get(Xreg(0)),
+                    self.cores[core].get(Xreg(1)),
+                    self.cores[core].get(Xreg(2)),
+                    self.cores[core].get(Xreg(3)),
+                    self.cores[core].get(Xreg(4)),
+                    self.cores[core].get(Xreg(5)),
+                ];
+                // Native code runs with the host's own ordering; it
+                // synchronizes through its ABI boundary — drain first.
+                self.drain_all(core);
+                let f = &mut self.natives[func as usize];
+                let res = f(&mut self.mem, &args);
+                self.cores[core].set(Xreg(0), res.ret);
+                self.cores[core].stats.native_calls += 1;
+                self.cores[core].cycles += res.cost + cost.call;
+            }
+            ExitTb(kind) => {
+                return self.exit_tb(core, pc, kind);
+            }
+            Hlt => {
+                self.drain_all(core);
+                self.cores[core].halted = true;
+            }
+            Nop => self.cores[core].cycles += cost.alu,
+        }
+        None
+    }
+
+    fn exec_helper(&mut self, core: usize, helper: u8) {
+        // Helper indices mirror risotto_tcg::Helper declaration order.
+        let cost = self.cost;
+        self.cores[core].stats.helper_calls += 1;
+        self.cores[core].cycles += cost.helper_overhead;
+        let a0 = self.cores[core].get(Xreg(0));
+        let a1 = self.cores[core].get(Xreg(1));
+        let a2 = self.cores[core].get(Xreg(2));
+        let ret = match helper {
+            0 => {
+                // CmpxchgSc(addr, expected, new) — GCC builtin: casal.
+                self.drain_all(core);
+                let old = self.mem.read_u64(a0);
+                if old == a1 {
+                    self.mem.write_u64(a0, a2);
+                    Self::invalidate_monitors(&mut self.cores, core, a0);
+                }
+                self.cores[core].stats.atomics += 1;
+                let ac = self.atomic_cost(core, a0, cost.atomic);
+                self.cores[core].cycles += ac;
+                old
+            }
+            1 => {
+                // XaddSc(addr, addend).
+                self.drain_all(core);
+                let old = self.mem.read_u64(a0);
+                self.mem.write_u64(a0, old.wrapping_add(a1));
+                Self::invalidate_monitors(&mut self.cores, core, a0);
+                self.cores[core].stats.atomics += 1;
+                let ac = self.atomic_cost(core, a0, cost.atomic);
+                self.cores[core].cycles += ac;
+                old
+            }
+            // Soft-float helpers: integer emulation of f64 arithmetic.
+            2 => {
+                self.cores[core].cycles += cost.softfloat;
+                (f64::from_bits(a0) + f64::from_bits(a1)).to_bits()
+            }
+            3 => {
+                self.cores[core].cycles += cost.softfloat;
+                (f64::from_bits(a0) - f64::from_bits(a1)).to_bits()
+            }
+            4 => {
+                self.cores[core].cycles += cost.softfloat;
+                (f64::from_bits(a0) * f64::from_bits(a1)).to_bits()
+            }
+            5 => {
+                self.cores[core].cycles += cost.softfloat;
+                (f64::from_bits(a0) / f64::from_bits(a1)).to_bits()
+            }
+            6 => {
+                self.cores[core].cycles += cost.softfloat * 2;
+                f64::from_bits(a1).sqrt().to_bits()
+            }
+            7 => {
+                self.cores[core].cycles += cost.softfloat;
+                ((a1 as i64) as f64).to_bits()
+            }
+            8 => {
+                self.cores[core].cycles += cost.softfloat;
+                (f64::from_bits(a1) as i64) as u64
+            }
+            other => panic!("unknown helper {other}"),
+        };
+        self.cores[core].set(Xreg(0), ret);
+    }
+
+    fn exit_tb(&mut self, core: usize, pc: u64, kind: TbExitKind) -> Option<Event> {
+        let cost = self.cost;
+        match kind {
+            TbExitKind::Halt => {
+                self.drain_all(core);
+                self.cores[core].halted = true;
+                None
+            }
+            TbExitKind::Syscall { next } => {
+                self.drain_all(core);
+                // Stay on this instruction; the engine redirects the pc.
+                self.cores[core].pc = pc;
+                Some(Event::GuestSyscall { core, next })
+            }
+            TbExitKind::Jump { guest_pc } => match self.tb_map.get(&guest_pc) {
+                Some(&host) => {
+                    self.cores[core].pc = host;
+                    self.cores[core].cycles += cost.tb_chain;
+                    None
+                }
+                None => {
+                    self.cores[core].pc = pc;
+                    Some(Event::TranslationMiss { core, guest_pc })
+                }
+            },
+            TbExitKind::JumpReg { reg } => {
+                let guest_pc = self.cores[core].get(reg);
+                match self.tb_map.get(&guest_pc) {
+                    Some(&host) => {
+                        self.cores[core].pc = host;
+                        self.cores[core].cycles += cost.tb_chain;
+                        None
+                    }
+                    None => {
+                        self.cores[core].pc = pc;
+                        Some(Event::TranslationMiss { core, guest_pc })
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with(insns: &[HostInsn]) -> (Machine, u64) {
+        let mut m = Machine::new(2, CostModel::uniform());
+        let addr = m.install_code(insns);
+        (m, addr)
+    }
+
+    #[test]
+    fn straight_line_execution() {
+        use HostInsn::*;
+        let (mut m, a) = machine_with(&[
+            MovImm { dst: Xreg(0), imm: 6 },
+            MovImm { dst: Xreg(1), imm: 7 },
+            Alu { op: AOp::Mul, dst: Xreg(2), a: Xreg(0), b: Xreg(1) },
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(2)), 42);
+        assert_eq!(m.stats(0).insns, 4);
+    }
+
+    #[test]
+    fn store_buffer_forwards_and_drains_on_dmb() {
+        use HostInsn::*;
+        let (mut m, a) = machine_with(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(2), imm: 99 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            // Own load sees the buffered store (forwarding).
+            Ldr { dst: Xreg(3), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            Barrier(Dmb::Ff),
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        m.run(100);
+        assert_eq!(m.reg(0, Xreg(3)), 99);
+        assert_eq!(m.mem.read_u64(0x5000), 99, "DMB FF drained the buffer");
+        assert_eq!(m.stats(0).dmb[Dmb::Ff as usize], 1);
+    }
+
+    #[test]
+    fn store_buffering_is_visible_across_cores() {
+        // Core 0 buffers a store; before any drain, core 1 still reads 0.
+        use HostInsn::*;
+        let mut m = Machine::new(2, CostModel::uniform());
+        let w = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(2), imm: 1 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            // Read the *other* location immediately: SB-style.
+            MovImm { dst: Xreg(3), imm: 0x6000 },
+            Ldr { dst: Xreg(4), base: Xreg(3), off: 0, order: MemOrder::Plain },
+            Hlt,
+        ]);
+        let r = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x6000 },
+            MovImm { dst: Xreg(2), imm: 1 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            MovImm { dst: Xreg(3), imm: 0x5000 },
+            Ldr { dst: Xreg(4), base: Xreg(3), off: 0, order: MemOrder::Plain },
+            Hlt,
+        ]);
+        m.start_core(0, w);
+        m.start_core(1, r);
+        assert_eq!(m.run(1000), Event::AllHalted);
+        // With unit costs and interleaved clocks both loads run before the
+        // buffered stores age out: the classic a=b=0.
+        assert_eq!(m.reg(0, Xreg(4)), 0);
+        assert_eq!(m.reg(1, Xreg(4)), 0);
+    }
+
+    #[test]
+    fn casal_is_atomic_and_clears_monitors() {
+        use HostInsn::*;
+        let (mut m, a) = machine_with(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(0), imm: 0 },  // expected
+            MovImm { dst: Xreg(2), imm: 42 }, // new
+            Cas { cmp_old: Xreg(0), new: Xreg(2), addr: Xreg(1), acq_rel: true },
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        m.run(100);
+        assert_eq!(m.reg(0, Xreg(0)), 0, "old value returned");
+        assert_eq!(m.mem.read_u64(0x5000), 42);
+        assert_eq!(m.stats(0).atomics, 1);
+    }
+
+    #[test]
+    fn exclusive_pair_success_and_interference() {
+        use HostInsn::*;
+        let (mut m, a) = machine_with(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            Ldxr { dst: Xreg(2), addr: Xreg(1), acquire: true },
+            AluImm { op: AOp::Add, dst: Xreg(2), a: Xreg(2), imm: 1 },
+            Stxr { status: Xreg(3), src: Xreg(2), addr: Xreg(1), release: true },
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        m.run(100);
+        assert_eq!(m.reg(0, Xreg(3)), 0, "stxr succeeded");
+        assert_eq!(m.mem.read_u64(0x5000), 1);
+    }
+
+    #[test]
+    fn tb_exit_miss_and_resume() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let b1 = m.install_code(&[
+            MovImm { dst: Xreg(0), imm: 5 },
+            ExitTb(TbExitKind::Jump { guest_pc: 0x2000 }),
+        ]);
+        m.start_core(0, b1);
+        match m.run(100) {
+            Event::TranslationMiss { core: 0, guest_pc: 0x2000 } => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Engine translates 0x2000 and resumes.
+        let b2 = m.install_code(&[
+            AluImm { op: AOp::Add, dst: Xreg(0), a: Xreg(0), imm: 1 },
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x2000, b2);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(0)), 6);
+    }
+
+    #[test]
+    fn native_call_invokes_registered_function() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let id = m.register_native(Box::new(|mem, args| {
+            mem.write_u64(0x7000, args[0] + args[1]);
+            NativeResult { ret: args[0] * args[1], cost: 10 }
+        }));
+        let a = m.install_code(&[
+            MovImm { dst: Xreg(0), imm: 6 },
+            MovImm { dst: Xreg(1), imm: 7 },
+            NativeCall { func: id },
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        m.run(100);
+        assert_eq!(m.reg(0, Xreg(0)), 42);
+        assert_eq!(m.mem.read_u64(0x7000), 13);
+        assert_eq!(m.stats(0).native_calls, 1);
+    }
+
+
+    #[test]
+    fn dmb_st_does_not_drain_but_dmb_ff_does() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(2), imm: 7 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            Barrier(Dmb::St),
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        // Step up to (but not through) the Hlt: after the DMB ST the store
+        // must still be invisible globally (FIFO gives W→W for free).
+        // We detect it by checking memory before the halt drains: run with
+        // tiny fuel so the Hlt hasn't executed yet.
+        let ev = m.run(4); // 4 instructions: movs, str, barrier
+        assert_eq!(ev, Event::OutOfFuel);
+        assert_eq!(m.mem.read_u64(0x5000), 0, "DMB ST must not drain the buffer");
+        assert_eq!(m.run(10), Event::AllHalted);
+        assert_eq!(m.mem.read_u64(0x5000), 7, "halt drains");
+    }
+
+    #[test]
+    fn release_store_keeps_fifo_order() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(2), imm: 1 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            MovImm { dst: Xreg(3), imm: 2 },
+            Str { src: Xreg(3), base: Xreg(1), off: 8, order: MemOrder::AcqRel }, // stlr
+            // Own reads forward from the buffer in order.
+            Ldr { dst: Xreg(4), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            Ldr { dst: Xreg(5), base: Xreg(1), off: 8, order: MemOrder::Plain },
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(4)), 1);
+        assert_eq!(m.reg(0, Xreg(5)), 2);
+        assert_eq!(m.mem.read_u64(0x5000), 1);
+        assert_eq!(m.mem.read_u64(0x5008), 2);
+    }
+
+    #[test]
+    fn aged_stores_drain_without_fences() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        // Store, then spin long enough for the age-based drain.
+        let a = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(2), imm: 9 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            MovImm { dst: Xreg(3), imm: 300 },
+            AluImm { op: AOp::Sub, dst: Xreg(3), a: Xreg(3), imm: 1 },
+            CmpImm { a: Xreg(3), imm: 0 },
+            BCond { cond: ACond::Ne, rel: -28 },
+            Nop, // memory must be visible before the halt-drain
+            Hlt,
+        ]);
+        m.start_core(0, a);
+        // Run until just before Hlt: 4 + 3*300 + 1 = 905 instructions.
+        assert_eq!(m.run(905), Event::OutOfFuel);
+        assert_eq!(m.mem.read_u64(0x5000), 9, "the store must age out of the buffer");
+    }
+
+    #[test]
+    fn exclusive_monitor_cleared_by_foreign_drain() {
+        use HostInsn::*;
+        // Core 0 takes a monitor; core 1's buffered store to the same
+        // address drains and must clear it, failing core 0's stxr.
+        let mut m = Machine::new(2, CostModel::uniform());
+        let c0 = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            Ldxr { dst: Xreg(2), addr: Xreg(1), acquire: false },
+            // Spin to give core 1 time to write + drain.
+            MovImm { dst: Xreg(3), imm: 400 },
+            AluImm { op: AOp::Sub, dst: Xreg(3), a: Xreg(3), imm: 1 },
+            CmpImm { a: Xreg(3), imm: 0 },
+            BCond { cond: ACond::Ne, rel: -28 },
+            MovImm { dst: Xreg(4), imm: 42 },
+            Stxr { status: Xreg(5), src: Xreg(4), addr: Xreg(1), release: false },
+            Hlt,
+        ]);
+        let c1 = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 0x5000 },
+            MovImm { dst: Xreg(2), imm: 7 },
+            Str { src: Xreg(2), base: Xreg(1), off: 0, order: MemOrder::Plain },
+            Barrier(Dmb::Ff),
+            Hlt,
+        ]);
+        m.start_core(0, c0);
+        m.start_core(1, c1);
+        assert_eq!(m.run(10_000), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(5)), 1, "stxr must fail after foreign write");
+        assert_eq!(m.mem.read_u64(0x5000), 7, "the foreign write survives");
+    }
+
+    #[test]
+    fn contention_costs_more() {
+        use HostInsn::*;
+        let model = CostModel::thunderx2_like();
+        // Two cores CAS the same address repeatedly vs different addresses.
+        let build = |m: &mut Machine, addr: u64| {
+            m.install_code(&[
+                MovImm { dst: Xreg(1), imm: addr },
+                MovImm { dst: Xreg(4), imm: 200 },
+                // loop:
+                Ldr { dst: Xreg(0), base: Xreg(1), off: 0, order: MemOrder::Plain },
+                MovReg { dst: Xreg(2), src: Xreg(0) },
+                AluImm { op: AOp::Add, dst: Xreg(2), a: Xreg(2), imm: 1 },
+                Cas { cmp_old: Xreg(0), new: Xreg(2), addr: Xreg(1), acq_rel: true },
+                AluImm { op: AOp::Sub, dst: Xreg(4), a: Xreg(4), imm: 1 },
+                CmpImm { a: Xreg(4), imm: 0 },
+                // Loop body size: 8+3+12+5+12+10+6 = 56 bytes back to the Ldr.
+                BCond { cond: ACond::Ne, rel: -56 },
+                Hlt,
+            ])
+        };
+        let mut same = Machine::new(2, model);
+        let c0 = build(&mut same, 0x5000);
+        let c1 = build(&mut same, 0x5000);
+        same.start_core(0, c0);
+        same.start_core(1, c1);
+        same.run(1_000_000);
+
+        let mut diff = Machine::new(2, model);
+        let d0 = build(&mut diff, 0x5000);
+        let d1 = build(&mut diff, 0x9000);
+        diff.start_core(0, d0);
+        diff.start_core(1, d1);
+        diff.run(1_000_000);
+
+        assert!(
+            same.clock() > diff.clock() + 1000,
+            "contended CAS ({}) must be slower than uncontended ({})",
+            same.clock(),
+            diff.clock()
+        );
+    }
+}

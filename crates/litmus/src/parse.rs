@@ -1,0 +1,501 @@
+//! A herd-inspired textual format for litmus tests.
+//!
+//! ```text
+//! litmus MPQ
+//! init X=0 Y=0
+//! thread
+//!   store X 1
+//!   store Y 1
+//! thread
+//!   a = load Y
+//!   if a == 1 {
+//!     rmw X 1 2 x86
+//!   }
+//! exists 1:a=1 /\ X=1
+//! ```
+//!
+//! * Locations are the upper-case names `X Y Z U V W` (more via `L<n>`).
+//! * Registers are lower-case identifiers, scoped per thread.
+//! * Loads: `r = load X [acq|acqpc]`; stores: `store X <expr> [rel]`.
+//! * RMWs: `r = rmw X <expected> <desired> <kind>` (or without `r =`),
+//!   kind ∈ `x86 | tcg | casal | cas | lxsx | lxsx_a | lxsx_l | lxsx_al`.
+//! * Fences: `fence <mfence|fsc|frr|frw|frm|fww|fwr|fwm|fmr|fmw|fmm|facq|frel|dmbld|dmbst|dmbff>`.
+//! * Assignments: `r := <expr>`; expressions: constants, registers, `+`, `^`, `*`.
+//! * The `exists` clause conjoins `t:r=v` (thread-register) and `X=v`
+//!   (final memory) terms with `/\`.
+
+use crate::enumerate::Behavior;
+use crate::program::{Expr, Instr, Program, Reg, RmwKind, Thread};
+use risotto_memmodel::{AccessMode, FenceKind, Loc, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The `exists` clause: a conjunction of register and memory equalities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutcomeSpec {
+    /// `(thread, register, value)` terms.
+    pub regs: Vec<(usize, Reg, u64)>,
+    /// `(location, value)` final-memory terms.
+    pub mem: Vec<(Loc, u64)>,
+}
+
+impl OutcomeSpec {
+    /// `true` if the behavior satisfies every term.
+    pub fn matches(&self, b: &Behavior) -> bool {
+        self.regs.iter().all(|&(t, r, v)| b.reg(t, r) == v)
+            && self.mem.iter().all(|&(l, v)| b.mem.get(&l) == Some(&v))
+    }
+}
+
+/// A parsed litmus file: the program plus its `exists` clause.
+#[derive(Debug, Clone)]
+pub struct LitmusTest {
+    /// The program.
+    pub program: Program,
+    /// The interesting outcome, if an `exists` clause was given.
+    pub exists: Option<OutcomeSpec>,
+}
+
+/// Parse errors with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "litmus parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: msg.into() })
+}
+
+/// One frame of the `if`-nesting stack: the instructions collected so far
+/// plus, when inside an `if`, its header `(reg, eq, finished-then-branch)`.
+type IfFrame = (Vec<Instr>, Option<(Reg, u64, Option<Vec<Instr>>)>);
+
+fn parse_loc(tok: &str, line: usize) -> Result<Loc, ParseError> {
+    match tok {
+        "X" => Ok(Loc(0)),
+        "Y" => Ok(Loc(1)),
+        "Z" => Ok(Loc(2)),
+        "U" => Ok(Loc(3)),
+        "V" => Ok(Loc(4)),
+        "W" => Ok(Loc(5)),
+        _ => {
+            if let Some(n) = tok.strip_prefix('L').and_then(|s| s.parse::<u32>().ok()) {
+                Ok(Loc(n))
+            } else {
+                err(line, format!("unknown location `{tok}`"))
+            }
+        }
+    }
+}
+
+fn parse_fence(tok: &str, line: usize) -> Result<FenceKind, ParseError> {
+    Ok(match tok {
+        "mfence" => FenceKind::MFence,
+        "fsc" => FenceKind::Fsc,
+        "frr" => FenceKind::Frr,
+        "frw" => FenceKind::Frw,
+        "frm" => FenceKind::Frm,
+        "fww" => FenceKind::Fww,
+        "fwr" => FenceKind::Fwr,
+        "fwm" => FenceKind::Fwm,
+        "fmr" => FenceKind::Fmr,
+        "fmw" => FenceKind::Fmw,
+        "fmm" => FenceKind::Fmm,
+        "facq" => FenceKind::Facq,
+        "frel" => FenceKind::Frel,
+        "dmbld" => FenceKind::DmbLd,
+        "dmbst" => FenceKind::DmbSt,
+        "dmbff" => FenceKind::DmbFf,
+        _ => return err(line, format!("unknown fence `{tok}`")),
+    })
+}
+
+fn parse_rmw_kind(tok: &str, line: usize) -> Result<RmwKind, ParseError> {
+    Ok(match tok {
+        "x86" => RmwKind::X86Lock,
+        "tcg" => RmwKind::TcgSc,
+        "casal" => RmwKind::ArmCasal,
+        "cas" => RmwKind::ArmCas,
+        "lxsx" => RmwKind::ArmLxsx { acq: false, rel: false },
+        "lxsx_a" => RmwKind::ArmLxsx { acq: true, rel: false },
+        "lxsx_l" => RmwKind::ArmLxsx { acq: false, rel: true },
+        "lxsx_al" => RmwKind::ArmLxsx { acq: true, rel: true },
+        _ => return err(line, format!("unknown rmw kind `{tok}`")),
+    })
+}
+
+/// Per-thread register namespace.
+#[derive(Debug, Default)]
+struct RegScope {
+    names: BTreeMap<String, Reg>,
+}
+
+impl RegScope {
+    fn get(&mut self, name: &str) -> Reg {
+        let next = Reg(self.names.len() as u32);
+        *self.names.entry(name.to_owned()).or_insert(next)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Reg> {
+        self.names.get(name).copied()
+    }
+}
+
+fn parse_expr(tokens: &[&str], scope: &mut RegScope, line: usize) -> Result<Expr, ParseError> {
+    // Tiny infix grammar, left-associative, single precedence level —
+    // litmus expressions are things like `a + 1` or `a ^ a`.
+    if tokens.is_empty() {
+        return err(line, "empty expression");
+    }
+    let atom = |tok: &str, scope: &mut RegScope| -> Result<Expr, ParseError> {
+        if let Ok(v) = tok.parse::<u64>() {
+            Ok(Expr::Const(v))
+        } else if tok.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()) {
+            Ok(Expr::Reg(scope.get(tok)))
+        } else {
+            err(line, format!("bad expression atom `{tok}`"))
+        }
+    };
+    let mut acc = atom(tokens[0], scope)?;
+    let mut i = 1;
+    while i + 1 < tokens.len() + 1 && i < tokens.len() {
+        let op = tokens[i];
+        let rhs = atom(
+            tokens.get(i + 1).ok_or(ParseError {
+                line,
+                message: "expression ends with an operator".into(),
+            })?,
+            scope,
+        )?;
+        acc = match op {
+            "+" => Expr::Add(Box::new(acc), Box::new(rhs)),
+            "^" => Expr::Xor(Box::new(acc), Box::new(rhs)),
+            "*" => Expr::Mul(Box::new(acc), Box::new(rhs)),
+            _ => return err(line, format!("unknown operator `{op}`")),
+        };
+        i += 2;
+    }
+    Ok(acc)
+}
+
+/// Parses litmus text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line.
+pub fn parse_litmus(text: &str) -> Result<LitmusTest, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut init: BTreeMap<Loc, Val> = BTreeMap::new();
+    let mut threads: Vec<Thread> = Vec::new();
+    let mut scopes: Vec<RegScope> = Vec::new();
+    let mut exists: Option<OutcomeSpec> = None;
+    // Stack of instruction sinks for nested `if` bodies:
+    // (instrs, Some((reg, eq, then_done)) when inside an if).
+    let mut stack: Vec<IfFrame> = Vec::new();
+
+    fn close_thread(
+        threads: &mut Vec<Thread>,
+        stack: &mut Vec<IfFrame>,
+        line: usize,
+    ) -> Result<(), ParseError> {
+        if stack.len() > 1 {
+            return err(line, "unclosed `if` block");
+        }
+        if let Some((instrs, _)) = stack.pop() {
+            threads.push(Thread { instrs });
+        }
+        Ok(())
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = stripped.split_whitespace().collect();
+        match toks[0] {
+            "litmus" => {
+                name = toks.get(1).unwrap_or(&"unnamed").to_string();
+            }
+            "init" => {
+                for t in &toks[1..] {
+                    let (l, v) = t
+                        .split_once('=')
+                        .ok_or(ParseError { line, message: format!("bad init `{t}`") })?;
+                    let loc = parse_loc(l, line)?;
+                    let val = v
+                        .parse::<u64>()
+                        .map_err(|_| ParseError { line, message: format!("bad value `{v}`") })?;
+                    init.insert(loc, Val(val));
+                }
+            }
+            "thread" => {
+                close_thread(&mut threads, &mut stack, line)?;
+                stack.push((Vec::new(), None));
+                scopes.push(RegScope::default());
+            }
+            "exists" => {
+                close_thread(&mut threads, &mut stack, line)?;
+                let clause = stripped.trim_start_matches("exists").trim();
+                let mut spec = OutcomeSpec::default();
+                for term in clause.split("/\\") {
+                    let term = term.trim();
+                    let (lhs, rhs) = term
+                        .split_once('=')
+                        .ok_or(ParseError { line, message: format!("bad term `{term}`") })?;
+                    let v = rhs.trim().parse::<u64>().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad value in `{term}`"),
+                    })?;
+                    let lhs = lhs.trim();
+                    if let Some((t, r)) = lhs.split_once(':') {
+                        let tid = t.parse::<usize>().map_err(|_| ParseError {
+                            line,
+                            message: format!("bad thread id in `{term}`"),
+                        })?;
+                        let scope = scopes.get(tid).ok_or(ParseError {
+                            line,
+                            message: format!("no thread {tid}"),
+                        })?;
+                        let reg = scope.lookup(r).ok_or(ParseError {
+                            line,
+                            message: format!("thread {tid} has no register `{r}`"),
+                        })?;
+                        spec.regs.push((tid, reg, v));
+                    } else {
+                        spec.mem.push((parse_loc(lhs, line)?, v));
+                    }
+                }
+                exists = Some(spec);
+            }
+            _ => {
+                // Instruction line within the current thread.
+                let scope = scopes
+                    .last_mut()
+                    .ok_or(ParseError { line, message: "instruction before `thread`".into() })?;
+                let instr = parse_instr(&toks, scope, line, &mut stack)?;
+                if let Some(i) = instr {
+                    stack
+                        .last_mut()
+                        .ok_or(ParseError { line, message: "instruction outside thread".into() })?
+                        .0
+                        .push(i);
+                }
+            }
+        }
+    }
+    close_thread(&mut threads, &mut stack, text.lines().count())?;
+    Ok(LitmusTest { program: Program { name, init, threads }, exists })
+}
+
+fn parse_instr(
+    toks: &[&str],
+    scope: &mut RegScope,
+    line: usize,
+    stack: &mut Vec<IfFrame>,
+) -> Result<Option<Instr>, ParseError> {
+    match toks {
+        ["store", loc, rest @ ..] => {
+            let (expr_toks, mode) = match rest.split_last() {
+                Some((&"rel", head)) if !head.is_empty() => (head, AccessMode::Release),
+                _ => (rest, AccessMode::Plain),
+            };
+            let val = parse_expr(expr_toks, scope, line)?;
+            Ok(Some(Instr::Store { loc: parse_loc(loc, line)?.into(), val, mode }))
+        }
+        [dst, "=", "load", loc, rest @ ..] => {
+            let mode = match rest {
+                ["acq"] => AccessMode::Acquire,
+                ["acqpc"] => AccessMode::AcquirePc,
+                [] => AccessMode::Plain,
+                other => return err(line, format!("bad load suffix {other:?}")),
+            };
+            Ok(Some(Instr::Load { dst: scope.get(dst), loc: parse_loc(loc, line)?.into(), mode }))
+        }
+        [dst, "=", "rmw", loc, expected, desired, kind] => Ok(Some(Instr::Rmw {
+            dst: Some(scope.get(dst)),
+            loc: parse_loc(loc, line)?.into(),
+            expected: parse_expr(&[expected], scope, line)?,
+            desired: parse_expr(&[desired], scope, line)?,
+            kind: parse_rmw_kind(kind, line)?,
+        })),
+        ["rmw", loc, expected, desired, kind] => Ok(Some(Instr::Rmw {
+            dst: None,
+            loc: parse_loc(loc, line)?.into(),
+            expected: parse_expr(&[expected], scope, line)?,
+            desired: parse_expr(&[desired], scope, line)?,
+            kind: parse_rmw_kind(kind, line)?,
+        })),
+        ["fence", kind] => Ok(Some(Instr::Fence(parse_fence(kind, line)?))),
+        [dst, ":=", rest @ ..] => Ok(Some(Instr::Let {
+            dst: scope.get(dst),
+            val: parse_expr(rest, scope, line)?,
+        })),
+        ["if", reg, "==", val, "{"] => {
+            let r = scope
+                .lookup(reg)
+                .ok_or(ParseError { line, message: format!("unknown register `{reg}`") })?;
+            let v = val
+                .parse::<u64>()
+                .map_err(|_| ParseError { line, message: format!("bad value `{val}`") })?;
+            stack.push((Vec::new(), Some((r, v, None))));
+            Ok(None)
+        }
+        ["}", "else", "{"] => {
+            let (then_body, hdr) = stack
+                .pop()
+                .ok_or(ParseError { line, message: "stray `} else {`".into() })?;
+            match hdr {
+                Some((r, v, None)) => {
+                    stack.push((Vec::new(), Some((r, v, Some(then_body)))));
+                    Ok(None)
+                }
+                _ => err(line, "`} else {` without a matching `if`"),
+            }
+        }
+        ["}"] => {
+            let (body, hdr) =
+                stack.pop().ok_or(ParseError { line, message: "stray `}`".into() })?;
+            match hdr {
+                Some((r, v, None)) => Ok(Some(Instr::If {
+                    reg: r,
+                    eq: v,
+                    then: body,
+                    els: Vec::new(),
+                })),
+                Some((r, v, Some(then_body))) => Ok(Some(Instr::If {
+                    reg: r,
+                    eq: v,
+                    then: then_body,
+                    els: body,
+                })),
+                None => err(line, "`}` without a matching `if`"),
+            }
+        }
+        other => err(line, format!("cannot parse instruction {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::allows;
+    use risotto_memmodel::{Arm, X86Tso};
+
+    #[test]
+    fn parses_and_decides_mpq() {
+        let test = parse_litmus(
+            "
+litmus MPQ
+init X=0 Y=0
+thread
+  store X 1
+  store Y 1
+thread
+  a = load Y
+  if a == 1 {
+    rmw X 1 2 x86
+  }
+exists 1:a=1 /\\ X=1
+",
+        )
+        .unwrap();
+        assert_eq!(test.program.name, "MPQ");
+        assert_eq!(test.program.threads.len(), 2);
+        let spec = test.exists.unwrap();
+        // x86 forbids the outcome — same verdict as the hand-built corpus.
+        assert!(!allows(&test.program, &X86Tso::new(), |b| spec.matches(b)));
+    }
+
+    #[test]
+    fn parses_arm_flavour_with_modes() {
+        let test = parse_litmus(
+            "
+litmus MP+rel-acq
+thread
+  store X 1
+  store Y 1 rel
+thread
+  a = load Y acq
+  b = load X
+exists 1:a=1 /\\ 1:b=0
+",
+        )
+        .unwrap();
+        let spec = test.exists.clone().unwrap();
+        assert!(!allows(&test.program, &Arm::corrected(), |b| spec.matches(b)));
+    }
+
+    #[test]
+    fn parses_fences_else_and_expressions() {
+        let t = parse_litmus(
+            "
+litmus misc
+thread
+  a = load X
+  fence frm
+  b := a + 1
+  if a == 0 {
+    store Y b
+  } else {
+    store Y 9
+  }
+  fence dmbff
+",
+        )
+        .unwrap();
+        let instrs = &t.program.threads[0].instrs;
+        assert!(matches!(instrs[1], Instr::Fence(FenceKind::Frm)));
+        assert!(matches!(instrs[2], Instr::Let { .. }));
+        match &instrs[3] {
+            Instr::If { then, els, .. } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(els.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+        assert!(matches!(instrs[4], Instr::Fence(FenceKind::DmbFf)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_litmus("litmus x\nthread\n  bogus line\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_litmus("litmus x\nthread\n  a = load X\n  if a == 1 {\n").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+        let e = parse_litmus("litmus x\nthread\n  store Q 1\n").unwrap_err();
+        assert!(e.message.contains("unknown location"));
+    }
+
+    #[test]
+    fn textual_sbal_matches_corpus_verdicts() {
+        let test = parse_litmus(
+            "
+litmus SBAL
+thread
+  a = rmw X 0 1 casal
+  c = load Y acqpc
+thread
+  b = rmw Y 0 1 casal
+  d = load X acqpc
+exists X=1 /\\ Y=1 /\\ 0:c=0 /\\ 1:d=0
+",
+        )
+        .unwrap();
+        let spec = test.exists.unwrap();
+        assert!(allows(&test.program, &Arm::original(), |b| spec.matches(b)));
+        assert!(!allows(&test.program, &Arm::corrected(), |b| spec.matches(b)));
+    }
+}

@@ -1,0 +1,484 @@
+//! Litmus programs: small multi-threaded programs over shared locations.
+//!
+//! A [`Program`] is an initialization of shared memory followed by a
+//! parallel composition of threads (paper, §5.1). Instructions cover the
+//! concurrency primitives of Fig. 1 across all three ISAs: plain and
+//! synchronizing loads/stores, CAS-style RMWs in every flavour the paper
+//! distinguishes (`LOCK CMPXCHG`, TCG `RMW`, Arm `RMW1`/`RMW2` with
+//! acquire/release combinations), and the full fence alphabet.
+
+use risotto_memmodel::{AccessMode, FenceKind, Loc, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A thread-local register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+/// Value expressions over constants and registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(u64),
+    /// A register read.
+    Reg(Reg),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Exclusive-or — used by litmus idioms like `r ⊕ r` to build
+    /// artificial (false) dependencies.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Multiplication — `r * 0` is the paper's false-dependency example
+    /// (§6.1).
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates under a register valuation.
+    pub fn eval(&self, regs: &BTreeMap<Reg, u64>) -> u64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Reg(r) => *regs.get(r).unwrap_or(&0),
+            Expr::Add(a, b) => a.eval(regs).wrapping_add(b.eval(regs)),
+            Expr::Xor(a, b) => a.eval(regs) ^ b.eval(regs),
+            Expr::Mul(a, b) => a.eval(regs).wrapping_mul(b.eval(regs)),
+        }
+    }
+
+    /// Registers appearing in the expression.
+    pub fn regs(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.collect_regs(&mut out);
+        out
+    }
+
+    fn collect_regs(&self, out: &mut Vec<Reg>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Reg(r) => out.push(*r),
+            Expr::Add(a, b) | Expr::Xor(a, b) | Expr::Mul(a, b) => {
+                a.collect_regs(out);
+                b.collect_regs(out);
+            }
+        }
+    }
+}
+
+impl From<u64> for Expr {
+    fn from(v: u64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<Reg> for Expr {
+    fn from(r: Reg) -> Expr {
+        Expr::Reg(r)
+    }
+}
+
+/// How a memory access names its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocSpec {
+    /// A direct location.
+    Direct(Loc),
+    /// The same location, but computed through `via` (e.g.
+    /// `X[r ⊕ r]`) — creating an *address dependency* on the read that
+    /// produced `via` without changing the address.
+    Dep {
+        /// The effective location.
+        loc: Loc,
+        /// The register the address formally depends on.
+        via: Reg,
+    },
+}
+
+impl LocSpec {
+    /// The effective location.
+    pub fn loc(self) -> Loc {
+        match self {
+            LocSpec::Direct(l) | LocSpec::Dep { loc: l, .. } => l,
+        }
+    }
+}
+
+impl From<Loc> for LocSpec {
+    fn from(l: Loc) -> LocSpec {
+        LocSpec::Direct(l)
+    }
+}
+
+/// The RMW flavours of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwKind {
+    /// x86 `LOCK CMPXCHG`: acts as a full fence when successful.
+    X86Lock,
+    /// TCG IR `RMW`: SC semantics (`Rsc`/`Wsc` events).
+    TcgSc,
+    /// Arm `RMW1_AL` (`casal`): acquire read, release write, `amo` tag.
+    ArmCasal,
+    /// Arm plain `RMW1` (`cas`): no ordering annotations.
+    ArmCas,
+    /// Arm `RMW2` — an `LDXR`/`STXR` loop, optionally acquire/release
+    /// (`LDAXR`/`STLXR`), `lxsx` tag.
+    ArmLxsx {
+        /// Use `LDAXR` (acquire) for the load-exclusive.
+        acq: bool,
+        /// Use `STLXR` (release) for the store-exclusive.
+        rel: bool,
+    },
+}
+
+impl RmwKind {
+    /// Access mode of the read event.
+    pub fn read_mode(self) -> AccessMode {
+        match self {
+            RmwKind::X86Lock | RmwKind::ArmCas => AccessMode::Plain,
+            RmwKind::TcgSc => AccessMode::Sc,
+            RmwKind::ArmCasal => AccessMode::Acquire,
+            RmwKind::ArmLxsx { acq, .. } => {
+                if acq {
+                    AccessMode::Acquire
+                } else {
+                    AccessMode::Plain
+                }
+            }
+        }
+    }
+
+    /// Access mode of the write event.
+    pub fn write_mode(self) -> AccessMode {
+        match self {
+            RmwKind::X86Lock | RmwKind::ArmCas => AccessMode::Plain,
+            RmwKind::TcgSc => AccessMode::Sc,
+            RmwKind::ArmCasal => AccessMode::Release,
+            RmwKind::ArmLxsx { rel, .. } => {
+                if rel {
+                    AccessMode::Release
+                } else {
+                    AccessMode::Plain
+                }
+            }
+        }
+    }
+
+    /// The `rmw` tag for the pair.
+    pub fn tag(self) -> risotto_memmodel::RmwTag {
+        match self {
+            RmwKind::X86Lock => risotto_memmodel::RmwTag::X86,
+            RmwKind::TcgSc => risotto_memmodel::RmwTag::Tcg,
+            RmwKind::ArmCasal | RmwKind::ArmCas => risotto_memmodel::RmwTag::Amo,
+            RmwKind::ArmLxsx { .. } => risotto_memmodel::RmwTag::Lxsx,
+        }
+    }
+
+    /// `true` for the exclusive-pair flavour, whose conditional-branch loop
+    /// induces a control dependency on everything that follows.
+    pub fn is_lxsx(self) -> bool {
+        matches!(self, RmwKind::ArmLxsx { .. })
+    }
+}
+
+/// One instruction of a litmus thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = *loc`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Location (possibly with an artificial address dependency).
+        loc: LocSpec,
+        /// Ordering annotation.
+        mode: AccessMode,
+    },
+    /// `*loc = val`.
+    Store {
+        /// Location.
+        loc: LocSpec,
+        /// Stored value.
+        val: Expr,
+        /// Ordering annotation.
+        mode: AccessMode,
+    },
+    /// Compare-and-swap: atomically, if `*loc == expected` then
+    /// `*loc = desired`. `dst` (if any) receives the value read.
+    Rmw {
+        /// Receives the old value.
+        dst: Option<Reg>,
+        /// Location.
+        loc: LocSpec,
+        /// Expected (compare) value.
+        expected: Expr,
+        /// Desired (swap-in) value.
+        desired: Expr,
+        /// Which primitive realizes the RMW.
+        kind: RmwKind,
+    },
+    /// A memory fence.
+    Fence(FenceKind),
+    /// `dst := val` — a thread-local assignment generating no event.
+    ///
+    /// Produced by the elimination transformations (§5.4): e.g. RAW rewrites
+    /// `Y = 2; a = Y` into `Y = 2; a := 2`.
+    Let {
+        /// Destination register.
+        dst: Reg,
+        /// Assigned expression.
+        val: Expr,
+    },
+    /// `if (reg == eq) { then } else { els }`.
+    If {
+        /// Condition register.
+        reg: Reg,
+        /// Compared constant.
+        eq: u64,
+        /// Taken when equal.
+        then: Vec<Instr>,
+        /// Taken when not equal.
+        els: Vec<Instr>,
+    },
+}
+
+/// A single litmus thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Thread {
+    /// The instruction sequence.
+    pub instrs: Vec<Instr>,
+}
+
+/// A litmus program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Test name, e.g. `"MPQ"`.
+    pub name: String,
+    /// Initial values; locations not listed start at 0.
+    pub init: BTreeMap<Loc, Val>,
+    /// The threads.
+    pub threads: Vec<Thread>,
+}
+
+impl Program {
+    /// Starts a builder.
+    pub fn builder(name: &str) -> ProgramBuilder {
+        ProgramBuilder {
+            prog: Program { name: name.to_owned(), init: BTreeMap::new(), threads: Vec::new() },
+        }
+    }
+
+    /// Every location mentioned anywhere in the program.
+    pub fn locations(&self) -> Vec<Loc> {
+        let mut locs: Vec<Loc> = self.init.keys().copied().collect();
+        fn walk(instrs: &[Instr], locs: &mut Vec<Loc>) {
+            for i in instrs {
+                match i {
+                    Instr::Load { loc, .. } | Instr::Store { loc, .. } | Instr::Rmw { loc, .. } => {
+                        locs.push(loc.loc())
+                    }
+                    Instr::Fence(_) | Instr::Let { .. } => {}
+                    Instr::If { then, els, .. } => {
+                        walk(then, locs);
+                        walk(els, locs);
+                    }
+                }
+            }
+        }
+        for t in &self.threads {
+            walk(&t.instrs, &mut locs);
+        }
+        locs.sort();
+        locs.dedup();
+        locs
+    }
+
+    /// Initial value of a location (0 if unspecified).
+    pub fn init_val(&self, loc: Loc) -> Val {
+        self.init.get(&loc).copied().unwrap_or(Val(0))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} threads)", self.name, self.threads.len())
+    }
+}
+
+/// Fluent builder for [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    /// Sets an initial value.
+    pub fn init(mut self, loc: Loc, val: u64) -> Self {
+        self.prog.init.insert(loc, Val(val));
+        self
+    }
+
+    /// Adds a thread built by the closure.
+    pub fn thread<F: FnOnce(&mut ThreadBuilder)>(mut self, f: F) -> Self {
+        let mut tb = ThreadBuilder::default();
+        f(&mut tb);
+        self.prog.threads.push(Thread { instrs: tb.instrs });
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        self.prog
+    }
+}
+
+/// Fluent builder for a [`Thread`]'s instruction list.
+#[derive(Debug, Default)]
+pub struct ThreadBuilder {
+    instrs: Vec<Instr>,
+}
+
+impl ThreadBuilder {
+    /// Appends a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// `dst = *loc` (plain).
+    pub fn load(&mut self, dst: Reg, loc: impl Into<LocSpec>) -> &mut Self {
+        self.load_mode(dst, loc, AccessMode::Plain)
+    }
+
+    /// `dst = *loc` with an explicit mode.
+    pub fn load_mode(
+        &mut self,
+        dst: Reg,
+        loc: impl Into<LocSpec>,
+        mode: AccessMode,
+    ) -> &mut Self {
+        self.push(Instr::Load { dst, loc: loc.into(), mode })
+    }
+
+    /// `*loc = val` (plain).
+    pub fn store(&mut self, loc: impl Into<LocSpec>, val: impl Into<Expr>) -> &mut Self {
+        self.store_mode(loc, val, AccessMode::Plain)
+    }
+
+    /// `*loc = val` with an explicit mode.
+    pub fn store_mode(
+        &mut self,
+        loc: impl Into<LocSpec>,
+        val: impl Into<Expr>,
+        mode: AccessMode,
+    ) -> &mut Self {
+        self.push(Instr::Store { loc: loc.into(), val: val.into(), mode })
+    }
+
+    /// A fence.
+    pub fn fence(&mut self, kind: FenceKind) -> &mut Self {
+        self.push(Instr::Fence(kind))
+    }
+
+    /// `RMW(loc, expected, desired)` of the given flavour, discarding the
+    /// old value.
+    pub fn rmw(
+        &mut self,
+        loc: impl Into<LocSpec>,
+        expected: impl Into<Expr>,
+        desired: impl Into<Expr>,
+        kind: RmwKind,
+    ) -> &mut Self {
+        self.push(Instr::Rmw {
+            dst: None,
+            loc: loc.into(),
+            expected: expected.into(),
+            desired: desired.into(),
+            kind,
+        })
+    }
+
+    /// `dst = RMW(loc, expected, desired)`.
+    pub fn rmw_into(
+        &mut self,
+        dst: Reg,
+        loc: impl Into<LocSpec>,
+        expected: impl Into<Expr>,
+        desired: impl Into<Expr>,
+        kind: RmwKind,
+    ) -> &mut Self {
+        self.push(Instr::Rmw {
+            dst: Some(dst),
+            loc: loc.into(),
+            expected: expected.into(),
+            desired: desired.into(),
+            kind,
+        })
+    }
+
+    /// `dst := val` (no memory event).
+    pub fn let_(&mut self, dst: Reg, val: impl Into<Expr>) -> &mut Self {
+        self.push(Instr::Let { dst, val: val.into() })
+    }
+
+    /// `if (reg == eq) { then }`.
+    pub fn if_eq<F: FnOnce(&mut ThreadBuilder)>(&mut self, reg: Reg, eq: u64, f: F) -> &mut Self {
+        let mut tb = ThreadBuilder::default();
+        f(&mut tb);
+        self.push(Instr::If { reg, eq, then: tb.instrs, els: Vec::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: Loc = Loc(0);
+    const Y: Loc = Loc(1);
+    const R0: Reg = Reg(0);
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let p = Program::builder("MP")
+            .thread(|t| {
+                t.store(X, 1).store(Y, 1);
+            })
+            .thread(|t| {
+                t.load(R0, Y).load(Reg(1), X);
+            })
+            .build();
+        assert_eq!(p.threads.len(), 2);
+        assert_eq!(p.threads[0].instrs.len(), 2);
+        assert_eq!(p.locations(), vec![X, Y]);
+        assert_eq!(p.init_val(X), Val(0));
+    }
+
+    #[test]
+    fn expr_eval_and_regs() {
+        let mut regs = BTreeMap::new();
+        regs.insert(R0, 5);
+        let e = Expr::Add(Box::new(Expr::Reg(R0)), Box::new(Expr::Const(2)));
+        assert_eq!(e.eval(&regs), 7);
+        let z = Expr::Xor(Box::new(Expr::Reg(R0)), Box::new(Expr::Reg(R0)));
+        assert_eq!(z.eval(&regs), 0);
+        assert_eq!(z.regs(), vec![R0, R0]);
+        let m = Expr::Mul(Box::new(Expr::Reg(R0)), Box::new(Expr::Const(0)));
+        assert_eq!(m.eval(&regs), 0);
+    }
+
+    #[test]
+    fn rmw_kind_modes() {
+        use risotto_memmodel::RmwTag;
+        assert_eq!(RmwKind::ArmCasal.read_mode(), AccessMode::Acquire);
+        assert_eq!(RmwKind::ArmCasal.write_mode(), AccessMode::Release);
+        assert_eq!(RmwKind::ArmCasal.tag(), RmwTag::Amo);
+        assert_eq!(RmwKind::TcgSc.read_mode(), AccessMode::Sc);
+        assert_eq!(RmwKind::X86Lock.tag(), RmwTag::X86);
+        let lx = RmwKind::ArmLxsx { acq: true, rel: false };
+        assert_eq!(lx.read_mode(), AccessMode::Acquire);
+        assert_eq!(lx.write_mode(), AccessMode::Plain);
+        assert!(lx.is_lxsx());
+        assert_eq!(lx.tag(), RmwTag::Lxsx);
+    }
+
+    #[test]
+    fn locspec_dep_keeps_location() {
+        let d = LocSpec::Dep { loc: X, via: R0 };
+        assert_eq!(d.loc(), X);
+    }
+}

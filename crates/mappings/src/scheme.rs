@@ -1,0 +1,486 @@
+//! Mapping schemes between the x86, TCG IR and Arm concurrency alphabets.
+//!
+//! Each scheme rewrites a litmus [`Program`] instruction-by-instruction,
+//! inserting the leading/trailing fences its translation table prescribes.
+//! The repertoire covers:
+//!
+//! * Qemu's erroneous schemes (Fig. 2), including both GCC helper flavours
+//!   the paper discusses (§3.1),
+//! * the paper's verified schemes (Fig. 7a/7b/7c),
+//! * the "intended" Arm-Cats direct mapping (Fig. 3, §3.3), and
+//! * the fence-free oracle used by the evaluation's `no-fences` setup.
+
+use risotto_litmus::{Instr, Program, RmwKind};
+use risotto_memmodel::{AccessMode, FenceKind};
+
+/// A translation scheme from one ISA's concurrency alphabet to another's.
+pub trait MappingScheme {
+    /// Human-readable scheme name.
+    fn name(&self) -> &str;
+
+    /// Translates one instruction into a sequence of target instructions.
+    ///
+    /// `If` bodies are handled by [`MappingScheme::map_program`]; `map_instr`
+    /// only sees the condition-free instructions.
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr>;
+
+    /// Translates a whole program, recursing into conditionals.
+    fn map_program(&self, prog: &Program) -> Program {
+        fn map_list(scheme: &(impl MappingScheme + ?Sized), instrs: &[Instr]) -> Vec<Instr> {
+            let mut out = Vec::new();
+            for i in instrs {
+                match i {
+                    Instr::If { reg, eq, then, els } => out.push(Instr::If {
+                        reg: *reg,
+                        eq: *eq,
+                        then: map_list(scheme, then),
+                        els: map_list(scheme, els),
+                    }),
+                    other => out.extend(scheme.map_instr(other)),
+                }
+            }
+            out
+        }
+        Program {
+            name: format!("{}[{}]", prog.name, self.name()),
+            init: prog.init.clone(),
+            threads: prog
+                .threads
+                .iter()
+                .map(|t| risotto_litmus::Thread { instrs: map_list(self, &t.instrs) })
+                .collect(),
+        }
+    }
+}
+
+/// How RMW helper calls end up lowered on the Arm host (§3.1): the GCC
+/// built-ins compile to different instruction sequences per GCC version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelperStyle {
+    /// GCC 9: `ldaxr`/`stlxr` loop — `RMW2_AL`.
+    Gcc9Lxsx,
+    /// GCC 10: `casal` — `RMW1_AL`.
+    Gcc10Casal,
+}
+
+/// How the verified IR→Arm scheme lowers TCG RMWs (Fig. 7b): either the
+/// exclusive pair bracketed by full fences, or a bare `casal` (which is
+/// only sound under the corrected Arm model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwLowering {
+    /// `DMBFF; RMW2; DMBFF`.
+    Rmw2Fenced,
+    /// `RMW1_AL` (`casal`).
+    Casal,
+}
+
+// ---------------------------------------------------------------------
+// x86 → TCG IR
+// ---------------------------------------------------------------------
+
+/// Qemu's x86→TCG mapping (Fig. 2): `RMOV → Fmr; ld`, `WMOV → Fmw; st`,
+/// RMW → helper call (SC semantics at the IR level), `MFENCE → Fsc`.
+///
+/// Note the *leading* fences — the source of both the performance problem
+/// (§3.4, unmergeable fences) and the `Fmr`/RAW unsoundness (§3.2, FMR).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QemuX86ToTcg;
+
+impl MappingScheme for QemuX86ToTcg {
+    fn name(&self) -> &str {
+        "qemu-x86-to-tcg"
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { dst, loc, mode: AccessMode::Plain } => vec![
+                Instr::Fence(FenceKind::Fmr),
+                Instr::Load { dst: *dst, loc: *loc, mode: AccessMode::Plain },
+            ],
+            Instr::Store { loc, val, mode: AccessMode::Plain } => vec![
+                Instr::Fence(FenceKind::Fmw),
+                Instr::Store { loc: *loc, val: val.clone(), mode: AccessMode::Plain },
+            ],
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::X86Lock } => {
+                vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind: RmwKind::TcgSc,
+                }]
+            }
+            Instr::Fence(FenceKind::MFence) => vec![Instr::Fence(FenceKind::Fsc)],
+            Instr::Let { .. } => vec![instr.clone()],
+            other => panic!("{}: not an x86 instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+/// The verified x86→TCG mapping (Fig. 7a): `RMOV → ld; Frm`,
+/// `WMOV → Fww; st`, `RMW → RMW`, `MFENCE → Fsc`.
+///
+/// The trailing `Frm` after loads and the leading `Fww` before stores are
+/// proved minimal in §5.4 (LB-IR and MP-IR witnesses), and — unlike Qemu's
+/// `Fmr`/`Fmw` — keep the RAW/WAW eliminations sound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifiedX86ToTcg;
+
+impl MappingScheme for VerifiedX86ToTcg {
+    fn name(&self) -> &str {
+        "verified-x86-to-tcg"
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { dst, loc, mode: AccessMode::Plain } => vec![
+                Instr::Load { dst: *dst, loc: *loc, mode: AccessMode::Plain },
+                Instr::Fence(FenceKind::Frm),
+            ],
+            Instr::Store { loc, val, mode: AccessMode::Plain } => vec![
+                Instr::Fence(FenceKind::Fww),
+                Instr::Store { loc: *loc, val: val.clone(), mode: AccessMode::Plain },
+            ],
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::X86Lock } => {
+                vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind: RmwKind::TcgSc,
+                }]
+            }
+            Instr::Fence(FenceKind::MFence) => vec![Instr::Fence(FenceKind::Fsc)],
+            Instr::Let { .. } => vec![instr.clone()],
+            other => panic!("{}: not an x86 instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCG IR → Arm
+// ---------------------------------------------------------------------
+
+/// The weakest single Arm `DMB` implementing a TCG fence's ordering:
+/// `DMB LD` covers `R → M`, `DMB ST` covers `W → W`, everything else needs
+/// the full `DMB FF`. (`Facq`/`Frel` need nothing.)
+pub fn lower_tcg_fence(kind: FenceKind) -> Option<FenceKind> {
+    kind.arm_dmb()
+}
+
+/// Qemu's TCG→Arm lowering: fences via [`lower_tcg_fence`], RMWs via a
+/// helper call whose atomic sequence depends on the GCC version.
+#[derive(Debug, Clone, Copy)]
+pub struct QemuTcgToArm {
+    /// Which GCC built-in expansion the helper uses.
+    pub helper: HelperStyle,
+}
+
+impl MappingScheme for QemuTcgToArm {
+    fn name(&self) -> &str {
+        match self.helper {
+            HelperStyle::Gcc9Lxsx => "qemu-tcg-to-arm(gcc9)",
+            HelperStyle::Gcc10Casal => "qemu-tcg-to-arm(gcc10)",
+        }
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { mode: AccessMode::Plain, .. }
+            | Instr::Store { mode: AccessMode::Plain, .. }
+            | Instr::Let { .. } => vec![instr.clone()],
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::TcgSc } => {
+                let kind = match self.helper {
+                    HelperStyle::Gcc9Lxsx => RmwKind::ArmLxsx { acq: true, rel: true },
+                    HelperStyle::Gcc10Casal => RmwKind::ArmCasal,
+                };
+                vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind,
+                }]
+            }
+            Instr::Fence(k) if k.is_tcg() => match lower_tcg_fence(*k) {
+                Some(dmb) => vec![Instr::Fence(dmb)],
+                None => vec![],
+            },
+            other => panic!("{}: not a TCG instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+/// The verified TCG→Arm mapping (Fig. 7b): plain `ld`/`st` to `LDR`/`STR`,
+/// fences via the same minimal lowering, and RMWs either as
+/// `DMBFF; RMW2; DMBFF` or as `RMW1_AL`.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifiedTcgToArm {
+    /// RMW lowering choice.
+    pub rmw: RmwLowering,
+}
+
+impl MappingScheme for VerifiedTcgToArm {
+    fn name(&self) -> &str {
+        match self.rmw {
+            RmwLowering::Rmw2Fenced => "verified-tcg-to-arm(rmw2)",
+            RmwLowering::Casal => "verified-tcg-to-arm(casal)",
+        }
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { mode: AccessMode::Plain, .. }
+            | Instr::Store { mode: AccessMode::Plain, .. }
+            | Instr::Let { .. } => vec![instr.clone()],
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::TcgSc } => match self.rmw {
+                RmwLowering::Rmw2Fenced => vec![
+                    Instr::Fence(FenceKind::DmbFf),
+                    Instr::Rmw {
+                        dst: *dst,
+                        loc: *loc,
+                        expected: expected.clone(),
+                        desired: desired.clone(),
+                        kind: RmwKind::ArmLxsx { acq: false, rel: false },
+                    },
+                    Instr::Fence(FenceKind::DmbFf),
+                ],
+                RmwLowering::Casal => vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind: RmwKind::ArmCasal,
+                }],
+            },
+            Instr::Fence(k) if k.is_tcg() => match lower_tcg_fence(*k) {
+                Some(dmb) => vec![Instr::Fence(dmb)],
+                None => vec![],
+            },
+            other => panic!("{}: not a TCG instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86 → Arm (direct)
+// ---------------------------------------------------------------------
+
+/// The "intended" Arm-Cats mapping of Fig. 3: `RMOV → LDRQ` (`LDAPR`),
+/// `WMOV → STRL` (`STLR`), `RMW → RMW1_AL`, `MFENCE → DMBFF`.
+///
+/// §3.3 shows this mapping is erroneous under the *original* Arm model
+/// (SBAL) and sound under the corrected one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmCatsIntended;
+
+impl MappingScheme for ArmCatsIntended {
+    fn name(&self) -> &str {
+        "arm-cats-intended"
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { dst, loc, mode: AccessMode::Plain } => {
+                vec![Instr::Load { dst: *dst, loc: *loc, mode: AccessMode::AcquirePc }]
+            }
+            Instr::Store { loc, val, mode: AccessMode::Plain } => {
+                vec![Instr::Store { loc: *loc, val: val.clone(), mode: AccessMode::Release }]
+            }
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::X86Lock } => {
+                vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind: RmwKind::ArmCasal,
+                }]
+            }
+            Instr::Fence(FenceKind::MFence) => vec![Instr::Fence(FenceKind::DmbFf)],
+            Instr::Let { .. } => vec![instr.clone()],
+            other => panic!("{}: not an x86 instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+/// The fence-free oracle (§7.1's `no-fences` setup): plain loads/stores,
+/// `casal` RMWs, and **no** fences at all — knowingly incorrect, used only
+/// as a performance upper bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFencesX86ToArm;
+
+impl MappingScheme for NoFencesX86ToArm {
+    fn name(&self) -> &str {
+        "no-fences-x86-to-arm"
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { dst, loc, mode: AccessMode::Plain } => {
+                vec![Instr::Load { dst: *dst, loc: *loc, mode: AccessMode::Plain }]
+            }
+            Instr::Store { loc, val, mode: AccessMode::Plain } => {
+                vec![Instr::Store { loc: *loc, val: val.clone(), mode: AccessMode::Plain }]
+            }
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::X86Lock } => {
+                vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind: RmwKind::ArmCasal,
+                }]
+            }
+            Instr::Fence(FenceKind::MFence) => vec![],
+            Instr::Let { .. } => vec![instr.clone()],
+            other => panic!("{}: not an x86 instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+/// Composition of two schemes: `second ∘ first`.
+#[derive(Debug, Clone, Copy)]
+pub struct Composed<F, S> {
+    first: F,
+    second: S,
+    name: &'static str,
+}
+
+impl<F: MappingScheme, S: MappingScheme> Composed<F, S> {
+    /// Composes `first` then `second` under a display name.
+    pub fn new(first: F, second: S, name: &'static str) -> Self {
+        Composed { first, second, name }
+    }
+}
+
+impl<F: MappingScheme, S: MappingScheme> MappingScheme for Composed<F, S> {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        self.first.map_instr(instr).iter().flat_map(|i| self.second.map_instr(i)).collect()
+    }
+
+    fn map_program(&self, prog: &Program) -> Program {
+        let mut p = self.second.map_program(&self.first.map_program(prog));
+        p.name = format!("{}[{}]", prog.name, self.name);
+        p
+    }
+}
+
+/// The end-to-end verified x86→Arm scheme of Fig. 7c.
+pub fn verified_x86_to_arm(rmw: RmwLowering) -> impl MappingScheme {
+    Composed::new(VerifiedX86ToTcg, VerifiedTcgToArm { rmw }, "verified-x86-to-arm")
+}
+
+/// Qemu's end-to-end x86→Arm scheme (Fig. 2), with the `Fmr → Frr` demotion
+/// Qemu applies for x86 guests (§3.1) expressed in the fence lowering: the
+/// leading `Fmr`/`Fmw` become `DMB LD`/`DMB FF` as in Fig. 2.
+pub fn qemu_x86_to_arm(helper: HelperStyle) -> impl MappingScheme {
+    Composed::new(
+        Composed::new(QemuX86ToTcg, QemuDemoteFences, "qemu-x86-to-tcg+demote"),
+        QemuTcgToArm { helper },
+        "qemu-x86-to-arm",
+    )
+}
+
+/// Qemu's fence demotion for x86 guests: since x86 permits store→load
+/// reordering, the `Fmr` before loads is weakened to `Frr` (§3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QemuDemoteFences;
+
+impl MappingScheme for QemuDemoteFences {
+    fn name(&self) -> &str {
+        "qemu-demote-fences"
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Fence(FenceKind::Fmr) => vec![Instr::Fence(FenceKind::Frr)],
+            other => vec![other.clone()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risotto_litmus::corpus;
+
+    #[test]
+    fn verified_mapping_of_mp_matches_fig7c() {
+        let p = VerifiedX86ToTcg.map_program(&corpus::mp());
+        // T0: Fww; st X; Fww; st Y
+        let t0 = &p.threads[0].instrs;
+        assert!(matches!(t0[0], Instr::Fence(FenceKind::Fww)));
+        assert!(matches!(t0[1], Instr::Store { .. }));
+        assert!(matches!(t0[2], Instr::Fence(FenceKind::Fww)));
+        // T1: ld Y; Frm; ld X; Frm
+        let t1 = &p.threads[1].instrs;
+        assert!(matches!(t1[0], Instr::Load { .. }));
+        assert!(matches!(t1[1], Instr::Fence(FenceKind::Frm)));
+    }
+
+    #[test]
+    fn qemu_mapping_inserts_leading_fences() {
+        let p = QemuX86ToTcg.map_program(&corpus::mp());
+        let t1 = &p.threads[1].instrs;
+        assert!(matches!(t1[0], Instr::Fence(FenceKind::Fmr)));
+        assert!(matches!(t1[1], Instr::Load { .. }));
+    }
+
+    #[test]
+    fn fence_lowering_matches_fig7b() {
+        assert_eq!(lower_tcg_fence(FenceKind::Frr), Some(FenceKind::DmbLd));
+        assert_eq!(lower_tcg_fence(FenceKind::Frw), Some(FenceKind::DmbLd));
+        assert_eq!(lower_tcg_fence(FenceKind::Frm), Some(FenceKind::DmbLd));
+        assert_eq!(lower_tcg_fence(FenceKind::Fww), Some(FenceKind::DmbSt));
+        assert_eq!(lower_tcg_fence(FenceKind::Fwr), Some(FenceKind::DmbFf));
+        assert_eq!(lower_tcg_fence(FenceKind::Fmm), Some(FenceKind::DmbFf));
+        assert_eq!(lower_tcg_fence(FenceKind::Fsc), Some(FenceKind::DmbFf));
+        assert_eq!(lower_tcg_fence(FenceKind::Fmw), Some(FenceKind::DmbFf));
+        assert_eq!(lower_tcg_fence(FenceKind::Facq), None);
+        assert_eq!(lower_tcg_fence(FenceKind::Frel), None);
+    }
+
+    #[test]
+    fn qemu_end_to_end_reproduces_fig2() {
+        // RMOV → DMBLD; LDR and WMOV → DMBFF; STR.
+        let p = qemu_x86_to_arm(HelperStyle::Gcc10Casal).map_program(&corpus::mp());
+        let t0 = &p.threads[0].instrs;
+        assert!(matches!(t0[0], Instr::Fence(FenceKind::DmbFf)));
+        assert!(matches!(t0[1], Instr::Store { mode: AccessMode::Plain, .. }));
+        let t1 = &p.threads[1].instrs;
+        assert!(matches!(t1[0], Instr::Fence(FenceKind::DmbLd)));
+        assert!(matches!(t1[1], Instr::Load { mode: AccessMode::Plain, .. }));
+    }
+
+    #[test]
+    fn verified_end_to_end_reproduces_fig7c() {
+        // RMOV → LDR; DMBLD and WMOV → DMBST; STR.
+        let p = verified_x86_to_arm(RmwLowering::Casal).map_program(&corpus::mp());
+        let t0 = &p.threads[0].instrs;
+        assert!(matches!(t0[0], Instr::Fence(FenceKind::DmbSt)));
+        assert!(matches!(t0[1], Instr::Store { .. }));
+        let t1 = &p.threads[1].instrs;
+        assert!(matches!(t1[0], Instr::Load { .. }));
+        assert!(matches!(t1[1], Instr::Fence(FenceKind::DmbLd)));
+    }
+
+    #[test]
+    fn intended_mapping_uses_synchronizing_accesses() {
+        let p = ArmCatsIntended.map_program(&corpus::sbal_x86());
+        let t0 = &p.threads[0].instrs;
+        assert!(matches!(t0[0], Instr::Rmw { kind: RmwKind::ArmCasal, .. }));
+        assert!(matches!(t0[1], Instr::Load { mode: AccessMode::AcquirePc, .. }));
+    }
+
+    #[test]
+    fn no_fences_drops_everything() {
+        let p = NoFencesX86ToArm.map_program(&corpus::sb_fenced());
+        for t in &p.threads {
+            assert!(t.instrs.iter().all(|i| !matches!(i, Instr::Fence(_))));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Theorem-1 sweeps over the corpus and the generated program family.
+//!
+//! The default run subsamples the generated family to keep CI fast; the
+//! `verify_mappings` binary in `risotto-bench` runs the full sweep.
+
+use risotto_litmus::corpus;
+use risotto_mappings::check::{check_translation, verify_suite, BehaviorScope};
+use risotto_mappings::gen::{generate_two_thread, x86_alphabet, x86_alphabet_small};
+use risotto_mappings::scheme::{
+    qemu_x86_to_arm, verified_x86_to_arm, HelperStyle, MappingScheme, QemuX86ToTcg, RmwLowering,
+    VerifiedTcgToArm, VerifiedX86ToTcg,
+};
+use risotto_mappings::transform::{
+    eliminate_at, eliminate_false_deps, merge_fences_at, reorder_at, Elimination, FencePolicy,
+};
+use risotto_memmodel::{Arm, TcgIr, X86Tso};
+
+/// x86-flavoured corpus programs (sources for x86→* mappings).
+fn x86_corpus() -> Vec<risotto_litmus::Program> {
+    vec![
+        corpus::mp(),
+        corpus::sb(),
+        corpus::sb_fenced(),
+        corpus::lb(),
+        corpus::iriw(),
+        corpus::two_plus_two_w(),
+        corpus::s_test(),
+        corpus::r_test(),
+        corpus::mpq_x86(),
+        corpus::sbq_x86(),
+        corpus::sbal_x86(),
+    ]
+}
+
+#[test]
+fn verified_x86_to_tcg_passes_corpus() {
+    let failures = verify_suite(&VerifiedX86ToTcg, &x86_corpus(), &X86Tso::new(), &TcgIr::new());
+    assert!(failures.is_empty(), "failures: {failures:?}");
+}
+
+#[test]
+fn qemu_x86_to_tcg_already_loses_failed_rmw_ordering() {
+    // Qemu's leading-fence x86→TCG step is *already* unsound under the TCG
+    // model for programs with failed RMWs: a failed TCG RMW generates a
+    // lone `Rsc`, which the GOrd axiom orders only with its successors
+    // (`[Rsc];po`), so the `a=Y → RMW-read` ordering of MPQ is lost — the
+    // verified scheme's *trailing* `Frm` restores it. On RMW-free programs
+    // Qemu's (over-strong) fences are sound.
+    let failures = verify_suite(&QemuX86ToTcg, &x86_corpus(), &X86Tso::new(), &TcgIr::new());
+    let names: Vec<&str> = failures.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["MPQ(x86)"], "unexpected failure set: {failures:?}");
+}
+
+#[test]
+fn verified_tcg_to_arm_passes_tcg_corpus() {
+    let tcg_corpus: Vec<_> = x86_corpus().iter().map(|p| VerifiedX86ToTcg.map_program(p)).collect();
+    for rmw in [RmwLowering::Rmw2Fenced, RmwLowering::Casal] {
+        let failures =
+            verify_suite(&VerifiedTcgToArm { rmw }, &tcg_corpus, &TcgIr::new(), &Arm::corrected());
+        assert!(failures.is_empty(), "rmw={rmw:?}: {failures:?}");
+    }
+}
+
+#[test]
+fn verified_end_to_end_passes_corpus_both_lowerings() {
+    for rmw in [RmwLowering::Rmw2Fenced, RmwLowering::Casal] {
+        let s = verified_x86_to_arm(rmw);
+        let failures = verify_suite(&s, &x86_corpus(), &X86Tso::new(), &Arm::corrected());
+        assert!(failures.is_empty(), "rmw={rmw:?}: {failures:?}");
+    }
+}
+
+#[test]
+fn qemu_end_to_end_fails_exactly_on_rmw_programs() {
+    for helper in [HelperStyle::Gcc9Lxsx, HelperStyle::Gcc10Casal] {
+        let s = qemu_x86_to_arm(helper);
+        let failures = verify_suite(&s, &x86_corpus(), &X86Tso::new(), &Arm::corrected());
+        let names: Vec<&str> = failures.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(!failures.is_empty(), "Qemu scheme must fail somewhere ({helper:?})");
+        for name in &names {
+            assert!(
+                name.contains("MPQ") || name.contains("SBQ") || name.contains("SBAL"),
+                "unexpected failure on fence-only program {name} ({helper:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_sweep_verified_scheme_subsampled() {
+    // ~66 programs from the full alphabet (stride 24).
+    let family = generate_two_thread(&x86_alphabet(), 2, 24);
+    let s = verified_x86_to_arm(RmwLowering::Casal);
+    let failures = verify_suite(&s, &family, &X86Tso::new(), &Arm::corrected());
+    assert!(failures.is_empty(), "failures: {failures:?}");
+}
+
+#[test]
+fn generated_sweep_verified_scheme_small_alphabet_exhaustive() {
+    // All 325 programs over the fence-free alphabet.
+    let family = generate_two_thread(&x86_alphabet_small(), 2, 1);
+    let s = verified_x86_to_arm(RmwLowering::Rmw2Fenced);
+    let failures = verify_suite(&s, &family, &X86Tso::new(), &Arm::corrected());
+    assert!(failures.is_empty(), "failures: {failures:?}");
+}
+
+// ------------------------------------------------------------------------
+// Transformations (Ms = Mt = TCG IR).
+// ------------------------------------------------------------------------
+
+/// Applies every applicable verified elimination/merge/reorder at every
+/// site of every TCG-translated corpus program and Theorem-1-checks each.
+#[test]
+fn verified_transformations_never_introduce_behaviors() {
+    let tcg = TcgIr::new();
+    // Extra TCG programs with eliminable same-location pairs in every
+    // flavour (adjacent and across sound fences).
+    let eliminable = {
+        use risotto_litmus::{Program, Reg};
+        use risotto_memmodel::{FenceKind, Loc};
+        let (x, y) = (Loc(0), Loc(1));
+        vec![
+            Program::builder("elim-rar")
+                .thread(|t| {
+                    t.load(Reg(0), x).load(Reg(1), x).fence(FenceKind::Frm).load(Reg(2), x);
+                })
+                .thread(|t| {
+                    t.store(x, 1).fence(FenceKind::Fww).store(y, 1);
+                })
+                .build(),
+            Program::builder("elim-raw-waw")
+                .thread(|t| {
+                    t.store(x, 1).load(Reg(0), x).store(x, 2).fence(FenceKind::Fww).store(x, 3);
+                })
+                .thread(|t| {
+                    t.load(Reg(1), x).fence(FenceKind::Frm).load(Reg(2), y);
+                })
+                .build(),
+            Program::builder("elim-f-raw")
+                .thread(|t| {
+                    t.store(x, 1).fence(FenceKind::Fsc).load(Reg(0), x);
+                })
+                .thread(|t| {
+                    t.store(x, 2).fence(FenceKind::Fww).load(Reg(1), x).store(y, 1);
+                })
+                .build(),
+        ]
+    };
+    let sources: Vec<_> = x86_corpus()
+        .iter()
+        .map(|p| VerifiedX86ToTcg.map_program(p))
+        .chain([corpus::lb_ir(), corpus::mp_ir(), corpus::merge_example(), corpus::false_dep()])
+        .chain(eliminable)
+        .collect();
+    let mut applied = 0;
+    for src in &sources {
+        for tid in 0..src.threads.len() {
+            for idx in 0..src.threads[tid].instrs.len() {
+                for elim in [Elimination::Rar, Elimination::Raw, Elimination::Waw] {
+                    if let Some(tgt) = eliminate_at(src, tid, idx, elim, FencePolicy::Verified) {
+                        applied += 1;
+                        check_translation(src, &tcg, &tgt, &tcg, BehaviorScope::MemoryOnly)
+                            .unwrap_or_else(|e| panic!("{elim:?} on {}: {e}", src.name));
+                    }
+                }
+                if let Some(tgt) = merge_fences_at(src, tid, idx) {
+                    applied += 1;
+                    check_translation(src, &tcg, &tgt, &tcg, BehaviorScope::MemoryAndRegisters)
+                        .unwrap_or_else(|e| panic!("merge on {}: {e}", src.name));
+                }
+                if let Some(tgt) = reorder_at(src, tid, idx) {
+                    applied += 1;
+                    check_translation(src, &tcg, &tgt, &tcg, BehaviorScope::MemoryAndRegisters)
+                        .unwrap_or_else(|e| panic!("reorder on {}: {e}", src.name));
+                }
+            }
+        }
+        let nodeps = eliminate_false_deps(src);
+        check_translation(src, &tcg, &nodeps, &tcg, BehaviorScope::MemoryAndRegisters)
+            .unwrap_or_else(|e| panic!("false-dep elim on {}: {e}", src.name));
+    }
+    assert!(applied > 10, "sweep applied too few transformations ({applied})");
+}
+
+/// QEMU's any-fence RAW policy is unsound: the FMR program is a concrete
+/// Theorem-1 counterexample.
+#[test]
+fn any_fence_raw_policy_fails_theorem1_on_fmr() {
+    let tcg = TcgIr::new();
+    let src = corpus::fmr_source();
+    // Eliminate `a = Y` after `Y = 2` across the… the pair here is
+    // W(Y,2) · R(Y) adjacent (no fence): plain RAW. The *unsoundness* comes
+    // from the Fmr earlier in the thread. Apply RAW at the W Y=2 site.
+    let idx = src.threads[0]
+        .instrs
+        .iter()
+        .position(|i| matches!(i, risotto_litmus::Instr::Store { loc, .. } if loc.loc() == corpus::Y))
+        .unwrap();
+    let tgt = eliminate_at(&src, 0, idx, Elimination::Raw, FencePolicy::AnyFence).unwrap();
+    let res = check_translation(&src, &tcg, &tgt, &tcg, BehaviorScope::MemoryAndRegisters);
+    assert!(res.is_err(), "RAW after an Fmr-bearing prefix must be unsound (FMR, §3.2)");
+}

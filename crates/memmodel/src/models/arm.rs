@@ -1,0 +1,171 @@
+//! The Arm (Armed-Cats) model, in the fragment covering the paper's
+//! primitives (§5.2, Fig. 5) — in both the *original* form and the
+//! *corrected* form proposed by the paper and adopted upstream.
+//!
+//! ```text
+//! (external)  ob is irreflexive, where
+//!             ob  ≜ (rfe ∪ coe ∪ fre ∪ lob)⁺
+//!             lob ≜ (lws ∪ dob ∪ aob ∪ bob)⁺
+//! ```
+//!
+//! The `bob` component differs between variants: the paper discovered (§3.3)
+//! that the original model does not make a successful `CASAL`
+//! (`[A];amo;[L]`) act as a full barrier — the SBAL litmus test exhibits a
+//! store-buffering outcome that x86 forbids — and proposed replacing the
+//! `po;[A];amo;[L];po` clause with
+//! `po;[dom([A];amo;[L])] ∪ [codom([A];amo;[L])];po`, which was accepted
+//! upstream (herdtools PR #322).
+
+use super::{common_axioms, MemoryModel};
+use crate::event::{FenceKind, RmwTag};
+use crate::execution::Execution;
+use crate::relation::{EventSet, Relation};
+
+/// Which version of the Armed-Cats `bob` to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArmVariant {
+    /// The model as published before the paper's fix: `po;[A];amo;[L];po`.
+    Original,
+    /// The strengthened model: a successful `RMW1_AL` is a full barrier.
+    Corrected,
+}
+
+/// The Arm consistency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arm {
+    variant: ArmVariant,
+}
+
+impl Arm {
+    /// The original (pre-fix) Armed-Cats model.
+    pub fn original() -> Arm {
+        Arm { variant: ArmVariant::Original }
+    }
+
+    /// The corrected model with the paper's `casal` strengthening.
+    pub fn corrected() -> Arm {
+        Arm { variant: ArmVariant::Corrected }
+    }
+
+    /// The variant in use.
+    pub fn variant(&self) -> ArmVariant {
+        self.variant
+    }
+
+    /// Local write successor: `lws ≜ po|loc ; [W]` restricted to accesses —
+    /// any access is ordered before a po-later same-location write.
+    pub fn lws(x: &Execution) -> Relation {
+        x.po_loc().restrict_codomain(x.writes())
+    }
+
+    /// Dependency-ordered-before. Covers the dependency shapes our programs
+    /// can produce: `addr ∪ data ∪ ctrl;[W] ∪ addr;po;[W] ∪ (addr ∪ data);rfi`.
+    pub fn dob(x: &Execution) -> Relation {
+        let w = x.writes();
+        let ad = x.addr.union(&x.data);
+        x.addr
+            .union(&x.data)
+            .union(&x.ctrl.restrict_codomain(w))
+            .union(&x.addr.compose(&x.po).restrict_codomain(w))
+            .union(&ad.compose(&x.rfi()))
+    }
+
+    /// Atomic-ordered-before: `aob ≜ rmw ∪ [codom(rmw)];rfi;[A ∪ Q]`.
+    pub fn aob(x: &Execution) -> Relation {
+        let rmw = x.rmw();
+        let acq = x.reads_with_mode(|m| m.is_acquire() || m.is_acquire_pc());
+        rmw.union(&x.rfi().restrict_domain(rmw.codomain()).restrict_codomain(acq))
+    }
+
+    /// Barrier-ordered-before for the chosen variant.
+    pub fn bob(x: &Execution, variant: ArmVariant) -> Relation {
+        let r = x.reads();
+        let w = x.writes();
+        let acq = x.reads_with_mode(|m| m.is_acquire());
+        let acq_pc = x.reads_with_mode(|m| m.is_acquire_pc());
+        let rel = x.writes_with_mode(|m| m.is_release());
+
+        let full = x.fences(FenceKind::DmbFf);
+        let ld = x.fences(FenceKind::DmbLd);
+        let st = x.fences(FenceKind::DmbSt);
+
+        // po;[F];po
+        let mut bob = x.po.restrict_codomain(full).compose(&x.po.restrict_domain(full));
+        // [R];po;[Fld];po
+        bob = bob.union(
+            &x.po
+                .restrict_domain(r)
+                .restrict_codomain(ld)
+                .compose(&x.po.restrict_domain(ld)),
+        );
+        // [W];po;[Fst];po;[W]
+        bob = bob.union(
+            &x.po
+                .restrict_domain(w)
+                .restrict_codomain(st)
+                .compose(&x.po.restrict_domain(st).restrict_codomain(w)),
+        );
+        // [A ∪ Q];po
+        bob = bob.union(&x.po.restrict_domain(acq.union(acq_pc)));
+        // po;[L]
+        bob = bob.union(&x.po.restrict_codomain(rel));
+        // [L];po;[A]
+        bob = bob.union(&x.po.restrict_domain(rel).restrict_codomain(acq));
+
+        // The amo clause: aal ≜ [A];amo;[L].
+        let amo = x.rmw_tagged(RmwTag::Amo);
+        let aal = aal_pairs(x, &amo);
+        match variant {
+            ArmVariant::Original => {
+                // po;[A];amo;[L];po — ordering only *through* the RMW:
+                // p → q whenever p po r, aal(r, w), w po q.
+                let through = x.po.compose(&aal).compose(&x.po);
+                bob = bob.union(&through);
+            }
+            ArmVariant::Corrected => {
+                // po;[dom(aal)] ∪ [codom(aal)];po — the RMW's own events act
+                // as the barrier end-points.
+                bob = bob.union(&x.po.restrict_codomain(aal.domain()));
+                bob = bob.union(&x.po.restrict_domain(aal.codomain()));
+            }
+        }
+        bob
+    }
+
+    /// Locally-ordered-before: `(lws ∪ dob ∪ aob ∪ bob)⁺`.
+    pub fn lob(x: &Execution, variant: ArmVariant) -> Relation {
+        Self::lws(x)
+            .union(&Self::dob(x))
+            .union(&Self::aob(x))
+            .union(&Self::bob(x, variant))
+            .transitive_closure()
+    }
+}
+
+/// `[A];amo;[L]`: successful single-instruction RMWs whose read is acquire
+/// and whose write is release (e.g. `CASAL`).
+fn aal_pairs(x: &Execution, amo: &Relation) -> Relation {
+    let acq: EventSet = x.reads_with_mode(|m| m.is_acquire());
+    let rel: EventSet = x.writes_with_mode(|m| m.is_release());
+    amo.restrict_domain(acq).restrict_codomain(rel)
+}
+
+impl MemoryModel for Arm {
+    fn name(&self) -> &str {
+        match self.variant {
+            ArmVariant::Original => "Arm (Armed-Cats, original)",
+            ArmVariant::Corrected => "Arm (Armed-Cats, corrected)",
+        }
+    }
+
+    fn is_consistent(&self, x: &Execution) -> bool {
+        if !common_axioms(x) {
+            return false;
+        }
+        let ob = Self::lob(x, self.variant)
+            .union(&x.rfe())
+            .union(&x.coe())
+            .union(&x.fre());
+        ob.is_acyclic()
+    }
+}

@@ -1,0 +1,118 @@
+//! Consistency models: SC, x86-TSO, the TCG IR model and Arm (Armed-Cats).
+//!
+//! Each model is a predicate on [`Execution`]s. An execution that satisfies
+//! every axiom of a model `M` is *`M`-consistent*; the set of behaviors of a
+//! program under `M` is the set of behaviors of its consistent executions
+//! (paper, §5.1).
+//!
+//! All four models share the two common axioms (§5.2):
+//!
+//! * **sc-per-loc** (coherence): `(po|loc ∪ rf ∪ co ∪ fr)⁺` is irreflexive.
+//! * **atomicity**: `rmw ∩ (fre ; coe) = ∅`.
+//!
+//! and add one model-specific global-ordering axiom each.
+
+mod arm;
+mod sc;
+mod tcg;
+mod x86;
+
+pub use arm::{Arm, ArmVariant};
+pub use sc::Sc;
+pub use tcg::TcgIr;
+pub use x86::X86Tso;
+
+use crate::execution::Execution;
+use crate::relation::Relation;
+
+/// A memory consistency model: a named consistency predicate on executions.
+pub trait MemoryModel {
+    /// Human-readable model name (used in reports and error messages).
+    fn name(&self) -> &str;
+
+    /// `true` if the (well-formed) execution satisfies every axiom.
+    fn is_consistent(&self, x: &Execution) -> bool;
+}
+
+/// The **sc-per-loc** axiom: `(po|loc ∪ rf ∪ co ∪ fr)⁺` irreflexive.
+pub fn sc_per_loc(x: &Execution) -> bool {
+    x.po_loc().union(&x.rf).union(&x.co).union(&x.fr()).is_acyclic()
+}
+
+/// The **atomicity** axiom: `rmw ∩ (fre ; coe) = ∅`.
+///
+/// For each successful RMW pair `(r, w)` there must be no write `w'` with
+/// `fre(r, w')` and `coe(w', w)` — i.e. no foreign write slips between the
+/// read and the write of the atomic update.
+pub fn atomicity(x: &Execution) -> bool {
+    let bad = x.fre().compose(&x.coe());
+    x.rmw().intersect(&bad).is_empty()
+}
+
+/// Convenience: both common axioms.
+pub fn common_axioms(x: &Execution) -> bool {
+    sc_per_loc(x) && atomicity(x)
+}
+
+/// Helper shared by the models: `[a] ; po ; [f] ; po ; [b]` — events of
+/// class `a` ordered before events of class `b` by an intermediate fence
+/// event of set `f`.
+pub(crate) fn fence_order(
+    x: &Execution,
+    a: crate::relation::EventSet,
+    f: crate::relation::EventSet,
+    b: crate::relation::EventSet,
+) -> Relation {
+    x.po
+        .restrict_domain(a)
+        .restrict_codomain(f)
+        .compose(&x.po.restrict_domain(f).restrict_codomain(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessMode, EventKind, Loc, RmwTag, Tid, Val};
+    use crate::execution::{ExecutionBuilder, RmwPair};
+
+    /// init X=0; T0: RMW(X: 0→1); T1: W X=2. With co = init < W2 < Wrmw but
+    /// rf(init, Rrmw): atomicity violated (W2 intervenes).
+    #[test]
+    fn atomicity_detects_intervening_write() {
+        let mut b = ExecutionBuilder::new();
+        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        let r = b.push_event(Some(Tid(0)), EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        let w = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
+        let w2 = b.push_event(Some(Tid(1)), EventKind::Write { loc: Loc(0), val: Val(2), mode: AccessMode::Plain });
+        b.push_po(r, w);
+        b.push_rmw(RmwPair { read: r, write: Some(w), tag: RmwTag::X86 });
+        let mut x = b.build();
+        x.rf.insert(ix, r);
+        // co: ix < w2 < w
+        x.co.insert(ix, w2);
+        x.co.insert(ix, w);
+        x.co.insert(w2, w);
+        assert!(x.is_well_formed(), "{}", x.dump());
+        assert!(!atomicity(&x));
+        // Flipping co so the RMW's write immediately follows its read source
+        // restores atomicity: co = ix < w < w2.
+        let mut y = x.clone();
+        y.co = crate::relation::Relation::from_pairs(y.len(), [(ix, w), (ix, w2), (w, w2)]);
+        assert!(atomicity(&y));
+    }
+
+    /// Coherence: W X=1 po-before R X=0 reading init is a coherence cycle.
+    #[test]
+    fn sc_per_loc_detects_stale_read_after_own_write() {
+        let mut b = ExecutionBuilder::new();
+        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        let w = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
+        let r = b.push_event(Some(Tid(0)), EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        b.push_po(w, r);
+        let mut x = b.build();
+        x.rf.insert(ix, r);
+        x.co.insert(ix, w);
+        assert!(x.is_well_formed());
+        assert!(!sc_per_loc(&x)); // r fr w (reads init, w co-after), but w po r
+    }
+}

@@ -1,0 +1,56 @@
+//! Sequential consistency, used as a reference point in tests.
+
+use super::{common_axioms, MemoryModel};
+use crate::execution::Execution;
+
+/// Lamport sequential consistency: `(po ∪ rf ∪ co ∪ fr)` acyclic.
+///
+/// Under SC every execution is an interleaving of the threads' operations;
+/// weak behaviors like the `MP` outcome `a = 1, b = 0` are forbidden.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sc;
+
+impl Sc {
+    /// Creates the model.
+    pub fn new() -> Sc {
+        Sc
+    }
+}
+
+impl MemoryModel for Sc {
+    fn name(&self) -> &str {
+        "SC"
+    }
+
+    fn is_consistent(&self, x: &Execution) -> bool {
+        common_axioms(x) && x.po.union(&x.rf).union(&x.co).union(&x.fr()).is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessMode, EventKind, Loc, Tid, Val};
+    use crate::execution::ExecutionBuilder;
+
+    /// The MP weak outcome (a = 1, b = 0) must be SC-inconsistent.
+    #[test]
+    fn sc_forbids_mp_weak_outcome() {
+        let mut b = ExecutionBuilder::new();
+        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        let iy = b.push_event(None, EventKind::Write { loc: Loc(1), val: Val(0), mode: AccessMode::Plain });
+        let wx = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
+        let wy = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(1), val: Val(1), mode: AccessMode::Plain });
+        let ry = b.push_event(Some(Tid(1)), EventKind::Read { loc: Loc(1), val: Val(1), mode: AccessMode::Plain });
+        let rx = b.push_event(Some(Tid(1)), EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        b.push_po(wx, wy);
+        b.push_po(ry, rx);
+        let mut x = b.build();
+        x.rf.insert(wy, ry);
+        x.rf.insert(ix, rx);
+        x.co.insert(ix, wx);
+        x.co.insert(iy, wy);
+        assert!(x.is_well_formed());
+        assert!(!Sc.is_consistent(&x));
+    }
+}

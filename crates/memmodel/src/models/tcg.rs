@@ -1,0 +1,89 @@
+//! The TCG IR concurrency model proposed by the paper (§5.3, Fig. 6).
+//!
+//! ```text
+//! (GOrd)  ghb is irreflexive, where
+//!         ghb ≜ (ord ∪ rfe ∪ coe ∪ fre)⁺
+//!         ord ≜ [R];po;[Frr];po;[R]    ∪ [R];po;[Frw];po;[W]
+//!             ∪ [R];po;[Frm];po;[R∪W]  ∪ [W];po;[Fwr];po;[R]
+//!             ∪ [W];po;[Fww];po;[W]    ∪ [W];po;[Fwm];po;[R∪W]
+//!             ∪ [R∪W];po;[Fmr];po;[R]  ∪ [R∪W];po;[Fmw];po;[W]
+//!             ∪ [R∪W];po;[Fmm];po;[R∪W]
+//!             ∪ po;[Wsc ∪ dom(rmw)] ∪ [Rsc ∪ codom(rmw)];po
+//!             ∪ po;[Fsc] ∪ [Fsc];po
+//! ```
+//!
+//! TCG RMWs follow SC semantics: a successful RMW generates an
+//! `[Rsc];rmw;[Wsc]` pair, a failed RMW a lone `Rsc`. Plain `ld`/`st`
+//! accesses are unordered unless a fence intervenes, which is what licenses
+//! TCG's reordering and false-dependency-elimination optimizations (§5.4).
+
+use super::{common_axioms, fence_order, MemoryModel};
+use crate::event::{AccessMode, FenceKind};
+use crate::execution::Execution;
+use crate::relation::Relation;
+
+/// The TCG IR consistency model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcgIr;
+
+impl TcgIr {
+    /// Creates the model.
+    pub fn new() -> TcgIr {
+        TcgIr
+    }
+
+    /// The `ord` relation of Fig. 6.
+    pub fn ord(x: &Execution) -> Relation {
+        let r = x.reads();
+        let w = x.writes();
+        let m = r.union(w);
+        let mut ord = Relation::empty(x.len());
+        for kind in FenceKind::TCG_ALL {
+            if kind == FenceKind::Fsc {
+                continue; // handled below: Fsc orders *all* events
+            }
+            if let Some((pre, post)) = kind.tcg_order() {
+                let pre_set = class_set(x, pre);
+                let post_set = class_set(x, post);
+                ord = ord.union(&fence_order(x, pre_set, x.fences(kind), post_set));
+            }
+        }
+        // RMW events: SC semantics. po;[Wsc ∪ dom(rmw)] ∪ [Rsc ∪ codom(rmw)];po.
+        let rmw = x.rmw();
+        let rsc = x.reads_with_mode(|mo| mo == AccessMode::Sc);
+        let wsc = x.writes_with_mode(|mo| mo == AccessMode::Sc);
+        ord = ord.union(&x.po.restrict_codomain(wsc.union(rmw.domain())));
+        ord = ord.union(&x.po.restrict_domain(rsc.union(rmw.codomain())));
+        // Fsc fences: ordered with everything.
+        let fsc = x.fences(FenceKind::Fsc);
+        ord = ord.union(&x.po.restrict_codomain(fsc));
+        ord = ord.union(&x.po.restrict_domain(fsc));
+        let _ = m;
+        ord
+    }
+}
+
+fn class_set(x: &Execution, class: crate::event::AccessClass) -> crate::relation::EventSet {
+    let mut s = crate::relation::EventSet::EMPTY;
+    if class.reads {
+        s = s.union(x.reads());
+    }
+    if class.writes {
+        s = s.union(x.writes());
+    }
+    s
+}
+
+impl MemoryModel for TcgIr {
+    fn name(&self) -> &str {
+        "TCG-IR"
+    }
+
+    fn is_consistent(&self, x: &Execution) -> bool {
+        if !common_axioms(x) {
+            return false;
+        }
+        let ghb = Self::ord(x).union(&x.rfe()).union(&x.coe()).union(&x.fre());
+        ghb.is_acyclic()
+    }
+}

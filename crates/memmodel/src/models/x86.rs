@@ -1,0 +1,65 @@
+//! The x86-TSO model, as summarized in the paper (§5.2).
+//!
+//! ```text
+//! (GHB)  (implied ∪ ppo ∪ rfe ∪ fr ∪ co)⁺ is irreflexive, where
+//!        ppo     ≜ ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po
+//!        implied ≜ po;[At ∪ F] ∪ [At ∪ F];po
+//!        At      ≜ dom(rmw) ∪ codom(rmw)
+//! ```
+//!
+//! `ppo` forbids every reordering except write→read; a successful RMW (or an
+//! `MFENCE`) restores even that ordering via `implied`.
+
+use super::{common_axioms, MemoryModel};
+use crate::event::FenceKind;
+use crate::execution::Execution;
+use crate::relation::Relation;
+
+/// The x86-TSO consistency model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct X86Tso;
+
+impl X86Tso {
+    /// Creates the model.
+    pub fn new() -> X86Tso {
+        X86Tso
+    }
+
+    /// Preserved program order: all po pairs except write→read.
+    pub fn ppo(x: &Execution) -> Relation {
+        let r = x.reads();
+        let w = x.writes();
+        let ww = x.po.restrict_domain(w).restrict_codomain(w);
+        let rw = x.po.restrict_domain(r).restrict_codomain(w);
+        let rr = x.po.restrict_domain(r).restrict_codomain(r);
+        ww.union(&rw).union(&rr)
+    }
+
+    /// The `implied` relation: ordering induced by `MFENCE` events and by
+    /// the read/write events of successful RMWs.
+    pub fn implied(x: &Execution) -> Relation {
+        let rmw = x.rmw();
+        let at = rmw.domain().union(rmw.codomain());
+        let f = x.fences(FenceKind::MFence);
+        let atf = at.union(f);
+        x.po.restrict_codomain(atf).union(&x.po.restrict_domain(atf))
+    }
+}
+
+impl MemoryModel for X86Tso {
+    fn name(&self) -> &str {
+        "x86-TSO"
+    }
+
+    fn is_consistent(&self, x: &Execution) -> bool {
+        if !common_axioms(x) {
+            return false;
+        }
+        let ghb = Self::implied(x)
+            .union(&Self::ppo(x))
+            .union(&x.rfe())
+            .union(&x.fr())
+            .union(&x.co);
+        ghb.is_acyclic()
+    }
+}

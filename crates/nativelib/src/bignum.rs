@@ -1,0 +1,403 @@
+//! A small big-unsigned-integer library — the RSA stand-in.
+//!
+//! The paper's `rsa1024`/`rsa2048` sign/verify benchmarks exercise
+//! OpenSSL's modular exponentiation. We reproduce the computational
+//! character with a schoolbook big-integer `modpow`: *sign* raises to a
+//! full-width secret exponent, *verify* to 65537, so the sign/verify
+//! throughput asymmetry of Fig. 13 appears naturally. The work counter
+//! (`limb_ops`) feeds the native cost model.
+
+/// A little-endian array of 64-bit limbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigU {
+    /// Limbs, least significant first. Never empty; may carry leading
+    /// zero limbs.
+    pub limbs: Vec<u64>,
+}
+
+impl BigU {
+    /// Zero with the given width.
+    pub fn zero(limbs: usize) -> BigU {
+        BigU { limbs: vec![0; limbs.max(1)] }
+    }
+
+    /// From a single u64.
+    pub fn from_u64(v: u64) -> BigU {
+        BigU { limbs: vec![v] }
+    }
+
+    /// From little-endian limbs.
+    pub fn from_limbs(limbs: &[u64]) -> BigU {
+        BigU { limbs: if limbs.is_empty() { vec![0] } else { limbs.to_vec() } }
+    }
+
+    /// Deterministic pseudo-random value of `limbs` limbs (xorshift from a
+    /// seed) — used to build benchmark moduli/exponents reproducibly.
+    pub fn pseudo_random(limbs: usize, mut seed: u64) -> BigU {
+        let mut out = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            out.push(seed);
+        }
+        // Ensure the top limb is non-zero and the value is odd (a
+        // plausible modulus).
+        let last = out.len() - 1;
+        out[last] |= 1 << 63;
+        out[0] |= 1;
+        BigU { limbs: out }
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return i * 64 + (64 - l.leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Tests bit `i`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs.get(i / 64).is_some_and(|l| l >> (i % 64) & 1 == 1)
+    }
+
+    /// `true` if zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_big(&self, other: &BigU) -> std::cmp::Ordering {
+        let n = self.limbs.len().max(other.limbs.len());
+        for i in (0..n).rev() {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            if a != b {
+                return a.cmp(&b);
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// `self - other` (must not underflow). Counts limb ops into `work`.
+    pub fn sub(&self, other: &BigU, work: &mut u64) -> BigU {
+        debug_assert!(self.cmp_big(other) != std::cmp::Ordering::Less);
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            *work += 1;
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 || b2) as u64;
+        }
+        BigU { limbs: out }
+    }
+
+    /// Schoolbook product. Counts limb multiplications into `work`.
+    pub fn mul(&self, other: &BigU, work: &mut u64) -> BigU {
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                *work += 1;
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigU { limbs: out }
+    }
+
+    /// Left shift by one bit.
+    fn shl1(&mut self) {
+        let mut carry = 0u64;
+        for l in self.limbs.iter_mut() {
+            let new_carry = *l >> 63;
+            *l = (*l << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            self.limbs.push(1);
+        }
+    }
+
+    /// `self mod m` by binary long division. Counts limb ops.
+    pub fn rem(&self, m: &BigU, work: &mut u64) -> BigU {
+        assert!(!m.is_zero(), "modulo zero");
+        if self.cmp_big(m) == std::cmp::Ordering::Less {
+            return self.clone();
+        }
+        let mut r = BigU::zero(m.limbs.len());
+        for i in (0..self.bit_len()).rev() {
+            r.shl1();
+            if self.bit(i) {
+                r.limbs[0] |= 1;
+            }
+            *work += 1;
+            if r.cmp_big(m) != std::cmp::Ordering::Less {
+                r = r.sub(m, work);
+            }
+        }
+        r.limbs.truncate(m.limbs.len().max(1));
+        r
+    }
+
+    /// Modular exponentiation (square-and-multiply, left-to-right).
+    /// Returns `(result, limb_ops)` — the work count drives the cost
+    /// model.
+    pub fn modpow(&self, exp: &BigU, m: &BigU) -> (BigU, u64) {
+        let mut work = 0u64;
+        let mut result = BigU::from_u64(1);
+        let base = self.rem(m, &mut work);
+        let bits = exp.bit_len();
+        for i in (0..bits).rev() {
+            result = result.mul(&result, &mut work).rem(m, &mut work);
+            if exp.bit(i) {
+                result = result.mul(&base, &mut work).rem(m, &mut work);
+            }
+        }
+        (result, work)
+    }
+}
+
+/// Modular exponentiation modulo the pseudo-Mersenne modulus
+/// `m = 2^(64·n) − c` over fixed-width `n`-limb arrays.
+///
+/// Reduction is by folding (`x = hi·2^(64n) + lo ≡ hi·c + lo`), which is
+/// the trick real crypto libraries use for special primes — and what makes
+/// both the native benchmark and its MiniX86 guest twin tractable.
+/// Returns `(result, limb_ops)`.
+///
+/// # Panics
+///
+/// Panics if `base` or `exp` are not `n` limbs, or `c` is 0.
+pub fn modpow_pm(base: &[u64], exp: &[u64], c: u64) -> (Vec<u64>, u64) {
+    assert!(c != 0, "c must be non-zero");
+    assert_eq!(base.len(), exp.len());
+    let n = base.len();
+    let mut work = 0u64;
+
+    // Multiply two n-limb values into 2n limbs.
+    let mul = |a: &[u64], b: &[u64], work: &mut u64| -> Vec<u64> {
+        let mut out = vec![0u64; 2 * n];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                *work += 1;
+                let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + n;
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        out
+    };
+
+    // Reduce a 2n-limb value modulo 2^(64n) − c into n limbs.
+    let reduce = |x: &[u64], work: &mut u64| -> Vec<u64> {
+        let mut lo: Vec<u64> = x[..n].to_vec();
+        let mut hi: Vec<u64> = x[n..].to_vec();
+        // Fold until hi is empty (at most a few iterations since c < 2^64).
+        while hi.iter().any(|&l| l != 0) {
+            // lo += hi * c  (hi shrinks by roughly n limbs per fold).
+            let mut carry = 0u128;
+            let mut new_hi = 0u64;
+            for (i, slot) in lo.iter_mut().enumerate() {
+                *work += 1;
+                let h = hi.get(i).copied().unwrap_or(0);
+                let cur = *slot as u128 + h as u128 * c as u128 + carry;
+                *slot = cur as u64;
+                carry = cur >> 64;
+            }
+            // Anything left in hi beyond n limbs (can't happen: hi ≤ n
+            // limbs) plus the carry becomes the next hi.
+            new_hi = new_hi.wrapping_add(carry as u64);
+            hi = vec![new_hi];
+            if new_hi == 0 {
+                break;
+            }
+            // Loop folds the single-limb hi next round.
+            hi.resize(1, 0);
+        }
+        // Final conditional subtractions: while lo ≥ m, lo −= m, i.e.
+        // lo − (2^(64n) − c) = lo + c − 2^(64n). lo ≥ m iff lo+c carries
+        // out of n limbs or lo == m exactly.
+        loop {
+            // Compare lo with m = 2^(64n) − c: lo ≥ m iff lo + c ≥ 2^(64n).
+            let mut carry = c as u128;
+            let mut tmp = lo.clone();
+            for t in tmp.iter_mut() {
+                *work += 1;
+                let cur = *t as u128 + carry;
+                *t = cur as u64;
+                carry = cur >> 64;
+            }
+            if carry == 0 {
+                break;
+            }
+            lo = tmp; // lo + c mod 2^(64n) == lo − m
+        }
+        lo
+    };
+
+    // Square-and-multiply, LSB-first, over the exponent's *significant*
+    // bits only — this is what makes verify (e = 65537, 17 bits) an order
+    // of magnitude cheaper than sign (full-width secret exponent).
+    let mut result = vec![0u64; n];
+    result[0] = 1;
+    let mut b = base.to_vec();
+    let total_bits = exp
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &l)| l != 0)
+        .map(|(i, &l)| i * 64 + 64 - l.leading_zeros() as usize)
+        .unwrap_or(0);
+    for i in 0..total_bits {
+        if exp[i / 64] >> (i % 64) & 1 == 1 {
+            let p = mul(&result, &b, &mut work);
+            result = reduce(&p, &mut work);
+        }
+        if i + 1 < total_bits {
+            let s = mul(&b, &b, &mut work);
+            b = reduce(&s, &mut work);
+        }
+    }
+    (result, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u128(v: u128) -> BigU {
+        BigU::from_limbs(&[v as u64, (v >> 64) as u64])
+    }
+
+    #[test]
+    fn small_arithmetic_matches_u128() {
+        let mut w = 0;
+        let a = from_u128(0xdead_beef_1234_5678_9abc_def0);
+        let b = from_u128(0x1111_2222_3333_4444);
+        let p = a.mul(&b, &mut w);
+        // Check against u128 where it fits: (a*b) mod 2^128.
+        let expect =
+            0xdead_beef_1234_5678_9abc_def0u128.wrapping_mul(0x1111_2222_3333_4444u128);
+        assert_eq!(p.limbs[0], expect as u64);
+        assert_eq!(p.limbs[1], (expect >> 64) as u64);
+        assert!(w > 0);
+    }
+
+    #[test]
+    fn rem_matches_u128() {
+        let mut w = 0;
+        let a = from_u128(987654321987654321987654321);
+        let m = from_u128(1000000007);
+        let r = a.rem(&m, &mut w);
+        assert_eq!(r.limbs[0] as u128, 987654321987654321987654321u128 % 1000000007);
+    }
+
+    #[test]
+    fn modpow_matches_u128_reference() {
+        // 5^117 mod 1000000007 — computable by repeated squaring in u128.
+        fn refpow(mut b: u128, mut e: u128, m: u128) -> u128 {
+            let mut r = 1u128;
+            b %= m;
+            while e > 0 {
+                if e & 1 == 1 {
+                    r = r * b % m;
+                }
+                b = b * b % m;
+                e >>= 1;
+            }
+            r
+        }
+        let (r, work) = BigU::from_u64(5).modpow(&BigU::from_u64(117), &BigU::from_u64(1000000007));
+        assert_eq!(r.limbs[0] as u128, refpow(5, 117, 1000000007));
+        assert!(work > 0);
+    }
+
+    #[test]
+    fn fermat_little_theorem_holds() {
+        // p prime ⇒ a^(p-1) ≡ 1 (mod p).
+        let p = BigU::from_u64(1000000007);
+        let pm1 = BigU::from_u64(1000000006);
+        for a in [2u64, 3, 65537] {
+            let (r, _) = BigU::from_u64(a).modpow(&pm1, &p);
+            assert_eq!(r.limbs[0], 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn sign_is_much_more_work_than_verify() {
+        // 1024-bit modulus: sign exponent full-width, verify 65537.
+        let m = BigU::pseudo_random(16, 42);
+        let d = BigU::pseudo_random(16, 43);
+        let e = BigU::from_u64(65537);
+        let msg = BigU::pseudo_random(16, 44);
+        let (_, sign_work) = msg.modpow(&d, &m);
+        let (_, verify_work) = msg.modpow(&e, &m);
+        assert!(
+            sign_work > 20 * verify_work,
+            "sign {sign_work} vs verify {verify_work}"
+        );
+    }
+
+    #[test]
+    fn modpow_pm_agrees_with_generic_modpow() {
+        // m = 2^128 − c with small c: limbs [2^64 − c, 2^64 − 1].
+        for (c, seed) in [(159u64, 1u64), (5, 2), (1017, 3)] {
+            let m = BigU::from_limbs(&[c.wrapping_neg(), u64::MAX]);
+            let base = BigU::pseudo_random(2, seed);
+            let exp = BigU::from_limbs(&[0x1234_5678_9abc_def0, seed]);
+            let (expect, _) = base.modpow(&exp, &m);
+            let (got, work) = modpow_pm(&base.limbs, &exp.limbs, c);
+            assert_eq!(got, expect.limbs, "c = {c}");
+            assert!(work > 0);
+        }
+    }
+
+    #[test]
+    fn modpow_pm_fermat() {
+        // 2^61 − 1 is prime (Mersenne): a^(m−1) ≡ 1 — but our width is a
+        // multiple of 64, so use m = 2^64 − 59 (prime).
+        let c = 59u64;
+        let m_minus_1 = [u64::MAX - 59]; // 2^64 − 60
+        for a in [2u64, 3, 65537] {
+            let (r, _) = modpow_pm(&[a], &m_minus_1, c);
+            assert_eq!(r, vec![1], "a = {a}");
+        }
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        let v = BigU::from_limbs(&[0, 0b1010]);
+        assert_eq!(v.bit_len(), 64 + 4);
+        assert!(v.bit(65));
+        assert!(!v.bit(64));
+        assert!(BigU::zero(4).is_zero());
+        assert_eq!(BigU::zero(4).bit_len(), 0);
+    }
+}

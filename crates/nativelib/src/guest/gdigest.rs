@@ -1,0 +1,718 @@
+//! MD5 / SHA-1 / SHA-256 in MiniX86 assembly — the guest-library digests.
+//!
+//! These are the routines QEMU translates when the dynamic host linker is
+//! off; they must produce byte-identical digests to [`crate::digest`]
+//! (checked end-to-end by the integration suite). Like old C libraries,
+//! they use static scratch buffers and are **not reentrant** — fine for
+//! the single-threaded Fig. 13 benchmarks.
+//!
+//! Functions follow the guest ABI: `(RDI, RSI, RDX) = (data, len, out)`,
+//! digest length returned in `RAX`. 32-bit arithmetic is emulated with
+//! 64-bit registers masked to 32 bits.
+
+use crate::digest::{SHA256_H0, SHA256_K};
+use risotto_guest_x86::{AluOp, Cond, GelfBuilder, Gpr};
+
+const M32: u64 = 0xFFFF_FFFF;
+
+/// Common register roles across the three digests.
+const A: Gpr = Gpr::R8;
+const B: Gpr = Gpr::R9;
+const C: Gpr = Gpr::R10;
+const D: Gpr = Gpr::R11;
+
+/// Emits `dst = rotr32(dst, imm)` (clobbers `tmp`). `imm` ∈ 1..=31.
+fn rotr32_imm(b: &mut GelfBuilder, dst: Gpr, imm: u32, tmp: Gpr) {
+    b.asm.mov_rr(tmp, dst);
+    b.asm.alu_ri(AluOp::Shr, tmp, imm as u64);
+    b.asm.alu_ri(AluOp::Shl, dst, (32 - imm) as u64);
+    b.asm.alu_rr(AluOp::Or, dst, tmp);
+    b.asm.alu_ri(AluOp::And, dst, M32);
+}
+
+/// Emits the shared tail-padding code: copies `len & 63` remaining bytes
+/// from the data pointer in `RBX` into the scratch buffer, appends `0x80`,
+/// zero-fills, writes the 64-bit bit length (little- or big-endian), and
+/// leaves the number of tail blocks (1 or 2) in `R13`.
+///
+/// In: `RBX` = tail source, `[len_slot]` = total length. Clobbers
+/// RAX, RCX, RDX, RSI, RDI.
+fn emit_tail_padding(b: &mut GelfBuilder, fname: &str, scratch: u64, len_slot: u64, big_endian: bool) {
+    let l = |s: &str| format!("{fname}_{s}");
+    // rem = len & 63; src = RBX; dst = scratch.
+    b.asm.mov_ri(Gpr::RCX, len_slot);
+    b.asm.load(Gpr::RCX, Gpr::RCX, 0);
+    b.asm.alu_ri(AluOp::And, Gpr::RCX, 63); // rem
+    b.asm.mov_rr(Gpr::RSI, Gpr::RBX); // src
+    b.asm.mov_ri(Gpr::RDI, scratch); // dst
+    b.asm.label(&l("copy"));
+    b.asm.cmp_ri(Gpr::RCX, 0);
+    b.asm.jcc_to(Cond::E, &l("copied"));
+    b.asm.load_b(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.store_b(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 1);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 1);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+    b.asm.jmp_to(&l("copy"));
+    b.asm.label(&l("copied"));
+    // Append 0x80.
+    b.asm.mov_ri(Gpr::RAX, 0x80);
+    b.asm.store_b(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 1);
+    // Decide 1 or 2 tail blocks: rem' = RDI - scratch; if rem' > 56 → 2.
+    b.asm.mov_rr(Gpr::RCX, Gpr::RDI);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, scratch);
+    b.asm.mov_ri(Gpr::R13, 1);
+    b.asm.mov_ri(Gpr::RDX, scratch + 56); // zero-fill target
+    b.asm.cmp_ri(Gpr::RCX, 56);
+    b.asm.jcc_to(Cond::Be, &l("zfill"));
+    b.asm.mov_ri(Gpr::R13, 2);
+    b.asm.mov_ri(Gpr::RDX, scratch + 120);
+    b.asm.label(&l("zfill"));
+    // Zero until RDI reaches RDX.
+    b.asm.mov_ri(Gpr::RAX, 0);
+    b.asm.label(&l("zloop"));
+    b.asm.cmp_rr(Gpr::RDI, Gpr::RDX);
+    b.asm.jcc_to(Cond::Ae, &l("zdone"));
+    b.asm.store_b(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 1);
+    b.asm.jmp_to(&l("zloop"));
+    b.asm.label(&l("zdone"));
+    // Bit length at RDX (== RDI now).
+    b.asm.mov_ri(Gpr::RCX, len_slot);
+    b.asm.load(Gpr::RCX, Gpr::RCX, 0);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    if big_endian {
+        // Byte-swap the u64: store bytes MSB-first.
+        for i in 0..8 {
+            b.asm.mov_rr(Gpr::RAX, Gpr::RCX);
+            b.asm.alu_ri(AluOp::Shr, Gpr::RAX, (56 - 8 * i) as u64);
+            b.asm.store_b(Gpr::RDI, i, Gpr::RAX);
+        }
+    } else {
+        b.asm.store(Gpr::RDI, 0, Gpr::RCX);
+    }
+}
+
+/// Emits `guest_md5` and its block routine. Returns nothing; defines
+/// labels `guest_md5` / `md5_block`.
+pub fn emit_md5(b: &mut GelfBuilder) {
+    let k: Vec<u64> = (0..64)
+        .map(|i| (((i as f64 + 1.0).sin().abs() * 4294967296.0) as u32) as u64)
+        .collect();
+    const S: [u64; 16] = [7, 12, 17, 22, 5, 9, 14, 20, 4, 11, 16, 23, 6, 10, 15, 21];
+    let k_tab = b.data_u64(&k);
+    let s_tab = b.data_u64(&S);
+    let w_area = b.data_zeroed(16 * 8);
+    let scratch = b.data_zeroed(128);
+    let len_slot = b.data_u64(&[0]);
+
+    // ---- guest_md5(data=RDI, len=RSI, out=RDX) -----------------------
+    b.asm.label("guest_md5");
+    for r in [Gpr::RBX, Gpr::RBP, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+        b.asm.push(r);
+    }
+    b.asm.mov_rr(Gpr::RBX, Gpr::RDI); // data
+    b.asm.mov_rr(Gpr::R15, Gpr::RDX); // out
+    b.asm.mov_ri(Gpr::RAX, len_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RSI);
+    b.asm.mov_ri(A, 0x67452301);
+    b.asm.mov_ri(B, 0xefcdab89);
+    b.asm.mov_ri(C, 0x98badcfe);
+    b.asm.mov_ri(D, 0x10325476);
+    b.asm.mov_rr(Gpr::R14, Gpr::RSI);
+    b.asm.alu_ri(AluOp::Shr, Gpr::R14, 6); // full blocks
+    b.asm.label("md5_blocks");
+    b.asm.cmp_ri(Gpr::R14, 0);
+    b.asm.jcc_to(Cond::E, "md5_tail");
+    b.asm.mov_rr(Gpr::RCX, Gpr::RBX);
+    b.asm.call_to("md5_block");
+    b.asm.alu_ri(AluOp::Add, Gpr::RBX, 64);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R14, 1);
+    b.asm.jmp_to("md5_blocks");
+    b.asm.label("md5_tail");
+    emit_tail_padding(b, "md5", scratch, len_slot, false);
+    b.asm.mov_ri(Gpr::RCX, scratch);
+    b.asm.call_to("md5_block");
+    b.asm.cmp_ri(Gpr::R13, 2);
+    b.asm.jcc_to(Cond::Ne, "md5_out");
+    b.asm.mov_ri(Gpr::RCX, scratch + 64);
+    b.asm.call_to("md5_block");
+    b.asm.label("md5_out");
+    // out[0] = a | b<<32; out[1] = c | d<<32 (little-endian words).
+    b.asm.mov_rr(Gpr::RAX, B);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 32);
+    b.asm.alu_rr(AluOp::Or, Gpr::RAX, A);
+    b.asm.store(Gpr::R15, 0, Gpr::RAX);
+    b.asm.mov_rr(Gpr::RAX, D);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 32);
+    b.asm.alu_rr(AluOp::Or, Gpr::RAX, C);
+    b.asm.store(Gpr::R15, 8, Gpr::RAX);
+    for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::RBP, Gpr::RBX] {
+        b.asm.pop(r);
+    }
+    b.asm.mov_ri(Gpr::RAX, 16);
+    b.asm.ret();
+
+    // ---- md5_block(block=RCX): uses A–D, clobbers everything else ----
+    b.asm.label("md5_block");
+    // Unpack 16 LE u32 words into w_area u64 slots.
+    b.asm.mov_ri(Gpr::RBP, w_area);
+    b.asm.mov_rr(Gpr::RSI, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDI, Gpr::RBP);
+    b.asm.mov_ri(Gpr::RDX, 8);
+    b.asm.label("md5_unpack");
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_ri(AluOp::And, Gpr::RCX, M32);
+    b.asm.store(Gpr::RDI, 0, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RAX, 32);
+    b.asm.store(Gpr::RDI, 8, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 16);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "md5_unpack");
+    // Save entry state.
+    b.asm.push(A);
+    b.asm.push(B);
+    b.asm.push(C);
+    b.asm.push(D);
+    b.asm.mov_ri(Gpr::R12, 0); // i
+    // Four quarters; each computes f into RAX and g into RDX.
+    for (q, quarter) in ["q0", "q1", "q2", "q3"].iter().enumerate() {
+        b.asm.label(&format!("md5_{quarter}"));
+        match q {
+            0 => {
+                // f = (b & c) | (!b & d); g = i.
+                b.asm.mov_rr(Gpr::RAX, B);
+                b.asm.alu_rr(AluOp::And, Gpr::RAX, C);
+                b.asm.mov_rr(Gpr::RCX, B);
+                b.asm.alu_ri(AluOp::Xor, Gpr::RCX, M32);
+                b.asm.alu_rr(AluOp::And, Gpr::RCX, D);
+                b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX);
+                b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+            }
+            1 => {
+                // f = (d & b) | (!d & c); g = (5i + 1) % 16.
+                b.asm.mov_rr(Gpr::RAX, D);
+                b.asm.alu_rr(AluOp::And, Gpr::RAX, B);
+                b.asm.mov_rr(Gpr::RCX, D);
+                b.asm.alu_ri(AluOp::Xor, Gpr::RCX, M32);
+                b.asm.alu_rr(AluOp::And, Gpr::RCX, C);
+                b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX);
+                b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+                b.asm.alu_ri(AluOp::Mul, Gpr::RDX, 5);
+                b.asm.alu_ri(AluOp::Add, Gpr::RDX, 1);
+                b.asm.alu_ri(AluOp::And, Gpr::RDX, 15);
+            }
+            2 => {
+                // f = b ^ c ^ d; g = (3i + 5) % 16.
+                b.asm.mov_rr(Gpr::RAX, B);
+                b.asm.alu_rr(AluOp::Xor, Gpr::RAX, C);
+                b.asm.alu_rr(AluOp::Xor, Gpr::RAX, D);
+                b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+                b.asm.alu_ri(AluOp::Mul, Gpr::RDX, 3);
+                b.asm.alu_ri(AluOp::Add, Gpr::RDX, 5);
+                b.asm.alu_ri(AluOp::And, Gpr::RDX, 15);
+            }
+            _ => {
+                // f = c ^ (b | !d); g = (7i) % 16.
+                b.asm.mov_rr(Gpr::RAX, D);
+                b.asm.alu_ri(AluOp::Xor, Gpr::RAX, M32);
+                b.asm.alu_rr(AluOp::Or, Gpr::RAX, B);
+                b.asm.alu_rr(AluOp::Xor, Gpr::RAX, C);
+                b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+                b.asm.alu_ri(AluOp::Mul, Gpr::RDX, 7);
+                b.asm.alu_ri(AluOp::And, Gpr::RDX, 15);
+            }
+        }
+        // tmp = (a + f + K[i] + w[g]) & M32  (RAX carries the sum).
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, A);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 3);
+        b.asm.alu_ri(AluOp::Add, Gpr::RDX, w_area);
+        b.asm.load(Gpr::RCX, Gpr::RDX, 0); // w[g]
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+        b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 3);
+        b.asm.alu_ri(AluOp::Add, Gpr::RDX, k_tab);
+        b.asm.load(Gpr::RCX, Gpr::RDX, 0); // K[i]
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+        // s = S[(q*4) + (i & 3)].
+        b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+        b.asm.alu_ri(AluOp::And, Gpr::RDX, 3);
+        b.asm.alu_ri(AluOp::Add, Gpr::RDX, (q * 4) as u64);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 3);
+        b.asm.alu_ri(AluOp::Add, Gpr::RDX, s_tab);
+        b.asm.load(Gpr::RCX, Gpr::RDX, 0); // s
+        // rotate RAX left by RCX (32-bit); clobbers RDX, RDI.
+        b.asm.mov_rr(Gpr::RSI, Gpr::RAX);
+        rotl32_of_rsi_into_rax(b, q);
+        // a,b,c,d = d, b + rot, b, c
+        b.asm.mov_rr(Gpr::RDX, D);
+        b.asm.mov_rr(D, C);
+        b.asm.mov_rr(C, B);
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, B);
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+        b.asm.mov_rr(B, Gpr::RAX);
+        b.asm.mov_rr(A, Gpr::RDX);
+        // next i; stay in this quarter for 16 rounds.
+        b.asm.alu_ri(AluOp::Add, Gpr::R12, 1);
+        b.asm.mov_rr(Gpr::RDX, Gpr::R12);
+        b.asm.alu_ri(AluOp::And, Gpr::RDX, 15);
+        b.asm.cmp_ri(Gpr::RDX, 0);
+        b.asm.jcc_to(Cond::Ne, &format!("md5_{quarter}"));
+    }
+    // Add saved state (stack order: d, c, b, a from top).
+    b.asm.pop(Gpr::RAX); // old d
+    b.asm.alu_rr(AluOp::Add, D, Gpr::RAX);
+    b.asm.alu_ri(AluOp::And, D, M32);
+    b.asm.pop(Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, C, Gpr::RAX);
+    b.asm.alu_ri(AluOp::And, C, M32);
+    b.asm.pop(Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, B, Gpr::RAX);
+    b.asm.alu_ri(AluOp::And, B, M32);
+    b.asm.pop(Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, A, Gpr::RAX);
+    b.asm.alu_ri(AluOp::And, A, M32);
+    b.asm.ret();
+}
+
+/// `RAX = rotl32(RSI, RCX)` — clobbers RDX, RDI.
+fn rotl32_of_rsi_into_rax(b: &mut GelfBuilder, uniq: usize) {
+    let _ = uniq;
+    b.asm.mov_ri(Gpr::RDX, 32);
+    b.asm.alu_rr(AluOp::Sub, Gpr::RDX, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDI, Gpr::RSI);
+    b.asm.alu_rr(AluOp::Shr, Gpr::RDI, Gpr::RDX);
+    b.asm.mov_rr(Gpr::RAX, Gpr::RSI);
+    b.asm.alu_rr(AluOp::Shl, Gpr::RAX, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RDI);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+}
+
+/// Emits `guest_sha256` and its block routine.
+pub fn emit_sha256(b: &mut GelfBuilder) {
+    let k_tab = b.data_u64(&SHA256_K.iter().map(|&k| k as u64).collect::<Vec<_>>());
+    let h0_tab = b.data_u64(&SHA256_H0.iter().map(|&h| h as u64).collect::<Vec<_>>());
+    let w_area = b.data_zeroed(64 * 8);
+    let state = b.data_zeroed(8 * 8);
+    let scratch = b.data_zeroed(128);
+    let len_slot = b.data_u64(&[0]);
+
+    // ---- guest_sha256(data=RDI, len=RSI, out=RDX) --------------------
+    b.asm.label("guest_sha256");
+    for r in [Gpr::RBX, Gpr::RBP, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+        b.asm.push(r);
+    }
+    b.asm.mov_rr(Gpr::RBX, Gpr::RDI);
+    b.asm.mov_rr(Gpr::R15, Gpr::RDX);
+    b.asm.mov_ri(Gpr::RAX, len_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RSI);
+    // state = H0 (copy 8 u64 slots).
+    b.asm.mov_ri(Gpr::RSI, h0_tab);
+    b.asm.mov_ri(Gpr::RDI, state);
+    for i in 0..8 {
+        b.asm.load(Gpr::RAX, Gpr::RSI, i * 8);
+        b.asm.store(Gpr::RDI, i * 8, Gpr::RAX);
+    }
+    b.asm.mov_ri(Gpr::RCX, len_slot);
+    b.asm.load(Gpr::R14, Gpr::RCX, 0);
+    b.asm.alu_ri(AluOp::Shr, Gpr::R14, 6);
+    b.asm.label("sha256_blocks");
+    b.asm.cmp_ri(Gpr::R14, 0);
+    b.asm.jcc_to(Cond::E, "sha256_tail");
+    b.asm.mov_rr(Gpr::RCX, Gpr::RBX);
+    b.asm.call_to("sha256_block");
+    b.asm.alu_ri(AluOp::Add, Gpr::RBX, 64);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R14, 1);
+    b.asm.jmp_to("sha256_blocks");
+    b.asm.label("sha256_tail");
+    emit_tail_padding(b, "sha256", scratch, len_slot, true);
+    b.asm.mov_ri(Gpr::RCX, scratch);
+    b.asm.call_to("sha256_block");
+    b.asm.cmp_ri(Gpr::R13, 2);
+    b.asm.jcc_to(Cond::Ne, "sha256_out");
+    b.asm.mov_ri(Gpr::RCX, scratch + 64);
+    b.asm.call_to("sha256_block");
+    b.asm.label("sha256_out");
+    // Write 8 big-endian u32 words to out (byte stores).
+    b.asm.mov_ri(Gpr::RSI, state);
+    b.asm.mov_rr(Gpr::RDI, Gpr::R15);
+    b.asm.mov_ri(Gpr::RDX, 8);
+    b.asm.label("sha256_emit");
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    for i in 0..4 {
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Shr, Gpr::RCX, (24 - 8 * i) as u64);
+        b.asm.store_b(Gpr::RDI, i, Gpr::RCX);
+    }
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 4);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "sha256_emit");
+    for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::RBP, Gpr::RBX] {
+        b.asm.pop(r);
+    }
+    b.asm.mov_ri(Gpr::RAX, 32);
+    b.asm.ret();
+
+    // ---- sha256_block(block=RCX) -------------------------------------
+    // Preserves RBX/R13/R14/R15 (pushed); state lives in memory.
+    b.asm.label("sha256_block");
+    // W[0..16]: big-endian unpack via byte loads.
+    b.asm.mov_rr(Gpr::RSI, Gpr::RCX);
+    b.asm.mov_ri(Gpr::RDI, w_area);
+    b.asm.mov_ri(Gpr::RDX, 16);
+    b.asm.label("sha256_unpack");
+    b.asm.mov_ri(Gpr::RAX, 0);
+    for i in 0..4 {
+        b.asm.load_b(Gpr::RCX, Gpr::RSI, i);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RCX, (24 - 8 * i) as u64);
+        b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX);
+    }
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 4);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "sha256_unpack");
+    // W[16..64]: schedule expansion; RDI walks W[i].
+    b.asm.mov_ri(Gpr::R12, 16);
+    b.asm.label("sha256_sched");
+    b.asm.load(Gpr::RSI, Gpr::RDI, -15 * 8);
+    b.asm.mov_rr(Gpr::RAX, Gpr::RSI);
+    rotr32_imm(b, Gpr::RAX, 7, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDX, Gpr::RSI);
+    rotr32_imm(b, Gpr::RDX, 18, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RSI, 3);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RSI);
+    b.asm.mov_rr(Gpr::RBP, Gpr::RAX); // s0
+    b.asm.load(Gpr::RSI, Gpr::RDI, -2 * 8);
+    b.asm.mov_rr(Gpr::RAX, Gpr::RSI);
+    rotr32_imm(b, Gpr::RAX, 17, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDX, Gpr::RSI);
+    rotr32_imm(b, Gpr::RDX, 19, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RSI, 10);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RSI); // s1
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RBP);
+    b.asm.load(Gpr::RCX, Gpr::RDI, -16 * 8);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+    b.asm.load(Gpr::RCX, Gpr::RDI, -7 * 8);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 64);
+    b.asm.jcc_to(Cond::Ne, "sha256_sched");
+
+    // Rounds. a..h = R8,R9,R10,R11,RBX,R13,R14,RBP (callee regs pushed).
+    b.asm.push(Gpr::RBX);
+    b.asm.push(Gpr::R13);
+    b.asm.push(Gpr::R14);
+    let (ra, rb, rc, rd) = (A, B, C, D);
+    let (re, rf, rg, rh) = (Gpr::RBX, Gpr::R13, Gpr::R14, Gpr::RBP);
+    b.asm.mov_ri(Gpr::RSI, state);
+    b.asm.load(ra, Gpr::RSI, 0);
+    b.asm.load(rb, Gpr::RSI, 8);
+    b.asm.load(rc, Gpr::RSI, 16);
+    b.asm.load(rd, Gpr::RSI, 24);
+    b.asm.load(re, Gpr::RSI, 32);
+    b.asm.load(rf, Gpr::RSI, 40);
+    b.asm.load(rg, Gpr::RSI, 48);
+    b.asm.load(rh, Gpr::RSI, 56);
+    b.asm.mov_ri(Gpr::R12, 0);
+    b.asm.label("sha256_round");
+    // s1(e) into RAX.
+    b.asm.mov_rr(Gpr::RAX, re);
+    rotr32_imm(b, Gpr::RAX, 6, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDX, re);
+    rotr32_imm(b, Gpr::RDX, 11, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RDX);
+    b.asm.mov_rr(Gpr::RDX, re);
+    rotr32_imm(b, Gpr::RDX, 25, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RDX);
+    // ch(e,f,g) into RDX.
+    b.asm.mov_rr(Gpr::RDX, re);
+    b.asm.alu_rr(AluOp::And, Gpr::RDX, rf);
+    b.asm.mov_rr(Gpr::RCX, re);
+    b.asm.alu_ri(AluOp::Xor, Gpr::RCX, M32);
+    b.asm.alu_rr(AluOp::And, Gpr::RCX, rg);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RDX, Gpr::RCX);
+    // t1 = h + s1 + ch + K[i] + W[i] → RDI.
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RDX);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, rh);
+    b.asm.mov_rr(Gpr::RSI, Gpr::R12);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, k_tab);
+    b.asm.load(Gpr::RCX, Gpr::RSI, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RSI, Gpr::R12);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, w_area);
+    b.asm.load(Gpr::RCX, Gpr::RSI, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+    b.asm.mov_rr(Gpr::RDI, Gpr::RAX); // t1
+    // s0(a) into RAX.
+    b.asm.mov_rr(Gpr::RAX, ra);
+    rotr32_imm(b, Gpr::RAX, 2, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDX, ra);
+    rotr32_imm(b, Gpr::RDX, 13, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RDX);
+    b.asm.mov_rr(Gpr::RDX, ra);
+    rotr32_imm(b, Gpr::RDX, 22, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RDX);
+    // maj(a,b,c) into RDX.
+    b.asm.mov_rr(Gpr::RDX, ra);
+    b.asm.alu_rr(AluOp::And, Gpr::RDX, rb);
+    b.asm.mov_rr(Gpr::RCX, ra);
+    b.asm.alu_rr(AluOp::And, Gpr::RCX, rc);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RDX, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RCX, rb);
+    b.asm.alu_rr(AluOp::And, Gpr::RCX, rc);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RDX, Gpr::RCX);
+    // t2 = s0 + maj → RAX.
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RDX);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+    // Rotate the eight working variables.
+    b.asm.mov_rr(rh, rg);
+    b.asm.mov_rr(rg, rf);
+    b.asm.mov_rr(rf, re);
+    b.asm.mov_rr(re, rd);
+    b.asm.alu_rr(AluOp::Add, re, Gpr::RDI);
+    b.asm.alu_ri(AluOp::And, re, M32);
+    b.asm.mov_rr(rd, rc);
+    b.asm.mov_rr(rc, rb);
+    b.asm.mov_rr(rb, ra);
+    b.asm.mov_rr(ra, Gpr::RDI);
+    b.asm.alu_rr(AluOp::Add, ra, Gpr::RAX);
+    b.asm.alu_ri(AluOp::And, ra, M32);
+    b.asm.alu_ri(AluOp::Add, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 64);
+    b.asm.jcc_to(Cond::Ne, "sha256_round");
+    // state[j] = (state[j] + var) & M32.
+    b.asm.mov_ri(Gpr::RSI, state);
+    for (off, var) in [(0, ra), (8, rb), (16, rc), (24, rd), (32, re), (40, rf), (48, rg), (56, rh)]
+    {
+        b.asm.load(Gpr::RAX, Gpr::RSI, off);
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, var);
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+        b.asm.store(Gpr::RSI, off, Gpr::RAX);
+    }
+    b.asm.pop(Gpr::R14);
+    b.asm.pop(Gpr::R13);
+    b.asm.pop(Gpr::RBX);
+    b.asm.ret();
+}
+
+/// Emits `guest_sha1` and its block routine.
+pub fn emit_sha1(b: &mut GelfBuilder) {
+    let w_area = b.data_zeroed(80 * 8);
+    let state = b.data_u64(&[0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]);
+    let scratch = b.data_zeroed(128);
+    let len_slot = b.data_u64(&[0]);
+
+    // ---- guest_sha1(data=RDI, len=RSI, out=RDX) ----------------------
+    b.asm.label("guest_sha1");
+    for r in [Gpr::RBX, Gpr::RBP, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+        b.asm.push(r);
+    }
+    b.asm.mov_rr(Gpr::RBX, Gpr::RDI);
+    b.asm.mov_rr(Gpr::R15, Gpr::RDX);
+    b.asm.mov_ri(Gpr::RAX, len_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RSI);
+    // Reset state (the data section holds H0 but a prior call mutated it).
+    b.asm.mov_ri(Gpr::RDI, state);
+    for (i, h) in [0x67452301u64, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+        .iter()
+        .enumerate()
+    {
+        b.asm.mov_ri(Gpr::RAX, *h);
+        b.asm.store(Gpr::RDI, (i * 8) as i32, Gpr::RAX);
+    }
+    b.asm.mov_rr(Gpr::R14, Gpr::RSI);
+    b.asm.alu_ri(AluOp::Shr, Gpr::R14, 6);
+    b.asm.label("sha1_blocks");
+    b.asm.cmp_ri(Gpr::R14, 0);
+    b.asm.jcc_to(Cond::E, "sha1_tail");
+    b.asm.mov_rr(Gpr::RCX, Gpr::RBX);
+    b.asm.call_to("sha1_block");
+    b.asm.alu_ri(AluOp::Add, Gpr::RBX, 64);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R14, 1);
+    b.asm.jmp_to("sha1_blocks");
+    b.asm.label("sha1_tail");
+    emit_tail_padding(b, "sha1", scratch, len_slot, true);
+    b.asm.mov_ri(Gpr::RCX, scratch);
+    b.asm.call_to("sha1_block");
+    b.asm.cmp_ri(Gpr::R13, 2);
+    b.asm.jcc_to(Cond::Ne, "sha1_out");
+    b.asm.mov_ri(Gpr::RCX, scratch + 64);
+    b.asm.call_to("sha1_block");
+    b.asm.label("sha1_out");
+    // Five big-endian u32 words to out.
+    b.asm.mov_ri(Gpr::RSI, state);
+    b.asm.mov_rr(Gpr::RDI, Gpr::R15);
+    b.asm.mov_ri(Gpr::RDX, 5);
+    b.asm.label("sha1_emit");
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    for i in 0..4 {
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Shr, Gpr::RCX, (24 - 8 * i) as u64);
+        b.asm.store_b(Gpr::RDI, i, Gpr::RCX);
+    }
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 4);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "sha1_emit");
+    for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::RBP, Gpr::RBX] {
+        b.asm.pop(r);
+    }
+    b.asm.mov_ri(Gpr::RAX, 20);
+    b.asm.ret();
+
+    // ---- sha1_block(block=RCX) ---------------------------------------
+    b.asm.label("sha1_block");
+    // Big-endian unpack W[0..16].
+    b.asm.mov_rr(Gpr::RSI, Gpr::RCX);
+    b.asm.mov_ri(Gpr::RDI, w_area);
+    b.asm.mov_ri(Gpr::RDX, 16);
+    b.asm.label("sha1_unpack");
+    b.asm.mov_ri(Gpr::RAX, 0);
+    for i in 0..4 {
+        b.asm.load_b(Gpr::RCX, Gpr::RSI, i);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RCX, (24 - 8 * i) as u64);
+        b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX);
+    }
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 4);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "sha1_unpack");
+    // W[16..80]: w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]).
+    b.asm.mov_ri(Gpr::R12, 16);
+    b.asm.label("sha1_sched");
+    b.asm.load(Gpr::RAX, Gpr::RDI, -3 * 8);
+    b.asm.load(Gpr::RCX, Gpr::RDI, -8 * 8);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+    b.asm.load(Gpr::RCX, Gpr::RDI, -14 * 8);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+    b.asm.load(Gpr::RCX, Gpr::RDI, -16 * 8);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+    // rotl1.
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RCX, 31);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 1);
+    b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 80);
+    b.asm.jcc_to(Cond::Ne, "sha1_sched");
+    // Rounds. a..e = R8..R11, RBX (pushed).
+    b.asm.push(Gpr::RBX);
+    let (ra, rb, rc, rd) = (A, B, C, D);
+    let re = Gpr::RBX;
+    b.asm.mov_ri(Gpr::RSI, state);
+    b.asm.load(ra, Gpr::RSI, 0);
+    b.asm.load(rb, Gpr::RSI, 8);
+    b.asm.load(rc, Gpr::RSI, 16);
+    b.asm.load(rd, Gpr::RSI, 24);
+    b.asm.load(re, Gpr::RSI, 32);
+    b.asm.mov_ri(Gpr::R12, 0);
+    for (q, (kconst, quarter)) in [
+        (0x5A827999u64, "sq0"),
+        (0x6ED9EBA1, "sq1"),
+        (0x8F1BBCDC, "sq2"),
+        (0xCA62C1D6, "sq3"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        b.asm.label(&format!("sha1_{quarter}"));
+        // f into RDX.
+        match q {
+            0 => {
+                // (b & c) | (!b & d)
+                b.asm.mov_rr(Gpr::RDX, rb);
+                b.asm.alu_rr(AluOp::And, Gpr::RDX, rc);
+                b.asm.mov_rr(Gpr::RCX, rb);
+                b.asm.alu_ri(AluOp::Xor, Gpr::RCX, M32);
+                b.asm.alu_rr(AluOp::And, Gpr::RCX, rd);
+                b.asm.alu_rr(AluOp::Or, Gpr::RDX, Gpr::RCX);
+            }
+            2 => {
+                // (b & c) | (b & d) | (c & d)
+                b.asm.mov_rr(Gpr::RDX, rb);
+                b.asm.alu_rr(AluOp::And, Gpr::RDX, rc);
+                b.asm.mov_rr(Gpr::RCX, rb);
+                b.asm.alu_rr(AluOp::And, Gpr::RCX, rd);
+                b.asm.alu_rr(AluOp::Or, Gpr::RDX, Gpr::RCX);
+                b.asm.mov_rr(Gpr::RCX, rc);
+                b.asm.alu_rr(AluOp::And, Gpr::RCX, rd);
+                b.asm.alu_rr(AluOp::Or, Gpr::RDX, Gpr::RCX);
+            }
+            _ => {
+                // b ^ c ^ d
+                b.asm.mov_rr(Gpr::RDX, rb);
+                b.asm.alu_rr(AluOp::Xor, Gpr::RDX, rc);
+                b.asm.alu_rr(AluOp::Xor, Gpr::RDX, rd);
+            }
+        }
+        // tmp = rotl5(a) + f + e + K + W[i] → RAX.
+        b.asm.mov_rr(Gpr::RAX, ra);
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Shr, Gpr::RCX, 27);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 5);
+        b.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX);
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RDX);
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, re);
+        b.asm.alu_ri(AluOp::Add, Gpr::RAX, *kconst);
+        b.asm.mov_rr(Gpr::RSI, Gpr::R12);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+        b.asm.alu_ri(AluOp::Add, Gpr::RSI, w_area);
+        b.asm.load(Gpr::RCX, Gpr::RSI, 0);
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+        // e = d; d = c; c = rotl30(b); b = a; a = tmp.
+        b.asm.mov_rr(re, rd);
+        b.asm.mov_rr(rd, rc);
+        b.asm.mov_rr(rc, rb);
+        b.asm.mov_rr(Gpr::RCX, rc);
+        b.asm.alu_ri(AluOp::Shr, Gpr::RCX, 2);
+        b.asm.alu_ri(AluOp::Shl, rc, 30);
+        b.asm.alu_rr(AluOp::Or, rc, Gpr::RCX);
+        b.asm.alu_ri(AluOp::And, rc, M32);
+        b.asm.mov_rr(rb, ra);
+        b.asm.mov_rr(ra, Gpr::RAX);
+        // Stay in this quarter for 20 rounds.
+        b.asm.alu_ri(AluOp::Add, Gpr::R12, 1);
+        b.asm.mov_rr(Gpr::RCX, Gpr::R12);
+        b.asm.mov_ri(Gpr::RDX, 20);
+        b.asm.mov_rr(Gpr::RAX, Gpr::RCX);
+        b.asm.insn(risotto_guest_x86::Insn::Div { src: Gpr::RDX });
+        // RDX = i % 20; continue quarter while non-zero.
+        b.asm.cmp_ri(Gpr::RDX, 0);
+        b.asm.jcc_to(Cond::Ne, &format!("sha1_{quarter}"));
+    }
+    // state += vars.
+    b.asm.mov_ri(Gpr::RSI, state);
+    for (off, var) in [(0, ra), (8, rb), (16, rc), (24, rd), (32, re)] {
+        b.asm.load(Gpr::RAX, Gpr::RSI, off);
+        b.asm.alu_rr(AluOp::Add, Gpr::RAX, var);
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
+        b.asm.store(Gpr::RSI, off, Gpr::RAX);
+    }
+    b.asm.pop(Gpr::RBX);
+    b.asm.ret();
+}

@@ -1,0 +1,118 @@
+//! The guest key-value store: a linear-probing hash table in MiniX86
+//! assembly — the "translated sqlite" of Fig. 13.
+//!
+//! Same observable map semantics as the native [`crate::kvstore::BTreeKv`]
+//! (`put` returns the previous value or `u64::MAX`; `get` returns
+//! `u64::MAX` when missing; `range_sum` wrapping-sums values with keys in
+//! `[lo, hi]`), different engine underneath — exactly the situation of a
+//! guest-built library vs. the host's. Keys must be non-zero (0 marks an
+//! empty slot). Static table; not reentrant.
+
+use risotto_guest_x86::{AluOp, Cond, GelfBuilder, Gpr};
+
+/// Hash-table slots (power of two). Each slot is 16 bytes: key, value.
+pub const KV_TABLE_SLOTS: u64 = 4096;
+
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Emits `guest_kv_put`, `guest_kv_get`, `guest_kv_range_sum`.
+pub fn emit_kv(b: &mut GelfBuilder) {
+    let table = b.data_zeroed((KV_TABLE_SLOTS * 16) as usize);
+    let mask = KV_TABLE_SLOTS - 1;
+
+    // Common probe-index computation: RDI = key → R8 = &table[h(key)],
+    // R9 = probes remaining. Clobbers RAX, RDX.
+    let emit_hash = |b: &mut GelfBuilder| {
+        b.asm.mov_rr(Gpr::RAX, Gpr::RDI);
+        b.asm.mov_ri(Gpr::RDX, HASH_MULT);
+        b.asm.alu_rr(AluOp::Mul, Gpr::RAX, Gpr::RDX);
+        b.asm.alu_ri(AluOp::Shr, Gpr::RAX, 52); // 64 - log2(4096)
+        b.asm.alu_ri(AluOp::And, Gpr::RAX, mask);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 4); // ×16 bytes
+        b.asm.mov_rr(Gpr::R8, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Add, Gpr::R8, table);
+        b.asm.mov_ri(Gpr::R9, KV_TABLE_SLOTS);
+    };
+
+    // ---- guest_kv_put(key=RDI, val=RSI) → old value or MAX ------------
+    b.asm.label("guest_kv_put");
+    emit_hash(b);
+    b.asm.label("kvp_probe");
+    b.asm.load(Gpr::RAX, Gpr::R8, 0); // slot key
+    b.asm.cmp_rr(Gpr::RAX, Gpr::RDI);
+    b.asm.jcc_to(Cond::E, "kvp_replace");
+    b.asm.cmp_ri(Gpr::RAX, 0);
+    b.asm.jcc_to(Cond::E, "kvp_insert");
+    // Advance (wrapping at the end of the table).
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 16);
+    b.asm.mov_ri(Gpr::RAX, table + KV_TABLE_SLOTS * 16);
+    b.asm.cmp_rr(Gpr::R8, Gpr::RAX);
+    b.asm.jcc_to(Cond::Ne, "kvp_cont");
+    b.asm.mov_ri(Gpr::R8, table);
+    b.asm.label("kvp_cont");
+    b.asm.alu_ri(AluOp::Sub, Gpr::R9, 1);
+    b.asm.cmp_ri(Gpr::R9, 0);
+    b.asm.jcc_to(Cond::Ne, "kvp_probe");
+    // Table full: report MAX (callers size workloads below capacity).
+    b.asm.mov_ri(Gpr::RAX, u64::MAX);
+    b.asm.ret();
+    b.asm.label("kvp_replace");
+    b.asm.load(Gpr::RAX, Gpr::R8, 8); // old value
+    b.asm.store(Gpr::R8, 8, Gpr::RSI);
+    b.asm.ret();
+    b.asm.label("kvp_insert");
+    b.asm.store(Gpr::R8, 0, Gpr::RDI);
+    b.asm.store(Gpr::R8, 8, Gpr::RSI);
+    b.asm.mov_ri(Gpr::RAX, u64::MAX);
+    b.asm.ret();
+
+    // ---- guest_kv_get(key=RDI) → value or MAX --------------------------
+    b.asm.label("guest_kv_get");
+    emit_hash(b);
+    b.asm.label("kvg_probe");
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.cmp_rr(Gpr::RAX, Gpr::RDI);
+    b.asm.jcc_to(Cond::E, "kvg_hit");
+    b.asm.cmp_ri(Gpr::RAX, 0);
+    b.asm.jcc_to(Cond::E, "kvg_miss");
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 16);
+    b.asm.mov_ri(Gpr::RAX, table + KV_TABLE_SLOTS * 16);
+    b.asm.cmp_rr(Gpr::R8, Gpr::RAX);
+    b.asm.jcc_to(Cond::Ne, "kvg_cont");
+    b.asm.mov_ri(Gpr::R8, table);
+    b.asm.label("kvg_cont");
+    b.asm.alu_ri(AluOp::Sub, Gpr::R9, 1);
+    b.asm.cmp_ri(Gpr::R9, 0);
+    b.asm.jcc_to(Cond::Ne, "kvg_probe");
+    b.asm.label("kvg_miss");
+    b.asm.mov_ri(Gpr::RAX, u64::MAX);
+    b.asm.ret();
+    b.asm.label("kvg_hit");
+    b.asm.load(Gpr::RAX, Gpr::R8, 8);
+    b.asm.ret();
+
+    // ---- guest_kv_range_sum(lo=RDI, hi=RSI) → wrapping sum -------------
+    b.asm.label("guest_kv_range_sum");
+    b.asm.mov_ri(Gpr::RAX, 0); // sum
+    b.asm.cmp_rr(Gpr::RSI, Gpr::RDI);
+    b.asm.jcc_to(Cond::B, "kvr_done"); // hi < lo → 0
+    b.asm.mov_ri(Gpr::R8, table);
+    b.asm.mov_ri(Gpr::R9, KV_TABLE_SLOTS);
+    b.asm.label("kvr_scan");
+    b.asm.load(Gpr::RDX, Gpr::R8, 0); // key
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::E, "kvr_next");
+    b.asm.cmp_rr(Gpr::RDX, Gpr::RDI);
+    b.asm.jcc_to(Cond::B, "kvr_next"); // key < lo
+    b.asm.cmp_rr(Gpr::RDX, Gpr::RSI);
+    b.asm.jcc_to(Cond::A, "kvr_next"); // key > hi
+    b.asm.load(Gpr::RDX, Gpr::R8, 8);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RDX);
+    b.asm.label("kvr_next");
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 16);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R9, 1);
+    b.asm.cmp_ri(Gpr::R9, 0);
+    b.asm.jcc_to(Cond::Ne, "kvr_scan");
+    b.asm.label("kvr_done");
+    b.asm.ret();
+}

@@ -1,0 +1,164 @@
+//! The guest math library in MiniX86 assembly — the "translated libm" of
+//! Fig. 14.
+//!
+//! Each function evaluates a polynomial kernel with the guest's FP
+//! instructions, which the DBT emulates through soft-float helpers — so
+//! the translated versions are dramatically slower than the native
+//! [`crate::mathfn`] ones, exactly the asymmetry the paper measures.
+//!
+//! Domain restrictions (documented, enforced by the benchmarks):
+//! `sin`/`cos`/`tan` on `|x| ≤ 1.6`, `exp` on `|x| ≤ 2`, `log` on
+//! `x ∈ [0.4, 2.5]`, `asin`/`acos`/`atan` on `|x| ≤ 0.6`. Within those
+//! ranges the kernels agree with the native library to ~1e-9.
+//!
+//! ABI: argument f64 bit-pattern in `RDI`, result bit-pattern in `RAX`.
+
+use risotto_guest_x86::{AluOp, Cond, FpOp, GelfBuilder, Gpr};
+
+fn factorial(n: u64) -> f64 {
+    (1..=n).map(|i| i as f64).product::<f64>().max(1.0)
+}
+
+/// Emits all nine `guest_<fn>` math routines plus the shared Horner
+/// evaluator.
+pub fn emit_math(b: &mut GelfBuilder) {
+    // Coefficient tables (f64 bit patterns, lowest order first).
+    let sin_coeffs: Vec<u64> = (0..10)
+        .map(|k| {
+            let c = if k % 2 == 0 { 1.0 } else { -1.0 } / factorial(2 * k as u64 + 1);
+            c.to_bits()
+        })
+        .collect();
+    let cos_coeffs: Vec<u64> = (0..10)
+        .map(|k| {
+            let c = if k % 2 == 0 { 1.0 } else { -1.0 } / factorial(2 * k as u64);
+            c.to_bits()
+        })
+        .collect();
+    let exp_coeffs: Vec<u64> = (0..18).map(|k| (1.0 / factorial(k as u64)).to_bits()).collect();
+    let log_coeffs: Vec<u64> =
+        (0..14).map(|k| (1.0 / (2.0 * k as f64 + 1.0)).to_bits()).collect();
+    let atan_coeffs: Vec<u64> = (0..16)
+        .map(|k| ((if k % 2 == 0 { 1.0 } else { -1.0 }) / (2.0 * k as f64 + 1.0)).to_bits())
+        .collect();
+    // asin: c_k = (2k)! / (4^k (k!)^2 (2k+1)).
+    let asin_coeffs: Vec<u64> = (0..16)
+        .map(|k| {
+            let kk = k as u64;
+            let c = factorial(2 * kk)
+                / (4f64.powi(k) * factorial(kk) * factorial(kk) * (2.0 * k as f64 + 1.0));
+            c.to_bits()
+        })
+        .collect();
+
+    let sin_tab = b.data_u64(&sin_coeffs);
+    let cos_tab = b.data_u64(&cos_coeffs);
+    let exp_tab = b.data_u64(&exp_coeffs);
+    let log_tab = b.data_u64(&log_coeffs);
+    let atan_tab = b.data_u64(&atan_coeffs);
+    let asin_tab = b.data_u64(&asin_coeffs);
+
+    // ---- poly(x=RDI bits, table=RSI, count=RDX) → RAX -----------------
+    // Horner: acc = c[n-1]; repeat: acc = acc*x + c[i].
+    b.asm.label("gmath_poly");
+    b.asm.mov_rr(Gpr::RCX, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+    b.asm.mov_rr(Gpr::R8, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Shl, Gpr::R8, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::R8, Gpr::RSI); // &c[n-1]
+    b.asm.load(Gpr::RAX, Gpr::R8, 0); // acc
+    b.asm.label("gmath_poly_loop");
+    b.asm.cmp_ri(Gpr::RCX, 0);
+    b.asm.jcc_to(Cond::E, "gmath_poly_done");
+    b.asm.alu_ri(AluOp::Sub, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+    b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RDI);
+    b.asm.load(Gpr::R9, Gpr::R8, 0);
+    b.asm.fp(FpOp::Add, Gpr::RAX, Gpr::R9);
+    b.asm.jmp_to("gmath_poly_loop");
+    b.asm.label("gmath_poly_done");
+    b.asm.ret();
+
+    // Helper to emit "odd series" functions: f(x) = x · P(x²).
+    let odd_series = |b: &mut GelfBuilder, name: &str, tab: u64, count: u64| {
+        b.asm.label(&format!("guest_{name}"));
+        b.asm.push(Gpr::RBX);
+        b.asm.mov_rr(Gpr::RBX, Gpr::RDI); // x
+        b.asm.fp(FpOp::Mul, Gpr::RDI, Gpr::RDI); // x²
+        b.asm.mov_ri(Gpr::RSI, tab);
+        b.asm.mov_ri(Gpr::RDX, count);
+        b.asm.call_to("gmath_poly");
+        b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
+        b.asm.pop(Gpr::RBX);
+        b.asm.ret();
+    };
+    odd_series(b, "sin", sin_tab, sin_coeffs.len() as u64);
+    odd_series(b, "atan", atan_tab, atan_coeffs.len() as u64);
+    odd_series(b, "asin", asin_tab, asin_coeffs.len() as u64);
+
+    // cos(x) = P(x²).
+    b.asm.label("guest_cos");
+    b.asm.fp(FpOp::Mul, Gpr::RDI, Gpr::RDI);
+    b.asm.mov_ri(Gpr::RSI, cos_tab);
+    b.asm.mov_ri(Gpr::RDX, cos_coeffs.len() as u64);
+    b.asm.call_to("gmath_poly");
+    b.asm.ret();
+
+    // exp(x) = P(x).
+    b.asm.label("guest_exp");
+    b.asm.mov_ri(Gpr::RSI, exp_tab);
+    b.asm.mov_ri(Gpr::RDX, exp_coeffs.len() as u64);
+    b.asm.call_to("gmath_poly");
+    b.asm.ret();
+
+    // log(x) = 2·z·P(z²), z = (x−1)/(x+1).
+    b.asm.label("guest_log");
+    b.asm.push(Gpr::RBX);
+    b.asm.mov_ri(Gpr::RAX, 1.0f64.to_bits());
+    b.asm.mov_rr(Gpr::RBX, Gpr::RDI);
+    b.asm.fp(FpOp::Sub, Gpr::RBX, Gpr::RAX); // x − 1
+    b.asm.fp(FpOp::Add, Gpr::RDI, Gpr::RAX); // x + 1
+    b.asm.mov_rr(Gpr::RCX, Gpr::RBX);
+    b.asm.fp(FpOp::Div, Gpr::RCX, Gpr::RDI); // z
+    b.asm.mov_rr(Gpr::RBX, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RDI, Gpr::RCX);
+    b.asm.fp(FpOp::Mul, Gpr::RDI, Gpr::RDI); // z²
+    b.asm.mov_ri(Gpr::RSI, log_tab);
+    b.asm.mov_ri(Gpr::RDX, log_coeffs.len() as u64);
+    b.asm.call_to("gmath_poly");
+    b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX); // z·P
+    b.asm.mov_ri(Gpr::RCX, 2.0f64.to_bits());
+    b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RCX);
+    b.asm.pop(Gpr::RBX);
+    b.asm.ret();
+
+    // tan(x) = sin(x)/cos(x).
+    b.asm.label("guest_tan");
+    b.asm.push(Gpr::RBX);
+    b.asm.push(Gpr::R12);
+    b.asm.mov_rr(Gpr::R12, Gpr::RDI);
+    b.asm.call_to("guest_sin");
+    b.asm.mov_rr(Gpr::RBX, Gpr::RAX);
+    b.asm.mov_rr(Gpr::RDI, Gpr::R12);
+    b.asm.call_to("guest_cos");
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.mov_rr(Gpr::RAX, Gpr::RBX);
+    b.asm.fp(FpOp::Div, Gpr::RAX, Gpr::RCX);
+    b.asm.pop(Gpr::R12);
+    b.asm.pop(Gpr::RBX);
+    b.asm.ret();
+
+    // acos(x) = π/2 − asin(x).
+    b.asm.label("guest_acos");
+    b.asm.call_to("guest_asin");
+    b.asm.mov_ri(Gpr::RCX, std::f64::consts::FRAC_PI_2.to_bits());
+    b.asm.mov_rr(Gpr::RDX, Gpr::RCX);
+    b.asm.fp(FpOp::Sub, Gpr::RDX, Gpr::RAX);
+    b.asm.mov_rr(Gpr::RAX, Gpr::RDX);
+    b.asm.ret();
+
+    // sqrt(x): a single hardware instruction on x86.
+    b.asm.label("guest_sqrt");
+    b.asm.fp(FpOp::Sqrt, Gpr::RAX, Gpr::RDI);
+    b.asm.ret();
+}

@@ -1,0 +1,345 @@
+//! Big-number modular exponentiation in MiniX86 assembly — the guest
+//! `rsa_modpow`.
+//!
+//! Mirrors [`crate::bignum::modpow_pm`]: schoolbook multiply with
+//! `MUL`-widened 64×64 products, pseudo-Mersenne folding reduction
+//! (`m = 2^(64·n) − c`), LSB-first square-and-multiply. Carry chains are
+//! built from `ADD` + `JAE` (MiniX86, like x86, sets CF but we spell the
+//! `ADC` out). Static buffers support up to 32 limbs (2048 bits); not
+//! reentrant.
+//!
+//! ABI: `guest_rsa_modpow(base=RDI, exp=RSI, out=RDX, nlimbs=RCX, c=R8)`.
+
+use risotto_guest_x86::{AluOp, Cond, GelfBuilder, Gpr};
+
+/// Maximum supported limbs (2048-bit).
+pub const MAX_LIMBS: usize = 32;
+
+/// Emits `guest_rsa_modpow` and its internal routines.
+pub fn emit_modpow_pm(b: &mut GelfBuilder) {
+    let n_slot = b.data_u64(&[0]);
+    let c_slot = b.data_u64(&[0]);
+    let exp_slot = b.data_u64(&[0]);
+    let out_slot = b.data_u64(&[0]);
+    let x_slot = b.data_u64(&[0]); // rsa_mul left operand pointer
+    let y_slot = b.data_u64(&[0]); // rsa_mul right operand pointer
+    let base_buf = b.data_zeroed(MAX_LIMBS * 8);
+    let res_buf = b.data_zeroed(MAX_LIMBS * 8);
+    let prod_buf = b.data_zeroed(2 * MAX_LIMBS * 8);
+    let tmp_buf = b.data_zeroed(MAX_LIMBS * 8);
+
+    // =================================================================
+    // guest_rsa_modpow
+    // =================================================================
+    b.asm.label("guest_rsa_modpow");
+    for r in [Gpr::RBX, Gpr::RBP, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+        b.asm.push(r);
+    }
+    // Stash parameters.
+    b.asm.mov_ri(Gpr::RAX, n_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.mov_ri(Gpr::RAX, c_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::R8);
+    b.asm.mov_ri(Gpr::RAX, exp_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RSI);
+    b.asm.mov_ri(Gpr::RAX, out_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RDX);
+    // base_buf = *base; res_buf = 1.
+    b.asm.mov_rr(Gpr::RSI, Gpr::RDI);
+    b.asm.mov_ri(Gpr::RDI, base_buf);
+    b.asm.mov_rr(Gpr::RDX, Gpr::RCX);
+    b.asm.label("rsa_copy_base");
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "rsa_copy_base");
+    b.asm.mov_ri(Gpr::RDI, res_buf);
+    b.asm.mov_ri(Gpr::RAX, 1);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.mov_ri(Gpr::RAX, 0);
+    b.asm.mov_rr(Gpr::RDX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.label("rsa_res_one");
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::E, "rsa_bits");
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.jmp_to("rsa_res_one");
+
+    // Bit loop: R15 = bit index i, RBP = significant exponent bits
+    // (scan limbs from the top; count bits of the highest non-zero limb).
+    b.asm.label("rsa_bits");
+    b.asm.mov_ri(Gpr::RAX, n_slot);
+    b.asm.load(Gpr::RCX, Gpr::RAX, 0); // j = n
+    b.asm.mov_ri(Gpr::RBP, 0);
+    b.asm.label("rsa_scan_limb");
+    b.asm.cmp_ri(Gpr::RCX, 0);
+    b.asm.jcc_to(Cond::E, "rsa_scan_done");
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+    b.asm.mov_ri(Gpr::RAX, exp_slot);
+    b.asm.load(Gpr::RSI, Gpr::RAX, 0);
+    b.asm.mov_rr(Gpr::RDX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::RDX);
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0); // exp[j]
+    b.asm.cmp_ri(Gpr::RAX, 0);
+    b.asm.jcc_to(Cond::E, "rsa_scan_limb");
+    // bits = j*64 + popcount-of-width: count bits of RAX.
+    b.asm.mov_rr(Gpr::RBP, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RBP, 6);
+    b.asm.label("rsa_scan_bit");
+    b.asm.cmp_ri(Gpr::RAX, 0);
+    b.asm.jcc_to(Cond::E, "rsa_scan_done");
+    b.asm.alu_ri(AluOp::Shr, Gpr::RAX, 1);
+    b.asm.alu_ri(AluOp::Add, Gpr::RBP, 1);
+    b.asm.jmp_to("rsa_scan_bit");
+    b.asm.label("rsa_scan_done");
+    b.asm.mov_ri(Gpr::R15, 0);
+    b.asm.label("rsa_bit_loop");
+    b.asm.cmp_rr(Gpr::R15, Gpr::RBP);
+    b.asm.jcc_to(Cond::Ae, "rsa_done");
+    // bit = exp[i/64] >> (i%64) & 1.
+    b.asm.mov_ri(Gpr::RAX, exp_slot);
+    b.asm.load(Gpr::RSI, Gpr::RAX, 0);
+    b.asm.mov_rr(Gpr::RCX, Gpr::R15);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RCX, 6);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::RCX);
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.mov_rr(Gpr::RCX, Gpr::R15);
+    b.asm.alu_ri(AluOp::And, Gpr::RCX, 63);
+    b.asm.alu_rr(AluOp::Shr, Gpr::RAX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, 1);
+    b.asm.cmp_ri(Gpr::RAX, 0);
+    b.asm.jcc_to(Cond::E, "rsa_square");
+    // res = reduce(res * base).
+    b.asm.mov_ri(Gpr::RAX, x_slot);
+    b.asm.mov_ri(Gpr::RCX, res_buf);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.mov_ri(Gpr::RAX, y_slot);
+    b.asm.mov_ri(Gpr::RCX, base_buf);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.call_to("rsa_mul");
+    b.asm.call_to("rsa_reduce");
+    b.asm.mov_ri(Gpr::RSI, prod_buf);
+    b.asm.mov_ri(Gpr::RDI, res_buf);
+    b.asm.call_to("rsa_copy_n");
+    b.asm.label("rsa_square");
+    // b = reduce(b * b) — skipped on the final bit.
+    b.asm.mov_rr(Gpr::RAX, Gpr::R15);
+    b.asm.alu_ri(AluOp::Add, Gpr::RAX, 1);
+    b.asm.cmp_rr(Gpr::RAX, Gpr::RBP);
+    b.asm.jcc_to(Cond::Ae, "rsa_next");
+    b.asm.mov_ri(Gpr::RAX, x_slot);
+    b.asm.mov_ri(Gpr::RCX, base_buf);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.mov_ri(Gpr::RAX, y_slot);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.call_to("rsa_mul");
+    b.asm.call_to("rsa_reduce");
+    b.asm.mov_ri(Gpr::RSI, prod_buf);
+    b.asm.mov_ri(Gpr::RDI, base_buf);
+    b.asm.call_to("rsa_copy_n");
+    b.asm.label("rsa_next");
+    b.asm.alu_ri(AluOp::Add, Gpr::R15, 1);
+    b.asm.jmp_to("rsa_bit_loop");
+
+    b.asm.label("rsa_done");
+    // *out = res.
+    b.asm.mov_ri(Gpr::RSI, res_buf);
+    b.asm.mov_ri(Gpr::RAX, out_slot);
+    b.asm.load(Gpr::RDI, Gpr::RAX, 0);
+    b.asm.call_to("rsa_copy_n");
+    for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::RBP, Gpr::RBX] {
+        b.asm.pop(r);
+    }
+    b.asm.mov_ri(Gpr::RAX, 0);
+    b.asm.ret();
+
+    // =================================================================
+    // rsa_copy_n: copy n limbs from RSI to RDI (clobbers RAX, RDX).
+    // =================================================================
+    b.asm.label("rsa_copy_n");
+    b.asm.mov_ri(Gpr::RAX, n_slot);
+    b.asm.load(Gpr::RDX, Gpr::RAX, 0);
+    b.asm.label("rsa_copy_n_loop");
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "rsa_copy_n_loop");
+    b.asm.ret();
+
+    // =================================================================
+    // rsa_mul: prod_buf[0..2n] = (*x_slot) × (*y_slot). Clobbers
+    // RAX,RCX,RDX,RSI,RDI,R9..R14 (but preserves RBP,R15,RBX).
+    // =================================================================
+    b.asm.label("rsa_mul");
+    b.asm.mov_ri(Gpr::RAX, n_slot);
+    b.asm.load(Gpr::R9, Gpr::RAX, 0); // n
+    // Zero prod[0..2n].
+    b.asm.mov_ri(Gpr::RDI, prod_buf);
+    b.asm.mov_rr(Gpr::RDX, Gpr::R9);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 1);
+    b.asm.mov_ri(Gpr::RAX, 0);
+    b.asm.label("rsa_mul_zero");
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "rsa_mul_zero");
+    // i loop: R10 = i.
+    b.asm.mov_ri(Gpr::R10, 0);
+    b.asm.label("rsa_mul_i");
+    b.asm.cmp_rr(Gpr::R10, Gpr::R9);
+    b.asm.jcc_to(Cond::Ae, "rsa_mul_done");
+    // xi = x[i] → R14.
+    b.asm.mov_ri(Gpr::RAX, x_slot);
+    b.asm.load(Gpr::RSI, Gpr::RAX, 0);
+    b.asm.mov_rr(Gpr::RCX, Gpr::R10);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::RCX);
+    b.asm.load(Gpr::R14, Gpr::RSI, 0);
+    // carry (R13) = 0; j (R11) = 0.
+    b.asm.mov_ri(Gpr::R13, 0);
+    b.asm.mov_ri(Gpr::R11, 0);
+    b.asm.label("rsa_mul_j");
+    b.asm.cmp_rr(Gpr::R11, Gpr::R9);
+    b.asm.jcc_to(Cond::Ae, "rsa_mul_j_done");
+    // RDX:RAX = xi * y[j].
+    b.asm.mov_ri(Gpr::RAX, y_slot);
+    b.asm.load(Gpr::RSI, Gpr::RAX, 0);
+    b.asm.mov_rr(Gpr::RCX, Gpr::R11);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::RCX);
+    b.asm.load(Gpr::RCX, Gpr::RSI, 0); // y[j]
+    b.asm.mov_rr(Gpr::RAX, Gpr::R14);
+    b.asm.mul_wide(Gpr::RCX); // RDX:RAX
+    // t = prod[i+j]; t += lo (carry→RDX); t += carry13 (carry→RDX).
+    b.asm.mov_rr(Gpr::RSI, Gpr::R10);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::R11);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, prod_buf);
+    b.asm.load(Gpr::RCX, Gpr::RSI, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::RCX, Gpr::RAX);
+    b.asm.jcc_to(Cond::Ae, "rsa_mul_nc1");
+    b.asm.alu_ri(AluOp::Add, Gpr::RDX, 1);
+    b.asm.label("rsa_mul_nc1");
+    b.asm.alu_rr(AluOp::Add, Gpr::RCX, Gpr::R13);
+    b.asm.jcc_to(Cond::Ae, "rsa_mul_nc2");
+    b.asm.alu_ri(AluOp::Add, Gpr::RDX, 1);
+    b.asm.label("rsa_mul_nc2");
+    b.asm.store(Gpr::RSI, 0, Gpr::RCX);
+    b.asm.mov_rr(Gpr::R13, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R11, 1);
+    b.asm.jmp_to("rsa_mul_j");
+    b.asm.label("rsa_mul_j_done");
+    // prod[i+n] = carry.
+    b.asm.mov_rr(Gpr::RSI, Gpr::R10);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::R9);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, prod_buf);
+    b.asm.store(Gpr::RSI, 0, Gpr::R13);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 1);
+    b.asm.jmp_to("rsa_mul_i");
+    b.asm.label("rsa_mul_done");
+    b.asm.ret();
+
+    // =================================================================
+    // rsa_reduce: prod_buf[0..2n] mod (2^(64n) − c) → prod_buf[0..n].
+    // Clobbers RAX,RCX,RDX,RSI,RDI,R9..R14.
+    // =================================================================
+    b.asm.label("rsa_reduce");
+    b.asm.mov_ri(Gpr::RAX, n_slot);
+    b.asm.load(Gpr::R9, Gpr::RAX, 0); // n
+    b.asm.mov_ri(Gpr::RAX, c_slot);
+    b.asm.load(Gpr::R12, Gpr::RAX, 0); // c
+    b.asm.label("rsa_red_fold");
+    // lo[i] += hi[i] * c, hi[i] = 0; carry in R13.
+    b.asm.mov_ri(Gpr::R13, 0);
+    b.asm.mov_ri(Gpr::R10, 0); // i
+    b.asm.label("rsa_red_i");
+    b.asm.cmp_rr(Gpr::R10, Gpr::R9);
+    b.asm.jcc_to(Cond::Ae, "rsa_red_i_done");
+    // hi[i] → RAX (and zero it).
+    b.asm.mov_rr(Gpr::RSI, Gpr::R10);
+    b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::R9);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, prod_buf);
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.mov_ri(Gpr::RCX, 0);
+    b.asm.store(Gpr::RSI, 0, Gpr::RCX);
+    // RDX:RAX = hi_i * c.
+    b.asm.mul_wide(Gpr::R12);
+    // lo[i] += lo_part + carry.
+    b.asm.mov_rr(Gpr::RSI, Gpr::R10);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, prod_buf);
+    b.asm.load(Gpr::RCX, Gpr::RSI, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::RCX, Gpr::RAX);
+    b.asm.jcc_to(Cond::Ae, "rsa_red_nc1");
+    b.asm.alu_ri(AluOp::Add, Gpr::RDX, 1);
+    b.asm.label("rsa_red_nc1");
+    b.asm.alu_rr(AluOp::Add, Gpr::RCX, Gpr::R13);
+    b.asm.jcc_to(Cond::Ae, "rsa_red_nc2");
+    b.asm.alu_ri(AluOp::Add, Gpr::RDX, 1);
+    b.asm.label("rsa_red_nc2");
+    b.asm.store(Gpr::RSI, 0, Gpr::RCX);
+    b.asm.mov_rr(Gpr::R13, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 1);
+    b.asm.jmp_to("rsa_red_i");
+    b.asm.label("rsa_red_i_done");
+    // hi[0] = carry; fold again if non-zero.
+    b.asm.mov_rr(Gpr::RSI, Gpr::R9);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, prod_buf);
+    b.asm.store(Gpr::RSI, 0, Gpr::R13);
+    b.asm.cmp_ri(Gpr::R13, 0);
+    b.asm.jcc_to(Cond::Ne, "rsa_red_fold");
+    // Conditional subtraction: tmp = lo + c; if carry out, lo = tmp; loop.
+    b.asm.label("rsa_red_sub");
+    b.asm.mov_rr(Gpr::R13, Gpr::R12); // chain = c
+    b.asm.mov_ri(Gpr::R10, 0);
+    b.asm.label("rsa_red_sub_i");
+    b.asm.cmp_rr(Gpr::R10, Gpr::R9);
+    b.asm.jcc_to(Cond::Ae, "rsa_red_sub_done");
+    b.asm.mov_rr(Gpr::RSI, Gpr::R10);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);
+    b.asm.mov_rr(Gpr::RDI, Gpr::RSI);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, prod_buf);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, tmp_buf);
+    b.asm.load(Gpr::RCX, Gpr::RSI, 0);
+    b.asm.mov_ri(Gpr::RDX, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::RCX, Gpr::R13);
+    b.asm.jcc_to(Cond::Ae, "rsa_red_sub_nc");
+    b.asm.mov_ri(Gpr::RDX, 1);
+    b.asm.label("rsa_red_sub_nc");
+    b.asm.store(Gpr::RDI, 0, Gpr::RCX);
+    b.asm.mov_rr(Gpr::R13, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 1);
+    b.asm.jmp_to("rsa_red_sub_i");
+    b.asm.label("rsa_red_sub_done");
+    // If the chain carried out, lo ≥ m: commit tmp and try again.
+    b.asm.cmp_ri(Gpr::R13, 0);
+    b.asm.jcc_to(Cond::E, "rsa_red_ret");
+    b.asm.mov_ri(Gpr::RSI, tmp_buf);
+    b.asm.mov_ri(Gpr::RDI, prod_buf);
+    b.asm.mov_rr(Gpr::RDX, Gpr::R9);
+    b.asm.label("rsa_red_commit");
+    b.asm.load(Gpr::RAX, Gpr::RSI, 0);
+    b.asm.store(Gpr::RDI, 0, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RDX, 1);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "rsa_red_commit");
+    b.asm.jmp_to("rsa_red_sub");
+    b.asm.label("rsa_red_ret");
+    b.asm.ret();
+}

@@ -1,0 +1,20 @@
+//! Guest-side (MiniX86) implementations of the shared-library functions.
+//!
+//! These are the routines a guest binary would statically carry (or load
+//! from a guest-ISA shared library): when host linking is disabled, the
+//! DBT translates *this* code; when enabled, the PLT entries bypass it
+//! for the native versions in [`crate::hostlibs`]. Each `emit_*` function
+//! defines labels in a [`GelfBuilder`]; the conventional entry label is
+//! `guest_<name>`.
+//!
+//! [`GelfBuilder`]: risotto_guest_x86::GelfBuilder
+
+mod gdigest;
+mod gkv;
+mod gmath;
+mod grsa;
+
+pub use gdigest::{emit_md5, emit_sha1, emit_sha256};
+pub use gkv::{emit_kv, KV_TABLE_SLOTS};
+pub use gmath::emit_math;
+pub use grsa::emit_modpow_pm;

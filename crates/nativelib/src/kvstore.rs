@@ -1,0 +1,242 @@
+//! A B-tree key-value store — the sqlite stand-in.
+//!
+//! The paper's sqlite `speedtest1` exercises a B-tree storage engine
+//! through inserts, point queries and range scans. This module is the
+//! *native host library* version: a real order-16 B-tree with the same
+//! operation mix; the node-visit counter feeds the native cost model.
+//! The guest-side implementation (a linear-probing hash table in MiniX86
+//! assembly, see [`crate::guest`]) provides the same map semantics for
+//! the translated path.
+
+const ORDER: usize = 16; // max keys per node
+
+#[derive(Debug)]
+struct Node {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    children: Vec<Box<Node>>, // empty for leaves
+}
+
+impl Node {
+    fn leaf() -> Node {
+        Node { keys: Vec::new(), vals: Vec::new(), children: Vec::new() }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() >= ORDER
+    }
+}
+
+/// An ordered key-value store over `u64` keys and values.
+#[derive(Debug)]
+pub struct BTreeKv {
+    root: Box<Node>,
+    len: usize,
+    /// Nodes visited since creation — the work counter for costing.
+    pub node_visits: u64,
+}
+
+impl Default for BTreeKv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeKv {
+    /// Creates an empty store.
+    pub fn new() -> BTreeKv {
+        BTreeKv { root: Box::new(Node::leaf()), len: 0, node_visits: 0 }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or updates; returns the previous value if any.
+    pub fn put(&mut self, key: u64, val: u64) -> Option<u64> {
+        if self.root.is_full() {
+            // Split the root.
+            let mut old_root = std::mem::replace(&mut self.root, Box::new(Node::leaf()));
+            let (mid_k, mid_v, right) = split(&mut old_root);
+            self.root.keys.push(mid_k);
+            self.root.vals.push(mid_v);
+            self.root.children.push(old_root);
+            self.root.children.push(right);
+        }
+        let visits = &mut self.node_visits;
+        let prev = insert_nonfull(&mut self.root, key, val, visits);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let mut node: &Node = &self.root;
+        loop {
+            self.node_visits += 1;
+            match node.keys.binary_search(&key) {
+                Ok(i) => return Some(node.vals[i]),
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    node = &node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Sum of the values of all keys in `[lo, hi]` (a scan aggregate, like
+    /// speedtest1's range queries).
+    pub fn range_sum(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi < lo {
+            return 0;
+        }
+        fn walk(node: &Node, lo: u64, hi: u64, visits: &mut u64) -> u64 {
+            *visits += 1;
+            let mut sum = 0u64;
+            // Child i holds keys strictly between keys[i-1] and keys[i]
+            // (with virtual −∞ / +∞ at the ends); visit it iff that open
+            // interval intersects [lo, hi].
+            for (i, &k) in node.keys.iter().enumerate() {
+                if !node.is_leaf() {
+                    let prev_below_hi = i == 0 || node.keys[i - 1] < hi;
+                    if lo < k && prev_below_hi {
+                        sum = sum.wrapping_add(walk(&node.children[i], lo, hi, visits));
+                    }
+                }
+                if k >= lo && k <= hi {
+                    sum = sum.wrapping_add(node.vals[i]);
+                }
+            }
+            if !node.is_leaf() {
+                let last = *node.keys.last().unwrap();
+                if hi > last {
+                    sum = sum.wrapping_add(walk(node.children.last().unwrap(), lo, hi, visits));
+                }
+            }
+            sum
+        }
+        walk(&self.root, lo, hi, &mut self.node_visits)
+    }
+}
+
+/// Splits a full node; returns (median key, median value, right sibling).
+fn split(node: &mut Node) -> (u64, u64, Box<Node>) {
+    let mid = node.keys.len() / 2;
+    let mid_k = node.keys[mid];
+    let mid_v = node.vals[mid];
+    let mut right = Box::new(Node::leaf());
+    right.keys = node.keys.split_off(mid + 1);
+    right.vals = node.vals.split_off(mid + 1);
+    node.keys.pop();
+    node.vals.pop();
+    if !node.is_leaf() {
+        right.children = node.children.split_off(mid + 1);
+    }
+    (mid_k, mid_v, right)
+}
+
+fn insert_nonfull(node: &mut Node, key: u64, val: u64, visits: &mut u64) -> Option<u64> {
+    *visits += 1;
+    match node.keys.binary_search(&key) {
+        Ok(i) => Some(std::mem::replace(&mut node.vals[i], val)),
+        Err(i) => {
+            if node.is_leaf() {
+                node.keys.insert(i, key);
+                node.vals.insert(i, val);
+                None
+            } else {
+                let mut i = i;
+                if node.children[i].is_full() {
+                    let (mid_k, mid_v, right) = split(&mut node.children[i]);
+                    node.keys.insert(i, mid_k);
+                    node.vals.insert(i, mid_v);
+                    node.children.insert(i + 1, right);
+                    match key.cmp(&mid_k) {
+                        std::cmp::Ordering::Greater => i += 1,
+                        std::cmp::Ordering::Equal => {
+                            return Some(std::mem::replace(&mut node.vals[i], val));
+                        }
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                insert_nonfull(&mut node.children[i], key, val, visits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn put_get_roundtrip() {
+        // Differential against std BTreeMap with the same operations.
+        let mut kv = BTreeKv::new();
+        assert!(kv.is_empty());
+        let mut reference = BTreeMap::new();
+        for i in 0..5000u64 {
+            let k = i.wrapping_mul(0x9E3779B97F4A7C15) % 10_000;
+            assert_eq!(kv.put(k, i), reference.insert(k, i), "insert {k}");
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(kv.get(k), reference.get(&k).copied(), "get {k}");
+        }
+        assert_eq!(kv.len(), reference.len());
+    }
+
+    #[test]
+    fn range_sum_matches_reference() {
+        let mut kv = BTreeKv::new();
+        let mut reference = BTreeMap::new();
+        for i in 0..3000u64 {
+            let k = i.wrapping_mul(48271) % 7000;
+            kv.put(k, k * 2);
+            reference.insert(k, k * 2);
+        }
+        for (lo, hi) in [(0u64, 7000u64), (100, 200), (3500, 3500), (6900, 9999), (5000, 100)] {
+            let expect: u64 = reference
+                .range(lo..=hi.max(lo).min(u64::MAX))
+                .map(|(_, &v)| v)
+                .fold(0u64, |a, v| a.wrapping_add(v));
+            let expect = if hi < lo { 0 } else { expect };
+            assert_eq!(kv.range_sum(lo, hi), expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn deep_tree_structure_forms() {
+        let mut kv = BTreeKv::new();
+        for i in 0..100_000u64 {
+            kv.put(i, i);
+        }
+        assert_eq!(kv.len(), 100_000);
+        assert_eq!(kv.get(99_999), Some(99_999));
+        assert_eq!(kv.get(100_000), None);
+        assert!(kv.node_visits > 100_000, "work counter advances");
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut kv = BTreeKv::new();
+        assert_eq!(kv.put(5, 10), None);
+        assert_eq!(kv.put(5, 20), Some(10));
+        assert_eq!(kv.get(5), Some(20));
+        assert_eq!(kv.len(), 1);
+    }
+}

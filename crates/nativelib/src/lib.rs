@@ -1,0 +1,20 @@
+//! # risotto-nativelib
+//!
+//! The "shared libraries" of the evaluation (§7.3): real Rust
+//! implementations of the host-side libraries (digests, an RSA-style
+//! modular-exponentiation kernel, a B-tree key-value store, libm-style
+//! math functions), the [`HostLibrary`] factories that expose them to the
+//! dynamic host linker, and MiniX86 *guest* implementations of the same
+//! functions — the code QEMU would translate when host linking is off.
+//!
+//! [`HostLibrary`]: risotto_core::HostLibrary
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bignum;
+pub mod digest;
+pub mod guest;
+pub mod hostlibs;
+pub mod kvstore;
+pub mod mathfn;

@@ -1,0 +1,113 @@
+//! Native math-library functions with per-function cycle costs.
+//!
+//! These stand in for the host's `libm` in the Fig. 14 benchmark. The
+//! results use Rust's f64 intrinsics; the cycle costs are typical
+//! hardware-library latencies (sqrt is a single instruction; the
+//! transcendentals are short polynomial kernels).
+
+/// The math functions the Fig. 14 benchmark sweeps, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFn {
+    /// Square root.
+    Sqrt,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Cosine.
+    Cos,
+    /// Sine.
+    Sin,
+    /// Tangent.
+    Tan,
+    /// Arc cosine.
+    Acos,
+    /// Arc sine.
+    Asin,
+    /// Arc tangent.
+    Atan,
+}
+
+impl MathFn {
+    /// All functions, in Fig. 14 order.
+    pub const ALL: [MathFn; 9] = [
+        MathFn::Sqrt,
+        MathFn::Exp,
+        MathFn::Log,
+        MathFn::Cos,
+        MathFn::Sin,
+        MathFn::Tan,
+        MathFn::Acos,
+        MathFn::Asin,
+        MathFn::Atan,
+    ];
+
+    /// Function name as used in the IDL and `.dynsym`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MathFn::Sqrt => "sqrt",
+            MathFn::Exp => "exp",
+            MathFn::Log => "log",
+            MathFn::Cos => "cos",
+            MathFn::Sin => "sin",
+            MathFn::Tan => "tan",
+            MathFn::Acos => "acos",
+            MathFn::Asin => "asin",
+            MathFn::Atan => "atan",
+        }
+    }
+
+    /// Evaluates the function.
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            MathFn::Sqrt => x.sqrt(),
+            MathFn::Exp => x.exp(),
+            MathFn::Log => x.ln(),
+            MathFn::Cos => x.cos(),
+            MathFn::Sin => x.sin(),
+            MathFn::Tan => x.tan(),
+            MathFn::Acos => x.acos(),
+            MathFn::Asin => x.asin(),
+            MathFn::Atan => x.atan(),
+        }
+    }
+
+    /// Native per-call cycle cost (hardware FP + short kernels).
+    pub fn native_cost(self) -> u64 {
+        match self {
+            MathFn::Sqrt => 12,
+            MathFn::Exp => 40,
+            MathFn::Log => 44,
+            MathFn::Cos => 52,
+            MathFn::Sin => 52,
+            MathFn::Tan => 70,
+            MathFn::Acos => 60,
+            MathFn::Asin => 60,
+            MathFn::Atan => 56,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_is_sane() {
+        assert_eq!(MathFn::Sqrt.eval(16.0), 4.0);
+        assert!((MathFn::Exp.eval(1.0) - std::f64::consts::E).abs() < 1e-12);
+        assert!((MathFn::Log.eval(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        assert!((MathFn::Sin.eval(0.5).powi(2) + MathFn::Cos.eval(0.5).powi(2) - 1.0).abs() < 1e-12);
+        assert!((MathFn::Tan.eval(0.3) - MathFn::Sin.eval(0.3) / MathFn::Cos.eval(0.3)).abs() < 1e-12);
+        assert!((MathFn::Asin.eval(MathFn::Sin.eval(0.4)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_and_costs() {
+        for f in MathFn::ALL {
+            assert!(!f.name().is_empty());
+            assert!(f.native_cost() >= 10);
+        }
+        assert!(MathFn::Sqrt.native_cost() < MathFn::Cos.native_cost());
+    }
+}

@@ -1,0 +1,248 @@
+//! Differential tests for the guest (MiniX86 assembly) library
+//! implementations: each must agree with the native Rust implementation,
+//! both under the reference interpreter and end-to-end through the DBT.
+
+use risotto_core::{Emulator, Setup};
+use risotto_guest_x86::{GelfBuilder, Gpr, GuestBinary, Interp};
+use risotto_host_arm::CostModel;
+use risotto_nativelib::guest;
+use risotto_nativelib::{bignum, digest, kvstore::BTreeKv, mathfn::MathFn};
+
+/// Builds a binary whose `main` sets up args and calls one guest routine.
+fn harness(
+    emit_lib: impl FnOnce(&mut GelfBuilder),
+    setup_main: impl FnOnce(&mut GelfBuilder),
+    callee: &str,
+) -> GuestBinary {
+    let mut b = GelfBuilder::new("main");
+    b.asm.label("main");
+    setup_main(&mut b);
+    b.asm.call_to(callee);
+    b.asm.hlt();
+    emit_lib(&mut b);
+    b.finish().unwrap()
+}
+
+/// Runs a binary in the interpreter; returns final memory reader.
+fn run_interp(bin: &GuestBinary) -> Interp {
+    let mut i = Interp::new(bin);
+    i.run(500_000_000).unwrap();
+    i
+}
+
+/// Runs a binary through the DBT (tcg-ver config: verified mappings,
+/// translated guest library).
+fn run_dbt(bin: &GuestBinary) -> Emulator {
+    let mut emu = Emulator::new(bin, Setup::TcgVer, 1, CostModel::thunderx2_like());
+    emu.run(2_000_000_000).unwrap();
+    emu
+}
+
+fn digest_case(
+    emit: fn(&mut GelfBuilder),
+    callee: &str,
+    reference: impl Fn(&[u8]) -> Vec<u8>,
+    len: usize,
+    digest_len: usize,
+) {
+    let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect();
+    let expect = reference(&data);
+    let mut data_addr = 0;
+    let mut out_addr = 0;
+    let bin = harness(
+        emit,
+        |b| {
+            data_addr = b.data_bytes(&data);
+            out_addr = b.data_zeroed(64);
+            if data.is_empty() {
+                data_addr = out_addr; // any valid address
+            }
+            b.asm.mov_ri(Gpr::RDI, data_addr);
+            b.asm.mov_ri(Gpr::RSI, len as u64);
+            b.asm.mov_ri(Gpr::RDX, out_addr);
+        },
+        callee,
+    );
+    let interp = run_interp(&bin);
+    assert_eq!(
+        interp.mem.read_bytes(out_addr, digest_len),
+        expect,
+        "{callee}(len={len}) interpreter mismatch"
+    );
+    let dbt = run_dbt(&bin);
+    assert_eq!(
+        dbt.mem().read_bytes(out_addr, digest_len),
+        expect,
+        "{callee}(len={len}) DBT mismatch"
+    );
+}
+
+#[test]
+fn guest_md5_matches_native() {
+    for len in [0usize, 3, 55, 56, 63, 64, 100, 1024] {
+        digest_case(guest::emit_md5, "guest_md5", |d| digest::md5(d).to_vec(), len, 16);
+    }
+}
+
+#[test]
+fn guest_sha1_matches_native() {
+    for len in [0usize, 3, 55, 56, 64, 129, 1024] {
+        digest_case(guest::emit_sha1, "guest_sha1", |d| digest::sha1(d).to_vec(), len, 20);
+    }
+}
+
+#[test]
+fn guest_sha256_matches_native() {
+    for len in [0usize, 3, 55, 56, 64, 129, 1024] {
+        digest_case(guest::emit_sha256, "guest_sha256", |d| digest::sha256(d).to_vec(), len, 32);
+    }
+}
+
+#[test]
+fn guest_rsa_modpow_matches_native() {
+    for (nlimbs, c, seed) in [(2usize, 159u64, 7u64), (4, 189, 9), (4, 159, 11)] {
+        let base = bignum::BigU::pseudo_random(nlimbs, seed);
+        let exp = bignum::BigU::pseudo_random(nlimbs, seed + 1);
+        let (expect, _) = bignum::modpow_pm(&base.limbs, &exp.limbs, c);
+
+        let mut out_addr = 0;
+        let bin = harness(
+            guest::emit_modpow_pm,
+            |b| {
+                let base_addr = b.data_u64(&base.limbs);
+                let exp_addr = b.data_u64(&exp.limbs);
+                out_addr = b.data_zeroed(nlimbs * 8);
+                b.asm.mov_ri(Gpr::RDI, base_addr);
+                b.asm.mov_ri(Gpr::RSI, exp_addr);
+                b.asm.mov_ri(Gpr::RDX, out_addr);
+                b.asm.mov_ri(Gpr::RCX, nlimbs as u64);
+                b.asm.mov_ri(Gpr::R8, c);
+            },
+            "guest_rsa_modpow",
+        );
+        let interp = run_interp(&bin);
+        let got: Vec<u64> =
+            (0..nlimbs).map(|i| interp.mem.read_u64(out_addr + i as u64 * 8)).collect();
+        assert_eq!(got, expect, "interpreter mismatch (n={nlimbs}, c={c})");
+        let dbt = run_dbt(&bin);
+        let got: Vec<u64> =
+            (0..nlimbs).map(|i| dbt.mem().read_u64(out_addr + i as u64 * 8)).collect();
+        assert_eq!(got, expect, "DBT mismatch (n={nlimbs}, c={c})");
+    }
+}
+
+#[test]
+fn guest_kv_matches_native_semantics() {
+    // Script a mixed workload into guest code: puts, overwrite, gets,
+    // range-sum; record each result to an output array.
+    let keys: Vec<u64> = (1..=40u64).map(|i| i * 977 % 4093 + 1).collect();
+    let mut reference = BTreeKv::new();
+    let mut expected = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        expected.push(reference.put(k, i as u64 * 3).unwrap_or(u64::MAX));
+    }
+    expected.push(reference.put(keys[5], 999).unwrap_or(u64::MAX));
+    for &k in &keys[..10] {
+        expected.push(reference.get(k).unwrap_or(u64::MAX));
+    }
+    expected.push(reference.get(4094).unwrap_or(u64::MAX));
+    expected.push(reference.range_sum(0, u64::MAX / 2));
+    expected.push(reference.range_sum(500, 1500));
+
+    let mut b = GelfBuilder::new("main");
+    let out_addr = b.data_zeroed(expected.len() * 8);
+    b.asm.label("main");
+    let mut slot = 0i32;
+    let record = |b: &mut GelfBuilder, slot: &mut i32| {
+        b.asm.mov_ri(Gpr::R15, out_addr);
+        b.asm.store(Gpr::R15, *slot, Gpr::RAX);
+        *slot += 8;
+    };
+    for (i, &k) in keys.iter().enumerate() {
+        b.asm.mov_ri(Gpr::RDI, k);
+        b.asm.mov_ri(Gpr::RSI, i as u64 * 3);
+        b.asm.call_to("guest_kv_put");
+        record(&mut b, &mut slot);
+    }
+    b.asm.mov_ri(Gpr::RDI, keys[5]);
+    b.asm.mov_ri(Gpr::RSI, 999);
+    b.asm.call_to("guest_kv_put");
+    record(&mut b, &mut slot);
+    for &k in &keys[..10] {
+        b.asm.mov_ri(Gpr::RDI, k);
+        b.asm.call_to("guest_kv_get");
+        record(&mut b, &mut slot);
+    }
+    b.asm.mov_ri(Gpr::RDI, 4094);
+    b.asm.call_to("guest_kv_get");
+    record(&mut b, &mut slot);
+    b.asm.mov_ri(Gpr::RDI, 0);
+    b.asm.mov_ri(Gpr::RSI, u64::MAX / 2);
+    b.asm.call_to("guest_kv_range_sum");
+    record(&mut b, &mut slot);
+    b.asm.mov_ri(Gpr::RDI, 500);
+    b.asm.mov_ri(Gpr::RSI, 1500);
+    b.asm.call_to("guest_kv_range_sum");
+    record(&mut b, &mut slot);
+    b.asm.hlt();
+    guest::emit_kv(&mut b);
+    let bin = b.finish().unwrap();
+
+    let interp = run_interp(&bin);
+    let got: Vec<u64> =
+        (0..expected.len()).map(|i| interp.mem.read_u64(out_addr + i as u64 * 8)).collect();
+    assert_eq!(got, expected, "interpreter mismatch");
+    let dbt = run_dbt(&bin);
+    let got: Vec<u64> =
+        (0..expected.len()).map(|i| dbt.mem().read_u64(out_addr + i as u64 * 8)).collect();
+    assert_eq!(got, expected, "DBT mismatch");
+}
+
+#[test]
+fn guest_math_agrees_with_native_on_domain() {
+    // (function, test inputs) within the documented domains.
+    let cases: Vec<(MathFn, Vec<f64>)> = vec![
+        (MathFn::Sqrt, vec![0.25, 1.0, 2.0, 16.0, 1e6]),
+        (MathFn::Sin, vec![0.0, 0.1, 0.5, 1.0, 1.5]),
+        (MathFn::Cos, vec![0.0, 0.1, 0.5, 1.0, 1.5]),
+        (MathFn::Tan, vec![0.0, 0.1, 0.5, 1.0]),
+        (MathFn::Exp, vec![0.0, 0.5, 1.0, 2.0, -1.0]),
+        (MathFn::Log, vec![0.5, 0.9, 1.0, 1.5, 2.5]),
+        (MathFn::Asin, vec![0.0, 0.2, 0.5, 0.6]),
+        (MathFn::Acos, vec![0.0, 0.2, 0.5, 0.6]),
+        (MathFn::Atan, vec![0.0, 0.2, 0.5, 0.6]),
+    ];
+    for (f, inputs) in cases {
+        for x in inputs {
+            let mut b2 = GelfBuilder::new("main");
+            let out2 = b2.data_zeroed(8);
+            b2.asm.label("main");
+            b2.asm.mov_ri(Gpr::RDI, x.to_bits());
+            b2.asm.call_to(&format!("guest_{}", f.name()));
+            b2.asm.mov_ri(Gpr::RCX, out2);
+            b2.asm.store(Gpr::RCX, 0, Gpr::RAX);
+            b2.asm.hlt();
+            guest::emit_math(&mut b2);
+            let bin2 = b2.finish().unwrap();
+
+            let interp = run_interp(&bin2);
+            let got = f64::from_bits(interp.mem.read_u64(out2));
+            let expect = f.eval(x);
+            let tol = expect.abs().max(1.0) * 1e-8;
+            assert!(
+                (got - expect).abs() <= tol,
+                "{}({x}): guest {got} vs native {expect}",
+                f.name()
+            );
+            // DBT path (soft-float helpers) must produce the same bits as
+            // the interpreter path.
+            let dbt = run_dbt(&bin2);
+            assert_eq!(
+                dbt.mem().read_u64(out2),
+                interp.mem.read_u64(out2),
+                "{}({x}): DBT/interp bit mismatch",
+                f.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,691 @@
+//! The guest (MiniX86) frontend: decodes one basic block and emits TCG IR.
+//!
+//! The frontend is where the x86→TCG mapping scheme of the paper is
+//! applied: [`FencePlacement::QemuLeading`] reproduces QEMU's Fig. 2
+//! (`Fmr; ld`, `Fmw; st`), [`FencePlacement::VerifiedTrailing`] the
+//! verified Fig. 7a (`ld; Frm`, `Fww; st`), and [`FencePlacement::None`]
+//! the `no-fences` oracle. RMW instructions go through a helper call
+//! (QEMU) or the direct `Cas`/`AtomicAdd` ops (Risotto, §6.3). Guest
+//! flags are computed eagerly into env registers.
+
+use crate::ir::{env, BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
+use risotto_guest_x86::{AluOp, Cond, DecodeError, FpOp, Gpr, Insn, Operand};
+use risotto_memmodel::FenceKind;
+
+/// Where the guest-ordering fences go (the x86→TCG mapping scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FencePlacement {
+    /// QEMU's Fig. 2: leading fences. QEMU generates `Fmr`/`Fmw` and then
+    /// demotes the `Fmr` to `Frr` for x86 guests (§3.1, store→load
+    /// reordering is allowed); we emit the demoted form directly, so loads
+    /// lower to `DMBLD; LDR` and stores to `DMBFF; STR` exactly as Fig. 2
+    /// shows.
+    QemuLeading,
+    /// The verified Fig. 7a: `Frm` after loads, `Fww` before stores.
+    VerifiedTrailing,
+    /// No fences (incorrect oracle).
+    None,
+}
+
+/// How CAS-style guest RMWs are translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasStrategy {
+    /// Call a runtime helper (QEMU's scheme, §2.3).
+    Helper,
+    /// Emit the dedicated TCG `Cas`/`AtomicAdd` op (Risotto, §6.3).
+    TcgOp,
+}
+
+/// Frontend configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendConfig {
+    /// Fence-placement scheme.
+    pub fences: FencePlacement,
+    /// RMW translation strategy.
+    pub cas: CasStrategy,
+}
+
+impl FrontendConfig {
+    /// QEMU 6.1 behavior.
+    pub fn qemu() -> FrontendConfig {
+        FrontendConfig { fences: FencePlacement::QemuLeading, cas: CasStrategy::Helper }
+    }
+
+    /// Risotto: verified mappings + direct CAS.
+    pub fn risotto() -> FrontendConfig {
+        FrontendConfig { fences: FencePlacement::VerifiedTrailing, cas: CasStrategy::TcgOp }
+    }
+
+    /// Verified mappings but QEMU's helper-based CAS (`tcg-ver` setup).
+    pub fn tcg_ver() -> FrontendConfig {
+        FrontendConfig { fences: FencePlacement::VerifiedTrailing, cas: CasStrategy::Helper }
+    }
+
+    /// The incorrect fence-free oracle (`no-fences` setup).
+    pub fn no_fences() -> FrontendConfig {
+        FrontendConfig { fences: FencePlacement::None, cas: CasStrategy::TcgOp }
+    }
+}
+
+/// Frontend errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// Faulting guest pc.
+    pub pc: u64,
+    /// Underlying decode error.
+    pub cause: DecodeError,
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "translation fault at {:#x}: {}", self.pc, self.cause)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Maximum guest instructions per translation block.
+pub const MAX_TB_INSNS: usize = 64;
+
+struct Ctx {
+    block: TcgBlock,
+    cfg: FrontendConfig,
+}
+
+impl Ctx {
+    fn temp(&mut self) -> Temp {
+        self.block.new_temp()
+    }
+
+    fn emit(&mut self, op: TcgOp) {
+        self.block.ops.push(op);
+    }
+
+    fn movi(&mut self, val: u64) -> Temp {
+        let t = self.temp();
+        self.emit(TcgOp::MovI { dst: t, val });
+        t
+    }
+
+    fn get_reg(&mut self, r: Gpr) -> Temp {
+        let t = self.temp();
+        self.emit(TcgOp::GetReg { dst: t, reg: r.0 });
+        t
+    }
+
+    fn set_reg(&mut self, r: Gpr, src: Temp) {
+        self.emit(TcgOp::SetReg { reg: r.0, src });
+    }
+
+    fn bin(&mut self, op: BinOp, a: Temp, b: Temp) -> Temp {
+        let dst = self.temp();
+        self.emit(TcgOp::Bin { op, dst, a, b });
+        dst
+    }
+
+    fn setcond(&mut self, cond: CondOp, a: Temp, b: Temp) -> Temp {
+        let dst = self.temp();
+        self.emit(TcgOp::Setcond { cond, dst, a, b });
+        dst
+    }
+
+    fn operand(&mut self, o: Operand) -> Temp {
+        match o {
+            Operand::Reg(r) => self.get_reg(r),
+            Operand::Imm(i) => self.movi(i),
+        }
+    }
+
+    fn address(&mut self, base: Gpr, disp: i32) -> Temp {
+        let b = self.get_reg(base);
+        if disp == 0 {
+            return b;
+        }
+        let d = self.movi(disp as i64 as u64);
+        self.bin(BinOp::Add, b, d)
+    }
+
+    /// Emits a guest load with the configured fence placement.
+    fn guest_load(&mut self, addr: Temp) -> Temp {
+        if self.cfg.fences == FencePlacement::QemuLeading {
+            self.emit(TcgOp::Fence(FenceKind::Frr));
+        }
+        let dst = self.temp();
+        self.emit(TcgOp::Ld { dst, addr });
+        if self.cfg.fences == FencePlacement::VerifiedTrailing {
+            self.emit(TcgOp::Fence(FenceKind::Frm));
+        }
+        dst
+    }
+
+    /// Emits a guest store with the configured fence placement.
+    fn guest_store(&mut self, addr: Temp, src: Temp) {
+        match self.cfg.fences {
+            FencePlacement::QemuLeading => self.emit(TcgOp::Fence(FenceKind::Fmw)),
+            FencePlacement::VerifiedTrailing => self.emit(TcgOp::Fence(FenceKind::Fww)),
+            FencePlacement::None => {}
+        }
+        self.emit(TcgOp::St { addr, src });
+    }
+
+    /// Flags for `a - b` with result `res`.
+    fn flags_sub(&mut self, a: Temp, b: Temp, res: Temp) {
+        let zero = self.movi(0);
+        let zf = self.setcond(CondOp::Eq, res, zero);
+        self.emit(TcgOp::SetReg { reg: env::ZF, src: zf });
+        let sixty3 = self.movi(63);
+        let sf = self.bin(BinOp::Shr, res, sixty3);
+        self.emit(TcgOp::SetReg { reg: env::SF, src: sf });
+        let cf = self.setcond(CondOp::LtU, a, b);
+        self.emit(TcgOp::SetReg { reg: env::CF, src: cf });
+        // of = ((a ^ b) & (a ^ res)) >> 63
+        let axb = self.bin(BinOp::Xor, a, b);
+        let axr = self.bin(BinOp::Xor, a, res);
+        let both = self.bin(BinOp::And, axb, axr);
+        let of = self.bin(BinOp::Shr, both, sixty3);
+        self.emit(TcgOp::SetReg { reg: env::OF, src: of });
+    }
+
+    /// Flags for `a + b` with result `res`.
+    fn flags_add(&mut self, a: Temp, b: Temp, res: Temp) {
+        let zero = self.movi(0);
+        let zf = self.setcond(CondOp::Eq, res, zero);
+        self.emit(TcgOp::SetReg { reg: env::ZF, src: zf });
+        let sixty3 = self.movi(63);
+        let sf = self.bin(BinOp::Shr, res, sixty3);
+        self.emit(TcgOp::SetReg { reg: env::SF, src: sf });
+        let cf = self.setcond(CondOp::LtU, res, a);
+        self.emit(TcgOp::SetReg { reg: env::CF, src: cf });
+        // of = (~(a ^ b) & (a ^ res)) >> 63
+        let axb = self.bin(BinOp::Xor, a, b);
+        let ones = self.movi(u64::MAX);
+        let naxb = self.bin(BinOp::Xor, axb, ones);
+        let axr = self.bin(BinOp::Xor, a, res);
+        let both = self.bin(BinOp::And, naxb, axr);
+        let of = self.bin(BinOp::Shr, both, sixty3);
+        self.emit(TcgOp::SetReg { reg: env::OF, src: of });
+    }
+
+    /// Flags for logical result `res` (CF = OF = 0).
+    fn flags_logic(&mut self, res: Temp) {
+        let zero = self.movi(0);
+        let zf = self.setcond(CondOp::Eq, res, zero);
+        self.emit(TcgOp::SetReg { reg: env::ZF, src: zf });
+        let sixty3 = self.movi(63);
+        let sf = self.bin(BinOp::Shr, res, sixty3);
+        self.emit(TcgOp::SetReg { reg: env::SF, src: sf });
+        let z2 = self.movi(0);
+        self.emit(TcgOp::SetReg { reg: env::CF, src: z2 });
+        self.emit(TcgOp::SetReg { reg: env::OF, src: z2 });
+    }
+
+    /// Computes a branch-condition temp (0/1) from the flag env regs.
+    fn cond_temp(&mut self, cond: Cond) -> Temp {
+        let getf = |c: &mut Ctx, reg: u8| {
+            let t = c.temp();
+            c.emit(TcgOp::GetReg { dst: t, reg });
+            t
+        };
+        let one = self.movi(1);
+        match cond {
+            Cond::E => getf(self, env::ZF),
+            Cond::Ne => {
+                let zf = getf(self, env::ZF);
+                self.bin(BinOp::Xor, zf, one)
+            }
+            Cond::L => {
+                let sf = getf(self, env::SF);
+                let of = getf(self, env::OF);
+                self.bin(BinOp::Xor, sf, of)
+            }
+            Cond::Ge => {
+                let sf = getf(self, env::SF);
+                let of = getf(self, env::OF);
+                let l = self.bin(BinOp::Xor, sf, of);
+                self.bin(BinOp::Xor, l, one)
+            }
+            Cond::Le => {
+                let zf = getf(self, env::ZF);
+                let sf = getf(self, env::SF);
+                let of = getf(self, env::OF);
+                let l = self.bin(BinOp::Xor, sf, of);
+                self.bin(BinOp::Or, zf, l)
+            }
+            Cond::G => {
+                let zf = getf(self, env::ZF);
+                let sf = getf(self, env::SF);
+                let of = getf(self, env::OF);
+                let l = self.bin(BinOp::Xor, sf, of);
+                let le = self.bin(BinOp::Or, zf, l);
+                self.bin(BinOp::Xor, le, one)
+            }
+            Cond::B => getf(self, env::CF),
+            Cond::Ae => {
+                let cf = getf(self, env::CF);
+                self.bin(BinOp::Xor, cf, one)
+            }
+            Cond::Be => {
+                let cf = getf(self, env::CF);
+                let zf = getf(self, env::ZF);
+                self.bin(BinOp::Or, cf, zf)
+            }
+            Cond::A => {
+                let cf = getf(self, env::CF);
+                let zf = getf(self, env::ZF);
+                let be = self.bin(BinOp::Or, cf, zf);
+                self.bin(BinOp::Xor, be, one)
+            }
+            Cond::S => getf(self, env::SF),
+            Cond::Ns => {
+                let sf = getf(self, env::SF);
+                self.bin(BinOp::Xor, sf, one)
+            }
+        }
+    }
+
+    fn push_ra(&mut self, ra: u64) {
+        let sp = self.get_reg(Gpr::RSP);
+        let eight = self.movi(8);
+        let nsp = self.bin(BinOp::Sub, sp, eight);
+        self.set_reg(Gpr::RSP, nsp);
+        let rat = self.movi(ra);
+        // Stack traffic is thread-private: emitted as plain accesses, and
+        // like QEMU we still apply the configured ordering fences.
+        self.guest_store(nsp, rat);
+    }
+}
+
+/// Translates one basic block starting at `pc` from `fetch` (a callback
+/// returning up to 16 bytes at a guest address).
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] if instruction decoding fails.
+pub fn translate_block<F>(pc: u64, cfg: FrontendConfig, fetch: F) -> Result<TcgBlock, TranslateError>
+where
+    F: Fn(u64) -> [u8; 16],
+{
+    let mut ctx = Ctx {
+        block: TcgBlock { guest_pc: pc, guest_len: 0, ops: Vec::new(), exit: TbExit::Halt, n_temps: 0 },
+        cfg,
+    };
+    let mut cur = pc;
+    for _ in 0..MAX_TB_INSNS {
+        let window = fetch(cur);
+        let (insn, len) =
+            Insn::decode(&window).map_err(|cause| TranslateError { pc: cur, cause })?;
+        let next = cur + len as u64;
+        match insn {
+            Insn::MovRI { dst, imm } => {
+                let t = ctx.movi(imm);
+                ctx.set_reg(dst, t);
+            }
+            Insn::MovRR { dst, src } => {
+                let t = ctx.get_reg(src);
+                ctx.set_reg(dst, t);
+            }
+            Insn::Load { dst, base, disp } => {
+                let addr = ctx.address(base, disp);
+                let v = ctx.guest_load(addr);
+                ctx.set_reg(dst, v);
+            }
+            Insn::Store { base, disp, src } => {
+                let addr = ctx.address(base, disp);
+                let v = ctx.get_reg(src);
+                ctx.guest_store(addr, v);
+            }
+            Insn::LoadB { dst, base, disp } => {
+                let addr = ctx.address(base, disp);
+                if cfg.fences == FencePlacement::QemuLeading {
+                    ctx.emit(TcgOp::Fence(FenceKind::Frr));
+                }
+                let v = ctx.temp();
+                ctx.emit(TcgOp::Ld8 { dst: v, addr });
+                if cfg.fences == FencePlacement::VerifiedTrailing {
+                    ctx.emit(TcgOp::Fence(FenceKind::Frm));
+                }
+                ctx.set_reg(dst, v);
+            }
+            Insn::StoreB { base, disp, src } => {
+                let addr = ctx.address(base, disp);
+                let v = ctx.get_reg(src);
+                match cfg.fences {
+                    FencePlacement::QemuLeading => ctx.emit(TcgOp::Fence(FenceKind::Fmw)),
+                    FencePlacement::VerifiedTrailing => ctx.emit(TcgOp::Fence(FenceKind::Fww)),
+                    FencePlacement::None => {}
+                }
+                ctx.emit(TcgOp::St8 { addr, src: v });
+            }
+            Insn::MulWide { src } => {
+                let a = ctx.get_reg(Gpr::RAX);
+                let b = ctx.get_reg(src);
+                let lo = ctx.bin(BinOp::Mul, a, b);
+                let hi = ctx.bin(BinOp::MulHi, a, b);
+                ctx.set_reg(Gpr::RAX, lo);
+                ctx.set_reg(Gpr::RDX, hi);
+            }
+            Insn::Lea { dst, base, disp } => {
+                let addr = ctx.address(base, disp);
+                ctx.set_reg(dst, addr);
+            }
+            Insn::Alu { op, dst, src } => {
+                let a = ctx.get_reg(dst);
+                let b = ctx.operand(src);
+                let bop = match op {
+                    AluOp::Add => BinOp::Add,
+                    AluOp::Sub => BinOp::Sub,
+                    AluOp::And => BinOp::And,
+                    AluOp::Or => BinOp::Or,
+                    AluOp::Xor => BinOp::Xor,
+                    AluOp::Shl => BinOp::Shl,
+                    AluOp::Shr => BinOp::Shr,
+                    AluOp::Sar => BinOp::Sar,
+                    AluOp::Mul => BinOp::Mul,
+                };
+                let res = ctx.bin(bop, a, b);
+                ctx.set_reg(dst, res);
+                match op {
+                    AluOp::Add => ctx.flags_add(a, b, res),
+                    AluOp::Sub => ctx.flags_sub(a, b, res),
+                    _ => ctx.flags_logic(res),
+                }
+            }
+            Insn::Div { src } => {
+                let a = ctx.get_reg(Gpr::RAX);
+                let d = ctx.get_reg(src);
+                let q = ctx.bin(BinOp::Divu, a, d);
+                let r = ctx.bin(BinOp::Remu, a, d);
+                ctx.set_reg(Gpr::RAX, q);
+                ctx.set_reg(Gpr::RDX, r);
+            }
+            Insn::Fp { op, dst, src } => {
+                let a = ctx.get_reg(dst);
+                let b = ctx.get_reg(src);
+                let helper = match op {
+                    FpOp::Add => Helper::FpAdd,
+                    FpOp::Sub => Helper::FpSub,
+                    FpOp::Mul => Helper::FpMul,
+                    FpOp::Div => Helper::FpDiv,
+                    FpOp::Sqrt => Helper::FpSqrt,
+                    FpOp::CvtIF => Helper::FpCvtIF,
+                    FpOp::CvtFI => Helper::FpCvtFI,
+                };
+                let ret = ctx.temp();
+                ctx.emit(TcgOp::CallHelper { helper, args: vec![a, b], ret: Some(ret) });
+                ctx.set_reg(dst, ret);
+            }
+            Insn::Cmp { a, b } => {
+                let ta = ctx.get_reg(a);
+                let tb = ctx.operand(b);
+                let res = ctx.bin(BinOp::Sub, ta, tb);
+                ctx.flags_sub(ta, tb, res);
+            }
+            Insn::Test { a, b } => {
+                let ta = ctx.get_reg(a);
+                let tb = ctx.operand(b);
+                let res = ctx.bin(BinOp::And, ta, tb);
+                ctx.flags_logic(res);
+            }
+            Insn::Jcc { cond, rel } => {
+                let flag = ctx.cond_temp(cond);
+                ctx.block.exit = TbExit::CondJump {
+                    flag,
+                    taken: next.wrapping_add(rel as i64 as u64),
+                    fallthrough: next,
+                };
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::Jmp { rel } => {
+                ctx.block.exit = TbExit::Jump(next.wrapping_add(rel as i64 as u64));
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::JmpReg { reg } => {
+                let t = ctx.get_reg(reg);
+                ctx.block.exit = TbExit::JumpReg(t);
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::Call { rel } => {
+                ctx.push_ra(next);
+                ctx.block.exit = TbExit::Jump(next.wrapping_add(rel as i64 as u64));
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::CallReg { reg } => {
+                let target = ctx.get_reg(reg);
+                ctx.push_ra(next);
+                ctx.block.exit = TbExit::JumpReg(target);
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::Ret => {
+                let sp = ctx.get_reg(Gpr::RSP);
+                let ra = ctx.guest_load(sp);
+                let eight = ctx.movi(8);
+                let nsp = ctx.bin(BinOp::Add, sp, eight);
+                ctx.set_reg(Gpr::RSP, nsp);
+                ctx.block.exit = TbExit::JumpReg(ra);
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::Push { src } => {
+                let v = ctx.get_reg(src);
+                let sp = ctx.get_reg(Gpr::RSP);
+                let eight = ctx.movi(8);
+                let nsp = ctx.bin(BinOp::Sub, sp, eight);
+                ctx.set_reg(Gpr::RSP, nsp);
+                ctx.guest_store(nsp, v);
+            }
+            Insn::Pop { dst } => {
+                let sp = ctx.get_reg(Gpr::RSP);
+                let v = ctx.guest_load(sp);
+                let eight = ctx.movi(8);
+                let nsp = ctx.bin(BinOp::Add, sp, eight);
+                ctx.set_reg(Gpr::RSP, nsp);
+                ctx.set_reg(dst, v);
+            }
+            Insn::LockCmpxchg { base, disp, src } => {
+                let addr = ctx.address(base, disp);
+                let expect = ctx.get_reg(Gpr::RAX);
+                let newv = ctx.get_reg(src);
+                let old = match cfg.cas {
+                    CasStrategy::TcgOp => {
+                        let old = ctx.temp();
+                        ctx.emit(TcgOp::Cas { dst: old, addr, expect, new: newv });
+                        old
+                    }
+                    CasStrategy::Helper => {
+                        let old = ctx.temp();
+                        ctx.emit(TcgOp::CallHelper {
+                            helper: Helper::CmpxchgSc,
+                            args: vec![addr, expect, newv],
+                            ret: Some(old),
+                        });
+                        old
+                    }
+                };
+                // RAX = old (on success old == expected, so this is a
+                // no-op there); ZF = (old == expected).
+                ctx.set_reg(Gpr::RAX, old);
+                let zf = ctx.setcond(CondOp::Eq, old, expect);
+                ctx.emit(TcgOp::SetReg { reg: env::ZF, src: zf });
+                let zero = ctx.movi(0);
+                ctx.emit(TcgOp::SetReg { reg: env::SF, src: zero });
+                ctx.emit(TcgOp::SetReg { reg: env::CF, src: zero });
+                ctx.emit(TcgOp::SetReg { reg: env::OF, src: zero });
+            }
+            Insn::LockXadd { base, disp, src } => {
+                let addr = ctx.address(base, disp);
+                let add = ctx.get_reg(src);
+                let old = match cfg.cas {
+                    CasStrategy::TcgOp => {
+                        let old = ctx.temp();
+                        ctx.emit(TcgOp::AtomicAdd { dst: old, addr, val: add });
+                        old
+                    }
+                    CasStrategy::Helper => {
+                        let old = ctx.temp();
+                        ctx.emit(TcgOp::CallHelper {
+                            helper: Helper::XaddSc,
+                            args: vec![addr, add],
+                            ret: Some(old),
+                        });
+                        old
+                    }
+                };
+                ctx.set_reg(src, old);
+            }
+            Insn::Mfence => ctx.emit(TcgOp::Fence(FenceKind::Fsc)),
+            Insn::Nop => {}
+            Insn::Hlt => {
+                ctx.block.exit = TbExit::Halt;
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+            Insn::Syscall => {
+                ctx.block.exit = TbExit::Syscall { next };
+                ctx.block.guest_len = (next - pc) as usize;
+                return Ok(ctx.block);
+            }
+        }
+        cur = next;
+    }
+    // TB size limit reached: end with a fallthrough jump.
+    ctx.block.exit = TbExit::Jump(cur);
+    ctx.block.guest_len = (cur - pc) as usize;
+    Ok(ctx.block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risotto_guest_x86::Assembler;
+
+    fn assemble(f: impl FnOnce(&mut Assembler)) -> Vec<u8> {
+        let mut a = Assembler::new(0x1000);
+        f(&mut a);
+        a.finish().unwrap().0
+    }
+
+    fn fetcher(bytes: Vec<u8>) -> impl Fn(u64) -> [u8; 16] {
+        move |addr| {
+            let mut out = [0u8; 16];
+            let off = (addr - 0x1000) as usize;
+            for i in 0..16 {
+                out[i] = bytes.get(off + i).copied().unwrap_or(0);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn qemu_fences_lead_verified_fences_trail() {
+        let bytes = assemble(|a| {
+            a.load(Gpr::RAX, Gpr::RDI, 0);
+            a.store(Gpr::RSI, 0, Gpr::RAX);
+            a.hlt();
+        });
+        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes.clone())).unwrap();
+        assert_eq!(q.count_fences(FenceKind::Frr), 1, "Fmr demoted to Frr for x86 guests");
+        assert_eq!(q.count_fences(FenceKind::Fmw), 1);
+        // The (demoted) leading fence precedes the Ld.
+        let frr = q.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frr))).unwrap();
+        let ld = q.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).unwrap();
+        assert!(frr < ld);
+
+        let v =
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).unwrap();
+        assert_eq!(v.count_fences(FenceKind::Frm), 1);
+        assert_eq!(v.count_fences(FenceKind::Fww), 1);
+        let frm = v.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frm))).unwrap();
+        let ld = v.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).unwrap();
+        assert!(ld < frm);
+
+        let n = translate_block(0x1000, FrontendConfig::no_fences(), fetcher(bytes)).unwrap();
+        assert_eq!(n.count_ops(|o| matches!(o, TcgOp::Fence(_))), 0);
+    }
+
+    #[test]
+    fn cas_strategy_selects_op_or_helper() {
+        let bytes = assemble(|a| {
+            a.cmpxchg(Gpr::RDI, 0, Gpr::RSI);
+            a.hlt();
+        });
+        let r = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).unwrap();
+        assert_eq!(r.count_ops(|o| matches!(o, TcgOp::Cas { .. })), 1);
+        assert_eq!(r.count_ops(|o| matches!(o, TcgOp::CallHelper { .. })), 0);
+        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes)).unwrap();
+        assert_eq!(q.count_ops(|o| matches!(o, TcgOp::Cas { .. })), 0);
+        assert_eq!(
+            q.count_ops(
+                |o| matches!(o, TcgOp::CallHelper { helper: Helper::CmpxchgSc, .. })
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn block_ends_at_terminator() {
+        let bytes = assemble(|a| {
+            a.mov_ri(Gpr::RAX, 1);
+            a.mov_ri(Gpr::RBX, 2);
+            a.jmp_to("next");
+            a.label("next");
+            a.hlt();
+        });
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        match b.exit {
+            TbExit::Jump(t) => assert_eq!(t, 0x1000 + 10 + 10 + 5),
+            ref e => panic!("unexpected exit {e:?}"),
+        }
+        assert_eq!(b.guest_len, 25);
+    }
+
+    #[test]
+    fn mfence_becomes_fsc() {
+        let bytes = assemble(|a| {
+            a.mfence();
+            a.hlt();
+        });
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        assert_eq!(b.count_fences(FenceKind::Fsc), 1);
+    }
+
+    #[test]
+    fn fp_goes_through_soft_float_helpers() {
+        let bytes = assemble(|a| {
+            a.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
+            a.hlt();
+        });
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        assert_eq!(
+            b.count_ops(|o| matches!(o, TcgOp::CallHelper { helper: Helper::FpMul, .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn syscall_and_condjump_exits() {
+        let bytes = assemble(|a| {
+            a.syscall();
+        });
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        assert_eq!(b.exit, TbExit::Syscall { next: 0x1001 });
+
+        let bytes = assemble(|a| {
+            a.cmp_ri(Gpr::RAX, 5);
+            a.jcc_to(risotto_guest_x86::Cond::E, "target");
+            a.label("target");
+            a.hlt();
+        });
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        match b.exit {
+            TbExit::CondJump { taken, fallthrough, .. } => {
+                assert_eq!(taken, fallthrough, "branch to fallthrough label");
+            }
+            ref e => panic!("unexpected exit {e:?}"),
+        }
+    }
+}

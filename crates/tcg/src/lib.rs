@@ -1,0 +1,53 @@
+//! # risotto-tcg
+//!
+//! The TCG-style intermediate representation, the MiniX86 frontend, and
+//! the optimizer of the Risotto reproduction.
+//!
+//! The pipeline mirrors QEMU's (§2.3): guest basic blocks decode into
+//! [`TcgBlock`]s of [`TcgOp`]s, fences are inserted per the selected
+//! x86→TCG mapping scheme ([`FrontendConfig`]), the optimizer
+//! ([`optimize`]) applies constant folding, the Fig. 10 memory-access
+//! eliminations (with either the verified fence side conditions or QEMU's
+//! unsound fence-oblivious ones), fence merging (§6.1) and DCE, and the
+//! host backend (in `risotto-host-arm`) lowers the result per the TCG→Arm
+//! scheme.
+//!
+//! ## Example
+//!
+//! ```
+//! use risotto_guest_x86::{Assembler, Gpr};
+//! use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Assembler::new(0x1000);
+//! a.load(Gpr::RAX, Gpr::RDI, 0);
+//! a.store(Gpr::RSI, 0, Gpr::RAX);
+//! a.hlt();
+//! let (bytes, _) = a.finish()?;
+//! let fetch = |addr: u64| {
+//!     let mut w = [0u8; 16];
+//!     let off = (addr - 0x1000) as usize;
+//!     for i in 0..16 { w[i] = bytes.get(off + i).copied().unwrap_or(0); }
+//!     w
+//! };
+//! let mut block = translate_block(0x1000, FrontendConfig::risotto(), fetch)?;
+//! let stats = optimize(&mut block, OptPolicy::Verified);
+//! assert!(stats.fences_merged > 0); // the §6.1 Frm·Fww merge
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod eval;
+mod frontend;
+mod ir;
+mod opt;
+
+pub use eval::{eval_block, EvalExit};
+pub use frontend::{
+    translate_block, CasStrategy, FencePlacement, FrontendConfig, TranslateError, MAX_TB_INSNS,
+};
+pub use ir::{env, BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
+pub use opt::{constant_fold, dce, merge_fences, optimize, optimize_with, OptPolicy, OptStats, PassConfig};

@@ -1,0 +1,75 @@
+//! The CAS contention micro-benchmark (Fig. 15).
+//!
+//! `threads` guest threads each perform `iters` successful compare-and-
+//! swap increments; thread `t` hammers variable `t mod vars`, so the
+//! `(threads, vars)` grid spans the contention spectrum: `threads == vars`
+//! is contention-free, `vars == 1` is maximal contention.
+
+use crate::parallel::emit_parallel_main;
+use risotto_guest_x86::{AluOp, Cond, GelfBuilder, Gpr, GuestBinary};
+
+/// The `(threads, vars)` configurations of Fig. 15, in plot order.
+pub const FIG15_CONFIGS: [(usize, usize); 10] =
+    [(1, 1), (4, 1), (4, 2), (4, 4), (8, 1), (8, 4), (8, 8), (16, 1), (16, 8), (16, 16)];
+
+/// Builds the micro-benchmark: each thread runs `iters` CAS-increment
+/// rounds (retrying on failure) against its variable, then atomically
+/// publishes its contribution — the final result equals
+/// `threads × iters`, the total successful CAS count.
+pub fn cas_bench(iters: u64, threads: usize, vars: usize) -> GuestBinary {
+    assert!(vars >= 1 && threads >= 1);
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let vars_base = b.data_zeroed(vars * 64);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    b.asm.push(Gpr::RDI);
+    b.asm.mov_rr(Gpr::RAX, Gpr::RDI);
+    b.asm.mov_ri(Gpr::RCX, vars as u64);
+    b.asm.div(Gpr::RCX);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RDX, 64);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDX, vars_base);
+    b.asm.mov_rr(Gpr::R8, Gpr::RDX);
+    b.asm.mov_ri(Gpr::R11, iters);
+    // The canonical x86 CAS-increment loop: load once, then retry on the
+    // value CMPXCHG hands back in RAX on failure — no reload in the retry
+    // path.
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.label("cas_iter");
+    b.asm.mov_rr(Gpr::RSI, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::RSI, 1);
+    b.asm.cmpxchg(Gpr::R8, 0, Gpr::RSI);
+    b.asm.jcc_to(Cond::Ne, "cas_iter"); // failed: RAX holds the fresh value
+    b.asm.mov_rr(Gpr::RAX, Gpr::RSI); // succeeded: we know the new value
+    b.asm.alu_ri(AluOp::Sub, Gpr::R11, 1);
+    b.asm.cmp_ri(Gpr::R11, 0);
+    b.asm.jcc_to(Cond::Ne, "cas_iter");
+    // Atomically publish this thread's contribution so the result equals
+    // the total number of successful CAS increments.
+    b.asm.mov_ri(Gpr::R10, iters);
+    b.asm.mov_ri(Gpr::R11, result);
+    b.asm.xadd(Gpr::R11, 0, Gpr::R10);
+    b.asm.pop(Gpr::RDI);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risotto_guest_x86::Interp;
+
+    #[test]
+    fn checked_bench_counts_every_increment() {
+        for (threads, vars) in [(1, 1), (3, 1), (4, 2), (4, 4)] {
+            let bin = cas_bench(50, threads, vars);
+            let mut i = Interp::new(&bin);
+            i.run(10_000_000).unwrap();
+            assert_eq!(
+                i.exit_val(0),
+                50 * threads as u64,
+                "threads={threads} vars={vars}"
+            );
+        }
+    }
+}

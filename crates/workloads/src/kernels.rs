@@ -1,0 +1,715 @@
+//! The PARSEC 3.0 / Phoenix workload kernels (Fig. 12).
+//!
+//! Each kernel is a multi-threaded MiniX86 guest program modelled after
+//! the corresponding benchmark's computational character — what matters
+//! for the paper's Fig. 12 is the per-benchmark *memory-operation
+//! density* (which determines fence sensitivity) and the FP/integer mix
+//! (which determines soft-float exposure). The mapping is documented per
+//! kernel; see DESIGN.md for the substitution rationale.
+//!
+//! All kernels are data-race-free (threads work on disjoint slices and
+//! reduce through `LOCK XADD`), deterministic, and return a checksum as
+//! thread 0's exit value — the correctness hook for differential tests.
+
+use crate::parallel::{emit_atomic_accumulate, emit_parallel_main, CountedLoop};
+use risotto_guest_x86::{AluOp, Cond, FpOp, GelfBuilder, Gpr, GuestBinary};
+
+/// A named workload.
+#[derive(Clone)]
+pub struct Workload {
+    /// Benchmark name as in Fig. 12.
+    pub name: &'static str,
+    /// Suite (`"parsec"` or `"phoenix"`).
+    pub suite: &'static str,
+    /// Builder: `(scale, threads) → binary`. `scale` is the per-thread
+    /// element count (kernels document their own interpretation).
+    pub build: fn(u64, usize) -> GuestBinary,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name)
+    }
+}
+
+fn prng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+fn f64_arr(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<u64> {
+    let mut r = prng(seed);
+    (0..n).map(|_| (lo + (hi - lo) * ((r() % 1000) as f64 / 1000.0)).to_bits()).collect()
+}
+
+fn u64_arr(n: usize, seed: u64, modulo: u64) -> Vec<u64> {
+    let mut r = prng(seed);
+    (0..n).map(|_| r() % modulo).collect()
+}
+
+/// Per-thread pointer into an array: `reg = base + tid·scale·stride`.
+fn emit_thread_ptr(b: &mut GelfBuilder, reg: Gpr, base: u64, scale: u64, stride: u64) {
+    b.asm.mov_rr(reg, Gpr::RDI);
+    b.asm.alu_ri(AluOp::Mul, reg, scale * stride);
+    b.asm.alu_ri(AluOp::Add, reg, base);
+}
+
+// =====================================================================
+// PARSEC
+// =====================================================================
+
+/// blackscholes — option pricing: FP-dominated, 2 loads + 1 store per
+/// ~10 FP ops. Fence-light, soft-float-heavy.
+pub fn blackscholes(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let spot = b.data_u64(&f64_arr(n, 11, 10.0, 100.0));
+    let strike = b.data_u64(&f64_arr(n, 13, 10.0, 100.0));
+    let out = b.data_zeroed(n * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, spot, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R9, strike, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, out, scale, 8);
+    b.asm.mov_ri(Gpr::R14, 0); // checksum accumulator
+    let l = CountedLoop::begin(&mut b, "bs", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0); // S
+    b.asm.load(Gpr::RBX, Gpr::R9, 0); // K
+    b.asm.fp(FpOp::Div, Gpr::RAX, Gpr::RBX); // S/K
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.fp(FpOp::Mul, Gpr::RCX, Gpr::RAX); // (S/K)²
+    b.asm.fp(FpOp::Add, Gpr::RCX, Gpr::RBX);
+    b.asm.fp(FpOp::Sqrt, Gpr::RDX, Gpr::RCX);
+    b.asm.fp(FpOp::Mul, Gpr::RDX, Gpr::RAX);
+    b.asm.fp(FpOp::Add, Gpr::RDX, Gpr::RCX);
+    b.asm.fp(FpOp::Div, Gpr::RDX, Gpr::RBX);
+    b.asm.store(Gpr::R10, 0, Gpr::RDX);
+    b.asm.fp(FpOp::CvtFI, Gpr::R15, Gpr::RDX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R15);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 8);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// bodytrack — mixed integer/branchy per-particle update: 1 load, ~8 int
+/// ops, 1 branch, 1 store per element.
+pub fn bodytrack(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let input = b.data_u64(&u64_arr(n, 17, 1 << 40));
+    let out = b.data_zeroed(n * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, input, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, out, scale, 8);
+    b.asm.mov_ri(Gpr::R14, 0);
+    let l = CountedLoop::begin(&mut b, "bt", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RAX, 2654435761);
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RCX, 13);
+    b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+    b.asm.test_rr(Gpr::RAX, Gpr::RAX);
+    b.asm.jcc_to(Cond::S, "bt_neg");
+    b.asm.alu_ri(AluOp::Add, Gpr::RAX, 7);
+    b.asm.label("bt_neg");
+    b.asm.store(Gpr::R10, 0, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 8);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// canneal — cache-hostile pointer chasing over a permutation, with a
+/// store every 8 hops: load-dominated, serial dependences.
+pub fn canneal(scale: u64, threads: usize) -> GuestBinary {
+    let per = scale as usize;
+    let n = per * threads;
+    // A permutation with per-thread cycles (each thread chases its slice).
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    let mut r = prng(23);
+    for t in 0..threads {
+        let base = t * per;
+        for i in (1..per).rev() {
+            let j = (r() % (i as u64 + 1)) as usize;
+            perm.swap(base + i, base + j);
+        }
+    }
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let table = b.data_u64(&perm);
+    let marks = b.data_zeroed(n * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    // idx starts at tid*per; hop scale times.
+    b.asm.mov_rr(Gpr::RAX, Gpr::RDI);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RAX, scale);
+    b.asm.mov_ri(Gpr::R14, 0);
+    b.asm.mov_ri(Gpr::R13, 0); // hop counter for stores
+    let l = CountedLoop::begin(&mut b, "cn", Gpr::R11, Some(scale));
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RCX, table);
+    b.asm.load(Gpr::RAX, Gpr::RCX, 0); // idx = perm[idx]
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R13, 1);
+    b.asm.mov_rr(Gpr::RDX, Gpr::R13);
+    b.asm.alu_ri(AluOp::And, Gpr::RDX, 7);
+    b.asm.cmp_ri(Gpr::RDX, 0);
+    b.asm.jcc_to(Cond::Ne, "cn_nostore");
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RCX, marks);
+    b.asm.store(Gpr::RCX, 0, Gpr::R13);
+    b.asm.label("cn_nostore");
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// facesim — streaming FP: 2 loads, 4 FP ops, 1 store per element.
+pub fn facesim(scale: u64, threads: usize) -> GuestBinary {
+    streaming_fp_kernel("fs", scale, threads, 31)
+}
+
+/// Shared shape for facesim-like streaming FP kernels.
+fn streaming_fp_kernel(tag: &'static str, scale: u64, threads: usize, seed: u64) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let xs = b.data_u64(&f64_arr(n, seed, 0.1, 4.0));
+    let ys = b.data_u64(&f64_arr(n, seed + 1, 0.1, 4.0));
+    let out = b.data_zeroed(n * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, xs, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R9, ys, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, out, scale, 8);
+    b.asm.mov_ri(Gpr::R14, 0);
+    let l = CountedLoop::begin(&mut b, tag, Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.load(Gpr::RBX, Gpr::R9, 0);
+    b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
+    b.asm.fp(FpOp::Add, Gpr::RAX, Gpr::RBX);
+    b.asm.fp(FpOp::Sub, Gpr::RAX, Gpr::RBX);
+    b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RAX);
+    b.asm.store(Gpr::R10, 0, Gpr::RAX);
+    b.asm.fp(FpOp::CvtFI, Gpr::R15, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R15);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 8);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// fluidanimate — neighbor stencil: 3 loads, 2 FP ops, 1 store.
+pub fn fluidanimate(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads + 2;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let cells = b.data_u64(&f64_arr(n, 41, 0.0, 2.0));
+    let out = b.data_zeroed(n * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, cells + 8, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, out + 8, scale, 8);
+    b.asm.mov_ri(Gpr::R14, 0);
+    let l = CountedLoop::begin(&mut b, "fa", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, -8);
+    b.asm.load(Gpr::RBX, Gpr::R8, 0);
+    b.asm.load(Gpr::RCX, Gpr::R8, 8);
+    b.asm.fp(FpOp::Add, Gpr::RAX, Gpr::RBX);
+    b.asm.fp(FpOp::Add, Gpr::RAX, Gpr::RCX);
+    b.asm.store(Gpr::R10, 0, Gpr::RAX);
+    b.asm.fp(FpOp::CvtFI, Gpr::R15, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R15);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 8);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// freqmine — itemset counting: byte load + count load + count store per
+/// item with almost no compute. The most fence-sensitive kernel (the
+/// paper's 75% case).
+pub fn freqmine(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let text: Vec<u8> = {
+        let mut r = prng(47);
+        (0..n).map(|_| (r() % 256) as u8).collect()
+    };
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let data = b.data_bytes(&text);
+    let counts = b.data_zeroed(64 * 8 * threads);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, data, scale, 1);
+    // Per-thread count table: counts + tid*512.
+    b.asm.mov_rr(Gpr::R9, Gpr::RDI);
+    b.asm.alu_ri(AluOp::Mul, Gpr::R9, 512);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, counts);
+    let l = CountedLoop::begin(&mut b, "fm", Gpr::R11, Some(scale));
+    b.asm.load_b(Gpr::RAX, Gpr::R8, 0);
+    b.asm.alu_ri(AluOp::And, Gpr::RAX, 63);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R9);
+    b.asm.load(Gpr::RCX, Gpr::RAX, 0);
+    b.asm.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 1);
+    l.end(&mut b);
+    // Reduce: sum of squares of this thread's counts.
+    b.asm.mov_ri(Gpr::R14, 0);
+    b.asm.mov_ri(Gpr::R11, 64);
+    b.asm.label("fm_red");
+    b.asm.load(Gpr::RAX, Gpr::R9, 0);
+    b.asm.alu_rr(AluOp::Mul, Gpr::RAX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, 8);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R11, 1);
+    b.asm.cmp_ri(Gpr::R11, 0);
+    b.asm.jcc_to(Cond::Ne, "fm_red");
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// streamcluster — distance evaluation: 4 loads + 4 FP ops per point,
+/// register-resident accumulation.
+pub fn streamcluster(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads * 2;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let pts = b.data_u64(&f64_arr(n, 53, -1.0, 1.0));
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, pts, scale, 16);
+    b.asm.mov_ri(Gpr::R13, 0.0f64.to_bits()); // distance accum
+    let l = CountedLoop::begin(&mut b, "sc", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.load(Gpr::RBX, Gpr::R8, 8);
+    b.asm.fp(FpOp::Sub, Gpr::RAX, Gpr::RBX);
+    b.asm.fp(FpOp::Mul, Gpr::RAX, Gpr::RAX);
+    b.asm.load(Gpr::RCX, Gpr::R8, 8);
+    b.asm.load(Gpr::RDX, Gpr::R8, 0);
+    b.asm.fp(FpOp::Mul, Gpr::RCX, Gpr::RDX);
+    b.asm.fp(FpOp::Add, Gpr::RAX, Gpr::RCX);
+    b.asm.fp(FpOp::Add, Gpr::R13, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 16);
+    l.end(&mut b);
+    b.asm.fp(FpOp::CvtFI, Gpr::R14, Gpr::R13);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// swaptions — Monte-Carlo-ish compute: ~20 register ops per element,
+/// one load + one store per 4 elements. The least fence-sensitive kernel.
+pub fn swaptions(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let seeds = b.data_u64(&u64_arr(n / 4 + 1, 59, u64::MAX));
+    let out = b.data_zeroed(n * 2 + 16);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, seeds, scale / 4, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, out, scale / 4, 8);
+    b.asm.mov_ri(Gpr::R14, 0);
+    let l = CountedLoop::begin(&mut b, "sw", Gpr::R11, Some(scale / 4));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    for _ in 0..5 {
+        // xorshift round ×5: 15 register ops.
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 13);
+        b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Shr, Gpr::RCX, 7);
+        b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 17);
+        b.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX);
+    }
+    b.asm.store(Gpr::R10, 0, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 8);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// vips — image pipeline: byte load, scale/offset/clamp, byte store.
+pub fn vips(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let img: Vec<u8> = {
+        let mut r = prng(61);
+        (0..n).map(|_| (r() % 256) as u8).collect()
+    };
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let input = b.data_bytes(&img);
+    let out = b.data_zeroed(n + 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, input, scale, 1);
+    emit_thread_ptr(&mut b, Gpr::R10, out, scale, 1);
+    b.asm.mov_ri(Gpr::R14, 0);
+    let l = CountedLoop::begin(&mut b, "vp", Gpr::R11, Some(scale));
+    b.asm.load_b(Gpr::RAX, Gpr::R8, 0);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RAX, 180);
+    b.asm.alu_ri(AluOp::Shr, Gpr::RAX, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::RAX, 16);
+    b.asm.cmp_ri(Gpr::RAX, 255);
+    b.asm.jcc_to(Cond::Be, "vp_ok");
+    b.asm.mov_ri(Gpr::RAX, 255);
+    b.asm.label("vp_ok");
+    b.asm.store_b(Gpr::R10, 0, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 1);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 1);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+// =====================================================================
+// Phoenix
+// =====================================================================
+
+/// histogram — bucket increments: byte load + count load/store.
+pub fn histogram(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let pixels: Vec<u8> = {
+        let mut r = prng(67);
+        (0..n).map(|_| (r() % 256) as u8).collect()
+    };
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let data = b.data_bytes(&pixels);
+    let buckets = b.data_zeroed(256 * 8 * threads);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, data, scale, 1);
+    b.asm.mov_rr(Gpr::R9, Gpr::RDI);
+    b.asm.alu_ri(AluOp::Mul, Gpr::R9, 256 * 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, buckets);
+    let l = CountedLoop::begin(&mut b, "hg", Gpr::R11, Some(scale));
+    b.asm.load_b(Gpr::RAX, Gpr::R8, 0);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R9);
+    b.asm.load(Gpr::RCX, Gpr::RAX, 0);
+    b.asm.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    b.asm.store(Gpr::RAX, 0, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 1);
+    l.end(&mut b);
+    // checksum: weighted sum of a few buckets.
+    b.asm.mov_ri(Gpr::R14, 0);
+    for i in [0i32, 37, 101, 255] {
+        b.asm.load(Gpr::RAX, Gpr::R9, i * 8);
+        b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    }
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// kmeans — nearest-of-4-centroids assignment: 1 point load, 4 unrolled
+/// centroid loads + integer distance math, 1 assignment store.
+pub fn kmeans(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let pts = b.data_u64(&u64_arr(n, 71, 1000));
+    let centroids = b.data_u64(&[120, 370, 610, 880]);
+    let assign = b.data_zeroed(n * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, pts, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, assign, scale, 8);
+    b.asm.mov_ri(Gpr::R14, 0);
+    let l = CountedLoop::begin(&mut b, "km", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0); // point
+    b.asm.mov_ri(Gpr::R12, u64::MAX); // best distance
+    b.asm.mov_ri(Gpr::R13, 0); // best index
+    b.asm.mov_ri(Gpr::R9, centroids);
+    for c in 0..4i32 {
+        b.asm.load(Gpr::RBX, Gpr::R9, c * 8);
+        b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+        b.asm.alu_rr(AluOp::Sub, Gpr::RCX, Gpr::RBX);
+        b.asm.alu_rr(AluOp::Mul, Gpr::RCX, Gpr::RCX); // squared distance
+        b.asm.cmp_rr(Gpr::RCX, Gpr::R12);
+        b.asm.jcc_to(Cond::Ae, &format!("km_skip{c}"));
+        b.asm.mov_rr(Gpr::R12, Gpr::RCX);
+        b.asm.mov_ri(Gpr::R13, c as u64);
+        b.asm.label(&format!("km_skip{c}"));
+    }
+    b.asm.store(Gpr::R10, 0, Gpr::R13);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R13);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R10, 8);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// linearregression — streaming reduction: 2 loads + 6 register ops, no
+/// stores at all (register-resident accumulators).
+pub fn linearregression(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let xs = b.data_u64(&u64_arr(n, 73, 1 << 20));
+    let ys = b.data_u64(&u64_arr(n, 79, 1 << 20));
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, xs, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R9, ys, scale, 8);
+    b.asm.mov_ri(Gpr::R12, 0); // sx
+    b.asm.mov_ri(Gpr::R13, 0); // sxx
+    b.asm.mov_ri(Gpr::R14, 0); // sxy
+    let l = CountedLoop::begin(&mut b, "lr", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.load(Gpr::RBX, Gpr::R9, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::R12, Gpr::RAX);
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Mul, Gpr::RCX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R13, Gpr::RCX);
+    b.asm.alu_rr(AluOp::Mul, Gpr::RAX, Gpr::RBX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, 8);
+    l.end(&mut b);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R12);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R13);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// matrixmultiply — classic triple loop over `scale × scale` blocks (one
+/// block row per thread): 2 loads + mul-add per inner step, one store per
+/// output element.
+pub fn matrixmultiply(scale: u64, threads: usize) -> GuestBinary {
+    let m = scale as usize; // block dimension
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let a = b.data_u64(&u64_arr(m * m * threads, 83, 64));
+    let bb = b.data_u64(&u64_arr(m * m, 89, 64));
+    let c = b.data_zeroed(m * m * threads * 8);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    // A-block and C-block per thread.
+    emit_thread_ptr(&mut b, Gpr::R8, a, (m * m) as u64, 8);
+    emit_thread_ptr(&mut b, Gpr::R10, c, (m * m) as u64, 8);
+    b.asm.mov_ri(Gpr::R14, 0);
+    b.asm.mov_ri(Gpr::R12, 0); // i
+    b.asm.label("mm_i");
+    b.asm.mov_ri(Gpr::R13, 0); // j
+    b.asm.label("mm_j");
+    b.asm.mov_ri(Gpr::RBX, 0); // acc
+    b.asm.mov_ri(Gpr::R15, 0); // k
+    b.asm.label("mm_k");
+    // A[i][k]: R8 + (i*m + k)*8.
+    b.asm.mov_rr(Gpr::RAX, Gpr::R12);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RAX, m as u64);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R15);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R8);
+    b.asm.load(Gpr::RCX, Gpr::RAX, 0);
+    // B[k][j]: bb + (k*m + j)*8.
+    b.asm.mov_rr(Gpr::RAX, Gpr::R15);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RAX, m as u64);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R13);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 3);
+    b.asm.alu_ri(AluOp::Add, Gpr::RAX, bb);
+    b.asm.load(Gpr::RDX, Gpr::RAX, 0);
+    b.asm.alu_rr(AluOp::Mul, Gpr::RCX, Gpr::RDX);
+    b.asm.alu_rr(AluOp::Add, Gpr::RBX, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R15, 1);
+    b.asm.cmp_ri(Gpr::R15, m as u64);
+    b.asm.jcc_to(Cond::Ne, "mm_k");
+    // C[i][j] = acc.
+    b.asm.mov_rr(Gpr::RAX, Gpr::R12);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RAX, m as u64);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R13);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RAX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::R10);
+    b.asm.store(Gpr::RAX, 0, Gpr::RBX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RBX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R13, 1);
+    b.asm.cmp_ri(Gpr::R13, m as u64);
+    b.asm.jcc_to(Cond::Ne, "mm_j");
+    b.asm.alu_ri(AluOp::Add, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, m as u64);
+    b.asm.jcc_to(Cond::Ne, "mm_i");
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// pca — covariance accumulation: 2 loads + 8 register ops, no stores.
+pub fn pca(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let xs = b.data_u64(&u64_arr(n, 97, 1 << 16));
+    let ys = b.data_u64(&u64_arr(n, 101, 1 << 16));
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, xs, scale, 8);
+    emit_thread_ptr(&mut b, Gpr::R9, ys, scale, 8);
+    b.asm.mov_ri(Gpr::R12, 0);
+    b.asm.mov_ri(Gpr::R13, 0);
+    b.asm.mov_ri(Gpr::R14, 0);
+    b.asm.mov_ri(Gpr::R15, 0);
+    let l = CountedLoop::begin(&mut b, "pc", Gpr::R11, Some(scale));
+    b.asm.load(Gpr::RAX, Gpr::R8, 0);
+    b.asm.load(Gpr::RBX, Gpr::R9, 0);
+    b.asm.alu_rr(AluOp::Add, Gpr::R12, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R13, Gpr::RBX);
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Mul, Gpr::RCX, Gpr::RBX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RCX);
+    b.asm.mov_rr(Gpr::RCX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Mul, Gpr::RCX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R15, Gpr::RCX);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, 8);
+    l.end(&mut b);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R12);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R13);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R15);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// stringmatch — byte scanning with an 8-byte needle: 1–2 byte loads +
+/// compare + branch per position.
+pub fn stringmatch(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads + 8;
+    let hay: Vec<u8> = {
+        let mut r = prng(103);
+        (0..n).map(|_| b'a' + (r() % 4) as u8).collect()
+    };
+    let needle = b"abca";
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let text = b.data_bytes(&hay);
+    let nee = b.data_bytes(needle);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, text, scale, 1);
+    b.asm.mov_ri(Gpr::R14, 0); // matches
+    let l = CountedLoop::begin(&mut b, "sm", Gpr::R11, Some(scale));
+    // Compare 4 needle bytes.
+    b.asm.mov_ri(Gpr::R9, nee);
+    b.asm.mov_ri(Gpr::R13, 1); // assume match
+    for i in 0..4 {
+        b.asm.load_b(Gpr::RAX, Gpr::R8, i);
+        b.asm.load_b(Gpr::RCX, Gpr::R9, i);
+        b.asm.cmp_rr(Gpr::RAX, Gpr::RCX);
+        b.asm.jcc_to(Cond::E, &format!("sm_ok{i}"));
+        b.asm.mov_ri(Gpr::R13, 0);
+        b.asm.label(&format!("sm_ok{i}"));
+    }
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::R13);
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 1);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// wordcount — tokenizing hash: byte load + branch per char, a bucket
+/// store per word boundary.
+pub fn wordcount(scale: u64, threads: usize) -> GuestBinary {
+    let n = (scale as usize) * threads;
+    let text: Vec<u8> = {
+        let mut r = prng(107);
+        (0..n).map(|_| if r().is_multiple_of(6) { b' ' } else { b'a' + (r() % 26) as u8 }).collect()
+    };
+    let mut b = GelfBuilder::new("main");
+    let result = b.data_u64(&[0]);
+    let data = b.data_bytes(&text);
+    let buckets = b.data_zeroed(128 * 8 * threads);
+    emit_parallel_main(&mut b, threads, result);
+    b.asm.label("body");
+    emit_thread_ptr(&mut b, Gpr::R8, data, scale, 1);
+    b.asm.mov_rr(Gpr::R9, Gpr::RDI);
+    b.asm.alu_ri(AluOp::Mul, Gpr::R9, 128 * 8);
+    b.asm.alu_ri(AluOp::Add, Gpr::R9, buckets);
+    b.asm.mov_ri(Gpr::R13, 5381); // running hash
+    b.asm.mov_ri(Gpr::R14, 0); // words
+    let l = CountedLoop::begin(&mut b, "wc", Gpr::R11, Some(scale));
+    b.asm.load_b(Gpr::RAX, Gpr::R8, 0);
+    b.asm.cmp_ri(Gpr::RAX, b' ' as u64);
+    b.asm.jcc_to(Cond::Ne, "wc_char");
+    // Word boundary: bump bucket[hash & 127], reset hash.
+    b.asm.mov_rr(Gpr::RCX, Gpr::R13);
+    b.asm.alu_ri(AluOp::And, Gpr::RCX, 127);
+    b.asm.alu_ri(AluOp::Shl, Gpr::RCX, 3);
+    b.asm.alu_rr(AluOp::Add, Gpr::RCX, Gpr::R9);
+    b.asm.load(Gpr::RDX, Gpr::RCX, 0);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDX, 1);
+    b.asm.store(Gpr::RCX, 0, Gpr::RDX);
+    b.asm.mov_ri(Gpr::R13, 5381);
+    b.asm.alu_ri(AluOp::Add, Gpr::R14, 1);
+    b.asm.jmp_to("wc_next");
+    b.asm.label("wc_char");
+    b.asm.alu_ri(AluOp::Mul, Gpr::R13, 31);
+    b.asm.alu_rr(AluOp::Add, Gpr::R13, Gpr::RAX);
+    b.asm.label("wc_next");
+    b.asm.alu_ri(AluOp::Add, Gpr::R8, 1);
+    l.end(&mut b);
+    emit_atomic_accumulate(&mut b, result, Gpr::R14);
+    b.asm.ret();
+    b.finish().unwrap()
+}
+
+/// All Fig. 12 workloads, in the paper's plot order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "blackscholes", suite: "parsec", build: blackscholes },
+        Workload { name: "bodytrack", suite: "parsec", build: bodytrack },
+        Workload { name: "canneal", suite: "parsec", build: canneal },
+        Workload { name: "facesim", suite: "parsec", build: facesim },
+        Workload { name: "fluidanimate", suite: "parsec", build: fluidanimate },
+        Workload { name: "freqmine", suite: "parsec", build: freqmine },
+        Workload { name: "streamcluster", suite: "parsec", build: streamcluster },
+        Workload { name: "swaptions", suite: "parsec", build: swaptions },
+        Workload { name: "vips", suite: "parsec", build: vips },
+        Workload { name: "histogram", suite: "phoenix", build: histogram },
+        Workload { name: "kmeans", suite: "phoenix", build: kmeans },
+        Workload { name: "linearregression", suite: "phoenix", build: linearregression },
+        Workload { name: "matrixmultiply", suite: "phoenix", build: matrixmultiply },
+        Workload { name: "pca", suite: "phoenix", build: pca },
+        Workload { name: "stringmatch", suite: "phoenix", build: stringmatch },
+        Workload { name: "wordcount", suite: "phoenix", build: wordcount },
+    ]
+}

@@ -1,0 +1,21 @@
+//! # risotto-workloads
+//!
+//! The evaluation's guest programs: the 16 PARSEC 3.0 / Phoenix workload
+//! kernels of Fig. 12 ([`kernels`]), the CAS contention micro-benchmark
+//! of Fig. 15 ([`cas`]), the shared fork-join harness ([`parallel`]), the
+//! library-call driver programs for Figs. 13/14 ([`libbench`]), and the
+//! litmus→guest compiler bridging the formal and systems layers
+//! ([`litmus_compile`]).
+//!
+//! All workloads are deterministic, data-race-free MiniX86 programs whose
+//! final result is a checksum — every benchmark run doubles as a
+//! correctness check against the reference interpreter.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cas;
+pub mod kernels;
+pub mod libbench;
+pub mod litmus_compile;
+pub mod parallel;

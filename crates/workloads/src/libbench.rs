@@ -1,0 +1,242 @@
+//! Driver programs for the shared-library benchmarks (Figs. 13 and 14).
+//!
+//! Each driver is a guest binary that repeatedly calls an imported library
+//! function through its PLT entry. Without host linking (qemu / tcg-ver
+//! setups) the embedded guest implementation runs, translated; with it
+//! (risotto / native) the PLT is intercepted and the native host library
+//! runs — the exact comparison of §7.3.
+
+use risotto_guest_x86::{AluOp, Cond, GelfBuilder, Gpr, GuestBinary};
+use risotto_nativelib::bignum::BigU;
+use risotto_nativelib::guest;
+
+/// Digest algorithms of Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestAlgo {
+    /// MD5.
+    Md5,
+    /// SHA-1.
+    Sha1,
+    /// SHA-256.
+    Sha256,
+}
+
+impl DigestAlgo {
+    /// Import/IDL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DigestAlgo::Md5 => "md5",
+            DigestAlgo::Sha1 => "sha1",
+            DigestAlgo::Sha256 => "sha256",
+        }
+    }
+
+    fn emit_guest(self, b: &mut GelfBuilder) {
+        match self {
+            DigestAlgo::Md5 => guest::emit_md5(b),
+            DigestAlgo::Sha1 => guest::emit_sha1(b),
+            DigestAlgo::Sha256 => guest::emit_sha256(b),
+        }
+    }
+}
+
+/// Builds a digest-throughput driver: `iters` calls of `algo` over a
+/// `buf_len`-byte buffer (the paper's 1024/8192 points). The exit value is
+/// the first 8 bytes of the last digest — identical across all setups.
+pub fn digest_bench(algo: DigestAlgo, buf_len: usize, iters: u64) -> GuestBinary {
+    let name = algo.name();
+    let data: Vec<u8> = (0..buf_len).map(|i| (i as u8).wrapping_mul(131).wrapping_add(9)).collect();
+    let mut b = GelfBuilder::new("main");
+    let buf = b.data_bytes(&data);
+    let out = b.data_zeroed(64);
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::R12, iters);
+    b.asm.label("dg_loop");
+    b.asm.mov_ri(Gpr::RDI, buf);
+    b.asm.mov_ri(Gpr::RSI, buf_len as u64);
+    b.asm.mov_ri(Gpr::RDX, out);
+    b.call_plt(name);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 0);
+    b.asm.jcc_to(Cond::Ne, "dg_loop");
+    b.asm.mov_ri(Gpr::RCX, out);
+    b.asm.load(Gpr::RAX, Gpr::RCX, 0);
+    b.asm.hlt();
+    b.plt_stub(name, &format!("guest_{name}"));
+    algo.emit_guest(&mut b);
+    b.finish().unwrap()
+}
+
+/// Builds the RSA driver: `iters` modular exponentiations with an
+/// `nlimbs`-limb modulus `2^(64·nlimbs) − c`. `sign` selects a full-width
+/// exponent (sign) vs 65537 (verify). Exit value: first result limb.
+pub fn rsa_bench(nlimbs: usize, sign: bool, iters: u64) -> GuestBinary {
+    let c = 159u64; // 2^1024−159 and friends are plausible PM moduli
+    let base = BigU::pseudo_random(nlimbs, 0xBA5E);
+    let exp = if sign {
+        BigU::pseudo_random(nlimbs, 0x5EC8E7)
+    } else {
+        let mut e = BigU::zero(nlimbs);
+        e.limbs[0] = 65537;
+        e
+    };
+    let mut b = GelfBuilder::new("main");
+    let base_addr = b.data_u64(&base.limbs);
+    let exp_addr = b.data_u64(&exp.limbs);
+    let out = b.data_zeroed(nlimbs * 8);
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::R12, iters);
+    b.asm.label("rs_loop");
+    b.asm.mov_ri(Gpr::RDI, base_addr);
+    b.asm.mov_ri(Gpr::RSI, exp_addr);
+    b.asm.mov_ri(Gpr::RDX, out);
+    b.asm.mov_ri(Gpr::RCX, nlimbs as u64);
+    b.asm.mov_ri(Gpr::R8, c);
+    b.call_plt("rsa_modpow");
+    b.asm.alu_ri(AluOp::Sub, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 0);
+    b.asm.jcc_to(Cond::Ne, "rs_loop");
+    b.asm.mov_ri(Gpr::RCX, out);
+    b.asm.load(Gpr::RAX, Gpr::RCX, 0);
+    b.asm.hlt();
+    b.plt_stub("rsa_modpow", "guest_rsa_modpow");
+    guest::emit_modpow_pm(&mut b);
+    b.finish().unwrap()
+}
+
+/// Builds the sqlite-style driver (the paper's `speedtest`): `rounds`
+/// rounds of inserts, point queries and range scans against the KV
+/// library. Exit value: running checksum of query results.
+pub fn sqlite_bench(rounds: u64) -> GuestBinary {
+    let mut b = GelfBuilder::new("main");
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::R12, rounds);
+    b.asm.mov_ri(Gpr::R13, 1); // key cursor (keys must be non-zero)
+    b.asm.mov_ri(Gpr::R14, 0); // checksum
+    b.asm.label("sq_round");
+    // 16 inserts.
+    b.asm.mov_ri(Gpr::R15, 16);
+    b.asm.label("sq_put");
+    b.asm.mov_rr(Gpr::RDI, Gpr::R13);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RDI, 2654435761);
+    b.asm.alu_ri(AluOp::And, Gpr::RDI, 0xFFF);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 1);
+    b.asm.mov_rr(Gpr::RSI, Gpr::R13);
+    b.call_plt("kv_put");
+    b.asm.alu_ri(AluOp::Add, Gpr::R13, 1);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R15, 1);
+    b.asm.cmp_ri(Gpr::R15, 0);
+    b.asm.jcc_to(Cond::Ne, "sq_put");
+    // 16 point queries.
+    b.asm.mov_ri(Gpr::R15, 16);
+    b.asm.label("sq_get");
+    b.asm.mov_rr(Gpr::RDI, Gpr::R15);
+    b.asm.alu_ri(AluOp::Mul, Gpr::RDI, 2654435761);
+    b.asm.alu_ri(AluOp::And, Gpr::RDI, 0xFFF);
+    b.asm.alu_ri(AluOp::Add, Gpr::RDI, 1);
+    b.call_plt("kv_get");
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R15, 1);
+    b.asm.cmp_ri(Gpr::R15, 0);
+    b.asm.jcc_to(Cond::Ne, "sq_get");
+    // A range scan every fourth round (speedtest1's query mix is
+    // dominated by point operations).
+    b.asm.mov_rr(Gpr::RCX, Gpr::R12);
+    b.asm.alu_ri(AluOp::And, Gpr::RCX, 3);
+    b.asm.cmp_ri(Gpr::RCX, 0);
+    b.asm.jcc_to(Cond::Ne, "sq_norange");
+    b.asm.mov_ri(Gpr::RDI, 100);
+    b.asm.mov_ri(Gpr::RSI, 900);
+    b.call_plt("kv_range_sum");
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RAX);
+    b.asm.label("sq_norange");
+    b.asm.alu_ri(AluOp::Sub, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 0);
+    b.asm.jcc_to(Cond::Ne, "sq_round");
+    b.asm.mov_rr(Gpr::RAX, Gpr::R14);
+    b.asm.hlt();
+    b.plt_stub("kv_put", "guest_kv_put");
+    b.plt_stub("kv_get", "guest_kv_get");
+    b.plt_stub("kv_range_sum", "guest_kv_range_sum");
+    guest::emit_kv(&mut b);
+    b.finish().unwrap()
+}
+
+/// Builds the math-library driver (Fig. 14): `iters` calls of one math
+/// function on a fixed argument. Exit value: sum of truncated results ×
+/// 1000 (note: translated-guest and native-library kernels are different
+/// builds and may differ in the last ulps; the exit value is for
+/// *within-setup* sanity, not cross-setup equality).
+pub fn math_bench(fname: &str, x: f64, iters: u64) -> GuestBinary {
+    let mut b = GelfBuilder::new("main");
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::R12, iters);
+    b.asm.mov_ri(Gpr::R14, 0);
+    b.asm.label("mt_loop");
+    b.asm.mov_ri(Gpr::RDI, x.to_bits());
+    b.call_plt(fname);
+    // acc += trunc(result · 1000).
+    b.asm.mov_ri(Gpr::RCX, 1000.0f64.to_bits());
+    b.asm.fp(risotto_guest_x86::FpOp::Mul, Gpr::RAX, Gpr::RCX);
+    b.asm.fp(risotto_guest_x86::FpOp::CvtFI, Gpr::RDX, Gpr::RAX);
+    b.asm.alu_rr(AluOp::Add, Gpr::R14, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Sub, Gpr::R12, 1);
+    b.asm.cmp_ri(Gpr::R12, 0);
+    b.asm.jcc_to(Cond::Ne, "mt_loop");
+    b.asm.mov_rr(Gpr::RAX, Gpr::R14);
+    b.asm.hlt();
+    b.plt_stub(fname, &format!("guest_{fname}"));
+    guest::emit_math(&mut b);
+    b.finish().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risotto_guest_x86::Interp;
+    use risotto_nativelib::digest;
+
+    #[test]
+    fn digest_driver_produces_correct_digest() {
+        let data: Vec<u8> = (0..256usize).map(|i| (i as u8).wrapping_mul(131).wrapping_add(9)).collect();
+        let expect = u64::from_le_bytes(digest::md5(&data)[..8].try_into().unwrap());
+        let bin = digest_bench(DigestAlgo::Md5, 256, 2);
+        let mut i = Interp::new(&bin);
+        i.run(50_000_000).unwrap();
+        assert_eq!(i.exit_val(0), expect);
+    }
+
+    #[test]
+    fn rsa_driver_matches_reference() {
+        let nlimbs = 2;
+        let base = BigU::pseudo_random(nlimbs, 0xBA5E);
+        let mut e = BigU::zero(nlimbs);
+        e.limbs[0] = 65537;
+        let (expect, _) = risotto_nativelib::bignum::modpow_pm(&base.limbs, &e.limbs, 159);
+        let bin = rsa_bench(nlimbs, false, 1);
+        let mut i = Interp::new(&bin);
+        i.run(100_000_000).unwrap();
+        assert_eq!(i.exit_val(0), expect[0]);
+    }
+
+    #[test]
+    fn sqlite_driver_runs() {
+        let bin = sqlite_bench(3);
+        let mut i = Interp::new(&bin);
+        i.run(500_000_000).unwrap();
+        // Deterministic, so just pin the checksum once computed.
+        let first = i.exit_val(0);
+        let mut j = Interp::new(&bin);
+        j.run(500_000_000).unwrap();
+        assert_eq!(first, j.exit_val(0));
+    }
+
+    #[test]
+    fn math_driver_runs() {
+        let bin = math_bench("sin", 0.5, 4);
+        let mut i = Interp::new(&bin);
+        i.run(10_000_000).unwrap();
+        let expect = (0.5f64.sin() * 1000.0) as i64 as u64 * 4;
+        assert_eq!(i.exit_val(0), expect);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: assemble a small multi-threaded x86 guest program, run it
+//! under every emulation setup, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use risotto::core::{Emulator, Setup};
+use risotto::guest::{syscalls, AluOp, Cond, GelfBuilder, Gpr, Interp};
+use risotto::host::CostModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-threaded producer/consumer: thread 0 spawns a worker; both
+    // atomically add into a shared counter; main returns the total.
+    let mut b = GelfBuilder::new("main");
+    let counter = b.data_u64(&[0]);
+
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::RAX, syscalls::SPAWN);
+    b.asm.mov_label(Gpr::RDI, "worker");
+    b.asm.mov_ri(Gpr::RSI, 0);
+    b.asm.syscall();
+    b.asm.mov_rr(Gpr::RBX, Gpr::RAX); // child tid
+    b.asm.call_to("work");
+    b.asm.mov_ri(Gpr::RAX, syscalls::JOIN);
+    b.asm.mov_rr(Gpr::RDI, Gpr::RBX);
+    b.asm.syscall();
+    b.asm.mov_ri(Gpr::RDI, counter);
+    b.asm.load(Gpr::RAX, Gpr::RDI, 0);
+    b.asm.hlt();
+
+    b.asm.label("worker");
+    b.asm.call_to("work");
+    b.asm.mov_ri(Gpr::RAX, syscalls::EXIT);
+    b.asm.mov_ri(Gpr::RDI, 0);
+    b.asm.syscall();
+
+    // work(): 10,000 atomic increments via LOCK XADD.
+    b.asm.label("work");
+    b.asm.mov_ri(Gpr::RDI, counter);
+    b.asm.mov_ri(Gpr::RCX, 10_000);
+    b.asm.label("loop");
+    b.asm.mov_ri(Gpr::RDX, 1);
+    b.asm.xadd(Gpr::RDI, 0, Gpr::RDX);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+    b.asm.cmp_ri(Gpr::RCX, 0);
+    b.asm.jcc_to(Cond::Ne, "loop");
+    b.asm.ret();
+
+    let bin = b.finish()?;
+
+    // The reference interpreter is the functional oracle.
+    let mut interp = Interp::new(&bin);
+    interp.run(10_000_000)?;
+    println!("reference interpreter: counter = {}", interp.exit_val(0));
+
+    // Run under each setup; all must agree, and the cycle counts show the
+    // fence-cost story of the paper's Fig. 12.
+    println!("\n{:<10} {:>12} {:>10} {:>8}", "setup", "cycles", "vs qemu", "result");
+    let mut qemu_cycles = 0;
+    for setup in Setup::ALL {
+        let mut emu = Emulator::new(&bin, setup, 2, CostModel::thunderx2_like());
+        let report = emu.run(100_000_000)?;
+        if setup == Setup::Qemu {
+            qemu_cycles = report.cycles;
+        }
+        println!(
+            "{:<10} {:>12} {:>9.1}% {:>8}",
+            setup.name(),
+            report.cycles,
+            100.0 * report.cycles as f64 / qemu_cycles as f64,
+            report.exit_vals[0].unwrap(),
+        );
+        assert_eq!(report.exit_vals[0], Some(interp.exit_val(0)));
+    }
+    println!("\nAll setups agree with the reference interpreter.");
+    Ok(())
+}

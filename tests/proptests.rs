@@ -1,0 +1,521 @@
+//! Property-based tests across the workspace (proptest).
+//!
+//! * codecs: MiniX86 and MiniArm encode/decode round-trips,
+//! * optimizer: every pass pipeline preserves block semantics on random
+//!   straight-line TCG blocks,
+//! * relation algebra: closure/composition laws,
+//! * fence lattice: join is an upper bound, `arm_dmb` is monotone,
+//! * Theorem 1: the verified x86→Arm mapping never introduces behaviors
+//!   on randomly generated two-thread programs,
+//! * whole-DBT: random straight-line guest programs produce identical
+//!   results under the interpreter and every emulator setup.
+
+use proptest::prelude::*;
+use risotto::guest::{AluOp, Cond, FpOp, Gpr, Insn, Operand};
+use risotto::host::{HostInsn, Xreg};
+use risotto::memmodel::{EventId, FenceKind, Relation};
+use risotto::tcg::{env, eval_block, optimize, BinOp, CondOp, OptPolicy, TbExit, TcgBlock, TcgOp};
+
+// ---------------------------------------------------------------------
+// Codec round-trips.
+// ---------------------------------------------------------------------
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(Gpr)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![arb_gpr().prop_map(Operand::Reg), any::<u64>().prop_map(Operand::Imm)]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..12).prop_map(|v| Cond::from_u8(v).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Sar),
+        Just(AluOp::Mul),
+    ]
+}
+
+fn arb_guest_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_gpr(), any::<u64>()).prop_map(|(dst, imm)| Insn::MovRI { dst, imm }),
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Insn::MovRR { dst, src }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(dst, base, disp)| Insn::Load { dst, base, disp }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(src, base, disp)| Insn::Store { base, disp, src }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(dst, base, disp)| Insn::LoadB { dst, base, disp }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(src, base, disp)| Insn::StoreB { base, disp, src }),
+        (arb_alu_op(), arb_gpr(), arb_operand())
+            .prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
+        (arb_gpr(), arb_operand()).prop_map(|(a, b)| Insn::Cmp { a, b }),
+        (arb_cond(), any::<i32>()).prop_map(|(cond, rel)| Insn::Jcc { cond, rel }),
+        arb_gpr().prop_map(|src| Insn::MulWide { src }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(src, base, disp)| Insn::LockCmpxchg { base, disp, src }),
+        Just(Insn::Mfence),
+        Just(Insn::Ret),
+        Just(Insn::Hlt),
+        Just(Insn::Syscall),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn guest_insn_roundtrips(insn in arb_guest_insn()) {
+        let mut buf = Vec::new();
+        let n = insn.encode(&mut buf);
+        let (decoded, len) = Insn::decode(&buf).unwrap();
+        prop_assert_eq!(decoded, insn);
+        prop_assert_eq!(len, n);
+    }
+
+    #[test]
+    fn guest_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let _ = Insn::decode(&bytes); // must not panic, errors are fine
+    }
+
+    #[test]
+    fn host_insn_roundtrips(
+        op in 0u8..12,
+        r1 in 0u8..32,
+        r2 in 0u8..32,
+        imm in any::<u64>(),
+        rel in any::<i32>(),
+    ) {
+        use risotto::host::{ACond, AOp, Dmb, MemOrder};
+        let insns = vec![
+            HostInsn::MovImm { dst: Xreg(r1), imm },
+            HostInsn::Ldr { dst: Xreg(r1), base: Xreg(r2), off: rel, order: MemOrder::Plain },
+            HostInsn::Str { src: Xreg(r1), base: Xreg(r2), off: rel, order: MemOrder::AcqRel },
+            HostInsn::LdrB { dst: Xreg(r1), base: Xreg(r2), off: rel },
+            HostInsn::Cas { cmp_old: Xreg(r1), new: Xreg(r2), addr: Xreg(r1), acq_rel: op % 2 == 0 },
+            HostInsn::Barrier(match op % 3 { 0 => Dmb::Ld, 1 => Dmb::St, _ => Dmb::Ff }),
+            HostInsn::BCond { cond: if op % 2 == 0 { ACond::Eq } else { ACond::Hi }, rel },
+            HostInsn::AluImm { op: AOp::Eor, dst: Xreg(r1), a: Xreg(r2), imm },
+        ];
+        for insn in insns {
+            let mut buf = Vec::new();
+            let n = insn.encode(&mut buf);
+            let (decoded, len) = HostInsn::decode(&buf).unwrap();
+            prop_assert_eq!(decoded, insn);
+            prop_assert_eq!(len, n);
+        }
+    }
+
+    #[test]
+    fn host_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let _ = HostInsn::decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relation algebra.
+// ---------------------------------------------------------------------
+
+fn arb_relation(n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..n, 0..n), 0..20)
+        .prop_map(move |pairs| {
+            Relation::from_pairs(n, pairs.into_iter().map(|(a, b)| (EventId(a), EventId(b))))
+        })
+}
+
+proptest! {
+    #[test]
+    fn closure_laws(r in arb_relation(8), s in arb_relation(8)) {
+        let tc = r.transitive_closure();
+        // Idempotent, monotone, contains the base.
+        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        for (a, b) in r.iter_pairs() {
+            prop_assert!(tc.contains(a, b));
+        }
+        // Composition distributes over union on the left.
+        let lhs = r.union(&s).compose(&r);
+        let rhs = r.compose(&r).union(&s.compose(&r));
+        prop_assert_eq!(lhs, rhs);
+        // Inverse is involutive.
+        prop_assert_eq!(r.inverse().inverse(), r.clone());
+        // acyclic(r) ⇔ irreflexive(r⁺).
+        prop_assert_eq!(r.is_acyclic(), tc.is_irreflexive());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fence lattice.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fence_join_is_upper_bound(ai in 0usize..12, bi in 0usize..12) {
+        let a = FenceKind::TCG_ALL[ai];
+        let b = FenceKind::TCG_ALL[bi];
+        let j = a.tcg_join(b);
+        prop_assert!(j.tcg_at_least(a), "{j:?} not ≥ {a:?}");
+        prop_assert!(j.tcg_at_least(b), "{j:?} not ≥ {b:?}");
+        // arm_dmb is monotone: the join's lowering orders at least as much.
+        let rank = |f: Option<FenceKind>| match f {
+            None => 0,
+            Some(FenceKind::DmbLd) | Some(FenceKind::DmbSt) => 1,
+            _ => 2,
+        };
+        prop_assert!(rank(j.arm_dmb()) >= rank(a.arm_dmb()).min(rank(b.arm_dmb())));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimizer semantic preservation on random blocks.
+// ---------------------------------------------------------------------
+
+/// Generates a random straight-line SSA block over a handful of env regs
+/// and memory addresses in a private scratch range.
+fn arb_tcg_block() -> impl Strategy<Value = TcgBlock> {
+    let step = prop_oneof![
+        (0u8..6, any::<u16>()).prop_map(|(r, v)| (0u8, r, v as u64)), // MovI+SetReg
+        (0u8..6, 0u8..6).prop_map(|(a, b)| (1u8, a, b as u64)),       // Add regs
+        (0u8..6, 0u8..6).prop_map(|(a, b)| (2u8, a, b as u64)),       // Mul regs
+        (0u8..6, 0u8..4).prop_map(|(r, s)| (3u8, r, s as u64)),       // Store reg → slot
+        (0u8..6, 0u8..4).prop_map(|(r, s)| (4u8, r, s as u64)),       // Load slot → reg
+        (0u8..3,).prop_map(|(f,)| (5u8, f, 0)),                       // Fence
+        (0u8..6, 0u8..6).prop_map(|(a, b)| (6u8, a, b as u64)),       // Setcond
+    ];
+    proptest::collection::vec(step, 1..24).prop_map(|steps| {
+        let mut block = TcgBlock {
+            guest_pc: 0x1000,
+            guest_len: 0,
+            ops: Vec::new(),
+            exit: TbExit::Halt,
+            n_temps: 0,
+        };
+        let scratch = 0x9000u64;
+        for (kind, x, y) in steps {
+            match kind {
+                0 => {
+                    let t = block.new_temp();
+                    block.ops.push(TcgOp::MovI { dst: t, val: y });
+                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: t });
+                }
+                1 | 2 => {
+                    let a = block.new_temp();
+                    let b = block.new_temp();
+                    let d = block.new_temp();
+                    block.ops.push(TcgOp::GetReg { dst: a, reg: x % 6 });
+                    block.ops.push(TcgOp::GetReg { dst: b, reg: (y % 6) as u8 });
+                    let op = if kind == 1 { BinOp::Add } else { BinOp::Mul };
+                    block.ops.push(TcgOp::Bin { op, dst: d, a, b });
+                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: d });
+                }
+                3 => {
+                    let a = block.new_temp();
+                    let v = block.new_temp();
+                    block.ops.push(TcgOp::MovI { dst: a, val: scratch + (y % 4) * 8 });
+                    block.ops.push(TcgOp::GetReg { dst: v, reg: x % 6 });
+                    block.ops.push(TcgOp::St { addr: a, src: v });
+                }
+                4 => {
+                    let a = block.new_temp();
+                    let v = block.new_temp();
+                    block.ops.push(TcgOp::MovI { dst: a, val: scratch + (y % 4) * 8 });
+                    block.ops.push(TcgOp::Ld { dst: v, addr: a });
+                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: v });
+                }
+                5 => {
+                    let f = match x % 3 {
+                        0 => FenceKind::Frm,
+                        1 => FenceKind::Fww,
+                        _ => FenceKind::Fsc,
+                    };
+                    block.ops.push(TcgOp::Fence(f));
+                }
+                _ => {
+                    let a = block.new_temp();
+                    let b = block.new_temp();
+                    let d = block.new_temp();
+                    block.ops.push(TcgOp::GetReg { dst: a, reg: x % 6 });
+                    block.ops.push(TcgOp::GetReg { dst: b, reg: (y % 6) as u8 });
+                    block.ops.push(TcgOp::Setcond { cond: CondOp::LtU, dst: d, a, b });
+                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: d });
+                }
+            }
+        }
+        block
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn optimizer_preserves_block_semantics(block in arb_tcg_block(), seed in any::<u64>()) {
+        let mut optimized = block.clone();
+        optimize(&mut optimized, OptPolicy::Verified);
+        // Evaluate both against the same initial env/memory.
+        let mut env1 = [0u64; env::COUNT];
+        for (i, slot) in env1.iter_mut().enumerate() {
+            *slot = seed.wrapping_mul(i as u64 + 1) % 97;
+        }
+        let mut env2 = env1;
+        let mut m1 = risotto::guest::SparseMem::new();
+        m1.write_u64(0x9000, seed % 1000);
+        m1.write_u64(0x9008, seed % 7);
+        let mut m2 = m1.clone();
+        let e1 = eval_block(&block, &mut env1, &mut m1);
+        let e2 = eval_block(&optimized, &mut env2, &mut m2);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(env1, env2);
+        for slot in 0..4u64 {
+            prop_assert_eq!(
+                m1.read_u64(0x9000 + slot * 8),
+                m2.read_u64(0x9000 + slot * 8),
+                "memory slot {} diverged", slot
+            );
+        }
+    }
+
+    /// The optimizer never *adds* fences and never weakens one.
+    #[test]
+    fn optimizer_never_strengthens_fence_count(block in arb_tcg_block()) {
+        let before = block.count_ops(|o| matches!(o, TcgOp::Fence(_)));
+        let mut optimized = block.clone();
+        optimize(&mut optimized, OptPolicy::Verified);
+        let after = optimized.count_ops(|o| matches!(o, TcgOp::Fence(_)));
+        prop_assert!(after <= before);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1 on random programs.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn verified_mapping_never_introduces_behaviors(
+        t0 in proptest::collection::vec((0u8..5, 0u8..2), 1..3),
+        t1 in proptest::collection::vec((0u8..5, 0u8..2), 1..3),
+    ) {
+        use risotto::litmus::{Program, Reg};
+        use risotto::mappings::check::check_mapping;
+        use risotto::mappings::scheme::{verified_x86_to_arm, RmwLowering};
+        use risotto::memmodel::{Arm, Loc, X86Tso};
+
+        let build = |steps: &[(u8, u8)], tid: u32| {
+            let mut instrs = Vec::new();
+            let mut reg = tid * 8;
+            for &(kind, loc) in steps {
+                let l = Loc(loc as u32);
+                match kind {
+                    0 => instrs.push(risotto::litmus::Instr::Store {
+                        loc: l.into(),
+                        val: risotto::litmus::Expr::Const(1),
+                        mode: risotto::memmodel::AccessMode::Plain,
+                    }),
+                    1 | 2 => {
+                        instrs.push(risotto::litmus::Instr::Load {
+                            dst: Reg(reg),
+                            loc: l.into(),
+                            mode: risotto::memmodel::AccessMode::Plain,
+                        });
+                        reg += 1;
+                    }
+                    3 => instrs.push(risotto::litmus::Instr::Fence(
+                        risotto::memmodel::FenceKind::MFence,
+                    )),
+                    _ => {
+                        instrs.push(risotto::litmus::Instr::Rmw {
+                            dst: Some(Reg(reg)),
+                            loc: l.into(),
+                            expected: risotto::litmus::Expr::Const(0),
+                            desired: risotto::litmus::Expr::Const(1),
+                            kind: risotto::litmus::RmwKind::X86Lock,
+                        });
+                        reg += 1;
+                    }
+                }
+            }
+            risotto::litmus::Thread { instrs }
+        };
+        let prog = Program {
+            name: "prop".into(),
+            init: Default::default(),
+            threads: vec![build(&t0, 0), build(&t1, 1)],
+        };
+        for rmw in [RmwLowering::Rmw2Fenced, RmwLowering::Casal] {
+            let scheme = verified_x86_to_arm(rmw);
+            prop_assert!(
+                check_mapping(&scheme, &prog, &X86Tso::new(), &Arm::corrected()).is_ok(),
+                "Theorem 1 violated for {:?}", prog
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-DBT differential on random straight-line guest programs.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn dbt_matches_interpreter_on_random_programs(
+        steps in proptest::collection::vec((0u8..8, 0u8..4, any::<u16>()), 1..30),
+    ) {
+        use risotto::core::{Emulator, Setup};
+        use risotto::guest::{GelfBuilder, Interp};
+        use risotto::host::CostModel;
+
+        let mut b = GelfBuilder::new("main");
+        let slots = b.data_zeroed(64);
+        b.asm.label("main");
+        for (kind, r, imm) in &steps {
+            let dst = Gpr(r % 4); // rax..rbx
+            let src = Gpr((r + 1) % 4);
+            match kind % 8 {
+                0 => { b.asm.mov_ri(dst, *imm as u64); }
+                1 => { b.asm.alu_rr(AluOp::Add, dst, src); }
+                2 => { b.asm.alu_ri(AluOp::Mul, dst, *imm as u64 | 1); }
+                3 => {
+                    b.asm.mov_ri(Gpr::R8, slots + (*imm as u64 % 8) * 8);
+                    b.asm.store(Gpr::R8, 0, dst);
+                }
+                4 => {
+                    b.asm.mov_ri(Gpr::R8, slots + (*imm as u64 % 8) * 8);
+                    b.asm.load(dst, Gpr::R8, 0);
+                }
+                5 => { b.asm.alu_ri(AluOp::Xor, dst, *imm as u64); }
+                6 => { b.asm.fp(FpOp::CvtIF, dst, src); }
+                _ => { b.asm.alu_ri(AluOp::Shr, dst, (*imm % 63) as u64); }
+            }
+        }
+        b.asm.hlt();
+        let bin = b.finish().unwrap();
+
+        let mut interp = Interp::new(&bin);
+        interp.run(1_000_000).unwrap();
+        let expect = interp.exit_val(0);
+        for setup in Setup::ALL {
+            let mut emu = Emulator::new(&bin, setup, 1, CostModel::uniform());
+            let r = emu.run(10_000_000).unwrap();
+            prop_assert_eq!(r.exit_vals[0], Some(expect), "setup {}", setup.name());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-DBT differential on branching / looping guest programs.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn dbt_matches_interpreter_on_branching_programs(
+        loop_count in 1u64..12,
+        steps in proptest::collection::vec((0u8..6, 0u8..3, any::<u16>()), 1..10),
+        cond_pick in 0u8..12,
+    ) {
+        use risotto::core::{Emulator, Setup};
+        use risotto::guest::{GelfBuilder, Interp};
+        use risotto::host::CostModel;
+
+        // A counted loop whose body mixes ALU ops, memory, and a data-
+        // dependent branch; checksum accumulates in RAX.
+        let mut b = GelfBuilder::new("main");
+        let slots = b.data_zeroed(64);
+        b.asm.label("main");
+        b.asm.mov_ri(Gpr::RAX, 1);
+        b.asm.mov_ri(Gpr::RCX, loop_count);
+        b.asm.label("loop");
+        for (kind, r, imm) in &steps {
+            let dst = Gpr(8 + (r % 3)); // r8..r10
+            match kind % 6 {
+                0 => { b.asm.alu_ri(AluOp::Add, dst, *imm as u64); }
+                1 => { b.asm.alu_rr(AluOp::Xor, dst, Gpr::RAX); }
+                2 => {
+                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 8) * 8);
+                    b.asm.store(Gpr::R11, 0, dst);
+                }
+                3 => {
+                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 8) * 8);
+                    b.asm.load(dst, Gpr::R11, 0);
+                }
+                4 => { b.asm.alu_ri(AluOp::Mul, dst, (*imm as u64).wrapping_mul(2) | 1); }
+                _ => { b.asm.alu_rr(AluOp::Add, Gpr::RAX, dst); }
+            }
+        }
+        // Data-dependent branch inside the loop.
+        let cond = Cond::from_u8(cond_pick % 12).unwrap();
+        b.asm.cmp_ri(Gpr::R8, 1000);
+        b.asm.jcc_to(cond, "skip");
+        b.asm.alu_ri(AluOp::Add, Gpr::RAX, 13);
+        b.asm.label("skip");
+        b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+        b.asm.cmp_ri(Gpr::RCX, 0);
+        b.asm.jcc_to(Cond::Ne, "loop");
+        // Fold the scratch registers into the checksum.
+        for r in 8..11 {
+            b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr(r));
+        }
+        b.asm.hlt();
+        let bin = b.finish().unwrap();
+
+        let mut interp = Interp::new(&bin);
+        interp.run(5_000_000).unwrap();
+        let expect = interp.exit_val(0);
+        for setup in Setup::ALL {
+            let mut emu = Emulator::new(&bin, setup, 1, CostModel::uniform());
+            let r = emu.run(50_000_000).unwrap();
+            prop_assert_eq!(r.exit_vals[0], Some(expect), "setup {}", setup.name());
+        }
+    }
+
+    /// The optimizer's two policies agree on single-threaded semantics
+    /// (the QemuUnsound policy is only unsound *concurrently*).
+    #[test]
+    fn opt_policies_agree_sequentially(
+        steps in proptest::collection::vec((0u8..6, 0u8..3, any::<u16>()), 1..20),
+    ) {
+        use risotto::core::{Emulator, Setup};
+        use risotto::guest::GelfBuilder;
+        use risotto::host::CostModel;
+
+        let mut b = GelfBuilder::new("main");
+        let slots = b.data_zeroed(64);
+        b.asm.label("main");
+        for (kind, r, imm) in &steps {
+            let dst = Gpr(8 + (r % 3));
+            match kind % 6 {
+                0 => { b.asm.mov_ri(dst, *imm as u64); }
+                1 => { b.asm.alu_ri(AluOp::Add, dst, 3); }
+                2 | 5 => {
+                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 4) * 8);
+                    b.asm.store(Gpr::R11, 0, dst);
+                }
+                3 => {
+                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 4) * 8);
+                    b.asm.load(dst, Gpr::R11, 0);
+                }
+                _ => { b.asm.mfence(); }
+            }
+        }
+        b.asm.mov_rr(Gpr::RAX, Gpr::R8);
+        b.asm.hlt();
+        let bin = b.finish().unwrap();
+        // Qemu (unsound-policy optimizer) vs Risotto (verified): identical
+        // sequential results.
+        let mut q = Emulator::new(&bin, Setup::Qemu, 1, CostModel::uniform());
+        let mut r = Emulator::new(&bin, Setup::Risotto, 1, CostModel::uniform());
+        let qr = q.run(10_000_000).unwrap();
+        let rr = r.run(10_000_000).unwrap();
+        prop_assert_eq!(qr.exit_vals[0], rr.exit_vals[0]);
+    }
+}
