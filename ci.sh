@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Local CI gate: build, full test suite, and lint-clean clippy.
+# Run from the repository root before sending a change.
+set -eu
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -1,27 +1,43 @@
-//! Criterion micro-benchmarks of the formal layer: candidate-execution
+//! Micro-benchmarks of the formal layer: candidate-execution
 //! enumeration and Theorem-1 checking throughput.
+//!
+//! Self-contained timing harness (`harness = false`): best-of-three
+//! mean wall time per iteration, no external crates required.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use risotto_litmus::{behaviors, corpus};
 use risotto_mappings::check::check_mapping;
 use risotto_mappings::scheme::{verified_x86_to_arm, RmwLowering};
 use risotto_memmodel::{Arm, X86Tso};
 
-fn bench_enumeration(c: &mut Criterion) {
-    c.bench_function("enumerate_mp_x86", |b| {
-        let p = corpus::mp();
-        b.iter(|| behaviors(&p, &X86Tso::new()))
-    });
-    c.bench_function("enumerate_sbq_arm", |b| {
-        let p = corpus::sbq_arm_qemu();
-        b.iter(|| behaviors(&p, &Arm::corrected()))
-    });
-    c.bench_function("theorem1_check_sbal", |b| {
-        let p = corpus::sbal_x86();
-        let s = verified_x86_to_arm(RmwLowering::Casal);
-        b.iter(|| check_mapping(&s, &p, &X86Tso::new(), &Arm::corrected()).unwrap())
-    });
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 4 + 1 {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = t0.elapsed().as_secs_f64() / f64::from(iters);
+        if per < best {
+            best = per;
+        }
+    }
+    println!("{name:32} {:>12.1} ns/iter", best * 1e9);
 }
 
-criterion_group!(benches, bench_enumeration);
-criterion_main!(benches);
+fn main() {
+    let p = corpus::mp();
+    bench("enumerate_mp_x86", 200, || behaviors(&p, &X86Tso::new()));
+    let p = corpus::sbq_arm_qemu();
+    bench("enumerate_sbq_arm", 200, || behaviors(&p, &Arm::corrected()));
+    let p = corpus::sbal_x86();
+    let s = verified_x86_to_arm(RmwLowering::Casal);
+    bench("theorem1_check_sbal", 50, || {
+        check_mapping(&s, &p, &X86Tso::new(), &Arm::corrected()).expect("theorem 1 holds")
+    });
+}

@@ -1,12 +1,39 @@
-//! Criterion micro-benchmarks of the DBT pipeline itself: frontend
+//! Micro-benchmarks of the DBT pipeline itself: frontend
 //! decode+translate, optimizer, backend lowering, and machine execution
 //! throughput. These measure the *simulator's* speed (not guest
 //! performance — that's the fig12–fig15 binaries).
+//!
+//! Self-contained timing harness (`harness = false`): each benchmark
+//! runs a warmup pass then reports the best-of-N mean wall time, so the
+//! binary works in offline environments without external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use risotto_guest_x86::{AluOp, Assembler, Cond, Gpr};
 use risotto_host_arm::{lower_block, BackendConfig, CostModel, Event, Machine, RmwStyle};
 use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
+
+/// Run `f` repeatedly for roughly `iters` iterations, three rounds, and
+/// print the best mean-per-iteration time.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    // Warmup.
+    for _ in 0..iters / 4 + 1 {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = t0.elapsed().as_secs_f64() / f64::from(iters);
+        if per < best {
+            best = per;
+        }
+    }
+    println!("{name:32} {:>12.1} ns/iter", best * 1e9);
+}
 
 fn hot_block_bytes() -> Vec<u8> {
     let mut a = Assembler::new(0x1000);
@@ -21,58 +48,56 @@ fn hot_block_bytes() -> Vec<u8> {
     a.jcc_to(Cond::L, "out");
     a.label("out");
     a.hlt();
-    a.finish().unwrap().0
+    a.finish().expect("assembling the hot block").0
 }
 
 fn fetcher(bytes: Vec<u8>) -> impl Fn(u64) -> [u8; 16] {
     move |addr| {
         let mut w = [0u8; 16];
         let off = (addr - 0x1000) as usize;
-        for i in 0..16 {
-            w[i] = bytes.get(off + i).copied().unwrap_or(0);
+        for (i, slot) in w.iter_mut().enumerate() {
+            *slot = bytes.get(off + i).copied().unwrap_or(0);
         }
         w
     }
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let bytes = hot_block_bytes();
     let fetch = fetcher(bytes);
-    c.bench_function("frontend_translate_block", |b| {
-        b.iter(|| translate_block(0x1000, FrontendConfig::risotto(), &fetch).unwrap())
+    bench("frontend_translate_block", 10_000, || {
+        translate_block(0x1000, FrontendConfig::risotto(), &fetch).expect("translate")
     });
-    let block = translate_block(0x1000, FrontendConfig::risotto(), &fetch).unwrap();
-    c.bench_function("optimizer_full_pipeline", |b| {
-        b.iter(|| {
-            let mut blk = block.clone();
-            optimize(&mut blk, OptPolicy::Verified)
-        })
+    let block = translate_block(0x1000, FrontendConfig::risotto(), &fetch).expect("translate");
+    bench("optimizer_full_pipeline", 10_000, || {
+        let mut blk = block.clone();
+        optimize(&mut blk, OptPolicy::Verified)
     });
     let mut opt = block.clone();
     optimize(&mut opt, OptPolicy::Verified);
-    c.bench_function("backend_lower_block", |b| {
-        b.iter(|| lower_block(&opt, BackendConfig::dbt(RmwStyle::Casal)))
+    bench("backend_lower_block", 10_000, || {
+        lower_block(&opt, BackendConfig::dbt(RmwStyle::Casal)).expect("lower")
     });
 }
 
-fn bench_machine(c: &mut Criterion) {
+fn bench_machine() {
     // A tight host loop: measure simulated instructions per second.
-    use risotto_host_arm::{AOp, ACond, HostInsn, Xreg};
-    c.bench_function("machine_100k_steps", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(1, CostModel::uniform());
-            let code = m.install_code(&[
-                HostInsn::MovImm { dst: Xreg(0), imm: 100_000 },
-                HostInsn::AluImm { op: AOp::Sub, dst: Xreg(0), a: Xreg(0), imm: 1 },
-                HostInsn::CmpImm { a: Xreg(0), imm: 0 },
-                HostInsn::BCond { cond: ACond::Ne, rel: -28 },
-                HostInsn::Hlt,
-            ]);
-            m.start_core(0, code);
-            assert_eq!(m.run(1_000_000), Event::AllHalted);
-        })
+    use risotto_host_arm::{ACond, AOp, HostInsn, Xreg};
+    bench("machine_100k_steps", 20, || {
+        let mut m = Machine::new(1, CostModel::uniform());
+        let code = m.install_code(&[
+            HostInsn::MovImm { dst: Xreg(0), imm: 100_000 },
+            HostInsn::AluImm { op: AOp::Sub, dst: Xreg(0), a: Xreg(0), imm: 1 },
+            HostInsn::CmpImm { a: Xreg(0), imm: 0 },
+            HostInsn::BCond { cond: ACond::Ne, rel: -28 },
+            HostInsn::Hlt,
+        ]);
+        m.start_core(0, code);
+        assert_eq!(m.run(1_000_000), Event::AllHalted);
     });
 }
 
-criterion_group!(benches, bench_pipeline, bench_machine);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline();
+    bench_machine();
+}

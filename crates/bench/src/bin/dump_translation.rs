@@ -71,7 +71,7 @@ fn main() {
             println!("  {op:?}");
         }
         println!("  exit: {:?}", block.exit);
-        let host = lower_block(&block, be);
+        let host = lower_block(&block, be).expect("lowering");
         println!("--- host (MiniArm, {} insns) ---", host.len());
         for insn in &host {
             println!("  {insn:?}");

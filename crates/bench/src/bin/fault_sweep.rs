@@ -1,0 +1,81 @@
+//! Fault-injection sweep over the Fig. 12 workloads: seeded fault plans
+//! hammer every pipeline layer while the run is checked against the
+//! fault-free reference interpreter (DESIGN.md §11).
+//!
+//! ```sh
+//! cargo run --release -p risotto-bench --bin fault_sweep [seeds]
+//! ```
+
+use risotto_bench::print_table;
+use risotto_core::{Emulator, FaultPlan, FaultSite, Setup};
+use risotto_guest_x86::Interp;
+use risotto_host_arm::CostModel;
+use risotto_workloads::kernels;
+
+const FUEL: u64 = 2_000_000_000;
+
+fn plan_for(seed: u64) -> FaultPlan {
+    let mut p = FaultPlan::seeded(seed);
+    match seed % 4 {
+        0 => p = p.rate(FaultSite::Translate, 2000),
+        1 => p = p.rate(FaultSite::Lower, 2000),
+        2 => p = p.rate(FaultSite::TbCache, 4000),
+        _ => {
+            p = p
+                .rate(FaultSite::Translate, 900)
+                .rate(FaultSite::Lower, 900)
+                .rate(FaultSite::TbCache, 2000);
+        }
+    }
+    if seed % 10 == 9 {
+        p = p.fail_syscall_at(seed % 7);
+    }
+    p
+}
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let setups = [Setup::Qemu, Setup::TcgVer, Setup::Risotto, Setup::Native];
+    println!("Fault sweep: {seeds} seeded plans per workload, rotating setups\n");
+    let mut rows = Vec::new();
+    let mut divergences = 0u64;
+    for w in kernels::all() {
+        let bin = (w.build)(8, 2);
+        let mut interp = Interp::new(&bin);
+        interp.run(FUEL).expect("reference interpreter");
+        let (ref_exit, ref_out) = (interp.exit_val(0), interp.output.clone());
+
+        let (mut ok, mut errs, mut fallbacks, mut retrans) = (0u64, 0u64, 0usize, 0usize);
+        for seed in 0..seeds {
+            let setup = setups[(seed % setups.len() as u64) as usize];
+            let mut emu = Emulator::new(&bin, setup, 2, CostModel::thunderx2_like());
+            emu.set_fault_plan(plan_for(seed));
+            match emu.run(FUEL) {
+                Ok(r) => {
+                    if r.exit_vals[0] != Some(ref_exit) || r.output != ref_out {
+                        divergences += 1;
+                    }
+                    ok += 1;
+                    fallbacks += r.fallback_blocks;
+                    retrans += r.retranslations;
+                }
+                Err(_) => errs += 1,
+            }
+        }
+        rows.push(vec![
+            w.name.to_string(),
+            ok.to_string(),
+            errs.to_string(),
+            fallbacks.to_string(),
+            retrans.to_string(),
+        ]);
+    }
+    print_table(&["workload", "completed", "typed errors", "fallback TBs", "retranslations"], &rows);
+    println!();
+    if divergences == 0 {
+        println!("zero silent divergences: every completed run matched the reference.");
+    } else {
+        println!("!! {divergences} run(s) diverged from the fault-free reference");
+        std::process::exit(1);
+    }
+}

@@ -31,7 +31,7 @@ pub fn run(bin: &GuestBinary, setup: Setup, cores: usize, link: bool) -> Report 
             risotto_nativelib::hostlibs::libkv(),
         ] {
             let lib: HostLibrary = lib;
-            emu.link_library(bin, &idl, lib);
+            emu.link_library(bin, &idl, lib).expect("standard libraries match the IDL");
         }
     }
     emu.run(20_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", setup.name()))

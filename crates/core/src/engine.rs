@@ -8,15 +8,35 @@
 //! virtual OS interface (write / spawn / join / exit). When host linking
 //! is enabled, translating a PLT address instead emits a marshaling thunk
 //! that calls the registered native host function directly (§6.2).
+//!
+//! ## Failure model
+//!
+//! The pipeline is panic-free: every layer failure — decoder, optimizer
+//! backend, TB cache, host linker, syscall layer — is either *recovered*
+//! or surfaced as a typed [`EmuError`]. Translation and lowering failures
+//! (real or injected via [`FaultPlan`]) quarantine the guest pc and fall
+//! back to direct interpretation of that block, with a bounded number of
+//! re-translation retries; detected TB-cache corruption discards the
+//! entry and re-translates; failed host-library links fall back to the
+//! translated guest implementation behind the PLT stub. Under any fault
+//! plan a run either completes with the same observable output as the
+//! fault-free run, or returns a typed error — never a silently wrong
+//! result. See DESIGN.md §11.
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::idl::Idl;
-use risotto_guest_x86::{syscalls, GuestBinary, Gpr, DATA_BASE, STACK_SIZE, STACK_TOP, TEXT_BASE};
-use risotto_host_arm::{
-    lower_block, BackendConfig, CoreStats, CostModel, Event, HostInsn, Machine, MemOrder,
-    NativeFn, RmwStyle, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+use risotto_guest_x86::{
+    syscalls, AluOp, Flags, Gpr, GuestBinary, Insn, Operand, DATA_BASE, STACK_SIZE, STACK_TOP,
+    TEXT_BASE,
 };
-use risotto_tcg::{optimize_with, translate_block, FrontendConfig, OptPolicy, PassConfig, TranslateError};
-use std::collections::HashMap;
+use risotto_host_arm::{
+    lower_block, BackendConfig, CoreStats, CostModel, Event, HostFaultKind, HostInsn, Machine,
+    MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+};
+use risotto_tcg::{
+    env, optimize_with, translate_block, FrontendConfig, OptPolicy, PassConfig, TranslateError,
+};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Per-core guest env block base (20 regs × 8 bytes, padded to 0x100).
@@ -25,6 +45,15 @@ pub const ENV_REGION: u64 = 0xF000_0000;
 pub const SPILL_REGION: u64 = 0xF800_0000;
 const ENV_STRIDE: u64 = 0x100;
 const SPILL_STRIDE: u64 = 0x10000;
+
+/// How many times a failing block is re-offered to the translator before
+/// it is permanently interpreted.
+const QUARANTINE_RETRY_LIMIT: u32 = 3;
+/// Cycle cost charged per interpreted guest instruction (interpretation
+/// is roughly an order of magnitude slower than translated code).
+const INTERP_CYCLES_PER_INSN: u64 = 12;
+/// Interpreted basic blocks are capped like translated ones.
+const MAX_INTERP_BLOCK: usize = 64;
 
 /// The evaluation setups of §7.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,55 +126,262 @@ impl Setup {
     }
 }
 
+/// One exported function of a [`HostLibrary`].
+pub struct HostExport {
+    /// Exported name, as imported by guest `.dynsym` entries.
+    pub name: String,
+    /// Number of parameters the native function expects. Checked against
+    /// the IDL declaration at link time.
+    pub arity: usize,
+    /// The native implementation.
+    pub func: NativeFn,
+}
+
+impl fmt::Debug for HostExport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostExport")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
 /// A native host shared library: named functions over machine memory.
 pub struct HostLibrary {
     /// Library name (diagnostic only).
     pub name: String,
     /// Exported functions.
-    pub funcs: Vec<(String, NativeFn)>,
+    pub funcs: Vec<HostExport>,
+}
+
+impl HostLibrary {
+    /// An empty library named `name`.
+    pub fn new(name: &str) -> HostLibrary {
+        HostLibrary { name: name.to_owned(), funcs: Vec::new() }
+    }
+
+    /// Adds an export (builder style).
+    #[must_use]
+    pub fn export(mut self, name: &str, arity: usize, func: NativeFn) -> Self {
+        self.funcs.push(HostExport { name: name.to_owned(), arity, func });
+        self
+    }
 }
 
 impl fmt::Debug for HostLibrary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HostLibrary")
             .field("name", &self.name)
-            .field("funcs", &self.funcs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>())
+            .field("funcs", &self.funcs.iter().map(|e| e.name.clone()).collect::<Vec<_>>())
             .finish()
     }
 }
 
-/// Engine errors.
+/// Errors from [`Emulator::link_library`]. Linking is atomic: on error,
+/// nothing from the offending library is linked.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The library exports a symbol the IDL does not describe; without a
+    /// signature the linker cannot marshal its arguments.
+    NotInIdl {
+        /// Offending library.
+        library: String,
+        /// The undescribed symbol.
+        symbol: String,
+    },
+    /// The library exports the same name twice.
+    DuplicateExport {
+        /// Offending library.
+        library: String,
+        /// The duplicated symbol.
+        symbol: String,
+    },
+    /// The export's parameter count disagrees with the IDL declaration.
+    ArityMismatch {
+        /// Offending library.
+        library: String,
+        /// The mismatched symbol.
+        symbol: String,
+        /// Parameter count per the IDL.
+        idl: usize,
+        /// Parameter count per the export.
+        export: usize,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::NotInIdl { library, symbol } => {
+                write!(f, "{library}: export `{symbol}` is not described by the IDL")
+            }
+            LinkError::DuplicateExport { library, symbol } => {
+                write!(f, "{library}: export `{symbol}` appears more than once")
+            }
+            LinkError::ArityMismatch { library, symbol, idl, export } => write!(
+                f,
+                "{library}: export `{symbol}` takes {export} argument(s) but the IDL declares {idl}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// One core's state at the moment of a stall (see [`EmuError::Stalled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreDump {
+    /// Core index.
+    pub core: usize,
+    /// Host pc the core was executing.
+    pub host_pc: u64,
+    /// The core's local clock.
+    pub cycles: u64,
+    /// Whether the core had halted.
+    pub halted: bool,
+}
+
+impl fmt::Display for CoreDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {} at host pc {:#x}, {} cycles{}",
+            self.core,
+            self.host_pc,
+            self.cycles,
+            if self.halted { ", halted" } else { "" }
+        )
+    }
+}
+
+/// Engine errors. Every variant carries enough context to locate the
+/// failure: guest pc, core, and the failing layer.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum EmuError {
-    /// Guest instruction decoding failed during translation.
-    Translate(TranslateError),
+    /// Guest instruction decoding failed during translation *and* the
+    /// interpreter fallback could not execute the block either (the guest
+    /// bytes themselves are undecodable).
+    Translate {
+        /// The underlying frontend fault (also via
+        /// [`std::error::Error::source`]).
+        source: TranslateError,
+        /// Core that needed the block, if known.
+        core: Option<usize>,
+        /// Translation-block count at the time of failure.
+        tb_count: usize,
+    },
     /// The step budget was exhausted.
     OutOfFuel,
     /// `spawn` with no idle core left.
-    TooManyThreads,
+    TooManyThreads {
+        /// Core performing the spawn.
+        core: usize,
+        /// Guest pc following the spawn syscall.
+        pc: u64,
+    },
     /// Unknown guest syscall.
-    BadSyscall(u64),
+    BadSyscall {
+        /// The unknown syscall number.
+        n: u64,
+        /// Core performing the syscall.
+        core: usize,
+        /// Guest pc following the syscall.
+        pc: u64,
+    },
     /// `join` on an invalid thread.
-    BadJoin(u64),
+    BadJoin {
+        /// The invalid target thread id.
+        tid: u64,
+        /// Core performing the join.
+        core: usize,
+        /// Guest pc following the syscall.
+        pc: u64,
+    },
+    /// The livelock watchdog fired: no observable progress (new
+    /// translation, completed syscall, output, or core exit) for the
+    /// configured number of machine steps. Carries a per-core state dump.
+    Stalled {
+        /// Machine steps executed since the last observable progress.
+        steps: u64,
+        /// Per-core state at detection time.
+        cores: Vec<CoreDump>,
+    },
+    /// An injected, non-recoverable fault (see [`FaultPlan`]); only the
+    /// syscall layer produces these — translation-side injections are
+    /// absorbed by the interpreter fallback.
+    Injected {
+        /// The faulting pipeline layer.
+        site: FaultSite,
+        /// Core that hit the fault.
+        core: usize,
+        /// Guest pc at (or just after) the fault.
+        pc: u64,
+    },
+    /// The host machine hit unexecutable state (undecodable host bytes,
+    /// an unknown helper or native index). The generated code itself is
+    /// broken, so there is no safe re-execution point.
+    HostFault {
+        /// What kind of host fault.
+        kind: HostFaultKind,
+        /// The faulting core.
+        core: usize,
+        /// Host pc of the faulting instruction.
+        host_pc: u64,
+        /// Guest pc of the containing translation block, if it could be
+        /// recovered from the TB map.
+        guest_pc: Option<u64>,
+    },
 }
 
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EmuError::Translate(e) => write!(f, "translation failed: {e}"),
+            EmuError::Translate { source, core, tb_count } => {
+                write!(f, "translation failed: {source}")?;
+                if let Some(c) = core {
+                    write!(f, " (core {c})")?;
+                }
+                write!(f, " after {tb_count} TBs")
+            }
             EmuError::OutOfFuel => write!(f, "execution budget exhausted"),
-            EmuError::TooManyThreads => write!(f, "spawn: no idle core"),
-            EmuError::BadSyscall(n) => write!(f, "unknown syscall {n}"),
-            EmuError::BadJoin(t) => write!(f, "join on invalid thread {t}"),
+            EmuError::TooManyThreads { core, pc } => {
+                write!(f, "spawn on core {core} near guest pc {pc:#x}: no idle core")
+            }
+            EmuError::BadSyscall { n, core, pc } => {
+                write!(f, "unknown syscall {n} on core {core} near guest pc {pc:#x}")
+            }
+            EmuError::BadJoin { tid, core, pc } => {
+                write!(f, "join on invalid thread {tid} (core {core}, near guest pc {pc:#x})")
+            }
+            EmuError::Stalled { steps, cores } => {
+                write!(f, "no progress for {steps} steps:")?;
+                for d in cores {
+                    write!(f, " [{d}]")?;
+                }
+                Ok(())
+            }
+            EmuError::Injected { site, core, pc } => {
+                write!(f, "injected {site} fault on core {core} near guest pc {pc:#x}")
+            }
+            EmuError::HostFault { kind, core, host_pc, guest_pc } => {
+                write!(f, "host fault {kind:?} on core {core} at host pc {host_pc:#x}")?;
+                match guest_pc {
+                    Some(g) => write!(f, " (TB for guest pc {g:#x})"),
+                    None => write!(f, " (unmapped host code)"),
+                }
+            }
         }
     }
 }
 
-impl std::error::Error for EmuError {}
-
-impl From<TranslateError> for EmuError {
-    fn from(e: TranslateError) -> Self {
-        EmuError::Translate(e)
+impl std::error::Error for EmuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmuError::Translate { source, .. } => Some(source),
+            _ => None,
+        }
     }
 }
 
@@ -164,6 +400,37 @@ pub struct Report {
     pub exit_vals: Vec<Option<u64>>,
     /// Bytes written via the `WRITE` syscall.
     pub output: Vec<u8>,
+    /// Blocks that entered interpreter fallback after a translation or
+    /// lowering failure (quarantine episodes).
+    pub fallback_blocks: usize,
+    /// Translations performed beyond a block's first: cache-eviction /
+    /// corruption refills plus bounded retries of quarantined blocks.
+    pub retranslations: usize,
+}
+
+/// Why a translation could not be produced right now. All variants are
+/// recoverable through the interpreter fallback; genuinely undecodable
+/// guest bytes resurface there as [`EmuError::Translate`].
+enum TbFault {
+    /// A [`FaultPlan`] injection at the frontend or backend boundary.
+    Injected,
+    /// The frontend failed to decode the guest block.
+    Frontend,
+    /// The backend failed to lower the block.
+    Backend,
+    /// The pc exhausted its re-translation retries and is permanently
+    /// interpreted.
+    Quarantined,
+}
+
+/// What the core should do after a serviced syscall.
+enum SyscallOutcome {
+    /// Continue at the pc following the syscall.
+    Resume,
+    /// The core halted (guest exit).
+    Halted,
+    /// Re-execute the syscall later (join busy-wait).
+    Retry,
 }
 
 /// The DBT engine.
@@ -181,6 +448,22 @@ pub struct Emulator {
     core_started: Vec<bool>,
     passes: PassConfig,
     rmw_style: RmwStyle,
+    plan: FaultPlan,
+    /// Guest pc → failed translation attempts (fallback bookkeeping).
+    quarantine: HashMap<u64, u32>,
+    /// Guest pcs that have ever had a successful translation installed.
+    ever_translated: HashSet<u64>,
+    fallback_blocks: usize,
+    retranslations: usize,
+    /// Instructions executed by the fallback interpreter (counts against
+    /// the run's fuel).
+    interp_steps: u64,
+    fuel_limit: u64,
+    watchdog: Option<u64>,
+    /// Syscall service attempts (drives [`FaultPlan::fail_syscall_at`]).
+    syscall_attempts: u64,
+    /// Completed (non-busy-wait) syscalls — a watchdog progress marker.
+    syscalls_completed: u64,
 }
 
 impl Emulator {
@@ -201,6 +484,16 @@ impl Emulator {
             core_started: vec![false; n_cores],
             passes: PassConfig::all(),
             rmw_style: RmwStyle::Casal,
+            plan: FaultPlan::default(),
+            quarantine: HashMap::new(),
+            ever_translated: HashSet::new(),
+            fallback_blocks: 0,
+            retranslations: 0,
+            interp_steps: 0,
+            fuel_limit: u64::MAX,
+            watchdog: None,
+            syscall_attempts: 0,
+            syscalls_completed: 0,
         }
     }
 
@@ -217,6 +510,24 @@ impl Emulator {
         self.passes = passes;
     }
 
+    /// Installs a fault-injection plan (see [`FaultPlan`]). Set it before
+    /// [`Emulator::link_library`] for host-call faults to apply.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// Selects the host scheduling policy (see [`SchedPolicy`]).
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.machine.set_sched_policy(policy);
+    }
+
+    /// Arms the livelock watchdog: a run that makes no observable
+    /// progress (new translation, completed syscall, output bytes, core
+    /// exit) for `steps` machine steps fails with [`EmuError::Stalled`].
+    pub fn set_watchdog(&mut self, steps: u64) {
+        self.watchdog = Some(steps.max(1));
+    }
+
     /// The active setup.
     pub fn setup(&self) -> Setup {
         self.setup
@@ -228,24 +539,65 @@ impl Emulator {
     }
 
     /// Links a host library against the binary's imports (§6.2): every
-    /// `.dynsym` entry that both appears in `idl` and is exported by `lib`
-    /// gets its PLT entry redirected to the native function. No-op unless
-    /// the setup enables host linking.
+    /// export whose name appears in the binary's `.dynsym` gets its PLT
+    /// entry redirected to the native function. The whole library is
+    /// validated against `idl` first — unknown symbols, duplicate exports
+    /// and arity mismatches are typed errors and link nothing. No-op
+    /// (after validation) unless the setup enables host linking.
     ///
     /// Returns the names actually linked.
-    pub fn link_library(&mut self, binary: &GuestBinary, idl: &Idl, lib: HostLibrary) -> Vec<String> {
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] on a library/IDL mismatch.
+    pub fn link_library(
+        &mut self,
+        binary: &GuestBinary,
+        idl: &Idl,
+        lib: HostLibrary,
+    ) -> Result<Vec<String>, LinkError> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for e in &lib.funcs {
+            if !seen.insert(&e.name) {
+                return Err(LinkError::DuplicateExport {
+                    library: lib.name.clone(),
+                    symbol: e.name.clone(),
+                });
+            }
+            let Some(decl) = idl.lookup(&e.name) else {
+                return Err(LinkError::NotInIdl {
+                    library: lib.name.clone(),
+                    symbol: e.name.clone(),
+                });
+            };
+            if decl.params.len() != e.arity {
+                return Err(LinkError::ArityMismatch {
+                    library: lib.name.clone(),
+                    symbol: e.name.clone(),
+                    idl: decl.params.len(),
+                    export: e.arity,
+                });
+            }
+        }
         if !self.setup.host_linking() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut linked = Vec::new();
-        for (name, f) in lib.funcs {
-            let Some(func) = idl.lookup(&name) else { continue };
+        for HostExport { name, arity, func } in lib.funcs {
             let Some(sym) = binary.dynsyms.iter().find(|d| d.name == name) else { continue };
-            let id = self.machine.register_native(f);
-            self.plt_natives.insert(sym.plt_vaddr, (id, func.params.len()));
+            if self.plan.host_call_fails(&name) {
+                // Injected link failure: leave the import on its
+                // translated guest implementation (the PLT stub jumps
+                // there) — the run still produces the same output.
+                continue;
+            }
+            let id = self.machine.register_native(func);
+            self.plt_natives.insert(sym.plt_vaddr, (id, arity));
+            // Re-binding (last wins): discard any already-installed thunk.
+            self.machine.unmap_tb(sym.plt_vaddr);
             linked.push(name);
         }
-        linked
+        Ok(linked)
     }
 
     fn env_base(core: usize) -> u64 {
@@ -272,6 +624,35 @@ impl Emulator {
         }
     }
 
+    /// Guest condition flags: env slots 16–19 in the DBT setups, X22–X25
+    /// in the native register convention.
+    fn read_guest_flags(&self, core: usize) -> Flags {
+        let get = |i: u8| {
+            if self.setup == Setup::Native {
+                self.machine.reg(core, Xreg(22 + (i - env::ZF)))
+            } else {
+                self.machine.mem.read_u64(Self::env_addr(core, i))
+            }
+        };
+        Flags {
+            zf: get(env::ZF) != 0,
+            sf: get(env::SF) != 0,
+            cf: get(env::CF) != 0,
+            of: get(env::OF) != 0,
+        }
+    }
+
+    fn write_guest_flags(&mut self, core: usize, f: Flags) {
+        let vals = [(env::ZF, f.zf), (env::SF, f.sf), (env::CF, f.cf), (env::OF, f.of)];
+        for (i, b) in vals {
+            if self.setup == Setup::Native {
+                self.machine.set_reg(core, Xreg(22 + (i - env::ZF)), b as u64);
+            } else {
+                self.machine.mem.write_u64(Self::env_addr(core, i), b as u64);
+            }
+        }
+    }
+
     fn init_core(&mut self, core: usize, arg: Option<u64>) {
         let stack_top = STACK_TOP - core as u64 * STACK_SIZE;
         if self.setup == Setup::Native {
@@ -279,7 +660,7 @@ impl Emulator {
                 self.machine.set_reg(core, Xreg(6 + g), 0);
             }
         } else {
-            for r in 0..risotto_tcg::env::COUNT as u8 {
+            for r in 0..env::COUNT as u8 {
                 self.machine.mem.write_u64(Self::env_addr(core, r), 0);
             }
             self.machine.set_reg(core, ENV_BASE, Self::env_base(core));
@@ -293,37 +674,301 @@ impl Emulator {
         self.core_started[core] = true;
     }
 
-    /// Ensures a translation exists for `guest_pc`; returns its host pc.
-    fn ensure_translated(&mut self, guest_pc: u64) -> Result<u64, EmuError> {
+    /// A 16-byte instruction window at `pc` (zero-padded outside `.text`).
+    fn fetch_window(&self, pc: u64) -> [u8; 16] {
+        let mut w = [0u8; 16];
+        for (i, slot) in w.iter_mut().enumerate() {
+            let byte = pc
+                .checked_sub(TEXT_BASE)
+                .and_then(|off| off.checked_add(i as u64))
+                .and_then(|off| usize::try_from(off).ok())
+                .and_then(|off| self.text.get(off));
+            if let Some(&b) = byte {
+                *slot = b;
+            }
+        }
+        w
+    }
+
+    /// Installs host code for `guest_pc` and updates the cache counters.
+    fn install(&mut self, guest_pc: u64, code: &[HostInsn]) -> u64 {
+        let host = self.machine.install_code(code);
+        self.machine.map_tb(guest_pc, host);
+        self.tb_count += 1;
+        if !self.ever_translated.insert(guest_pc) {
+            self.retranslations += 1;
+        }
+        host
+    }
+
+    /// Runs the full translation pipeline for one block, with fault
+    /// injection at the frontend and backend boundaries.
+    fn try_translate(&mut self, guest_pc: u64) -> Result<Vec<HostInsn>, TbFault> {
+        if self.plan.translate_fails(guest_pc) {
+            return Err(TbFault::Injected);
+        }
+        let text = &self.text;
+        let fetch = |addr: u64| -> [u8; 16] {
+            let mut w = [0u8; 16];
+            for (i, slot) in w.iter_mut().enumerate() {
+                let byte = addr
+                    .checked_sub(TEXT_BASE)
+                    .and_then(|off| off.checked_add(i as u64))
+                    .and_then(|off| usize::try_from(off).ok())
+                    .and_then(|off| text.get(off));
+                if let Some(&b) = byte {
+                    *slot = b;
+                }
+            }
+            w
+        };
+        let mut block = translate_block(guest_pc, self.setup.frontend(), fetch)
+            .map_err(|_| TbFault::Frontend)?;
+        optimize_with(&mut block, self.setup.opt_policy(), self.passes);
+        if self.plan.lower_fails(guest_pc) {
+            return Err(TbFault::Injected);
+        }
+        let mut backend = self.setup.backend();
+        if self.setup != Setup::Native {
+            backend.rmw = self.rmw_style;
+        }
+        lower_block(&block, backend).map_err(|_| TbFault::Backend)
+    }
+
+    /// Ensures a translation exists for `guest_pc`; returns its host pc,
+    /// or the (recoverable) reason none could be produced.
+    fn ensure_translated(&mut self, guest_pc: u64) -> Result<u64, TbFault> {
         if let Some(host) = self.machine.lookup_tb(guest_pc) {
             return Ok(host);
         }
-        let code = if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
-            self.build_native_thunk(func, nargs)
-        } else {
-            let text = &self.text;
-            let fetch = |addr: u64| -> [u8; 16] {
-                let mut w = [0u8; 16];
-                if addr >= TEXT_BASE {
-                    let off = (addr - TEXT_BASE) as usize;
-                    for (i, slot) in w.iter_mut().enumerate() {
-                        *slot = text.get(off + i).copied().unwrap_or(0);
+        if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
+            let code = self.build_native_thunk(func, nargs);
+            return Ok(self.install(guest_pc, &code));
+        }
+        let prior = self.quarantine.get(&guest_pc).copied().unwrap_or(0);
+        if prior > QUARANTINE_RETRY_LIMIT {
+            return Err(TbFault::Quarantined);
+        }
+        if prior > 0 {
+            // A bounded re-translate retry of a previously failing block.
+            self.retranslations += 1;
+        }
+        match self.try_translate(guest_pc) {
+            Ok(code) => {
+                self.quarantine.remove(&guest_pc);
+                Ok(self.install(guest_pc, &code))
+            }
+            Err(fault) => {
+                if prior == 0 {
+                    self.fallback_blocks += 1;
+                }
+                self.quarantine.insert(guest_pc, prior + 1);
+                Err(fault)
+            }
+        }
+    }
+
+    /// Puts `core` back into execution at `guest_pc`: translated code
+    /// when the pipeline can produce it, interpreted blocks otherwise,
+    /// until a translatable pc is reached or the core halts.
+    fn resume_at(&mut self, core: usize, guest_pc: u64) -> Result<(), EmuError> {
+        let mut pc = guest_pc;
+        loop {
+            match self.ensure_translated(pc) {
+                Ok(host) => {
+                    self.machine.start_core(core, host);
+                    return Ok(());
+                }
+                Err(_fault) => match self.interpret_block(core, pc)? {
+                    Some(next) => pc = next,
+                    None => return Ok(()),
+                },
+            }
+        }
+    }
+
+    /// Interprets one guest basic block on `core`'s behalf, against the
+    /// shared machine memory and the core's guest register state. Returns
+    /// the next guest pc, or `None` if the core halted.
+    ///
+    /// The core's store buffer is drained first — the same
+    /// synchronization a helper or native call performs at its ABI
+    /// boundary — and interpreted accesses are sequentially consistent,
+    /// which is a legal (stricter) execution under both memory models.
+    fn interpret_block(&mut self, core: usize, start_pc: u64) -> Result<Option<u64>, EmuError> {
+        self.machine.drain_store_buffer(core);
+        let mut pc = start_pc;
+        for _ in 0..MAX_INTERP_BLOCK {
+            if self.interp_steps >= self.fuel_limit {
+                return Err(EmuError::OutOfFuel);
+            }
+            self.interp_steps += 1;
+            let window = self.fetch_window(pc);
+            let (insn, len) = Insn::decode(&window).map_err(|cause| EmuError::Translate {
+                source: TranslateError { pc, cause },
+                core: Some(core),
+                tb_count: self.tb_count,
+            })?;
+            let next = pc.wrapping_add(len as u64);
+            self.machine.add_cycles(core, INTERP_CYCLES_PER_INSN);
+
+            let rd = |s: &Self, r: Gpr| s.read_guest_reg(core, r);
+            let operand = |s: &Self, o: Operand| match o {
+                Operand::Reg(r) => s.read_guest_reg(core, r),
+                Operand::Imm(i) => i,
+            };
+
+            match insn {
+                Insn::MovRI { dst, imm } => self.write_guest_reg(core, dst, imm),
+                Insn::MovRR { dst, src } => {
+                    let v = rd(self, src);
+                    self.write_guest_reg(core, dst, v);
+                }
+                Insn::Load { dst, base, disp } => {
+                    let addr = rd(self, base).wrapping_add(disp as i64 as u64);
+                    let v = self.machine.mem.read_u64(addr);
+                    self.write_guest_reg(core, dst, v);
+                }
+                Insn::Store { base, disp, src } => {
+                    let addr = rd(self, base).wrapping_add(disp as i64 as u64);
+                    let v = rd(self, src);
+                    self.machine.mem.write_u64(addr, v);
+                }
+                Insn::LoadB { dst, base, disp } => {
+                    let addr = rd(self, base).wrapping_add(disp as i64 as u64);
+                    let v = self.machine.mem.read_u8(addr) as u64;
+                    self.write_guest_reg(core, dst, v);
+                }
+                Insn::StoreB { base, disp, src } => {
+                    let addr = rd(self, base).wrapping_add(disp as i64 as u64);
+                    let v = rd(self, src) as u8;
+                    self.machine.mem.write_u8(addr, v);
+                }
+                Insn::MulWide { src } => {
+                    let a = rd(self, Gpr::RAX) as u128;
+                    let b = rd(self, src) as u128;
+                    let p = a * b;
+                    self.write_guest_reg(core, Gpr::RAX, p as u64);
+                    self.write_guest_reg(core, Gpr::RDX, (p >> 64) as u64);
+                }
+                Insn::Lea { dst, base, disp } => {
+                    let v = rd(self, base).wrapping_add(disp as i64 as u64);
+                    self.write_guest_reg(core, dst, v);
+                }
+                Insn::Alu { op, dst, src } => {
+                    let a = rd(self, dst);
+                    let b = operand(self, src);
+                    let r = op.apply(a, b);
+                    self.write_guest_reg(core, dst, r);
+                    let flags = match op {
+                        AluOp::Add => Flags::from_add(a, b),
+                        AluOp::Sub => Flags::from_sub(a, b),
+                        _ => Flags::from_logic(r),
+                    };
+                    self.write_guest_flags(core, flags);
+                }
+                Insn::Div { src } => {
+                    let d = rd(self, src);
+                    let a = rd(self, Gpr::RAX);
+                    // Div-by-zero yields (0, a) uniformly across all
+                    // layers of this project (Arm-style); see DESIGN.md.
+                    let (q, r) = (a.checked_div(d).unwrap_or(0), a.checked_rem(d).unwrap_or(a));
+                    self.write_guest_reg(core, Gpr::RAX, q);
+                    self.write_guest_reg(core, Gpr::RDX, r);
+                }
+                Insn::Fp { op, dst, src } => {
+                    let a = rd(self, dst);
+                    let b = rd(self, src);
+                    let v = op.apply(a, b);
+                    self.write_guest_reg(core, dst, v);
+                }
+                Insn::Cmp { a, b } => {
+                    let flags = Flags::from_sub(rd(self, a), operand(self, b));
+                    self.write_guest_flags(core, flags);
+                }
+                Insn::Test { a, b } => {
+                    let flags = Flags::from_logic(rd(self, a) & operand(self, b));
+                    self.write_guest_flags(core, flags);
+                }
+                Insn::Jcc { cond, rel } => {
+                    let taken = cond.eval(self.read_guest_flags(core));
+                    let target =
+                        if taken { next.wrapping_add(rel as i64 as u64) } else { next };
+                    return Ok(Some(target));
+                }
+                Insn::Jmp { rel } => return Ok(Some(next.wrapping_add(rel as i64 as u64))),
+                Insn::JmpReg { reg } => return Ok(Some(rd(self, reg))),
+                Insn::Call { rel } => {
+                    let sp = rd(self, Gpr::RSP).wrapping_sub(8);
+                    self.write_guest_reg(core, Gpr::RSP, sp);
+                    self.machine.mem.write_u64(sp, next);
+                    return Ok(Some(next.wrapping_add(rel as i64 as u64)));
+                }
+                Insn::CallReg { reg } => {
+                    let target = rd(self, reg);
+                    let sp = rd(self, Gpr::RSP).wrapping_sub(8);
+                    self.write_guest_reg(core, Gpr::RSP, sp);
+                    self.machine.mem.write_u64(sp, next);
+                    return Ok(Some(target));
+                }
+                Insn::Ret => {
+                    let sp = rd(self, Gpr::RSP);
+                    let ra = self.machine.mem.read_u64(sp);
+                    self.write_guest_reg(core, Gpr::RSP, sp.wrapping_add(8));
+                    return Ok(Some(ra));
+                }
+                Insn::Push { src } => {
+                    let v = rd(self, src);
+                    let sp = rd(self, Gpr::RSP).wrapping_sub(8);
+                    self.write_guest_reg(core, Gpr::RSP, sp);
+                    self.machine.mem.write_u64(sp, v);
+                }
+                Insn::Pop { dst } => {
+                    let sp = rd(self, Gpr::RSP);
+                    let v = self.machine.mem.read_u64(sp);
+                    self.write_guest_reg(core, dst, v);
+                    self.write_guest_reg(core, Gpr::RSP, sp.wrapping_add(8));
+                }
+                Insn::LockCmpxchg { base, disp, src } => {
+                    let addr = rd(self, base).wrapping_add(disp as i64 as u64);
+                    let expected = rd(self, Gpr::RAX);
+                    let newval = rd(self, src);
+                    let cur = self.machine.mem.read_u64(addr);
+                    if cur == expected {
+                        self.machine.mem.write_u64(addr, newval);
+                        self.write_guest_flags(core, Flags::from_sub(0, 0)); // ZF=1
+                    } else {
+                        self.write_guest_reg(core, Gpr::RAX, cur);
+                        self.write_guest_flags(core, Flags::from_sub(1, 0)); // ZF=0
                     }
                 }
-                w
-            };
-            let mut block = translate_block(guest_pc, self.setup.frontend(), fetch)?;
-            optimize_with(&mut block, self.setup.opt_policy(), self.passes);
-            let mut backend = self.setup.backend();
-            if self.setup != Setup::Native {
-                backend.rmw = self.rmw_style;
+                Insn::LockXadd { base, disp, src } => {
+                    let addr = rd(self, base).wrapping_add(disp as i64 as u64);
+                    let add = rd(self, src);
+                    let cur = self.machine.mem.read_u64(addr);
+                    self.machine.mem.write_u64(addr, cur.wrapping_add(add));
+                    self.write_guest_reg(core, src, cur);
+                }
+                Insn::Mfence => self.machine.drain_store_buffer(core),
+                Insn::Nop => {}
+                Insn::Hlt => {
+                    self.machine.halt_core(core);
+                    return Ok(None);
+                }
+                Insn::Syscall => {
+                    return match self.do_syscall(core, next)? {
+                        SyscallOutcome::Resume => Ok(Some(next)),
+                        SyscallOutcome::Halted => Ok(None),
+                        // Busy-wait: retry the syscall instruction itself.
+                        SyscallOutcome::Retry => Ok(Some(pc)),
+                    };
+                }
             }
-            lower_block(&block, backend)
-        };
-        let host = self.machine.install_code(&code);
-        self.machine.map_tb(guest_pc, host);
-        self.tb_count += 1;
-        Ok(host)
+            pc = next;
+        }
+        // Block cap reached (same limit as translated TBs): hand the next
+        // pc back so the resume loop can retry translation there.
+        Ok(Some(pc))
     }
 
     /// Builds the marshaling thunk that calls a native host function from
@@ -391,7 +1036,13 @@ impl Emulator {
         code
     }
 
-    fn service_syscall(&mut self, core: usize, next: u64) -> Result<(), EmuError> {
+    /// Services one guest syscall; `next` is the guest pc following it.
+    fn do_syscall(&mut self, core: usize, next: u64) -> Result<SyscallOutcome, EmuError> {
+        let nth = self.syscall_attempts;
+        self.syscall_attempts += 1;
+        if self.plan.syscall_fails(nth) {
+            return Err(EmuError::Injected { site: FaultSite::Syscall, core, pc: next });
+        }
         let n = self.read_guest_reg(core, Gpr::RAX);
         let a1 = self.read_guest_reg(core, Gpr::RDI);
         let a2 = self.read_guest_reg(core, Gpr::RSI);
@@ -400,7 +1051,8 @@ impl Emulator {
             syscalls::EXIT => {
                 self.exit_vals[core] = Some(a1);
                 self.machine.halt_core(core);
-                return Ok(());
+                self.syscalls_completed += 1;
+                return Ok(SyscallOutcome::Halted);
             }
             syscalls::WRITE => {
                 let bytes = self.machine.mem.read_bytes(a2, a3 as usize);
@@ -408,10 +1060,12 @@ impl Emulator {
                 self.write_guest_reg(core, Gpr::RAX, a3);
             }
             syscalls::SPAWN => {
-                let child = self.machine.idle_core().ok_or(EmuError::TooManyThreads)?;
+                let child = self.machine.idle_core().ok_or(EmuError::TooManyThreads {
+                    core,
+                    pc: next,
+                })?;
                 self.init_core(child, Some(a2));
-                let host = self.ensure_translated(a1)?;
-                self.machine.start_core(child, host);
+                self.resume_at(child, a1)?;
                 // The child begins *now*, not at machine time zero — it
                 // inherits the spawning core's clock (plus a small fork
                 // cost), so the discrete-event scheduler interleaves it
@@ -422,7 +1076,7 @@ impl Emulator {
             syscalls::JOIN => {
                 let target = a1 as usize;
                 if target >= self.machine.n_cores() || target == core {
-                    return Err(EmuError::BadJoin(a1));
+                    return Err(EmuError::BadJoin { tid: a1, core, pc: next });
                 }
                 if self.machine.core_halted(target) && self.core_started[target] {
                     let v = self.exit_vals[target].unwrap_or(0);
@@ -430,40 +1084,145 @@ impl Emulator {
                 } else {
                     // Busy-wait: charge some cycles and retry the syscall.
                     self.machine.add_cycles(core, 64);
-                    return Ok(());
+                    return Ok(SyscallOutcome::Retry);
                 }
             }
             syscalls::GETTID => {
                 self.write_guest_reg(core, Gpr::RAX, core as u64);
             }
-            other => return Err(EmuError::BadSyscall(other)),
+            other => return Err(EmuError::BadSyscall { n: other, core, pc: next }),
         }
-        let host = self.ensure_translated(next)?;
-        self.machine.set_pc(core, host);
-        Ok(())
+        self.syscalls_completed += 1;
+        Ok(SyscallOutcome::Resume)
+    }
+
+    /// Applies the plan's TB-cache faults: explicit one-shot corruptions
+    /// (detected at the cache-entry checksum, so the entry is discarded
+    /// and later re-translated — corrupted code never executes) and
+    /// background eviction pressure.
+    fn inject_tb_cache_faults(&mut self) {
+        if self.plan.is_empty() {
+            return;
+        }
+        for pc in self.plan.pending_corruptions() {
+            if self.machine.lookup_tb(pc).is_some() && self.plan.take_corrupt_tb(pc) {
+                self.machine.unmap_tb(pc);
+            }
+        }
+        if self.plan.tb_cache_strikes() {
+            let mut tbs = self.machine.mapped_tbs();
+            if !tbs.is_empty() {
+                tbs.sort_unstable();
+                let victim = tbs[self.plan.pick(tbs.len())];
+                self.machine.unmap_tb(victim);
+            }
+        }
+    }
+
+    /// The guest pc whose translation contains `host_pc`, if recoverable.
+    fn guest_pc_of_host(&self, host_pc: u64) -> Option<u64> {
+        self.machine
+            .mapped_tbs()
+            .into_iter()
+            .filter_map(|g| self.machine.lookup_tb(g).map(|h| (g, h)))
+            .filter(|&(_, h)| h <= host_pc)
+            .max_by_key(|&(_, h)| h)
+            .map(|(g, _)| g)
+    }
+
+    /// Observable-progress marker for the watchdog.
+    fn progress_marker(&self) -> (usize, usize, usize, u64, usize, usize) {
+        let halted =
+            (0..self.machine.n_cores()).filter(|&c| self.machine.core_halted(c)).count();
+        let exited = self.exit_vals.iter().filter(|v| v.is_some()).count();
+        (
+            self.tb_count,
+            self.retranslations,
+            self.output.len(),
+            self.syscalls_completed,
+            halted,
+            exited,
+        )
+    }
+
+    fn dump_cores(&self) -> Vec<CoreDump> {
+        (0..self.machine.n_cores())
+            .map(|c| CoreDump {
+                core: c,
+                host_pc: self.machine.core_pc(c),
+                cycles: self.machine.core_cycles(c),
+                halted: self.machine.core_halted(c),
+            })
+            .collect()
     }
 
     /// Runs the program to completion (all threads halted).
     ///
     /// # Errors
     ///
-    /// Translation faults, runaway execution (`fuel` steps), and syscall
-    /// misuse.
+    /// Unrecoverable translation faults, runaway execution (`fuel` steps,
+    /// counting both machine steps and fallback-interpreted guest
+    /// instructions), syscall misuse, injected syscall faults, host-code
+    /// faults, and — with [`Emulator::set_watchdog`] armed — stalls.
     pub fn run(&mut self, fuel: u64) -> Result<Report, EmuError> {
+        self.fuel_limit = fuel;
+        let base_steps = self.machine.total_steps();
         self.init_core(0, None);
         let entry = self.entry;
-        let host = self.ensure_translated(entry)?;
-        self.machine.start_core(0, host);
+        self.resume_at(0, entry)?;
+        let mut last_marker = self.progress_marker();
+        let mut no_progress: u64 = 0;
         loop {
-            match self.machine.run(fuel) {
+            let used = (self.machine.total_steps() - base_steps) + self.interp_steps;
+            let remaining = fuel.saturating_sub(used);
+            let slice = match self.watchdog {
+                Some(w) => remaining.min(w),
+                None => remaining,
+            };
+            let before = self.machine.total_steps();
+            let ev = self.machine.run(slice);
+            self.inject_tb_cache_faults();
+            match ev {
                 Event::AllHalted => break,
-                Event::TranslationMiss { guest_pc, .. } => {
-                    self.ensure_translated(guest_pc)?;
+                Event::TranslationMiss { core, guest_pc } => {
+                    self.resume_at(core, guest_pc)?;
                 }
                 Event::GuestSyscall { core, next } => {
-                    self.service_syscall(core, next)?;
+                    if let SyscallOutcome::Resume = self.do_syscall(core, next)? {
+                        self.resume_at(core, next)?;
+                    }
                 }
-                Event::OutOfFuel => return Err(EmuError::OutOfFuel),
+                Event::OutOfFuel => {
+                    let used = (self.machine.total_steps() - base_steps) + self.interp_steps;
+                    if used >= fuel {
+                        return Err(EmuError::OutOfFuel);
+                    }
+                    // Otherwise just a watchdog slice boundary: fall
+                    // through to the progress check.
+                }
+                Event::HostFault { core, host_pc, kind } => {
+                    return Err(EmuError::HostFault {
+                        kind,
+                        core,
+                        host_pc,
+                        guest_pc: self.guest_pc_of_host(host_pc),
+                    });
+                }
+            }
+            let marker = self.progress_marker();
+            if marker != last_marker {
+                last_marker = marker;
+                no_progress = 0;
+            } else {
+                no_progress += (self.machine.total_steps() - before).max(1);
+                if let Some(w) = self.watchdog {
+                    if no_progress >= w {
+                        return Err(EmuError::Stalled {
+                            steps: no_progress,
+                            cores: self.dump_cores(),
+                        });
+                    }
+                }
             }
         }
         // HLT'd threads report guest RAX as their exit value.
@@ -479,6 +1238,8 @@ impl Emulator {
             stats: self.machine.total_stats(),
             exit_vals: self.exit_vals.clone(),
             output: self.output.clone(),
+            fallback_blocks: self.fallback_blocks,
+            retranslations: self.retranslations,
         })
     }
 }

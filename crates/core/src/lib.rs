@@ -36,8 +36,13 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+mod faults;
 mod idl;
 
-pub use engine::{EmuError, Emulator, HostLibrary, Report, Setup, ENV_REGION, SPILL_REGION};
-pub use risotto_host_arm::RmwStyle;
+pub use engine::{
+    CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, Setup, ENV_REGION,
+    SPILL_REGION,
+};
+pub use faults::{FaultPlan, FaultSite};
+pub use risotto_host_arm::{RmwStyle, SchedPolicy};
 pub use idl::{Idl, IdlError, IdlFunc, IdlType};

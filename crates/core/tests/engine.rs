@@ -206,27 +206,27 @@ fn dynamic_host_linker_redirects_plt_calls() {
     let bin = b.finish().unwrap();
 
     let idl = Idl::parse("u64 triple(u64);").unwrap();
-    let lib = || HostLibrary {
-        name: "libtriple".into(),
-        funcs: vec![(
-            "triple".into(),
+    let lib = || {
+        HostLibrary::new("libtriple").export(
+            "triple",
+            1,
             Box::new(|_mem: &mut risotto_guest_x86::SparseMem, args: &[u64; 6]| NativeResult {
                 ret: args[0] * 3,
                 cost: 5,
             }),
-        )],
+        )
     };
 
     // Without linking (qemu): guest implementation runs (x*3+1).
     let mut emu = Emulator::new(&bin, Setup::Qemu, 1, CostModel::thunderx2_like());
-    let linked = emu.link_library(&bin, &idl, lib());
+    let linked = emu.link_library(&bin, &idl, lib()).unwrap();
     assert!(linked.is_empty(), "qemu setup must not link");
     let r = emu.run(1_000_000).unwrap();
     assert_eq!(r.exit_vals[0], Some(43));
 
     // With linking (risotto): the native library runs (x*3).
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
-    let linked = emu.link_library(&bin, &idl, lib());
+    let linked = emu.link_library(&bin, &idl, lib()).unwrap();
     assert_eq!(linked, vec!["triple".to_string()]);
     let r = emu.run(1_000_000).unwrap();
     assert_eq!(r.exit_vals[0], Some(42));

@@ -52,8 +52,9 @@ pub struct GuestBinary {
 
 const MAGIC: &[u8; 5] = b"GELF1";
 
-/// Errors from [`GuestBinary::from_bytes`].
+/// Errors from [`GuestBinary::from_bytes`] / [`GuestBinary::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GelfError {
     /// Bad magic number.
     BadMagic,
@@ -61,6 +62,29 @@ pub enum GelfError {
     Truncated,
     /// A symbol name is not valid UTF-8.
     BadString,
+    /// A section is too large for its address-space slot and would
+    /// overlap the next region (`.text` reaching into [`DATA_BASE`], or
+    /// `.data` reaching into [`HEAP_BASE`]).
+    SectionOverlap {
+        /// The offending section (`".text"` or `".data"`).
+        section: &'static str,
+        /// The section's end virtual address (exclusive).
+        end: u64,
+        /// The start of the region it collides with.
+        limit: u64,
+    },
+    /// The entry point lies outside `.text`.
+    EntryOutOfRange {
+        /// The declared entry vaddr.
+        entry: u64,
+    },
+    /// A `.dynsym` entry's PLT address lies outside `.text`.
+    SymbolOutOfRange {
+        /// The symbol's name.
+        name: String,
+        /// Its declared PLT vaddr.
+        plt_vaddr: u64,
+    },
 }
 
 impl fmt::Display for GelfError {
@@ -69,6 +93,15 @@ impl fmt::Display for GelfError {
             GelfError::BadMagic => write!(f, "not a GELF binary"),
             GelfError::Truncated => write!(f, "truncated GELF binary"),
             GelfError::BadString => write!(f, "invalid symbol name encoding"),
+            GelfError::SectionOverlap { section, end, limit } => {
+                write!(f, "{section} ends at {end:#x}, overlapping the region at {limit:#x}")
+            }
+            GelfError::EntryOutOfRange { entry } => {
+                write!(f, "entry point {entry:#x} is outside .text")
+            }
+            GelfError::SymbolOutOfRange { name, plt_vaddr } => {
+                write!(f, "dynsym `{name}` points at {plt_vaddr:#x}, outside .text")
+            }
         }
     }
 }
@@ -119,14 +152,26 @@ impl GuestBinary {
             return Err(GelfError::BadMagic);
         }
         let u64_at = |pos: &mut usize| -> Result<u64, GelfError> {
-            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+            let arr: [u8; 8] = take(pos, 8)?.try_into().map_err(|_| GelfError::Truncated)?;
+            Ok(u64::from_le_bytes(arr))
         };
         let entry = u64_at(&mut pos)?;
-        let tlen = u64_at(&mut pos)? as usize;
+        // Length fields claiming more bytes than the stream holds are
+        // rejected up front: `usize` casts of huge u64s must not be
+        // allowed to wrap or trigger giant allocations.
+        let len_field = |pos: &mut usize| -> Result<usize, GelfError> {
+            let n = u64_at(pos)?;
+            let n = usize::try_from(n).map_err(|_| GelfError::Truncated)?;
+            if n > bytes.len() {
+                return Err(GelfError::Truncated);
+            }
+            Ok(n)
+        };
+        let tlen = len_field(&mut pos)?;
         let text = take(&mut pos, tlen)?.to_vec();
-        let dlen = u64_at(&mut pos)? as usize;
+        let dlen = len_field(&mut pos)?;
         let data = take(&mut pos, dlen)?.to_vec();
-        let nsyms = u64_at(&mut pos)? as usize;
+        let nsyms = len_field(&mut pos)?;
         let mut dynsyms = Vec::with_capacity(nsyms.min(1024));
         for _ in 0..nsyms {
             let nlen = u64_at(&mut pos)? as usize;
@@ -136,7 +181,7 @@ impl GuestBinary {
             let plt_vaddr = u64_at(&mut pos)?;
             dynsyms.push(DynSym { name, plt_vaddr });
         }
-        let nlocal = u64_at(&mut pos)? as usize;
+        let nlocal = len_field(&mut pos)?;
         let mut symbols = HashMap::with_capacity(nlocal.min(4096));
         for _ in 0..nlocal {
             let nlen = u64_at(&mut pos)? as usize;
@@ -146,7 +191,45 @@ impl GuestBinary {
             let addr = u64_at(&mut pos)?;
             symbols.insert(name, addr);
         }
-        Ok(GuestBinary { entry, text, data, dynsyms, symbols })
+        let bin = GuestBinary { entry, text, data, dynsyms, symbols };
+        bin.validate()?;
+        Ok(bin)
+    }
+
+    /// Checks the layout invariants every loaded binary must satisfy:
+    /// sections fit their address-space slots, the entry point and every
+    /// `.dynsym` PLT address lie inside `.text`. [`from_bytes`]
+    /// (Self::from_bytes) applies this automatically; loaders with other
+    /// sources (e.g. a builder bypass) can call it directly.
+    pub fn validate(&self) -> Result<(), GelfError> {
+        let text_end = TEXT_BASE + self.text.len() as u64;
+        if text_end > DATA_BASE {
+            return Err(GelfError::SectionOverlap {
+                section: ".text",
+                end: text_end,
+                limit: DATA_BASE,
+            });
+        }
+        let data_end = DATA_BASE + self.data.len() as u64;
+        if data_end > HEAP_BASE {
+            return Err(GelfError::SectionOverlap {
+                section: ".data",
+                end: data_end,
+                limit: HEAP_BASE,
+            });
+        }
+        if self.entry < TEXT_BASE || self.entry >= text_end {
+            return Err(GelfError::EntryOutOfRange { entry: self.entry });
+        }
+        for s in &self.dynsyms {
+            if s.plt_vaddr < TEXT_BASE || s.plt_vaddr >= text_end {
+                return Err(GelfError::SymbolOutOfRange {
+                    name: s.name.clone(),
+                    plt_vaddr: s.plt_vaddr,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Looks up a defined symbol.
@@ -276,7 +359,7 @@ mod tests {
         b.plt_stub("sin", "guest_sin");
         b.asm.label("guest_sin");
         b.asm.ret();
-        let bin = b.finish().unwrap();
+        let bin = b.finish().expect("builder");
         assert_eq!(bin.entry, TEXT_BASE);
         assert_eq!(bin.dynsyms.len(), 1);
         assert_eq!(bin.dynsyms[0].name, "sin");
@@ -284,7 +367,7 @@ mod tests {
         assert_eq!(bin.data.len(), 24);
 
         let bytes = bin.to_bytes();
-        let parsed = GuestBinary::from_bytes(&bytes).unwrap();
+        let parsed = GuestBinary::from_bytes(&bytes).expect("parse");
         assert_eq!(parsed, bin);
     }
 
@@ -296,15 +379,15 @@ mod tests {
         b.plt_stub("f", "impl_f");
         b.asm.label("impl_f");
         b.asm.ret();
-        let bin = b.finish().unwrap();
+        let bin = b.finish().expect("builder");
         let off = (bin.dynsyms[0].plt_vaddr - TEXT_BASE) as usize;
-        let (insn, n) = Insn::decode(&bin.text[off..]).unwrap();
+        let (insn, n) = Insn::decode(&bin.text[off..]).expect("decode stub");
         match insn {
             Insn::Jmp { rel } => {
                 let target = bin.dynsyms[0].plt_vaddr + n as u64 + rel as i64 as u64;
                 assert_eq!(target, bin.symbols["impl_f"]);
             }
-            other => panic!("PLT stub is {other:?}, expected jmp"),
+            other => unreachable!("PLT stub is {other:?}, expected jmp"),
         }
     }
 
@@ -315,7 +398,7 @@ mod tests {
         let mut b = GelfBuilder::new("m");
         b.asm.label("m");
         b.asm.hlt();
-        let bytes = b.finish().unwrap().to_bytes();
+        let bytes = b.finish().expect("builder").to_bytes();
         assert_eq!(GuestBinary::from_bytes(&bytes[..bytes.len() - 1]), Err(GelfError::Truncated));
     }
 

@@ -117,6 +117,11 @@ pub enum InterpError {
     BadSyscall(u64),
     /// `join` on an invalid thread id.
     BadJoin(u64),
+    /// `step` was asked to run a thread that is out of range or halted.
+    NotRunnable {
+        /// The offending thread id.
+        tid: usize,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -127,6 +132,9 @@ impl fmt::Display for InterpError {
             InterpError::Deadlock => write!(f, "all threads blocked in join"),
             InterpError::BadSyscall(n) => write!(f, "unknown syscall {n}"),
             InterpError::BadJoin(t) => write!(f, "join on invalid thread {t}"),
+            InterpError::NotRunnable { tid } => {
+                write!(f, "thread {tid} is not runnable (halted or out of range)")
+            }
         }
     }
 }
@@ -248,13 +256,13 @@ impl Interp {
     ///
     /// # Errors
     ///
-    /// Decode faults and bad syscalls.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tid` is out of range or the thread has halted.
+    /// Decode faults, bad syscalls, and [`InterpError::NotRunnable`] if
+    /// `tid` is out of range or the thread has already halted.
     pub fn step(&mut self, tid: usize) -> Result<(), InterpError> {
-        assert!(!self.threads[tid].halted, "stepping a halted thread");
+        match self.threads.get(tid) {
+            Some(th) if !th.halted => {}
+            _ => return Err(InterpError::NotRunnable { tid }),
+        }
         let pc = self.threads[tid].pc;
         let window = self.mem.read_bytes(pc, 16);
         let (insn, len) = Insn::decode(&window)

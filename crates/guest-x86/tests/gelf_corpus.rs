@@ -1,0 +1,165 @@
+//! Malformed-GELF corpus: the loader must reject every corrupted input
+//! with a typed [`GelfError`] — never panic, never allocate absurdly,
+//! never hand back a binary that violates the layout invariants.
+
+use risotto_guest_x86::{
+    GelfBuilder, GelfError, Gpr, GuestBinary, DATA_BASE, HEAP_BASE, TEXT_BASE,
+};
+
+/// A small well-formed binary with one import, used as the mutation base.
+fn base_binary() -> GuestBinary {
+    let mut b = GelfBuilder::new("main");
+    let buf = b.data_u64(&[1, 2, 3]);
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::RDI, buf);
+    b.call_plt("sin");
+    b.asm.hlt();
+    b.plt_stub("sin", "guest_sin");
+    b.asm.label("guest_sin");
+    b.asm.ret();
+    b.finish().expect("base binary assembles")
+}
+
+const MAGIC_LEN: usize = 5;
+const ENTRY_OFF: usize = MAGIC_LEN;
+const TLEN_OFF: usize = ENTRY_OFF + 8;
+
+fn patch_u64(bytes: &mut [u8], off: usize, val: u64) {
+    bytes[off..off + 8].copy_from_slice(&val.to_le_bytes());
+}
+
+#[test]
+fn every_prefix_truncation_is_rejected() {
+    // Cutting the stream at *any* point — including mid-section-table —
+    // must yield a typed error, not a panic or a bogus binary.
+    let bytes = base_binary().to_bytes();
+    for len in 0..bytes.len() {
+        let got = GuestBinary::from_bytes(&bytes[..len]);
+        assert!(got.is_err(), "prefix of {len} bytes parsed as {got:?}");
+    }
+}
+
+#[test]
+fn truncated_section_table_is_rejected() {
+    let bin = base_binary();
+    let bytes = bin.to_bytes();
+    // End of `.data` marks the start of the dynsym table; cut inside it.
+    let dynsym_start = TLEN_OFF + 8 + bin.text.len() + 8 + bin.data.len();
+    assert!(dynsym_start + 8 < bytes.len());
+    let cut = dynsym_start + 12; // mid-way through the count + first entry
+    assert_eq!(GuestBinary::from_bytes(&bytes[..cut]), Err(GelfError::Truncated));
+}
+
+#[test]
+fn oversized_length_fields_are_rejected_without_allocating() {
+    // A length field claiming more bytes than the stream holds must be
+    // rejected up front (no multi-gigabyte Vec::with_capacity).
+    for claimed in [u64::MAX, u64::MAX / 2, 1 << 40, 1 << 20] {
+        let mut bytes = base_binary().to_bytes();
+        patch_u64(&mut bytes, TLEN_OFF, claimed);
+        assert_eq!(GuestBinary::from_bytes(&bytes), Err(GelfError::Truncated), "tlen={claimed:#x}");
+    }
+}
+
+#[test]
+fn out_of_range_dynsym_is_rejected() {
+    // Re-point the import's PLT address outside `.text`.
+    for bad in [0u64, TEXT_BASE - 1, DATA_BASE, u64::MAX] {
+        let mut bin = base_binary();
+        bin.dynsyms[0].plt_vaddr = bad;
+        let got = GuestBinary::from_bytes(&bin.to_bytes());
+        match got {
+            Err(GelfError::SymbolOutOfRange { ref name, plt_vaddr }) => {
+                assert_eq!(name, "sin");
+                assert_eq!(plt_vaddr, bad);
+            }
+            other => unreachable!("plt_vaddr={bad:#x} parsed as {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn entry_outside_text_is_rejected() {
+    for bad in [0u64, TEXT_BASE - 1, DATA_BASE + 4, u64::MAX] {
+        let mut bytes = base_binary().to_bytes();
+        patch_u64(&mut bytes, ENTRY_OFF, bad);
+        assert_eq!(
+            GuestBinary::from_bytes(&bytes),
+            Err(GelfError::EntryOutOfRange { entry: bad }),
+            "entry={bad:#x}"
+        );
+    }
+}
+
+#[test]
+fn overlapping_text_section_is_rejected() {
+    // A `.text` that genuinely extends past DATA_BASE (section overlap,
+    // not mere truncation) is caught by the layout validator.
+    let mut bin = base_binary();
+    let limit = (DATA_BASE - TEXT_BASE) as usize;
+    bin.text.resize(limit + 16, 0);
+    match bin.validate() {
+        Err(GelfError::SectionOverlap { section, end, limit }) => {
+            assert_eq!(section, ".text");
+            assert_eq!(end, TEXT_BASE + bin.text.len() as u64);
+            assert_eq!(limit, DATA_BASE);
+        }
+        other => unreachable!("oversized .text validated as {other:?}"),
+    }
+    // The same binary round-tripped through the serializer is rejected
+    // by the parser as well.
+    assert!(matches!(
+        GuestBinary::from_bytes(&bin.to_bytes()),
+        Err(GelfError::SectionOverlap { section: ".text", .. })
+    ));
+}
+
+#[test]
+fn overlapping_data_section_is_rejected() {
+    let mut bin = base_binary();
+    let limit = (HEAP_BASE - DATA_BASE) as usize;
+    bin.data.resize(limit + 8, 0);
+    assert!(matches!(
+        bin.validate(),
+        Err(GelfError::SectionOverlap { section: ".data", .. })
+    ));
+    assert!(matches!(
+        GuestBinary::from_bytes(&bin.to_bytes()),
+        Err(GelfError::SectionOverlap { section: ".data", .. })
+    ));
+}
+
+#[test]
+fn non_utf8_symbol_name_is_rejected() {
+    let bin = base_binary();
+    let mut bytes = bin.to_bytes();
+    // The first dynsym name ("sin") starts 8 bytes after the table count.
+    let name_off = TLEN_OFF + 8 + bin.text.len() + 8 + bin.data.len() + 8 + 8;
+    assert_eq!(&bytes[name_off..name_off + 3], b"sin");
+    bytes[name_off] = 0xFF; // invalid UTF-8 lead byte
+    assert_eq!(GuestBinary::from_bytes(&bytes), Err(GelfError::BadString));
+}
+
+#[test]
+fn random_bitflips_never_panic_or_break_invariants() {
+    // Deterministic single-byte corruption sweep: every parse either
+    // fails with a typed error or yields a binary that still satisfies
+    // the layout invariants.
+    let good = base_binary().to_bytes();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..600 {
+        let mut bytes = good.clone();
+        let idx = (next() % bytes.len() as u64) as usize;
+        let val = (next() & 0xFF) as u8;
+        bytes[idx] = val;
+        if let Ok(bin) = GuestBinary::from_bytes(&bytes) {
+            bin.validate().expect("parser returned an invalid binary");
+        }
+    }
+}

@@ -25,6 +25,42 @@ use risotto_memmodel::FenceKind;
 use risotto_tcg::{BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
 use std::collections::HashMap;
 
+/// Errors surfaced by the TCG→MiniArm backend.
+///
+/// Historically these conditions aborted the process; they are surfaced
+/// as typed errors so the engine can fall back to interpretation (or
+/// report a diagnostic) instead of crashing the whole emulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// A branch referenced a label that was never bound.
+    UnboundLabel {
+        /// The unresolved label id.
+        label: u32,
+    },
+    /// Register allocation found no usable register: every pool register
+    /// was forbidden for the current operand combination.
+    RegisterPressure {
+        /// Index of the TCG op being lowered when allocation failed.
+        at_op: usize,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::UnboundLabel { label } => {
+                write!(f, "backend: branch to unbound label L{label}")
+            }
+            BackendError::RegisterPressure { at_op } => {
+                write!(f, "backend: register pool exhausted at op #{at_op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// Env base register.
 pub const ENV_BASE: Xreg = Xreg(27);
 /// Spill area base register.
@@ -119,10 +155,9 @@ impl HostAsm {
 
     /// Resolves labels into relative branches.
     ///
-    /// # Panics
-    ///
-    /// Panics on an unbound label (a backend bug).
-    pub fn finish(self) -> Vec<HostInsn> {
+    /// Returns [`BackendError::UnboundLabel`] if a branch targets a
+    /// label that was never [`bind`](Self::bind)-ed.
+    pub fn finish(self) -> Result<Vec<HostInsn>, BackendError> {
         // Pass 1: byte offsets.
         let size_of = |i: &Item| -> usize {
             match i {
@@ -160,16 +195,18 @@ impl HostAsm {
                 Item::Insn(i) => out.push(*i),
                 Item::Label(_) => {}
                 Item::BCondTo(c, l) => {
-                    let target = *labels.get(l).expect("unbound label");
+                    let target =
+                        *labels.get(l).ok_or(BackendError::UnboundLabel { label: *l })?;
                     out.push(HostInsn::BCond { cond: *c, rel: target as i32 - next as i32 });
                 }
                 Item::BTo(l) => {
-                    let target = *labels.get(l).expect("unbound label");
+                    let target =
+                        *labels.get(l).ok_or(BackendError::UnboundLabel { label: *l })?;
                     out.push(HostInsn::B { rel: target as i32 - next as i32 });
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -223,10 +260,15 @@ impl Alloc {
         }
     }
 
-    fn free_reg(&mut self, asm: &mut HostAsm, idx: usize, forbid: &[Xreg]) -> Xreg {
+    fn free_reg(
+        &mut self,
+        asm: &mut HostAsm,
+        idx: usize,
+        forbid: &[Xreg],
+    ) -> Result<Xreg, BackendError> {
         for &r in &self.pool {
             if !self.holder.contains_key(&r) && !forbid.contains(&r) {
-                return r;
+                return Ok(r);
             }
         }
         // Spill the holder with the furthest next use.
@@ -235,8 +277,7 @@ impl Alloc {
             .iter()
             .filter(|(r, _)| !forbid.contains(r))
             .max_by_key(|(_, t)| self.last_use[t.0 as usize])
-            .expect("register pool exhausted");
-        let _ = idx;
+            .ok_or(BackendError::RegisterPressure { at_op: idx })?;
         asm.push(HostInsn::Str {
             src: victim_reg,
             base: SPILL_BASE,
@@ -246,15 +287,21 @@ impl Alloc {
         self.spilled.insert(victim_temp, true);
         self.in_reg.remove(&victim_temp);
         self.holder.remove(&victim_reg);
-        victim_reg
+        Ok(victim_reg)
     }
 
     /// Register holding `t`, reloading from the spill area if needed.
-    fn use_reg(&mut self, asm: &mut HostAsm, idx: usize, t: Temp, forbid: &[Xreg]) -> Xreg {
+    fn use_reg(
+        &mut self,
+        asm: &mut HostAsm,
+        idx: usize,
+        t: Temp,
+        forbid: &[Xreg],
+    ) -> Result<Xreg, BackendError> {
         if let Some(&r) = self.in_reg.get(&t) {
-            return r;
+            return Ok(r);
         }
-        let r = self.free_reg(asm, idx, forbid);
+        let r = self.free_reg(asm, idx, forbid)?;
         debug_assert!(
             self.spilled.get(&t).copied().unwrap_or(false),
             "use of temp {t:?} that was never defined"
@@ -267,18 +314,24 @@ impl Alloc {
         });
         self.in_reg.insert(t, r);
         self.holder.insert(r, t);
-        r
+        Ok(r)
     }
 
     /// Register for defining `t`.
-    fn def_reg(&mut self, asm: &mut HostAsm, idx: usize, t: Temp, forbid: &[Xreg]) -> Xreg {
+    fn def_reg(
+        &mut self,
+        asm: &mut HostAsm,
+        idx: usize,
+        t: Temp,
+        forbid: &[Xreg],
+    ) -> Result<Xreg, BackendError> {
         if let Some(&r) = self.in_reg.get(&t) {
-            return r;
+            return Ok(r);
         }
-        let r = self.free_reg(asm, idx, forbid);
+        let r = self.free_reg(asm, idx, forbid)?;
         self.in_reg.insert(t, r);
         self.holder.insert(r, t);
-        r
+        Ok(r)
     }
 }
 
@@ -349,7 +402,10 @@ fn direct_reg(env_reg: u8) -> Xreg {
 }
 
 /// Lowers an (optimized) TCG block to host instructions.
-pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
+///
+/// Returns a [`BackendError`] instead of panicking when lowering cannot
+/// proceed (unbound label, unallocatable register combination).
+pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>, BackendError> {
     let pool: Vec<Xreg> = if cfg.direct_regs {
         [0, 1, 2, 3, 4, 5, 26, 29].iter().map(|&r| Xreg(r)).collect()
     } else {
@@ -362,20 +418,20 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
         alloc.free_dead(idx);
         match op {
             TcgOp::MovI { dst, val } => {
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[]);
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[])?;
                 asm.push(HostInsn::MovImm { dst: rd, imm: *val });
             }
             TcgOp::Mov { dst, src } => {
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[rs]);
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[rs])?;
                 asm.push(HostInsn::MovReg { dst: rd, src: rs });
             }
             TcgOp::GetReg { dst, reg } => {
                 if cfg.direct_regs {
-                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[]);
+                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[])?;
                     asm.push(HostInsn::MovReg { dst: rd, src: direct_reg(*reg) });
                 } else {
-                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[]);
+                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[])?;
                     asm.push(HostInsn::Ldr {
                         dst: rd,
                         base: ENV_BASE,
@@ -385,7 +441,7 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
                 }
             }
             TcgOp::SetReg { reg, src } => {
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[]);
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[])?;
                 if cfg.direct_regs {
                     asm.push(HostInsn::MovReg { dst: direct_reg(*reg), src: rs });
                 } else {
@@ -398,35 +454,35 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
                 }
             }
             TcgOp::Ld { dst, addr } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra]);
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra])?;
                 asm.push(HostInsn::Ldr { dst: rd, base: ra, off: 0, order: MemOrder::Plain });
             }
             TcgOp::St { addr, src } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra]);
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra])?;
                 asm.push(HostInsn::Str { src: rs, base: ra, off: 0, order: MemOrder::Plain });
             }
             TcgOp::Ld8 { dst, addr } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra]);
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra])?;
                 asm.push(HostInsn::LdrB { dst: rd, base: ra, off: 0 });
             }
             TcgOp::St8 { addr, src } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra]);
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
+                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra])?;
                 asm.push(HostInsn::StrB { src: rs, base: ra, off: 0 });
             }
             TcgOp::Bin { op, dst, a, b } => {
-                let ra = alloc.use_reg(&mut asm, idx, *a, &[]);
-                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb]);
+                let ra = alloc.use_reg(&mut asm, idx, *a, &[])?;
+                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb])?;
                 asm.push(HostInsn::Alu { op: bin_op_of(*op), dst: rd, a: ra, b: rb });
             }
             TcgOp::Setcond { cond, dst, a, b } => {
-                let ra = alloc.use_reg(&mut asm, idx, *a, &[]);
-                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb]);
+                let ra = alloc.use_reg(&mut asm, idx, *a, &[])?;
+                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb])?;
                 asm.push(HostInsn::Cmp { a: ra, b: rb });
                 asm.push(HostInsn::Cset { dst: rd, cond: cond_of(*cond) });
             }
@@ -445,10 +501,10 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
                 }
             }
             TcgOp::Cas { dst, addr, expect, new } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
-                let re = alloc.use_reg(&mut asm, idx, *expect, &[ra]);
-                let rn = alloc.use_reg(&mut asm, idx, *new, &[ra, re]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, re, rn]);
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
+                let re = alloc.use_reg(&mut asm, idx, *expect, &[ra])?;
+                let rn = alloc.use_reg(&mut asm, idx, *new, &[ra, re])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, re, rn])?;
                 match cfg.rmw {
                     RmwStyle::Casal => {
                         // casal rd, rn, [ra] with rd preloaded with expect.
@@ -475,9 +531,9 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
                 }
             }
             TcgOp::AtomicAdd { dst, addr, val } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[]);
-                let rv = alloc.use_reg(&mut asm, idx, *val, &[ra]);
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rv]);
+                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
+                let rv = alloc.use_reg(&mut asm, idx, *val, &[ra])?;
+                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rv])?;
                 match cfg.rmw {
                     RmwStyle::Casal => {
                         asm.push(HostInsn::LdaddAl { old: rd, addend: rv, addr: ra });
@@ -500,10 +556,10 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
             TcgOp::CallHelper { helper, args, ret } => {
                 if cfg.hardware_fp {
                     if let Some(fp) = fp_op_of(*helper) {
-                        let ra = alloc.use_reg(&mut asm, idx, args[0], &[]);
-                        let rb = alloc.use_reg(&mut asm, idx, args[1], &[ra]);
+                        let ra = alloc.use_reg(&mut asm, idx, args[0], &[])?;
+                        let rb = alloc.use_reg(&mut asm, idx, args[1], &[ra])?;
                         if let Some(r) = ret {
-                            let rd = alloc.def_reg(&mut asm, idx, *r, &[ra, rb]);
+                            let rd = alloc.def_reg(&mut asm, idx, *r, &[ra, rb])?;
                             asm.push(HostInsn::Fp { op: fp, dst: rd, a: ra, b: rb });
                         }
                         continue;
@@ -511,12 +567,12 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
                 }
                 // Marshal args into X0..; call; move result out.
                 for (i, a) in args.iter().enumerate() {
-                    let ra = alloc.use_reg(&mut asm, idx, *a, &[]);
+                    let ra = alloc.use_reg(&mut asm, idx, *a, &[])?;
                     asm.push(HostInsn::MovReg { dst: Xreg(i as u8), src: ra });
                 }
                 asm.push(HostInsn::Hcall { helper: helper_index(*helper) });
                 if let Some(r) = ret {
-                    let rd = alloc.def_reg(&mut asm, idx, *r, &[]);
+                    let rd = alloc.def_reg(&mut asm, idx, *r, &[])?;
                     asm.push(HostInsn::MovReg { dst: rd, src: Xreg(0) });
                 }
             }
@@ -531,11 +587,11 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Vec<HostInsn> {
             asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *pc }));
         }
         TbExit::JumpReg(t) => {
-            let r = alloc.use_reg(&mut asm, exit_idx, *t, &[]);
+            let r = alloc.use_reg(&mut asm, exit_idx, *t, &[])?;
             asm.push(HostInsn::ExitTb(TbExitKind::JumpReg { reg: r }));
         }
         TbExit::CondJump { flag, taken, fallthrough } => {
-            let r = alloc.use_reg(&mut asm, exit_idx, *flag, &[]);
+            let r = alloc.use_reg(&mut asm, exit_idx, *flag, &[])?;
             let l_taken = asm.fresh_label();
             asm.push(HostInsn::CmpImm { a: r, imm: 0 });
             asm.bcond_to(ACond::Ne, l_taken);
@@ -564,20 +620,20 @@ mod tests {
     ) -> Vec<HostInsn> {
         let mut a = risotto_guest_x86::Assembler::new(0x1000);
         f(&mut a);
-        let (bytes, _) = a.finish().unwrap();
+        let (bytes, _) = a.finish().expect("assembles");
         let fetch = move |addr: u64| {
             let mut w = [0u8; 16];
             let off = (addr - 0x1000) as usize;
-            for i in 0..16 {
-                w[i] = bytes.get(off + i).copied().unwrap_or(0);
+            for (i, slot) in w.iter_mut().enumerate() {
+                *slot = bytes.get(off + i).copied().unwrap_or(0);
             }
             w
         };
-        let mut block = risotto_tcg::translate_block(0x1000, fe, fetch).unwrap();
+        let mut block = risotto_tcg::translate_block(0x1000, fe, fetch).expect("translates");
         if opt {
             risotto_tcg::optimize(&mut block, OptPolicy::Verified);
         }
-        lower_block(&block, be)
+        lower_block(&block, be).expect("lowering the snippet")
     }
 
     #[test]
@@ -701,10 +757,10 @@ mod tests {
         asm.push(HostInsn::Nop);
         asm.bind(l);
         asm.push(HostInsn::Hlt);
-        let code = asm.finish();
+        let code = asm.finish().expect("all labels bound");
         match code[1] {
             HostInsn::BCond { rel, .. } => assert_eq!(rel, 2, "skip two 1-byte nops"),
-            ref other => panic!("unexpected {other:?}"),
+            ref other => unreachable!("unexpected {other:?}"),
         }
     }
 
@@ -732,7 +788,8 @@ mod tests {
                 block.ops.push(TcgOp::SetReg { reg: 0, src: d });
             }
         }
-        let code = lower_block(&block, BackendConfig::dbt(RmwStyle::Casal));
+        let code =
+            lower_block(&block, BackendConfig::dbt(RmwStyle::Casal)).expect("spilling lowering");
         let spls = code
             .iter()
             .filter(|i| matches!(i, HostInsn::Str { base, .. } if *base == SPILL_BASE))

@@ -34,7 +34,7 @@ mod cost;
 mod insn;
 mod machine;
 
-pub use backend::{lower_block, BackendConfig, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE};
+pub use backend::{lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE};
 pub use cost::CostModel;
 pub use insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg};
-pub use machine::{CoreStats, Event, Machine, NativeFn, NativeResult, CODE_BASE};
+pub use machine::{CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult, SchedPolicy, CODE_BASE};

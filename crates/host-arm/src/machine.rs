@@ -64,6 +64,47 @@ pub enum Event {
     },
     /// The global step budget was exhausted (runaway guest).
     OutOfFuel,
+    /// A core hit unexecutable host state (undecodable code bytes, an
+    /// unknown helper index, an out-of-range native function index).
+    /// The faulting core is left un-advanced at `host_pc`; the engine
+    /// decides whether to re-translate, fall back, or abort.
+    HostFault {
+        /// The faulting core.
+        core: usize,
+        /// Host pc of the faulting instruction.
+        host_pc: u64,
+        /// What kind of fault occurred.
+        kind: HostFaultKind,
+    },
+}
+
+/// Classification of a [`Event::HostFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostFaultKind {
+    /// The bytes at `host_pc` did not decode as a MiniArm instruction
+    /// (or lay outside the installed code cache).
+    Decode,
+    /// A `Hcall` named a helper index the machine does not implement.
+    UnknownHelper(u8),
+    /// A `NativeCall` named an unregistered native function index.
+    UnknownNative(u16),
+}
+
+/// How [`Machine::run`] picks the next core to step.
+///
+/// All three policies are deterministic (the random policy is seeded),
+/// so any schedule-dependent failure reproduces exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Discrete-event order: the runnable core with the smallest local
+    /// clock runs next (the default; reported runtime = max core clock).
+    Deterministic,
+    /// Seeded pseudo-random choice among runnable cores.
+    Random(u64),
+    /// Adversarial: always run the *most advanced* runnable core,
+    /// maximizing clock skew between cores (worst case for code that
+    /// polls cross-core state).
+    Adversarial,
 }
 
 /// Per-core execution statistics.
@@ -153,6 +194,8 @@ pub struct Machine {
     /// Recent RMW sites for the contention model: addr → (cycle, core).
     rmw_history: HashMap<u64, Vec<(u64, usize)>>,
     total_steps: u64,
+    sched: SchedPolicy,
+    sched_state: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -185,6 +228,17 @@ impl Machine {
             cost,
             rmw_history: HashMap::new(),
             total_steps: 0,
+            sched: SchedPolicy::Deterministic,
+            sched_state: 0x243F_6A88_85A3_08D3,
+        }
+    }
+
+    /// Selects the scheduling policy (see [`SchedPolicy`]).
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched = policy;
+        if let SchedPolicy::Random(seed) = policy {
+            // Never let the xorshift state be zero.
+            self.sched_state = seed | 1;
         }
     }
 
@@ -215,6 +269,21 @@ impl Machine {
     /// Looks up a translation.
     pub fn lookup_tb(&self, guest_pc: u64) -> Option<u64> {
         self.tb_map.get(&guest_pc).copied()
+    }
+
+    /// Removes a translation mapping (cache eviction / invalidation).
+    ///
+    /// The installed code bytes stay behind — the model is a map
+    /// eviction, so a later jump to `guest_pc` raises a
+    /// [`Event::TranslationMiss`] and the engine re-translates.
+    /// Returns `true` if a mapping existed.
+    pub fn unmap_tb(&mut self, guest_pc: u64) -> bool {
+        self.tb_map.remove(&guest_pc).is_some()
+    }
+
+    /// Guest pcs with an installed translation, in unspecified order.
+    pub fn mapped_tbs(&self) -> Vec<u64> {
+        self.tb_map.keys().copied().collect()
     }
 
     /// Registers a native host function; returns its index for
@@ -258,6 +327,19 @@ impl Machine {
     /// `true` if the core has halted.
     pub fn core_halted(&self, core: usize) -> bool {
         self.cores[core].halted
+    }
+
+    /// The core's current host pc (diagnostics / state dumps).
+    pub fn core_pc(&self, core: usize) -> u64 {
+        self.cores[core].pc
+    }
+
+    /// Drains the core's store buffer to shared memory, invalidating
+    /// foreign exclusive monitors — the same synchronization a helper or
+    /// native call performs at its ABI boundary. The engine uses this
+    /// before interpreting a guest block on the core's behalf.
+    pub fn drain_store_buffer(&mut self, core: usize) {
+        self.drain_all(core);
     }
 
     /// An idle core index (never started), if any.
@@ -382,17 +464,7 @@ impl Machine {
     pub fn run(&mut self, fuel: u64) -> Event {
         let mut budget = fuel;
         loop {
-            // Pick the runnable core with the smallest clock.
-            let mut pick: Option<usize> = None;
-            for (i, c) in self.cores.iter().enumerate() {
-                if c.started
-                    && !c.halted
-                    && pick.is_none_or(|p| c.cycles < self.cores[p].cycles)
-                {
-                    pick = Some(i);
-                }
-            }
-            let core = match pick {
+            let core = match self.pick_core() {
                 Some(c) => c,
                 None => return Event::AllHalted,
             };
@@ -406,17 +478,64 @@ impl Machine {
         }
     }
 
-    /// Decodes (with caching) at a host pc.
-    fn fetch(&mut self, pc: u64) -> (HostInsn, u16) {
-        if let Some(&hit) = self.decode_cache.get(&pc) {
-            return hit;
+    /// Picks the next runnable core per the scheduling policy.
+    fn pick_core(&mut self) -> Option<usize> {
+        let runnable =
+            |c: &Core| c.started && !c.halted;
+        match self.sched {
+            SchedPolicy::Deterministic => {
+                let mut pick: Option<usize> = None;
+                for (i, c) in self.cores.iter().enumerate() {
+                    if runnable(c) && pick.is_none_or(|p| c.cycles < self.cores[p].cycles) {
+                        pick = Some(i);
+                    }
+                }
+                pick
+            }
+            SchedPolicy::Adversarial => {
+                let mut pick: Option<usize> = None;
+                for (i, c) in self.cores.iter().enumerate() {
+                    if runnable(c) && pick.is_none_or(|p| c.cycles > self.cores[p].cycles) {
+                        pick = Some(i);
+                    }
+                }
+                pick
+            }
+            SchedPolicy::Random(_) => {
+                let ids: Vec<usize> = self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| runnable(c))
+                    .map(|(i, _)| i)
+                    .collect();
+                if ids.is_empty() {
+                    return None;
+                }
+                let mut x = self.sched_state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.sched_state = x;
+                Some(ids[(x % ids.len() as u64) as usize])
+            }
         }
-        let off = (pc - CODE_BASE) as usize;
-        let (insn, len) = HostInsn::decode(&self.code[off..])
-            .unwrap_or_else(|e| panic!("host decode fault at {pc:#x}: {e}"));
+    }
+
+    /// Decodes (with caching) at a host pc. `None` on undecodable bytes
+    /// or a pc outside the installed code cache.
+    fn fetch(&mut self, pc: u64) -> Option<(HostInsn, u16)> {
+        if let Some(&hit) = self.decode_cache.get(&pc) {
+            return Some(hit);
+        }
+        let off = usize::try_from(pc.checked_sub(CODE_BASE)?).ok()?;
+        if off >= self.code.len() {
+            return None;
+        }
+        let (insn, len) = HostInsn::decode(&self.code[off..]).ok()?;
         let entry = (insn, len as u16);
         self.decode_cache.insert(pc, entry);
-        entry
+        Some(entry)
     }
 
     /// Executes one instruction on `core`; returns an event if the machine
@@ -425,7 +544,11 @@ impl Machine {
         self.total_steps += 1;
         self.drain_aged(core);
         let pc = self.cores[core].pc;
-        let (insn, len) = self.fetch(pc);
+        let Some((insn, len)) = self.fetch(pc) else {
+            // Leave the core parked on the faulting pc; the engine owns
+            // the recovery decision.
+            return Some(Event::HostFault { core, host_pc: pc, kind: HostFaultKind::Decode });
+        };
         let next = pc + len as u64;
         let cost = &{ self.cost };
         {
@@ -640,9 +763,19 @@ impl Machine {
                 c.cycles += cost.call;
             }
             Hcall { helper } => {
-                self.exec_helper(core, helper);
+                if let Some(ev) = self.exec_helper(core, pc, helper) {
+                    return Some(ev);
+                }
             }
             NativeCall { func } => {
+                if self.natives.get(func as usize).is_none() {
+                    self.cores[core].pc = pc;
+                    return Some(Event::HostFault {
+                        core,
+                        host_pc: pc,
+                        kind: HostFaultKind::UnknownNative(func),
+                    });
+                }
                 let args = [
                     self.cores[core].get(Xreg(0)),
                     self.cores[core].get(Xreg(1)),
@@ -672,9 +805,18 @@ impl Machine {
         None
     }
 
-    fn exec_helper(&mut self, core: usize, helper: u8) {
+    fn exec_helper(&mut self, core: usize, pc: u64, helper: u8) -> Option<Event> {
         // Helper indices mirror risotto_tcg::Helper declaration order.
         let cost = self.cost;
+        if helper > 8 {
+            // Park the core on the Hcall itself, as for other host faults.
+            self.cores[core].pc = pc;
+            return Some(Event::HostFault {
+                core,
+                host_pc: pc,
+                kind: HostFaultKind::UnknownHelper(helper),
+            });
+        }
         self.cores[core].stats.helper_calls += 1;
         self.cores[core].cycles += cost.helper_overhead;
         let a0 = self.cores[core].get(Xreg(0));
@@ -734,9 +876,11 @@ impl Machine {
                 self.cores[core].cycles += cost.softfloat;
                 (f64::from_bits(a1) as i64) as u64
             }
-            other => panic!("unknown helper {other}"),
+            // invariant: helper > 8 returned HostFault above.
+            _ => unreachable!(),
         };
         self.cores[core].set(Xreg(0), ret);
+        None
     }
 
     fn exit_tb(&mut self, core: usize, pc: u64, kind: TbExitKind) -> Option<Event> {

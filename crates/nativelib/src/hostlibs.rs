@@ -10,7 +10,7 @@ use crate::bignum::modpow_pm;
 use crate::digest::{md5, sha1, sha256};
 use crate::kvstore::BTreeKv;
 use crate::mathfn::MathFn;
-use risotto_core::HostLibrary;
+use risotto_core::{HostExport, HostLibrary};
 use risotto_host_arm::NativeResult;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -72,7 +72,7 @@ pub fn libm() -> HostLibrary {
                 let x = f64::from_bits(args[0]);
                 NativeResult { ret: f.eval(x).to_bits(), cost: f.native_cost() }
             });
-            (name, func)
+            HostExport { name, arity: 1, func }
         })
         .collect();
     HostLibrary { name: "libm".into(), funcs }
@@ -114,15 +114,11 @@ pub fn libcrypto() -> HostLibrary {
         }
         NativeResult { ret: 0, cost: 200 + work * costs::LIMB_OP }
     });
-    HostLibrary {
-        name: "libcrypto".into(),
-        funcs: vec![
-            ("md5".into(), digest(0)),
-            ("sha1".into(), digest(1)),
-            ("sha256".into(), digest(2)),
-            ("rsa_modpow".into(), rsa),
-        ],
-    }
+    HostLibrary::new("libcrypto")
+        .export("md5", 3, digest(0))
+        .export("sha1", 3, digest(1))
+        .export("sha256", 3, digest(2))
+        .export("rsa_modpow", 5, rsa)
 }
 
 /// The key-value library (`libkv`, the sqlite stand-in). All three
@@ -142,14 +138,10 @@ pub fn libkv() -> HostLibrary {
             NativeResult { ret, cost: costs::KV_BASE + visits * costs::KV_NODE }
         })
     };
-    HostLibrary {
-        name: "libkv".into(),
-        funcs: vec![
-            ("kv_put".into(), mk(0, store.clone())),
-            ("kv_get".into(), mk(1, store.clone())),
-            ("kv_range_sum".into(), mk(2, store)),
-        ],
-    }
+    HostLibrary::new("libkv")
+        .export("kv_put", 2, mk(0, store.clone()))
+        .export("kv_get", 1, mk(1, store.clone()))
+        .export("kv_range_sum", 2, mk(2, store))
 }
 
 #[cfg(test)]
@@ -161,8 +153,15 @@ mod tests {
     fn idl_text_parses_and_covers_all_libraries() {
         let idl = Idl::parse(IDL_TEXT).unwrap();
         for lib in [libm(), libcrypto(), libkv()] {
-            for (name, _) in &lib.funcs {
-                assert!(idl.lookup(name).is_some(), "{name} missing from IDL");
+            for e in &lib.funcs {
+                let decl = idl.lookup(&e.name);
+                assert!(decl.is_some(), "{} missing from IDL", e.name);
+                assert_eq!(
+                    decl.map(|d| d.params.len()),
+                    Some(e.arity),
+                    "{} arity disagrees with IDL",
+                    e.name
+                );
             }
         }
         assert_eq!(idl.funcs.len(), 16);
@@ -173,8 +172,8 @@ mod tests {
         let mut lib = libcrypto();
         let mut mem = risotto_guest_x86::SparseMem::new();
         mem.write_bytes(0x1000, b"abc");
-        let (_, f) = lib.funcs.iter_mut().find(|(n, _)| n == "sha256").unwrap();
-        let res = f(&mut mem, &[0x1000, 3, 0x2000, 0, 0, 0]);
+        let e = lib.funcs.iter_mut().find(|e| e.name == "sha256").unwrap();
+        let res = (e.func)(&mut mem, &[0x1000, 3, 0x2000, 0, 0, 0]);
         assert_eq!(res.ret, 32);
         assert_eq!(
             crate::digest::to_hex(&mem.read_bytes(0x2000, 32)),
@@ -188,8 +187,8 @@ mod tests {
         let mut lib = libkv();
         let mut mem = risotto_guest_x86::SparseMem::new();
         let run = |lib: &mut HostLibrary, mem: &mut _, name: &str, args: [u64; 6]| {
-            let (_, f) = lib.funcs.iter_mut().find(|(n, _)| n == name).unwrap();
-            f(mem, &args)
+            let e = lib.funcs.iter_mut().find(|e| e.name == name).unwrap();
+            (e.func)(mem, &args)
         };
         assert_eq!(run(&mut lib, &mut mem, "kv_put", [7, 70, 0, 0, 0, 0]).ret, u64::MAX);
         assert_eq!(run(&mut lib, &mut mem, "kv_put", [9, 90, 0, 0, 0, 0]).ret, u64::MAX);

@@ -156,8 +156,8 @@ mod tests {
         let fetch = move |addr: u64| {
             let mut out = [0u8; 16];
             let off = (addr - risotto_guest_x86::TEXT_BASE) as usize;
-            for i in 0..16 {
-                out[i] = text.get(off + i).copied().unwrap_or(0);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = text.get(off + i).copied().unwrap_or(0);
             }
             out
         };
@@ -188,8 +188,8 @@ mod tests {
         let fetch = move |addr: u64| {
             let mut out = [0u8; 16];
             let off = (addr - 0x1000) as usize;
-            for i in 0..16 {
-                out[i] = bytes.get(off + i).copied().unwrap_or(0);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = bytes.get(off + i).copied().unwrap_or(0);
             }
             out
         };

@@ -566,15 +566,15 @@ mod tests {
     fn assemble(f: impl FnOnce(&mut Assembler)) -> Vec<u8> {
         let mut a = Assembler::new(0x1000);
         f(&mut a);
-        a.finish().unwrap().0
+        a.finish().expect("assembles").0
     }
 
     fn fetcher(bytes: Vec<u8>) -> impl Fn(u64) -> [u8; 16] {
         move |addr| {
             let mut out = [0u8; 16];
             let off = (addr - 0x1000) as usize;
-            for i in 0..16 {
-                out[i] = bytes.get(off + i).copied().unwrap_or(0);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = bytes.get(off + i).copied().unwrap_or(0);
             }
             out
         }
@@ -587,23 +587,23 @@ mod tests {
             a.store(Gpr::RSI, 0, Gpr::RAX);
             a.hlt();
         });
-        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes.clone())).unwrap();
+        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes.clone())).expect("translates");
         assert_eq!(q.count_fences(FenceKind::Frr), 1, "Fmr demoted to Frr for x86 guests");
         assert_eq!(q.count_fences(FenceKind::Fmw), 1);
         // The (demoted) leading fence precedes the Ld.
-        let frr = q.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frr))).unwrap();
-        let ld = q.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).unwrap();
+        let frr = q.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frr))).expect("op present");
+        let ld = q.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).expect("op present");
         assert!(frr < ld);
 
         let v =
-            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).unwrap();
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).expect("translates");
         assert_eq!(v.count_fences(FenceKind::Frm), 1);
         assert_eq!(v.count_fences(FenceKind::Fww), 1);
-        let frm = v.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frm))).unwrap();
-        let ld = v.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).unwrap();
+        let frm = v.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frm))).expect("op present");
+        let ld = v.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).expect("op present");
         assert!(ld < frm);
 
-        let n = translate_block(0x1000, FrontendConfig::no_fences(), fetcher(bytes)).unwrap();
+        let n = translate_block(0x1000, FrontendConfig::no_fences(), fetcher(bytes)).expect("translates");
         assert_eq!(n.count_ops(|o| matches!(o, TcgOp::Fence(_))), 0);
     }
 
@@ -613,10 +613,10 @@ mod tests {
             a.cmpxchg(Gpr::RDI, 0, Gpr::RSI);
             a.hlt();
         });
-        let r = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).unwrap();
+        let r = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).expect("translates");
         assert_eq!(r.count_ops(|o| matches!(o, TcgOp::Cas { .. })), 1);
         assert_eq!(r.count_ops(|o| matches!(o, TcgOp::CallHelper { .. })), 0);
-        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes)).unwrap();
+        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes)).expect("translates");
         assert_eq!(q.count_ops(|o| matches!(o, TcgOp::Cas { .. })), 0);
         assert_eq!(
             q.count_ops(
@@ -635,10 +635,10 @@ mod tests {
             a.label("next");
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         match b.exit {
             TbExit::Jump(t) => assert_eq!(t, 0x1000 + 10 + 10 + 5),
-            ref e => panic!("unexpected exit {e:?}"),
+            ref e => unreachable!("unexpected exit {e:?}"),
         }
         assert_eq!(b.guest_len, 25);
     }
@@ -649,7 +649,7 @@ mod tests {
             a.mfence();
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         assert_eq!(b.count_fences(FenceKind::Fsc), 1);
     }
 
@@ -659,7 +659,7 @@ mod tests {
             a.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         assert_eq!(
             b.count_ops(|o| matches!(o, TcgOp::CallHelper { helper: Helper::FpMul, .. })),
             1
@@ -671,7 +671,7 @@ mod tests {
         let bytes = assemble(|a| {
             a.syscall();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         assert_eq!(b.exit, TbExit::Syscall { next: 0x1001 });
 
         let bytes = assemble(|a| {
@@ -680,12 +680,12 @@ mod tests {
             a.label("target");
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).unwrap();
+        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         match b.exit {
             TbExit::CondJump { taken, fallthrough, .. } => {
                 assert_eq!(taken, fallthrough, "branch to fallthrough label");
             }
-            ref e => panic!("unexpected exit {e:?}"),
+            ref e => unreachable!("unexpected exit {e:?}"),
         }
     }
 }

@@ -505,8 +505,8 @@ mod tests {
         move |addr| {
             let mut out = [0u8; 16];
             let off = (addr - base) as usize;
-            for i in 0..16 {
-                out[i] = bytes.get(off + i).copied().unwrap_or(0);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = bytes.get(off + i).copied().unwrap_or(0);
             }
             out
         }

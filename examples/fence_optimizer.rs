@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_fences(&block);
     println!("{block}");
 
-    let host = lower_block(&block, BackendConfig::dbt(RmwStyle::Casal));
+    let host = lower_block(&block, BackendConfig::dbt(RmwStyle::Casal))?;
     println!("=== after the TCG→Arm backend (Fig. 7b) ===");
     for insn in &host {
         println!("  {insn:?}");

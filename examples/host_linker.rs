@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut qemu = 0u64;
     for setup in [Setup::Qemu, Setup::TcgVer, Setup::Risotto, Setup::Native] {
         let mut emu = Emulator::new(&bin, setup, 1, CostModel::thunderx2_like());
-        let linked = emu.link_library(&bin, &idl, hostlibs::libcrypto());
+        let linked = emu.link_library(&bin, &idl, hostlibs::libcrypto())?;
         let report = emu.run(2_000_000_000)?;
         if setup == Setup::Qemu {
             qemu = report.cycles;

@@ -69,7 +69,10 @@ fn bad_code_is_a_translate_error() {
     let bin = b.finish().unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
     match emu.run(1_000_000) {
-        Err(EmuError::Translate(e)) => assert_eq!(e.pc, 0xdead_0000),
+        Err(EmuError::Translate { source, core, .. }) => {
+            assert_eq!(source.pc, 0xdead_0000);
+            assert_eq!(core, Some(0));
+        }
         other => panic!("expected a translation error, got {other:?}"),
     }
 }
@@ -84,7 +87,7 @@ fn bad_syscalls_are_reported() {
     b.asm.hlt();
     let bin = b.finish().unwrap();
     let mut emu = Emulator::new(&bin, Setup::Qemu, 1, cost());
-    assert!(matches!(emu.run(1_000_000), Err(EmuError::BadSyscall(999))));
+    assert!(matches!(emu.run(1_000_000), Err(EmuError::BadSyscall { n: 999, core: 0, .. })));
 
     let mut b = GelfBuilder::new("main");
     b.asm.label("main");
@@ -94,7 +97,7 @@ fn bad_syscalls_are_reported() {
     b.asm.hlt();
     let bin = b.finish().unwrap();
     let mut emu = Emulator::new(&bin, Setup::Qemu, 2, cost());
-    assert!(matches!(emu.run(1_000_000), Err(EmuError::BadJoin(7))));
+    assert!(matches!(emu.run(1_000_000), Err(EmuError::BadJoin { tid: 7, core: 0, .. })));
 }
 
 /// Runaway guests exhaust fuel instead of hanging.
@@ -125,7 +128,7 @@ fn spawn_beyond_cores_fails() {
     b.asm.jmp_to("spin");
     let bin = b.finish().unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 2, cost());
-    assert!(matches!(emu.run(10_000_000), Err(EmuError::TooManyThreads)));
+    assert!(matches!(emu.run(10_000_000), Err(EmuError::TooManyThreads { .. })));
 }
 
 /// A guest program that uses *all three* host libraries in one run, with
@@ -184,7 +187,7 @@ fn mixed_library_program_linked_and_unlinked_agree() {
     let idl = Idl::parse(hostlibs::IDL_TEXT).unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
     for lib in [hostlibs::libcrypto(), hostlibs::libkv(), hostlibs::libm()] {
-        emu.link_library(&bin, &idl, lib);
+        emu.link_library(&bin, &idl, lib).unwrap();
     }
     let r = emu.run(1_000_000_000).unwrap();
     let got = r.exit_vals[0].unwrap();

@@ -1,0 +1,274 @@
+//! Fault-injection sweep and graceful-degradation tests.
+//!
+//! The robustness contract: under *any* [`FaultPlan`], a run either
+//! completes with observable output (thread-0 checksum + WRITE bytes)
+//! identical to the fault-free reference interpreter, or returns a typed
+//! [`EmuError`] — never a panic, never a silently wrong result.
+
+use risotto::core::{EmuError, Emulator, FaultPlan, FaultSite, SchedPolicy, Setup};
+use risotto::guest::{syscalls, AluOp, Cond, GelfBuilder, Gpr, GuestBinary, Interp};
+use risotto::host::CostModel;
+use risotto::workloads::kernels;
+
+const FUEL: u64 = 200_000_000;
+
+fn cost() -> CostModel {
+    CostModel::thunderx2_like()
+}
+
+/// Fault-free reference: the guest interpreter's checksum and output.
+fn reference(bin: &GuestBinary) -> (u64, Vec<u8>) {
+    let mut interp = Interp::new(bin);
+    interp.run(FUEL).expect("reference interpreter must complete");
+    (interp.exit_val(0), interp.output.clone())
+}
+
+/// A varied plan per seed: background rates over different site mixes,
+/// with an occasional targeted syscall rejection.
+fn plan_for(seed: u64) -> FaultPlan {
+    let mut p = FaultPlan::seeded(seed);
+    match seed % 4 {
+        0 => p = p.rate(FaultSite::Translate, 2000),
+        1 => p = p.rate(FaultSite::Lower, 2000),
+        2 => p = p.rate(FaultSite::TbCache, 4000),
+        _ => {
+            p = p
+                .rate(FaultSite::Translate, 900)
+                .rate(FaultSite::Lower, 900)
+                .rate(FaultSite::TbCache, 2000);
+        }
+    }
+    if seed % 10 == 9 {
+        p = p.fail_syscall_at(seed % 7);
+    }
+    p
+}
+
+/// ≥200 seeded plans × 4 workloads × rotating setups: every run must
+/// either match the reference exactly or fail with a typed error.
+#[test]
+fn seeded_fault_sweep_never_diverges_silently() {
+    let picks = ["histogram", "blackscholes", "matrixmultiply", "wordcount"];
+    let workloads: Vec<_> =
+        kernels::all().into_iter().filter(|w| picks.contains(&w.name)).collect();
+    assert_eq!(workloads.len(), 4);
+    let setups = [Setup::Qemu, Setup::TcgVer, Setup::Risotto, Setup::Native];
+
+    let mut completed = 0u32;
+    let mut typed_errors = 0u32;
+    let mut total_fallbacks = 0usize;
+    let mut total_retranslations = 0usize;
+    for w in &workloads {
+        let bin = (w.build)(6, 2);
+        let (ref_exit, ref_out) = reference(&bin);
+        for seed in 0..200u64 {
+            let setup = setups[(seed % setups.len() as u64) as usize];
+            let mut emu = Emulator::new(&bin, setup, 2, cost());
+            emu.set_fault_plan(plan_for(seed));
+            match emu.run(FUEL) {
+                Ok(report) => {
+                    assert_eq!(
+                        report.exit_vals[0],
+                        Some(ref_exit),
+                        "{} seed {seed} ({}): checksum diverged under faults",
+                        w.name,
+                        setup.name(),
+                    );
+                    assert_eq!(
+                        report.output, ref_out,
+                        "{} seed {seed} ({}): output diverged under faults",
+                        w.name,
+                        setup.name(),
+                    );
+                    completed += 1;
+                    total_fallbacks += report.fallback_blocks;
+                    total_retranslations += report.retranslations;
+                }
+                // Any typed error is an acceptable outcome — the contract
+                // forbids only panics and silent divergence.
+                Err(_) => typed_errors += 1,
+            }
+        }
+    }
+    // The sweep must actually exercise degradation, not just error out.
+    assert!(completed >= 500, "only {completed}/800 runs completed");
+    assert!(total_fallbacks > 0, "no run ever used the interpreter fallback");
+    assert!(total_retranslations > 0, "no run ever re-translated a block");
+    assert!(typed_errors > 0, "syscall injections never surfaced as typed errors");
+}
+
+/// Counts to `n` in a loop (exit value = n), with a WRITE on the way.
+/// The loop head is its own revisited block (label `loop`); with
+/// `gettid_each_iter` every iteration also performs a syscall, so the
+/// engine's event loop runs once per iteration.
+fn counting_binary(n: u64, gettid_each_iter: bool) -> GuestBinary {
+    let mut b = GelfBuilder::new("main");
+    let msg = b.data_bytes(b"ok\n");
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::RAX, syscalls::WRITE);
+    b.asm.mov_ri(Gpr::RDI, 1);
+    b.asm.mov_ri(Gpr::RSI, msg);
+    b.asm.mov_ri(Gpr::RDX, 3);
+    b.asm.syscall();
+    b.asm.mov_ri(Gpr::RBX, 0);
+    b.asm.mov_ri(Gpr::RCX, n);
+    b.asm.label("loop");
+    if gettid_each_iter {
+        b.asm.mov_ri(Gpr::RAX, syscalls::GETTID);
+        b.asm.syscall();
+    }
+    b.asm.alu_ri(AluOp::Add, Gpr::RBX, 1);
+    b.asm.alu_ri(AluOp::Sub, Gpr::RCX, 1);
+    b.asm.cmp_ri(Gpr::RCX, 0);
+    b.asm.jcc_to(Cond::Ne, "loop");
+    b.asm.mov_rr(Gpr::RAX, Gpr::RBX);
+    b.asm.hlt();
+    b.finish().unwrap()
+}
+
+/// A block whose translation always fails is interpreted instead; the
+/// run completes with the right answer, reports the fallback, and the
+/// re-translation retries are bounded (not one per loop iteration).
+#[test]
+fn translate_fault_falls_back_to_interpreter() {
+    let bin = counting_binary(500, false);
+    let loop_pc = bin.symbols["loop"];
+    for setup in Setup::ALL {
+        let mut emu = Emulator::new(&bin, setup, 1, cost());
+        emu.set_fault_plan(FaultPlan::seeded(3).fail_translate_at(loop_pc));
+        let r = emu.run(FUEL).unwrap_or_else(|e| panic!("{}: {e}", setup.name()));
+        assert_eq!(r.exit_vals[0], Some(500), "{}", setup.name());
+        assert_eq!(r.output, b"ok\n", "{}", setup.name());
+        assert!(r.fallback_blocks >= 1, "{}: no fallback reported", setup.name());
+        assert!(
+            (1..=4).contains(&r.retranslations),
+            "{}: retries not bounded: {}",
+            setup.name(),
+            r.retranslations
+        );
+    }
+}
+
+/// Backend (lowering) faults degrade the same way as frontend faults.
+#[test]
+fn lower_fault_falls_back_to_interpreter() {
+    let bin = counting_binary(500, false);
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(4).fail_lower_at(bin.symbols["loop"]));
+    let r = emu.run(FUEL).unwrap();
+    assert_eq!(r.exit_vals[0], Some(500));
+    assert!(r.fallback_blocks >= 1);
+}
+
+/// Detected TB corruption discards the entry and re-translates it; the
+/// result is unchanged and the refill is counted.
+#[test]
+fn tb_corruption_is_retranslated() {
+    let bin = counting_binary(500, true);
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(5).corrupt_tb_at(bin.symbols["loop"]));
+    let r = emu.run(FUEL).unwrap();
+    assert_eq!(r.exit_vals[0], Some(500));
+    assert_eq!(r.output, b"ok\n");
+    assert!(r.retranslations >= 1, "corruption refill not counted");
+    assert_eq!(r.fallback_blocks, 0, "corruption must not force interpretation");
+}
+
+/// Injected syscall-layer faults are non-recoverable and typed, with the
+/// failing layer, core, and guest pc attached.
+#[test]
+fn syscall_fault_is_a_typed_error() {
+    let bin = counting_binary(10, false);
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(6).fail_syscall_at(0));
+    match emu.run(FUEL) {
+        Err(EmuError::Injected { site: FaultSite::Syscall, core: 0, pc }) => {
+            assert!(pc > 0, "guest pc missing from the error");
+        }
+        other => panic!("expected an injected syscall error, got {other:?}"),
+    }
+}
+
+/// A guest spin-loop makes no observable progress: with the watchdog
+/// armed, the run fails with [`EmuError::Stalled`] and a per-core dump —
+/// under every scheduling policy.
+#[test]
+fn watchdog_catches_spin_loop_under_all_schedulers() {
+    let mut b = GelfBuilder::new("main");
+    b.asm.label("main");
+    b.asm.label("spin");
+    b.asm.jmp_to("spin");
+    let bin = b.finish().unwrap();
+    for policy in
+        [SchedPolicy::Deterministic, SchedPolicy::Random(11), SchedPolicy::Adversarial]
+    {
+        let mut emu = Emulator::new(&bin, Setup::Risotto, 2, cost());
+        emu.set_sched_policy(policy);
+        emu.set_watchdog(5_000);
+        match emu.run(FUEL) {
+            Err(EmuError::Stalled { steps, cores }) => {
+                assert!(steps >= 5_000, "{policy:?}: fired early at {steps}");
+                assert_eq!(cores.len(), 2, "{policy:?}: dump missing cores");
+                assert!(!cores[0].halted, "{policy:?}: spinning core reported halted");
+            }
+            other => panic!("{policy:?}: expected a stall, got {other:?}"),
+        }
+    }
+}
+
+/// The watchdog is quiet on a run that finishes: progress markers (new
+/// TBs, syscalls, exits) keep resetting it.
+#[test]
+fn watchdog_does_not_fire_on_progressing_runs() {
+    let bin = counting_binary(2_000, false);
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_watchdog(1_000_000);
+    let r = emu.run(FUEL).unwrap();
+    assert_eq!(r.exit_vals[0], Some(2_000));
+}
+
+/// Undecodable guest bytes are not maskable by the fallback: the
+/// interpreter hits the same bytes, and the run fails with a typed
+/// translation error carrying the pc — even with fault injection active.
+#[test]
+fn undecodable_bytes_stay_a_typed_error_under_faults() {
+    let mut b = GelfBuilder::new("main");
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::RAX, 0xdead_0000);
+    b.asm.insn(risotto::guest::Insn::JmpReg { reg: Gpr::RAX });
+    let bin = b.finish().unwrap();
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(8).rate(FaultSite::Translate, 30_000));
+    match emu.run(FUEL) {
+        Err(EmuError::Translate { source, .. }) => assert_eq!(source.pc, 0xdead_0000),
+        other => panic!("expected a translation error, got {other:?}"),
+    }
+}
+
+/// Failed host-library links fall back to the translated guest
+/// implementation: same observable result, no native calls.
+#[test]
+fn failed_host_link_uses_guest_implementation() {
+    use risotto::core::Idl;
+    use risotto::nativelib::hostlibs;
+    use risotto::workloads::libbench::{digest_bench, DigestAlgo};
+    let bin = digest_bench(DigestAlgo::Sha256, 128, 1);
+    let idl = Idl::parse(hostlibs::IDL_TEXT).unwrap();
+
+    // Fault-free linked run (native digest).
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    let linked = emu.link_library(&bin, &idl, hostlibs::libcrypto()).unwrap();
+    assert!(linked.contains(&"sha256".to_string()));
+    let native = emu.run(FUEL).unwrap();
+    assert!(native.stats.native_calls >= 1);
+
+    // Injected link failure for sha256: validation still passes, the
+    // import silently stays on the translated guest code path.
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(9).fail_host_call("sha256"));
+    let linked = emu.link_library(&bin, &idl, hostlibs::libcrypto()).unwrap();
+    assert!(!linked.contains(&"sha256".to_string()));
+    let guest = emu.run(FUEL).unwrap();
+    assert_eq!(guest.exit_vals[0], native.exit_vals[0], "digest changed");
+    assert_eq!(guest.stats.native_calls, 0);
+}

@@ -1,4 +1,6 @@
-//! Property-based tests across the workspace (proptest).
+//! Property-based tests across the workspace, driven by a small
+//! self-contained seeded PRNG (no external crates, so the suite runs in
+//! offline build environments).
 //!
 //! * codecs: MiniX86 and MiniArm encode/decode round-trips,
 //! * optimizer: every pass pipeline preserves block semantics on random
@@ -10,167 +12,247 @@
 //! * whole-DBT: random straight-line guest programs produce identical
 //!   results under the interpreter and every emulator setup.
 
-use proptest::prelude::*;
 use risotto::guest::{AluOp, Cond, FpOp, Gpr, Insn, Operand};
 use risotto::host::{HostInsn, Xreg};
 use risotto::memmodel::{EventId, FenceKind, Relation};
 use risotto::tcg::{env, eval_block, optimize, BinOp, CondOp, OptPolicy, TbExit, TcgBlock, TcgOp};
 
 // ---------------------------------------------------------------------
+// Deterministic generator: splitmix64-seeded xorshift64*.
+// ---------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // splitmix64 scramble so small consecutive seeds diverge.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.u64() % n
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        (self.u64() % n as u64) as usize
+    }
+
+    fn u8_below(&mut self, n: u8) -> u8 {
+        (self.u64() % u64::from(n)) as u8
+    }
+
+    fn u16(&mut self) -> u16 {
+        self.u64() as u16
+    }
+
+    fn i32(&mut self) -> i32 {
+        self.u64() as i32
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.usize_below(max_len + 1);
+        (0..len).map(|_| self.u64() as u8).collect()
+    }
+}
+
+/// Runs `cases` seeded iterations of a property body, reporting the seed
+/// on failure so a case can be replayed in isolation.
+fn check(name: &str, cases: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = 0x5eed_0000 ^ case;
+        let mut rng = Rng::new(seed);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = res {
+            eprintln!("property `{name}` failed at case {case} (seed {seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Codec round-trips.
 // ---------------------------------------------------------------------
 
-fn arb_gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..16).prop_map(Gpr)
+fn arb_gpr(rng: &mut Rng) -> Gpr {
+    Gpr(rng.u8_below(16))
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![arb_gpr().prop_map(Operand::Reg), any::<u64>().prop_map(Operand::Imm)]
+fn arb_operand(rng: &mut Rng) -> Operand {
+    if rng.below(2) == 0 {
+        Operand::Reg(arb_gpr(rng))
+    } else {
+        Operand::Imm(rng.u64())
+    }
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    (0u8..12).prop_map(|v| Cond::from_u8(v).unwrap())
+fn arb_cond(rng: &mut Rng) -> Cond {
+    Cond::from_u8(rng.u8_below(12)).expect("condition codes 0..12 are valid")
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Sar),
-        Just(AluOp::Mul),
-    ]
+const ALU_OPS: [AluOp; 9] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Sar,
+    AluOp::Mul,
+];
+
+fn arb_guest_insn(rng: &mut Rng) -> Insn {
+    match rng.below(15) {
+        0 => Insn::MovRI { dst: arb_gpr(rng), imm: rng.u64() },
+        1 => Insn::MovRR { dst: arb_gpr(rng), src: arb_gpr(rng) },
+        2 => Insn::Load { dst: arb_gpr(rng), base: arb_gpr(rng), disp: rng.i32() },
+        3 => Insn::Store { base: arb_gpr(rng), disp: rng.i32(), src: arb_gpr(rng) },
+        4 => Insn::LoadB { dst: arb_gpr(rng), base: arb_gpr(rng), disp: rng.i32() },
+        5 => Insn::StoreB { base: arb_gpr(rng), disp: rng.i32(), src: arb_gpr(rng) },
+        6 => Insn::Alu {
+            op: ALU_OPS[rng.usize_below(ALU_OPS.len())],
+            dst: arb_gpr(rng),
+            src: arb_operand(rng),
+        },
+        7 => Insn::Cmp { a: arb_gpr(rng), b: arb_operand(rng) },
+        8 => Insn::Jcc { cond: arb_cond(rng), rel: rng.i32() },
+        9 => Insn::MulWide { src: arb_gpr(rng) },
+        10 => Insn::LockCmpxchg { base: arb_gpr(rng), disp: rng.i32(), src: arb_gpr(rng) },
+        11 => Insn::Mfence,
+        12 => Insn::Ret,
+        13 => Insn::Hlt,
+        _ => Insn::Syscall,
+    }
 }
 
-fn arb_guest_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (arb_gpr(), any::<u64>()).prop_map(|(dst, imm)| Insn::MovRI { dst, imm }),
-        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Insn::MovRR { dst, src }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(dst, base, disp)| Insn::Load { dst, base, disp }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(src, base, disp)| Insn::Store { base, disp, src }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(dst, base, disp)| Insn::LoadB { dst, base, disp }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(src, base, disp)| Insn::StoreB { base, disp, src }),
-        (arb_alu_op(), arb_gpr(), arb_operand())
-            .prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
-        (arb_gpr(), arb_operand()).prop_map(|(a, b)| Insn::Cmp { a, b }),
-        (arb_cond(), any::<i32>()).prop_map(|(cond, rel)| Insn::Jcc { cond, rel }),
-        arb_gpr().prop_map(|src| Insn::MulWide { src }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(src, base, disp)| Insn::LockCmpxchg { base, disp, src }),
-        Just(Insn::Mfence),
-        Just(Insn::Ret),
-        Just(Insn::Hlt),
-        Just(Insn::Syscall),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn guest_insn_roundtrips(insn in arb_guest_insn()) {
+#[test]
+fn guest_insn_roundtrips() {
+    check("guest_insn_roundtrips", 512, |rng| {
+        let insn = arb_guest_insn(rng);
         let mut buf = Vec::new();
         let n = insn.encode(&mut buf);
-        let (decoded, len) = Insn::decode(&buf).unwrap();
-        prop_assert_eq!(decoded, insn);
-        prop_assert_eq!(len, n);
-    }
+        let (decoded, len) = Insn::decode(&buf).expect("round-trip decode");
+        assert_eq!(decoded, insn);
+        assert_eq!(len, n);
+    });
+}
 
-    #[test]
-    fn guest_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+#[test]
+fn guest_decode_never_panics() {
+    check("guest_decode_never_panics", 2048, |rng| {
+        let bytes = rng.bytes(24);
         let _ = Insn::decode(&bytes); // must not panic, errors are fine
-    }
+    });
+}
 
-    #[test]
-    fn host_insn_roundtrips(
-        op in 0u8..12,
-        r1 in 0u8..32,
-        r2 in 0u8..32,
-        imm in any::<u64>(),
-        rel in any::<i32>(),
-    ) {
-        use risotto::host::{ACond, AOp, Dmb, MemOrder};
+#[test]
+fn host_insn_roundtrips() {
+    use risotto::host::{ACond, AOp, Dmb, MemOrder};
+    check("host_insn_roundtrips", 256, |rng| {
+        let op = rng.u8_below(12);
+        let r1 = rng.u8_below(32);
+        let r2 = rng.u8_below(32);
+        let imm = rng.u64();
+        let rel = rng.i32();
         let insns = vec![
             HostInsn::MovImm { dst: Xreg(r1), imm },
             HostInsn::Ldr { dst: Xreg(r1), base: Xreg(r2), off: rel, order: MemOrder::Plain },
             HostInsn::Str { src: Xreg(r1), base: Xreg(r2), off: rel, order: MemOrder::AcqRel },
             HostInsn::LdrB { dst: Xreg(r1), base: Xreg(r2), off: rel },
             HostInsn::Cas { cmp_old: Xreg(r1), new: Xreg(r2), addr: Xreg(r1), acq_rel: op % 2 == 0 },
-            HostInsn::Barrier(match op % 3 { 0 => Dmb::Ld, 1 => Dmb::St, _ => Dmb::Ff }),
+            HostInsn::Barrier(match op % 3 {
+                0 => Dmb::Ld,
+                1 => Dmb::St,
+                _ => Dmb::Ff,
+            }),
             HostInsn::BCond { cond: if op % 2 == 0 { ACond::Eq } else { ACond::Hi }, rel },
             HostInsn::AluImm { op: AOp::Eor, dst: Xreg(r1), a: Xreg(r2), imm },
         ];
         for insn in insns {
             let mut buf = Vec::new();
             let n = insn.encode(&mut buf);
-            let (decoded, len) = HostInsn::decode(&buf).unwrap();
-            prop_assert_eq!(decoded, insn);
-            prop_assert_eq!(len, n);
+            let (decoded, len) = HostInsn::decode(&buf).expect("round-trip decode");
+            assert_eq!(decoded, insn);
+            assert_eq!(len, n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn host_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+#[test]
+fn host_decode_never_panics() {
+    check("host_decode_never_panics", 2048, |rng| {
+        let bytes = rng.bytes(24);
         let _ = HostInsn::decode(&bytes);
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Relation algebra.
 // ---------------------------------------------------------------------
 
-fn arb_relation(n: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0..n, 0..n), 0..20)
-        .prop_map(move |pairs| {
-            Relation::from_pairs(n, pairs.into_iter().map(|(a, b)| (EventId(a), EventId(b))))
-        })
+fn arb_relation(rng: &mut Rng, n: usize) -> Relation {
+    let pairs = rng.usize_below(20);
+    Relation::from_pairs(
+        n,
+        (0..pairs).map(|_| (EventId(rng.usize_below(n)), EventId(rng.usize_below(n)))),
+    )
 }
 
-proptest! {
-    #[test]
-    fn closure_laws(r in arb_relation(8), s in arb_relation(8)) {
+#[test]
+fn closure_laws() {
+    check("closure_laws", 256, |rng| {
+        let r = arb_relation(rng, 8);
+        let s = arb_relation(rng, 8);
         let tc = r.transitive_closure();
         // Idempotent, monotone, contains the base.
-        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        assert_eq!(tc.transitive_closure(), tc.clone());
         for (a, b) in r.iter_pairs() {
-            prop_assert!(tc.contains(a, b));
+            assert!(tc.contains(a, b));
         }
         // Composition distributes over union on the left.
         let lhs = r.union(&s).compose(&r);
         let rhs = r.compose(&r).union(&s.compose(&r));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
         // Inverse is involutive.
-        prop_assert_eq!(r.inverse().inverse(), r.clone());
+        assert_eq!(r.inverse().inverse(), r.clone());
         // acyclic(r) ⇔ irreflexive(r⁺).
-        prop_assert_eq!(r.is_acyclic(), tc.is_irreflexive());
-    }
+        assert_eq!(r.is_acyclic(), tc.is_irreflexive());
+    });
 }
 
 // ---------------------------------------------------------------------
 // Fence lattice.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn fence_join_is_upper_bound(ai in 0usize..12, bi in 0usize..12) {
-        let a = FenceKind::TCG_ALL[ai];
-        let b = FenceKind::TCG_ALL[bi];
-        let j = a.tcg_join(b);
-        prop_assert!(j.tcg_at_least(a), "{j:?} not ≥ {a:?}");
-        prop_assert!(j.tcg_at_least(b), "{j:?} not ≥ {b:?}");
-        // arm_dmb is monotone: the join's lowering orders at least as much.
-        let rank = |f: Option<FenceKind>| match f {
-            None => 0,
-            Some(FenceKind::DmbLd) | Some(FenceKind::DmbSt) => 1,
-            _ => 2,
-        };
-        prop_assert!(rank(j.arm_dmb()) >= rank(a.arm_dmb()).min(rank(b.arm_dmb())));
+#[test]
+fn fence_join_is_upper_bound() {
+    // The lattice is small: check every pair exhaustively.
+    for a in FenceKind::TCG_ALL {
+        for b in FenceKind::TCG_ALL {
+            let j = a.tcg_join(b);
+            assert!(j.tcg_at_least(a), "{j:?} not ≥ {a:?}");
+            assert!(j.tcg_at_least(b), "{j:?} not ≥ {b:?}");
+            // arm_dmb is monotone: the join's lowering orders at least as much.
+            let rank = |f: Option<FenceKind>| match f {
+                None => 0,
+                Some(FenceKind::DmbLd) | Some(FenceKind::DmbSt) => 1,
+                _ => 2,
+            };
+            assert!(rank(j.arm_dmb()) >= rank(a.arm_dmb()).min(rank(b.arm_dmb())));
+        }
     }
 }
 
@@ -180,83 +262,77 @@ proptest! {
 
 /// Generates a random straight-line SSA block over a handful of env regs
 /// and memory addresses in a private scratch range.
-fn arb_tcg_block() -> impl Strategy<Value = TcgBlock> {
-    let step = prop_oneof![
-        (0u8..6, any::<u16>()).prop_map(|(r, v)| (0u8, r, v as u64)), // MovI+SetReg
-        (0u8..6, 0u8..6).prop_map(|(a, b)| (1u8, a, b as u64)),       // Add regs
-        (0u8..6, 0u8..6).prop_map(|(a, b)| (2u8, a, b as u64)),       // Mul regs
-        (0u8..6, 0u8..4).prop_map(|(r, s)| (3u8, r, s as u64)),       // Store reg → slot
-        (0u8..6, 0u8..4).prop_map(|(r, s)| (4u8, r, s as u64)),       // Load slot → reg
-        (0u8..3,).prop_map(|(f,)| (5u8, f, 0)),                       // Fence
-        (0u8..6, 0u8..6).prop_map(|(a, b)| (6u8, a, b as u64)),       // Setcond
-    ];
-    proptest::collection::vec(step, 1..24).prop_map(|steps| {
-        let mut block = TcgBlock {
-            guest_pc: 0x1000,
-            guest_len: 0,
-            ops: Vec::new(),
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
-        let scratch = 0x9000u64;
-        for (kind, x, y) in steps {
-            match kind {
-                0 => {
-                    let t = block.new_temp();
-                    block.ops.push(TcgOp::MovI { dst: t, val: y });
-                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: t });
-                }
-                1 | 2 => {
-                    let a = block.new_temp();
-                    let b = block.new_temp();
-                    let d = block.new_temp();
-                    block.ops.push(TcgOp::GetReg { dst: a, reg: x % 6 });
-                    block.ops.push(TcgOp::GetReg { dst: b, reg: (y % 6) as u8 });
-                    let op = if kind == 1 { BinOp::Add } else { BinOp::Mul };
-                    block.ops.push(TcgOp::Bin { op, dst: d, a, b });
-                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: d });
-                }
-                3 => {
-                    let a = block.new_temp();
-                    let v = block.new_temp();
-                    block.ops.push(TcgOp::MovI { dst: a, val: scratch + (y % 4) * 8 });
-                    block.ops.push(TcgOp::GetReg { dst: v, reg: x % 6 });
-                    block.ops.push(TcgOp::St { addr: a, src: v });
-                }
-                4 => {
-                    let a = block.new_temp();
-                    let v = block.new_temp();
-                    block.ops.push(TcgOp::MovI { dst: a, val: scratch + (y % 4) * 8 });
-                    block.ops.push(TcgOp::Ld { dst: v, addr: a });
-                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: v });
-                }
-                5 => {
-                    let f = match x % 3 {
-                        0 => FenceKind::Frm,
-                        1 => FenceKind::Fww,
-                        _ => FenceKind::Fsc,
-                    };
-                    block.ops.push(TcgOp::Fence(f));
-                }
-                _ => {
-                    let a = block.new_temp();
-                    let b = block.new_temp();
-                    let d = block.new_temp();
-                    block.ops.push(TcgOp::GetReg { dst: a, reg: x % 6 });
-                    block.ops.push(TcgOp::GetReg { dst: b, reg: (y % 6) as u8 });
-                    block.ops.push(TcgOp::Setcond { cond: CondOp::LtU, dst: d, a, b });
-                    block.ops.push(TcgOp::SetReg { reg: x % 6, src: d });
-                }
+fn arb_tcg_block(rng: &mut Rng) -> TcgBlock {
+    let mut block = TcgBlock {
+        guest_pc: 0x1000,
+        guest_len: 0,
+        ops: Vec::new(),
+        exit: TbExit::Halt,
+        n_temps: 0,
+    };
+    let scratch = 0x9000u64;
+    let steps = 1 + rng.usize_below(23);
+    for _ in 0..steps {
+        let kind = rng.u8_below(7);
+        let x = rng.u8_below(6);
+        let y = rng.u64();
+        match kind {
+            0 => {
+                let t = block.new_temp();
+                block.ops.push(TcgOp::MovI { dst: t, val: u64::from(y as u16) });
+                block.ops.push(TcgOp::SetReg { reg: x % 6, src: t });
+            }
+            1 | 2 => {
+                let a = block.new_temp();
+                let b = block.new_temp();
+                let d = block.new_temp();
+                block.ops.push(TcgOp::GetReg { dst: a, reg: x % 6 });
+                block.ops.push(TcgOp::GetReg { dst: b, reg: (y % 6) as u8 });
+                let op = if kind == 1 { BinOp::Add } else { BinOp::Mul };
+                block.ops.push(TcgOp::Bin { op, dst: d, a, b });
+                block.ops.push(TcgOp::SetReg { reg: x % 6, src: d });
+            }
+            3 => {
+                let a = block.new_temp();
+                let v = block.new_temp();
+                block.ops.push(TcgOp::MovI { dst: a, val: scratch + (y % 4) * 8 });
+                block.ops.push(TcgOp::GetReg { dst: v, reg: x % 6 });
+                block.ops.push(TcgOp::St { addr: a, src: v });
+            }
+            4 => {
+                let a = block.new_temp();
+                let v = block.new_temp();
+                block.ops.push(TcgOp::MovI { dst: a, val: scratch + (y % 4) * 8 });
+                block.ops.push(TcgOp::Ld { dst: v, addr: a });
+                block.ops.push(TcgOp::SetReg { reg: x % 6, src: v });
+            }
+            5 => {
+                let f = match x % 3 {
+                    0 => FenceKind::Frm,
+                    1 => FenceKind::Fww,
+                    _ => FenceKind::Fsc,
+                };
+                block.ops.push(TcgOp::Fence(f));
+            }
+            _ => {
+                let a = block.new_temp();
+                let b = block.new_temp();
+                let d = block.new_temp();
+                block.ops.push(TcgOp::GetReg { dst: a, reg: x % 6 });
+                block.ops.push(TcgOp::GetReg { dst: b, reg: (y % 6) as u8 });
+                block.ops.push(TcgOp::Setcond { cond: CondOp::LtU, dst: d, a, b });
+                block.ops.push(TcgOp::SetReg { reg: x % 6, src: d });
             }
         }
-        block
-    })
+    }
+    block
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn optimizer_preserves_block_semantics(block in arb_tcg_block(), seed in any::<u64>()) {
+#[test]
+fn optimizer_preserves_block_semantics() {
+    check("optimizer_preserves_block_semantics", 64, |rng| {
+        let block = arb_tcg_block(rng);
+        let seed = rng.u64();
         let mut optimized = block.clone();
         optimize(&mut optimized, OptPolicy::Verified);
         // Evaluate both against the same initial env/memory.
@@ -271,49 +347,54 @@ proptest! {
         let mut m2 = m1.clone();
         let e1 = eval_block(&block, &mut env1, &mut m1);
         let e2 = eval_block(&optimized, &mut env2, &mut m2);
-        prop_assert_eq!(e1, e2);
-        prop_assert_eq!(env1, env2);
+        assert_eq!(e1, e2);
+        assert_eq!(env1, env2);
         for slot in 0..4u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 m1.read_u64(0x9000 + slot * 8),
                 m2.read_u64(0x9000 + slot * 8),
-                "memory slot {} diverged", slot
+                "memory slot {slot} diverged"
             );
         }
-    }
+    });
+}
 
-    /// The optimizer never *adds* fences and never weakens one.
-    #[test]
-    fn optimizer_never_strengthens_fence_count(block in arb_tcg_block()) {
+/// The optimizer never *adds* fences and never weakens one.
+#[test]
+fn optimizer_never_strengthens_fence_count() {
+    check("optimizer_never_strengthens_fence_count", 128, |rng| {
+        let block = arb_tcg_block(rng);
         let before = block.count_ops(|o| matches!(o, TcgOp::Fence(_)));
         let mut optimized = block.clone();
         optimize(&mut optimized, OptPolicy::Verified);
         let after = optimized.count_ops(|o| matches!(o, TcgOp::Fence(_)));
-        prop_assert!(after <= before);
-    }
+        assert!(after <= before);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Theorem 1 on random programs.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn verified_mapping_never_introduces_behaviors(
-        t0 in proptest::collection::vec((0u8..5, 0u8..2), 1..3),
-        t1 in proptest::collection::vec((0u8..5, 0u8..2), 1..3),
-    ) {
-        use risotto::litmus::{Program, Reg};
-        use risotto::mappings::check::check_mapping;
-        use risotto::mappings::scheme::{verified_x86_to_arm, RmwLowering};
-        use risotto::memmodel::{Arm, Loc, X86Tso};
+#[test]
+fn verified_mapping_never_introduces_behaviors() {
+    use risotto::litmus::{Program, Reg};
+    use risotto::mappings::check::check_mapping;
+    use risotto::mappings::scheme::{verified_x86_to_arm, RmwLowering};
+    use risotto::memmodel::{Arm, Loc, X86Tso};
 
+    check("verified_mapping_never_introduces_behaviors", 24, |rng| {
+        let arb_steps = |rng: &mut Rng| {
+            let n = 1 + rng.usize_below(2);
+            (0..n).map(|_| (rng.u8_below(5), rng.u8_below(2))).collect::<Vec<_>>()
+        };
+        let t0 = arb_steps(rng);
+        let t1 = arb_steps(rng);
         let build = |steps: &[(u8, u8)], tid: u32| {
             let mut instrs = Vec::new();
             let mut reg = tid * 8;
             for &(kind, loc) in steps {
-                let l = Loc(loc as u32);
+                let l = Loc(u32::from(loc));
                 match kind {
                     0 => instrs.push(risotto::litmus::Instr::Store {
                         loc: l.into(),
@@ -352,27 +433,28 @@ proptest! {
         };
         for rmw in [RmwLowering::Rmw2Fenced, RmwLowering::Casal] {
             let scheme = verified_x86_to_arm(rmw);
-            prop_assert!(
+            assert!(
                 check_mapping(&scheme, &prog, &X86Tso::new(), &Arm::corrected()).is_ok(),
-                "Theorem 1 violated for {:?}", prog
+                "Theorem 1 violated for {prog:?}"
             );
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Whole-DBT differential on random straight-line guest programs.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn dbt_matches_interpreter_on_random_programs(
-        steps in proptest::collection::vec((0u8..8, 0u8..4, any::<u16>()), 1..30),
-    ) {
-        use risotto::core::{Emulator, Setup};
-        use risotto::guest::{GelfBuilder, Interp};
-        use risotto::host::CostModel;
+#[test]
+fn dbt_matches_interpreter_on_random_programs() {
+    use risotto::core::{Emulator, Setup};
+    use risotto::guest::{GelfBuilder, Interp};
+    use risotto::host::CostModel;
+
+    check("dbt_matches_interpreter_on_random_programs", 32, |rng| {
+        let n = 1 + rng.usize_below(29);
+        let steps: Vec<(u8, u8, u16)> =
+            (0..n).map(|_| (rng.u8_below(8), rng.u8_below(4), rng.u16())).collect();
 
         let mut b = GelfBuilder::new("main");
         let slots = b.data_zeroed(64);
@@ -381,51 +463,64 @@ proptest! {
             let dst = Gpr(r % 4); // rax..rbx
             let src = Gpr((r + 1) % 4);
             match kind % 8 {
-                0 => { b.asm.mov_ri(dst, *imm as u64); }
-                1 => { b.asm.alu_rr(AluOp::Add, dst, src); }
-                2 => { b.asm.alu_ri(AluOp::Mul, dst, *imm as u64 | 1); }
+                0 => {
+                    b.asm.mov_ri(dst, u64::from(*imm));
+                }
+                1 => {
+                    b.asm.alu_rr(AluOp::Add, dst, src);
+                }
+                2 => {
+                    b.asm.alu_ri(AluOp::Mul, dst, u64::from(*imm) | 1);
+                }
                 3 => {
-                    b.asm.mov_ri(Gpr::R8, slots + (*imm as u64 % 8) * 8);
+                    b.asm.mov_ri(Gpr::R8, slots + (u64::from(*imm) % 8) * 8);
                     b.asm.store(Gpr::R8, 0, dst);
                 }
                 4 => {
-                    b.asm.mov_ri(Gpr::R8, slots + (*imm as u64 % 8) * 8);
+                    b.asm.mov_ri(Gpr::R8, slots + (u64::from(*imm) % 8) * 8);
                     b.asm.load(dst, Gpr::R8, 0);
                 }
-                5 => { b.asm.alu_ri(AluOp::Xor, dst, *imm as u64); }
-                6 => { b.asm.fp(FpOp::CvtIF, dst, src); }
-                _ => { b.asm.alu_ri(AluOp::Shr, dst, (*imm % 63) as u64); }
+                5 => {
+                    b.asm.alu_ri(AluOp::Xor, dst, u64::from(*imm));
+                }
+                6 => {
+                    b.asm.fp(FpOp::CvtIF, dst, src);
+                }
+                _ => {
+                    b.asm.alu_ri(AluOp::Shr, dst, u64::from(*imm % 63));
+                }
             }
         }
         b.asm.hlt();
-        let bin = b.finish().unwrap();
+        let bin = b.finish().expect("assembling random program");
 
         let mut interp = Interp::new(&bin);
-        interp.run(1_000_000).unwrap();
+        interp.run(1_000_000).expect("interpreter run");
         let expect = interp.exit_val(0);
         for setup in Setup::ALL {
             let mut emu = Emulator::new(&bin, setup, 1, CostModel::uniform());
-            let r = emu.run(10_000_000).unwrap();
-            prop_assert_eq!(r.exit_vals[0], Some(expect), "setup {}", setup.name());
+            let r = emu.run(10_000_000).expect("emulator run");
+            assert_eq!(r.exit_vals[0], Some(expect), "setup {}", setup.name());
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Whole-DBT differential on branching / looping guest programs.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn dbt_matches_interpreter_on_branching_programs(
-        loop_count in 1u64..12,
-        steps in proptest::collection::vec((0u8..6, 0u8..3, any::<u16>()), 1..10),
-        cond_pick in 0u8..12,
-    ) {
-        use risotto::core::{Emulator, Setup};
-        use risotto::guest::{GelfBuilder, Interp};
-        use risotto::host::CostModel;
+#[test]
+fn dbt_matches_interpreter_on_branching_programs() {
+    use risotto::core::{Emulator, Setup};
+    use risotto::guest::{GelfBuilder, Interp};
+    use risotto::host::CostModel;
+
+    check("dbt_matches_interpreter_on_branching_programs", 24, |rng| {
+        let loop_count = 1 + rng.below(11);
+        let n = 1 + rng.usize_below(9);
+        let steps: Vec<(u8, u8, u16)> =
+            (0..n).map(|_| (rng.u8_below(6), rng.u8_below(3), rng.u16())).collect();
+        let cond_pick = rng.u8_below(12);
 
         // A counted loop whose body mixes ALU ops, memory, and a data-
         // dependent branch; checksum accumulates in RAX.
@@ -438,22 +533,30 @@ proptest! {
         for (kind, r, imm) in &steps {
             let dst = Gpr(8 + (r % 3)); // r8..r10
             match kind % 6 {
-                0 => { b.asm.alu_ri(AluOp::Add, dst, *imm as u64); }
-                1 => { b.asm.alu_rr(AluOp::Xor, dst, Gpr::RAX); }
+                0 => {
+                    b.asm.alu_ri(AluOp::Add, dst, u64::from(*imm));
+                }
+                1 => {
+                    b.asm.alu_rr(AluOp::Xor, dst, Gpr::RAX);
+                }
                 2 => {
-                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 8) * 8);
+                    b.asm.mov_ri(Gpr::R11, slots + (u64::from(*imm) % 8) * 8);
                     b.asm.store(Gpr::R11, 0, dst);
                 }
                 3 => {
-                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 8) * 8);
+                    b.asm.mov_ri(Gpr::R11, slots + (u64::from(*imm) % 8) * 8);
                     b.asm.load(dst, Gpr::R11, 0);
                 }
-                4 => { b.asm.alu_ri(AluOp::Mul, dst, (*imm as u64).wrapping_mul(2) | 1); }
-                _ => { b.asm.alu_rr(AluOp::Add, Gpr::RAX, dst); }
+                4 => {
+                    b.asm.alu_ri(AluOp::Mul, dst, u64::from(*imm).wrapping_mul(2) | 1);
+                }
+                _ => {
+                    b.asm.alu_rr(AluOp::Add, Gpr::RAX, dst);
+                }
             }
         }
         // Data-dependent branch inside the loop.
-        let cond = Cond::from_u8(cond_pick % 12).unwrap();
+        let cond = Cond::from_u8(cond_pick % 12).expect("condition codes 0..12 are valid");
         b.asm.cmp_ri(Gpr::R8, 1000);
         b.asm.jcc_to(cond, "skip");
         b.asm.alu_ri(AluOp::Add, Gpr::RAX, 13);
@@ -466,27 +569,31 @@ proptest! {
             b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr(r));
         }
         b.asm.hlt();
-        let bin = b.finish().unwrap();
+        let bin = b.finish().expect("assembling branching program");
 
         let mut interp = Interp::new(&bin);
-        interp.run(5_000_000).unwrap();
+        interp.run(5_000_000).expect("interpreter run");
         let expect = interp.exit_val(0);
         for setup in Setup::ALL {
             let mut emu = Emulator::new(&bin, setup, 1, CostModel::uniform());
-            let r = emu.run(50_000_000).unwrap();
-            prop_assert_eq!(r.exit_vals[0], Some(expect), "setup {}", setup.name());
+            let r = emu.run(50_000_000).expect("emulator run");
+            assert_eq!(r.exit_vals[0], Some(expect), "setup {}", setup.name());
         }
-    }
+    });
+}
 
-    /// The optimizer's two policies agree on single-threaded semantics
-    /// (the QemuUnsound policy is only unsound *concurrently*).
-    #[test]
-    fn opt_policies_agree_sequentially(
-        steps in proptest::collection::vec((0u8..6, 0u8..3, any::<u16>()), 1..20),
-    ) {
-        use risotto::core::{Emulator, Setup};
-        use risotto::guest::GelfBuilder;
-        use risotto::host::CostModel;
+/// The optimizer's two policies agree on single-threaded semantics
+/// (the QemuUnsound policy is only unsound *concurrently*).
+#[test]
+fn opt_policies_agree_sequentially() {
+    use risotto::core::{Emulator, Setup};
+    use risotto::guest::GelfBuilder;
+    use risotto::host::CostModel;
+
+    check("opt_policies_agree_sequentially", 64, |rng| {
+        let n = 1 + rng.usize_below(19);
+        let steps: Vec<(u8, u8, u16)> =
+            (0..n).map(|_| (rng.u8_below(6), rng.u8_below(3), rng.u16())).collect();
 
         let mut b = GelfBuilder::new("main");
         let slots = b.data_zeroed(64);
@@ -494,28 +601,34 @@ proptest! {
         for (kind, r, imm) in &steps {
             let dst = Gpr(8 + (r % 3));
             match kind % 6 {
-                0 => { b.asm.mov_ri(dst, *imm as u64); }
-                1 => { b.asm.alu_ri(AluOp::Add, dst, 3); }
+                0 => {
+                    b.asm.mov_ri(dst, u64::from(*imm));
+                }
+                1 => {
+                    b.asm.alu_ri(AluOp::Add, dst, 3);
+                }
                 2 | 5 => {
-                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 4) * 8);
+                    b.asm.mov_ri(Gpr::R11, slots + (u64::from(*imm) % 4) * 8);
                     b.asm.store(Gpr::R11, 0, dst);
                 }
                 3 => {
-                    b.asm.mov_ri(Gpr::R11, slots + (*imm as u64 % 4) * 8);
+                    b.asm.mov_ri(Gpr::R11, slots + (u64::from(*imm) % 4) * 8);
                     b.asm.load(dst, Gpr::R11, 0);
                 }
-                _ => { b.asm.mfence(); }
+                _ => {
+                    b.asm.mfence();
+                }
             }
         }
         b.asm.mov_rr(Gpr::RAX, Gpr::R8);
         b.asm.hlt();
-        let bin = b.finish().unwrap();
+        let bin = b.finish().expect("assembling program");
         // Qemu (unsound-policy optimizer) vs Risotto (verified): identical
         // sequential results.
         let mut q = Emulator::new(&bin, Setup::Qemu, 1, CostModel::uniform());
         let mut r = Emulator::new(&bin, Setup::Risotto, 1, CostModel::uniform());
-        let qr = q.run(10_000_000).unwrap();
-        let rr = r.run(10_000_000).unwrap();
-        prop_assert_eq!(qr.exit_vals[0], rr.exit_vals[0]);
-    }
+        let qr = q.run(10_000_000).expect("qemu-setup run");
+        let rr = r.run(10_000_000).expect("risotto-setup run");
+        assert_eq!(qr.exit_vals[0], rr.exit_vals[0]);
+    });
 }
