@@ -7,4 +7,10 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# End-to-end pipeline bench in smoke mode: runs the 16-kernel suite at a
+# CI-sized scale and emits BENCH_pipeline.json (per-kernel cycles +
+# TB-chain hit rate).
+cargo bench -q -p risotto-bench --bench pipeline -- smoke
+test -s BENCH_pipeline.json
+
 echo "ci: all green"

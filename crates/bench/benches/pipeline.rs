@@ -6,13 +6,24 @@
 //! Self-contained timing harness (`harness = false`): each benchmark
 //! runs a warmup pass then reports the best-of-N mean wall time, so the
 //! binary works in offline environments without external crates.
+//!
+//! Besides the console table, the kernel-suite section writes
+//! `BENCH_pipeline.json` (per-kernel simulated cycles and TB-chain hit
+//! rate) for machine consumption. Pass `smoke` (or set
+//! `PIPELINE_BENCH=smoke`) to run a fast CI-sized configuration:
+//!
+//! ```sh
+//! cargo bench -p risotto-bench --bench pipeline -- smoke
+//! ```
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use risotto_core::{Emulator, Setup};
 use risotto_guest_x86::{AluOp, Assembler, Cond, Gpr};
 use risotto_host_arm::{lower_block, BackendConfig, CostModel, Event, Machine, RmwStyle};
 use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
+use risotto_workloads::kernels;
 
 /// Run `f` repeatedly for roughly `iters` iterations, three rounds, and
 /// print the best mean-per-iteration time.
@@ -97,7 +108,65 @@ fn bench_machine() {
     });
 }
 
+/// Runs the 16 Fig. 12 kernels end-to-end under the risotto setup and
+/// writes per-kernel simulated cycles + chain-hit rate to
+/// `BENCH_pipeline.json`. `smoke` shrinks the scale for CI.
+fn bench_kernels(smoke: bool) {
+    let (scale, threads) = if smoke { (4, 2) } else { (64, 2) };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("\nkernel suite ({mode}, scale {scale}, {threads} threads):");
+    let mut entries = Vec::new();
+    for w in kernels::all() {
+        let bin = (w.build)(scale, threads);
+        let t0 = Instant::now();
+        let mut emu = Emulator::new(&bin, Setup::Risotto, threads, CostModel::thunderx2_like());
+        let r = emu.run(20_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let wall = t0.elapsed().as_secs_f64();
+        let rate = r.chain_hit_rate();
+        println!(
+            "{:32} {:>12} cycles   chain {:>5.1}%   {:>8.1} ms wall",
+            w.name,
+            r.cycles,
+            100.0 * rate,
+            wall * 1e3
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\"kernel\": \"{}\", \"cycles\": {}, \"chain_hit_rate\": {:.4}, ",
+                "\"chain_hits\": {}, \"chain_links\": {}, \"dispatch_hits\": {}, ",
+                "\"dispatch_misses\": {}, \"wall_seconds\": {:.6}}}"
+            ),
+            w.name,
+            r.cycles,
+            rate,
+            r.chain.chain_hits,
+            r.chain.chain_links,
+            r.chain.dispatch_hits,
+            r.chain.dispatch_misses,
+            wall
+        ));
+    }
+    let json = format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Cargo runs benches with the package dir as CWD; anchor the artifact
+    // at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke")
+        || std::env::var("PIPELINE_BENCH").is_ok_and(|v| v == "smoke");
+    if smoke {
+        // CI-sized: skip the slow wall-time microbenches, keep the
+        // end-to-end suite that produces the JSON artifact.
+        bench_kernels(true);
+        return;
+    }
     bench_pipeline();
     bench_machine();
+    bench_kernels(false);
 }

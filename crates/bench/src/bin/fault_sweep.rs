@@ -46,6 +46,7 @@ fn main() {
         let (ref_exit, ref_out) = (interp.exit_val(0), interp.output.clone());
 
         let (mut ok, mut errs, mut fallbacks, mut retrans) = (0u64, 0u64, 0usize, 0usize);
+        let (mut links, mut flushes) = (0u64, 0u64);
         for seed in 0..seeds {
             let setup = setups[(seed % setups.len() as u64) as usize];
             let mut emu = Emulator::new(&bin, setup, 2, CostModel::thunderx2_like());
@@ -58,6 +59,8 @@ fn main() {
                     ok += 1;
                     fallbacks += r.fallback_blocks;
                     retrans += r.retranslations;
+                    links += r.chain.chain_links;
+                    flushes += r.chain.chain_flushes;
                 }
                 Err(_) => errs += 1,
             }
@@ -68,9 +71,22 @@ fn main() {
             errs.to_string(),
             fallbacks.to_string(),
             retrans.to_string(),
+            links.to_string(),
+            flushes.to_string(),
         ]);
     }
-    print_table(&["workload", "completed", "typed errors", "fallback TBs", "retranslations"], &rows);
+    print_table(
+        &[
+            "workload",
+            "completed",
+            "typed errors",
+            "fallback TBs",
+            "retranslations",
+            "chain links",
+            "chain flushes",
+        ],
+        &rows,
+    );
     println!();
     if divergences == 0 {
         println!("zero silent divergences: every completed run matched the reference.");

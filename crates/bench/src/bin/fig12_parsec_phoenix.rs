@@ -13,6 +13,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut avgs = [0f64; 4]; // no-fences, tcg-ver, risotto, native
     let mut fence_shares: Vec<(String, f64)> = Vec::new();
+    let mut chain_rows: Vec<Vec<String>> = Vec::new();
+    let (mut tot_hits, mut tot_links) = (0u64, 0u64);
     let workloads = kernels::all();
     for w in &workloads {
         let scale: u64 = match w.name {
@@ -32,6 +34,18 @@ fn main() {
             let rel = 100.0 * r.cycles as f64 / qemu.cycles as f64;
             avgs[i] += rel;
             cells.push(format!("{rel:.1}%"));
+            if *s == Setup::Risotto {
+                tot_hits += r.chain.chain_hits;
+                tot_links += r.chain.chain_links;
+                chain_rows.push(vec![
+                    w.name.to_string(),
+                    r.chain.chain_hits.to_string(),
+                    r.chain.chain_links.to_string(),
+                    r.chain.dispatch_hits.to_string(),
+                    r.chain.dispatch_misses.to_string(),
+                    format!("{:.1}%", 100.0 * r.chain_hit_rate()),
+                ]);
+            }
         }
         let fence_share = qemu.stats.fence_cycles as f64 / (qemu.cycles.max(1) * threads as u64) as f64;
         fence_shares.push((w.name.to_string(), fence_share));
@@ -61,4 +75,20 @@ fn main() {
     fr.push(vec!["AVERAGE".into(), format!("{:.1}%", avg * 100.0)]);
     fr.push(vec![format!("MAX ({})", max.0), format!("{:.1}%", max.1 * 100.0)]);
     print_table(&["benchmark", "fence share"], &fr);
+
+    println!("\nTB chaining under the risotto setup (direct exits: patched-chain");
+    println!("hits vs one-time links; indirect exits: jump-cache hits vs misses):");
+    let agg = 100.0 * tot_hits as f64 / (tot_hits + tot_links).max(1) as f64;
+    chain_rows.push(vec![
+        "AGGREGATE".into(),
+        tot_hits.to_string(),
+        tot_links.to_string(),
+        String::new(),
+        String::new(),
+        format!("{agg:.1}%"),
+    ]);
+    print_table(
+        &["benchmark", "chain hits", "links", "jcache hits", "jcache miss", "hit rate"],
+        &chain_rows,
+    );
 }

@@ -29,6 +29,7 @@ fn main() {
                 speedup(qemu.cycles, ris.cycles),
                 speedup(qemu.cycles, nat.cycles),
                 format!("{:.0} ops/s", ops_per_sec(iters, qemu.cycles)),
+                format!("{:.1}%", 100.0 * ris.chain_hit_rate()),
             ]);
         }
     }
@@ -46,6 +47,7 @@ fn main() {
                 speedup(qemu.cycles, ris.cycles),
                 speedup(qemu.cycles, nat.cycles),
                 format!("{:.0} ops/s", ops_per_sec(1, qemu.cycles)),
+                format!("{:.1}%", 100.0 * ris.chain_hit_rate()),
             ]);
         }
     }
@@ -62,8 +64,9 @@ fn main() {
             speedup(qemu.cycles, ris.cycles),
             speedup(qemu.cycles, nat.cycles),
             format!("{:.0} ops/s", ops_per_sec(20, qemu.cycles)),
+            format!("{:.1}%", 100.0 * ris.chain_hit_rate()),
         ]);
     }
 
-    print_table(&["benchmark", "risotto", "native", "qemu raw"], &rows);
+    print_table(&["benchmark", "risotto", "native", "qemu raw", "ris chain"], &rows);
 }

@@ -28,7 +28,8 @@ fn main() {
             speedup(qemu.cycles, ris.cycles),
             speedup(qemu.cycles, nat.cycles),
             format!("{:.1} ops/ms", ops_per_sec(iters, qemu.cycles) / 1000.0),
+            format!("{:.1}%", 100.0 * ris.chain_hit_rate()),
         ]);
     }
-    print_table(&["function", "risotto", "native", "qemu raw"], &rows);
+    print_table(&["function", "risotto", "native", "qemu raw", "ris chain"], &rows);
 }

@@ -14,15 +14,20 @@ fn main() {
         let bin = cas_bench(iters, threads, vars);
         let total_ops = iters * threads as u64;
         let mut cells = vec![format!("{threads}-{vars}")];
+        let mut chain = String::new();
         for setup in [Setup::Qemu, Setup::Risotto, Setup::Native] {
             let r = run(&bin, setup, threads, false);
             assert_eq!(r.exit_vals[0], Some(total_ops), "{setup:?} lost CAS increments");
             cells.push(format!("{:.1}", ops_per_sec(total_ops, r.cycles) / 1e6));
+            if setup == Setup::Risotto {
+                chain = format!("{:.1}%", 100.0 * r.chain_hit_rate());
+            }
         }
+        cells.push(chain);
         // risotto-vs-qemu gain for the summary.
         rows.push(cells);
     }
-    print_table(&["config", "qemu", "risotto", "native"], &rows);
+    print_table(&["config", "qemu", "risotto", "native", "ris chain"], &rows);
     println!("\n(expected shape: risotto > qemu when threads == vars — no contention —");
     println!(" and parity under contention, where the casal itself dominates; §7.4)");
 }

@@ -30,8 +30,8 @@ use risotto_guest_x86::{
     TEXT_BASE,
 };
 use risotto_host_arm::{
-    lower_block, BackendConfig, CoreStats, CostModel, Event, HostFaultKind, HostInsn, Machine,
-    MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+    lower_block, BackendConfig, ChainStats, CoreStats, CostModel, Event, HostFaultKind, HostInsn,
+    Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
 };
 use risotto_tcg::{
     env, optimize_with, translate_block, FrontendConfig, OptPolicy, PassConfig, TranslateError,
@@ -406,6 +406,21 @@ pub struct Report {
     /// Translations performed beyond a block's first: cache-eviction /
     /// corruption refills plus bounded retries of quarantined blocks.
     pub retranslations: usize,
+    /// TB-chaining and dispatcher counters from the host machine.
+    pub chain: ChainStats,
+}
+
+impl Report {
+    /// Fraction of direct-jump exits resolved through a patched chain
+    /// slot rather than the dispatcher (0.0 when no direct exits ran).
+    pub fn chain_hit_rate(&self) -> f64 {
+        let total = self.chain.chain_hits + self.chain.chain_links;
+        if total == 0 {
+            0.0
+        } else {
+            self.chain.chain_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Why a translation could not be produced right now. All variants are
@@ -519,6 +534,14 @@ impl Emulator {
     /// Selects the host scheduling policy (see [`SchedPolicy`]).
     pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
         self.machine.set_sched_policy(policy);
+    }
+
+    /// Enables or disables TB chaining and the indirect jump cache on the
+    /// host machine (on by default). The disabled configuration resolves
+    /// every exit through the dispatcher and is the reference that chained
+    /// runs are differentially checked against.
+    pub fn set_chaining(&mut self, on: bool) {
+        self.machine.set_chaining(on);
     }
 
     /// Arms the livelock watchdog: a run that makes no observable
@@ -1240,6 +1263,7 @@ impl Emulator {
             output: self.output.clone(),
             fallback_blocks: self.fallback_blocks,
             retranslations: self.retranslations,
+            chain: self.machine.chain_stats(),
         })
     }
 }

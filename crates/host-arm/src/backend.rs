@@ -584,7 +584,7 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
     alloc.free_dead(exit_idx);
     match &block.exit {
         TbExit::Jump(pc) => {
-            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *pc }));
+            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *pc, chain: 0 }));
         }
         TbExit::JumpReg(t) => {
             let r = alloc.use_reg(&mut asm, exit_idx, *t, &[])?;
@@ -595,9 +595,9 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
             let l_taken = asm.fresh_label();
             asm.push(HostInsn::CmpImm { a: r, imm: 0 });
             asm.bcond_to(ACond::Ne, l_taken);
-            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *fallthrough }));
+            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *fallthrough, chain: 0 }));
             asm.bind(l_taken);
-            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *taken }));
+            asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *taken, chain: 0 }));
         }
         TbExit::Halt => asm.push(HostInsn::ExitTb(TbExitKind::Halt)),
         TbExit::Syscall { next } => {

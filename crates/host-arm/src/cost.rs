@@ -49,8 +49,14 @@ pub struct CostModel {
     pub hardfloat: u64,
     /// Guest→host argument marshaling per native-library call (§6.2).
     pub marshal: u64,
-    /// Looking up / chaining to the next translation block at a TB exit.
+    /// Following an already-patched chain slot (or a jump-cache hit) at a
+    /// TB exit: effectively a direct branch inside the code cache.
     pub tb_chain: u64,
+    /// Falling back to the dispatcher at a TB exit: spill, hash the guest
+    /// pc into the translation map, reload, and branch. Charged on the
+    /// first traversal of a direct exit (before it is chained) and on
+    /// every indirect-branch jump-cache miss.
+    pub tb_dispatch: u64,
     /// Window (in cycles) in which another core's RMW on the same address
     /// counts as contention.
     pub contend_window: u64,
@@ -79,6 +85,7 @@ impl CostModel {
             hardfloat: 4,
             marshal: 22,
             tb_chain: 2,
+            tb_dispatch: 14,
             contend_window: 600,
         }
     }
@@ -105,6 +112,7 @@ impl CostModel {
             hardfloat: 1,
             marshal: 1,
             tb_chain: 1,
+            tb_dispatch: 1,
             contend_window: 0,
         }
     }
@@ -134,5 +142,9 @@ mod tests {
         assert!(c.helper_overhead > c.atomic, "helper round-trip dominates an uncontended CAS");
         assert!(c.softfloat > 4 * c.hardfloat, "QEMU soft-float penalty");
         assert!(c.atomic_contend > c.atomic, "contention dominates the CAS itself");
+        assert!(
+            c.tb_dispatch > c.tb_chain,
+            "the dispatcher map lookup must cost more than a patched chain"
+        );
     }
 }

@@ -310,6 +310,10 @@ impl AFpOp {
     }
 }
 
+/// Byte offset of the chain word inside an encoded `ExitTb(Jump)`
+/// instruction: opcode (1) + exit kind (1) + guest pc (8).
+pub const JUMP_CHAIN_OFFSET: usize = 10;
+
 /// Why a translation block exited (payload of [`HostInsn::ExitTb`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TbExitKind {
@@ -317,6 +321,12 @@ pub enum TbExitKind {
     Jump {
         /// Guest target pc.
         guest_pc: u64,
+        /// Patchable chain slot: the host pc of the target block once the
+        /// exit has been chained, or 0 while unresolved (host code lives at
+        /// [`crate::CODE_BASE`], so 0 is never a valid host pc). The word
+        /// lives in the encoded instruction at byte offset
+        /// [`JUMP_CHAIN_OFFSET`] and is patched in place by the machine.
+        chain: u64,
     },
     /// Continue at the guest pc held in a register.
     JumpReg {
@@ -612,9 +622,10 @@ impl HostInsn {
             ExitTb(kind) => {
                 out.push(0x18);
                 match kind {
-                    TbExitKind::Jump { guest_pc } => {
+                    TbExitKind::Jump { guest_pc, chain } => {
                         out.push(0);
                         out.extend_from_slice(&guest_pc.to_le_bytes());
+                        out.extend_from_slice(&chain.to_le_bytes());
                     }
                     TbExitKind::JumpReg { reg } => out.extend_from_slice(&[1, reg.0]),
                     TbExitKind::Halt => out.push(2),
@@ -771,7 +782,13 @@ impl HostInsn {
             0x18 => {
                 let kind = *bytes.get(1).ok_or("truncated")?;
                 match kind {
-                    0 => (ExitTb(TbExitKind::Jump { guest_pc: u64_at(bytes, 2)? }), 10),
+                    0 => (
+                        ExitTb(TbExitKind::Jump {
+                            guest_pc: u64_at(bytes, 2)?,
+                            chain: u64_at(bytes, JUMP_CHAIN_OFFSET)?,
+                        }),
+                        18,
+                    ),
                     1 => (ExitTb(TbExitKind::JumpReg { reg: xr(bytes, 2)? }), 3),
                     2 => (ExitTb(TbExitKind::Halt), 2),
                     3 => (ExitTb(TbExitKind::Syscall { next: u64_at(bytes, 2)? }), 10),
@@ -828,7 +845,8 @@ mod tests {
             Ret,
             Hcall { helper: 3 },
             NativeCall { func: 258 },
-            ExitTb(TbExitKind::Jump { guest_pc: 0xdead }),
+            ExitTb(TbExitKind::Jump { guest_pc: 0xdead, chain: 0 }),
+            ExitTb(TbExitKind::Jump { guest_pc: 0xdead, chain: 0x4000_1234 }),
             ExitTb(TbExitKind::JumpReg { reg: x(4) }),
             ExitTb(TbExitKind::Halt),
             ExitTb(TbExitKind::Syscall { next: 0x1234 }),
@@ -841,6 +859,20 @@ mod tests {
             assert_eq!(d, i);
             assert_eq!(len, n);
         }
+    }
+
+    #[test]
+    fn jump_chain_word_is_at_the_documented_offset() {
+        let mut buf = Vec::new();
+        HostInsn::ExitTb(TbExitKind::Jump { guest_pc: 0xaabb, chain: 0x4000_0042 })
+            .encode(&mut buf);
+        assert_eq!(buf.len(), JUMP_CHAIN_OFFSET + 8);
+        let word = u64::from_le_bytes(buf[JUMP_CHAIN_OFFSET..].try_into().unwrap());
+        assert_eq!(word, 0x4000_0042);
+        // Patching the word in place must round-trip through decode.
+        buf[JUMP_CHAIN_OFFSET..].copy_from_slice(&0u64.to_le_bytes());
+        let (d, _) = HostInsn::decode(&buf).unwrap();
+        assert_eq!(d, HostInsn::ExitTb(TbExitKind::Jump { guest_pc: 0xaabb, chain: 0 }));
     }
 
     #[test]

@@ -36,5 +36,8 @@ mod machine;
 
 pub use backend::{lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE};
 pub use cost::CostModel;
-pub use insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg};
-pub use machine::{CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult, SchedPolicy, CODE_BASE};
+pub use insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
+pub use machine::{
+    ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult, SchedPolicy,
+    CODE_BASE,
+};

@@ -15,7 +15,7 @@
 //! their architectural *costs* and their buffer-drain semantics here.
 
 use crate::cost::CostModel;
-use crate::insn::{AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg};
+use crate::insn::{AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
 #[cfg(test)]
 use crate::insn::ACond;
 use risotto_guest_x86::SparseMem;
@@ -23,6 +23,10 @@ use std::collections::{HashMap, VecDeque};
 
 /// Base address where translated host code lives (outside guest ranges).
 pub const CODE_BASE: u64 = 0x4000_0000;
+
+/// Entries in each core's direct-mapped indirect-branch lookup cache
+/// (guest pc → host pc; the QEMU `tb_jmp_cache` analogue).
+const JCACHE_SIZE: usize = 64;
 
 /// Store-buffer capacity per core.
 const STORE_BUFFER_CAP: usize = 16;
@@ -124,6 +128,24 @@ pub struct CoreStats {
     pub fence_cycles: u64,
 }
 
+/// Counters for the TB-chaining machinery (machine-wide totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Direct-jump exits that followed an already-patched chain slot
+    /// (no map lookup; charged `cost.tb_chain`).
+    pub chain_hits: u64,
+    /// Direct-jump exits resolved through the dispatcher and then patched
+    /// (first traversal of a chain site; charged `cost.tb_dispatch`).
+    pub chain_links: u64,
+    /// Chain slots un-patched and jump-cache entries dropped because the
+    /// block they pointed to was unmapped or replaced.
+    pub chain_flushes: u64,
+    /// Indirect (`JumpReg`) exits that hit the per-core jump cache.
+    pub dispatch_hits: u64,
+    /// Indirect exits that went through the full dispatcher lookup.
+    pub dispatch_misses: u64,
+}
+
 #[derive(Debug, Clone)]
 struct Core {
     regs: [u64; Xreg::COUNT],
@@ -135,6 +157,9 @@ struct Core {
     store_buffer: VecDeque<(u64, u64, u64)>, // (addr, value, insert_cycle)
     monitor: Option<u64>,
     stats: CoreStats,
+    /// Direct-mapped guest-pc → host-pc cache for `JumpReg` exits.
+    /// `(u64::MAX, _)` marks an empty slot (never a valid guest pc here).
+    jcache: Vec<(u64, u64)>,
     /// Per-core deterministic jitter stream: real machines have timing
     /// noise that breaks the phase-lock a discrete-event simulator
     /// otherwise falls into on contended atomics.
@@ -153,6 +178,7 @@ impl Core {
             store_buffer: VecDeque::new(),
             monitor: None,
             stats: CoreStats::default(),
+            jcache: vec![(u64::MAX, 0); JCACHE_SIZE],
             jitter: 0x9E3779B97F4A7C15,
         }
     }
@@ -196,6 +222,22 @@ pub struct Machine {
     total_steps: u64,
     sched: SchedPolicy,
     sched_state: u64,
+    /// TB chaining on/off. Off = every exit takes the dispatcher path
+    /// (the reference configuration for differential checks).
+    chaining: bool,
+    chain_stats: ChainStats,
+    /// Reverse chain index: target guest pc → host pcs of the
+    /// `ExitTb(Jump)` sites currently patched to point at its translation.
+    /// Consulted on unmap so every chain into a dead TB is unlinked
+    /// *before* the mapping (and the code bytes) go away.
+    incoming: HashMap<u64, Vec<u64>>,
+    /// Install regions: host start address → encoded byte length.
+    regions: HashMap<u64, usize>,
+    /// Reusable holes in `code`: (byte offset, length), unordered.
+    free_list: Vec<(usize, usize)>,
+    /// Regions whose free is deferred because a core was parked inside
+    /// them when they were unmapped; retried on later installs/unmaps.
+    pending_free: Vec<(u64, usize)>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -230,7 +272,29 @@ impl Machine {
             total_steps: 0,
             sched: SchedPolicy::Deterministic,
             sched_state: 0x243F_6A88_85A3_08D3,
+            chaining: true,
+            chain_stats: ChainStats::default(),
+            incoming: HashMap::new(),
+            regions: HashMap::new(),
+            free_list: Vec::new(),
+            pending_free: Vec::new(),
         }
+    }
+
+    /// Enables or disables TB chaining and the indirect jump cache.
+    ///
+    /// Disabled, every exit resolves through the `tb_map` dispatcher
+    /// (charged `cost.tb_dispatch`) — the reference configuration that
+    /// chained runs are differentially checked against. Chain slots
+    /// already patched keep being maintained (unmapping still unlinks
+    /// them) but are ignored, so the flag can be toggled at any point.
+    pub fn set_chaining(&mut self, on: bool) {
+        self.chaining = on;
+    }
+
+    /// Machine-wide chaining/dispatch counters.
+    pub fn chain_stats(&self) -> ChainStats {
+        self.chain_stats
     }
 
     /// Selects the scheduling policy (see [`SchedPolicy`]).
@@ -248,22 +312,53 @@ impl Machine {
     }
 
     /// Installs encoded host instructions; returns their start address.
+    ///
+    /// Freed regions (from [`Machine::unmap_tb`]) are reused first-fit, so
+    /// retranslation churn does not grow the code buffer without bound.
     pub fn install_code(&mut self, insns: &[HostInsn]) -> u64 {
-        let addr = CODE_BASE + self.code.len() as u64;
+        let mut bytes = Vec::new();
         for i in insns {
-            i.encode(&mut self.code);
+            i.encode(&mut bytes);
         }
+        self.retry_pending_frees();
+        let addr = match self.free_list.iter().position(|&(_, len)| len >= bytes.len()) {
+            Some(slot) => {
+                let (off, len) = self.free_list.swap_remove(slot);
+                self.code[off..off + bytes.len()].copy_from_slice(&bytes);
+                if len > bytes.len() {
+                    self.free_list.push((off + bytes.len(), len - bytes.len()));
+                }
+                CODE_BASE + off as u64
+            }
+            None => {
+                let off = self.code.len();
+                self.code.extend_from_slice(&bytes);
+                CODE_BASE + off as u64
+            }
+        };
+        self.regions.insert(addr, bytes.len());
         addr
     }
 
-    /// Total bytes of installed host code (code-cache footprint).
+    /// Total bytes of installed host code (code-cache footprint,
+    /// including holes awaiting reuse).
     pub fn code_size(&self) -> usize {
         self.code.len()
     }
 
     /// Registers a translation: guest pc → host code address.
+    ///
+    /// Remapping a guest pc to a *different* host address first unlinks
+    /// every chain and jump-cache entry into the old translation and
+    /// releases its region (the engine's `link_library` rebinding path).
     pub fn map_tb(&mut self, guest_pc: u64, host_pc: u64) {
-        self.tb_map.insert(guest_pc, host_pc);
+        if let Some(old) = self.tb_map.insert(guest_pc, host_pc) {
+            if old != host_pc {
+                self.unlink_incoming(guest_pc);
+                self.flush_jcache(guest_pc);
+                self.free_region(old);
+            }
+        }
     }
 
     /// Looks up a translation.
@@ -273,12 +368,108 @@ impl Machine {
 
     /// Removes a translation mapping (cache eviction / invalidation).
     ///
-    /// The installed code bytes stay behind — the model is a map
-    /// eviction, so a later jump to `guest_pc` raises a
-    /// [`Event::TranslationMiss`] and the engine re-translates.
+    /// Ordering is the safety argument (DESIGN.md §11): first every chain
+    /// slot and jump-cache entry pointing into the dead translation is
+    /// unlinked — so no core can reach the stale body without going
+    /// through the dispatcher, which no longer finds it — and only then
+    /// is the mapping dropped and the code region released for reuse.
     /// Returns `true` if a mapping existed.
     pub fn unmap_tb(&mut self, guest_pc: u64) -> bool {
-        self.tb_map.remove(&guest_pc).is_some()
+        let Some(host) = self.tb_map.remove(&guest_pc) else {
+            return false;
+        };
+        self.unlink_incoming(guest_pc);
+        self.flush_jcache(guest_pc);
+        self.free_region(host);
+        self.retry_pending_frees();
+        true
+    }
+
+    /// Writes `target` into the chain word of the `ExitTb(Jump)` encoded
+    /// at host pc `site` and drops the now-stale decode-cache entry.
+    fn patch_chain(&mut self, site: u64, target: u64) {
+        let off = (site - CODE_BASE) as usize + JUMP_CHAIN_OFFSET;
+        debug_assert!(off + 8 <= self.code.len(), "chain site outside code");
+        self.code[off..off + 8].copy_from_slice(&target.to_le_bytes());
+        self.decode_cache.remove(&site);
+    }
+
+    /// Un-patches every chain slot currently pointing at `guest_pc`'s
+    /// translation (writes 0 = unresolved back into each site).
+    fn unlink_incoming(&mut self, guest_pc: u64) {
+        if let Some(sites) = self.incoming.remove(&guest_pc) {
+            for site in sites {
+                self.patch_chain(site, 0);
+                self.chain_stats.chain_flushes += 1;
+            }
+        }
+    }
+
+    /// Drops `guest_pc` from every core's indirect jump cache.
+    fn flush_jcache(&mut self, guest_pc: u64) {
+        let idx = Self::jcache_idx(guest_pc);
+        for c in &mut self.cores {
+            if c.jcache[idx].0 == guest_pc {
+                c.jcache[idx] = (u64::MAX, 0);
+                self.chain_stats.chain_flushes += 1;
+            }
+        }
+    }
+
+    fn jcache_idx(guest_pc: u64) -> usize {
+        ((guest_pc ^ (guest_pc >> 6)) as usize) & (JCACHE_SIZE - 1)
+    }
+
+    /// Releases the install region starting at `host_start`, deferring if
+    /// a live core is still parked inside it.
+    fn free_region(&mut self, host_start: u64) {
+        let Some(len) = self.regions.remove(&host_start) else {
+            return;
+        };
+        // Defensive: never free a region another mapping still targets.
+        if self.tb_map.values().any(|&h| h == host_start) {
+            self.regions.insert(host_start, len);
+            return;
+        }
+        if self.core_in_range(host_start, len) {
+            self.pending_free.push((host_start, len));
+        } else {
+            self.do_free(host_start, len);
+        }
+    }
+
+    fn core_in_range(&self, start: u64, len: usize) -> bool {
+        let end = start + len as u64;
+        self.cores.iter().any(|c| c.started && !c.halted && c.pc >= start && c.pc < end)
+    }
+
+    /// Actually reclaims a region: purges decode-cache entries and
+    /// recorded chain sites inside it, then adds it to the free list.
+    fn do_free(&mut self, start: u64, len: usize) {
+        let end = start + len as u64;
+        self.decode_cache.retain(|&pc, _| pc < start || pc >= end);
+        // Chain sites *inside* the dead body must be forgotten, or a later
+        // unmap of their target would patch bytes that now belong to a
+        // different translation.
+        for sites in self.incoming.values_mut() {
+            sites.retain(|&s| s < start || s >= end);
+        }
+        self.incoming.retain(|_, v| !v.is_empty());
+        self.free_list.push(((start - CODE_BASE) as usize, len));
+    }
+
+    fn retry_pending_frees(&mut self) {
+        if self.pending_free.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_free);
+        for (start, len) in pending {
+            if self.core_in_range(start, len) {
+                self.pending_free.push((start, len));
+            } else {
+                self.do_free(start, len);
+            }
+        }
     }
 
     /// Guest pcs with an installed translation, in unspecified order.
@@ -897,23 +1088,53 @@ impl Machine {
                 self.cores[core].pc = pc;
                 Some(Event::GuestSyscall { core, next })
             }
-            TbExitKind::Jump { guest_pc } => match self.tb_map.get(&guest_pc) {
-                Some(&host) => {
-                    self.cores[core].pc = host;
+            TbExitKind::Jump { guest_pc, chain } => {
+                if self.chaining && chain != 0 {
+                    // Patched chain slot: straight-line branch, no lookup.
+                    self.chain_stats.chain_hits += 1;
+                    self.cores[core].pc = chain;
                     self.cores[core].cycles += cost.tb_chain;
-                    None
+                    return None;
                 }
-                None => {
-                    self.cores[core].pc = pc;
-                    Some(Event::TranslationMiss { core, guest_pc })
+                match self.tb_map.get(&guest_pc).copied() {
+                    Some(host) => {
+                        self.cores[core].cycles += cost.tb_dispatch;
+                        if self.chaining {
+                            // Resolve once: patch the in-code chain word
+                            // and record the site for later unlinking.
+                            self.patch_chain(pc, host);
+                            self.incoming.entry(guest_pc).or_default().push(pc);
+                            self.chain_stats.chain_links += 1;
+                        }
+                        self.cores[core].pc = host;
+                        None
+                    }
+                    None => {
+                        self.cores[core].pc = pc;
+                        Some(Event::TranslationMiss { core, guest_pc })
+                    }
                 }
-            },
+            }
             TbExitKind::JumpReg { reg } => {
                 let guest_pc = self.cores[core].get(reg);
-                match self.tb_map.get(&guest_pc) {
-                    Some(&host) => {
-                        self.cores[core].pc = host;
+                let idx = Self::jcache_idx(guest_pc);
+                if self.chaining {
+                    let (g, h) = self.cores[core].jcache[idx];
+                    if g == guest_pc {
+                        self.chain_stats.dispatch_hits += 1;
+                        self.cores[core].pc = h;
                         self.cores[core].cycles += cost.tb_chain;
+                        return None;
+                    }
+                }
+                match self.tb_map.get(&guest_pc).copied() {
+                    Some(host) => {
+                        self.chain_stats.dispatch_misses += 1;
+                        if self.chaining {
+                            self.cores[core].jcache[idx] = (guest_pc, host);
+                        }
+                        self.cores[core].pc = host;
+                        self.cores[core].cycles += cost.tb_dispatch;
                         None
                     }
                     None => {
@@ -1040,7 +1261,7 @@ mod tests {
         let mut m = Machine::new(1, CostModel::uniform());
         let b1 = m.install_code(&[
             MovImm { dst: Xreg(0), imm: 5 },
-            ExitTb(TbExitKind::Jump { guest_pc: 0x2000 }),
+            ExitTb(TbExitKind::Jump { guest_pc: 0x2000, chain: 0 }),
         ]);
         m.start_core(0, b1);
         match m.run(100) {
@@ -1220,5 +1441,177 @@ mod tests {
             same.clock(),
             diff.clock()
         );
+    }
+
+    /// A self-looping TB that decrements to a halt: 4 direct-jump exits
+    /// (x0 = 1..=4 jump back, x0 = 5 halts).
+    fn looping_tb(m: &mut Machine) -> u64 {
+        use HostInsn::*;
+        let a = m.install_code(&[
+            AluImm { op: AOp::Add, dst: Xreg(0), a: Xreg(0), imm: 1 },
+            CmpImm { a: Xreg(0), imm: 5 },
+            BCond { cond: ACond::Eq, rel: 18 }, // over the 18-byte Jump exit
+            ExitTb(TbExitKind::Jump { guest_pc: 0x1000, chain: 0 }),
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x1000, a);
+        a
+    }
+
+    #[test]
+    fn direct_jump_chains_after_first_dispatch() {
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = looping_tb(&mut m);
+        m.start_core(0, a);
+        assert_eq!(m.run(1000), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(0)), 5);
+        let s = m.chain_stats();
+        assert_eq!(s.chain_links, 1, "the exit is resolved exactly once");
+        assert_eq!(s.chain_hits, 3, "every later traversal follows the patched slot");
+    }
+
+    #[test]
+    fn chaining_disabled_is_pure_dispatch_with_identical_state() {
+        let run = |chaining: bool| {
+            let mut m = Machine::new(1, CostModel::uniform());
+            m.set_chaining(chaining);
+            let a = looping_tb(&mut m);
+            m.start_core(0, a);
+            assert_eq!(m.run(1000), Event::AllHalted);
+            (m.reg(0, Xreg(0)), m.chain_stats())
+        };
+        let (on, s_on) = run(true);
+        let (off, s_off) = run(false);
+        assert_eq!(on, off, "architectural state must not depend on chaining");
+        assert!(s_on.chain_hits > 0);
+        assert_eq!(s_off.chain_hits + s_off.chain_links, 0);
+    }
+
+    #[test]
+    fn jumpreg_exits_use_the_jump_cache() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = m.install_code(&[
+            AluImm { op: AOp::Add, dst: Xreg(0), a: Xreg(0), imm: 1 },
+            CmpImm { a: Xreg(0), imm: 5 },
+            BCond { cond: ACond::Eq, rel: 3 }, // over the 3-byte JumpReg exit
+            ExitTb(TbExitKind::JumpReg { reg: Xreg(9) }),
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x1000, a);
+        m.set_reg(0, Xreg(9), 0x1000);
+        m.start_core(0, a);
+        assert_eq!(m.run(1000), Event::AllHalted);
+        let s = m.chain_stats();
+        assert_eq!(s.dispatch_misses, 1, "first indirect exit fills the cache");
+        assert_eq!(s.dispatch_hits, 3);
+    }
+
+    #[test]
+    fn unmap_unlinks_chains_and_stale_body_never_runs() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = m.install_code(&[ExitTb(TbExitKind::Jump { guest_pc: 0x2000, chain: 0 })]);
+        let b = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 42 },
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x1000, a);
+        m.map_tb(0x2000, b);
+        m.start_core(0, a);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(1)), 42);
+        assert_eq!(m.chain_stats().chain_links, 1);
+
+        // Evict the chained-into TB. The chain slot in `a` must be
+        // un-patched before the mapping disappears.
+        assert!(m.unmap_tb(0x2000));
+        assert!(m.chain_stats().chain_flushes >= 1);
+        m.set_reg(0, Xreg(1), 0);
+        m.start_core(0, a);
+        match m.run(100) {
+            Event::TranslationMiss { core: 0, guest_pc: 0x2000 } => {}
+            other => panic!("stale chain was followed: {other:?}"),
+        }
+        assert_eq!(m.reg(0, Xreg(1)), 0, "the stale body must never execute");
+
+        // The engine retranslates; possibly into the reclaimed region.
+        let b2 = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 43 },
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x2000, b2);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(1)), 43, "the new body executes after relink");
+    }
+
+    #[test]
+    fn jcache_is_flushed_on_unmap() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = m.install_code(&[ExitTb(TbExitKind::JumpReg { reg: Xreg(9) })]);
+        let b = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 42 },
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x2000, b);
+        m.set_reg(0, Xreg(9), 0x2000);
+        m.start_core(0, a);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(1)), 42);
+
+        assert!(m.unmap_tb(0x2000));
+        m.set_reg(0, Xreg(1), 0);
+        m.start_core(0, a);
+        match m.run(100) {
+            Event::TranslationMiss { core: 0, guest_pc: 0x2000 } => {}
+            other => panic!("stale jump-cache entry was served: {other:?}"),
+        }
+        assert_eq!(m.reg(0, Xreg(1)), 0);
+    }
+
+    #[test]
+    fn code_buffer_is_reclaimed_on_unmap() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let body = [
+            MovImm { dst: Xreg(1), imm: 7 },
+            ExitTb(TbExitKind::Halt),
+        ];
+        let a = m.install_code(&body);
+        m.map_tb(0x1000, a);
+        let size = m.code_size();
+        for _ in 0..50 {
+            assert!(m.unmap_tb(0x1000));
+            let b = m.install_code(&body);
+            assert_eq!(b, a, "same-size retranslation reuses the freed region");
+            m.map_tb(0x1000, b);
+        }
+        assert_eq!(m.code_size(), size, "churn must not grow the code buffer");
+    }
+
+    #[test]
+    fn parked_in_region_free_is_deferred() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        let a = m.install_code(&[ExitTb(TbExitKind::Jump { guest_pc: 0x2000, chain: 0 })]);
+        m.map_tb(0x1000, a);
+        m.start_core(0, a);
+        assert!(matches!(m.run(100), Event::TranslationMiss { .. }));
+        // Evict the TB the core is parked *inside*. Its 18-byte region
+        // must not be handed to the next (12-byte) install while the core
+        // still sits there.
+        assert!(m.unmap_tb(0x1000));
+        let b = m.install_code(&[
+            MovImm { dst: Xreg(1), imm: 7 },
+            ExitTb(TbExitKind::Halt),
+        ]);
+        assert_ne!(b, a, "a parked-in region must not be reused");
+        m.map_tb(0x2000, b);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(1)), 7);
+        // Once the core has left, the deferred free is honoured.
+        let c = m.install_code(&[ExitTb(TbExitKind::Jump { guest_pc: 0x3000, chain: 0 })]);
+        assert_eq!(c, a, "deferred region is reclaimed after the core moves on");
     }
 }

@@ -50,4 +50,7 @@ pub use frontend::{
     translate_block, CasStrategy, FencePlacement, FrontendConfig, TranslateError, MAX_TB_INSNS,
 };
 pub use ir::{env, BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
-pub use opt::{constant_fold, dce, merge_fences, optimize, optimize_with, OptPolicy, OptStats, PassConfig};
+pub use opt::{
+    constant_fold, dce, elim_may_cross, merge_fences, optimize, optimize_with, ElimKind,
+    OptPolicy, OptStats, PassConfig,
+};

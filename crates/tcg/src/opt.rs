@@ -25,7 +25,9 @@ use std::collections::HashMap;
 /// Which elimination side conditions the memory-forwarding pass uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OptPolicy {
-    /// Fig. 10: RAR/WAW may cross `Frm`/`Fww`; RAW may cross `Fsc`/`Fww`.
+    /// Fig. 10: RAW may cross `Fsc`/`Fww`, RAR may cross `Frm`/`Fww`, and
+    /// WAW (which deletes a *write*) only fences with a read-only
+    /// predecessor class — `Frr`/`Frw`/`Frm`. See [`elim_may_cross`].
     Verified,
     /// QEMU's fence-oblivious eliminations (unsound across `Fmr`, §3.2).
     QemuUnsound,
@@ -309,16 +311,44 @@ struct Tracked {
     fences_since: Vec<FenceKind>,
 }
 
-fn elim_allowed(is_raw: bool, fences: &[FenceKind], policy: OptPolicy) -> bool {
+/// Which Fig. 10 memory-access elimination is being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElimKind {
+    /// Forward a store's value into a later load of the same address.
+    Raw,
+    /// Forward an earlier load's value into a later load.
+    Rar,
+    /// Delete an earlier store overwritten by a later one.
+    Waw,
+}
+
+/// `true` when an elimination of `kind` may cross the fence `f` under the
+/// verified policy (Fig. 10 side conditions).
+///
+/// RAW and RAR move a *read* of the location earlier (to the forwarded
+/// def), so the fences they may cross are the ones whose ordering the
+/// surviving access still provides: `Fsc`/`Fww` for RAW, `Frm`/`Fww` for
+/// RAR. WAW deletes the *first write*: every `[W];po;[F];po;[post(F)]`
+/// edge that write contributed disappears, and the surviving same-address
+/// write (coherence-after it) only inherits the in-edges. So deleting a
+/// store across `f` is sound exactly when writes are not in `f`'s
+/// predecessor class — `Frr`/`Frw`/`Frm`. In particular `Fww` (which the
+/// read eliminations may cross) makes WAW *unsound*: with
+/// `St x; Fww; St x; St y` the deleted store carries the `Fww` edge into
+/// `St y`, and dropping it lets an observer see `y` new but `x` stale
+/// (`tests/opt_soundness.rs` exercises the counterexample exhaustively).
+pub fn elim_may_cross(kind: ElimKind, f: FenceKind) -> bool {
+    match kind {
+        ElimKind::Raw => matches!(f, FenceKind::Fsc | FenceKind::Fww),
+        ElimKind::Rar => matches!(f, FenceKind::Frm | FenceKind::Fww),
+        ElimKind::Waw => f.tcg_order().is_some_and(|(pre, _)| !pre.writes),
+    }
+}
+
+fn elim_allowed(kind: ElimKind, fences: &[FenceKind], policy: OptPolicy) -> bool {
     fences.iter().all(|f| match policy {
         OptPolicy::QemuUnsound => f.is_tcg(),
-        OptPolicy::Verified => {
-            if is_raw {
-                matches!(f, FenceKind::Fsc | FenceKind::Fww)
-            } else {
-                matches!(f, FenceKind::Frm | FenceKind::Fww)
-            }
-        }
+        OptPolicy::Verified => elim_may_cross(kind, *f),
     })
 }
 
@@ -340,11 +370,11 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
             }
             TcgOp::Ld { dst, addr } => {
                 if let Some(t) = tracked.iter().find(|t| t.addr == *addr) {
-                    let (value, is_raw) = match t.kind {
-                        TrackedKind::Store { value } => (value, true),
-                        TrackedKind::Load { value } => (value, false),
+                    let (value, kind) = match t.kind {
+                        TrackedKind::Store { value } => (value, ElimKind::Raw),
+                        TrackedKind::Load { value } => (value, ElimKind::Rar),
                     };
-                    if elim_allowed(is_raw, &t.fences_since, policy) {
+                    if elim_allowed(kind, &t.fences_since, policy) {
                         stats.loads_forwarded += 1;
                         out.push(TcgOp::Mov { dst: *dst, src: value });
                         continue;
@@ -366,7 +396,7 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
                 if let Some(pos) = tracked.iter().position(|t| t.addr == *addr) {
                     let t = &tracked[pos];
                     if let TrackedKind::Store { .. } = t.kind {
-                        if elim_allowed(false, &t.fences_since, policy) {
+                        if elim_allowed(ElimKind::Waw, &t.fences_since, policy) {
                             // Find the previous store in `out` and drop it.
                             if let Some(idx) = out.iter().rposition(
                                 |o| matches!(o, TcgOp::St { addr: a, .. } if a == addr),
@@ -498,7 +528,7 @@ mod tests {
     use super::*;
     use crate::eval::eval_block;
     use crate::frontend::{translate_block, FrontendConfig};
-    use crate::ir::env;
+    use crate::ir::{env, Helper};
     use risotto_guest_x86::{AluOp, Assembler, Gpr, SparseMem};
 
     fn fetcher(bytes: Vec<u8>, base: u64) -> impl Fn(u64) -> [u8; 16] {
@@ -653,6 +683,51 @@ mod tests {
         check_equivalent(&orig, &b);
     }
 
+    /// `St addr, 1; Fence(f); St addr, 2` — may the first store go?
+    fn waw_across(f: FenceKind, policy: OptPolicy) -> usize {
+        let mut b = TcgBlock {
+            guest_pc: 0,
+            guest_len: 0,
+            ops: vec![],
+            exit: TbExit::Halt,
+            n_temps: 0,
+        };
+        let addr = b.new_temp();
+        let v1 = b.new_temp();
+        let v2 = b.new_temp();
+        b.ops = vec![
+            TcgOp::GetReg { dst: addr, reg: 7 },
+            TcgOp::MovI { dst: v1, val: 1 },
+            TcgOp::MovI { dst: v2, val: 2 },
+            TcgOp::St { addr, src: v1 },
+            TcgOp::Fence(f),
+            TcgOp::St { addr, src: v2 },
+        ];
+        let mut stats = OptStats::default();
+        forward_memory(&mut b, policy, &mut stats);
+        stats.stores_eliminated
+    }
+
+    #[test]
+    fn waw_only_crosses_read_predecessor_fences() {
+        use FenceKind::*;
+        // Sound: the fence orders nothing the deleted write participates
+        // in (read-only predecessor class).
+        for f in [Frr, Frw, Frm] {
+            assert_eq!(waw_across(f, OptPolicy::Verified), 1, "{f:?} blocks a sound WAW");
+        }
+        // Unsound: the deleted write is in the fence's predecessor class —
+        // in particular Fww, which the pre-fix RAR predicate wrongly
+        // allowed (single-threaded evaluation cannot see the difference;
+        // tests/opt_soundness.rs shows the multi-threaded counterexample).
+        for f in [Fwr, Fww, Fwm, Fmr, Fmw, Fmm, Fsc] {
+            assert_eq!(waw_across(f, OptPolicy::Verified), 0, "{f:?} must block WAW");
+        }
+        // The QEMU policy ignores fences entirely — that is the modelled
+        // unsoundness, not a bug.
+        assert_eq!(waw_across(Fmm, OptPolicy::QemuUnsound), 1);
+    }
+
     #[test]
     fn rar_forwarding_aliases_loads() {
         let mut b = TcgBlock {
@@ -713,6 +788,83 @@ mod tests {
         let merged = merge_fences(&mut b);
         assert_eq!(merged, 0, "Frm · Ld · Frm must not merge");
         assert_eq!(b.count_fences(FenceKind::Frm), 2);
+    }
+
+    /// `Fence(Frm); <mid ops>; Fence(Fww)` in a hand-built block: how
+    /// many fences merge away?
+    fn merge_with_between(mk_mid: impl FnOnce(&mut TcgBlock) -> Vec<TcgOp>) -> usize {
+        let mut b = TcgBlock {
+            guest_pc: 0,
+            guest_len: 0,
+            ops: vec![],
+            exit: TbExit::Halt,
+            n_temps: 0,
+        };
+        let mid = mk_mid(&mut b);
+        b.ops = vec![TcgOp::Fence(FenceKind::Frm)];
+        b.ops.extend(mid);
+        b.ops.push(TcgOp::Fence(FenceKind::Fww));
+        merge_fences(&mut b)
+    }
+
+    #[test]
+    fn fences_merge_across_non_memory_ops_only() {
+        // Pure register traffic between the fences: still mergeable.
+        assert_eq!(
+            merge_with_between(|b| {
+                let t = b.new_temp();
+                vec![TcgOp::MovI { dst: t, val: 9 }, TcgOp::SetReg { reg: 3, src: t }]
+            }),
+            1,
+            "non-memory ops must not break a fence run"
+        );
+    }
+
+    #[test]
+    fn fences_do_not_merge_across_helper_calls() {
+        // A helper can touch arbitrary memory (CmpxchgSc *is* an access):
+        // merging the surrounding fences past it would reorder its
+        // accesses out of their fence classes.
+        assert_eq!(
+            merge_with_between(|b| {
+                let a = b.new_temp();
+                let e = b.new_temp();
+                let n = b.new_temp();
+                let r = b.new_temp();
+                vec![
+                    TcgOp::GetReg { dst: a, reg: 7 },
+                    TcgOp::GetReg { dst: e, reg: 0 },
+                    TcgOp::GetReg { dst: n, reg: 1 },
+                    TcgOp::CallHelper {
+                        helper: Helper::CmpxchgSc,
+                        args: vec![a, e, n],
+                        ret: Some(r),
+                    },
+                ]
+            }),
+            0,
+            "CallHelper is a memory access for fence merging"
+        );
+    }
+
+    #[test]
+    fn fences_do_not_merge_across_cas() {
+        assert_eq!(
+            merge_with_between(|b| {
+                let a = b.new_temp();
+                let e = b.new_temp();
+                let n = b.new_temp();
+                let d = b.new_temp();
+                vec![
+                    TcgOp::GetReg { dst: a, reg: 7 },
+                    TcgOp::GetReg { dst: e, reg: 0 },
+                    TcgOp::GetReg { dst: n, reg: 1 },
+                    TcgOp::Cas { dst: d, addr: a, expect: e, new: n },
+                ]
+            }),
+            0,
+            "Cas is a memory access for fence merging"
+        );
     }
 
     #[test]

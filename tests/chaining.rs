@@ -1,0 +1,59 @@
+//! Acceptance test for direct TB chaining (the PR's tentpole): across the
+//! full 16-kernel Fig. 12 suite, a chaining-enabled run must resolve at
+//! least 90% of its direct-jump exits through patched chain slots, and its
+//! architectural results (per-thread exit values and WRITE output) must be
+//! bit-identical to a chaining-disabled reference run, which takes every
+//! TB exit through the dispatcher.
+
+use risotto::core::{Emulator, Setup};
+use risotto::host::CostModel;
+use risotto::workloads::kernels;
+
+const FUEL: u64 = 400_000_000;
+
+#[test]
+fn chaining_matches_dispatcher_reference_on_all_kernels() {
+    let mut total_hits = 0u64;
+    let mut total_links = 0u64;
+    for w in kernels::all() {
+        let bin = (w.build)(8, 2);
+
+        let mut chained = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+        let rc = chained.run(FUEL).unwrap_or_else(|e| panic!("{} (chained): {e}", w.name));
+
+        let mut reference = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+        reference.set_chaining(false);
+        let rr = reference.run(FUEL).unwrap_or_else(|e| panic!("{} (reference): {e}", w.name));
+
+        assert_eq!(
+            rc.exit_vals, rr.exit_vals,
+            "{}: exit values diverge between chained and dispatcher runs",
+            w.name
+        );
+        assert_eq!(
+            rc.output, rr.output,
+            "{}: guest output diverges between chained and dispatcher runs",
+            w.name
+        );
+
+        // The reference config must never chain; the chained config must
+        // actually exercise the chain slots on loopy kernels.
+        assert_eq!(rr.chain.chain_links, 0, "{}: reference run created chains", w.name);
+        assert_eq!(rr.chain.chain_hits, 0, "{}: reference run took a chain", w.name);
+        assert!(
+            rc.chain.chain_hits + rc.chain.chain_links > 0,
+            "{}: chained run never took a direct-jump exit",
+            w.name
+        );
+
+        total_hits += rc.chain.chain_hits;
+        total_links += rc.chain.chain_links;
+    }
+    // ≥90% of all direct-jump exits resolved via an already-patched chain
+    // slot (the remainder are the one-time linking dispatches).
+    let rate = total_hits as f64 / (total_hits + total_links) as f64;
+    assert!(
+        rate >= 0.90,
+        "chain-hit rate {rate:.3} below 0.90 ({total_hits} hits / {total_links} links)"
+    );
+}

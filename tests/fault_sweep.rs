@@ -174,6 +174,82 @@ fn tb_corruption_is_retranslated() {
     assert_eq!(r.fallback_blocks, 0, "corruption must not force interpretation");
 }
 
+/// The PR-1 failure model meets TB chaining: corrupting (→ unmapping) the
+/// loop-head TB *after it has been chained into* must unlink the chain —
+/// the core takes a dispatcher miss and re-translates instead of running
+/// the stale body. A still-patched chain would show up as a completed run
+/// with zero retranslations (and, under eviction-with-replacement, as a
+/// wrong count).
+#[test]
+fn unmapping_a_chained_into_tb_forces_retranslation() {
+    // Counts to `n`; on iteration `k` only, performs a GETTID syscall.
+    // The loop back-edge chains into the loop head during the event-free
+    // iterations before `k`, so the one-shot corruption (which the engine
+    // applies at the next event) hits a TB that is *already chained into*.
+    let (n, k) = (500u64, 10u64);
+    let mut b = GelfBuilder::new("main");
+    let msg = b.data_bytes(b"ok\n");
+    b.asm.label("main");
+    b.asm.mov_ri(Gpr::RAX, syscalls::WRITE);
+    b.asm.mov_ri(Gpr::RDI, 1);
+    b.asm.mov_ri(Gpr::RSI, msg);
+    b.asm.mov_ri(Gpr::RDX, 3);
+    b.asm.syscall();
+    b.asm.mov_ri(Gpr::RBX, 0);
+    b.asm.label("loop");
+    b.asm.alu_ri(AluOp::Add, Gpr::RBX, 1);
+    b.asm.cmp_ri(Gpr::RBX, k);
+    b.asm.jcc_to(Cond::Ne, "skip");
+    b.asm.mov_ri(Gpr::RAX, syscalls::GETTID);
+    b.asm.syscall();
+    b.asm.label("skip");
+    b.asm.cmp_ri(Gpr::RBX, n);
+    b.asm.jcc_to(Cond::Ne, "loop");
+    b.asm.mov_rr(Gpr::RAX, Gpr::RBX);
+    b.asm.hlt();
+    let bin = b.finish().unwrap();
+
+    let loop_pc = bin.symbols["loop"];
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(5).corrupt_tb_at(loop_pc));
+    let r = emu.run(FUEL).unwrap();
+    assert_eq!(r.exit_vals[0], Some(n));
+    assert_eq!(r.output, b"ok\n");
+    assert!(r.chain.chain_links >= 2, "the loop edges were never chained");
+    assert!(
+        r.chain.chain_flushes >= 1,
+        "unmapping the chained-into TB must unlink its incoming chains"
+    );
+    assert!(
+        r.retranslations >= 1,
+        "after the unlink the dispatcher must miss and re-translate"
+    );
+}
+
+/// Satellite: retranslation churn must not grow the host code buffer
+/// without bound. Under heavy eviction pressure the buffer stays within a
+/// small factor of the fault-free footprint, because unmapped regions are
+/// reclaimed and reused.
+#[test]
+fn high_churn_eviction_keeps_the_code_buffer_bounded() {
+    let bin = counting_binary(2_000, true);
+    let baseline = {
+        let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+        emu.run(FUEL).unwrap().code_bytes
+    };
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 1, cost());
+    emu.set_fault_plan(FaultPlan::seeded(7).rate(FaultSite::TbCache, 4000));
+    let r = emu.run(FUEL).unwrap();
+    assert_eq!(r.exit_vals[0], Some(2_000));
+    assert!(r.retranslations >= 20, "eviction pressure too low to test reclamation");
+    assert!(
+        r.code_bytes <= baseline * 2,
+        "code buffer grew without bound under churn: {} vs fault-free {}",
+        r.code_bytes,
+        baseline
+    );
+}
+
 /// Injected syscall-layer faults are non-recoverable and typed, with the
 /// failing layer, core, and guest pc attached.
 #[test]

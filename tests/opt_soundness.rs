@@ -1,0 +1,246 @@
+//! Exhaustive soundness regressions for the optimizer's fence side
+//! conditions, checked against the executable TCG IR memory model.
+//!
+//! Two families:
+//!
+//! 1. **Memory-access eliminations** (`forward_memory`): for every TCG
+//!    fence we build the pre- and post-elimination litmus programs and
+//!    check `behaviors(after) ⊆ behaviors(before)` under `TcgIr` by
+//!    exhaustive enumeration. The derived verdicts must agree with
+//!    [`risotto::tcg::elim_may_cross`]. This is the regression for the
+//!    WAW bug where the RAR predicate (`Frm`/`Fww`) was used to delete
+//!    stores: deleting `St x` across `Fww` in `St x; Fww; St x'; St y`
+//!    drops the `[W];po;[Fww];po;[W]` edge into `St y`, and an observer
+//!    reading `y` new then (dependently) `x` stale witnesses it.
+//!
+//! 2. **Fence merging** (`merge_fences`): for every ordered pair of TCG
+//!    fences and four surrounding-access shapes (W·W, W·R, R·W, R·R),
+//!    replacing the pair by its `tcg_join` must not allow new behaviors.
+
+use risotto::litmus::{behaviors, Behavior, Expr, Program, Reg};
+use risotto::memmodel::{FenceKind, Loc, TcgIr};
+use risotto::tcg::{elim_may_cross, ElimKind};
+use std::collections::BTreeSet;
+
+const X: Loc = Loc(0);
+const Y: Loc = Loc(1);
+const Z: Loc = Loc(2);
+const R0: Reg = Reg(0);
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+
+fn beh(p: &Program) -> BTreeSet<Behavior> {
+    behaviors(p, &TcgIr::new())
+}
+
+/// `after` must exhibit no behavior `before` forbids.
+fn is_sound(before: &Program, after: &Program) -> bool {
+    beh(after).is_subset(&beh(before))
+}
+
+/// The two WAW shapes. `elim` drops the first store (what the optimizer
+/// does); the observer threads are chosen so every fence with a write in
+/// its predecessor class is caught by at least one shape.
+fn waw_shapes(f: FenceKind, elim: bool) -> [Program; 2] {
+    // Shape A — trailing store: the deleted `St X=1` carries the
+    // `[W];po;[f];po;[W]` edge into `St Y=1` (catches Fww/Fwm/Fmw/Fmm/Fsc).
+    let a = Program::builder("waw-A")
+        .thread(|t| {
+            if !elim {
+                t.store(X, 1);
+            }
+            t.fence(f).store(X, 2).store(Y, 1);
+        })
+        .thread(|t| {
+            t.load(R0, Y).fence(FenceKind::Frm).load(R1, X);
+        })
+        .build();
+    // Shape B — intervening load: the deleted store's `[W];po;[f];po;[R]`
+    // edge into `Ld Z` (catches Fwr/Fmr and the `m`-pre fences again).
+    let b = Program::builder("waw-B")
+        .thread(|t| {
+            if !elim {
+                t.store(X, 1);
+            }
+            t.fence(f).load(R2, Z).store(X, 2);
+        })
+        .thread(|t| {
+            t.store(Z, 1).fence(FenceKind::Fmm).load(R1, X);
+        })
+        .build();
+    [a, b]
+}
+
+/// Exhaustive WAW verdicts: for every ordering TCG fence the model-derived
+/// verdict must equal the predicate the optimizer uses. Fails on the
+/// pre-fix code, which allowed `Fww` (unsound) and refused `Frr`/`Frw`
+/// (sound).
+#[test]
+fn waw_side_condition_matches_the_model() {
+    for f in FenceKind::TCG_ALL {
+        let sound = waw_shapes(f, false)
+            .iter()
+            .zip(waw_shapes(f, true).iter())
+            .all(|(before, after)| is_sound(before, after));
+        if f.tcg_order().is_some() {
+            assert_eq!(
+                elim_may_cross(ElimKind::Waw, f),
+                sound,
+                "WAW across {f:?}: model says sound={sound}"
+            );
+        } else {
+            // Facq/Frel impose no ord edges (deletion is trivially sound);
+            // the predicate is allowed to refuse them conservatively.
+            assert!(sound, "no-op fence {f:?} cannot make WAW unsound");
+            assert!(!elim_may_cross(ElimKind::Waw, f), "predicate stays conservative");
+        }
+    }
+}
+
+/// RAW forwarding models `St X=v; f; Ld r=X ↝ St X=v; f; r:=v`.
+fn raw_shape(f: FenceKind, elim: bool) -> Program {
+    Program::builder("raw")
+        .thread(|t| {
+            t.store(X, 1).fence(f);
+            if elim {
+                t.let_(R0, 1u64);
+            } else {
+                t.load(R0, X);
+            }
+            t.store(Y, 1);
+        })
+        .thread(|t| {
+            t.store(X, 2).fence(FenceKind::Fmm).load(R1, Y);
+        })
+        .build()
+}
+
+/// RAR forwarding models `Ld r0=X; f; Ld r1=X ↝ Ld r0=X; f; r1:=r0`.
+fn rar_shape(f: FenceKind, elim: bool) -> Program {
+    Program::builder("rar")
+        .thread(|t| {
+            t.load(R0, X).fence(f);
+            if elim {
+                t.let_(R1, Expr::Reg(R0));
+            } else {
+                t.load(R1, X);
+            }
+            t.load(R2, Y);
+        })
+        .thread(|t| {
+            t.store(Y, 1).fence(FenceKind::Fww).store(X, 1);
+        })
+        .build()
+}
+
+/// The read eliminations must be sound for every fence their predicates
+/// allow (the other direction — the predicate being minimal — is the
+/// paper's Fig. 10 claim, not something these two shapes can establish).
+#[test]
+fn read_elimination_predicates_are_sound() {
+    for f in FenceKind::TCG_ALL {
+        if elim_may_cross(ElimKind::Raw, f) {
+            assert!(
+                is_sound(&raw_shape(f, false), &raw_shape(f, true)),
+                "RAW across {f:?} is allowed by the predicate but unsound"
+            );
+        }
+        if elim_may_cross(ElimKind::Rar, f) {
+            assert!(
+                is_sound(&rar_shape(f, false), &rar_shape(f, true)),
+                "RAR across {f:?} is allowed by the predicate but unsound"
+            );
+        }
+    }
+}
+
+/// One program per surrounding-access shape, with either the fence pair
+/// `f1; f2` or a single fence (the join) at the marked point.
+fn merge_shapes(fences: &[FenceKind]) -> [Program; 4] {
+    let seq = |t: &mut risotto::litmus::ThreadBuilder, fences: &[FenceKind]| {
+        for f in fences {
+            t.fence(*f);
+        }
+    };
+    let ww = Program::builder("merge-WW")
+        .thread(|t| {
+            t.store(X, 1);
+            seq(t, fences);
+            t.store(Y, 1);
+        })
+        .thread(|t| {
+            t.load(R0, Y).fence(FenceKind::Frm).load(R1, X);
+        })
+        .build();
+    let wr = Program::builder("merge-WR")
+        .thread(|t| {
+            t.store(X, 1);
+            seq(t, fences);
+            t.load(R0, Y);
+        })
+        .thread(|t| {
+            t.store(Y, 1).fence(FenceKind::Fmm).load(R1, X);
+        })
+        .build();
+    let rw = Program::builder("merge-RW")
+        .thread(|t| {
+            t.load(R0, X);
+            seq(t, fences);
+            t.store(Y, 1);
+        })
+        .thread(|t| {
+            t.load(R1, Y).fence(FenceKind::Fmm).store(X, 1);
+        })
+        .build();
+    let rr = Program::builder("merge-RR")
+        .thread(|t| {
+            t.load(R0, X);
+            seq(t, fences);
+            t.load(R1, Y);
+        })
+        .thread(|t| {
+            t.store(Y, 1).fence(FenceKind::Fww).store(X, 1);
+        })
+        .build();
+    [ww, wr, rw, rr]
+}
+
+/// For every ordered pair of TCG fences, replacing `f1; f2` by
+/// `f1.tcg_join(f2)` must not enable behaviors in any of the four
+/// surrounding-access shapes — the per-case model verification behind
+/// `merge_fences`.
+#[test]
+fn fence_join_is_sound_for_every_pair() {
+    for f1 in FenceKind::TCG_ALL {
+        for f2 in FenceKind::TCG_ALL {
+            let join = f1.tcg_join(f2);
+            let pairs = merge_shapes(&[f1, f2]);
+            let joined = merge_shapes(&[join]);
+            for (before, after) in pairs.iter().zip(joined.iter()) {
+                assert!(
+                    is_sound(before, after),
+                    "{} : {f1:?}·{f2:?} ↝ {join:?} allowed new behaviors",
+                    before.name
+                );
+            }
+        }
+    }
+}
+
+/// Directly pin the counterexample the WAW fix closes: with the first
+/// store deleted across `Fww`, the observer may see `Y` new and `X`
+/// stale — an outcome the original program forbids.
+#[test]
+fn fww_waw_counterexample_is_real() {
+    let [before_a, _] = waw_shapes(FenceKind::Fww, false);
+    let [after_a, _] = waw_shapes(FenceKind::Fww, true);
+    let stale = |b: &Behavior| b.reg(1, R0) == 1 && b.reg(1, R1) == 0;
+    assert!(
+        !beh(&before_a).iter().any(stale),
+        "original forbids Y=new, X=stale through the Fww edge"
+    );
+    assert!(
+        beh(&after_a).iter().any(stale),
+        "deleting the fenced store exposes the stale-X window"
+    );
+}
