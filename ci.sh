@@ -7,10 +7,33 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Documentation gate: rustdoc must build warning-free (missing-docs are
+# hard errors in core/tcg/host-arm via #![deny(missing_docs)]).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 # End-to-end pipeline bench in smoke mode: runs the 16-kernel suite at a
 # CI-sized scale and emits BENCH_pipeline.json (per-kernel cycles +
-# TB-chain hit rate).
+# TB-chain hit rate + registry snapshot).
 cargo bench -q -p risotto-bench --bench pipeline -- smoke
 test -s BENCH_pipeline.json
+
+# Metrics-artifact smoke: fig12 at CI scale must emit a parseable,
+# versioned JSON artifact with one workload entry per kernel.
+metrics_json="$(mktemp /tmp/fig12_metrics.XXXXXX.json)"
+cargo run -q --release -p risotto-bench --bin fig12_parsec_phoenix -- \
+    --smoke --metrics-json "$metrics_json" > /dev/null
+if command -v jq > /dev/null 2>&1; then
+    jq -e '.version == 1 and (.workloads | length) == 16' "$metrics_json" > /dev/null
+else
+    python3 - "$metrics_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == 1, doc["version"]
+assert len(doc["workloads"]) == 16, len(doc["workloads"])
+for w in doc["workloads"]:
+    assert w["metrics"]["version"] == 1
+EOF
+fi
+rm -f "$metrics_json"
 
 echo "ci: all green"

@@ -130,11 +130,14 @@ fn bench_kernels(smoke: bool) {
             100.0 * rate,
             wall * 1e3
         );
+        // The registry snapshot is read out after the run with every
+        // observability feature still disabled, so the cycle numbers
+        // above stay bit-identical to an uninstrumented build.
         entries.push(format!(
             concat!(
                 "    {{\"kernel\": \"{}\", \"cycles\": {}, \"chain_hit_rate\": {:.4}, ",
                 "\"chain_hits\": {}, \"chain_links\": {}, \"dispatch_hits\": {}, ",
-                "\"dispatch_misses\": {}, \"wall_seconds\": {:.6}}}"
+                "\"dispatch_misses\": {}, \"wall_seconds\": {:.6},\n     \"metrics\": {}}}"
             ),
             w.name,
             r.cycles,
@@ -143,7 +146,8 @@ fn bench_kernels(smoke: bool) {
             r.chain.chain_links,
             r.chain.dispatch_hits,
             r.chain.dispatch_misses,
-            wall
+            wall,
+            emu.metrics().to_json()
         ));
     }
     let json = format!(

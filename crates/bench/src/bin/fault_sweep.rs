@@ -3,10 +3,16 @@
 //! fault-free reference interpreter (DESIGN.md §11).
 //!
 //! ```sh
-//! cargo run --release -p risotto-bench --bin fault_sweep [seeds]
+//! cargo run --release -p risotto-bench --bin fault_sweep -- \
+//!     [seeds] [--metrics-json <path>]
 //! ```
+//!
+//! With `--metrics-json`, each workload additionally runs once under the
+//! risotto setup with a fault plan covering every site, and the registry
+//! snapshot + hot-TB profile of that faulted-but-recovered run (nonzero
+//! `translate.fallback_blocks` / `fault.injected`) land in the artifact.
 
-use risotto_bench::print_table;
+use risotto_bench::{print_table, MetricsEntry, HOT_TB_TOP_N};
 use risotto_core::{Emulator, FaultPlan, FaultSite, Setup};
 use risotto_guest_x86::Interp;
 use risotto_host_arm::CostModel;
@@ -34,7 +40,22 @@ fn plan_for(seed: u64) -> FaultPlan {
 }
 
 fn main() {
-    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    // The seed count is the first argument that is not an option, so the
+    // flags below can appear in any position.
+    let seeds: u64 = {
+        let mut args = std::env::args().skip(1);
+        let mut found = None;
+        while let Some(a) = args.next() {
+            if a == "--metrics-json" {
+                args.next(); // skip the flag's value
+            } else if !a.starts_with("--") && found.is_none() {
+                found = a.parse().ok();
+            }
+        }
+        found.unwrap_or(200)
+    };
+    let metrics_path = risotto_bench::metrics_json_arg();
+    let mut metrics: Vec<MetricsEntry> = Vec::new();
     let setups = [Setup::Qemu, Setup::TcgVer, Setup::Risotto, Setup::Native];
     println!("Fault sweep: {seeds} seeded plans per workload, rotating setups\n");
     let mut rows = Vec::new();
@@ -65,6 +86,28 @@ fn main() {
                 Err(_) => errs += 1,
             }
         }
+        if metrics_path.is_some() {
+            // One extra instrumented risotto run under an aggressive
+            // all-sites plan (~12% per decision — the sweep's background
+            // rates rarely fire on these small blocks), so the artifact
+            // shows the recovery counters moving.
+            let plan = FaultPlan::seeded(3)
+                .rate(FaultSite::Translate, 8000)
+                .rate(FaultSite::Lower, 8000)
+                .rate(FaultSite::TbCache, 8000);
+            let mut emu = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+            emu.set_fault_plan(plan);
+            emu.set_stage_timing(true);
+            emu.set_profiling(true);
+            let r = emu.run(FUEL).expect("instrumented risotto run completes");
+            assert_eq!(r.exit_vals[0], Some(ref_exit), "{} instrumented run diverged", w.name);
+            metrics.push(MetricsEntry {
+                name: w.name.to_string(),
+                setup: Setup::Risotto.name(),
+                snapshot: emu.metrics(),
+                hot_tbs: emu.hot_tbs(HOT_TB_TOP_N),
+            });
+        }
         rows.push(vec![
             w.name.to_string(),
             ok.to_string(),
@@ -87,6 +130,9 @@ fn main() {
         ],
         &rows,
     );
+    if let Some(path) = metrics_path {
+        risotto_bench::write_metrics_json(&path, "fault_sweep", &metrics);
+    }
     println!();
     if divergences == 0 {
         println!("zero silent divergences: every completed run matched the reference.");

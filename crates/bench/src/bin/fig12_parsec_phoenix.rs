@@ -1,26 +1,45 @@
 //! Regenerates Figure 12: PARSEC + Phoenix run time under each setup,
 //! relative to QEMU (lower is better), plus the fence share of QEMU's
 //! execution time (the §7.2 "cost of memory ordering" analysis).
+//!
+//! ```sh
+//! cargo run --release -p risotto-bench --bin fig12_parsec_phoenix -- \
+//!     [--smoke] [--metrics-json <path>]
+//! ```
+//!
+//! `--smoke` shrinks every workload to a CI-sized scale; `--metrics-json`
+//! writes the versioned observability artifact (one registry snapshot +
+//! hot-TB profile per kernel, collected under the risotto setup and
+//! cross-checked against the legacy `Report` counters).
 
-use risotto_bench::{print_table, run};
+use risotto_bench::{
+    has_flag, metrics_json_arg, print_table, run, run_with_metrics, MetricsEntry,
+};
 use risotto_core::Setup;
 use risotto_workloads::kernels;
 
 fn main() {
-    let threads = 4;
+    let smoke = has_flag("--smoke");
+    let metrics_path = metrics_json_arg();
+    let threads = if smoke { 2 } else { 4 };
     println!("Figure 12 — PARSEC & Phoenix run time relative to QEMU ({threads} threads)");
     println!("(columns are % of qemu's runtime; lower is better)\n");
     let mut rows = Vec::new();
     let mut avgs = [0f64; 4]; // no-fences, tcg-ver, risotto, native
     let mut fence_shares: Vec<(String, f64)> = Vec::new();
     let mut chain_rows: Vec<Vec<String>> = Vec::new();
+    let mut metrics: Vec<MetricsEntry> = Vec::new();
     let (mut tot_hits, mut tot_links) = (0u64, 0u64);
     let workloads = kernels::all();
     for w in &workloads {
-        let scale: u64 = match w.name {
-            "matrixmultiply" => 24,
-            "canneal" | "freqmine" | "histogram" | "vips" | "wordcount" | "stringmatch" => 4096,
-            _ => 2048,
+        let scale: u64 = if smoke {
+            8
+        } else {
+            match w.name {
+                "matrixmultiply" => 24,
+                "canneal" | "freqmine" | "histogram" | "vips" | "wordcount" | "stringmatch" => 4096,
+                _ => 2048,
+            }
         };
         let bin = (w.build)(scale, threads);
         let qemu = run(&bin, Setup::Qemu, threads, false);
@@ -29,7 +48,21 @@ fn main() {
             .iter()
             .enumerate()
         {
-            let r = run(&bin, *s, threads, false);
+            let r = if *s == Setup::Risotto {
+                // The risotto run carries the observability payload: the
+                // registry snapshot is verified against the legacy Report
+                // counters inside run_with_metrics.
+                let (r, snap, hot) = run_with_metrics(&bin, *s, threads, false);
+                metrics.push(MetricsEntry {
+                    name: w.name.to_string(),
+                    setup: s.name(),
+                    snapshot: snap,
+                    hot_tbs: hot,
+                });
+                r
+            } else {
+                run(&bin, *s, threads, false)
+            };
             assert_eq!(r.exit_vals[0], qemu.exit_vals[0], "{} checksum mismatch", w.name);
             let rel = 100.0 * r.cycles as f64 / qemu.cycles as f64;
             avgs[i] += rel;
@@ -91,4 +124,8 @@ fn main() {
         &["benchmark", "chain hits", "links", "jcache hits", "jcache miss", "hit rate"],
         &chain_rows,
     );
+
+    if let Some(path) = metrics_path {
+        risotto_bench::write_metrics_json(&path, "fig12_parsec_phoenix", &metrics);
+    }
 }

@@ -1,13 +1,20 @@
 //! Regenerates Figure 13: OpenSSL digests, RSA sign/verify, and the
 //! sqlite speedtest — speedup of risotto (host-linked native libraries)
 //! and native execution over QEMU (translated guest libraries).
+//!
+//! Pass `--metrics-json <path>` to also write the observability artifact
+//! (one registry snapshot + hot-TB profile per workload, risotto setup).
 
-use risotto_bench::{ops_per_sec, print_table, run, speedup};
+use risotto_bench::{
+    metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
+};
 use risotto_core::Setup;
 use risotto_workloads::libbench::{digest_bench, rsa_bench, sqlite_bench, DigestAlgo};
 
 fn main() {
     println!("Figure 13 — OpenSSL & sqlite speedup over QEMU (higher is better)\n");
+    let metrics_path = metrics_json_arg();
+    let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let mut rows = Vec::new();
 
     // Digests: md5/sha1/sha256 × {1024, 8192}-byte buffers.
@@ -20,7 +27,7 @@ fn main() {
             let iters = if len == 1024 { 6 } else { 2 };
             let bin = digest_bench(algo, len, iters);
             let qemu = run(&bin, Setup::Qemu, 1, false);
-            let ris = run(&bin, Setup::Risotto, 1, true);
+            let ris = run_risotto_collecting(&bin, &format!("{name}-{len}"), 1, true, &mut metrics);
             let nat = run(&bin, Setup::Native, 1, true);
             assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "{name}-{len} digest mismatch");
             assert_eq!(qemu.exit_vals[0], nat.exit_vals[0]);
@@ -39,7 +46,7 @@ fn main() {
         for (sign, op) in [(true, "sign"), (false, "verify")] {
             let bin = rsa_bench(nlimbs, sign, 1);
             let qemu = run(&bin, Setup::Qemu, 1, false);
-            let ris = run(&bin, Setup::Risotto, 1, true);
+            let ris = run_risotto_collecting(&bin, &format!("{label}-{op}"), 1, true, &mut metrics);
             let nat = run(&bin, Setup::Native, 1, true);
             assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "{label}-{op} result mismatch");
             rows.push(vec![
@@ -56,7 +63,7 @@ fn main() {
     {
         let bin = sqlite_bench(20);
         let qemu = run(&bin, Setup::Qemu, 1, false);
-        let ris = run(&bin, Setup::Risotto, 1, true);
+        let ris = run_risotto_collecting(&bin, "sqlite", 1, true, &mut metrics);
         let nat = run(&bin, Setup::Native, 1, true);
         assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "sqlite checksum mismatch");
         rows.push(vec![
@@ -69,4 +76,7 @@ fn main() {
     }
 
     print_table(&["benchmark", "risotto", "native", "qemu raw", "ris chain"], &rows);
+    if let (Some(path), Some(entries)) = (metrics_path, metrics) {
+        risotto_bench::write_metrics_json(&path, "fig13_openssl_sqlite", &entries);
+    }
 }

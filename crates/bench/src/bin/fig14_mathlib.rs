@@ -3,13 +3,17 @@
 //! guest polynomial kernels). The marshaling overhead of §6.2 is why
 //! risotto trails native here.
 
-use risotto_bench::{ops_per_sec, print_table, run, speedup};
+use risotto_bench::{
+    metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
+};
 use risotto_core::Setup;
 use risotto_nativelib::mathfn::MathFn;
 use risotto_workloads::libbench::math_bench;
 
 fn main() {
     println!("Figure 14 — math library speedup over QEMU (higher is better)\n");
+    let metrics_path = metrics_json_arg();
+    let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let iters = 60;
     let mut rows = Vec::new();
     for f in MathFn::ALL {
@@ -21,7 +25,7 @@ fn main() {
         };
         let bin = math_bench(f.name(), x, iters);
         let qemu = run(&bin, Setup::Qemu, 1, false);
-        let ris = run(&bin, Setup::Risotto, 1, true);
+        let ris = run_risotto_collecting(&bin, f.name(), 1, true, &mut metrics);
         let nat = run(&bin, Setup::Native, 1, true);
         rows.push(vec![
             f.name().to_string(),
@@ -32,4 +36,7 @@ fn main() {
         ]);
     }
     print_table(&["function", "risotto", "native", "qemu raw", "ris chain"], &rows);
+    if let (Some(path), Some(entries)) = (metrics_path, metrics) {
+        risotto_bench::write_metrics_json(&path, "fig14_mathlib", &entries);
+    }
 }

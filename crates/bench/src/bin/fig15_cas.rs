@@ -2,12 +2,14 @@
 //! levels — QEMU's helper-call CAS vs Risotto's direct casal translation
 //! (§6.3) vs native execution.
 
-use risotto_bench::{ops_per_sec, print_table, run};
+use risotto_bench::{metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting};
 use risotto_core::Setup;
 use risotto_workloads::cas::{cas_bench, FIG15_CONFIGS};
 
 fn main() {
     println!("Figure 15 — CAS throughput (Mops/s) by (threads-vars) configuration\n");
+    let metrics_path = metrics_json_arg();
+    let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let iters = 2000u64;
     let mut rows = Vec::new();
     for (threads, vars) in FIG15_CONFIGS {
@@ -16,7 +18,11 @@ fn main() {
         let mut cells = vec![format!("{threads}-{vars}")];
         let mut chain = String::new();
         for setup in [Setup::Qemu, Setup::Risotto, Setup::Native] {
-            let r = run(&bin, setup, threads, false);
+            let r = if setup == Setup::Risotto {
+                run_risotto_collecting(&bin, &format!("cas-{threads}-{vars}"), threads, false, &mut metrics)
+            } else {
+                run(&bin, setup, threads, false)
+            };
             assert_eq!(r.exit_vals[0], Some(total_ops), "{setup:?} lost CAS increments");
             cells.push(format!("{:.1}", ops_per_sec(total_ops, r.cycles) / 1e6));
             if setup == Setup::Risotto {
@@ -30,4 +36,7 @@ fn main() {
     print_table(&["config", "qemu", "risotto", "native", "ris chain"], &rows);
     println!("\n(expected shape: risotto > qemu when threads == vars — no contention —");
     println!(" and parity under contention, where the casal itself dominates; §7.4)");
+    if let (Some(path), Some(entries)) = (metrics_path, metrics) {
+        risotto_bench::write_metrics_json(&path, "fig15_cas", &entries);
+    }
 }

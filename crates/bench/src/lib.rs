@@ -8,12 +8,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use risotto_core::obs::{HotTb, MetricsSnapshot};
 use risotto_core::{Emulator, HostLibrary, Idl, Report, Setup};
 use risotto_guest_x86::GuestBinary;
 use risotto_host_arm::CostModel;
 
 /// Simulated host clock (the paper's testbed runs at 2.0 GHz).
 pub const CLOCK_HZ: f64 = 2.0e9;
+
+/// How many hot TBs each workload records in the metrics artifact.
+pub const HOT_TB_TOP_N: usize = 10;
 
 /// Runs a binary under a setup, optionally linking the standard host
 /// libraries (libm + libcrypto + libkv).
@@ -35,6 +39,163 @@ pub fn run(bin: &GuestBinary, setup: Setup, cores: usize, link: bool) -> Report 
         }
     }
     emu.run(20_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", setup.name()))
+}
+
+/// Like [`run`], but with full observability enabled (stage timing +
+/// hot-TB profiling): returns the legacy [`Report`] alongside a
+/// [`MetricsSnapshot`] and the hottest TBs.
+///
+/// The snapshot is cross-checked against the report before returning —
+/// every fence / chain / fallback counter in the registry must equal its
+/// legacy `Report` source, so a `--metrics-json` run is self-verifying.
+///
+/// # Panics
+///
+/// Panics on any emulation error or on a registry/`Report` mismatch.
+pub fn run_with_metrics(
+    bin: &GuestBinary,
+    setup: Setup,
+    cores: usize,
+    link: bool,
+) -> (Report, MetricsSnapshot, Vec<HotTb>) {
+    let mut emu = Emulator::new(bin, setup, cores, CostModel::thunderx2_like());
+    emu.set_stage_timing(true);
+    emu.set_profiling(true);
+    if link {
+        let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
+        for lib in [
+            risotto_nativelib::hostlibs::libm(),
+            risotto_nativelib::hostlibs::libcrypto(),
+            risotto_nativelib::hostlibs::libkv(),
+        ] {
+            let lib: HostLibrary = lib;
+            emu.link_library(bin, &idl, lib).expect("standard libraries match the IDL");
+        }
+    }
+    let report = emu.run(20_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", setup.name()));
+    let snap = emu.metrics();
+    let hot = emu.hot_tbs(HOT_TB_TOP_N);
+    for (metric, legacy) in [
+        ("translate.blocks", report.tb_count as u64),
+        ("translate.retranslations", report.retranslations as u64),
+        ("translate.fallback_blocks", report.fallback_blocks as u64),
+        ("opt.fences_merged", report.opt.fences_merged as u64),
+        ("opt.loads_forwarded", report.opt.loads_forwarded as u64),
+        ("opt.stores_eliminated", report.opt.stores_eliminated as u64),
+        ("chain.hits", report.chain.chain_hits),
+        ("chain.links", report.chain.chain_links),
+        ("chain.flushes", report.chain.chain_flushes),
+        ("jcache.hits", report.chain.dispatch_hits),
+        ("jcache.misses", report.chain.dispatch_misses),
+        ("fence.exec.dmb_ld", report.stats.dmb[0]),
+        ("fence.exec.dmb_st", report.stats.dmb[1]),
+        ("fence.exec.dmb_ff", report.stats.dmb[2]),
+        ("fence.exec.cycles", report.stats.fence_cycles),
+        ("exec.insns", report.stats.insns),
+    ] {
+        assert_eq!(
+            snap.counter(metric),
+            legacy,
+            "metric `{metric}` diverged from its legacy Report source"
+        );
+    }
+    assert_eq!(snap.gauge("exec.cycles"), report.cycles, "exec.cycles gauge diverged");
+    (report, snap, hot)
+}
+
+/// Runs `bin` under [`Setup::Risotto`], collecting a [`MetricsEntry`]
+/// into `metrics` when it is `Some` (i.e. when `--metrics-json` was
+/// requested) and falling back to a plain [`run`] otherwise.
+pub fn run_risotto_collecting(
+    bin: &GuestBinary,
+    name: &str,
+    cores: usize,
+    link: bool,
+    metrics: &mut Option<Vec<MetricsEntry>>,
+) -> Report {
+    match metrics {
+        Some(entries) => {
+            let (report, snapshot, hot_tbs) = run_with_metrics(bin, Setup::Risotto, cores, link);
+            entries.push(MetricsEntry {
+                name: name.to_string(),
+                setup: Setup::Risotto.name(),
+                snapshot,
+                hot_tbs,
+            });
+            report
+        }
+        None => run(bin, Setup::Risotto, cores, link),
+    }
+}
+
+/// One workload's entry in a `--metrics-json` artifact.
+#[derive(Debug)]
+pub struct MetricsEntry {
+    /// Workload name.
+    pub name: String,
+    /// Setup the metrics were collected under.
+    pub setup: &'static str,
+    /// The registry snapshot.
+    pub snapshot: MetricsSnapshot,
+    /// The hottest TBs ([`HOT_TB_TOP_N`]), hottest first.
+    pub hot_tbs: Vec<HotTb>,
+}
+
+/// Parses `--metrics-json <path>` (or `--metrics-json=<path>`) from the
+/// process arguments; `None` when absent.
+pub fn metrics_json_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--metrics-json=") {
+            return Some(p.to_owned());
+        }
+    }
+    None
+}
+
+/// `true` when `flag` (e.g. `--smoke`) appears in the process arguments.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Writes the versioned metrics artifact shared by every `fig*` binary
+/// and `fault_sweep`:
+/// `{"version":1,"tool":…,"workloads":[{name,setup,hot_tbs,metrics},…]}`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a requested artifact that
+/// silently fails to appear would be worse.
+pub fn write_metrics_json(path: &str, tool: &str, entries: &[MetricsEntry]) {
+    let mut workloads = Vec::with_capacity(entries.len());
+    for e in entries {
+        let hot: Vec<String> = e
+            .hot_tbs
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tb_id\": {}, \"guest_pc\": {}, \"execs\": {}, \"chain_misses\": {}}}",
+                    t.tb_id, t.guest_pc, t.execs, t.chain_misses
+                )
+            })
+            .collect();
+        workloads.push(format!(
+            "    {{\"name\": \"{}\", \"setup\": \"{}\", \"hot_tbs\": [{}],\n     \"metrics\": {}}}",
+            e.name,
+            e.setup,
+            hot.join(", "),
+            e.snapshot.to_json()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"tool\": \"{tool}\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        workloads.join(",\n")
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote metrics artifact: {path}");
 }
 
 /// Converts simulated cycles to operations per second for `ops`

@@ -25,6 +25,7 @@
 
 use crate::faults::{FaultPlan, FaultSite};
 use crate::idl::Idl;
+use crate::obs::{HotTb, MetricsSnapshot, NullSink, Obs, TraceSink, TraceStage};
 use risotto_guest_x86::{
     syscalls, AluOp, Flags, Gpr, GuestBinary, Insn, Operand, DATA_BASE, STACK_SIZE, STACK_TOP,
     TEXT_BASE,
@@ -33,11 +34,14 @@ use risotto_host_arm::{
     lower_block, BackendConfig, ChainStats, CoreStats, CostModel, Event, HostFaultKind, HostInsn,
     Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
 };
+use risotto_memmodel::FenceKind;
 use risotto_tcg::{
-    env, optimize_with, translate_block, FrontendConfig, OptPolicy, PassConfig, TranslateError,
+    env, optimize_with, translate_block, FrontendConfig, OptPolicy, OptStats, PassConfig, TcgOp,
+    TranslateError,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::Instant;
 
 /// Per-core guest env block base (20 regs × 8 bytes, padded to 0x100).
 pub const ENV_REGION: u64 = 0xF000_0000;
@@ -408,6 +412,8 @@ pub struct Report {
     pub retranslations: usize,
     /// TB-chaining and dispatcher counters from the host machine.
     pub chain: ChainStats,
+    /// Aggregated optimizer statistics over every translated block.
+    pub opt: OptStats,
 }
 
 impl Report {
@@ -479,6 +485,22 @@ pub struct Emulator {
     syscall_attempts: u64,
     /// Completed (non-busy-wait) syscalls — a watchdog progress marker.
     syscalls_completed: u64,
+    /// Observability: metrics registry, trace sink, hot-TB profiler.
+    obs: Obs,
+    /// Optimizer statistics aggregated over every translated block.
+    opt_totals: OptStats,
+    /// Frontend-emitted fences counted pre-optimization, indexed per
+    /// [`FenceKind::tcg_index`].
+    fence_inserted: [u64; 12],
+    /// Guest pc → stable engine TB id (1-based first-install order).
+    tb_ids: HashMap<u64, u64>,
+    /// Engine-side dispatch-loop profile: guest pc → (entries, misses);
+    /// only filled while profiling is enabled.
+    resume_profile: HashMap<u64, (u64, u64)>,
+    /// Engine-side TB-map lookups that found an existing translation.
+    tbcache_hits: u64,
+    /// Injected faults encountered (translate / lower / syscall).
+    faults_injected: u64,
 }
 
 impl Emulator {
@@ -509,6 +531,13 @@ impl Emulator {
             watchdog: None,
             syscall_attempts: 0,
             syscalls_completed: 0,
+            obs: Obs::new(),
+            opt_totals: OptStats::default(),
+            fence_inserted: [0; 12],
+            tb_ids: HashMap::new(),
+            resume_profile: HashMap::new(),
+            tbcache_hits: 0,
+            faults_injected: 0,
         }
     }
 
@@ -542,6 +571,56 @@ impl Emulator {
     /// runs are differentially checked against.
     pub fn set_chaining(&mut self, on: bool) {
         self.machine.set_chaining(on);
+    }
+
+    /// Installs a trace sink and enables structured event emission at the
+    /// decode / opt / encode / install / dispatch / fault boundaries.
+    /// Tracing is purely observational: a traced run is bit-identical
+    /// (cycles, output, exit values) to an untraced one.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.obs.sink = sink;
+        self.obs.tracing = true;
+    }
+
+    /// Removes the installed trace sink (replacing it with a
+    /// [`NullSink`] and disabling event emission) and returns it — the
+    /// way to inspect a [`crate::obs::RingBufferSink`] after a run.
+    pub fn take_trace_sink(&mut self) -> Box<dyn TraceSink> {
+        self.obs.tracing = false;
+        std::mem::replace(&mut self.obs.sink, Box::new(NullSink))
+    }
+
+    /// Enables per-stage wall-clock histograms (`stage.*_ns` metrics).
+    /// Off by default: the untimed pipeline takes no clock readings.
+    pub fn set_stage_timing(&mut self, on: bool) {
+        self.obs.timing = on;
+    }
+
+    /// Enables the hot-TB profiler on both the engine dispatch loop and
+    /// the host machine's transfer paths (off by default; observational
+    /// only). Disabling discards collected counts.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.obs.profiling = on;
+        self.machine.set_profiling(on);
+        if !on {
+            self.resume_profile.clear();
+            self.obs.profiler.clear();
+        }
+    }
+
+    /// A versioned snapshot of every registry metric, refreshed from the
+    /// engine and machine state. Valid at any point — typically read
+    /// after [`Emulator::run`] returns. See `docs/METRICS.md`.
+    pub fn metrics(&mut self) -> MetricsSnapshot {
+        self.refresh_metrics();
+        self.obs.registry.snapshot()
+    }
+
+    /// The `n` hottest translation blocks by execution count (requires
+    /// [`Emulator::set_profiling`]; empty otherwise).
+    pub fn hot_tbs(&mut self, n: usize) -> Vec<HotTb> {
+        self.rebuild_profiler();
+        self.obs.profiler.top_n(n)
     }
 
     /// Arms the livelock watchdog: a run that makes no observable
@@ -714,20 +793,37 @@ impl Emulator {
     }
 
     /// Installs host code for `guest_pc` and updates the cache counters.
-    fn install(&mut self, guest_pc: u64, code: &[HostInsn]) -> u64 {
+    fn install(&mut self, core: Option<usize>, guest_pc: u64, code: &[HostInsn]) -> u64 {
+        let t0 = self.obs.timing.then(Instant::now);
         let host = self.machine.install_code(code);
         self.machine.map_tb(guest_pc, host);
         self.tb_count += 1;
+        let tb_id = *self.tb_ids.entry(guest_pc).or_insert(self.tb_count as u64);
         if !self.ever_translated.insert(guest_pc) {
             self.retranslations += 1;
+        }
+        let dur = t0.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(ns) = dur {
+            self.obs.registry.observe("stage.install_ns", ns);
+        }
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Install,
+                core,
+                Some(guest_pc),
+                Some(tb_id),
+                dur,
+                format!("{} host insns", code.len()),
+            );
         }
         host
     }
 
     /// Runs the full translation pipeline for one block, with fault
     /// injection at the frontend and backend boundaries.
-    fn try_translate(&mut self, guest_pc: u64) -> Result<Vec<HostInsn>, TbFault> {
+    fn try_translate(&mut self, core: Option<usize>, guest_pc: u64) -> Result<Vec<HostInsn>, TbFault> {
         if self.plan.translate_fails(guest_pc) {
+            self.faults_injected += 1;
             return Err(TbFault::Injected);
         }
         let text = &self.text;
@@ -745,28 +841,87 @@ impl Emulator {
             }
             w
         };
+        let t0 = self.obs.timing.then(Instant::now);
         let mut block = translate_block(guest_pc, self.setup.frontend(), fetch)
             .map_err(|_| TbFault::Frontend)?;
-        optimize_with(&mut block, self.setup.opt_policy(), self.passes);
+        for op in &block.ops {
+            if let TcgOp::Fence(k) = op {
+                if let Some(i) = k.tcg_index() {
+                    self.fence_inserted[i] += 1;
+                }
+            }
+        }
+        let decode_ns = t0.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(ns) = decode_ns {
+            self.obs.registry.observe("stage.decode_ns", ns);
+        }
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Decode,
+                core,
+                Some(guest_pc),
+                None,
+                decode_ns,
+                format!("{} ops", block.ops.len()),
+            );
+        }
+        let t1 = self.obs.timing.then(Instant::now);
+        let stats = optimize_with(&mut block, self.setup.opt_policy(), self.passes);
+        self.opt_totals += stats;
+        let opt_ns = t1.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(ns) = opt_ns {
+            self.obs.registry.observe("stage.opt_ns", ns);
+        }
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Opt,
+                core,
+                Some(guest_pc),
+                None,
+                opt_ns,
+                format!(
+                    "folded {}, forwarded {}, fences merged {}, dce {}",
+                    stats.folded, stats.loads_forwarded, stats.fences_merged, stats.dce_removed
+                ),
+            );
+        }
         if self.plan.lower_fails(guest_pc) {
+            self.faults_injected += 1;
             return Err(TbFault::Injected);
         }
         let mut backend = self.setup.backend();
         if self.setup != Setup::Native {
             backend.rmw = self.rmw_style;
         }
-        lower_block(&block, backend).map_err(|_| TbFault::Backend)
+        let t2 = self.obs.timing.then(Instant::now);
+        let code = lower_block(&block, backend).map_err(|_| TbFault::Backend)?;
+        let encode_ns = t2.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(ns) = encode_ns {
+            self.obs.registry.observe("stage.encode_ns", ns);
+        }
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Encode,
+                core,
+                Some(guest_pc),
+                None,
+                encode_ns,
+                format!("{} host insns", code.len()),
+            );
+        }
+        Ok(code)
     }
 
     /// Ensures a translation exists for `guest_pc`; returns its host pc,
     /// or the (recoverable) reason none could be produced.
-    fn ensure_translated(&mut self, guest_pc: u64) -> Result<u64, TbFault> {
+    fn ensure_translated(&mut self, core: Option<usize>, guest_pc: u64) -> Result<u64, TbFault> {
         if let Some(host) = self.machine.lookup_tb(guest_pc) {
+            self.tbcache_hits += 1;
             return Ok(host);
         }
         if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
             let code = self.build_native_thunk(func, nargs);
-            return Ok(self.install(guest_pc, &code));
+            return Ok(self.install(core, guest_pc, &code));
         }
         let prior = self.quarantine.get(&guest_pc).copied().unwrap_or(0);
         if prior > QUARANTINE_RETRY_LIMIT {
@@ -776,16 +931,32 @@ impl Emulator {
             // A bounded re-translate retry of a previously failing block.
             self.retranslations += 1;
         }
-        match self.try_translate(guest_pc) {
+        match self.try_translate(core, guest_pc) {
             Ok(code) => {
                 self.quarantine.remove(&guest_pc);
-                Ok(self.install(guest_pc, &code))
+                Ok(self.install(core, guest_pc, &code))
             }
             Err(fault) => {
                 if prior == 0 {
                     self.fallback_blocks += 1;
                 }
                 self.quarantine.insert(guest_pc, prior + 1);
+                if self.obs.tracing {
+                    let what = match fault {
+                        TbFault::Injected => "injected fault",
+                        TbFault::Frontend => "frontend decode failure",
+                        TbFault::Backend => "backend lowering failure",
+                        TbFault::Quarantined => "quarantined",
+                    };
+                    self.obs.emit(
+                        TraceStage::Fault,
+                        core,
+                        Some(guest_pc),
+                        None,
+                        None,
+                        format!("{what}; interpreter fallback (attempt {})", prior + 1),
+                    );
+                }
                 Err(fault)
             }
         }
@@ -795,10 +966,27 @@ impl Emulator {
     /// when the pipeline can produce it, interpreted blocks otherwise,
     /// until a translatable pc is reached or the core halts.
     fn resume_at(&mut self, core: usize, guest_pc: u64) -> Result<(), EmuError> {
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Dispatch,
+                Some(core),
+                Some(guest_pc),
+                self.tb_ids.get(&guest_pc).copied(),
+                None,
+                String::new(),
+            );
+        }
         let mut pc = guest_pc;
         loop {
-            match self.ensure_translated(pc) {
+            match self.ensure_translated(Some(core), pc) {
                 Ok(host) => {
+                    if self.obs.profiling {
+                        // Every dispatch-loop entry missed the machine's
+                        // fast paths by definition.
+                        let e = self.resume_profile.entry(pc).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 += 1;
+                    }
                     self.machine.start_core(core, host);
                     return Ok(());
                 }
@@ -1064,6 +1252,17 @@ impl Emulator {
         let nth = self.syscall_attempts;
         self.syscall_attempts += 1;
         if self.plan.syscall_fails(nth) {
+            self.faults_injected += 1;
+            if self.obs.tracing {
+                self.obs.emit(
+                    TraceStage::Fault,
+                    Some(core),
+                    Some(next),
+                    None,
+                    None,
+                    "injected syscall fault (unrecoverable)".to_owned(),
+                );
+            }
             return Err(EmuError::Injected { site: FaultSite::Syscall, core, pc: next });
         }
         let n = self.read_guest_reg(core, Gpr::RAX);
@@ -1130,6 +1329,16 @@ impl Emulator {
         for pc in self.plan.pending_corruptions() {
             if self.machine.lookup_tb(pc).is_some() && self.plan.take_corrupt_tb(pc) {
                 self.machine.unmap_tb(pc);
+                if self.obs.tracing {
+                    self.obs.emit(
+                        TraceStage::Fault,
+                        None,
+                        Some(pc),
+                        self.tb_ids.get(&pc).copied(),
+                        None,
+                        "TB-cache corruption detected; entry discarded".to_owned(),
+                    );
+                }
             }
         }
         if self.plan.tb_cache_strikes() {
@@ -1254,6 +1463,7 @@ impl Emulator {
                 self.exit_vals[core] = Some(self.read_guest_reg(core, Gpr::RAX));
             }
         }
+        self.obs.sink.flush();
         Ok(Report {
             cycles: self.machine.clock(),
             tb_count: self.tb_count,
@@ -1264,6 +1474,78 @@ impl Emulator {
             fallback_blocks: self.fallback_blocks,
             retranslations: self.retranslations,
             chain: self.machine.chain_stats(),
+            opt: self.opt_totals,
         })
+    }
+
+    /// Mirrors every engine/machine counter into the metrics registry
+    /// (the stage histograms are observed live during translation).
+    fn refresh_metrics(&mut self) {
+        let chain = self.machine.chain_stats();
+        let cache = self.machine.cache_stats();
+        let stats = self.machine.total_stats();
+        let r = &mut self.obs.registry;
+        r.set_counter("translate.blocks", self.tb_count as u64);
+        r.set_counter("translate.retranslations", self.retranslations as u64);
+        r.set_counter("translate.fallback_blocks", self.fallback_blocks as u64);
+        r.set_counter("translate.interp_steps", self.interp_steps);
+        r.set_counter("translate.tbcache_hits", self.tbcache_hits);
+        r.set_counter("fault.injected", self.faults_injected);
+        r.set_counter("opt.folded", self.opt_totals.folded as u64);
+        r.set_counter("opt.loads_forwarded", self.opt_totals.loads_forwarded as u64);
+        r.set_counter("opt.stores_eliminated", self.opt_totals.stores_eliminated as u64);
+        r.set_counter("opt.fences_merged", self.opt_totals.fences_merged as u64);
+        r.set_counter("opt.dce_removed", self.opt_totals.dce_removed as u64);
+        for (i, k) in FenceKind::TCG_ALL.iter().enumerate() {
+            let n = k.tcg_name().expect("TCG fence has a short name");
+            r.set_counter(&format!("fence.inserted.{n}"), self.fence_inserted[i]);
+            r.set_counter(
+                &format!("fence.merged.{n}"),
+                self.opt_totals.fences_merged_by_kind[i] as u64,
+            );
+        }
+        r.set_counter("chain.hits", chain.chain_hits);
+        r.set_counter("chain.links", chain.chain_links);
+        r.set_counter("chain.flushes", chain.chain_flushes);
+        r.set_counter("jcache.hits", chain.dispatch_hits);
+        r.set_counter("jcache.misses", chain.dispatch_misses);
+        r.set_counter("tbcache.installs", cache.installs);
+        r.set_counter("tbcache.region_reuses", cache.region_reuses);
+        r.set_counter("tbcache.evictions", cache.evictions);
+        r.set_counter("exec.insns", stats.insns);
+        r.set_counter("exec.atomics", stats.atomics);
+        r.set_counter("exec.helper_calls", stats.helper_calls);
+        r.set_counter("exec.native_calls", stats.native_calls);
+        r.set_counter("fence.exec.dmb_ld", stats.dmb[0]);
+        r.set_counter("fence.exec.dmb_st", stats.dmb[1]);
+        r.set_counter("fence.exec.dmb_ff", stats.dmb[2]);
+        r.set_counter("fence.exec.cycles", stats.fence_cycles);
+        r.set_counter("engine.syscalls", self.syscalls_completed);
+        r.set_gauge("exec.cycles", self.machine.clock());
+        r.set_gauge("exec.cores", self.machine.n_cores() as u64);
+        r.set_gauge("tbcache.resident", self.machine.mapped_tbs().len() as u64);
+        r.set_gauge("code.bytes", self.machine.code_size() as u64);
+        for c in 0..self.machine.n_cores() {
+            let s = self.machine.stats(c);
+            r.set_gauge(&format!("core.{c}.insns"), s.insns);
+            r.set_gauge(&format!("core.{c}.cycles"), self.machine.core_cycles(c));
+        }
+    }
+
+    /// Rebuilds the hot-TB profiler from the machine's transfer profile
+    /// plus the engine's dispatch-loop entries.
+    fn rebuild_profiler(&mut self) {
+        self.obs.profiler.clear();
+        let resume: Vec<(u64, u64, u64)> =
+            self.resume_profile.iter().map(|(&pc, &(e, m))| (pc, e, m)).collect();
+        let machine: Vec<(u64, u64, u64)> = self
+            .machine
+            .tb_profile()
+            .map(|p| p.iter().map(|(&pc, t)| (pc, t.execs, t.chain_misses)).collect())
+            .unwrap_or_default();
+        for (pc, execs, misses) in resume.into_iter().chain(machine) {
+            let tb_id = self.tb_ids.get(&pc).copied().unwrap_or(0);
+            self.obs.profiler.record(tb_id, pc, execs, misses);
+        }
     }
 }

@@ -32,17 +32,22 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod engine;
 mod faults;
 mod idl;
+pub mod obs;
 
 pub use engine::{
     CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, Setup, ENV_REGION,
     SPILL_REGION,
 };
 pub use faults::{FaultPlan, FaultSite};
+pub use obs::{
+    HotTb, HotTbProfiler, JsonLinesSink, MetricsRegistry, MetricsSnapshot, NullSink,
+    RingBufferSink, TraceEvent, TraceSink, TraceStage,
+};
 pub use risotto_host_arm::{RmwStyle, SchedPolicy};
 pub use idl::{Idl, IdlError, IdlFunc, IdlType};

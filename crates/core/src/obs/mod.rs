@@ -1,0 +1,95 @@
+//! # Observability: metrics, tracing, and hot-TB profiling
+//!
+//! The unified observability layer of the engine (see `docs/METRICS.md`
+//! for the metric reference and `docs/ARCHITECTURE.md` for where it sits
+//! in the pipeline):
+//!
+//! * [`MetricsRegistry`] — typed counters / gauges / histograms covering
+//!   translation, optimization, fences, TB caching and chaining,
+//!   execution totals, and per-stage wall times. It absorbs the legacy
+//!   `Report` / `ChainStats` counters behind one schema; snapshots
+//!   ([`MetricsSnapshot`]) round-trip through JSON.
+//! * [`TraceSink`] — span-style structured events
+//!   ([`TraceEvent`]) at the decode / opt / encode / install / dispatch
+//!   / fault boundaries, with guest-pc + core + TB-id context. Sinks:
+//!   [`NullSink`], [`RingBufferSink`], [`JsonLinesSink`].
+//! * [`HotTbProfiler`] — per-TB execution and chain-miss counts with a
+//!   [`HotTbProfiler::top_n`] report, fed by the engine dispatch loop
+//!   and the host machine's transfer paths.
+//!
+//! Everything here is **zero-cost when disabled** and *passive* when
+//! enabled: observability reads the authoritative execution state but
+//! never writes it, so an instrumented run produces bit-identical
+//! simulated cycles to an uninstrumented one (enforced by `tests/obs.rs`
+//! and the `ci.sh` pipeline-bench gate).
+
+mod profile;
+mod registry;
+mod trace;
+
+pub use profile::{HotTb, HotTbProfiler};
+pub use registry::{
+    HistSummary, JsonError, MetricKind, MetricSpec, MetricValue, MetricsRegistry, MetricsSnapshot,
+    SNAPSHOT_VERSION,
+};
+pub use trace::{JsonLinesSink, NullSink, RingBufferSink, TraceEvent, TraceSink, TraceStage};
+
+use std::fmt;
+
+/// The engine's observability state: registry + sink + profiler and the
+/// enable flags. Internal to the crate; the `Emulator` exposes it
+/// through accessors.
+pub(crate) struct Obs {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) sink: Box<dyn TraceSink>,
+    /// Events are only constructed when a sink is installed.
+    pub(crate) tracing: bool,
+    /// Per-stage wall-clock histograms (decode/opt/encode/install).
+    pub(crate) timing: bool,
+    /// Engine-side dispatch-loop profiling (the machine has its own
+    /// flag, toggled in lockstep).
+    pub(crate) profiling: bool,
+    pub(crate) profiler: HotTbProfiler,
+    seq: u64,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("tracing", &self.tracing)
+            .field("timing", &self.timing)
+            .field("profiling", &self.profiling)
+            .field("events", &self.seq)
+            .finish()
+    }
+}
+
+impl Obs {
+    pub(crate) fn new() -> Obs {
+        Obs {
+            registry: MetricsRegistry::new(),
+            sink: Box::new(NullSink),
+            tracing: false,
+            timing: false,
+            profiling: false,
+            profiler: HotTbProfiler::new(),
+            seq: 0,
+        }
+    }
+
+    /// Constructs and records one event (only call when `tracing`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit(
+        &mut self,
+        stage: TraceStage,
+        core: Option<usize>,
+        guest_pc: Option<u64>,
+        tb_id: Option<u64>,
+        dur_ns: Option<u64>,
+        detail: String,
+    ) {
+        let ev = TraceEvent { seq: self.seq, stage, core, guest_pc, tb_id, dur_ns, detail };
+        self.seq += 1;
+        self.sink.record(&ev);
+    }
+}

@@ -1,0 +1,75 @@
+//! The hot-TB profiler: per-translation-block execution and chain-miss
+//! counts, with a `top_n` report for finding hot paths (cf. QEMU-style
+//! per-TB execution profiles).
+
+use std::collections::HashMap;
+
+/// One profiled translation block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotTb {
+    /// Engine TB id: 1-based install order of the block's first
+    /// translation, or 0 for blocks only ever interpreted.
+    pub tb_id: u64,
+    /// Guest pc of the block.
+    pub guest_pc: u64,
+    /// Times the block was entered (chain hits, jump-cache hits,
+    /// dispatcher transfers, and engine dispatch-loop entries).
+    pub execs: u64,
+    /// Entries that missed every fast path and went through the
+    /// dispatcher or the engine's translation-miss handler.
+    pub chain_misses: u64,
+}
+
+/// Aggregates per-block execution counts, keyed by guest pc (each block
+/// keeps its stable engine TB id alongside).
+#[derive(Debug, Clone, Default)]
+pub struct HotTbProfiler {
+    blocks: HashMap<u64, HotTb>,
+}
+
+impl HotTbProfiler {
+    /// An empty profiler.
+    pub fn new() -> HotTbProfiler {
+        HotTbProfiler::default()
+    }
+
+    /// Drops all collected entries.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Adds `execs`/`chain_misses` for the block at `guest_pc`; `tb_id`
+    /// wins over a previously recorded 0 (interpreted-then-translated).
+    pub fn record(&mut self, tb_id: u64, guest_pc: u64, execs: u64, chain_misses: u64) {
+        let e = self.blocks.entry(guest_pc).or_insert(HotTb {
+            tb_id,
+            guest_pc,
+            execs: 0,
+            chain_misses: 0,
+        });
+        if e.tb_id == 0 {
+            e.tb_id = tb_id;
+        }
+        e.execs += execs;
+        e.chain_misses += chain_misses;
+    }
+
+    /// Number of profiled blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no block has been profiled.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The `n` most-executed blocks, hottest first (ties broken by guest
+    /// pc for determinism).
+    pub fn top_n(&self, n: usize) -> Vec<HotTb> {
+        let mut v: Vec<HotTb> = self.blocks.values().copied().collect();
+        v.sort_by_key(|b| (std::cmp::Reverse(b.execs), b.guest_pc));
+        v.truncate(n);
+        v
+    }
+}

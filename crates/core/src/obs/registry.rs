@@ -1,0 +1,527 @@
+//! The unified metrics registry: every counter the engine, optimizer and
+//! host machine expose, under one schema (see `docs/METRICS.md`).
+//!
+//! The registry is *passive*: it is filled from the authoritative
+//! sources (`Report`-era fields, [`risotto_tcg::OptStats`],
+//! `ChainStats`/`CacheStats`/`CoreStats`) and never feeds back into
+//! execution, so enabling observability cannot change simulated cycles.
+
+use risotto_memmodel::FenceKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema version stamped into every [`MetricsSnapshot`].
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// The type of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing total.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Summary of observed samples (count / sum / min / max).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case name used in the JSON exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Registration record for one metric (or one metric family, when the
+/// name contains a `<i>` placeholder segment — e.g. `core.<i>.insns`).
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// Metric name; dot-separated, `<i>` marks a per-index family.
+    pub name: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Unit of the value (e.g. `cycles`, `blocks`, `ns`).
+    pub unit: &'static str,
+    /// One-line description.
+    pub help: String,
+}
+
+/// Summary statistics of one histogram metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of observed samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistSummary {
+    fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// The value of one metric in a registry or snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(u64),
+    /// A histogram summary.
+    Histogram(HistSummary),
+}
+
+impl MetricValue {
+    /// The scalar value of a counter or gauge (`None` for histograms).
+    pub fn scalar(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Histogram(_) => None,
+        }
+    }
+
+    fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+fn spec(name: &str, kind: MetricKind, unit: &'static str, help: &str) -> MetricSpec {
+    MetricSpec { name: name.to_owned(), kind, unit, help: help.to_owned() }
+}
+
+/// The unified metrics registry.
+///
+/// Every metric of the static schema ([`MetricsRegistry::specs`]) is
+/// pre-registered at zero; per-index family members (`core.<i>.…`) are
+/// materialized on first write. Values live in a `BTreeMap`, so
+/// snapshots and their JSON exposition are deterministically ordered.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry with every non-family metric of the schema at zero.
+    pub fn new() -> MetricsRegistry {
+        let mut values = BTreeMap::new();
+        for s in Self::specs() {
+            if s.name.contains("<i>") {
+                continue; // family: members registered on first write
+            }
+            let v = match s.kind {
+                MetricKind::Counter => MetricValue::Counter(0),
+                MetricKind::Gauge => MetricValue::Gauge(0),
+                MetricKind::Histogram => MetricValue::Histogram(HistSummary::default()),
+            };
+            values.insert(s.name, v);
+        }
+        MetricsRegistry { values }
+    }
+
+    /// The full metric schema: one [`MetricSpec`] per metric, including
+    /// the per-kind fence counters and the `core.<i>.…` per-core
+    /// families. `docs/METRICS.md` must document exactly this list
+    /// (enforced by `tests/obs.rs`).
+    pub fn specs() -> Vec<MetricSpec> {
+        use MetricKind::{Counter, Gauge, Histogram};
+        let mut v = vec![
+            spec("translate.blocks", Counter, "blocks", "Translations installed (incl. retranslations and native thunks)"),
+            spec("translate.retranslations", Counter, "blocks", "Translations beyond a block's first (evictions, corruption refills, quarantine retries)"),
+            spec("translate.fallback_blocks", Counter, "blocks", "Quarantine episodes: blocks that entered interpreter fallback"),
+            spec("translate.interp_steps", Counter, "insns", "Guest instructions executed by the fallback interpreter"),
+            spec("translate.tbcache_hits", Counter, "lookups", "Engine-side TB-map lookups that found an existing translation"),
+            spec("fault.injected", Counter, "faults", "Injected translate/lower/syscall faults encountered"),
+            spec("opt.folded", Counter, "ops", "Constants folded by the optimizer"),
+            spec("opt.loads_forwarded", Counter, "ops", "Loads forwarded (RAR + RAW elimination)"),
+            spec("opt.stores_eliminated", Counter, "ops", "Dead stores removed (WAW elimination)"),
+            spec("opt.fences_merged", Counter, "fences", "Fences merged away (all kinds)"),
+            spec("opt.dce_removed", Counter, "ops", "Ops removed by dead-code elimination"),
+            spec("chain.hits", Counter, "exits", "Direct-jump exits through an already-patched chain slot"),
+            spec("chain.links", Counter, "exits", "Direct-jump exits resolved by the dispatcher then patched"),
+            spec("chain.flushes", Counter, "slots", "Chain slots un-patched / jump-cache entries dropped on unmap"),
+            spec("jcache.hits", Counter, "exits", "Indirect exits that hit the per-core jump cache"),
+            spec("jcache.misses", Counter, "exits", "Indirect exits resolved by the full dispatcher lookup"),
+            spec("tbcache.installs", Counter, "regions", "Code regions installed into the TB cache"),
+            spec("tbcache.region_reuses", Counter, "regions", "Installs that reused a freed region"),
+            spec("tbcache.evictions", Counter, "blocks", "TB mappings removed (evictions, invalidations, rebinds)"),
+            spec("exec.insns", Counter, "insns", "Host instructions retired, all cores"),
+            spec("exec.atomics", Counter, "insns", "Atomic RMW instructions executed"),
+            spec("exec.helper_calls", Counter, "calls", "Helper calls executed"),
+            spec("exec.native_calls", Counter, "calls", "Native host-library calls executed"),
+            spec("fence.exec.dmb_ld", Counter, "fences", "DMB LD barriers executed"),
+            spec("fence.exec.dmb_st", Counter, "fences", "DMB ST barriers executed"),
+            spec("fence.exec.dmb_ff", Counter, "fences", "DMB FF (SY) barriers executed"),
+            spec("fence.exec.cycles", Counter, "cycles", "Cycles attributed to barriers"),
+            spec("engine.syscalls", Counter, "calls", "Completed (non-busy-wait) guest syscalls"),
+            spec("exec.cycles", Gauge, "cycles", "Simulated parallel runtime (max core clock)"),
+            spec("exec.cores", Gauge, "cores", "Cores configured for the run"),
+            spec("tbcache.resident", Gauge, "blocks", "TB mappings resident at snapshot time"),
+            spec("code.bytes", Gauge, "bytes", "Code-cache footprint (incl. holes awaiting reuse)"),
+            spec("core.<i>.insns", Gauge, "insns", "Host instructions retired by core i"),
+            spec("core.<i>.cycles", Gauge, "cycles", "Local clock of core i"),
+            spec("stage.decode_ns", Histogram, "ns", "Wall time of frontend decode+translate, per block"),
+            spec("stage.opt_ns", Histogram, "ns", "Wall time of the optimizer pipeline, per block"),
+            spec("stage.encode_ns", Histogram, "ns", "Wall time of backend lowering, per block"),
+            spec("stage.install_ns", Histogram, "ns", "Wall time of code install + TB mapping, per block"),
+        ];
+        for k in FenceKind::TCG_ALL {
+            let n = k.tcg_name().expect("TCG fence has a short name");
+            v.push(spec(
+                &format!("fence.inserted.{n}"),
+                Counter,
+                "fences",
+                &format!("`{k:?}` fences emitted by the frontend (counted before optimization)"),
+            ));
+            v.push(spec(
+                &format!("fence.merged.{n}"),
+                Counter,
+                "fences",
+                &format!("`{k:?}` fences merged away by the optimizer"),
+            ));
+        }
+        v
+    }
+
+    /// Normalizes a concrete metric name to its documented form: numeric
+    /// dot-segments become `<i>` (`core.3.insns` → `core.<i>.insns`).
+    pub fn doc_name(name: &str) -> String {
+        name.split('.')
+            .map(|seg| if seg.bytes().all(|b| b.is_ascii_digit()) && !seg.is_empty() { "<i>" } else { seg })
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Adds `delta` to a counter (registering it as a counter if new).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.values.entry(name.to_owned()).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            other => debug_assert!(false, "add on non-counter {name}: {other:?}"),
+        }
+    }
+
+    /// Sets a counter to an absolute total (for counters mirrored from an
+    /// authoritative accumulator rather than incremented in place).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.values.insert(name.to_owned(), MetricValue::Counter(v));
+    }
+
+    /// Sets a gauge (registering it if new — how `core.<i>.…` family
+    /// members materialize).
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        self.values.insert(name.to_owned(), MetricValue::Gauge(v));
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&mut self, name: &str, sample: u64) {
+        match self
+            .values
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Histogram(HistSummary::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(sample),
+            other => debug_assert!(false, "observe on non-histogram {name}: {other:?}"),
+        }
+    }
+
+    /// Reads a counter total (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Reads a gauge (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Reads a histogram summary (empty if absent).
+    pub fn histogram(&self, name: &str) -> HistSummary {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => HistSummary::default(),
+        }
+    }
+
+    /// An immutable, versioned copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot { version: SNAPSHOT_VERSION, metrics: self.values.clone() }
+    }
+}
+
+/// A versioned, immutable copy of a [`MetricsRegistry`], with a JSON
+/// exposition that round-trips.
+///
+/// ```
+/// use risotto_core::obs::{MetricsRegistry, MetricsSnapshot};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.add("chain.hits", 7);
+/// reg.set_gauge("exec.cycles", 1234);
+/// reg.observe("stage.decode_ns", 800);
+/// reg.observe("stage.decode_ns", 200);
+///
+/// let snap = reg.snapshot();
+/// let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+/// assert_eq!(back, snap);
+/// assert_eq!(back.counter("chain.hits"), 7);
+/// assert_eq!(back.gauge("exec.cycles"), 1234);
+/// assert_eq!(back.histogram("stage.decode_ns").sum, 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u64,
+    /// Metric name → value, deterministically ordered.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Reads a counter total (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Reads a gauge (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Reads a histogram summary (empty if absent).
+    pub fn histogram(&self, name: &str) -> HistSummary {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => HistSummary::default(),
+        }
+    }
+
+    /// Compact JSON exposition:
+    /// `{"version":1,"metrics":{"name":{"type":"counter","value":N},…}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * self.metrics.len());
+        out.push_str(&format!("{{\"version\": {}, \"metrics\": {{", self.version));
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": "));
+            match v {
+                MetricValue::Counter(n) | MetricValue::Gauge(n) => {
+                    out.push_str(&format!("{{\"type\": \"{}\", \"value\": {n}}}", v.kind().name()));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                        h.count, h.sum, h.min, h.max
+                    ));
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the [`MetricsSnapshot::to_json`] exposition back.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed input (position included).
+    pub fn from_json(s: &str) -> Result<MetricsSnapshot, JsonError> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        p.expect(b'{')?;
+        let mut version = None;
+        let mut metrics = BTreeMap::new();
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "version" => version = Some(p.number()?),
+                "metrics" => {
+                    p.expect(b'{')?;
+                    if p.peek()? == b'}' {
+                        p.expect(b'}')?;
+                    } else {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(b':')?;
+                            metrics.insert(name, p.metric_value()?);
+                            if !p.comma_or(b'}')? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                other => return Err(p.err(&format!("unknown key `{other}`"))),
+            }
+            if !p.comma_or(b'}')? {
+                break;
+            }
+        }
+        let version = version.ok_or_else(|| p.err("missing `version`"))?;
+        Ok(MetricsSnapshot { version, metrics })
+    }
+}
+
+/// Error from [`MetricsSnapshot::from_json`]: what went wrong, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Description of the failure.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad metrics JSON at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Minimal parser for exactly the subset of JSON that
+/// [`MetricsSnapshot::to_json`] emits (objects, strings without escapes,
+/// unsigned integers).
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError { at: self.i, msg: msg.to_owned() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.b.get(self.i).copied().ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), JsonError> {
+        let got = self.peek()?;
+        if got != ch {
+            return Err(self.err(&format!("expected `{}`, found `{}`", ch as char, got as char)));
+        }
+        self.i += 1;
+        Ok(())
+    }
+
+    /// Consumes `,` and returns `true`, or consumes `close` and returns
+    /// `false`.
+    fn comma_or(&mut self, close: u8) -> Result<bool, JsonError> {
+        let got = self.peek()?;
+        self.i += 1;
+        match got {
+            b',' => Ok(true),
+            c if c == close => Ok(false),
+            c => Err(self.err(&format!("expected `,` or `{}`, found `{}`", close as char, c as char))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            if self.b[self.i] == b'\\' {
+                return Err(self.err("escape sequences are not part of the metrics schema"));
+            }
+            self.i += 1;
+        }
+        if self.i >= self.b.len() {
+            return Err(self.err("unterminated string"));
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| self.err("invalid UTF-8 in string"))?
+            .to_owned();
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<u64, JsonError> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("number does not fit in u64"))
+    }
+
+    fn metric_value(&mut self) -> Result<MetricValue, JsonError> {
+        self.expect(b'{')?;
+        let mut ty = None;
+        let mut fields: BTreeMap<String, u64> = BTreeMap::new();
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            if key == "type" {
+                ty = Some(self.string()?);
+            } else {
+                fields.insert(key, self.number()?);
+            }
+            if !self.comma_or(b'}')? {
+                break;
+            }
+        }
+        let get = |k: &str| fields.get(k).copied().unwrap_or(0);
+        match ty.as_deref() {
+            Some("counter") => Ok(MetricValue::Counter(get("value"))),
+            Some("gauge") => Ok(MetricValue::Gauge(get("value"))),
+            Some("histogram") => Ok(MetricValue::Histogram(HistSummary {
+                count: get("count"),
+                sum: get("sum"),
+                min: get("min"),
+                max: get("max"),
+            })),
+            Some(other) => Err(self.err(&format!("unknown metric type `{other}`"))),
+            None => Err(self.err("metric value missing `type`")),
+        }
+    }
+}

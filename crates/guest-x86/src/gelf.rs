@@ -198,8 +198,8 @@ impl GuestBinary {
 
     /// Checks the layout invariants every loaded binary must satisfy:
     /// sections fit their address-space slots, the entry point and every
-    /// `.dynsym` PLT address lie inside `.text`. [`from_bytes`]
-    /// (Self::from_bytes) applies this automatically; loaders with other
+    /// `.dynsym` PLT address lie inside `.text`.
+    /// [`from_bytes`](Self::from_bytes) applies this automatically; loaders with other
     /// sources (e.g. a builder bypass) can call it directly.
     pub fn validate(&self) -> Result<(), GelfError> {
         let text_end = TEXT_BASE + self.text.len() as u64;

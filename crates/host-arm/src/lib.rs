@@ -26,7 +26,7 @@
 //! assert_eq!(m.reg(0, Xreg::X0), 42);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod backend;
@@ -38,6 +38,6 @@ pub use backend::{lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, E
 pub use cost::CostModel;
 pub use insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
 pub use machine::{
-    ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult, SchedPolicy,
-    CODE_BASE,
+    CacheStats, ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult,
+    SchedPolicy, TbProf, CODE_BASE,
 };

@@ -128,6 +128,31 @@ pub struct CoreStats {
     pub fence_cycles: u64,
 }
 
+/// Counters for the translation-block code cache (machine-wide totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Code regions installed (one per translation, thunk included).
+    pub installs: u64,
+    /// Installs that reused a freed region instead of growing the cache.
+    pub region_reuses: u64,
+    /// Mappings removed by [`Machine::unmap_tb`] (evictions,
+    /// invalidations, and link-library rebinds).
+    pub evictions: u64,
+}
+
+/// Per-translation-block execution profile entry (see
+/// [`Machine::set_profiling`]). Keyed by guest pc in
+/// [`Machine::tb_profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TbProf {
+    /// Times the block was entered via a machine-resolved transfer
+    /// (patched chain, jump cache, or dispatcher lookup).
+    pub execs: u64,
+    /// Entries that missed the fast path (dispatcher lookup after an
+    /// unpatched chain slot or a jump-cache miss).
+    pub chain_misses: u64,
+}
+
 /// Counters for the TB-chaining machinery (machine-wide totals).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChainStats {
@@ -226,6 +251,10 @@ pub struct Machine {
     /// (the reference configuration for differential checks).
     chaining: bool,
     chain_stats: ChainStats,
+    cache_stats: CacheStats,
+    /// Per-TB execution profile (guest pc → counts), `None` unless
+    /// enabled — the common case pays only this `Option` check.
+    profile: Option<HashMap<u64, TbProf>>,
     /// Reverse chain index: target guest pc → host pcs of the
     /// `ExitTb(Jump)` sites currently patched to point at its translation.
     /// Consulted on unmap so every chain into a dead TB is unlinked
@@ -274,6 +303,8 @@ impl Machine {
             sched_state: 0x243F_6A88_85A3_08D3,
             chaining: true,
             chain_stats: ChainStats::default(),
+            cache_stats: CacheStats::default(),
+            profile: None,
             incoming: HashMap::new(),
             regions: HashMap::new(),
             free_list: Vec::new(),
@@ -295,6 +326,33 @@ impl Machine {
     /// Machine-wide chaining/dispatch counters.
     pub fn chain_stats(&self) -> ChainStats {
         self.chain_stats
+    }
+
+    /// Machine-wide code-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Enables or disables the per-TB execution profile (off by default;
+    /// purely observational — never affects cycles or scheduling).
+    /// Disabling discards any collected profile.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profile = if on { Some(HashMap::new()) } else { None };
+    }
+
+    /// The collected per-TB execution profile (guest pc → counts), or
+    /// `None` if profiling was never enabled.
+    pub fn tb_profile(&self) -> Option<&HashMap<u64, TbProf>> {
+        self.profile.as_ref()
+    }
+
+    /// Records a block entry in the profile, if enabled.
+    fn profile_entry(&mut self, guest_pc: u64, miss: bool) {
+        if let Some(p) = &mut self.profile {
+            let e = p.entry(guest_pc).or_default();
+            e.execs += 1;
+            e.chain_misses += miss as u64;
+        }
     }
 
     /// Selects the scheduling policy (see [`SchedPolicy`]).
@@ -321,8 +379,10 @@ impl Machine {
             i.encode(&mut bytes);
         }
         self.retry_pending_frees();
+        self.cache_stats.installs += 1;
         let addr = match self.free_list.iter().position(|&(_, len)| len >= bytes.len()) {
             Some(slot) => {
+                self.cache_stats.region_reuses += 1;
                 let (off, len) = self.free_list.swap_remove(slot);
                 self.code[off..off + bytes.len()].copy_from_slice(&bytes);
                 if len > bytes.len() {
@@ -378,6 +438,7 @@ impl Machine {
         let Some(host) = self.tb_map.remove(&guest_pc) else {
             return false;
         };
+        self.cache_stats.evictions += 1;
         self.unlink_incoming(guest_pc);
         self.flush_jcache(guest_pc);
         self.free_region(host);
@@ -1092,6 +1153,7 @@ impl Machine {
                 if self.chaining && chain != 0 {
                     // Patched chain slot: straight-line branch, no lookup.
                     self.chain_stats.chain_hits += 1;
+                    self.profile_entry(guest_pc, false);
                     self.cores[core].pc = chain;
                     self.cores[core].cycles += cost.tb_chain;
                     return None;
@@ -1106,6 +1168,7 @@ impl Machine {
                             self.incoming.entry(guest_pc).or_default().push(pc);
                             self.chain_stats.chain_links += 1;
                         }
+                        self.profile_entry(guest_pc, true);
                         self.cores[core].pc = host;
                         None
                     }
@@ -1122,6 +1185,7 @@ impl Machine {
                     let (g, h) = self.cores[core].jcache[idx];
                     if g == guest_pc {
                         self.chain_stats.dispatch_hits += 1;
+                        self.profile_entry(guest_pc, false);
                         self.cores[core].pc = h;
                         self.cores[core].cycles += cost.tb_chain;
                         return None;
@@ -1133,6 +1197,7 @@ impl Machine {
                         if self.chaining {
                             self.cores[core].jcache[idx] = (guest_pc, host);
                         }
+                        self.profile_entry(guest_pc, true);
                         self.cores[core].pc = host;
                         self.cores[core].cycles += cost.tb_dispatch;
                         None

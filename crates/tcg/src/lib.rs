@@ -37,7 +37,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod eval;
@@ -51,6 +51,6 @@ pub use frontend::{
 };
 pub use ir::{env, BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
 pub use opt::{
-    constant_fold, dce, elim_may_cross, merge_fences, optimize, optimize_with, ElimKind,
-    OptPolicy, OptStats, PassConfig,
+    constant_fold, dce, elim_may_cross, merge_fences, merge_fences_counted, optimize,
+    optimize_with, ElimKind, OptPolicy, OptStats, PassConfig,
 };

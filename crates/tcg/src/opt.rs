@@ -44,8 +44,25 @@ pub struct OptStats {
     pub stores_eliminated: usize,
     /// Fences merged away.
     pub fences_merged: usize,
+    /// Fences merged away, by the kind of the removed fence; indexed by
+    /// [`FenceKind::tcg_index`] over [`FenceKind::TCG_ALL`]. The entries
+    /// sum to `fences_merged`.
+    pub fences_merged_by_kind: [usize; 12],
     /// Ops removed by DCE.
     pub dce_removed: usize,
+}
+
+impl std::ops::AddAssign for OptStats {
+    fn add_assign(&mut self, rhs: OptStats) {
+        self.folded += rhs.folded;
+        self.loads_forwarded += rhs.loads_forwarded;
+        self.stores_eliminated += rhs.stores_eliminated;
+        self.fences_merged += rhs.fences_merged;
+        for (a, b) in self.fences_merged_by_kind.iter_mut().zip(rhs.fences_merged_by_kind) {
+            *a += b;
+        }
+        self.dce_removed += rhs.dce_removed;
+    }
 }
 
 /// Which passes run — the ablation knob for the `ablation_passes` bench.
@@ -111,7 +128,7 @@ pub fn optimize_with(block: &mut TcgBlock, policy: OptPolicy, passes: PassConfig
         forward_memory(block, policy, &mut stats);
     }
     if passes.merge_fences {
-        stats.fences_merged += merge_fences(block);
+        stats.fences_merged += merge_fences_counted(block, &mut stats.fences_merged_by_kind);
     }
     if passes.dce {
         stats.dce_removed += dce(block);
@@ -443,6 +460,12 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
 /// fence (their join, `Fsc`-absorbing) at the earliest position. Returns
 /// the number of fences removed.
 pub fn merge_fences(block: &mut TcgBlock) -> usize {
+    merge_fences_counted(block, &mut [0; 12])
+}
+
+/// [`merge_fences`], additionally tallying each removed fence by kind
+/// into `by_kind` (indexed per [`FenceKind::tcg_index`]).
+pub fn merge_fences_counted(block: &mut TcgBlock, by_kind: &mut [usize; 12]) -> usize {
     let ops = std::mem::take(&mut block.ops);
     let mut out: Vec<TcgOp> = Vec::with_capacity(ops.len());
     let mut removed = 0usize;
@@ -459,6 +482,9 @@ pub fn merge_fences(block: &mut TcgBlock) -> usize {
                     if let TcgOp::Fence(prev) = out[idx] {
                         out[idx] = TcgOp::Fence(prev.tcg_join(k));
                         removed += 1;
+                        if let Some(i) = k.tcg_index() {
+                            by_kind[i] += 1;
+                        }
                         continue;
                     }
                 }
