@@ -3,6 +3,7 @@
 # Run from the repository root before sending a change.
 set -eu
 
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
@@ -13,9 +14,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # End-to-end pipeline bench in smoke mode: runs the 16-kernel suite at a
 # CI-sized scale and emits BENCH_pipeline.json (per-kernel cycles +
-# TB-chain hit rate + registry snapshot).
+# TB-chain hit rate + registry snapshot + tier-2 superblock delta).
 cargo bench -q -p risotto-bench --bench pipeline -- smoke
 test -s BENCH_pipeline.json
+
+# Schema assert: every kernel entry must carry the tier-2 "superblock"
+# key with its cycle delta and cross-boundary fence-merge count.
+if command -v jq > /dev/null 2>&1; then
+    jq -e '(.kernels | length) == 16
+           and ([.kernels[] | select(.superblock
+                 and (.superblock | has("cycle_delta"))
+                 and (.superblock | has("fences_merged_cross")))] | length) == 16' \
+        BENCH_pipeline.json > /dev/null
+else
+    python3 - BENCH_pipeline.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert len(doc["kernels"]) == 16, len(doc["kernels"])
+for k in doc["kernels"]:
+    sb = k["superblock"]
+    assert "cycle_delta" in sb and "fences_merged_cross" in sb, k["kernel"]
+EOF
+fi
 
 # Metrics-artifact smoke: fig12 at CI scale must emit a parseable,
 # versioned JSON artifact with one workload entry per kernel.
@@ -35,5 +55,11 @@ for w in doc["workloads"]:
 EOF
 fi
 rm -f "$metrics_json"
+
+# Remaining figure binaries, CI-sized: every figure in the paper's
+# evaluation gets exercised, not just fig12.
+cargo run -q --release -p risotto-bench --bin fig13_openssl_sqlite -- --smoke > /dev/null
+cargo run -q --release -p risotto-bench --bin fig14_mathlib -- --smoke > /dev/null
+cargo run -q --release -p risotto-bench --bin fig15_cas -- --smoke > /dev/null
 
 echo "ci: all green"

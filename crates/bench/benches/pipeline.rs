@@ -19,7 +19,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use risotto_core::{Emulator, Setup};
+use risotto_core::{Emulator, Setup, TierConfig};
 use risotto_guest_x86::{AluOp, Assembler, Cond, Gpr};
 use risotto_host_arm::{lower_block, BackendConfig, CostModel, Event, Machine, RmwStyle};
 use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
@@ -110,7 +110,9 @@ fn bench_machine() {
 
 /// Runs the 16 Fig. 12 kernels end-to-end under the risotto setup and
 /// writes per-kernel simulated cycles + chain-hit rate to
-/// `BENCH_pipeline.json`. `smoke` shrinks the scale for CI.
+/// `BENCH_pipeline.json`, plus a tier-2 leg per kernel (superblock
+/// promotion enabled) whose cycle delta and cross-boundary fence merges
+/// land under the `"superblock"` key. `smoke` shrinks the scale for CI.
 fn bench_kernels(smoke: bool) {
     let (scale, threads) = if smoke { (4, 2) } else { (64, 2) };
     let mode = if smoke { "smoke" } else { "full" };
@@ -123,11 +125,24 @@ fn bench_kernels(smoke: bool) {
         let r = emu.run(20_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let wall = t0.elapsed().as_secs_f64();
         let rate = r.chain_hit_rate();
+
+        // Tier-2 leg: same kernel with superblock promotion on. The
+        // architectural results must be bit-identical; only the cycle
+        // count may move.
+        let mut t2 = Emulator::new(&bin, Setup::Risotto, threads, CostModel::thunderx2_like());
+        t2.set_tiering(Some(TierConfig { hot_threshold: 16, ..TierConfig::default() }));
+        let r2 = t2.run(20_000_000_000).unwrap_or_else(|e| panic!("{} (tier-2): {e}", w.name));
+        assert_eq!(r2.exit_vals, r.exit_vals, "{}: tier-2 exit values diverge", w.name);
+        assert_eq!(r2.output, r.output, "{}: tier-2 output diverges", w.name);
+        let delta = r.cycles as i64 - r2.cycles as i64;
         println!(
-            "{:32} {:>12} cycles   chain {:>5.1}%   {:>8.1} ms wall",
+            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   {:>8.1} ms wall",
             w.name,
             r.cycles,
             100.0 * rate,
+            delta,
+            r2.sb.promotions,
+            r2.sb.fences_merged_cross,
             wall * 1e3
         );
         // The registry snapshot is read out after the run with every
@@ -137,7 +152,10 @@ fn bench_kernels(smoke: bool) {
             concat!(
                 "    {{\"kernel\": \"{}\", \"cycles\": {}, \"chain_hit_rate\": {:.4}, ",
                 "\"chain_hits\": {}, \"chain_links\": {}, \"dispatch_hits\": {}, ",
-                "\"dispatch_misses\": {}, \"wall_seconds\": {:.6},\n     \"metrics\": {}}}"
+                "\"dispatch_misses\": {}, \"wall_seconds\": {:.6},\n     ",
+                "\"superblock\": {{\"tier1_cycles\": {}, \"tier2_cycles\": {}, ",
+                "\"cycle_delta\": {}, \"promotions\": {}, \"tbs_merged\": {}, ",
+                "\"side_exits\": {}, \"fences_merged_cross\": {}}},\n     \"metrics\": {}}}"
             ),
             w.name,
             r.cycles,
@@ -147,6 +165,13 @@ fn bench_kernels(smoke: bool) {
             r.chain.dispatch_hits,
             r.chain.dispatch_misses,
             wall,
+            r.cycles,
+            r2.cycles,
+            delta,
+            r2.sb.promotions,
+            r2.sb.tbs_merged,
+            r2.sb.side_exits,
+            r2.sb.fences_merged_cross,
             emu.metrics().to_json()
         ));
     }

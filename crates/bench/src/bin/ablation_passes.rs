@@ -33,7 +33,9 @@ fn main() {
             let r = emu.run(10_000_000_000).unwrap();
             match expect {
                 None => expect = Some(r.exit_vals[0]),
-                Some(e) => assert_eq!(r.exit_vals[0], e, "{}: ablation changed the result!", w.name),
+                Some(e) => {
+                    assert_eq!(r.exit_vals[0], e, "{}: ablation changed the result!", w.name)
+                }
             }
             if i == 0 {
                 base = r.cycles;
@@ -44,9 +46,6 @@ fn main() {
         }
         rows.push(cells);
     }
-    print_table(
-        &["benchmark", "all (cycles)", "-merge", "-forward", "-fold", "-dce"],
-        &rows,
-    );
+    print_table(&["benchmark", "all (cycles)", "-merge", "-forward", "-fold", "-dce"], &rows);
     println!("\nDisabling any pass must never change program results (asserted).");
 }

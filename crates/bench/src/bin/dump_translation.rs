@@ -15,10 +15,9 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "risotto".into());
     let setups: Vec<Setup> = match which.as_str() {
         "all" => Setup::ALL.to_vec(),
-        name => vec![*Setup::ALL
-            .iter()
-            .find(|s| s.name() == name)
-            .unwrap_or_else(|| panic!("unknown setup `{name}` (try qemu/no-fences/tcg-ver/risotto/native/all)"))],
+        name => vec![*Setup::ALL.iter().find(|s| s.name() == name).unwrap_or_else(|| {
+            panic!("unknown setup `{name}` (try qemu/no-fences/tcg-ver/risotto/native/all)")
+        })],
     };
 
     // A representative block: load, FP work, CAS, store.
@@ -47,11 +46,29 @@ fn main() {
 
     for setup in setups {
         let (fe, be, policy) = match setup {
-            Setup::Qemu => (FrontendConfig::qemu(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::QemuUnsound),
-            Setup::NoFences => (FrontendConfig::no_fences(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::QemuUnsound),
-            Setup::TcgVer => (FrontendConfig::tcg_ver(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::Verified),
-            Setup::Risotto => (FrontendConfig::risotto(), BackendConfig::dbt(RmwStyle::Casal), OptPolicy::Verified),
-            Setup::Native => (FrontendConfig::no_fences(), BackendConfig::native(), OptPolicy::Verified),
+            Setup::Qemu => (
+                FrontendConfig::qemu(),
+                BackendConfig::dbt(RmwStyle::Casal),
+                OptPolicy::QemuUnsound,
+            ),
+            Setup::NoFences => (
+                FrontendConfig::no_fences(),
+                BackendConfig::dbt(RmwStyle::Casal),
+                OptPolicy::QemuUnsound,
+            ),
+            Setup::TcgVer => (
+                FrontendConfig::tcg_ver(),
+                BackendConfig::dbt(RmwStyle::Casal),
+                OptPolicy::Verified,
+            ),
+            Setup::Risotto => (
+                FrontendConfig::risotto(),
+                BackendConfig::dbt(RmwStyle::Casal),
+                OptPolicy::Verified,
+            ),
+            Setup::Native => {
+                (FrontendConfig::no_fences(), BackendConfig::native(), OptPolicy::Verified)
+            }
         };
         println!("\n################ setup: {} ################", setup.name());
         let mut block = translate_block(0x1000, fe, fetch).unwrap();

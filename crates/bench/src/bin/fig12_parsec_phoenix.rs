@@ -12,9 +12,7 @@
 //! hot-TB profile per kernel, collected under the risotto setup and
 //! cross-checked against the legacy `Report` counters).
 
-use risotto_bench::{
-    has_flag, metrics_json_arg, print_table, run, run_with_metrics, MetricsEntry,
-};
+use risotto_bench::{has_flag, metrics_json_arg, print_table, run, run_with_metrics, MetricsEntry};
 use risotto_core::Setup;
 use risotto_workloads::kernels;
 
@@ -44,9 +42,8 @@ fn main() {
         let bin = (w.build)(scale, threads);
         let qemu = run(&bin, Setup::Qemu, threads, false);
         let mut cells = vec![w.name.to_string()];
-        for (i, s) in [Setup::NoFences, Setup::TcgVer, Setup::Risotto, Setup::Native]
-            .iter()
-            .enumerate()
+        for (i, s) in
+            [Setup::NoFences, Setup::TcgVer, Setup::Risotto, Setup::Native].iter().enumerate()
         {
             let r = if *s == Setup::Risotto {
                 // The risotto run carries the observability payload: the
@@ -80,7 +77,8 @@ fn main() {
                 ]);
             }
         }
-        let fence_share = qemu.stats.fence_cycles as f64 / (qemu.cycles.max(1) * threads as u64) as f64;
+        let fence_share =
+            qemu.stats.fence_cycles as f64 / (qemu.cycles.max(1) * threads as u64) as f64;
         fence_shares.push((w.name.to_string(), fence_share));
         cells.push(format!("{}", qemu.cycles));
         rows.push(cells);
@@ -94,17 +92,16 @@ fn main() {
         format!("{:.1}%", avgs[3] / n),
         String::new(),
     ]);
-    print_table(
-        &["benchmark", "no-fences", "tcg-ver", "risotto", "native", "qemu cycles"],
-        &rows,
-    );
+    print_table(&["benchmark", "no-fences", "tcg-ver", "risotto", "native", "qemu cycles"], &rows);
     println!("\nFence share of qemu execution time (per core, §7.2):");
-    let mut fr: Vec<Vec<String>> = fence_shares
-        .iter()
-        .map(|(n, f)| vec![n.clone(), format!("{:.1}%", f * 100.0)])
-        .collect();
+    let mut fr: Vec<Vec<String>> =
+        fence_shares.iter().map(|(n, f)| vec![n.clone(), format!("{:.1}%", f * 100.0)]).collect();
     let avg = fence_shares.iter().map(|(_, f)| f).sum::<f64>() / fence_shares.len() as f64;
-    let max = fence_shares.iter().cloned().fold(("".to_string(), 0.0), |a, b| if b.1 > a.1 { b } else { a });
+    let max =
+        fence_shares
+            .iter()
+            .cloned()
+            .fold(("".to_string(), 0.0), |a, b| if b.1 > a.1 { b } else { a });
     fr.push(vec!["AVERAGE".into(), format!("{:.1}%", avg * 100.0)]);
     fr.push(vec![format!("MAX ({})", max.0), format!("{:.1}%", max.1 * 100.0)]);
     print_table(&["benchmark", "fence share"], &fr);

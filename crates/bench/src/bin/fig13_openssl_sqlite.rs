@@ -3,28 +3,36 @@
 //! and native execution over QEMU (translated guest libraries).
 //!
 //! Pass `--metrics-json <path>` to also write the observability artifact
-//! (one registry snapshot + hot-TB profile per workload, risotto setup).
+//! (one registry snapshot + hot-TB profile per workload, risotto setup);
+//! `--smoke` shrinks buffers/iterations to a CI-sized configuration.
 
 use risotto_bench::{
-    metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
+    has_flag, metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
 };
 use risotto_core::Setup;
 use risotto_workloads::libbench::{digest_bench, rsa_bench, sqlite_bench, DigestAlgo};
 
 fn main() {
     println!("Figure 13 — OpenSSL & sqlite speedup over QEMU (higher is better)\n");
+    let smoke = has_flag("--smoke");
     let metrics_path = metrics_json_arg();
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let mut rows = Vec::new();
 
-    // Digests: md5/sha1/sha256 × {1024, 8192}-byte buffers.
-    for (algo, name) in [
-        (DigestAlgo::Md5, "md5"),
-        (DigestAlgo::Sha1, "sha1"),
-        (DigestAlgo::Sha256, "sha256"),
-    ] {
-        for len in [1024usize, 8192] {
-            let iters = if len == 1024 { 6 } else { 2 };
+    // Digests: md5/sha1/sha256 × {1024, 8192}-byte buffers (smoke: just
+    // the small buffer, one iteration).
+    let lens: &[usize] = if smoke { &[1024] } else { &[1024, 8192] };
+    for (algo, name) in
+        [(DigestAlgo::Md5, "md5"), (DigestAlgo::Sha1, "sha1"), (DigestAlgo::Sha256, "sha256")]
+    {
+        for &len in lens {
+            let iters = if smoke {
+                1
+            } else if len == 1024 {
+                6
+            } else {
+                2
+            };
             let bin = digest_bench(algo, len, iters);
             let qemu = run(&bin, Setup::Qemu, 1, false);
             let ris = run_risotto_collecting(&bin, &format!("{name}-{len}"), 1, true, &mut metrics);
@@ -41,8 +49,11 @@ fn main() {
         }
     }
 
-    // RSA 1024/2048 sign/verify (modulus 2^(64·n) − 159).
-    for (nlimbs, label) in [(16usize, "rsa1024"), (32, "rsa2048")] {
+    // RSA 1024/2048 sign/verify (modulus 2^(64·n) − 159; smoke: 1024
+    // only).
+    let rsa: &[(usize, &str)] =
+        if smoke { &[(16, "rsa1024")] } else { &[(16, "rsa1024"), (32, "rsa2048")] };
+    for &(nlimbs, label) in rsa {
         for (sign, op) in [(true, "sign"), (false, "verify")] {
             let bin = rsa_bench(nlimbs, sign, 1);
             let qemu = run(&bin, Setup::Qemu, 1, false);
@@ -61,7 +72,8 @@ fn main() {
 
     // sqlite speedtest.
     {
-        let bin = sqlite_bench(20);
+        let rows_n: u64 = if smoke { 4 } else { 20 };
+        let bin = sqlite_bench(rows_n);
         let qemu = run(&bin, Setup::Qemu, 1, false);
         let ris = run_risotto_collecting(&bin, "sqlite", 1, true, &mut metrics);
         let nat = run(&bin, Setup::Native, 1, true);
@@ -70,7 +82,7 @@ fn main() {
             "sqlite".into(),
             speedup(qemu.cycles, ris.cycles),
             speedup(qemu.cycles, nat.cycles),
-            format!("{:.0} ops/s", ops_per_sec(20, qemu.cycles)),
+            format!("{:.0} ops/s", ops_per_sec(rows_n, qemu.cycles)),
             format!("{:.1}%", 100.0 * ris.chain_hit_rate()),
         ]);
     }

@@ -1,10 +1,11 @@
 //! Regenerates Figure 14: math-library function throughput — speedup of
 //! risotto (host-linked libm) and native execution over QEMU (translated
 //! guest polynomial kernels). The marshaling overhead of §6.2 is why
-//! risotto trails native here.
+//! risotto trails native here. `--smoke` shrinks the iteration count to
+//! a CI-sized configuration.
 
 use risotto_bench::{
-    metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
+    has_flag, metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
 };
 use risotto_core::Setup;
 use risotto_nativelib::mathfn::MathFn;
@@ -14,7 +15,7 @@ fn main() {
     println!("Figure 14 — math library speedup over QEMU (higher is better)\n");
     let metrics_path = metrics_json_arg();
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
-    let iters = 60;
+    let iters = if has_flag("--smoke") { 8 } else { 60 };
     let mut rows = Vec::new();
     for f in MathFn::ALL {
         let x = match f {

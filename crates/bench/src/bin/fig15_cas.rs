@@ -1,8 +1,11 @@
 //! Regenerates Figure 15: compare-and-swap throughput across contention
 //! levels — QEMU's helper-call CAS vs Risotto's direct casal translation
-//! (§6.3) vs native execution.
+//! (§6.3) vs native execution. `--smoke` shrinks the per-thread CAS
+//! count to a CI-sized configuration.
 
-use risotto_bench::{metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting};
+use risotto_bench::{
+    has_flag, metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting,
+};
 use risotto_core::Setup;
 use risotto_workloads::cas::{cas_bench, FIG15_CONFIGS};
 
@@ -10,7 +13,7 @@ fn main() {
     println!("Figure 15 — CAS throughput (Mops/s) by (threads-vars) configuration\n");
     let metrics_path = metrics_json_arg();
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
-    let iters = 2000u64;
+    let iters = if has_flag("--smoke") { 200u64 } else { 2000u64 };
     let mut rows = Vec::new();
     for (threads, vars) in FIG15_CONFIGS {
         let bin = cas_bench(iters, threads, vars);
@@ -19,7 +22,13 @@ fn main() {
         let mut chain = String::new();
         for setup in [Setup::Qemu, Setup::Risotto, Setup::Native] {
             let r = if setup == Setup::Risotto {
-                run_risotto_collecting(&bin, &format!("cas-{threads}-{vars}"), threads, false, &mut metrics)
+                run_risotto_collecting(
+                    &bin,
+                    &format!("cas-{threads}-{vars}"),
+                    threads,
+                    false,
+                    &mut metrics,
+                )
             } else {
                 run(&bin, setup, threads, false)
             };

@@ -21,9 +21,17 @@ fn main() {
     let arm_orig = Arm::original();
 
     let corpus_progs = vec![
-        corpus::mp(), corpus::sb(), corpus::sb_fenced(), corpus::lb(), corpus::iriw(),
-        corpus::two_plus_two_w(), corpus::s_test(), corpus::r_test(),
-        corpus::mpq_x86(), corpus::sbq_x86(), corpus::sbal_x86(),
+        corpus::mp(),
+        corpus::sb(),
+        corpus::sb_fenced(),
+        corpus::lb(),
+        corpus::iriw(),
+        corpus::two_plus_two_w(),
+        corpus::s_test(),
+        corpus::r_test(),
+        corpus::mpq_x86(),
+        corpus::sbq_x86(),
+        corpus::sbal_x86(),
     ];
     println!("Generating the exhaustive two-thread family (len-2 over the full alphabet)…");
     let family = generate_two_thread(&x86_alphabet(), 2, 1);

@@ -36,8 +36,8 @@ use risotto_host_arm::{
 };
 use risotto_memmodel::FenceKind;
 use risotto_tcg::{
-    env, optimize_with, translate_block, FrontendConfig, OptPolicy, OptStats, PassConfig, TcgOp,
-    TranslateError,
+    env, optimize_with, superblock, translate_block, FrontendConfig, OptPolicy, OptStats,
+    PassConfig, TbExit, TcgBlock, TcgOp, TranslateError,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -143,10 +143,7 @@ pub struct HostExport {
 
 impl fmt::Debug for HostExport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HostExport")
-            .field("name", &self.name)
-            .field("arity", &self.arity)
-            .finish()
+        f.debug_struct("HostExport").field("name", &self.name).field("arity", &self.arity).finish()
     }
 }
 
@@ -413,7 +410,65 @@ pub struct Report {
     /// TB-chaining and dispatcher counters from the host machine.
     pub chain: ChainStats,
     /// Aggregated optimizer statistics over every translated block.
+    /// Tier-1 only — region passes over superblocks report under
+    /// [`Report::sb`] so non-tiered totals are unaffected by tiering.
     pub opt: OptStats,
+    /// Tier-2 superblock statistics (all zero unless
+    /// [`Emulator::set_tiering`] enabled promotion).
+    pub sb: SbStats,
+}
+
+/// Tier-2 promotion policy, enabled via [`Emulator::set_tiering`].
+///
+/// A profiled block whose entry count crosses `hot_threshold` becomes a
+/// promotion candidate: the engine walks its dominant successor chain
+/// (direct jumps always, conditional exits only when the profile is
+/// decisively biased), stitches up to `max_tbs` tier-1 blocks into one
+/// superblock, re-runs the full optimizer over the region — fence
+/// merging and memory-access eliminations now firing *across* former TB
+/// boundaries — and installs the result over the head, evicting the
+/// subsumed tier-1 bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Entry count at which a block becomes a candidate. Every multiple
+    /// re-fires the event, so a declined candidate that stays hot is
+    /// re-offered later.
+    pub hot_threshold: u64,
+    /// Maximum tier-1 blocks merged into one superblock.
+    pub max_tbs: usize,
+    /// Minimum trace length worth promoting (clamped to ≥ 2: a
+    /// one-block "superblock" is just the tier-1 body again).
+    pub min_tbs: usize,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig { hot_threshold: 512, max_tbs: 8, min_tbs: 2 }
+    }
+}
+
+/// Tier-2 superblock counters (see `docs/METRICS.md`, `sb.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SbStats {
+    /// Superblocks successfully installed.
+    pub promotions: u64,
+    /// Promotions abandoned mid-pipeline (stitch or lowering failure);
+    /// the tier-1 translations stay untouched.
+    pub failures: u64,
+    /// Hot-TB events declined before stitching: trace shorter than
+    /// `min_tbs`, PLT thunk, quarantined or untranslated head.
+    pub declined: u64,
+    /// Tier-1 blocks merged into superblocks (sum of trace lengths).
+    pub tbs_merged: u64,
+    /// `SideExit` guards emitted across all installed superblocks.
+    pub side_exits: u64,
+    /// Fence merges that crossed a former TB boundary — the cross-block
+    /// wins tier-1 cannot see (subset of the region passes' merges).
+    pub fences_merged_cross: u64,
+    /// Tier-1 translations evicted because a superblock subsumed them.
+    pub subsumed: u64,
+    /// Machine transfers that entered a superblock head.
+    pub entries: u64,
 }
 
 impl Report {
@@ -489,6 +544,15 @@ pub struct Emulator {
     obs: Obs,
     /// Optimizer statistics aggregated over every translated block.
     opt_totals: OptStats,
+    /// Tier-2 promotion policy (`None` = tier-1 only).
+    tiering: Option<TierConfig>,
+    /// Engine-side superblock counters (`subsumed`/`entries` live on the
+    /// machine and are merged in at snapshot time).
+    sb_stats: SbStats,
+    /// Region-pass optimizer statistics over every installed superblock,
+    /// kept out of [`Emulator::opt_totals`] so tier-1 reporting is
+    /// unchanged by tiering.
+    sb_opt: OptStats,
     /// Frontend-emitted fences counted pre-optimization, indexed per
     /// [`FenceKind::tcg_index`].
     fence_inserted: [u64; 12],
@@ -533,6 +597,9 @@ impl Emulator {
             syscalls_completed: 0,
             obs: Obs::new(),
             opt_totals: OptStats::default(),
+            tiering: None,
+            sb_stats: SbStats::default(),
+            sb_opt: OptStats::default(),
             fence_inserted: [0; 12],
             tb_ids: HashMap::new(),
             resume_profile: HashMap::new(),
@@ -601,11 +668,50 @@ impl Emulator {
     /// only). Disabling discards collected counts.
     pub fn set_profiling(&mut self, on: bool) {
         self.obs.profiling = on;
-        self.machine.set_profiling(on);
+        // The tier-2 promoter owns the machine-side profile while
+        // tiering is enabled; it must survive observability toggles.
+        self.machine.set_profiling(on || self.tiering.is_some());
         if !on {
             self.resume_profile.clear();
             self.obs.profiler.clear();
         }
+    }
+
+    /// Enables (or, with `None`, disables) tier-2 superblock promotion.
+    /// Tiering turns on the machine's transfer profile — the trace
+    /// selector needs branch-bias counts — but not the engine's
+    /// observational profiler ([`Emulator::set_profiling`]).
+    ///
+    /// Tiering never changes architectural results: superblocks are the
+    /// same guest instructions under the same (sound) optimizer, with
+    /// side-exit guards where the trace commits to a profiled direction.
+    /// Cycle counts *do* change — that is the point.
+    pub fn set_tiering(&mut self, cfg: Option<TierConfig>) {
+        self.tiering = cfg;
+        self.machine.set_hot_threshold(cfg.map(|c| c.hot_threshold));
+        self.machine.set_profiling(self.obs.profiling || cfg.is_some());
+    }
+
+    /// Tier-2 statistics so far (also in [`Report::sb`] after a run).
+    pub fn sb_stats(&self) -> SbStats {
+        let cache = self.machine.cache_stats();
+        SbStats {
+            subsumed: cache.sb_subsumed,
+            entries: self.machine.chain_stats().sb_entries,
+            fences_merged_cross: self.sb_opt.fences_merged_cross as u64,
+            ..self.sb_stats
+        }
+    }
+
+    /// `true` if `guest_pc` currently executes as a tier-2 superblock.
+    pub fn is_superblock(&self, guest_pc: u64) -> bool {
+        self.machine.is_sb_head(guest_pc)
+    }
+
+    /// Audits the machine's chain graph; empty means every patched chain
+    /// word points at a live translation (see `Machine::validate_chains`).
+    pub fn validate_chains(&self) -> Vec<(u64, u64, u64)> {
+        self.machine.validate_chains()
     }
 
     /// A versioned snapshot of every registry metric, refreshed from the
@@ -767,8 +873,7 @@ impl Emulator {
             }
             self.machine.set_reg(core, ENV_BASE, Self::env_base(core));
         }
-        self.machine
-            .set_reg(core, SPILL_BASE, SPILL_REGION + core as u64 * SPILL_STRIDE);
+        self.machine.set_reg(core, SPILL_BASE, SPILL_REGION + core as u64 * SPILL_STRIDE);
         self.write_guest_reg(core, Gpr::RSP, stack_top);
         if let Some(a) = arg {
             self.write_guest_reg(core, Gpr::RDI, a);
@@ -819,9 +924,180 @@ impl Emulator {
         host
     }
 
+    /// Frontend-only translation for tier-2 trace formation.
+    ///
+    /// Never consults the [`FaultPlan`]: promotion is opportunistic and
+    /// must not advance the plan's deterministic fault sequence — a
+    /// tiered run sees exactly the injected faults a tier-1 run does.
+    fn translate_ir(&self, guest_pc: u64) -> Result<TcgBlock, TranslateError> {
+        let text = &self.text;
+        let fetch = |addr: u64| -> [u8; 16] {
+            let mut w = [0u8; 16];
+            for (i, slot) in w.iter_mut().enumerate() {
+                let byte = addr
+                    .checked_sub(TEXT_BASE)
+                    .and_then(|off| off.checked_add(i as u64))
+                    .and_then(|off| usize::try_from(off).ok())
+                    .and_then(|off| text.get(off));
+                if let Some(&b) = byte {
+                    *slot = b;
+                }
+            }
+            w
+        };
+        translate_block(guest_pc, self.setup.frontend(), fetch)
+    }
+
+    /// Total observed entries into `guest_pc` — machine fast-path
+    /// transfers plus engine dispatch-loop entries.
+    fn entry_count(&self, guest_pc: u64) -> u64 {
+        let machine =
+            self.machine.tb_profile().and_then(|p| p.get(&guest_pc)).map_or(0, |e| e.execs);
+        let resume = self.resume_profile.get(&guest_pc).map_or(0, |e| e.0);
+        machine + resume
+    }
+
+    /// The profiled direction of a conditional exit, if decisive: the
+    /// hotter successor must have real weight (≥ 8 entries) and dominate
+    /// the colder one 4:1, else the trace ends rather than gamble on a
+    /// side exit that would fire often.
+    fn biased_successor(&self, taken: u64, fallthrough: u64) -> Option<u64> {
+        let t = self.entry_count(taken);
+        let f = self.entry_count(fallthrough);
+        let (hot_pc, hi, lo) = if t >= f { (taken, t, f) } else { (fallthrough, f, t) };
+        (hi >= 8 && hi >= 4 * lo).then_some(hot_pc)
+    }
+
+    /// Walks the dominant chain from `head`: direct jumps are followed
+    /// unconditionally, conditional exits only when decisively biased,
+    /// and the trace stops at indirect/terminal exits, revisits (loop
+    /// back-edges), PLT thunks, quarantined pcs, and `max_tbs`. The
+    /// returned flag marks a *cyclic* trace — one whose last block's
+    /// on-trace successor is the head itself, i.e. a whole hot loop.
+    fn select_trace(&self, head: u64, cfg: TierConfig) -> (Vec<TcgBlock>, bool) {
+        let mut parts: Vec<TcgBlock> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut pc = head;
+        loop {
+            if !parts.is_empty() && pc == head {
+                return (parts, true);
+            }
+            if parts.len() >= cfg.max_tbs
+                || !visited.insert(pc)
+                || self.plt_natives.contains_key(&pc)
+                || self.quarantine.contains_key(&pc)
+            {
+                break;
+            }
+            let Ok(block) = self.translate_ir(pc) else { break };
+            let exit = block.exit.clone();
+            parts.push(block);
+            pc = match exit {
+                TbExit::Jump(t) => t,
+                TbExit::CondJump { taken, fallthrough, .. } => {
+                    match self.biased_successor(taken, fallthrough) {
+                        Some(t) => t,
+                        None => break,
+                    }
+                }
+                TbExit::JumpReg(_) | TbExit::Halt | TbExit::Syscall { .. } => break,
+            };
+        }
+        (parts, false)
+    }
+
+    /// Services [`Event::HotTb`]: select → stitch → region-optimize →
+    /// lower → install. Failures at any stage leave the tier-1 world
+    /// untouched (counted, never fatal); the triggering core needs no
+    /// resume — its transfer completed before the event fired.
+    fn try_promote(&mut self, core: usize, guest_pc: u64) {
+        let Some(cfg) = self.tiering else { return };
+        if self.machine.lookup_tb(guest_pc).is_none()
+            || self.machine.is_sb_head(guest_pc)
+            || self.plt_natives.contains_key(&guest_pc)
+            || self.quarantine.contains_key(&guest_pc)
+        {
+            self.sb_stats.declined += 1;
+            return;
+        }
+        let t0 = self.obs.timing.then(Instant::now);
+        let (mut parts, cyclic) = self.select_trace(guest_pc, cfg);
+        if cyclic {
+            // The trace is a whole loop: any rotation executes the same
+            // code, so re-head it where the region optimizer can merge
+            // the most cross-seam fences. The triggering block stays in
+            // the (subsumed) trace; a tier-1 refill covers the one
+            // transfer already in flight.
+            let r = superblock::best_rotation(&parts);
+            if r != 0 && !self.machine.is_sb_head(parts[r].guest_pc) {
+                parts.rotate_left(r);
+            }
+        }
+        if let Some(ns) = t0.map(|t| t.elapsed().as_nanos() as u64) {
+            self.obs.registry.observe("sb.stage.select_ns", ns);
+        }
+        if parts.len() < cfg.min_tbs.max(2) {
+            self.sb_stats.declined += 1;
+            return;
+        }
+        let pcs: Vec<u64> = parts.iter().map(|b| b.guest_pc).collect();
+        let mut sb = match superblock::stitch(parts) {
+            Ok(sb) => sb,
+            Err(_) => {
+                self.sb_stats.failures += 1;
+                return;
+            }
+        };
+        let t1 = self.obs.timing.then(Instant::now);
+        let stats = superblock::optimize_region(&mut sb, self.setup.opt_policy(), self.passes);
+        self.sb_opt += stats;
+        if let Some(ns) = t1.map(|t| t.elapsed().as_nanos() as u64) {
+            self.obs.registry.observe("sb.stage.opt_ns", ns);
+        }
+        let mut backend = self.setup.backend();
+        if self.setup != Setup::Native {
+            backend.rmw = self.rmw_style;
+        }
+        let t2 = self.obs.timing.then(Instant::now);
+        let code = match lower_block(&sb, backend) {
+            Ok(code) => code,
+            Err(_) => {
+                self.sb_stats.failures += 1;
+                return;
+            }
+        };
+        let encode_ns = t2.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(ns) = encode_ns {
+            self.obs.registry.observe("sb.stage.encode_ns", ns);
+        }
+        let shape = superblock::shape_of(&sb);
+        let head_pc = sb.guest_pc;
+        self.machine.install_superblock(head_pc, &code, &pcs);
+        self.sb_stats.promotions += 1;
+        self.sb_stats.tbs_merged += shape.tbs as u64;
+        self.sb_stats.side_exits += shape.side_exits as u64;
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Install,
+                Some(core),
+                Some(head_pc),
+                self.tb_ids.get(&head_pc).copied(),
+                encode_ns,
+                format!(
+                    "superblock: {} tbs, {} side exits, {} cross-boundary fence merges",
+                    shape.tbs, shape.side_exits, stats.fences_merged_cross
+                ),
+            );
+        }
+    }
+
     /// Runs the full translation pipeline for one block, with fault
     /// injection at the frontend and backend boundaries.
-    fn try_translate(&mut self, core: Option<usize>, guest_pc: u64) -> Result<Vec<HostInsn>, TbFault> {
+    fn try_translate(
+        &mut self,
+        core: Option<usize>,
+        guest_pc: u64,
+    ) -> Result<Vec<HostInsn>, TbFault> {
         if self.plan.translate_fails(guest_pc) {
             self.faults_injected += 1;
             return Err(TbFault::Injected);
@@ -1103,8 +1379,7 @@ impl Emulator {
                 }
                 Insn::Jcc { cond, rel } => {
                     let taken = cond.eval(self.read_guest_flags(core));
-                    let target =
-                        if taken { next.wrapping_add(rel as i64 as u64) } else { next };
+                    let target = if taken { next.wrapping_add(rel as i64 as u64) } else { next };
                     return Ok(Some(target));
                 }
                 Insn::Jmp { rel } => return Ok(Some(next.wrapping_add(rel as i64 as u64))),
@@ -1229,7 +1504,12 @@ impl Emulator {
                 off: Gpr::RSP.0 as i32 * 8,
                 order: MemOrder::Plain,
             });
-            code.push(HostInsn::Ldr { dst: Xreg(26), base: Xreg(25), off: 0, order: MemOrder::Plain });
+            code.push(HostInsn::Ldr {
+                dst: Xreg(26),
+                base: Xreg(25),
+                off: 0,
+                order: MemOrder::Plain,
+            });
             code.push(HostInsn::AluImm {
                 op: risotto_host_arm::AOp::Add,
                 dst: Xreg(25),
@@ -1282,10 +1562,8 @@ impl Emulator {
                 self.write_guest_reg(core, Gpr::RAX, a3);
             }
             syscalls::SPAWN => {
-                let child = self.machine.idle_core().ok_or(EmuError::TooManyThreads {
-                    core,
-                    pc: next,
-                })?;
+                let child =
+                    self.machine.idle_core().ok_or(EmuError::TooManyThreads { core, pc: next })?;
                 self.init_core(child, Some(a2));
                 self.resume_at(child, a1)?;
                 // The child begins *now*, not at machine time zero — it
@@ -1363,9 +1641,8 @@ impl Emulator {
     }
 
     /// Observable-progress marker for the watchdog.
-    fn progress_marker(&self) -> (usize, usize, usize, u64, usize, usize) {
-        let halted =
-            (0..self.machine.n_cores()).filter(|&c| self.machine.core_halted(c)).count();
+    fn progress_marker(&self) -> (usize, usize, usize, u64, usize, usize, u64) {
+        let halted = (0..self.machine.n_cores()).filter(|&c| self.machine.core_halted(c)).count();
         let exited = self.exit_vals.iter().filter(|v| v.is_some()).count();
         (
             self.tb_count,
@@ -1374,6 +1651,7 @@ impl Emulator {
             self.syscalls_completed,
             halted,
             exited,
+            self.sb_stats.promotions,
         )
     }
 
@@ -1432,6 +1710,12 @@ impl Emulator {
                     // Otherwise just a watchdog slice boundary: fall
                     // through to the progress check.
                 }
+                Event::HotTb { core, guest_pc } => {
+                    // The transfer already completed: promotion (or a
+                    // decline) needs no resume and cannot perturb the
+                    // core's execution.
+                    self.try_promote(core, guest_pc);
+                }
                 Event::HostFault { core, host_pc, kind } => {
                     return Err(EmuError::HostFault {
                         kind,
@@ -1475,6 +1759,7 @@ impl Emulator {
             retranslations: self.retranslations,
             chain: self.machine.chain_stats(),
             opt: self.opt_totals,
+            sb: self.sb_stats(),
         })
     }
 
@@ -1521,6 +1806,15 @@ impl Emulator {
         r.set_counter("fence.exec.dmb_ff", stats.dmb[2]);
         r.set_counter("fence.exec.cycles", stats.fence_cycles);
         r.set_counter("engine.syscalls", self.syscalls_completed);
+        r.set_counter("sb.promotions", self.sb_stats.promotions);
+        r.set_counter("sb.promotion_failures", self.sb_stats.failures);
+        r.set_counter("sb.declined", self.sb_stats.declined);
+        r.set_counter("sb.installs", cache.sb_installs);
+        r.set_counter("sb.subsumed_tbs", cache.sb_subsumed);
+        r.set_counter("sb.entries", chain.sb_entries);
+        r.set_counter("sb.tbs_merged", self.sb_stats.tbs_merged);
+        r.set_counter("sb.side_exits", self.sb_stats.side_exits);
+        r.set_counter("sb.fences_merged_cross", self.sb_opt.fences_merged_cross as u64);
         r.set_gauge("exec.cycles", self.machine.clock());
         r.set_gauge("exec.cores", self.machine.n_cores() as u64);
         r.set_gauge("tbcache.resident", self.machine.mapped_tbs().len() as u64);

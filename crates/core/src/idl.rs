@@ -75,10 +75,8 @@ impl Idl {
             if line.is_empty() {
                 continue;
             }
-            funcs.push(parse_line(line).map_err(|msg| IdlError {
-                line: lineno + 1,
-                message: msg,
-            })?);
+            funcs
+                .push(parse_line(line).map_err(|msg| IdlError { line: lineno + 1, message: msg })?);
         }
         Ok(Idl { funcs })
     }
@@ -97,9 +95,8 @@ fn parse_line(line: &str) -> Result<IdlFunc, String> {
         return Err("mismatched parentheses".into());
     }
     let head = line[..open].trim();
-    let (ret_s, name) = head
-        .rsplit_once(char::is_whitespace)
-        .ok_or("expected `<ret-type> <name>(...)`")?;
+    let (ret_s, name) =
+        head.rsplit_once(char::is_whitespace).ok_or("expected `<ret-type> <name>(...)`")?;
     let ret = IdlType::parse(ret_s.trim()).ok_or_else(|| format!("unknown type `{ret_s}`"))?;
     if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Err(format!("invalid function name `{name}`"));
@@ -167,11 +164,11 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "f64 sin(f64)",        // no semicolon
-            "sin(f64);",           // no return type
-            "f64 (f64);",          // no name
-            "q32 sin(f64);",       // unknown type
-            "f64 sin(void, u64);", // void param
+            "f64 sin(f64)",                        // no semicolon
+            "sin(f64);",                           // no return type
+            "f64 (f64);",                          // no name
+            "q32 sin(f64);",                       // unknown type
+            "f64 sin(void, u64);",                 // void param
             "u64 f(u64,u64,u64,u64,u64,u64,u64);", // 7 params
         ] {
             assert!(Idl::parse(bad).is_err(), "should reject: {bad}");

@@ -41,13 +41,13 @@ mod idl;
 pub mod obs;
 
 pub use engine::{
-    CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, Setup, ENV_REGION,
-    SPILL_REGION,
+    CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, SbStats, Setup,
+    TierConfig, ENV_REGION, SPILL_REGION,
 };
 pub use faults::{FaultPlan, FaultSite};
+pub use idl::{Idl, IdlError, IdlFunc, IdlType};
 pub use obs::{
     HotTb, HotTbProfiler, JsonLinesSink, MetricsRegistry, MetricsSnapshot, NullSink,
     RingBufferSink, TraceEvent, TraceSink, TraceStage,
 };
 pub use risotto_host_arm::{RmwStyle, SchedPolicy};
-pub use idl::{Idl, IdlError, IdlFunc, IdlType};

@@ -179,6 +179,15 @@ impl MetricsRegistry {
             spec("fence.exec.dmb_ff", Counter, "fences", "DMB FF (SY) barriers executed"),
             spec("fence.exec.cycles", Counter, "cycles", "Cycles attributed to barriers"),
             spec("engine.syscalls", Counter, "calls", "Completed (non-busy-wait) guest syscalls"),
+            spec("sb.promotions", Counter, "superblocks", "Tier-2 superblocks successfully installed"),
+            spec("sb.promotion_failures", Counter, "attempts", "Promotions abandoned mid-pipeline (stitch/lowering failure)"),
+            spec("sb.declined", Counter, "events", "Hot-TB events declined before stitching (short trace, PLT, quarantined)"),
+            spec("sb.installs", Counter, "installs", "Superblock code installs on the machine"),
+            spec("sb.subsumed_tbs", Counter, "blocks", "Tier-1 translations evicted because a superblock subsumed them"),
+            spec("sb.entries", Counter, "entries", "Machine transfers that entered a superblock head"),
+            spec("sb.tbs_merged", Counter, "blocks", "Tier-1 blocks merged into superblocks (sum of trace lengths)"),
+            spec("sb.side_exits", Counter, "guards", "SideExit guards emitted across installed superblocks"),
+            spec("sb.fences_merged_cross", Counter, "fences", "Fence merges that crossed a former TB boundary"),
             spec("exec.cycles", Gauge, "cycles", "Simulated parallel runtime (max core clock)"),
             spec("exec.cores", Gauge, "cores", "Cores configured for the run"),
             spec("tbcache.resident", Gauge, "blocks", "TB mappings resident at snapshot time"),
@@ -189,6 +198,9 @@ impl MetricsRegistry {
             spec("stage.opt_ns", Histogram, "ns", "Wall time of the optimizer pipeline, per block"),
             spec("stage.encode_ns", Histogram, "ns", "Wall time of backend lowering, per block"),
             spec("stage.install_ns", Histogram, "ns", "Wall time of code install + TB mapping, per block"),
+            spec("sb.stage.select_ns", Histogram, "ns", "Wall time of tier-2 trace selection, per promotion attempt"),
+            spec("sb.stage.opt_ns", Histogram, "ns", "Wall time of the region optimizer over a stitched superblock"),
+            spec("sb.stage.encode_ns", Histogram, "ns", "Wall time of backend lowering for a superblock"),
         ];
         for k in FenceKind::TCG_ALL {
             let n = k.tcg_name().expect("TCG fence has a short name");
@@ -212,7 +224,13 @@ impl MetricsRegistry {
     /// dot-segments become `<i>` (`core.3.insns` → `core.<i>.insns`).
     pub fn doc_name(name: &str) -> String {
         name.split('.')
-            .map(|seg| if seg.bytes().all(|b| b.is_ascii_digit()) && !seg.is_empty() { "<i>" } else { seg })
+            .map(|seg| {
+                if seg.bytes().all(|b| b.is_ascii_digit()) && !seg.is_empty() {
+                    "<i>"
+                } else {
+                    seg
+                }
+            })
             .collect::<Vec<_>>()
             .join(".")
     }
@@ -456,7 +474,10 @@ impl Parser<'_> {
         match got {
             b',' => Ok(true),
             c if c == close => Ok(false),
-            c => Err(self.err(&format!("expected `,` or `{}`, found `{}`", close as char, c as char))),
+            c => {
+                Err(self
+                    .err(&format!("expected `,` or `{}`, found `{}`", close as char, c as char)))
+            }
         }
     }
 

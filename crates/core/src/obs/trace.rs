@@ -182,10 +182,7 @@ impl JsonLinesSink {
     ///
     /// Any [`std::io::Error`] from creating the file.
     pub fn create(path: &str) -> std::io::Result<JsonLinesSink> {
-        Ok(JsonLinesSink {
-            w: BufWriter::new(std::fs::File::create(path)?),
-            path: path.to_owned(),
-        })
+        Ok(JsonLinesSink { w: BufWriter::new(std::fs::File::create(path)?), path: path.to_owned() })
     }
 }
 

@@ -260,10 +260,8 @@ fn setup_performance_ordering_matches_fig12() {
     b.asm.hlt();
     let bin = b.finish().unwrap();
 
-    let cycles: std::collections::HashMap<&str, u64> = run_all_setups(&bin, 1)
-        .into_iter()
-        .map(|(s, r)| (s.name(), r.cycles))
-        .collect();
+    let cycles: std::collections::HashMap<&str, u64> =
+        run_all_setups(&bin, 1).into_iter().map(|(s, r)| (s.name(), r.cycles)).collect();
     assert!(cycles["no-fences"] < cycles["tcg-ver"], "{cycles:?}");
     assert!(cycles["tcg-ver"] < cycles["qemu"], "{cycles:?}");
     assert!(cycles["risotto"] <= cycles["tcg-ver"], "{cycles:?}");

@@ -54,13 +54,8 @@ fn export_outside_the_idl_is_a_typed_error_and_links_nothing() {
     // rejected atomically — even `f` stays on its guest implementation.
     let idl = Idl::parse("u64 f(u64, u64);").unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
-    let err = emu
-        .link_library(&bin, &idl, lib_with(vec![("f", 2, 7), ("g", 2, 9)]))
-        .unwrap_err();
-    assert_eq!(
-        err,
-        LinkError::NotInIdl { library: "test".into(), symbol: "g".into() }
-    );
+    let err = emu.link_library(&bin, &idl, lib_with(vec![("f", 2, 7), ("g", 2, 9)])).unwrap_err();
+    assert_eq!(err, LinkError::NotInIdl { library: "test".into(), symbol: "g".into() });
     let r = emu.run(10_000_000).unwrap();
     assert_eq!(r.exit_vals[0], Some(3000), "all guest paths");
     assert_eq!(r.stats.native_calls, 0);
@@ -71,13 +66,8 @@ fn duplicate_export_is_a_typed_error() {
     let bin = two_import_binary();
     let idl = Idl::parse("u64 f(u64, u64);").unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
-    let err = emu
-        .link_library(&bin, &idl, lib_with(vec![("f", 2, 7), ("f", 2, 9)]))
-        .unwrap_err();
-    assert_eq!(
-        err,
-        LinkError::DuplicateExport { library: "test".into(), symbol: "f".into() }
-    );
+    let err = emu.link_library(&bin, &idl, lib_with(vec![("f", 2, 7), ("f", 2, 9)])).unwrap_err();
+    assert_eq!(err, LinkError::DuplicateExport { library: "test".into(), symbol: "f".into() });
 }
 
 #[test]
@@ -86,17 +76,10 @@ fn arity_mismatch_is_a_typed_error() {
     // IDL says f takes two arguments; the export claims one.
     let idl = Idl::parse("u64 f(u64, u64);").unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
-    let err = emu
-        .link_library(&bin, &idl, lib_with(vec![("f", 1, 7)]))
-        .unwrap_err();
+    let err = emu.link_library(&bin, &idl, lib_with(vec![("f", 1, 7)])).unwrap_err();
     assert_eq!(
         err,
-        LinkError::ArityMismatch {
-            library: "test".into(),
-            symbol: "f".into(),
-            idl: 2,
-            export: 1,
-        }
+        LinkError::ArityMismatch { library: "test".into(), symbol: "f".into(), idl: 2, export: 1 }
     );
 }
 
@@ -112,9 +95,7 @@ fn validation_applies_even_when_host_linking_is_disabled() {
         Err(LinkError::NotInIdl { .. })
     ));
     // A well-formed library under qemu: validated, then a no-op.
-    let linked = emu
-        .link_library(&bin, &idl, lib_with(vec![("f", 2, 7)]))
-        .unwrap();
+    let linked = emu.link_library(&bin, &idl, lib_with(vec![("f", 2, 7)])).unwrap();
     assert!(linked.is_empty());
 }
 
@@ -138,9 +119,7 @@ fn marshaling_passes_exactly_the_declared_arity() {
     let bin = two_import_binary();
     let idl = Idl::parse("u64 f(u64);\nu64 g(u64, u64);").unwrap();
     let mut emu = Emulator::new(&bin, Setup::Risotto, 1, CostModel::thunderx2_like());
-    let linked = emu
-        .link_library(&bin, &idl, lib_with(vec![("f", 1, 1), ("g", 2, 1)]))
-        .unwrap();
+    let linked = emu.link_library(&bin, &idl, lib_with(vec![("f", 1, 1), ("g", 2, 1)])).unwrap();
     assert_eq!(linked.len(), 2);
     let r = emu.run(10_000_000).unwrap();
     // f: only RDI=10 marshaled → 10; g: 10+1 → 11.

@@ -282,10 +282,8 @@ impl Assembler {
         }
         offsets.push(off);
         let label_vaddr = |name: &str| -> Result<u64, AsmError> {
-            let idx = *self
-                .labels
-                .get(name)
-                .ok_or_else(|| AsmError::UndefinedLabel(name.to_owned()))?;
+            let idx =
+                *self.labels.get(name).ok_or_else(|| AsmError::UndefinedLabel(name.to_owned()))?;
             Ok(self.base + offsets[idx] as u64)
         };
         // Pass 2: encode with resolved relatives.
@@ -349,11 +347,8 @@ mod tests {
             pc += n as u64;
             i += n;
         }
-        let (jcc_pc, jcc, jcc_len) = decoded
-            .iter()
-            .find(|(_, i, _)| matches!(i, Insn::Jcc { .. }))
-            .copied()
-            .unwrap();
+        let (jcc_pc, jcc, jcc_len) =
+            decoded.iter().find(|(_, i, _)| matches!(i, Insn::Jcc { .. })).copied().unwrap();
         if let Insn::Jcc { rel, .. } = jcc {
             assert_eq!((jcc_pc + jcc_len as u64).wrapping_add(rel as i64 as u64), syms["loop"]);
         }

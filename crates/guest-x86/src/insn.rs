@@ -493,26 +493,52 @@ impl Insn {
             OP_MOV_RI => (Insn::MovRI { dst: reg(bytes, 1, op)?, imm: imm64(bytes, 2)? }, 10),
             OP_MOV_RR => (Insn::MovRR { dst: reg(bytes, 1, op)?, src: reg(bytes, 2, op)? }, 3),
             OP_LOAD => (
-                Insn::Load { dst: reg(bytes, 1, op)?, base: reg(bytes, 2, op)?, disp: imm32(bytes, 3)? },
+                Insn::Load {
+                    dst: reg(bytes, 1, op)?,
+                    base: reg(bytes, 2, op)?,
+                    disp: imm32(bytes, 3)?,
+                },
                 7,
             ),
             OP_STORE => (
-                Insn::Store { base: reg(bytes, 1, op)?, src: reg(bytes, 2, op)?, disp: imm32(bytes, 3)? },
+                Insn::Store {
+                    base: reg(bytes, 1, op)?,
+                    src: reg(bytes, 2, op)?,
+                    disp: imm32(bytes, 3)?,
+                },
                 7,
             ),
             OP_LEA => (
-                Insn::Lea { dst: reg(bytes, 1, op)?, base: reg(bytes, 2, op)?, disp: imm32(bytes, 3)? },
+                Insn::Lea {
+                    dst: reg(bytes, 1, op)?,
+                    base: reg(bytes, 2, op)?,
+                    disp: imm32(bytes, 3)?,
+                },
                 7,
             ),
             OP_ALU_RR => {
                 let o = AluOp::from_u8(*bytes.get(1).ok_or(DecodeError::Truncated)?)
                     .ok_or(DecodeError::BadOperand { opcode: op })?;
-                (Insn::Alu { op: o, dst: reg(bytes, 2, op)?, src: Operand::Reg(reg(bytes, 3, op)?) }, 4)
+                (
+                    Insn::Alu {
+                        op: o,
+                        dst: reg(bytes, 2, op)?,
+                        src: Operand::Reg(reg(bytes, 3, op)?),
+                    },
+                    4,
+                )
             }
             OP_ALU_RI => {
                 let o = AluOp::from_u8(*bytes.get(1).ok_or(DecodeError::Truncated)?)
                     .ok_or(DecodeError::BadOperand { opcode: op })?;
-                (Insn::Alu { op: o, dst: reg(bytes, 2, op)?, src: Operand::Imm(imm64(bytes, 3)?) }, 11)
+                (
+                    Insn::Alu {
+                        op: o,
+                        dst: reg(bytes, 2, op)?,
+                        src: Operand::Imm(imm64(bytes, 3)?),
+                    },
+                    11,
+                )
             }
             OP_DIV => (Insn::Div { src: reg(bytes, 1, op)? }, 2),
             OP_FP => {
@@ -520,8 +546,12 @@ impl Insn {
                     .ok_or(DecodeError::BadOperand { opcode: op })?;
                 (Insn::Fp { op: o, dst: reg(bytes, 2, op)?, src: reg(bytes, 3, op)? }, 4)
             }
-            OP_CMP_RR => (Insn::Cmp { a: reg(bytes, 1, op)?, b: Operand::Reg(reg(bytes, 2, op)?) }, 3),
-            OP_CMP_RI => (Insn::Cmp { a: reg(bytes, 1, op)?, b: Operand::Imm(imm64(bytes, 2)?) }, 10),
+            OP_CMP_RR => {
+                (Insn::Cmp { a: reg(bytes, 1, op)?, b: Operand::Reg(reg(bytes, 2, op)?) }, 3)
+            }
+            OP_CMP_RI => {
+                (Insn::Cmp { a: reg(bytes, 1, op)?, b: Operand::Imm(imm64(bytes, 2)?) }, 10)
+            }
             OP_TEST_RR => {
                 (Insn::Test { a: reg(bytes, 1, op)?, b: Operand::Reg(reg(bytes, 2, op)?) }, 3)
             }
@@ -557,11 +587,19 @@ impl Insn {
                 7,
             ),
             OP_LOADB => (
-                Insn::LoadB { dst: reg(bytes, 1, op)?, base: reg(bytes, 2, op)?, disp: imm32(bytes, 3)? },
+                Insn::LoadB {
+                    dst: reg(bytes, 1, op)?,
+                    base: reg(bytes, 2, op)?,
+                    disp: imm32(bytes, 3)?,
+                },
                 7,
             ),
             OP_STOREB => (
-                Insn::StoreB { base: reg(bytes, 1, op)?, src: reg(bytes, 2, op)?, disp: imm32(bytes, 3)? },
+                Insn::StoreB {
+                    base: reg(bytes, 1, op)?,
+                    src: reg(bytes, 2, op)?,
+                    disp: imm32(bytes, 3)?,
+                },
                 7,
             ),
             OP_MULWIDE => (Insn::MulWide { src: reg(bytes, 1, op)? }, 2),
@@ -594,7 +632,6 @@ impl Insn {
     }
 }
 
-
 impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn op(o: &Operand) -> String {
@@ -623,7 +660,9 @@ impl fmt::Display for Insn {
             }
             Insn::Cmp { a, b } => write!(f, "cmp   {a}, {}", op(b)),
             Insn::Test { a, b } => write!(f, "test  {a}, {}", op(b)),
-            Insn::Jcc { cond, rel } => write!(f, "j{:<4} {rel:+}", format!("{cond:?}").to_lowercase()),
+            Insn::Jcc { cond, rel } => {
+                write!(f, "j{:<4} {rel:+}", format!("{cond:?}").to_lowercase())
+            }
             Insn::Jmp { rel } => write!(f, "jmp   {rel:+}"),
             Insn::JmpReg { reg } => write!(f, "jmp   {reg}"),
             Insn::Call { rel } => write!(f, "call  {rel:+}"),
@@ -734,10 +773,7 @@ mod tests {
         assert_eq!(Insn::decode(&[]), Err(DecodeError::Truncated));
         assert_eq!(Insn::decode(&[0xff]), Err(DecodeError::BadOpcode(0xff)));
         assert_eq!(Insn::decode(&[OP_MOV_RI, 0]), Err(DecodeError::Truncated));
-        assert!(matches!(
-            Insn::decode(&[OP_MOV_RR, 99, 0]),
-            Err(DecodeError::BadOperand { .. })
-        ));
+        assert!(matches!(Insn::decode(&[OP_MOV_RR, 99, 0]), Err(DecodeError::BadOperand { .. })));
         assert!(matches!(
             Insn::decode(&[OP_ALU_RR, 200, 0, 0]),
             Err(DecodeError::BadOperand { .. })

@@ -37,10 +37,7 @@ impl SparseMem {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, val: u8) {
-        let page = self
-            .pages
-            .entry(addr / PAGE as u64)
-            .or_insert_with(|| Box::new([0u8; PAGE]));
+        let page = self.pages.entry(addr / PAGE as u64).or_insert_with(|| Box::new([0u8; PAGE]));
         page[(addr % PAGE as u64) as usize] = val;
     }
 
@@ -95,7 +92,14 @@ impl ThreadState {
     fn new(entry: u64, stack_top: u64) -> ThreadState {
         let mut regs = [0u64; Gpr::COUNT];
         regs[Gpr::RSP.index()] = stack_top;
-        ThreadState { regs, flags: Flags::default(), pc: entry, halted: false, exit_val: 0, joining: None }
+        ThreadState {
+            regs,
+            flags: Flags::default(),
+            pc: entry,
+            halted: false,
+            exit_val: 0,
+            joining: None,
+        }
     }
 }
 
@@ -222,9 +226,8 @@ impl Interp {
             if budget == 0 {
                 return Err(InterpError::OutOfFuel);
             }
-            let runnable: Vec<usize> = (0..self.threads.len())
-                .filter(|&t| !self.threads[t].halted)
-                .collect();
+            let runnable: Vec<usize> =
+                (0..self.threads.len()).filter(|&t| !self.threads[t].halted).collect();
             // Resolve joins (a join on a halted thread unblocks).
             let mut progressed = false;
             for &t in &runnable {
@@ -265,8 +268,8 @@ impl Interp {
         }
         let pc = self.threads[tid].pc;
         let window = self.mem.read_bytes(pc, 16);
-        let (insn, len) = Insn::decode(&window)
-            .map_err(|cause| InterpError::Decode { pc, cause })?;
+        let (insn, len) =
+            Insn::decode(&window).map_err(|cause| InterpError::Decode { pc, cause })?;
         let next = pc + len as u64;
         self.steps_executed += 1;
 

@@ -119,10 +119,7 @@ fn overlapping_data_section_is_rejected() {
     let mut bin = base_binary();
     let limit = (HEAP_BASE - DATA_BASE) as usize;
     bin.data.resize(limit + 8, 0);
-    assert!(matches!(
-        bin.validate(),
-        Err(GelfError::SectionOverlap { section: ".data", .. })
-    ));
+    assert!(matches!(bin.validate(), Err(GelfError::SectionOverlap { section: ".data", .. })));
     assert!(matches!(
         GuestBinary::from_bytes(&bin.to_bytes()),
         Err(GelfError::SectionOverlap { section: ".data", .. })

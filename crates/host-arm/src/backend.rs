@@ -195,13 +195,11 @@ impl HostAsm {
                 Item::Insn(i) => out.push(*i),
                 Item::Label(_) => {}
                 Item::BCondTo(c, l) => {
-                    let target =
-                        *labels.get(l).ok_or(BackendError::UnboundLabel { label: *l })?;
+                    let target = *labels.get(l).ok_or(BackendError::UnboundLabel { label: *l })?;
                     out.push(HostInsn::BCond { cond: *c, rel: target as i32 - next as i32 });
                 }
                 Item::BTo(l) => {
-                    let target =
-                        *labels.get(l).ok_or(BackendError::UnboundLabel { label: *l })?;
+                    let target = *labels.get(l).ok_or(BackendError::UnboundLabel { label: *l })?;
                     out.push(HostInsn::B { rel: target as i32 - next as i32 });
                 }
             }
@@ -243,16 +241,18 @@ impl Alloc {
             TbExit::CondJump { flag, .. } => last_use[flag.0 as usize] = exit_idx,
             _ => {}
         }
-        Alloc { pool, in_reg: HashMap::new(), spilled: HashMap::new(), holder: HashMap::new(), last_use }
+        Alloc {
+            pool,
+            in_reg: HashMap::new(),
+            spilled: HashMap::new(),
+            holder: HashMap::new(),
+            last_use,
+        }
     }
 
     fn free_dead(&mut self, idx: usize) {
-        let dead: Vec<Temp> = self
-            .in_reg
-            .keys()
-            .copied()
-            .filter(|t| self.last_use[t.0 as usize] < idx)
-            .collect();
+        let dead: Vec<Temp> =
+            self.in_reg.keys().copied().filter(|t| self.last_use[t.0 as usize] < idx).collect();
         for t in dead {
             if let Some(r) = self.in_reg.remove(&t) {
                 self.holder.remove(&r);
@@ -553,6 +553,22 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
                     }
                 }
             }
+            TcgOp::SideExit { flag, stay_if, target } => {
+                // Guarded off-trace exit: fall through (stay on the
+                // trace) when the flag's truth matches the profiled
+                // direction, otherwise leave via a chainable direct
+                // jump — side exits dispatch and chain exactly like a
+                // tier-1 `Jump` exit.
+                let r = alloc.use_reg(&mut asm, idx, *flag, &[])?;
+                let l_stay = asm.fresh_label();
+                asm.push(HostInsn::CmpImm { a: r, imm: 0 });
+                asm.bcond_to(if *stay_if { ACond::Ne } else { ACond::Eq }, l_stay);
+                asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *target, chain: 0 }));
+                asm.bind(l_stay);
+            }
+            TcgOp::TbBoundary { .. } => {
+                // Pure metadata: the seam generates no host code.
+            }
             TcgOp::CallHelper { helper, args, ret } => {
                 if cfg.hardware_fp {
                     if let Some(fp) = fp_op_of(*helper) {
@@ -742,9 +758,7 @@ mod tests {
             "no mapping-inserted fences in native mode"
         );
         // No env traffic either: loads/stores only for guest data.
-        assert!(!code
-            .iter()
-            .any(|i| matches!(i, HostInsn::Ldr { base, .. } if *base == ENV_BASE)));
+        assert!(!code.iter().any(|i| matches!(i, HostInsn::Ldr { base, .. } if *base == ENV_BASE)));
     }
 
     #[test]
@@ -767,13 +781,8 @@ mod tests {
     #[test]
     fn register_pressure_spills_and_reloads() {
         // A block with >18 simultaneously live temps: force spilling.
-        let mut block = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut block =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         let mut temps = Vec::new();
         for i in 0..24 {
             let t = block.new_temp();

@@ -712,14 +712,8 @@ impl HostInsn {
                 },
                 5,
             ),
-            0x08 => (
-                LdaddAl { old: xr(bytes, 1)?, addend: xr(bytes, 2)?, addr: xr(bytes, 3)? },
-                4,
-            ),
-            0x09 => (
-                Barrier(Dmb::from_u8(*bytes.get(1).ok_or("truncated")?).ok_or("bad dmb")?),
-                2,
-            ),
+            0x08 => (LdaddAl { old: xr(bytes, 1)?, addend: xr(bytes, 2)?, addr: xr(bytes, 3)? }, 4),
+            0x09 => (Barrier(Dmb::from_u8(*bytes.get(1).ok_or("truncated")?).ok_or("bad dmb")?), 2),
             0x0a => (
                 Alu {
                     op: AOp::from_u8(*bytes.get(1).ok_or("truncated")?).ok_or("bad op")?,
@@ -743,8 +737,7 @@ impl HostInsn {
             0x0e => (
                 Cset {
                     dst: xr(bytes, 1)?,
-                    cond: ACond::from_u8(*bytes.get(2).ok_or("truncated")?)
-                        .ok_or("bad cond")?,
+                    cond: ACond::from_u8(*bytes.get(2).ok_or("truncated")?).ok_or("bad cond")?,
                 },
                 3,
             ),
@@ -759,8 +752,7 @@ impl HostInsn {
             ),
             0x10 => (
                 BCond {
-                    cond: ACond::from_u8(*bytes.get(1).ok_or("truncated")?)
-                        .ok_or("bad cond")?,
+                    cond: ACond::from_u8(*bytes.get(1).ok_or("truncated")?).ok_or("bad cond")?,
                     rel: i32_at(bytes, 2)?,
                 },
                 6,

@@ -34,9 +34,13 @@ mod cost;
 mod insn;
 mod machine;
 
-pub use backend::{lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE};
+pub use backend::{
+    lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE,
+};
 pub use cost::CostModel;
-pub use insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
+pub use insn::{
+    ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET,
+};
 pub use machine::{
     CacheStats, ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult,
     SchedPolicy, TbProf, CODE_BASE,

@@ -15,11 +15,11 @@
 //! their architectural *costs* and their buffer-drain semantics here.
 
 use crate::cost::CostModel;
-use crate::insn::{AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
 #[cfg(test)]
 use crate::insn::ACond;
+use crate::insn::{AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
 use risotto_guest_x86::SparseMem;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Base address where translated host code lives (outside guest ranges).
 pub const CODE_BASE: u64 = 0x4000_0000;
@@ -68,6 +68,17 @@ pub enum Event {
     },
     /// The global step budget was exhausted (runaway guest).
     OutOfFuel,
+    /// A profiled block's execution count crossed the hotness threshold
+    /// (see [`Machine::set_hot_threshold`]); the engine may promote it
+    /// to a tier-2 superblock. The triggering transfer has already
+    /// completed — the core continues from its (tier-1) target when the
+    /// machine resumes, so this event never perturbs execution.
+    HotTb {
+        /// Core whose transfer crossed the threshold.
+        core: usize,
+        /// Guest pc of the hot block (candidate superblock head).
+        guest_pc: u64,
+    },
     /// A core hit unexecutable host state (undecodable code bytes, an
     /// unknown helper index, an out-of-range native function index).
     /// The faulting core is left un-advanced at `host_pc`; the engine
@@ -138,6 +149,11 @@ pub struct CacheStats {
     /// Mappings removed by [`Machine::unmap_tb`] (evictions,
     /// invalidations, and link-library rebinds).
     pub evictions: u64,
+    /// Superblocks installed via [`Machine::install_superblock`].
+    pub sb_installs: u64,
+    /// Tier-1 translations evicted because a superblock subsumed them
+    /// (a subset of `evictions`).
+    pub sb_subsumed: u64,
 }
 
 /// Per-translation-block execution profile entry (see
@@ -169,6 +185,9 @@ pub struct ChainStats {
     pub dispatch_hits: u64,
     /// Indirect exits that went through the full dispatcher lookup.
     pub dispatch_misses: u64,
+    /// Machine-resolved transfers that entered a superblock head
+    /// (tier-2 body executions; counted on every entry path).
+    pub sb_entries: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -267,6 +286,12 @@ pub struct Machine {
     /// Regions whose free is deferred because a core was parked inside
     /// them when they were unmapped; retried on later installs/unmaps.
     pending_free: Vec<(u64, usize)>,
+    /// Hotness threshold for [`Event::HotTb`]; `None` disables tier-2
+    /// promotion signalling entirely (the default).
+    hot_threshold: Option<u64>,
+    /// Guest pcs whose current translation is a superblock. Suppresses
+    /// re-promotion signals and feeds `ChainStats::sb_entries`.
+    sb_heads: HashSet<u64>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -309,6 +334,8 @@ impl Machine {
             regions: HashMap::new(),
             free_list: Vec::new(),
             pending_free: Vec::new(),
+            hot_threshold: None,
+            sb_heads: HashSet::new(),
         }
     }
 
@@ -335,9 +362,16 @@ impl Machine {
 
     /// Enables or disables the per-TB execution profile (off by default;
     /// purely observational — never affects cycles or scheduling).
-    /// Disabling discards any collected profile.
+    /// Disabling discards any collected profile; re-enabling an already
+    /// active profile keeps its counts.
     pub fn set_profiling(&mut self, on: bool) {
-        self.profile = if on { Some(HashMap::new()) } else { None };
+        if on {
+            if self.profile.is_none() {
+                self.profile = Some(HashMap::new());
+            }
+        } else {
+            self.profile = None;
+        }
     }
 
     /// The collected per-TB execution profile (guest pc → counts), or
@@ -346,13 +380,38 @@ impl Machine {
         self.profile.as_ref()
     }
 
-    /// Records a block entry in the profile, if enabled.
-    fn profile_entry(&mut self, guest_pc: u64, miss: bool) {
+    /// Records a block entry in the profile, if enabled. Returns `true`
+    /// when the entry crossed the hotness threshold and the block is not
+    /// already a superblock head — the caller turns that into
+    /// [`Event::HotTb`] *after* completing the transfer.
+    fn profile_entry(&mut self, guest_pc: u64, miss: bool) -> bool {
+        if !self.sb_heads.is_empty() && self.sb_heads.contains(&guest_pc) {
+            self.chain_stats.sb_entries += 1;
+        }
         if let Some(p) = &mut self.profile {
             let e = p.entry(guest_pc).or_default();
             e.execs += 1;
             e.chain_misses += miss as u64;
+            if let Some(t) = self.hot_threshold {
+                return e.execs % t == 0 && !self.sb_heads.contains(&guest_pc);
+            }
         }
+        false
+    }
+
+    /// Sets the execution-count threshold at which a profiled block
+    /// raises [`Event::HotTb`] (every `t` entries, so a declined
+    /// promotion retriggers later). Requires profiling
+    /// ([`Machine::set_profiling`]) to be on to have any effect;
+    /// `None` (the default) never raises the event. Values are clamped
+    /// to at least 1.
+    pub fn set_hot_threshold(&mut self, threshold: Option<u64>) {
+        self.hot_threshold = threshold.map(|t| t.max(1));
+    }
+
+    /// `true` if `guest_pc`'s current translation is a superblock.
+    pub fn is_sb_head(&self, guest_pc: u64) -> bool {
+        self.sb_heads.contains(&guest_pc)
     }
 
     /// Selects the scheduling policy (see [`SchedPolicy`]).
@@ -417,6 +476,9 @@ impl Machine {
                 self.unlink_incoming(guest_pc);
                 self.flush_jcache(guest_pc);
                 self.free_region(old);
+                // A rebound pc is a fresh tier-1 body; demote it so the
+                // profiler may promote the new translation later.
+                self.sb_heads.remove(&guest_pc);
             }
         }
     }
@@ -439,11 +501,54 @@ impl Machine {
             return false;
         };
         self.cache_stats.evictions += 1;
+        self.sb_heads.remove(&guest_pc);
         self.unlink_incoming(guest_pc);
         self.flush_jcache(guest_pc);
         self.free_region(host);
         self.retry_pending_frees();
         true
+    }
+
+    /// Installs a tier-2 superblock: `code` replaces `head`'s tier-1
+    /// translation, and every other trace member in `subsumed` is
+    /// evicted so future transfers to those pcs dispatch into fresh
+    /// tier-1 bodies (retranslated on miss) rather than stale copies.
+    ///
+    /// Uses only the existing [`Machine::unmap_tb`] / [`Machine::map_tb`]
+    /// paths, so the chain-unlink ordering, jump-cache flushes, and
+    /// deferred-free discipline all hold unchanged. Returns the host
+    /// address of the installed superblock.
+    pub fn install_superblock(&mut self, head: u64, code: &[HostInsn], subsumed: &[u64]) -> u64 {
+        let host = self.install_code(code);
+        self.cache_stats.sb_installs += 1;
+        for &pc in subsumed {
+            if pc != head && self.unmap_tb(pc) {
+                self.cache_stats.sb_subsumed += 1;
+            }
+        }
+        self.map_tb(head, host);
+        // After map_tb: the remap branch demotes, then we promote.
+        self.sb_heads.insert(head);
+        host
+    }
+
+    /// Audits the chain graph: every recorded incoming site must hold a
+    /// chain word that is either 0 (unlinked) or the current host address
+    /// of its target translation. Returns `(target_guest_pc, site,
+    /// stale_word)` for each violation — empty means no dangling chains.
+    pub fn validate_chains(&self) -> Vec<(u64, u64, u64)> {
+        let mut bad = Vec::new();
+        for (&target, sites) in &self.incoming {
+            let expect = self.tb_map.get(&target).copied();
+            for &site in sites {
+                let off = (site - CODE_BASE) as usize + JUMP_CHAIN_OFFSET;
+                let word = u64::from_le_bytes(self.code[off..off + 8].try_into().unwrap());
+                if word != 0 && Some(word) != expect {
+                    bad.push((target, site, word));
+                }
+            }
+        }
+        bad
     }
 
     /// Writes `target` into the chain word of the `ExitTb(Jump)` encoded
@@ -690,10 +795,7 @@ impl Machine {
     }
 
     fn buffered_overlap(&self, core: usize, addr: u64) -> bool {
-        self.cores[core]
-            .store_buffer
-            .iter()
-            .any(|&(a, _, _)| a != addr && a.abs_diff(addr) < 8)
+        self.cores[core].store_buffer.iter().any(|&(a, _, _)| a != addr && a.abs_diff(addr) < 8)
     }
 
     /// Cycle cost of an exclusive/atomic access to `addr`: `base` plus the
@@ -732,8 +834,7 @@ impl Machine {
 
     /// Picks the next runnable core per the scheduling policy.
     fn pick_core(&mut self) -> Option<usize> {
-        let runnable =
-            |c: &Core| c.started && !c.halted;
+        let runnable = |c: &Core| c.started && !c.halted;
         match self.sched {
             SchedPolicy::Deterministic => {
                 let mut pick: Option<usize> = None;
@@ -826,8 +927,8 @@ impl Machine {
                 }
                 let v = self.read_for(core, addr);
                 self.cores[core].set(dst, v);
-                self.cores[core].cycles += cost.load
-                    + if order == MemOrder::Plain { 0 } else { cost.acq_rel_extra };
+                self.cores[core].cycles +=
+                    cost.load + if order == MemOrder::Plain { 0 } else { cost.acq_rel_extra };
             }
             Str { src, base, off, order } => {
                 let addr = self.cores[core].get(base).wrapping_add(off as i64 as u64);
@@ -1153,9 +1254,12 @@ impl Machine {
                 if self.chaining && chain != 0 {
                     // Patched chain slot: straight-line branch, no lookup.
                     self.chain_stats.chain_hits += 1;
-                    self.profile_entry(guest_pc, false);
+                    let hot = self.profile_entry(guest_pc, false);
                     self.cores[core].pc = chain;
                     self.cores[core].cycles += cost.tb_chain;
+                    if hot {
+                        return Some(Event::HotTb { core, guest_pc });
+                    }
                     return None;
                 }
                 match self.tb_map.get(&guest_pc).copied() {
@@ -1168,8 +1272,11 @@ impl Machine {
                             self.incoming.entry(guest_pc).or_default().push(pc);
                             self.chain_stats.chain_links += 1;
                         }
-                        self.profile_entry(guest_pc, true);
+                        let hot = self.profile_entry(guest_pc, true);
                         self.cores[core].pc = host;
+                        if hot {
+                            return Some(Event::HotTb { core, guest_pc });
+                        }
                         None
                     }
                     None => {
@@ -1185,9 +1292,12 @@ impl Machine {
                     let (g, h) = self.cores[core].jcache[idx];
                     if g == guest_pc {
                         self.chain_stats.dispatch_hits += 1;
-                        self.profile_entry(guest_pc, false);
+                        let hot = self.profile_entry(guest_pc, false);
                         self.cores[core].pc = h;
                         self.cores[core].cycles += cost.tb_chain;
+                        if hot {
+                            return Some(Event::HotTb { core, guest_pc });
+                        }
                         return None;
                     }
                 }
@@ -1197,9 +1307,12 @@ impl Machine {
                         if self.chaining {
                             self.cores[core].jcache[idx] = (guest_pc, host);
                         }
-                        self.profile_entry(guest_pc, true);
+                        let hot = self.profile_entry(guest_pc, true);
                         self.cores[core].pc = host;
                         self.cores[core].cycles += cost.tb_dispatch;
+                        if hot {
+                            return Some(Event::HotTb { core, guest_pc });
+                        }
                         None
                     }
                     None => {
@@ -1344,6 +1457,91 @@ mod tests {
     }
 
     #[test]
+    fn hot_tb_event_fires_at_threshold_and_after_transfer() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        m.set_profiling(true);
+        m.set_hot_threshold(Some(4));
+        // Self-loop: every iteration re-enters 0x2000 through the chain.
+        let body = m.install_code(&[
+            AluImm { op: AOp::Add, dst: Xreg(0), a: Xreg(0), imm: 1 },
+            ExitTb(TbExitKind::Jump { guest_pc: 0x2000, chain: 0 }),
+        ]);
+        m.map_tb(0x2000, body);
+        m.start_core(0, body);
+        match m.run(10_000) {
+            Event::HotTb { core: 0, guest_pc: 0x2000 } => {}
+            other => panic!("expected HotTb, got {other:?}"),
+        }
+        assert_eq!(m.tb_profile().unwrap()[&0x2000].execs, 4, "fired at the threshold");
+        // The transfer completed before the event: the core is parked at
+        // the start of 0x2000's body with the iteration's work done, so
+        // promotion never perturbs execution.
+        assert_eq!(m.cores[0].pc, body);
+        assert_eq!(m.reg(0, Xreg(0)), 4);
+        // A declined promotion retriggers at the next threshold multiple.
+        match m.run(10_000) {
+            Event::HotTb { core: 0, guest_pc: 0x2000 } => {}
+            other => panic!("expected second HotTb, got {other:?}"),
+        }
+        assert_eq!(m.tb_profile().unwrap()[&0x2000].execs, 8);
+        // Once the pc is a superblock head, the event stops firing and
+        // entries are counted instead.
+        m.sb_heads.insert(0x2000);
+        assert_eq!(m.run(50), Event::OutOfFuel);
+        assert!(m.chain_stats().sb_entries > 0);
+    }
+
+    #[test]
+    fn install_superblock_evicts_subsumed_and_keeps_chains_clean() {
+        use HostInsn::*;
+        let mut m = Machine::new(1, CostModel::uniform());
+        // Two chained tier-1 blocks: A(0x2000) -> B(0x2008) -> halt.
+        let a = m.install_code(&[
+            MovImm { dst: Xreg(0), imm: 1 },
+            ExitTb(TbExitKind::Jump { guest_pc: 0x2008, chain: 0 }),
+        ]);
+        let b = m.install_code(&[
+            AluImm { op: AOp::Add, dst: Xreg(0), a: Xreg(0), imm: 2 },
+            ExitTb(TbExitKind::Halt),
+        ]);
+        m.map_tb(0x2000, a);
+        m.map_tb(0x2008, b);
+        m.start_core(0, a);
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(0)), 3);
+        assert_eq!(m.chain_stats().chain_links, 1, "A chained into B");
+
+        // Promote: a fused body replaces A, B is subsumed.
+        let sb = m.install_superblock(
+            0x2000,
+            &[
+                MovImm { dst: Xreg(0), imm: 1 },
+                AluImm { op: AOp::Add, dst: Xreg(0), a: Xreg(0), imm: 2 },
+                ExitTb(TbExitKind::Halt),
+            ],
+            &[0x2000, 0x2008],
+        );
+        assert!(m.is_sb_head(0x2000));
+        assert_eq!(m.lookup_tb(0x2000), Some(sb));
+        assert_eq!(m.lookup_tb(0x2008), None, "subsumed TB evicted");
+        assert_eq!(m.cache_stats().sb_installs, 1);
+        assert_eq!(m.cache_stats().sb_subsumed, 1, "head not double-counted");
+        assert!(m.validate_chains().is_empty(), "no dangling chain words");
+
+        // The superblock still produces the architectural result, and the
+        // machine counts entries into it.
+        m.start_core(0, sb);
+        m.cores[0].halted = false;
+        assert_eq!(m.run(100), Event::AllHalted);
+        assert_eq!(m.reg(0, Xreg(0)), 3);
+
+        // Demotion: evicting the head clears sb status.
+        assert!(m.unmap_tb(0x2000));
+        assert!(!m.is_sb_head(0x2000));
+    }
+
+    #[test]
     fn native_call_invokes_registered_function() {
         use HostInsn::*;
         let mut m = Machine::new(1, CostModel::uniform());
@@ -1363,7 +1561,6 @@ mod tests {
         assert_eq!(m.mem.read_u64(0x7000), 13);
         assert_eq!(m.stats(0).native_calls, 1);
     }
-
 
     #[test]
     fn dmb_st_does_not_drain_but_dmb_ff_does() {
@@ -1577,10 +1774,7 @@ mod tests {
         use HostInsn::*;
         let mut m = Machine::new(1, CostModel::uniform());
         let a = m.install_code(&[ExitTb(TbExitKind::Jump { guest_pc: 0x2000, chain: 0 })]);
-        let b = m.install_code(&[
-            MovImm { dst: Xreg(1), imm: 42 },
-            ExitTb(TbExitKind::Halt),
-        ]);
+        let b = m.install_code(&[MovImm { dst: Xreg(1), imm: 42 }, ExitTb(TbExitKind::Halt)]);
         m.map_tb(0x1000, a);
         m.map_tb(0x2000, b);
         m.start_core(0, a);
@@ -1601,10 +1795,7 @@ mod tests {
         assert_eq!(m.reg(0, Xreg(1)), 0, "the stale body must never execute");
 
         // The engine retranslates; possibly into the reclaimed region.
-        let b2 = m.install_code(&[
-            MovImm { dst: Xreg(1), imm: 43 },
-            ExitTb(TbExitKind::Halt),
-        ]);
+        let b2 = m.install_code(&[MovImm { dst: Xreg(1), imm: 43 }, ExitTb(TbExitKind::Halt)]);
         m.map_tb(0x2000, b2);
         assert_eq!(m.run(100), Event::AllHalted);
         assert_eq!(m.reg(0, Xreg(1)), 43, "the new body executes after relink");
@@ -1615,10 +1806,7 @@ mod tests {
         use HostInsn::*;
         let mut m = Machine::new(1, CostModel::uniform());
         let a = m.install_code(&[ExitTb(TbExitKind::JumpReg { reg: Xreg(9) })]);
-        let b = m.install_code(&[
-            MovImm { dst: Xreg(1), imm: 42 },
-            ExitTb(TbExitKind::Halt),
-        ]);
+        let b = m.install_code(&[MovImm { dst: Xreg(1), imm: 42 }, ExitTb(TbExitKind::Halt)]);
         m.map_tb(0x2000, b);
         m.set_reg(0, Xreg(9), 0x2000);
         m.start_core(0, a);
@@ -1639,10 +1827,7 @@ mod tests {
     fn code_buffer_is_reclaimed_on_unmap() {
         use HostInsn::*;
         let mut m = Machine::new(1, CostModel::uniform());
-        let body = [
-            MovImm { dst: Xreg(1), imm: 7 },
-            ExitTb(TbExitKind::Halt),
-        ];
+        let body = [MovImm { dst: Xreg(1), imm: 7 }, ExitTb(TbExitKind::Halt)];
         let a = m.install_code(&body);
         m.map_tb(0x1000, a);
         let size = m.code_size();
@@ -1667,10 +1852,7 @@ mod tests {
         // must not be handed to the next (12-byte) install while the core
         // still sits there.
         assert!(m.unmap_tb(0x1000));
-        let b = m.install_code(&[
-            MovImm { dst: Xreg(1), imm: 7 },
-            ExitTb(TbExitKind::Halt),
-        ]);
+        let b = m.install_code(&[MovImm { dst: Xreg(1), imm: 7 }, ExitTb(TbExitKind::Halt)]);
         assert_ne!(b, a, "a parked-in region must not be reused");
         m.map_tb(0x2000, b);
         assert_eq!(m.run(100), Event::AllHalted);

@@ -174,10 +174,7 @@ pub fn mpq_x86() -> Program {
 pub fn mpq_arm_qemu() -> Program {
     Program::builder("MPQ(arm,qemu)")
         .thread(|t| {
-            t.fence(FenceKind::DmbFf)
-                .store(X, 1)
-                .fence(FenceKind::DmbFf)
-                .store(Y, 1);
+            t.fence(FenceKind::DmbFf).store(X, 1).fence(FenceKind::DmbFf).store(Y, 1);
         })
         .thread(|t| {
             t.fence(FenceKind::DmbLd).load(A, Y).if_eq(A, 1, |b| {
@@ -193,10 +190,7 @@ pub fn mpq_arm_qemu() -> Program {
 pub fn mpq_arm_verified() -> Program {
     Program::builder("MPQ(arm,verified)")
         .thread(|t| {
-            t.fence(FenceKind::DmbSt)
-                .store(X, 1)
-                .fence(FenceKind::DmbSt)
-                .store(Y, 1);
+            t.fence(FenceKind::DmbSt).store(X, 1).fence(FenceKind::DmbSt).store(Y, 1);
         })
         .thread(|t| {
             t.load(A, Y).fence(FenceKind::DmbLd).if_eq(A, 1, |b| {

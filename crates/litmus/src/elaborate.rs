@@ -184,11 +184,8 @@ pub fn elaborate_thread(
     thread: &Thread,
     potential: &BTreeMap<Loc, BTreeSet<u64>>,
 ) -> Vec<ThreadTrace> {
-    let init = ElabState {
-        trace: ThreadTrace::default(),
-        reg_deps: BTreeMap::new(),
-        ctrl: Vec::new(),
-    };
+    let init =
+        ElabState { trace: ThreadTrace::default(), reg_deps: BTreeMap::new(), ctrl: Vec::new() };
     let states = elab_instrs(&thread.instrs, vec![init], potential);
     states.into_iter().map(|s| s.trace).collect()
 }

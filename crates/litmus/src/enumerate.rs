@@ -108,7 +108,11 @@ where
     for &loc in &locs {
         let id = b.push_event(
             None,
-            EventKind::Write { loc, val: prog.init_val(loc), mode: risotto_memmodel::AccessMode::Plain },
+            EventKind::Write {
+                loc,
+                val: prog.init_val(loc),
+                mode: risotto_memmodel::AccessMode::Plain,
+            },
         );
         init_writer.insert(loc, id);
     }
@@ -162,10 +166,7 @@ where
             writes_by_loc
                 .get(&loc)
                 .map(|ws| {
-                    ws.iter()
-                        .copied()
-                        .filter(|w| skeleton.events[w.0].val() == Some(val))
-                        .collect()
+                    ws.iter().copied().filter(|w| skeleton.events[w.0].val() == Some(val)).collect()
                 })
                 .unwrap_or_default()
         })
@@ -185,8 +186,7 @@ where
         .collect();
 
     // --- Search the rf × co product. ------------------------------------
-    let behavior_regs: Vec<BTreeMap<Reg, u64>> =
-        chosen.iter().map(|t| t.regs.clone()).collect();
+    let behavior_regs: Vec<BTreeMap<Reg, u64>> = chosen.iter().map(|t| t.regs.clone()).collect();
     let mut rf_choice = vec![0usize; reads.len()];
     loop {
         let mut x = skeleton.clone();
@@ -226,7 +226,11 @@ fn enumerate_co<M, F>(
     F: FnMut(&Execution, &Behavior),
 {
     if depth == co_perms.len() {
-        debug_assert!(x.is_well_formed(), "enumerator produced ill-formed execution:\n{}", x.dump());
+        debug_assert!(
+            x.is_well_formed(),
+            "enumerator produced ill-formed execution:\n{}",
+            x.dump()
+        );
         if model.is_consistent(x) {
             let mem = x.behavior().into_iter().map(|(l, v)| (l, v.0)).collect();
             let b = Behavior { mem, regs: regs.to_vec() };

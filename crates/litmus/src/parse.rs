@@ -172,10 +172,9 @@ fn parse_expr(tokens: &[&str], scope: &mut RegScope, line: usize) -> Result<Expr
     while i + 1 < tokens.len() + 1 && i < tokens.len() {
         let op = tokens[i];
         let rhs = atom(
-            tokens.get(i + 1).ok_or(ParseError {
-                line,
-                message: "expression ends with an operator".into(),
-            })?,
+            tokens
+                .get(i + 1)
+                .ok_or(ParseError { line, message: "expression ends with an operator".into() })?,
             scope,
         )?;
         acc = match op {
@@ -265,10 +264,9 @@ pub fn parse_litmus(text: &str) -> Result<LitmusTest, ParseError> {
                             line,
                             message: format!("bad thread id in `{term}`"),
                         })?;
-                        let scope = scopes.get(tid).ok_or(ParseError {
-                            line,
-                            message: format!("no thread {tid}"),
-                        })?;
+                        let scope = scopes
+                            .get(tid)
+                            .ok_or(ParseError { line, message: format!("no thread {tid}") })?;
                         let reg = scope.lookup(r).ok_or(ParseError {
                             line,
                             message: format!("thread {tid} has no register `{r}`"),
@@ -339,10 +337,9 @@ fn parse_instr(
             kind: parse_rmw_kind(kind, line)?,
         })),
         ["fence", kind] => Ok(Some(Instr::Fence(parse_fence(kind, line)?))),
-        [dst, ":=", rest @ ..] => Ok(Some(Instr::Let {
-            dst: scope.get(dst),
-            val: parse_expr(rest, scope, line)?,
-        })),
+        [dst, ":=", rest @ ..] => {
+            Ok(Some(Instr::Let { dst: scope.get(dst), val: parse_expr(rest, scope, line)? }))
+        }
         ["if", reg, "==", val, "{"] => {
             let r = scope
                 .lookup(reg)
@@ -354,9 +351,8 @@ fn parse_instr(
             Ok(None)
         }
         ["}", "else", "{"] => {
-            let (then_body, hdr) = stack
-                .pop()
-                .ok_or(ParseError { line, message: "stray `} else {`".into() })?;
+            let (then_body, hdr) =
+                stack.pop().ok_or(ParseError { line, message: "stray `} else {`".into() })?;
             match hdr {
                 Some((r, v, None)) => {
                     stack.push((Vec::new(), Some((r, v, Some(then_body)))));
@@ -369,18 +365,12 @@ fn parse_instr(
             let (body, hdr) =
                 stack.pop().ok_or(ParseError { line, message: "stray `}`".into() })?;
             match hdr {
-                Some((r, v, None)) => Ok(Some(Instr::If {
-                    reg: r,
-                    eq: v,
-                    then: body,
-                    els: Vec::new(),
-                })),
-                Some((r, v, Some(then_body))) => Ok(Some(Instr::If {
-                    reg: r,
-                    eq: v,
-                    then: then_body,
-                    els: body,
-                })),
+                Some((r, v, None)) => {
+                    Ok(Some(Instr::If { reg: r, eq: v, then: body, els: Vec::new() }))
+                }
+                Some((r, v, Some(then_body))) => {
+                    Ok(Some(Instr::If { reg: r, eq: v, then: then_body, els: body }))
+                }
                 None => err(line, "`}` without a matching `if`"),
             }
         }

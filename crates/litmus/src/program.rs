@@ -346,12 +346,7 @@ impl ThreadBuilder {
     }
 
     /// `dst = *loc` with an explicit mode.
-    pub fn load_mode(
-        &mut self,
-        dst: Reg,
-        loc: impl Into<LocSpec>,
-        mode: AccessMode,
-    ) -> &mut Self {
+    pub fn load_mode(&mut self, dst: Reg, loc: impl Into<LocSpec>, mode: AccessMode) -> &mut Self {
         self.push(Instr::Load { dst, loc: loc.into(), mode })
     }
 

@@ -224,8 +224,7 @@ fn wrc_three_thread_causality() {
             t.load(d, X);
         })
         .build();
-    let weak =
-        |b: &Behavior| b.reg(1, A) == 1 && b.reg(2, Reg(2)) == 1 && b.reg(2, Reg(3)) == 0;
+    let weak = |b: &Behavior| b.reg(1, A) == 1 && b.reg(2, Reg(2)) == 1 && b.reg(2, Reg(3)) == 0;
     check(&X86Tso::new(), &plain, weak, false);
     check(&Arm::corrected(), &plain, weak, true);
 
@@ -266,8 +265,7 @@ fn isa2_three_thread_chain() {
             t.load(d, X);
         })
         .build();
-    let weak =
-        |b: &Behavior| b.reg(1, A) == 1 && b.reg(2, Reg(2)) == 1 && b.reg(2, Reg(3)) == 0;
+    let weak = |b: &Behavior| b.reg(1, A) == 1 && b.reg(2, Reg(2)) == 1 && b.reg(2, Reg(3)) == 0;
     check(&X86Tso::new(), &plain, weak, false);
     check(&Arm::corrected(), &plain, weak, true);
 

@@ -5,8 +5,8 @@
 //! development: each claim is decided by exhaustive candidate-execution
 //! enumeration under the corresponding formal model.
 
-use risotto_litmus::{allows, behaviors, corpus, Behavior};
 use risotto_litmus::corpus::{A, B, C, U, X, Y, Z};
+use risotto_litmus::{allows, behaviors, corpus, Behavior};
 use risotto_memmodel::{Arm, MemoryModel, Sc, TcgIr, X86Tso};
 
 fn check<M: MemoryModel>(
@@ -17,7 +17,8 @@ fn check<M: MemoryModel>(
 ) {
     let got = allows(prog, model, &outcome);
     assert_eq!(
-        got, expect_allowed,
+        got,
+        expect_allowed,
         "{}: outcome expected {} under {}",
         prog.name,
         if expect_allowed { "ALLOWED" } else { "FORBIDDEN" },
@@ -111,9 +112,8 @@ fn mpq_qemu_translation_is_erroneous() {
 /// SBQ: x86 forbids `Z=U=1 ∧ a=b=0`; Qemu's RMW2_AL translation allows it.
 #[test]
 fn sbq_qemu_translation_is_erroneous() {
-    let weak = |b: &Behavior| {
-        b.mem_at(Z) == 1 && b.mem_at(U) == 1 && b.reg(0, A) == 0 && b.reg(1, B) == 0
-    };
+    let weak =
+        |b: &Behavior| b.mem_at(Z) == 1 && b.mem_at(U) == 1 && b.reg(0, A) == 0 && b.reg(1, B) == 0;
     check(&X86Tso::new(), &corpus::sbq_x86(), weak, false);
     check(&Arm::corrected(), &corpus::sbq_arm_qemu(), weak, true);
     // Verified lowering via DMBFF;RMW2;DMBFF: forbidden.
@@ -142,9 +142,8 @@ fn fmr_raw_transformation_is_unsound_across_fmr() {
 /// herdtools PR #322) forbids it.
 #[test]
 fn sbal_exposes_arm_cats_amo_weakness() {
-    let weak = |b: &Behavior| {
-        b.mem_at(X) == 1 && b.mem_at(Y) == 1 && b.reg(0, A) == 0 && b.reg(1, B) == 0
-    };
+    let weak =
+        |b: &Behavior| b.mem_at(X) == 1 && b.mem_at(Y) == 1 && b.reg(0, A) == 0 && b.reg(1, B) == 0;
     check(&X86Tso::new(), &corpus::sbal_x86(), weak, false);
     check(&Arm::original(), &corpus::sbal_arm_intended(), weak, true);
     check(&Arm::corrected(), &corpus::sbal_arm_intended(), weak, false);

@@ -152,7 +152,9 @@ mod tests {
     fn verified_scheme_passes_on_paper_counterexamples() {
         let x86 = X86Tso::new();
         let arm = Arm::corrected();
-        for p in [corpus::mpq_x86(), corpus::sbq_x86(), corpus::sbal_x86(), corpus::mp(), corpus::sb()] {
+        for p in
+            [corpus::mpq_x86(), corpus::sbq_x86(), corpus::sbal_x86(), corpus::mp(), corpus::sb()]
+        {
             for rmw in [RmwLowering::Rmw2Fenced, RmwLowering::Casal] {
                 let s = verified_x86_to_arm(rmw);
                 check_mapping(&s, &p, &x86, &arm)

@@ -85,9 +85,7 @@ pub fn eliminate_at(
             Instr::Load { dst: d1, loc: l1, mode: AccessMode::Plain },
             Instr::Load { dst: d2, loc: l2, mode: AccessMode::Plain },
         ) if l1.loc() == l2.loc() => {
-            let mut out = vec![
-                Instr::Load { dst: *d1, loc: *l1, mode: AccessMode::Plain },
-            ];
+            let mut out = vec![Instr::Load { dst: *d1, loc: *l1, mode: AccessMode::Plain }];
             if fence_between {
                 out.push(instrs[idx + 1].clone());
             }
@@ -100,9 +98,8 @@ pub fn eliminate_at(
             Instr::Store { loc: l1, val, mode: AccessMode::Plain },
             Instr::Load { dst, loc: l2, mode: AccessMode::Plain },
         ) if l1.loc() == l2.loc() => {
-            let mut out = vec![
-                Instr::Store { loc: *l1, val: val.clone(), mode: AccessMode::Plain },
-            ];
+            let mut out =
+                vec![Instr::Store { loc: *l1, val: val.clone(), mode: AccessMode::Plain }];
             if fence_between {
                 out.push(instrs[idx + 1].clone());
             }
@@ -184,7 +181,9 @@ pub fn reorder_at(prog: &Program, tid: usize, idx: usize) -> Option<Program> {
 }
 
 fn independent_accesses(a: &Instr, b: &Instr) -> bool {
-    fn parts(i: &Instr) -> Option<(risotto_memmodel::Loc, Vec<risotto_litmus::Reg>, Vec<risotto_litmus::Reg>)> {
+    fn parts(
+        i: &Instr,
+    ) -> Option<(risotto_memmodel::Loc, Vec<risotto_litmus::Reg>, Vec<risotto_litmus::Reg>)> {
         // (location, regs read, regs written) — plain non-RMW accesses only.
         match i {
             Instr::Load { dst, loc, mode: AccessMode::Plain } => {
@@ -268,12 +267,9 @@ pub fn eliminate_false_deps(prog: &Program) -> Program {
                     kind: *kind,
                 },
                 Instr::Let { dst, val } => Instr::Let { dst: *dst, val: fix_expr(val) },
-                Instr::If { reg, eq, then, els } => Instr::If {
-                    reg: *reg,
-                    eq: *eq,
-                    then: fix_instrs(then),
-                    els: fix_instrs(els),
-                },
+                Instr::If { reg, eq, then, els } => {
+                    Instr::If { reg: *reg, eq: *eq, then: fix_instrs(then), els: fix_instrs(els) }
+                }
                 Instr::Fence(k) => Instr::Fence(*k),
             })
             .collect()
@@ -355,10 +351,7 @@ mod tests {
             .build();
         let q = eliminate_at(&p, 0, 0, Elimination::Waw, FencePolicy::Verified).unwrap();
         assert!(matches!(q.threads[0].instrs[0], Instr::Fence(FenceKind::Fww)));
-        assert!(matches!(
-            q.threads[0].instrs[1],
-            Instr::Store { val: Expr::Const(2), .. }
-        ));
+        assert!(matches!(q.threads[0].instrs[1], Instr::Store { val: Expr::Const(2), .. }));
     }
 
     #[test]

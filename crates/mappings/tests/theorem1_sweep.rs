@@ -194,7 +194,9 @@ fn any_fence_raw_policy_fails_theorem1_on_fmr() {
     let idx = src.threads[0]
         .instrs
         .iter()
-        .position(|i| matches!(i, risotto_litmus::Instr::Store { loc, .. } if loc.loc() == corpus::Y))
+        .position(
+            |i| matches!(i, risotto_litmus::Instr::Store { loc, .. } if loc.loc() == corpus::Y),
+        )
         .unwrap();
     let tgt = eliminate_at(&src, 0, idx, Elimination::Raw, FencePolicy::AnyFence).unwrap();
     let res = check_translation(&src, &tcg, &tgt, &tcg, BehaviorScope::MemoryAndRegisters);

@@ -169,11 +169,8 @@ impl Execution {
         let rf_inv = self.rf.inverse();
         for ev in &self.events {
             if ev.is_read() {
-                let srcs: Vec<EventId> = rf_inv
-                    .iter_pairs()
-                    .filter(|(r, _)| *r == ev.id)
-                    .map(|(_, w)| w)
-                    .collect();
+                let srcs: Vec<EventId> =
+                    rf_inv.iter_pairs().filter(|(r, _)| *r == ev.id).map(|(_, w)| w).collect();
                 if srcs.len() != 1 {
                     return false;
                 }
@@ -231,8 +228,7 @@ impl Execution {
         let mut out = BTreeMap::new();
         for ev in &self.events {
             if ev.is_write() {
-                let has_successor =
-                    self.co.iter_pairs().any(|(a, _)| a == ev.id);
+                let has_successor = self.co.iter_pairs().any(|(a, _)| a == ev.id);
                 if !has_successor {
                     out.insert(ev.loc().unwrap(), ev.val().unwrap());
                 }
@@ -340,12 +336,30 @@ mod tests {
     /// init X=0, Y=0; T0: W X=1; W Y=1 ; T1: R Y=v1; R X=v2.
     fn mp(v1: u64, v2: u64) -> Execution {
         let mut b = ExecutionBuilder::new();
-        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
-        let iy = b.push_event(None, EventKind::Write { loc: Loc(1), val: Val(0), mode: AccessMode::Plain });
-        let wx = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
-        let wy = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(1), val: Val(1), mode: AccessMode::Plain });
-        let ry = b.push_event(Some(Tid(1)), EventKind::Read { loc: Loc(1), val: Val(v1), mode: AccessMode::Plain });
-        let rx = b.push_event(Some(Tid(1)), EventKind::Read { loc: Loc(0), val: Val(v2), mode: AccessMode::Plain });
+        let ix = b.push_event(
+            None,
+            EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
+        let iy = b.push_event(
+            None,
+            EventKind::Write { loc: Loc(1), val: Val(0), mode: AccessMode::Plain },
+        );
+        let wx = b.push_event(
+            Some(Tid(0)),
+            EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain },
+        );
+        let wy = b.push_event(
+            Some(Tid(0)),
+            EventKind::Write { loc: Loc(1), val: Val(1), mode: AccessMode::Plain },
+        );
+        let ry = b.push_event(
+            Some(Tid(1)),
+            EventKind::Read { loc: Loc(1), val: Val(v1), mode: AccessMode::Plain },
+        );
+        let rx = b.push_event(
+            Some(Tid(1)),
+            EventKind::Read { loc: Loc(0), val: Val(v2), mode: AccessMode::Plain },
+        );
         b.push_po(wx, wy);
         b.push_po(ry, rx);
         let mut x = b.build();

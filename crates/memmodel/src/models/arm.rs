@@ -93,10 +93,7 @@ impl Arm {
         let mut bob = x.po.restrict_codomain(full).compose(&x.po.restrict_domain(full));
         // [R];po;[Fld];po
         bob = bob.union(
-            &x.po
-                .restrict_domain(r)
-                .restrict_codomain(ld)
-                .compose(&x.po.restrict_domain(ld)),
+            &x.po.restrict_domain(r).restrict_codomain(ld).compose(&x.po.restrict_domain(ld)),
         );
         // [W];po;[Fst];po;[W]
         bob = bob.union(
@@ -162,10 +159,7 @@ impl MemoryModel for Arm {
         if !common_axioms(x) {
             return false;
         }
-        let ob = Self::lob(x, self.variant)
-            .union(&x.rfe())
-            .union(&x.coe())
-            .union(&x.fre());
+        let ob = Self::lob(x, self.variant).union(&x.rfe()).union(&x.coe()).union(&x.fre());
         ob.is_acyclic()
     }
 }

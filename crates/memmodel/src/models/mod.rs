@@ -63,8 +63,7 @@ pub(crate) fn fence_order(
     f: crate::relation::EventSet,
     b: crate::relation::EventSet,
 ) -> Relation {
-    x.po
-        .restrict_domain(a)
+    x.po.restrict_domain(a)
         .restrict_codomain(f)
         .compose(&x.po.restrict_domain(f).restrict_codomain(b))
 }
@@ -80,10 +79,22 @@ mod tests {
     #[test]
     fn atomicity_detects_intervening_write() {
         let mut b = ExecutionBuilder::new();
-        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
-        let r = b.push_event(Some(Tid(0)), EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
-        let w = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
-        let w2 = b.push_event(Some(Tid(1)), EventKind::Write { loc: Loc(0), val: Val(2), mode: AccessMode::Plain });
+        let ix = b.push_event(
+            None,
+            EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
+        let r = b.push_event(
+            Some(Tid(0)),
+            EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
+        let w = b.push_event(
+            Some(Tid(0)),
+            EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain },
+        );
+        let w2 = b.push_event(
+            Some(Tid(1)),
+            EventKind::Write { loc: Loc(0), val: Val(2), mode: AccessMode::Plain },
+        );
         b.push_po(r, w);
         b.push_rmw(RmwPair { read: r, write: Some(w), tag: RmwTag::X86 });
         let mut x = b.build();
@@ -105,9 +116,18 @@ mod tests {
     #[test]
     fn sc_per_loc_detects_stale_read_after_own_write() {
         let mut b = ExecutionBuilder::new();
-        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
-        let w = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
-        let r = b.push_event(Some(Tid(0)), EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        let ix = b.push_event(
+            None,
+            EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
+        let w = b.push_event(
+            Some(Tid(0)),
+            EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain },
+        );
+        let r = b.push_event(
+            Some(Tid(0)),
+            EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
         b.push_po(w, r);
         let mut x = b.build();
         x.rf.insert(ix, r);

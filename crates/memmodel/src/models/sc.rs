@@ -37,12 +37,30 @@ mod tests {
     #[test]
     fn sc_forbids_mp_weak_outcome() {
         let mut b = ExecutionBuilder::new();
-        let ix = b.push_event(None, EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
-        let iy = b.push_event(None, EventKind::Write { loc: Loc(1), val: Val(0), mode: AccessMode::Plain });
-        let wx = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain });
-        let wy = b.push_event(Some(Tid(0)), EventKind::Write { loc: Loc(1), val: Val(1), mode: AccessMode::Plain });
-        let ry = b.push_event(Some(Tid(1)), EventKind::Read { loc: Loc(1), val: Val(1), mode: AccessMode::Plain });
-        let rx = b.push_event(Some(Tid(1)), EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain });
+        let ix = b.push_event(
+            None,
+            EventKind::Write { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
+        let iy = b.push_event(
+            None,
+            EventKind::Write { loc: Loc(1), val: Val(0), mode: AccessMode::Plain },
+        );
+        let wx = b.push_event(
+            Some(Tid(0)),
+            EventKind::Write { loc: Loc(0), val: Val(1), mode: AccessMode::Plain },
+        );
+        let wy = b.push_event(
+            Some(Tid(0)),
+            EventKind::Write { loc: Loc(1), val: Val(1), mode: AccessMode::Plain },
+        );
+        let ry = b.push_event(
+            Some(Tid(1)),
+            EventKind::Read { loc: Loc(1), val: Val(1), mode: AccessMode::Plain },
+        );
+        let rx = b.push_event(
+            Some(Tid(1)),
+            EventKind::Read { loc: Loc(0), val: Val(0), mode: AccessMode::Plain },
+        );
         b.push_po(wx, wy);
         b.push_po(ry, rx);
         let mut x = b.build();

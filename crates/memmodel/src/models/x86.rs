@@ -55,11 +55,7 @@ impl MemoryModel for X86Tso {
         if !common_axioms(x) {
             return false;
         }
-        let ghb = Self::implied(x)
-            .union(&Self::ppo(x))
-            .union(&x.rfe())
-            .union(&x.fr())
-            .union(&x.co);
+        let ghb = Self::implied(x).union(&Self::ppo(x)).union(&x.rfe()).union(&x.fr()).union(&x.co);
         ghb.is_acyclic()
     }
 }

@@ -414,8 +414,7 @@ mod tests {
     #[test]
     fn total_order_check() {
         let set = EventSet::from_ids([e(0), e(1), e(2)]);
-        let total =
-            Relation::from_pairs(3, [(e(0), e(1)), (e(1), e(2)), (e(0), e(2))]);
+        let total = Relation::from_pairs(3, [(e(0), e(1)), (e(1), e(2)), (e(0), e(2))]);
         assert!(total.is_strict_total_order_on(set));
         let partial = Relation::from_pairs(3, [(e(0), e(1))]);
         assert!(!partial.is_strict_total_order_on(set));

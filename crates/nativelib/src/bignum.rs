@@ -303,8 +303,7 @@ mod tests {
         let b = from_u128(0x1111_2222_3333_4444);
         let p = a.mul(&b, &mut w);
         // Check against u128 where it fits: (a*b) mod 2^128.
-        let expect =
-            0xdead_beef_1234_5678_9abc_def0u128.wrapping_mul(0x1111_2222_3333_4444u128);
+        let expect = 0xdead_beef_1234_5678_9abc_def0u128.wrapping_mul(0x1111_2222_3333_4444u128);
         assert_eq!(p.limbs[0], expect as u64);
         assert_eq!(p.limbs[1], (expect >> 64) as u64);
         assert!(w > 0);
@@ -359,10 +358,7 @@ mod tests {
         let msg = BigU::pseudo_random(16, 44);
         let (_, sign_work) = msg.modpow(&d, &m);
         let (_, verify_work) = msg.modpow(&e, &m);
-        assert!(
-            sign_work > 20 * verify_work,
-            "sign {sign_work} vs verify {verify_work}"
-        );
+        assert!(sign_work > 20 * verify_work, "sign {sign_work} vs verify {verify_work}");
     }
 
     #[test]

@@ -37,7 +37,13 @@ fn rotr32_imm(b: &mut GelfBuilder, dst: Gpr, imm: u32, tmp: Gpr) {
 ///
 /// In: `RBX` = tail source, `[len_slot]` = total length. Clobbers
 /// RAX, RCX, RDX, RSI, RDI.
-fn emit_tail_padding(b: &mut GelfBuilder, fname: &str, scratch: u64, len_slot: u64, big_endian: bool) {
+fn emit_tail_padding(
+    b: &mut GelfBuilder,
+    fname: &str,
+    scratch: u64,
+    len_slot: u64,
+    big_endian: bool,
+) {
     let l = |s: &str| format!("{fname}_{s}");
     // rem = len & 63; src = RBX; dst = scratch.
     b.asm.mov_ri(Gpr::RCX, len_slot);
@@ -97,9 +103,8 @@ fn emit_tail_padding(b: &mut GelfBuilder, fname: &str, scratch: u64, len_slot: u
 /// Emits `guest_md5` and its block routine. Returns nothing; defines
 /// labels `guest_md5` / `md5_block`.
 pub fn emit_md5(b: &mut GelfBuilder) {
-    let k: Vec<u64> = (0..64)
-        .map(|i| (((i as f64 + 1.0).sin().abs() * 4294967296.0) as u32) as u64)
-        .collect();
+    let k: Vec<u64> =
+        (0..64).map(|i| (((i as f64 + 1.0).sin().abs() * 4294967296.0) as u32) as u64).collect();
     const S: [u64; 16] = [7, 12, 17, 22, 5, 9, 14, 20, 4, 11, 16, 23, 6, 10, 15, 21];
     let k_tab = b.data_u64(&k);
     let s_tab = b.data_u64(&S);
@@ -179,7 +184,7 @@ pub fn emit_md5(b: &mut GelfBuilder) {
     b.asm.push(C);
     b.asm.push(D);
     b.asm.mov_ri(Gpr::R12, 0); // i
-    // Four quarters; each computes f into RAX and g into RDX.
+                               // Four quarters; each computes f into RAX and g into RDX.
     for (q, quarter) in ["q0", "q1", "q2", "q3"].iter().enumerate() {
         b.asm.label(&format!("md5_{quarter}"));
         match q {
@@ -246,7 +251,7 @@ pub fn emit_md5(b: &mut GelfBuilder) {
         b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 3);
         b.asm.alu_ri(AluOp::Add, Gpr::RDX, s_tab);
         b.asm.load(Gpr::RCX, Gpr::RDX, 0); // s
-        // rotate RAX left by RCX (32-bit); clobbers RDX, RDI.
+                                           // rotate RAX left by RCX (32-bit); clobbers RDX, RDI.
         b.asm.mov_rr(Gpr::RSI, Gpr::RAX);
         rotl32_of_rsi_into_rax(b, q);
         // a,b,c,d = d, b + rot, b, c
@@ -460,7 +465,7 @@ pub fn emit_sha256(b: &mut GelfBuilder) {
     b.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX);
     b.asm.alu_ri(AluOp::And, Gpr::RAX, M32);
     b.asm.mov_rr(Gpr::RDI, Gpr::RAX); // t1
-    // s0(a) into RAX.
+                                      // s0(a) into RAX.
     b.asm.mov_rr(Gpr::RAX, ra);
     rotr32_imm(b, Gpr::RAX, 2, Gpr::RCX);
     b.asm.mov_rr(Gpr::RDX, ra);
@@ -530,9 +535,7 @@ pub fn emit_sha1(b: &mut GelfBuilder) {
     b.asm.store(Gpr::RAX, 0, Gpr::RSI);
     // Reset state (the data section holds H0 but a prior call mutated it).
     b.asm.mov_ri(Gpr::RDI, state);
-    for (i, h) in [0x67452301u64, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
-        .iter()
-        .enumerate()
+    for (i, h) in [0x67452301u64, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0].iter().enumerate()
     {
         b.asm.mov_ri(Gpr::RAX, *h);
         b.asm.store(Gpr::RDI, (i * 8) as i32, Gpr::RAX);
@@ -629,14 +632,10 @@ pub fn emit_sha1(b: &mut GelfBuilder) {
     b.asm.load(rd, Gpr::RSI, 24);
     b.asm.load(re, Gpr::RSI, 32);
     b.asm.mov_ri(Gpr::R12, 0);
-    for (q, (kconst, quarter)) in [
-        (0x5A827999u64, "sq0"),
-        (0x6ED9EBA1, "sq1"),
-        (0x8F1BBCDC, "sq2"),
-        (0xCA62C1D6, "sq3"),
-    ]
-    .iter()
-    .enumerate()
+    for (q, (kconst, quarter)) in
+        [(0x5A827999u64, "sq0"), (0x6ED9EBA1, "sq1"), (0x8F1BBCDC, "sq2"), (0xCA62C1D6, "sq3")]
+            .iter()
+            .enumerate()
     {
         b.asm.label(&format!("sha1_{quarter}"));
         // f into RDX.

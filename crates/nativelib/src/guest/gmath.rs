@@ -36,8 +36,7 @@ pub fn emit_math(b: &mut GelfBuilder) {
         })
         .collect();
     let exp_coeffs: Vec<u64> = (0..18).map(|k| (1.0 / factorial(k as u64)).to_bits()).collect();
-    let log_coeffs: Vec<u64> =
-        (0..14).map(|k| (1.0 / (2.0 * k as f64 + 1.0)).to_bits()).collect();
+    let log_coeffs: Vec<u64> = (0..14).map(|k| (1.0 / (2.0 * k as f64 + 1.0)).to_bits()).collect();
     let atan_coeffs: Vec<u64> = (0..16)
         .map(|k| ((if k % 2 == 0 { 1.0 } else { -1.0 }) / (2.0 * k as f64 + 1.0)).to_bits())
         .collect();

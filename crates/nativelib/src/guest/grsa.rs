@@ -183,7 +183,7 @@ pub fn emit_modpow_pm(b: &mut GelfBuilder) {
     b.asm.label("rsa_mul");
     b.asm.mov_ri(Gpr::RAX, n_slot);
     b.asm.load(Gpr::R9, Gpr::RAX, 0); // n
-    // Zero prod[0..2n].
+                                      // Zero prod[0..2n].
     b.asm.mov_ri(Gpr::RDI, prod_buf);
     b.asm.mov_rr(Gpr::RDX, Gpr::R9);
     b.asm.alu_ri(AluOp::Shl, Gpr::RDX, 1);
@@ -221,7 +221,7 @@ pub fn emit_modpow_pm(b: &mut GelfBuilder) {
     b.asm.load(Gpr::RCX, Gpr::RSI, 0); // y[j]
     b.asm.mov_rr(Gpr::RAX, Gpr::R14);
     b.asm.mul_wide(Gpr::RCX); // RDX:RAX
-    // t = prod[i+j]; t += lo (carry→RDX); t += carry13 (carry→RDX).
+                              // t = prod[i+j]; t += lo (carry→RDX); t += carry13 (carry→RDX).
     b.asm.mov_rr(Gpr::RSI, Gpr::R10);
     b.asm.alu_rr(AluOp::Add, Gpr::RSI, Gpr::R11);
     b.asm.alu_ri(AluOp::Shl, Gpr::RSI, 3);

@@ -94,10 +94,7 @@ pub fn libcrypto() -> HostLibrary {
                 _ => (sha256(&data).to_vec(), costs::SHA256_CPB),
             };
             mem.write_bytes(args[2], &out);
-            NativeResult {
-                ret: out.len() as u64,
-                cost: costs::DIGEST_BASE + cpb * args[1],
-            }
+            NativeResult { ret: out.len() as u64, cost: costs::DIGEST_BASE + cpb * args[1] }
         })
     };
     let rsa: risotto_host_arm::NativeFn = Box::new(|mem, args| {

@@ -97,8 +97,12 @@ mod tests {
         assert_eq!(MathFn::Sqrt.eval(16.0), 4.0);
         assert!((MathFn::Exp.eval(1.0) - std::f64::consts::E).abs() < 1e-12);
         assert!((MathFn::Log.eval(std::f64::consts::E) - 1.0).abs() < 1e-12);
-        assert!((MathFn::Sin.eval(0.5).powi(2) + MathFn::Cos.eval(0.5).powi(2) - 1.0).abs() < 1e-12);
-        assert!((MathFn::Tan.eval(0.3) - MathFn::Sin.eval(0.3) / MathFn::Cos.eval(0.3)).abs() < 1e-12);
+        assert!(
+            (MathFn::Sin.eval(0.5).powi(2) + MathFn::Cos.eval(0.5).powi(2) - 1.0).abs() < 1e-12
+        );
+        assert!(
+            (MathFn::Tan.eval(0.3) - MathFn::Sin.eval(0.3) / MathFn::Cos.eval(0.3)).abs() < 1e-12
+        );
         assert!((MathFn::Asin.eval(MathFn::Sin.eval(0.4)) - 0.4).abs() < 1e-12);
     }
 

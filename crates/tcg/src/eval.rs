@@ -5,7 +5,7 @@
 //! `translate → eval` must agree with the guest reference interpreter,
 //! and `optimize` must preserve `eval`'s results.
 
-use crate::ir::{env, TbExit, TcgBlock, TcgOp, Helper};
+use crate::ir::{env, Helper, TbExit, TcgBlock, TcgOp};
 use risotto_guest_x86::SparseMem;
 
 /// The resolved outcome of evaluating one block.
@@ -86,18 +86,10 @@ pub fn eval_block(block: &TcgBlock, envr: &mut [u64; env::COUNT], mem: &mut Spar
                         mem.write_u64(a, old.wrapping_add(arg(1)));
                         old
                     }
-                    Helper::FpAdd => {
-                        (f64::from_bits(arg(0)) + f64::from_bits(arg(1))).to_bits()
-                    }
-                    Helper::FpSub => {
-                        (f64::from_bits(arg(0)) - f64::from_bits(arg(1))).to_bits()
-                    }
-                    Helper::FpMul => {
-                        (f64::from_bits(arg(0)) * f64::from_bits(arg(1))).to_bits()
-                    }
-                    Helper::FpDiv => {
-                        (f64::from_bits(arg(0)) / f64::from_bits(arg(1))).to_bits()
-                    }
+                    Helper::FpAdd => (f64::from_bits(arg(0)) + f64::from_bits(arg(1))).to_bits(),
+                    Helper::FpSub => (f64::from_bits(arg(0)) - f64::from_bits(arg(1))).to_bits(),
+                    Helper::FpMul => (f64::from_bits(arg(0)) * f64::from_bits(arg(1))).to_bits(),
+                    Helper::FpDiv => (f64::from_bits(arg(0)) / f64::from_bits(arg(1))).to_bits(),
                     Helper::FpSqrt => f64::from_bits(arg(1)).sqrt().to_bits(),
                     Helper::FpCvtIF => ((arg(1) as i64) as f64).to_bits(),
                     Helper::FpCvtFI => (f64::from_bits(arg(1)) as i64) as u64,
@@ -106,6 +98,12 @@ pub fn eval_block(block: &TcgBlock, envr: &mut [u64; env::COUNT], mem: &mut Spar
                     temps[r.0 as usize] = result;
                 }
             }
+            TcgOp::SideExit { flag, stay_if, target } => {
+                if (temps[flag.0 as usize] != 0) != *stay_if {
+                    return EvalExit::Jump(*target);
+                }
+            }
+            TcgOp::TbBoundary { .. } => {}
         }
     }
     match &block.exit {

@@ -301,12 +301,22 @@ impl Ctx {
 /// # Errors
 ///
 /// Returns [`TranslateError`] if instruction decoding fails.
-pub fn translate_block<F>(pc: u64, cfg: FrontendConfig, fetch: F) -> Result<TcgBlock, TranslateError>
+pub fn translate_block<F>(
+    pc: u64,
+    cfg: FrontendConfig,
+    fetch: F,
+) -> Result<TcgBlock, TranslateError>
 where
     F: Fn(u64) -> [u8; 16],
 {
     let mut ctx = Ctx {
-        block: TcgBlock { guest_pc: pc, guest_len: 0, ops: Vec::new(), exit: TbExit::Halt, n_temps: 0 },
+        block: TcgBlock {
+            guest_pc: pc,
+            guest_len: 0,
+            ops: Vec::new(),
+            exit: TbExit::Halt,
+            n_temps: 0,
+        },
         cfg,
     };
     let mut cur = pc;
@@ -587,23 +597,33 @@ mod tests {
             a.store(Gpr::RSI, 0, Gpr::RAX);
             a.hlt();
         });
-        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes.clone())).expect("translates");
+        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes.clone()))
+            .expect("translates");
         assert_eq!(q.count_fences(FenceKind::Frr), 1, "Fmr demoted to Frr for x86 guests");
         assert_eq!(q.count_fences(FenceKind::Fmw), 1);
         // The (demoted) leading fence precedes the Ld.
-        let frr = q.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frr))).expect("op present");
+        let frr = q
+            .ops
+            .iter()
+            .position(|o| matches!(o, TcgOp::Fence(FenceKind::Frr)))
+            .expect("op present");
         let ld = q.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).expect("op present");
         assert!(frr < ld);
 
-        let v =
-            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).expect("translates");
+        let v = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone()))
+            .expect("translates");
         assert_eq!(v.count_fences(FenceKind::Frm), 1);
         assert_eq!(v.count_fences(FenceKind::Fww), 1);
-        let frm = v.ops.iter().position(|o| matches!(o, TcgOp::Fence(FenceKind::Frm))).expect("op present");
+        let frm = v
+            .ops
+            .iter()
+            .position(|o| matches!(o, TcgOp::Fence(FenceKind::Frm)))
+            .expect("op present");
         let ld = v.ops.iter().position(|o| matches!(o, TcgOp::Ld { .. })).expect("op present");
         assert!(ld < frm);
 
-        let n = translate_block(0x1000, FrontendConfig::no_fences(), fetcher(bytes)).expect("translates");
+        let n = translate_block(0x1000, FrontendConfig::no_fences(), fetcher(bytes))
+            .expect("translates");
         assert_eq!(n.count_ops(|o| matches!(o, TcgOp::Fence(_))), 0);
     }
 
@@ -613,15 +633,15 @@ mod tests {
             a.cmpxchg(Gpr::RDI, 0, Gpr::RSI);
             a.hlt();
         });
-        let r = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone())).expect("translates");
+        let r = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes.clone()))
+            .expect("translates");
         assert_eq!(r.count_ops(|o| matches!(o, TcgOp::Cas { .. })), 1);
         assert_eq!(r.count_ops(|o| matches!(o, TcgOp::CallHelper { .. })), 0);
-        let q = translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes)).expect("translates");
+        let q =
+            translate_block(0x1000, FrontendConfig::qemu(), fetcher(bytes)).expect("translates");
         assert_eq!(q.count_ops(|o| matches!(o, TcgOp::Cas { .. })), 0);
         assert_eq!(
-            q.count_ops(
-                |o| matches!(o, TcgOp::CallHelper { helper: Helper::CmpxchgSc, .. })
-            ),
+            q.count_ops(|o| matches!(o, TcgOp::CallHelper { helper: Helper::CmpxchgSc, .. })),
             1
         );
     }
@@ -635,7 +655,8 @@ mod tests {
             a.label("next");
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
+        let b =
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         match b.exit {
             TbExit::Jump(t) => assert_eq!(t, 0x1000 + 10 + 10 + 5),
             ref e => unreachable!("unexpected exit {e:?}"),
@@ -649,7 +670,8 @@ mod tests {
             a.mfence();
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
+        let b =
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         assert_eq!(b.count_fences(FenceKind::Fsc), 1);
     }
 
@@ -659,7 +681,8 @@ mod tests {
             a.fp(FpOp::Mul, Gpr::RAX, Gpr::RBX);
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
+        let b =
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         assert_eq!(
             b.count_ops(|o| matches!(o, TcgOp::CallHelper { helper: Helper::FpMul, .. })),
             1
@@ -671,7 +694,8 @@ mod tests {
         let bytes = assemble(|a| {
             a.syscall();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
+        let b =
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         assert_eq!(b.exit, TbExit::Syscall { next: 0x1001 });
 
         let bytes = assemble(|a| {
@@ -680,7 +704,8 @@ mod tests {
             a.label("target");
             a.hlt();
         });
-        let b = translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
+        let b =
+            translate_block(0x1000, FrontendConfig::risotto(), fetcher(bytes)).expect("translates");
         match b.exit {
             TbExit::CondJump { taken, fallthrough, .. } => {
                 assert_eq!(taken, fallthrough, "branch to fallthrough label");

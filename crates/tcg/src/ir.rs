@@ -256,6 +256,29 @@ pub enum TcgOp {
         /// Optional result.
         ret: Option<Temp>,
     },
+    /// Superblock guard: leave the trace at `target` unless `flag`'s
+    /// truth matches the profiled direction. Only the superblock
+    /// stitcher emits this (from a constituent block's `CondJump`); it
+    /// never appears in tier-1 blocks. The optimizer treats it as a
+    /// partial barrier: env state and earlier stores must be
+    /// architecturally complete here (the off-trace continuation
+    /// observes them), but fences may still merge across it
+    /// (strengthening the exit path is sound).
+    SideExit {
+        /// Condition temp (0 or 1) from the original `CondJump`.
+        flag: Temp,
+        /// Execution stays on the trace when `(flag != 0) == stay_if`.
+        stay_if: bool,
+        /// Guest pc of the off-trace continuation.
+        target: u64,
+    },
+    /// Seam left where two translation blocks were stitched into a
+    /// superblock. Generates no host code; kept so cross-boundary
+    /// optimizations are attributable (and countable) in stats.
+    TbBoundary {
+        /// Guest pc of the block that starts here.
+        pc: u64,
+    },
 }
 
 impl TcgOp {
@@ -272,9 +295,12 @@ impl TcgOp {
             | TcgOp::Cas { dst, .. }
             | TcgOp::AtomicAdd { dst, .. } => Some(*dst),
             TcgOp::CallHelper { ret, .. } => *ret,
-            TcgOp::SetReg { .. } | TcgOp::St { .. } | TcgOp::St8 { .. } | TcgOp::Fence(_) => {
-                None
-            }
+            TcgOp::SetReg { .. }
+            | TcgOp::St { .. }
+            | TcgOp::St8 { .. }
+            | TcgOp::Fence(_)
+            | TcgOp::SideExit { .. }
+            | TcgOp::TbBoundary { .. } => None,
         }
     }
 
@@ -282,6 +308,8 @@ impl TcgOp {
     pub fn uses(&self) -> Vec<Temp> {
         match self {
             TcgOp::MovI { .. } | TcgOp::GetReg { .. } | TcgOp::Fence(_) => vec![],
+            TcgOp::TbBoundary { .. } => vec![],
+            TcgOp::SideExit { flag, .. } => vec![*flag],
             TcgOp::Mov { src, .. } | TcgOp::SetReg { src, .. } => vec![*src],
             TcgOp::Ld { addr, .. } | TcgOp::Ld8 { addr, .. } => vec![*addr],
             TcgOp::St { addr, src } | TcgOp::St8 { addr, src } => vec![*addr, *src],
@@ -306,6 +334,8 @@ impl TcgOp {
                 | TcgOp::Cas { .. }
                 | TcgOp::AtomicAdd { .. }
                 | TcgOp::CallHelper { .. }
+                | TcgOp::SideExit { .. }
+                | TcgOp::TbBoundary { .. }
         )
     }
 
@@ -415,6 +445,20 @@ mod tests {
     }
 
     #[test]
+    fn superblock_marker_classification() {
+        let se = TcgOp::SideExit { flag: Temp(4), stay_if: true, target: 0x2000 };
+        assert_eq!(se.def(), None);
+        assert_eq!(se.uses(), vec![Temp(4)], "guard flag must stay live");
+        assert!(se.has_side_effect(), "side exits are never DCE'd");
+        assert!(!se.is_memory_access(), "fences may merge across a side exit");
+        let tb = TcgOp::TbBoundary { pc: 0x2000 };
+        assert_eq!(tb.def(), None);
+        assert!(tb.uses().is_empty());
+        assert!(tb.has_side_effect());
+        assert!(!tb.is_memory_access(), "seams don't block fence merging");
+    }
+
+    #[test]
     fn binop_semantics_match_guest() {
         assert_eq!(BinOp::Divu.apply(10, 0), 0);
         assert_eq!(BinOp::Remu.apply(10, 0), 10);
@@ -426,13 +470,8 @@ mod tests {
 
     #[test]
     fn temp_allocation() {
-        let mut b = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut b =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         assert_eq!(b.new_temp(), Temp(0));
         assert_eq!(b.new_temp(), Temp(1));
         assert_eq!(b.n_temps, 2);

@@ -44,6 +44,7 @@ mod eval;
 mod frontend;
 mod ir;
 mod opt;
+pub mod superblock;
 
 pub use eval::{eval_block, EvalExit};
 pub use frontend::{
@@ -51,6 +52,6 @@ pub use frontend::{
 };
 pub use ir::{env, BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
 pub use opt::{
-    constant_fold, dce, elim_may_cross, merge_fences, merge_fences_counted, optimize,
-    optimize_with, ElimKind, OptPolicy, OptStats, PassConfig,
+    constant_fold, dce, elim_may_cross, merge_fences, merge_fences_counted, merge_fences_region,
+    optimize, optimize_with, ElimKind, OptPolicy, OptStats, PassConfig,
 };

@@ -48,6 +48,11 @@ pub struct OptStats {
     /// [`FenceKind::tcg_index`] over [`FenceKind::TCG_ALL`]. The entries
     /// sum to `fences_merged`.
     pub fences_merged_by_kind: [usize; 12],
+    /// The subset of `fences_merged` whose merge crossed a former TB
+    /// boundary (a [`TcgOp::TbBoundary`] or [`TcgOp::SideExit`] marker
+    /// sat between the two fences). Always zero for tier-1 blocks,
+    /// which contain no markers.
+    pub fences_merged_cross: usize,
     /// Ops removed by DCE.
     pub dce_removed: usize,
 }
@@ -61,6 +66,7 @@ impl std::ops::AddAssign for OptStats {
         for (a, b) in self.fences_merged_by_kind.iter_mut().zip(rhs.fences_merged_by_kind) {
             *a += b;
         }
+        self.fences_merged_cross += rhs.fences_merged_cross;
         self.dce_removed += rhs.dce_removed;
     }
 }
@@ -128,7 +134,10 @@ pub fn optimize_with(block: &mut TcgBlock, policy: OptPolicy, passes: PassConfig
         forward_memory(block, policy, &mut stats);
     }
     if passes.merge_fences {
-        stats.fences_merged += merge_fences_counted(block, &mut stats.fences_merged_by_kind);
+        let mut cross = 0usize;
+        stats.fences_merged +=
+            merge_fences_region(block, &mut stats.fences_merged_by_kind, &mut cross);
+        stats.fences_merged_cross += cross;
     }
     if passes.dce {
         stats.dce_removed += dce(block);
@@ -155,8 +164,7 @@ pub fn constant_fold(block: &mut TcgBlock) -> usize {
     let mut alias: HashMap<Temp, Temp> = HashMap::new();
     // Track which temp (if any) currently holds each env register's value,
     // so constants and copies propagate through SetReg/GetReg round-trips.
-    let mut env_alias: [Option<Temp>; crate::ir::env::COUNT] =
-        [None; crate::ir::env::COUNT];
+    let mut env_alias: [Option<Temp>; crate::ir::env::COUNT] = [None; crate::ir::env::COUNT];
     let mut changed = 0usize;
 
     let ops = std::mem::take(&mut block.ops);
@@ -306,7 +314,8 @@ fn rewrite_uses(op: &mut TcgOp, alias: &HashMap<Temp, Temp>) {
             fix(val);
         }
         TcgOp::CallHelper { args, .. } => args.iter_mut().for_each(fix),
-        TcgOp::MovI { .. } | TcgOp::GetReg { .. } | TcgOp::Fence(_) => {}
+        TcgOp::SideExit { flag, .. } => fix(flag),
+        TcgOp::MovI { .. } | TcgOp::GetReg { .. } | TcgOp::Fence(_) | TcgOp::TbBoundary { .. } => {}
     }
 }
 
@@ -326,6 +335,12 @@ struct Tracked {
     kind: TrackedKind,
     /// Fences encountered since this access.
     fences_since: Vec<FenceKind>,
+    /// A superblock side exit was crossed since this access. Forwarding
+    /// a *read* past a side exit stays sound (the value was already
+    /// architecturally committed when the exit is taken), but deleting a
+    /// store that the off-trace continuation would observe is not, so
+    /// WAW elimination refuses when this is set.
+    escaped: bool,
 }
 
 /// Which Fig. 10 memory-access elimination is being attempted.
@@ -385,6 +400,12 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
                 }
                 out.push(op);
             }
+            TcgOp::SideExit { .. } => {
+                for t in &mut tracked {
+                    t.escaped = true;
+                }
+                out.push(op);
+            }
             TcgOp::Ld { dst, addr } => {
                 if let Some(t) = tracked.iter().find(|t| t.addr == *addr) {
                     let (value, kind) = match t.kind {
@@ -404,6 +425,7 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
                     addr: *addr,
                     kind: TrackedKind::Load { value: *dst },
                     fences_since: Vec::new(),
+                    escaped: false,
                 });
                 out.push(op);
             }
@@ -413,11 +435,12 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
                 if let Some(pos) = tracked.iter().position(|t| t.addr == *addr) {
                     let t = &tracked[pos];
                     if let TrackedKind::Store { .. } = t.kind {
-                        if elim_allowed(ElimKind::Waw, &t.fences_since, policy) {
+                        if !t.escaped && elim_allowed(ElimKind::Waw, &t.fences_since, policy) {
                             // Find the previous store in `out` and drop it.
-                            if let Some(idx) = out.iter().rposition(
-                                |o| matches!(o, TcgOp::St { addr: a, .. } if a == addr),
-                            ) {
+                            if let Some(idx) = out
+                                .iter()
+                                .rposition(|o| matches!(o, TcgOp::St { addr: a, .. } if a == addr))
+                            {
                                 out.remove(idx);
                                 stats.stores_eliminated += 1;
                             }
@@ -433,6 +456,7 @@ fn forward_memory(block: &mut TcgBlock, policy: OptPolicy, stats: &mut OptStats)
                     addr: *addr,
                     kind: TrackedKind::Store { value: *src },
                     fences_since: Vec::new(),
+                    escaped: false,
                 });
                 out.push(op);
             }
@@ -466,6 +490,20 @@ pub fn merge_fences(block: &mut TcgBlock) -> usize {
 /// [`merge_fences`], additionally tallying each removed fence by kind
 /// into `by_kind` (indexed per [`FenceKind::tcg_index`]).
 pub fn merge_fences_counted(block: &mut TcgBlock, by_kind: &mut [usize; 12]) -> usize {
+    merge_fences_region(block, by_kind, &mut 0)
+}
+
+/// Region-scoped [`merge_fences_counted`] for superblocks: merges may
+/// cross [`TcgOp::TbBoundary`] seams and [`TcgOp::SideExit`] guards
+/// (hoisting a later fence to an earlier position only *strengthens* the
+/// ordering an off-trace continuation observes), and each merge that did
+/// cross such a marker is additionally tallied into `cross` — the
+/// paper's intra-block pass can never perform these.
+pub fn merge_fences_region(
+    block: &mut TcgBlock,
+    by_kind: &mut [usize; 12],
+    cross: &mut usize,
+) -> usize {
     let ops = std::mem::take(&mut block.ops);
     let mut out: Vec<TcgOp> = Vec::with_capacity(ops.len());
     let mut removed = 0usize;
@@ -475,15 +513,20 @@ pub fn merge_fences_counted(block: &mut TcgBlock, by_kind: &mut [usize; 12]) -> 
                 debug_assert!(k.is_tcg(), "non-TCG fence in IR");
                 // Find a previous fence with no memory access in between.
                 let prev_fence = out.iter().rposition(|o| matches!(o, TcgOp::Fence(_)));
-                let mergeable = prev_fence.is_some_and(|idx| {
-                    out[idx + 1..].iter().all(|o| !o.is_memory_access())
-                });
+                let mergeable = prev_fence
+                    .is_some_and(|idx| out[idx + 1..].iter().all(|o| !o.is_memory_access()));
                 if let (Some(idx), true) = (prev_fence, mergeable) {
                     if let TcgOp::Fence(prev) = out[idx] {
                         out[idx] = TcgOp::Fence(prev.tcg_join(k));
                         removed += 1;
                         if let Some(i) = k.tcg_index() {
                             by_kind[i] += 1;
+                        }
+                        if out[idx + 1..]
+                            .iter()
+                            .any(|o| matches!(o, TcgOp::TbBoundary { .. } | TcgOp::SideExit { .. }))
+                        {
+                            *cross += 1;
                         }
                         continue;
                     }
@@ -524,11 +567,20 @@ pub fn dce(block: &mut TcgBlock) -> usize {
                 env_overwritten[*reg as usize] = false;
                 live[dst.0 as usize]
             }
+            TcgOp::SideExit { .. } => {
+                // The off-trace continuation re-enters the dispatcher and
+                // reads the whole env, so every `SetReg` above the exit
+                // is observable no matter what the on-trace suffix
+                // overwrites.
+                env_overwritten = [false; crate::ir::env::COUNT];
+                true
+            }
             TcgOp::St { .. }
             | TcgOp::Fence(_)
             | TcgOp::Cas { .. }
             | TcgOp::AtomicAdd { .. }
-            | TcgOp::CallHelper { .. } => true,
+            | TcgOp::CallHelper { .. }
+            | TcgOp::TbBoundary { .. } => true,
             other => other.def().map(|d| live[d.0 as usize]).unwrap_or(true),
         };
         if needed {
@@ -609,10 +661,7 @@ mod tests {
         assert!(stats.folded > 0);
         check_equivalent(&orig, &b);
         // The multiply folded to a constant 42 somewhere.
-        assert!(b
-            .ops
-            .iter()
-            .any(|o| matches!(o, TcgOp::MovI { val: 42, .. })));
+        assert!(b.ops.iter().any(|o| matches!(o, TcgOp::MovI { val: 42, .. })));
         assert!(b.count_ops(|o| matches!(o, TcgOp::Bin { .. })) == 0);
     }
 
@@ -642,13 +691,8 @@ mod tests {
         // frontend reuses it; here both compute rdi+0 ⇒ same GetReg? No:
         // each instruction re-reads the env, producing different temps.
         // Build the IR by hand to exercise the forwarding machinery.
-        let mut b = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut b =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         let addr = b.new_temp();
         let val = b.new_temp();
         let loaded = b.new_temp();
@@ -684,13 +728,8 @@ mod tests {
 
     #[test]
     fn waw_elimination_drops_first_store() {
-        let mut b = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut b =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         let addr = b.new_temp();
         let v1 = b.new_temp();
         let v2 = b.new_temp();
@@ -711,13 +750,8 @@ mod tests {
 
     /// `St addr, 1; Fence(f); St addr, 2` — may the first store go?
     fn waw_across(f: FenceKind, policy: OptPolicy) -> usize {
-        let mut b = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut b =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         let addr = b.new_temp();
         let v1 = b.new_temp();
         let v2 = b.new_temp();
@@ -756,13 +790,8 @@ mod tests {
 
     #[test]
     fn rar_forwarding_aliases_loads() {
-        let mut b = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut b =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         let addr = b.new_temp();
         let l1 = b.new_temp();
         let l2 = b.new_temp();
@@ -819,13 +848,8 @@ mod tests {
     /// `Fence(Frm); <mid ops>; Fence(Fww)` in a hand-built block: how
     /// many fences merge away?
     fn merge_with_between(mk_mid: impl FnOnce(&mut TcgBlock) -> Vec<TcgOp>) -> usize {
-        let mut b = TcgBlock {
-            guest_pc: 0,
-            guest_len: 0,
-            ops: vec![],
-            exit: TbExit::Halt,
-            n_temps: 0,
-        };
+        let mut b =
+            TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
         let mid = mk_mid(&mut b);
         b.ops = vec![TcgOp::Fence(FenceKind::Frm)];
         b.ops.extend(mid);
@@ -916,8 +940,6 @@ mod tests {
         assert!(stats.folded > 0);
         check_equivalent(&orig, &b);
         // The false dependency rbx*0 folded to a plain constant.
-        assert!(!b.ops.iter().any(
-            |o| matches!(o, TcgOp::Bin { op: crate::ir::BinOp::Mul, .. })
-        ));
+        assert!(!b.ops.iter().any(|o| matches!(o, TcgOp::Bin { op: crate::ir::BinOp::Mul, .. })));
     }
 }

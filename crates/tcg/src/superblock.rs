@@ -1,0 +1,452 @@
+//! Superblock (hot-trace) formation for the tier-2 recompiler.
+//!
+//! The engine's tier policy picks a *trace* — a head block plus its
+//! dominant chain of successors — and this module stitches the freshly
+//! retranslated constituent [`TcgBlock`]s into one region IR:
+//!
+//! * temps are renumbered into a single SSA space,
+//! * every seam becomes a [`TcgOp::TbBoundary`] marker,
+//! * a `CondJump` whose profiled direction continues on the trace
+//!   becomes a [`TcgOp::SideExit`] guard for the other direction,
+//! * the last block's exit becomes the superblock's exit.
+//!
+//! The region then goes through [`optimize_region`], which is the full
+//! tier-1 pass pipeline — the markers make every pass boundary-aware, so
+//! fence merging, load forwarding and WAW elimination fire *across*
+//! former TB boundaries exactly where the Fig. 10 side conditions (plus
+//! the side-exit barrier rules) allow, and nowhere else.
+
+use crate::ir::{TbExit, TcgBlock, TcgOp, Temp};
+use crate::opt::{optimize_with, OptPolicy, OptStats, PassConfig};
+
+/// Why a trace could not be stitched into a superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// Fewer than two constituent blocks — nothing to merge.
+    TooShort,
+    /// A non-final block ends in an exit that cannot continue on a
+    /// trace (`JumpReg`, `Halt` or `Syscall`).
+    UntraceableExit {
+        /// Guest pc of the offending block.
+        guest_pc: u64,
+    },
+    /// Block `i+1` does not start at a guest pc block `i` can reach.
+    Discontiguous {
+        /// Guest pc of the block whose exit does not reach its successor.
+        guest_pc: u64,
+        /// Guest pc the next block actually starts at.
+        next_pc: u64,
+    },
+}
+
+impl std::fmt::Display for StitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StitchError::TooShort => write!(f, "trace has fewer than two blocks"),
+            StitchError::UntraceableExit { guest_pc } => {
+                write!(f, "block at {guest_pc:#x} ends in an untraceable exit")
+            }
+            StitchError::Discontiguous { guest_pc, next_pc } => {
+                write!(f, "block at {guest_pc:#x} cannot reach successor at {next_pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Shape statistics of a stitched (and optionally optimized) superblock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperblockShape {
+    /// Constituent translation blocks merged into the trace.
+    pub tbs: usize,
+    /// `SideExit` guards in the stitched region.
+    pub side_exits: usize,
+}
+
+/// Measures a region's marker counts (valid before or after optimizing —
+/// neither marker kind is ever removed by the passes).
+pub fn shape_of(block: &TcgBlock) -> SuperblockShape {
+    SuperblockShape {
+        tbs: 1 + block.count_ops(|o| matches!(o, TcgOp::TbBoundary { .. })),
+        side_exits: block.count_ops(|o| matches!(o, TcgOp::SideExit { .. })),
+    }
+}
+
+/// Is the block's *last* memory access a load? Under the verified
+/// trailing placement (§4: `ld; Frm`, `Fww; st`) such a block ends with
+/// its `Frm` free to sink to the seam — only register ops follow it.
+fn tail_is_load(b: &TcgBlock) -> bool {
+    b.ops
+        .iter()
+        .rev()
+        .find(|o| o.is_memory_access())
+        .is_some_and(|o| matches!(o, TcgOp::Ld { .. } | TcgOp::Ld8 { .. }))
+}
+
+/// Is the block's *first* memory access a store? Its leading `Fww` then
+/// has an unobstructed path back to the seam.
+fn head_is_store(b: &TcgBlock) -> bool {
+    b.ops
+        .iter()
+        .find(|o| o.is_memory_access())
+        .is_some_and(|o| matches!(o, TcgOp::St { .. } | TcgOp::St8 { .. }))
+}
+
+/// Picks the best head for a *cyclic* trace (one whose last block's
+/// on-trace successor is the head). Every rotation of such a trace
+/// executes the same loop, so the head choice is free — but it decides
+/// which seam falls at the (unoptimizable) wrap-around. Returns the
+/// index into `parts` of the head that maximizes in-trace seams where a
+/// load-tailed block meets a store-headed one: the only seam shape whose
+/// `Frm`/`Fww` pair can merge under the verified trailing placement.
+/// Prefers the current head (index 0) on ties.
+pub fn best_rotation(parts: &[TcgBlock]) -> usize {
+    let n = parts.len();
+    if n < 2 {
+        return 0;
+    }
+    let ld_tail: Vec<bool> = parts.iter().map(tail_is_load).collect();
+    let st_head: Vec<bool> = parts.iter().map(head_is_store).collect();
+    let score =
+        |r: usize| (0..n - 1).filter(|&i| ld_tail[(r + i) % n] && st_head[(r + i + 1) % n]).count();
+    (0..n).max_by_key(|&r| (score(r), std::cmp::Reverse(r))).unwrap_or(0)
+}
+
+/// Stitches a trace of translation blocks into one superblock.
+///
+/// `parts` must be in trace order; each non-final block's exit must
+/// reach the next block's `guest_pc` either unconditionally (`Jump`) or
+/// as one arm of a `CondJump` (the other arm becomes a side exit). The
+/// result's `guest_pc` is the head's, and its `guest_len` sums the
+/// constituents (the trace need not be contiguous in guest memory).
+pub fn stitch(parts: Vec<TcgBlock>) -> Result<TcgBlock, StitchError> {
+    if parts.len() < 2 {
+        return Err(StitchError::TooShort);
+    }
+    let pcs: Vec<u64> = parts.iter().map(|p| p.guest_pc).collect();
+    let mut sb = TcgBlock {
+        guest_pc: pcs[0],
+        guest_len: 0,
+        ops: Vec::with_capacity(parts.iter().map(|p| p.ops.len() + 2).sum()),
+        exit: TbExit::Halt,
+        n_temps: 0,
+    };
+    let last = parts.len() - 1;
+    for (i, part) in parts.into_iter().enumerate() {
+        let base = sb.n_temps;
+        sb.guest_len += part.guest_len;
+        if i > 0 {
+            sb.ops.push(TcgOp::TbBoundary { pc: part.guest_pc });
+        }
+        for mut op in part.ops {
+            shift_op(&mut op, base);
+            sb.ops.push(op);
+        }
+        sb.n_temps += part.n_temps;
+        let exit = shift_exit(part.exit, base);
+        if i == last {
+            sb.exit = exit;
+            break;
+        }
+        let next = pcs[i + 1];
+        match exit {
+            TbExit::Jump(t) if t == next => {}
+            TbExit::CondJump { taken, fallthrough, .. } if taken == next && fallthrough == next => {
+                // Both arms reach the successor: no guard needed.
+            }
+            TbExit::CondJump { flag, taken, fallthrough } if taken == next => {
+                sb.ops.push(TcgOp::SideExit { flag, stay_if: true, target: fallthrough });
+            }
+            TbExit::CondJump { flag, taken, fallthrough } if fallthrough == next => {
+                sb.ops.push(TcgOp::SideExit { flag, stay_if: false, target: taken });
+            }
+            TbExit::Jump(_) | TbExit::CondJump { .. } => {
+                return Err(StitchError::Discontiguous { guest_pc: pcs[i], next_pc: next });
+            }
+            TbExit::JumpReg(_) | TbExit::Halt | TbExit::Syscall { .. } => {
+                return Err(StitchError::UntraceableExit { guest_pc: pcs[i] });
+            }
+        }
+    }
+    Ok(sb)
+}
+
+fn shift_op(op: &mut TcgOp, base: u32) {
+    let fix = |t: &mut Temp| t.0 += base;
+    match op {
+        TcgOp::MovI { dst, .. } | TcgOp::GetReg { dst, .. } => fix(dst),
+        TcgOp::Mov { dst, src } => {
+            fix(dst);
+            fix(src);
+        }
+        TcgOp::SetReg { src, .. } => fix(src),
+        TcgOp::Ld { dst, addr } | TcgOp::Ld8 { dst, addr } => {
+            fix(dst);
+            fix(addr);
+        }
+        TcgOp::St { addr, src } | TcgOp::St8 { addr, src } => {
+            fix(addr);
+            fix(src);
+        }
+        TcgOp::Bin { dst, a, b, .. } | TcgOp::Setcond { dst, a, b, .. } => {
+            fix(dst);
+            fix(a);
+            fix(b);
+        }
+        TcgOp::Cas { dst, addr, expect, new } => {
+            fix(dst);
+            fix(addr);
+            fix(expect);
+            fix(new);
+        }
+        TcgOp::AtomicAdd { dst, addr, val } => {
+            fix(dst);
+            fix(addr);
+            fix(val);
+        }
+        TcgOp::CallHelper { args, ret, .. } => {
+            args.iter_mut().for_each(fix);
+            if let Some(r) = ret {
+                fix(r);
+            }
+        }
+        TcgOp::SideExit { flag, .. } => fix(flag),
+        TcgOp::Fence(_) | TcgOp::TbBoundary { .. } => {}
+    }
+}
+
+fn shift_exit(exit: TbExit, base: u32) -> TbExit {
+    match exit {
+        TbExit::JumpReg(t) => TbExit::JumpReg(Temp(t.0 + base)),
+        TbExit::CondJump { flag, taken, fallthrough } => {
+            TbExit::CondJump { flag: Temp(flag.0 + base), taken, fallthrough }
+        }
+        other => other,
+    }
+}
+
+/// Runs the full tier-1 pass pipeline over a stitched region. The
+/// markers inserted by [`stitch`] make every pass boundary-aware;
+/// [`OptStats::fences_merged_cross`] counts the merges the intra-block
+/// tier-1 pass could never have performed.
+pub fn optimize_region(block: &mut TcgBlock, policy: OptPolicy, passes: PassConfig) -> OptStats {
+    optimize_with(block, policy, passes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_block, EvalExit};
+    use crate::ir::env;
+    use risotto_guest_x86::SparseMem;
+    use risotto_memmodel::FenceKind;
+
+    fn blank(pc: u64) -> TcgBlock {
+        TcgBlock { guest_pc: pc, guest_len: 4, ops: vec![], exit: TbExit::Halt, n_temps: 0 }
+    }
+
+    /// `env[dst] = env[src] + k`, plus a fence on each side, ending in
+    /// the given exit.
+    fn addk_block(pc: u64, src: u8, dst: u8, k: u64, exit: TbExit) -> TcgBlock {
+        let mut b = blank(pc);
+        let a = b.new_temp();
+        let c = b.new_temp();
+        let r = b.new_temp();
+        b.ops = vec![
+            TcgOp::Fence(FenceKind::Frm),
+            TcgOp::GetReg { dst: a, reg: src },
+            TcgOp::MovI { dst: c, val: k },
+            TcgOp::Bin { op: crate::ir::BinOp::Add, dst: r, a, b: c },
+            TcgOp::SetReg { reg: dst, src: r },
+            TcgOp::Fence(FenceKind::Fww),
+        ];
+        b.exit = exit;
+        b
+    }
+
+    #[test]
+    fn stitch_rejects_short_traces() {
+        assert_eq!(stitch(vec![]), Err(StitchError::TooShort));
+        assert_eq!(stitch(vec![blank(0x10)]), Err(StitchError::TooShort));
+    }
+
+    #[test]
+    fn stitch_rejects_untraceable_and_discontiguous() {
+        let a = addk_block(0x10, 0, 0, 1, TbExit::Halt);
+        let b = addk_block(0x20, 0, 0, 1, TbExit::Halt);
+        assert_eq!(
+            stitch(vec![a, b.clone()]),
+            Err(StitchError::UntraceableExit { guest_pc: 0x10 })
+        );
+        let a = addk_block(0x10, 0, 0, 1, TbExit::Jump(0x999));
+        assert_eq!(
+            stitch(vec![a, b]),
+            Err(StitchError::Discontiguous { guest_pc: 0x10, next_pc: 0x20 })
+        );
+    }
+
+    #[test]
+    fn straight_line_stitch_is_equivalent_and_marked() {
+        let a = addk_block(0x10, 0, 1, 5, TbExit::Jump(0x20));
+        let b = addk_block(0x20, 1, 2, 7, TbExit::Jump(0x30));
+        let sb = stitch(vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(sb.guest_pc, 0x10);
+        assert_eq!(sb.n_temps, a.n_temps + b.n_temps);
+        assert_eq!(shape_of(&sb), SuperblockShape { tbs: 2, side_exits: 0 });
+        assert_eq!(sb.exit, TbExit::Jump(0x30));
+
+        // Superblock evaluation matches running the parts in sequence.
+        let mut e1 = [3u64; env::COUNT];
+        let mut e2 = e1;
+        let mut m1 = SparseMem::new();
+        let mut m2 = SparseMem::new();
+        assert_eq!(eval_block(&a, &mut e1, &mut m1), EvalExit::Jump(0x20));
+        assert_eq!(eval_block(&b, &mut e1, &mut m1), EvalExit::Jump(0x30));
+        assert_eq!(eval_block(&sb, &mut e2, &mut m2), EvalExit::Jump(0x30));
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn cond_seam_becomes_side_exit_with_correct_polarity() {
+        // Head tests env[0] and falls through to 0x20 when zero.
+        let mut head = blank(0x10);
+        let v = head.new_temp();
+        let z = head.new_temp();
+        let f = head.new_temp();
+        head.ops = vec![
+            TcgOp::GetReg { dst: v, reg: 0 },
+            TcgOp::MovI { dst: z, val: 0 },
+            TcgOp::Setcond { cond: crate::ir::CondOp::Ne, dst: f, a: v, b: z },
+        ];
+        head.exit = TbExit::CondJump { flag: f, taken: 0x80, fallthrough: 0x20 };
+        let tail = addk_block(0x20, 0, 1, 9, TbExit::Jump(0x30));
+
+        let sb = stitch(vec![head, tail]).unwrap();
+        assert_eq!(shape_of(&sb), SuperblockShape { tbs: 2, side_exits: 1 });
+        assert!(sb
+            .ops
+            .iter()
+            .any(|o| matches!(o, TcgOp::SideExit { stay_if: false, target: 0x80, .. })));
+
+        // On-trace: env[0] == 0 stays and runs the tail.
+        let mut e = [0u64; env::COUNT];
+        let mut m = SparseMem::new();
+        assert_eq!(eval_block(&sb, &mut e, &mut m), EvalExit::Jump(0x30));
+        assert_eq!(e[1], 9);
+
+        // Off-trace: env[0] != 0 leaves at the side exit before the tail.
+        let mut e = [0u64; env::COUNT];
+        e[0] = 1;
+        let mut m = SparseMem::new();
+        assert_eq!(eval_block(&sb, &mut e, &mut m), EvalExit::Jump(0x80));
+        assert_eq!(e[1], 0, "tail must not run on the off-trace path");
+    }
+
+    #[test]
+    fn region_pipeline_merges_fences_across_the_seam() {
+        // …Fww | TbBoundary | Frm… — the intra-block pass can never see
+        // this pair; the region pass merges it and attributes the merge.
+        let a = addk_block(0x10, 0, 1, 5, TbExit::Jump(0x20));
+        let b = addk_block(0x20, 1, 2, 7, TbExit::Jump(0x30));
+        let mut sb = stitch(vec![a, b]).unwrap();
+        let fences_before = sb.count_ops(|o| matches!(o, TcgOp::Fence(_)));
+        let stats = optimize_region(&mut sb, OptPolicy::Verified, PassConfig::all());
+        assert!(stats.fences_merged_cross >= 1, "seam merge must be counted: {stats:?}");
+        assert!(
+            sb.count_ops(|o| matches!(o, TcgOp::Fence(_))) < fences_before,
+            "cross-boundary fences must actually merge"
+        );
+        // The seam marker itself survives optimization.
+        assert_eq!(shape_of(&sb).tbs, 2);
+    }
+
+    /// A block whose last memory access is a load (`ld; Frm` tail, then
+    /// register ops only).
+    fn load_tail_block(pc: u64, exit: TbExit) -> TcgBlock {
+        let mut b = blank(pc);
+        let a = b.new_temp();
+        let v = b.new_temp();
+        b.ops = vec![
+            TcgOp::GetReg { dst: a, reg: 7 },
+            TcgOp::Ld { dst: v, addr: a },
+            TcgOp::Fence(FenceKind::Frm),
+            TcgOp::SetReg { reg: 1, src: v },
+        ];
+        b.exit = exit;
+        b
+    }
+
+    /// A block whose first memory access is a store (`Fww; st` head).
+    fn store_head_block(pc: u64, exit: TbExit) -> TcgBlock {
+        let mut b = blank(pc);
+        let a = b.new_temp();
+        let v = b.new_temp();
+        b.ops = vec![
+            TcgOp::GetReg { dst: a, reg: 7 },
+            TcgOp::GetReg { dst: v, reg: 1 },
+            TcgOp::Fence(FenceKind::Fww),
+            TcgOp::St { addr: a, src: v },
+        ];
+        b.exit = exit;
+        b
+    }
+
+    #[test]
+    fn cyclic_rotation_prefers_load_tail_into_store_head() {
+        // The loop st(0x20) → ld(0x10) → st(0x20)… is promotable from
+        // either head; only the ld-first rotation puts the mergeable
+        // seam inside the trace.
+        let st = store_head_block(0x20, TbExit::Jump(0x10));
+        let ld = load_tail_block(0x10, TbExit::Jump(0x20));
+        assert_eq!(best_rotation(&[st.clone(), ld.clone()]), 1);
+        assert_eq!(best_rotation(&[ld.clone(), st.clone()]), 0, "already optimal: keep the head");
+
+        // Proof by pipeline: the rotated trace merges across the seam,
+        // the unrotated one cannot (the st/ld pair sits between fences).
+        let mut bad = stitch(vec![st.clone(), ld.clone()]).unwrap();
+        let bad_stats = optimize_region(&mut bad, OptPolicy::Verified, PassConfig::all());
+        assert_eq!(bad_stats.fences_merged_cross, 0);
+        let mut good = stitch(vec![ld, st]).unwrap();
+        let good_stats = optimize_region(&mut good, OptPolicy::Verified, PassConfig::all());
+        assert!(good_stats.fences_merged_cross >= 1, "{good_stats:?}");
+    }
+
+    #[test]
+    fn rotation_ignores_traces_without_the_pattern() {
+        let a = addk_block(0x10, 0, 1, 5, TbExit::Jump(0x20));
+        let b = addk_block(0x20, 1, 2, 7, TbExit::Jump(0x10));
+        assert_eq!(best_rotation(&[a, b]), 0, "no mergeable seam either way: keep the head");
+        assert_eq!(best_rotation(&[]), 0);
+        assert_eq!(best_rotation(&[blank(0x10)]), 0);
+    }
+
+    #[test]
+    fn waw_is_blocked_across_a_side_exit_but_merging_is_not() {
+        // St x; SideExit; St x — the off-trace continuation observes the
+        // first store, so it must survive; the fences around the exit
+        // still merge.
+        let mut b = blank(0x10);
+        let addr = b.new_temp();
+        let v1 = b.new_temp();
+        let v2 = b.new_temp();
+        let flag = b.new_temp();
+        b.ops = vec![
+            TcgOp::GetReg { dst: addr, reg: 7 },
+            TcgOp::MovI { dst: v1, val: 1 },
+            TcgOp::MovI { dst: v2, val: 2 },
+            TcgOp::MovI { dst: flag, val: 1 },
+            TcgOp::St { addr, src: v1 },
+            TcgOp::Fence(FenceKind::Frr),
+            TcgOp::SideExit { flag, stay_if: true, target: 0x80 },
+            TcgOp::Fence(FenceKind::Frr),
+            TcgOp::St { addr, src: v2 },
+        ];
+        let mut c = b.clone();
+        let stats = optimize_region(&mut c, OptPolicy::Verified, PassConfig::all());
+        assert_eq!(stats.stores_eliminated, 0, "WAW across a side exit is unsound");
+        assert_eq!(c.count_ops(|o| matches!(o, TcgOp::St { .. })), 2);
+        assert_eq!(stats.fences_merged, 1, "fences still merge across the exit");
+        assert_eq!(stats.fences_merged_cross, 1);
+    }
+}

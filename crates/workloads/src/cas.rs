@@ -65,11 +65,7 @@ mod tests {
             let bin = cas_bench(50, threads, vars);
             let mut i = Interp::new(&bin);
             i.run(10_000_000).unwrap();
-            assert_eq!(
-                i.exit_val(0),
-                50 * threads as u64,
-                "threads={threads} vars={vars}"
-            );
+            assert_eq!(i.exit_val(0), 50 * threads as u64, "threads={threads} vars={vars}");
         }
     }
 }

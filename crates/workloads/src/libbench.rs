@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn digest_driver_produces_correct_digest() {
-        let data: Vec<u8> = (0..256usize).map(|i| (i as u8).wrapping_mul(131).wrapping_add(9)).collect();
+        let data: Vec<u8> =
+            (0..256usize).map(|i| (i as u8).wrapping_mul(131).wrapping_add(9)).collect();
         let expect = u64::from_le_bytes(digest::md5(&data)[..8].try_into().unwrap());
         let bin = digest_bench(DigestAlgo::Md5, 256, 2);
         let mut i = Interp::new(&bin);

@@ -75,13 +75,10 @@ pub fn compile_litmus(prog: &Program, delays: &[u64]) -> CompiledLitmus {
         loc_addrs.insert(l, loc_area + i as u64 * 64);
     }
     // Observation area, initialized to MAX ("unset").
-    let regs_addr =
-        b.data_u64(&vec![u64::MAX; threads * REGS_PER_THREAD as usize]);
+    let regs_addr = b.data_u64(&vec![u64::MAX; threads * REGS_PER_THREAD as usize]);
     // Initial values.
-    let init_words: Vec<(u64, u64)> = locs
-        .iter()
-        .map(|&l| (loc_addrs[&l], prog.init_val(l).0))
-        .collect();
+    let init_words: Vec<(u64, u64)> =
+        locs.iter().map(|&l| (loc_addrs[&l], prog.init_val(l).0)).collect();
 
     // main: write init values, spawn workers, run thread 0, join, halt.
     b.asm.label("main");

@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // What the digest must be (reference implementation).
-    let data: Vec<u8> =
-        (0..buf_len).map(|i| (i as u8).wrapping_mul(131).wrapping_add(9)).collect();
+    let data: Vec<u8> = (0..buf_len).map(|i| (i as u8).wrapping_mul(131).wrapping_add(9)).collect();
     let expect = u64::from_le_bytes(digest::sha256(&data)[..8].try_into().unwrap());
 
     let idl = Idl::parse(hostlibs::IDL_TEXT)?;

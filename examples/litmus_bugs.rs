@@ -10,7 +10,11 @@
 use risotto::litmus::{allows, corpus, Behavior};
 use risotto::memmodel::{Arm, MemoryModel, TcgIr, X86Tso};
 
-fn verdict<M: MemoryModel>(model: &M, p: &risotto::litmus::Program, outcome: impl Fn(&Behavior) -> bool) {
+fn verdict<M: MemoryModel>(
+    model: &M,
+    p: &risotto::litmus::Program,
+    outcome: impl Fn(&Behavior) -> bool,
+) {
     let v = if allows(p, model, &outcome) { "ALLOWED" } else { "forbidden" };
     println!("  {:<28} under {:<30} {v}", p.name, model.name());
 }

@@ -34,21 +34,21 @@
 
 #![warn(missing_docs)]
 
-/// Axiomatic memory models (x86-TSO, TCG IR, Armed-Cats).
-pub use risotto_memmodel as memmodel;
+/// The DBT engine and dynamic host linker.
+pub use risotto_core as core;
+/// The MiniX86 guest ISA, assembler and GELF format.
+pub use risotto_guest_x86 as guest;
+/// The MiniArm host ISA, backend and machine simulator.
+pub use risotto_host_arm as host;
 /// Litmus tests and exhaustive behavior enumeration.
 pub use risotto_litmus as litmus;
 /// Mapping schemes and Theorem-1 checking.
 pub use risotto_mappings as mappings;
-/// The MiniX86 guest ISA, assembler and GELF format.
-pub use risotto_guest_x86 as guest;
-/// The TCG-style IR, frontend and optimizer.
-pub use risotto_tcg as tcg;
-/// The MiniArm host ISA, backend and machine simulator.
-pub use risotto_host_arm as host;
+/// Axiomatic memory models (x86-TSO, TCG IR, Armed-Cats).
+pub use risotto_memmodel as memmodel;
 /// Native host libraries and their guest-assembly twins.
 pub use risotto_nativelib as nativelib;
-/// The DBT engine and dynamic host linker.
-pub use risotto_core as core;
+/// The TCG-style IR, frontend and optimizer.
+pub use risotto_tcg as tcg;
 /// The evaluation workloads.
 pub use risotto_workloads as workloads;

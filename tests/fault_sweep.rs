@@ -75,7 +75,8 @@ fn seeded_fault_sweep_never_diverges_silently() {
                         setup.name(),
                     );
                     assert_eq!(
-                        report.output, ref_out,
+                        report.output,
+                        ref_out,
                         "{} seed {seed} ({}): output diverged under faults",
                         w.name,
                         setup.name(),
@@ -220,10 +221,7 @@ fn unmapping_a_chained_into_tb_forces_retranslation() {
         r.chain.chain_flushes >= 1,
         "unmapping the chained-into TB must unlink its incoming chains"
     );
-    assert!(
-        r.retranslations >= 1,
-        "after the unlink the dispatcher must miss and re-translate"
-    );
+    assert!(r.retranslations >= 1, "after the unlink the dispatcher must miss and re-translate");
 }
 
 /// Satellite: retranslation churn must not grow the host code buffer
@@ -275,9 +273,7 @@ fn watchdog_catches_spin_loop_under_all_schedulers() {
     b.asm.label("spin");
     b.asm.jmp_to("spin");
     let bin = b.finish().unwrap();
-    for policy in
-        [SchedPolicy::Deterministic, SchedPolicy::Random(11), SchedPolicy::Adversarial]
-    {
+    for policy in [SchedPolicy::Deterministic, SchedPolicy::Random(11), SchedPolicy::Adversarial] {
         let mut emu = Emulator::new(&bin, Setup::Risotto, 2, cost());
         emu.set_sched_policy(policy);
         emu.set_watchdog(5_000);

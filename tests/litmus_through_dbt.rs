@@ -20,14 +20,9 @@ use std::collections::BTreeSet;
 /// observed behavior.
 fn run_once(prog: &Program, setup: Setup, delays: &[u64]) -> Behavior {
     let compiled = compile_litmus(prog, delays);
-    let mut emu = Emulator::new(
-        &compiled.binary,
-        setup,
-        compiled.threads,
-        CostModel::thunderx2_like(),
-    );
-    emu.run(50_000_000)
-        .unwrap_or_else(|e| panic!("{} under {}: {e}", prog.name, setup.name()));
+    let mut emu =
+        Emulator::new(&compiled.binary, setup, compiled.threads, CostModel::thunderx2_like());
+    emu.run(50_000_000).unwrap_or_else(|e| panic!("{} under {}: {e}", prog.name, setup.name()));
     compiled.observe(emu.mem())
 }
 
@@ -65,8 +60,7 @@ fn sweep(prog: &Program, setup: Setup) -> BTreeSet<Behavior> {
 
 #[test]
 fn correct_setups_stay_within_x86_behaviors() {
-    for prog in [corpus::mp(), corpus::sb(), corpus::sb_fenced(), corpus::lb(), corpus::s_test()]
-    {
+    for prog in [corpus::mp(), corpus::sb(), corpus::sb_fenced(), corpus::lb(), corpus::s_test()] {
         for setup in [Setup::Qemu, Setup::TcgVer, Setup::Risotto, Setup::Native] {
             sweep(&prog, setup);
         }
@@ -88,15 +82,10 @@ fn rmw_litmus_through_the_dbt() {
 #[test]
 fn staggers_explore_interleavings() {
     let outcomes = sweep(&corpus::sb(), Setup::Risotto);
-    assert!(
-        outcomes.len() >= 2,
-        "expected several SB outcomes across staggers, got {outcomes:?}"
-    );
+    assert!(outcomes.len() >= 2, "expected several SB outcomes across staggers, got {outcomes:?}");
     // And the store-buffer machine can produce the TSO-weak one (a=b=0)
     // under a simultaneous start.
-    let weak = outcomes.iter().any(|b| {
-        b.reg(0, corpus::A) == 0 && b.reg(1, corpus::B) == 0
-    });
+    let weak = outcomes.iter().any(|b| b.reg(0, corpus::A) == 0 && b.reg(1, corpus::B) == 0);
     assert!(weak, "the store-buffering outcome should be observable operationally");
 }
 

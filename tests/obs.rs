@@ -16,8 +16,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use risotto::core::{
-    Emulator, MetricsRegistry, MetricsSnapshot, RingBufferSink, Setup, TraceEvent, TraceSink,
-    TraceStage,
+    Emulator, HotTbProfiler, MetricsRegistry, MetricsSnapshot, RingBufferSink, Setup, TraceEvent,
+    TraceSink, TraceStage,
 };
 use risotto::host::CostModel;
 use risotto::memmodel::FenceKind;
@@ -220,4 +220,42 @@ fn snapshot_json_round_trips() {
     // Malformed input reports a position instead of panicking.
     assert!(MetricsSnapshot::from_json("{\"version\": 1").is_err());
     assert!(MetricsSnapshot::from_json("not json").is_err());
+}
+
+#[test]
+fn hot_tb_profiler_default_is_empty_and_top_n_breaks_ties_by_pc() {
+    // `Default` and `new` agree and start empty.
+    let d = HotTbProfiler::default();
+    assert!(d.is_empty());
+    assert_eq!(d.len(), 0);
+    assert!(d.top_n(8).is_empty());
+    assert!(HotTbProfiler::new().is_empty());
+
+    // Regression: equal execution counts must order by guest pc, so the
+    // report is deterministic across HashMap iteration orders.
+    let mut p = HotTbProfiler::new();
+    p.record(3, 0x3000, 50, 0);
+    p.record(1, 0x1000, 50, 2);
+    p.record(4, 0x4000, 99, 1);
+    p.record(2, 0x2000, 50, 0);
+    let top = p.top_n(3);
+    assert_eq!(top.len(), 3);
+    assert_eq!(top[0].guest_pc, 0x4000, "hottest block first");
+    assert_eq!(
+        (top[1].guest_pc, top[2].guest_pc),
+        (0x1000, 0x2000),
+        "ties at 50 execs must order by ascending guest pc"
+    );
+    // The full report keeps the remaining tied block in pc order too.
+    let all = p.top_n(10);
+    assert_eq!(all.len(), 4);
+    assert_eq!(all[3].guest_pc, 0x3000);
+
+    // Re-recording accumulates instead of clobbering, and a real tb_id
+    // upgrades an interpreted-only (id 0) entry.
+    let mut q = HotTbProfiler::new();
+    q.record(0, 0x5000, 1, 1);
+    q.record(7, 0x5000, 2, 0);
+    let only = q.top_n(1)[0];
+    assert_eq!((only.tb_id, only.execs, only.chain_misses), (7, 3, 1));
 }

@@ -172,7 +172,12 @@ fn host_insn_roundtrips() {
             HostInsn::Ldr { dst: Xreg(r1), base: Xreg(r2), off: rel, order: MemOrder::Plain },
             HostInsn::Str { src: Xreg(r1), base: Xreg(r2), off: rel, order: MemOrder::AcqRel },
             HostInsn::LdrB { dst: Xreg(r1), base: Xreg(r2), off: rel },
-            HostInsn::Cas { cmp_old: Xreg(r1), new: Xreg(r2), addr: Xreg(r1), acq_rel: op % 2 == 0 },
+            HostInsn::Cas {
+                cmp_old: Xreg(r1),
+                new: Xreg(r2),
+                addr: Xreg(r1),
+                acq_rel: op % 2 == 0,
+            },
             HostInsn::Barrier(match op % 3 {
                 0 => Dmb::Ld,
                 1 => Dmb::St,
@@ -409,9 +414,8 @@ fn verified_mapping_never_introduces_behaviors() {
                         });
                         reg += 1;
                     }
-                    3 => instrs.push(risotto::litmus::Instr::Fence(
-                        risotto::memmodel::FenceKind::MFence,
-                    )),
+                    3 => instrs
+                        .push(risotto::litmus::Instr::Fence(risotto::memmodel::FenceKind::MFence)),
                     _ => {
                         instrs.push(risotto::litmus::Instr::Rmw {
                             dst: Some(Reg(reg)),

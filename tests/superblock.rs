@@ -1,0 +1,172 @@
+//! Acceptance tests for tier-2 superblock formation (the PR's tentpole).
+//!
+//! The contract: tiering is a pure performance tier. Across the full
+//! 16-kernel Fig. 12 suite — and under seeded fault-injection plans — a
+//! tier-2 run's architectural results (per-thread exit values, WRITE
+//! output) are bit-identical to tier-1. At least one fence-heavy kernel
+//! must show fence merges *across* former TB boundaries together with a
+//! simulated-cycle reduction, and every promotion must leave the chain
+//! graph clean (no chain word pointing at a freed translation).
+
+use risotto::core::{Emulator, FaultPlan, FaultSite, Setup, TierConfig};
+use risotto::guest::{GuestBinary, Interp};
+use risotto::host::CostModel;
+use risotto::workloads::kernels;
+
+const FUEL: u64 = 400_000_000;
+
+fn cost() -> CostModel {
+    CostModel::thunderx2_like()
+}
+
+/// A low threshold so the short CI-scale kernels get hot enough to
+/// promote; policy knobs otherwise at their defaults.
+fn tier_cfg() -> TierConfig {
+    TierConfig { hot_threshold: 16, ..TierConfig::default() }
+}
+
+/// Tier-2 across all 16 kernels: bit-identical results, real promotions,
+/// cross-boundary fence merges with a cycle win somewhere in the suite,
+/// and a clean chain graph after every run.
+#[test]
+fn tier2_matches_tier1_on_all_kernels() {
+    let mut total_promotions = 0u64;
+    let mut total_cross = 0u64;
+    let mut kernels_with_cycle_win = Vec::new();
+    for w in kernels::all() {
+        let bin = (w.build)(32, 2);
+
+        let mut tier1 = Emulator::new(&bin, Setup::Risotto, 2, cost());
+        let r1 = tier1.run(FUEL).unwrap_or_else(|e| panic!("{} (tier-1): {e}", w.name));
+
+        let mut tier2 = Emulator::new(&bin, Setup::Risotto, 2, cost());
+        tier2.set_tiering(Some(tier_cfg()));
+        let r2 = tier2.run(FUEL).unwrap_or_else(|e| panic!("{} (tier-2): {e}", w.name));
+
+        assert_eq!(
+            r2.exit_vals, r1.exit_vals,
+            "{}: exit values diverge between tier-2 and tier-1",
+            w.name
+        );
+        assert_eq!(r2.output, r1.output, "{}: guest output diverges under tiering", w.name);
+
+        // Tier-1 runs must never report superblock activity.
+        assert_eq!(r1.sb.promotions, 0, "{}: tier-1 run promoted", w.name);
+        assert_eq!(r1.sb.entries, 0, "{}: tier-1 run entered a superblock", w.name);
+
+        // No dangling chain words after promotion churn (PR 2's
+        // reverse-chain index audits every patched site).
+        let bad = tier2.validate_chains();
+        assert!(bad.is_empty(), "{}: dangling chain words after tiering: {bad:x?}", w.name);
+
+        if r2.sb.promotions > 0 {
+            assert!(r2.sb.entries > 0, "{}: promoted but never entered a superblock", w.name);
+            assert!(
+                r2.sb.tbs_merged >= 2 * r2.sb.promotions,
+                "{}: a superblock merged fewer than 2 TBs",
+                w.name
+            );
+        }
+        total_promotions += r2.sb.promotions;
+        total_cross += r2.sb.fences_merged_cross;
+        if r2.sb.fences_merged_cross > 0 && r2.cycles < r1.cycles {
+            kernels_with_cycle_win.push((w.name, r1.cycles, r2.cycles));
+        }
+    }
+    assert!(total_promotions > 0, "no kernel ever promoted a superblock");
+    assert!(total_cross > 0, "no fence merge ever crossed a TB boundary");
+    assert!(
+        !kernels_with_cycle_win.is_empty(),
+        "no kernel showed a cycle win from cross-TB fence merging"
+    );
+}
+
+/// Fault-free reference: the guest interpreter's checksum and output.
+fn reference(bin: &GuestBinary) -> (u64, Vec<u8>) {
+    let mut interp = Interp::new(bin);
+    interp.run(FUEL).expect("reference interpreter must complete");
+    (interp.exit_val(0), interp.output.clone())
+}
+
+/// Tiering composed with fault injection: promotion must not weaken the
+/// PR 1 robustness contract — every completing run still matches the
+/// fault-free reference, across translate/lower/TB-cache fault mixes
+/// (TB-cache strikes also demote superblock heads, exercising the
+/// re-promotion path).
+#[test]
+fn tier2_is_identical_under_fault_injection() {
+    let picks = ["histogram", "matrixmultiply", "vips"];
+    let workloads: Vec<_> =
+        kernels::all().into_iter().filter(|w| picks.contains(&w.name)).collect();
+    assert_eq!(workloads.len(), picks.len());
+
+    let mut completed = 0u32;
+    let mut tiered_completions_with_promotions = 0u32;
+    for w in &workloads {
+        let bin = (w.build)(16, 2);
+        let (ref_exit, ref_out) = reference(&bin);
+        for seed in 0..40u64 {
+            let plan = match seed % 3 {
+                0 => FaultPlan::seeded(seed).rate(FaultSite::Translate, 1500),
+                1 => FaultPlan::seeded(seed).rate(FaultSite::Lower, 1500),
+                _ => FaultPlan::seeded(seed).rate(FaultSite::TbCache, 2500),
+            };
+            let mut emu = Emulator::new(&bin, Setup::Risotto, 2, cost());
+            emu.set_fault_plan(plan);
+            emu.set_tiering(Some(tier_cfg()));
+            match emu.run(FUEL) {
+                Ok(report) => {
+                    assert_eq!(
+                        report.exit_vals[0],
+                        Some(ref_exit),
+                        "{} seed {seed}: checksum diverged under faults + tiering",
+                        w.name
+                    );
+                    assert_eq!(
+                        report.output, ref_out,
+                        "{} seed {seed}: output diverged under faults + tiering",
+                        w.name
+                    );
+                    let bad = emu.validate_chains();
+                    assert!(
+                        bad.is_empty(),
+                        "{} seed {seed}: dangling chains under faults + tiering: {bad:x?}",
+                        w.name
+                    );
+                    completed += 1;
+                    if report.sb.promotions > 0 {
+                        tiered_completions_with_promotions += 1;
+                    }
+                }
+                Err(e) => panic!("{} seed {seed}: typed error under tiering: {e}", w.name),
+            }
+        }
+    }
+    assert_eq!(completed, 120, "every faulted tiered run must complete");
+    assert!(
+        tiered_completions_with_promotions > 0,
+        "fault sweep never exercised an actual promotion"
+    );
+}
+
+/// Demotion and re-promotion: corrupting a superblock head's cache entry
+/// evicts it (tier-1 refill on the next miss), and the still-hot block is
+/// promoted again — the engine's fallback path for superblock corruption.
+#[test]
+fn superblock_corruption_demotes_then_repromotes() {
+    let w = kernels::all().into_iter().find(|w| w.name == "vips").unwrap();
+    let bin = (w.build)(64, 2);
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 2, cost());
+    // Background TB-cache strikes keep evicting translations — including
+    // promoted heads — while the low threshold keeps re-promoting.
+    emu.set_fault_plan(FaultPlan::seeded(7).rate(risotto::core::FaultSite::TbCache, 500));
+    emu.set_tiering(Some(tier_cfg()));
+    let report = emu.run(FUEL).expect("corrupted tiered run completes");
+
+    let mut reference = Emulator::new(&bin, Setup::Risotto, 2, cost());
+    let r1 = reference.run(FUEL).unwrap();
+    assert_eq!(report.exit_vals, r1.exit_vals);
+    assert_eq!(report.output, r1.output);
+    assert!(report.sb.promotions > 0, "never promoted under cache pressure");
+    assert!(emu.validate_chains().is_empty());
+}
