@@ -12,6 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 # hard errors in core/tcg/host-arm via #![deny(missing_docs)]).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# Verifier gate: the translation-validator suite (mutation tests over
+# the 16-kernel corpus + litmus at VerifyLevel::Full) in bounded smoke
+# mode. Any clean-corpus violation or surviving mutant fails CI.
+RISOTTO_VERIFY_SMOKE=1 cargo test -q --release --test verifier
+
 # End-to-end pipeline bench in smoke mode: runs the 16-kernel suite at a
 # CI-sized scale and emits BENCH_pipeline.json (per-kernel cycles +
 # TB-chain hit rate + registry snapshot + tier-2 superblock delta).
@@ -43,7 +48,11 @@ metrics_json="$(mktemp /tmp/fig12_metrics.XXXXXX.json)"
 cargo run -q --release -p risotto-bench --bin fig12_parsec_phoenix -- \
     --smoke --metrics-json "$metrics_json" > /dev/null
 if command -v jq > /dev/null 2>&1; then
-    jq -e '.version == 1 and (.workloads | length) == 16' "$metrics_json" > /dev/null
+    jq -e '.version == 1 and (.workloads | length) == 16
+           and ([.workloads[]
+                 | select(.metrics.metrics["verify.violations"].value == 0
+                          and .metrics.metrics["verify.checked"].value > 0)]
+                | length) == 16' "$metrics_json" > /dev/null
 else
     python3 - "$metrics_json" <<'EOF'
 import json, sys
@@ -52,6 +61,11 @@ assert doc["version"] == 1, doc["version"]
 assert len(doc["workloads"]) == 16, len(doc["workloads"])
 for w in doc["workloads"]:
     assert w["metrics"]["version"] == 1
+    m = w["metrics"]["metrics"]
+    # The harness runs at VerifyLevel::Install: every install must have
+    # been read back, with zero violations.
+    assert m["verify.violations"]["value"] == 0, w["name"]
+    assert m["verify.checked"]["value"] > 0, w["name"]
 EOF
 fi
 rm -f "$metrics_json"

@@ -6,14 +6,15 @@
 //! * `casal`   — Risotto's single-instruction translation (needs the
 //!   corrected Arm model of §3.3).
 
-use risotto_bench::{ops_per_sec, print_table, run};
+use risotto_bench::{ops_per_sec, print_table, run, BenchCli};
 use risotto_core::{Emulator, RmwStyle, Setup};
 use risotto_host_arm::CostModel;
 use risotto_workloads::cas::{cas_bench, FIG15_CONFIGS};
 
 fn main() {
+    let cli = BenchCli::parse("ablation_cas");
     println!("CAS-translation ablation (Mops/s; §6.3)\n");
-    let iters = 2000u64;
+    let iters = if cli.smoke { 200u64 } else { 2000u64 };
     let mut rows = Vec::new();
     for (threads, vars) in FIG15_CONFIGS {
         let bin = cas_bench(iters, threads, vars);

@@ -3,15 +3,16 @@
 //! notably the §6.1 fence-merging pass that the verified trailing/leading
 //! fence placement makes possible).
 
-use risotto_bench::print_table;
+use risotto_bench::{print_table, BenchCli};
 use risotto_core::{Emulator, Setup};
 use risotto_host_arm::CostModel;
 use risotto_tcg::PassConfig;
 use risotto_workloads::kernels;
 
 fn main() {
+    let cli = BenchCli::parse("ablation_passes");
     let threads = 2;
-    let scale = 1024;
+    let scale = if cli.smoke { 256 } else { 1024 };
     println!("Optimizer-pass ablation (tcg-ver, % slowdown when the pass is disabled)\n");
     let variants: [(&str, PassConfig); 5] = [
         ("all", PassConfig::all()),

@@ -6,13 +6,15 @@
 //! cargo run --release -p risotto-bench --bin dump_translation [setup]
 //! ```
 
+use risotto_bench::BenchCli;
 use risotto_core::Setup;
 use risotto_guest_x86::{disassemble, AluOp, Assembler, FpOp, Gpr};
 use risotto_host_arm::{lower_block, BackendConfig, RmwStyle};
 use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "risotto".into());
+    let cli = BenchCli::parse("dump_translation");
+    let which = cli.positional.first().cloned().unwrap_or_else(|| "risotto".into());
     let setups: Vec<Setup> = match which.as_str() {
         "all" => Setup::ALL.to_vec(),
         name => vec![*Setup::ALL.iter().find(|s| s.name() == name).unwrap_or_else(|| {

@@ -12,7 +12,7 @@
 //! snapshot + hot-TB profile of that faulted-but-recovered run (nonzero
 //! `translate.fallback_blocks` / `fault.injected`) land in the artifact.
 
-use risotto_bench::{print_table, MetricsEntry, HOT_TB_TOP_N};
+use risotto_bench::{print_table, BenchCli, MetricsEntry, HOT_TB_TOP_N};
 use risotto_core::{Emulator, FaultPlan, FaultSite, Setup};
 use risotto_guest_x86::Interp;
 use risotto_host_arm::CostModel;
@@ -40,21 +40,9 @@ fn plan_for(seed: u64) -> FaultPlan {
 }
 
 fn main() {
-    // The seed count is the first argument that is not an option, so the
-    // flags below can appear in any position.
-    let seeds: u64 = {
-        let mut args = std::env::args().skip(1);
-        let mut found = None;
-        while let Some(a) = args.next() {
-            if a == "--metrics-json" {
-                args.next(); // skip the flag's value
-            } else if !a.starts_with("--") && found.is_none() {
-                found = a.parse().ok();
-            }
-        }
-        found.unwrap_or(200)
-    };
-    let metrics_path = risotto_bench::metrics_json_arg();
+    let cli = BenchCli::parse("fault_sweep");
+    let seeds: u64 = cli.positional.first().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let metrics_path = cli.metrics_json;
     let mut metrics: Vec<MetricsEntry> = Vec::new();
     let setups = [Setup::Qemu, Setup::TcgVer, Setup::Risotto, Setup::Native];
     println!("Fault sweep: {seeds} seeded plans per workload, rotating setups\n");

@@ -12,13 +12,14 @@
 //! hot-TB profile per kernel, collected under the risotto setup and
 //! cross-checked against the legacy `Report` counters).
 
-use risotto_bench::{has_flag, metrics_json_arg, print_table, run, run_with_metrics, MetricsEntry};
+use risotto_bench::{print_table, run, run_with_metrics, BenchCli, MetricsEntry};
 use risotto_core::Setup;
 use risotto_workloads::kernels;
 
 fn main() {
-    let smoke = has_flag("--smoke");
-    let metrics_path = metrics_json_arg();
+    let cli = BenchCli::parse("fig12_parsec_phoenix");
+    let smoke = cli.smoke;
+    let metrics_path = cli.metrics_json;
     let threads = if smoke { 2 } else { 4 };
     println!("Figure 12 — PARSEC & Phoenix run time relative to QEMU ({threads} threads)");
     println!("(columns are % of qemu's runtime; lower is better)\n");

@@ -6,16 +6,15 @@
 //! (one registry snapshot + hot-TB profile per workload, risotto setup);
 //! `--smoke` shrinks buffers/iterations to a CI-sized configuration.
 
-use risotto_bench::{
-    has_flag, metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
-};
+use risotto_bench::{ops_per_sec, print_table, run, run_risotto_collecting, speedup, BenchCli};
 use risotto_core::Setup;
 use risotto_workloads::libbench::{digest_bench, rsa_bench, sqlite_bench, DigestAlgo};
 
 fn main() {
     println!("Figure 13 — OpenSSL & sqlite speedup over QEMU (higher is better)\n");
-    let smoke = has_flag("--smoke");
-    let metrics_path = metrics_json_arg();
+    let cli = BenchCli::parse("fig13_openssl_sqlite");
+    let smoke = cli.smoke;
+    let metrics_path = cli.metrics_json;
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let mut rows = Vec::new();
 

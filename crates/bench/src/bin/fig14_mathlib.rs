@@ -4,18 +4,17 @@
 //! risotto trails native here. `--smoke` shrinks the iteration count to
 //! a CI-sized configuration.
 
-use risotto_bench::{
-    has_flag, metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting, speedup,
-};
+use risotto_bench::{ops_per_sec, print_table, run, run_risotto_collecting, speedup, BenchCli};
 use risotto_core::Setup;
 use risotto_nativelib::mathfn::MathFn;
 use risotto_workloads::libbench::math_bench;
 
 fn main() {
     println!("Figure 14 — math library speedup over QEMU (higher is better)\n");
-    let metrics_path = metrics_json_arg();
+    let cli = BenchCli::parse("fig14_mathlib");
+    let metrics_path = cli.metrics_json;
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
-    let iters = if has_flag("--smoke") { 8 } else { 60 };
+    let iters = if cli.smoke { 8 } else { 60 };
     let mut rows = Vec::new();
     for f in MathFn::ALL {
         let x = match f {

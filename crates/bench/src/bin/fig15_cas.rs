@@ -3,17 +3,16 @@
 //! (§6.3) vs native execution. `--smoke` shrinks the per-thread CAS
 //! count to a CI-sized configuration.
 
-use risotto_bench::{
-    has_flag, metrics_json_arg, ops_per_sec, print_table, run, run_risotto_collecting,
-};
+use risotto_bench::{ops_per_sec, print_table, run, run_risotto_collecting, BenchCli};
 use risotto_core::Setup;
 use risotto_workloads::cas::{cas_bench, FIG15_CONFIGS};
 
 fn main() {
     println!("Figure 15 — CAS throughput (Mops/s) by (threads-vars) configuration\n");
-    let metrics_path = metrics_json_arg();
+    let cli = BenchCli::parse("fig15_cas");
+    let metrics_path = cli.metrics_json;
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
-    let iters = if has_flag("--smoke") { 200u64 } else { 2000u64 };
+    let iters = if cli.smoke { 200u64 } else { 2000u64 };
     let mut rows = Vec::new();
     for (threads, vars) in FIG15_CONFIGS {
         let bin = cas_bench(iters, threads, vars);

@@ -7,7 +7,7 @@
 //! mapping under the original Arm model) fail exactly where the paper
 //! says they do.
 
-use risotto_bench::print_table;
+use risotto_bench::{print_table, BenchCli};
 use risotto_litmus::corpus;
 use risotto_mappings::check::verify_suite;
 use risotto_mappings::gen::{generate_two_thread, x86_alphabet};
@@ -15,6 +15,8 @@ use risotto_mappings::scheme::*;
 use risotto_memmodel::{Arm, TcgIr, X86Tso};
 
 fn main() {
+    // No binary-specific flags; parsing still rejects unknown ones.
+    let _ = BenchCli::parse("verify_mappings");
     let x86 = X86Tso::new();
     let tcg = TcgIr::new();
     let arm = Arm::corrected();

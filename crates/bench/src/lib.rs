@@ -9,7 +9,7 @@
 #![warn(missing_debug_implementations)]
 
 use risotto_core::obs::{HotTb, MetricsSnapshot};
-use risotto_core::{Emulator, HostLibrary, Idl, Report, Setup};
+use risotto_core::{Emulator, HostLibrary, Idl, Report, Setup, VerifyLevel};
 use risotto_guest_x86::GuestBinary;
 use risotto_host_arm::CostModel;
 
@@ -27,6 +27,10 @@ pub const HOT_TB_TOP_N: usize = 10;
 /// Panics on any emulation error — benchmarks must run clean.
 pub fn run(bin: &GuestBinary, setup: Setup, cores: usize, link: bool) -> Report {
     let mut emu = Emulator::new(bin, setup, cores, CostModel::thunderx2_like());
+    // Install-time read-back is free (no simulated cycles), so every
+    // benchmark run keeps it on: `verify.violations` must be zero in
+    // any artifact the harness produces.
+    emu.set_verify(VerifyLevel::Install);
     if link {
         let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
         for lib in [
@@ -59,6 +63,7 @@ pub fn run_with_metrics(
     link: bool,
 ) -> (Report, MetricsSnapshot, Vec<HotTb>) {
     let mut emu = Emulator::new(bin, setup, cores, CostModel::thunderx2_like());
+    emu.set_verify(VerifyLevel::Install);
     emu.set_stage_timing(true);
     emu.set_profiling(true);
     if link {
@@ -141,24 +146,54 @@ pub struct MetricsEntry {
     pub hot_tbs: Vec<HotTb>,
 }
 
-/// Parses `--metrics-json <path>` (or `--metrics-json=<path>`) from the
-/// process arguments; `None` when absent.
-pub fn metrics_json_arg() -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--metrics-json" {
-            return args.next();
-        }
-        if let Some(p) = a.strip_prefix("--metrics-json=") {
-            return Some(p.to_owned());
-        }
-    }
-    None
+/// The common command line every `risotto-bench` binary accepts: the
+/// shared flags (`--smoke`, `--metrics-json <path>` /
+/// `--metrics-json=<path>`) plus whatever positional arguments the
+/// binary itself defines. Unknown `--flags` are rejected uniformly.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct BenchCli {
+    /// `--smoke` was passed (bounded quick mode).
+    pub smoke: bool,
+    /// Path from `--metrics-json`, when requested.
+    pub metrics_json: Option<String>,
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
 }
 
-/// `true` when `flag` (e.g. `--smoke`) appears in the process arguments.
-pub fn has_flag(flag: &str) -> bool {
-    std::env::args().skip(1).any(|a| a == flag)
+impl BenchCli {
+    /// Parses the process arguments; prints an error naming `tool` and
+    /// exits with status 2 on an unknown flag or a missing flag value.
+    pub fn parse(tool: &str) -> BenchCli {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{tool}: {msg}");
+                eprintln!("{tool}: supported flags: --smoke, --metrics-json <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag parsing behind [`BenchCli::parse`], separated for testing.
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<BenchCli, String> {
+        let mut cli = BenchCli::default();
+        let mut args = args;
+        while let Some(a) = args.next() {
+            if a == "--smoke" {
+                cli.smoke = true;
+            } else if a == "--metrics-json" {
+                cli.metrics_json =
+                    Some(args.next().ok_or("--metrics-json requires a path".to_owned())?);
+            } else if let Some(p) = a.strip_prefix("--metrics-json=") {
+                cli.metrics_json = Some(p.to_owned());
+            } else if a.starts_with("--") {
+                return Err(format!("unknown flag `{a}`"));
+            } else {
+                cli.positional.push(a);
+            }
+        }
+        Ok(cli)
+    }
 }
 
 /// Writes the versioned metrics artifact shared by every `fig*` binary
@@ -239,4 +274,31 @@ pub fn pct(part: u64, whole: u64) -> String {
 /// Formats a speedup.
 pub fn speedup(base: u64, new: u64) -> String {
     format!("{:.2}x", base as f64 / new as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BenchCli;
+
+    fn parse(args: &[&str]) -> Result<BenchCli, String> {
+        BenchCli::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn shared_flags_and_positionals_parse_in_any_order() {
+        let cli = parse(&["120", "--smoke", "--metrics-json", "out.json", "extra"]).unwrap();
+        assert!(cli.smoke);
+        assert_eq!(cli.metrics_json.as_deref(), Some("out.json"));
+        assert_eq!(cli.positional, vec!["120", "extra"]);
+        let cli = parse(&["--metrics-json=m.json"]).unwrap();
+        assert_eq!(cli.metrics_json.as_deref(), Some("m.json"));
+        assert_eq!(parse(&[]).unwrap(), BenchCli::default());
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_rejected() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--smokey"]).is_err());
+        assert!(parse(&["--metrics-json"]).is_err());
+    }
 }

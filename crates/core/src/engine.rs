@@ -31,13 +31,15 @@ use risotto_guest_x86::{
     TEXT_BASE,
 };
 use risotto_host_arm::{
-    lower_block, BackendConfig, ChainStats, CoreStats, CostModel, Event, HostFaultKind, HostInsn,
-    Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+    check_encoding, lower_block, BackendConfig, ChainStats, CoreStats, CostModel, Event,
+    HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg,
+    ENV_BASE, SPILL_BASE,
 };
 use risotto_memmodel::FenceKind;
 use risotto_tcg::{
-    env, optimize_with, superblock, translate_block, FrontendConfig, OptPolicy, OptStats,
-    PassConfig, TbExit, TcgBlock, TcgOp, TranslateError,
+    env, optimize_with, superblock, translate_block, verify as tcg_verify, FrontendConfig,
+    OptPolicy, OptStats, PassConfig, TbExit, TcgBlock, TcgOp, TranslateError, VerifyError,
+    VerifyPass,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -53,6 +55,9 @@ const SPILL_STRIDE: u64 = 0x10000;
 /// How many times a failing block is re-offered to the translator before
 /// it is permanently interpreted.
 const QUARANTINE_RETRY_LIMIT: u32 = 3;
+/// Upper bound on tracked quarantined pcs; beyond it the
+/// least-recently-touched entry is evicted (see [`Quarantine`]).
+const QUARANTINE_CAPACITY: usize = 1024;
 /// Cycle cost charged per interpreted guest instruction (interpretation
 /// is roughly an order of magnitude slower than translated code).
 const INTERP_CYCLES_PER_INSN: u64 = 12;
@@ -494,9 +499,111 @@ enum TbFault {
     Frontend,
     /// The backend failed to lower the block.
     Backend,
+    /// The translation verifier rejected the produced translation (IR
+    /// lint, fence-obligation check, or encoding read-back) and the
+    /// block was discarded before it could be dispatched.
+    Verify,
     /// The pc exhausted its re-translation retries and is permanently
     /// interpreted.
     Quarantined,
+}
+
+/// How much of the static translation validator runs (docs/VERIFIER.md).
+///
+/// The validator is a pure observer: no level changes cycle counts,
+/// output, or exit values of a run whose translations all verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyLevel {
+    /// No verification: the pipeline is trusted.
+    Off,
+    /// Install-time read-back only: every installed code region is read
+    /// back from the code cache and compared against the canonical
+    /// encoding of the lowered instructions *before* the translation
+    /// becomes dispatchable. Catches cache corruption, never executes
+    /// damaged code.
+    Install,
+    /// Full static validation on top of [`VerifyLevel::Install`]: the
+    /// IR lint, the fence-obligation translation validation against the
+    /// unoptimized reference block, and the host decode-back encoding
+    /// check run on every translated block and superblock.
+    Full,
+}
+
+impl Default for VerifyLevel {
+    /// [`VerifyLevel::Full`] under `debug_assertions`, otherwise
+    /// [`VerifyLevel::Off`].
+    fn default() -> Self {
+        if cfg!(debug_assertions) {
+            VerifyLevel::Full
+        } else {
+            VerifyLevel::Off
+        }
+    }
+}
+
+/// Bounded fallback bookkeeping: guest pc → failed translation attempts,
+/// with least-recently-touched eviction at [`QUARANTINE_CAPACITY`] so a
+/// guest sweeping an unbounded set of failing pcs cannot grow the map
+/// without limit. Eviction may forget a pc's retry count; the evicted
+/// block simply earns a fresh (still bounded) retry budget, which is
+/// safe — quarantine only ever trades translation attempts for
+/// interpreter time, never correctness.
+#[derive(Debug, Default)]
+struct Quarantine {
+    /// pc → (failed attempts, last-touch stamp).
+    map: HashMap<u64, (u32, u64)>,
+    /// Monotonic touch stamp; unique per touch, so LRU victims are
+    /// deterministic even over `HashMap` iteration.
+    stamp: u64,
+}
+
+impl Quarantine {
+    /// Failed attempts recorded for `pc` (0 if untracked); refreshes
+    /// the entry's LRU stamp.
+    fn attempts(&mut self, pc: u64) -> u32 {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.map.get_mut(&pc) {
+            Some(e) => {
+                e.1 = stamp;
+                e.0
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether `pc` is currently quarantined (no LRU refresh).
+    fn contains(&self, pc: u64) -> bool {
+        self.map.contains_key(&pc)
+    }
+
+    /// Records one more failed attempt for `pc`, evicting the
+    /// least-recently-touched entry if the map is full.
+    fn note_failure(&mut self, pc: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(e) = self.map.get_mut(&pc) {
+            e.0 += 1;
+            e.1 = stamp;
+            return;
+        }
+        if self.map.len() >= QUARANTINE_CAPACITY {
+            if let Some(victim) = self.map.iter().min_by_key(|(_, &(_, s))| s).map(|(&pc, _)| pc) {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(pc, (1, stamp));
+    }
+
+    /// Clears `pc` (a successful translation ends its quarantine).
+    fn clear(&mut self, pc: u64) {
+        self.map.remove(&pc);
+    }
+
+    /// Number of tracked pcs (always ≤ [`QUARANTINE_CAPACITY`]).
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// What the core should do after a serviced syscall.
@@ -525,8 +632,9 @@ pub struct Emulator {
     passes: PassConfig,
     rmw_style: RmwStyle,
     plan: FaultPlan,
-    /// Guest pc → failed translation attempts (fallback bookkeeping).
-    quarantine: HashMap<u64, u32>,
+    /// Bounded guest pc → failed-translation-attempt map (fallback
+    /// bookkeeping, satellite of the translation verifier).
+    quarantine: Quarantine,
     /// Guest pcs that have ever had a successful translation installed.
     ever_translated: HashSet<u64>,
     fallback_blocks: usize,
@@ -565,6 +673,21 @@ pub struct Emulator {
     tbcache_hits: u64,
     /// Injected faults encountered (translate / lower / syscall).
     faults_injected: u64,
+    /// Active translation-verifier level (docs/VERIFIER.md).
+    verify: VerifyLevel,
+    /// Verification checks executed (each level-applicable check on a
+    /// TB or superblock counts once; a Full-level TB counts twice —
+    /// translate-time static passes plus install-time read-back).
+    verify_checked: u64,
+    /// IR-lint violations (pass 1).
+    verify_ir: u64,
+    /// Fence-obligation violations (pass 2).
+    verify_fence: u64,
+    /// Encoding / read-back violations (pass 3 and install checks).
+    verify_encoding: u64,
+    /// Code installs so far (ordinal for
+    /// [`FaultPlan::corrupt_install_at`]).
+    installs_done: u64,
 }
 
 impl Emulator {
@@ -586,7 +709,7 @@ impl Emulator {
             passes: PassConfig::all(),
             rmw_style: RmwStyle::Casal,
             plan: FaultPlan::default(),
-            quarantine: HashMap::new(),
+            quarantine: Quarantine::default(),
             ever_translated: HashSet::new(),
             fallback_blocks: 0,
             retranslations: 0,
@@ -605,6 +728,12 @@ impl Emulator {
             resume_profile: HashMap::new(),
             tbcache_hits: 0,
             faults_injected: 0,
+            verify: VerifyLevel::default(),
+            verify_checked: 0,
+            verify_ir: 0,
+            verify_fence: 0,
+            verify_encoding: 0,
+            installs_done: 0,
         }
     }
 
@@ -625,6 +754,26 @@ impl Emulator {
     /// [`Emulator::link_library`] for host-call faults to apply.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.plan = plan;
+    }
+
+    /// Selects the translation-verifier level (see [`VerifyLevel`];
+    /// defaults to [`VerifyLevel::Full`] in debug builds,
+    /// [`VerifyLevel::Off`] in release builds). Verification is purely
+    /// observational on clean translations: cycles, output and exit
+    /// values are bit-identical across levels.
+    pub fn set_verify(&mut self, level: VerifyLevel) {
+        self.verify = level;
+    }
+
+    /// The active translation-verifier level.
+    pub fn verify_level(&self) -> VerifyLevel {
+        self.verify
+    }
+
+    /// Number of guest pcs currently quarantined (bounded by the
+    /// engine's fixed quarantine capacity).
+    pub fn quarantined_pcs(&self) -> usize {
+        self.quarantine.len()
     }
 
     /// Selects the host scheduling policy (see [`SchedPolicy`]).
@@ -897,10 +1046,166 @@ impl Emulator {
         w
     }
 
+    /// Fires a planned install-time corruption ([`FaultPlan::corrupt_install_at`])
+    /// against the freshly installed region at `host`, if one is due.
+    fn maybe_corrupt_install(&mut self, host: u64) {
+        let nth = self.installs_done;
+        self.installs_done += 1;
+        if !self.plan.take_install_corruption(nth) {
+            return;
+        }
+        let len = self.machine.code_bytes(host).map_or(0, <[u8]>::len);
+        if len > 0 {
+            let off = self.plan.pick(len);
+            if self.machine.corrupt_code_byte(host, off) {
+                self.faults_injected += 1;
+            }
+        }
+    }
+
+    /// Install-time read-back check: the bytes resident in the code
+    /// cache at `host` must be exactly the canonical encoding of the
+    /// instructions that were installed.
+    fn check_install_bytes(
+        &self,
+        guest_pc: u64,
+        host: u64,
+        code: &[HostInsn],
+    ) -> Result<(), VerifyError> {
+        let mut expect = Vec::new();
+        for i in code {
+            i.encode(&mut expect);
+        }
+        let got = self.machine.code_bytes(host).unwrap_or(&[]);
+        if got != expect.as_slice() {
+            let off = expect
+                .iter()
+                .zip(got)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| expect.len().min(got.len()));
+            return Err(VerifyError {
+                pass: VerifyPass::Encoding,
+                guest_pc,
+                op_index: None,
+                obligation: format!(
+                    "installed bytes differ from canonical encoding at code offset {off}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Counts a verifier violation into the per-pass counters and emits
+    /// a fault trace event.
+    fn record_verify_violation(&mut self, core: Option<usize>, e: &VerifyError) {
+        match e.pass {
+            VerifyPass::IrLint => self.verify_ir += 1,
+            VerifyPass::FenceObligations => self.verify_fence += 1,
+            VerifyPass::Encoding => self.verify_encoding += 1,
+        }
+        if self.obs.tracing {
+            let tb_id = self.tb_ids.get(&e.guest_pc).copied();
+            self.obs.emit(TraceStage::Fault, core, Some(e.guest_pc), tb_id, None, e.to_string());
+        }
+    }
+
+    /// The translate-time static validation of [`VerifyLevel::Full`]:
+    /// IR lint, fence-obligation check of `optimized` against the
+    /// unoptimized `reference`, and the host decode-back encoding check
+    /// of `code`'s canonical bytes. On violation the counters/trace are
+    /// updated and the block is rejected into the quarantine path.
+    fn verify_translation(
+        &mut self,
+        core: Option<usize>,
+        reference: &TcgBlock,
+        optimized: &TcgBlock,
+        code: &[HostInsn],
+        in_superblock: bool,
+    ) -> Result<(), TbFault> {
+        self.verify_checked += 1;
+        let mut backend = self.setup.backend();
+        if self.setup != Setup::Native {
+            backend.rmw = self.rmw_style;
+        }
+        let result = tcg_verify::lint(optimized, in_superblock)
+            .and_then(|()| {
+                tcg_verify::check_obligations(
+                    reference,
+                    optimized,
+                    self.setup.frontend().fences,
+                    self.setup.opt_policy(),
+                )
+            })
+            .and_then(|()| {
+                let mut bytes = Vec::new();
+                for i in code {
+                    i.encode(&mut bytes);
+                }
+                check_encoding(optimized, code, &bytes, backend)
+            });
+        result.map_err(|e| {
+            self.record_verify_violation(core, &e);
+            TbFault::Verify
+        })
+    }
+
+    /// Full-level superblock structural check: the relink list the
+    /// machine will evict on install must be exactly the head plus the
+    /// stitched `TbBoundary` seams, so no unrelated tier-1 translation
+    /// is unmapped.
+    fn check_superblock_relinks(sb: &TcgBlock, pcs: &[u64]) -> Result<(), VerifyError> {
+        let err = |obligation: String| VerifyError {
+            pass: VerifyPass::Encoding,
+            guest_pc: sb.guest_pc,
+            op_index: None,
+            obligation,
+        };
+        if pcs.first() != Some(&sb.guest_pc) {
+            return Err(err(format!(
+                "superblock head {:#x} is not the first relink target",
+                sb.guest_pc
+            )));
+        }
+        let seams: HashSet<u64> = sb
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                TcgOp::TbBoundary { pc } => Some(*pc),
+                _ => None,
+            })
+            .collect();
+        for &pc in &pcs[1..] {
+            if !seams.contains(&pc) {
+                return Err(err(format!(
+                    "relink target {pc:#x} has no TbBoundary seam in the stitched region"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Installs host code for `guest_pc` and updates the cache counters.
-    fn install(&mut self, core: Option<usize>, guest_pc: u64, code: &[HostInsn]) -> u64 {
+    /// At any level above [`VerifyLevel::Off`] the installed bytes are
+    /// read back and checked *before* the translation is mapped; a
+    /// mismatch discards the region and quarantines the pc, so corrupt
+    /// code is never dispatchable.
+    fn install(
+        &mut self,
+        core: Option<usize>,
+        guest_pc: u64,
+        code: &[HostInsn],
+    ) -> Result<u64, TbFault> {
         let t0 = self.obs.timing.then(Instant::now);
         let host = self.machine.install_code(code);
+        self.maybe_corrupt_install(host);
+        if self.verify != VerifyLevel::Off {
+            self.verify_checked += 1;
+            if let Err(e) = self.check_install_bytes(guest_pc, host, code) {
+                self.record_verify_violation(core, &e);
+                self.machine.discard_region(host);
+                return Err(TbFault::Verify);
+            }
+        }
         self.machine.map_tb(guest_pc, host);
         self.tb_count += 1;
         let tb_id = *self.tb_ids.entry(guest_pc).or_insert(self.tb_count as u64);
@@ -921,7 +1226,7 @@ impl Emulator {
                 format!("{} host insns", code.len()),
             );
         }
-        host
+        Ok(host)
     }
 
     /// Frontend-only translation for tier-2 trace formation.
@@ -985,7 +1290,7 @@ impl Emulator {
             if parts.len() >= cfg.max_tbs
                 || !visited.insert(pc)
                 || self.plt_natives.contains_key(&pc)
-                || self.quarantine.contains_key(&pc)
+                || self.quarantine.contains(pc)
             {
                 break;
             }
@@ -1015,7 +1320,7 @@ impl Emulator {
         if self.machine.lookup_tb(guest_pc).is_none()
             || self.machine.is_sb_head(guest_pc)
             || self.plt_natives.contains_key(&guest_pc)
-            || self.quarantine.contains_key(&guest_pc)
+            || self.quarantine.contains(guest_pc)
         {
             self.sb_stats.declined += 1;
             return;
@@ -1048,6 +1353,9 @@ impl Emulator {
                 return;
             }
         };
+        // The unoptimized stitched region is the fence-obligation
+        // reference the Full-level verifier validates against.
+        let reference = (self.verify == VerifyLevel::Full).then(|| sb.clone());
         let t1 = self.obs.timing.then(Instant::now);
         let stats = superblock::optimize_region(&mut sb, self.setup.opt_policy(), self.passes);
         self.sb_opt += stats;
@@ -1070,9 +1378,34 @@ impl Emulator {
         if let Some(ns) = encode_ns {
             self.obs.registry.observe("sb.stage.encode_ns", ns);
         }
+        if self.verify == VerifyLevel::Full {
+            if let Err(e) = Self::check_superblock_relinks(&sb, &pcs) {
+                self.record_verify_violation(Some(core), &e);
+                self.sb_stats.failures += 1;
+                return;
+            }
+        }
+        if let Some(reference) = reference.as_ref() {
+            if self.verify_translation(Some(core), reference, &sb, &code, true).is_err() {
+                self.sb_stats.failures += 1;
+                return;
+            }
+        }
         let shape = superblock::shape_of(&sb);
         let head_pc = sb.guest_pc;
-        self.machine.install_superblock(head_pc, &code, &pcs);
+        let host = self.machine.install_superblock(head_pc, &code, &pcs);
+        self.maybe_corrupt_install(host);
+        if self.verify != VerifyLevel::Off {
+            self.verify_checked += 1;
+            if let Err(e) = self.check_install_bytes(head_pc, host, &code) {
+                self.record_verify_violation(Some(core), &e);
+                // Evict the damaged superblock; the head and subsumed
+                // pcs refill as fresh tier-1 translations on miss.
+                self.machine.unmap_tb(head_pc);
+                self.sb_stats.failures += 1;
+                return;
+            }
+        }
         self.sb_stats.promotions += 1;
         self.sb_stats.tbs_merged += shape.tbs as u64;
         self.sb_stats.side_exits += shape.side_exits as u64;
@@ -1141,6 +1474,9 @@ impl Emulator {
                 format!("{} ops", block.ops.len()),
             );
         }
+        // The unoptimized block is the fence-obligation reference the
+        // Full-level verifier validates the optimized result against.
+        let reference = (self.verify == VerifyLevel::Full).then(|| block.clone());
         let t1 = self.obs.timing.then(Instant::now);
         let stats = optimize_with(&mut block, self.setup.opt_policy(), self.passes);
         self.opt_totals += stats;
@@ -1185,21 +1521,22 @@ impl Emulator {
                 format!("{} host insns", code.len()),
             );
         }
+        if let Some(reference) = reference.as_ref() {
+            self.verify_translation(core, reference, &block, &code, false)?;
+        }
         Ok(code)
     }
 
     /// Ensures a translation exists for `guest_pc`; returns its host pc,
-    /// or the (recoverable) reason none could be produced.
+    /// or the (recoverable) reason none could be produced. Verifier
+    /// rejections take the same quarantine path as pipeline failures:
+    /// bounded re-translation, interpreter fallback in between.
     fn ensure_translated(&mut self, core: Option<usize>, guest_pc: u64) -> Result<u64, TbFault> {
         if let Some(host) = self.machine.lookup_tb(guest_pc) {
             self.tbcache_hits += 1;
             return Ok(host);
         }
-        if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
-            let code = self.build_native_thunk(func, nargs);
-            return Ok(self.install(core, guest_pc, &code));
-        }
-        let prior = self.quarantine.get(&guest_pc).copied().unwrap_or(0);
+        let prior = self.quarantine.attempts(guest_pc);
         if prior > QUARANTINE_RETRY_LIMIT {
             return Err(TbFault::Quarantined);
         }
@@ -1207,21 +1544,28 @@ impl Emulator {
             // A bounded re-translate retry of a previously failing block.
             self.retranslations += 1;
         }
-        match self.try_translate(core, guest_pc) {
-            Ok(code) => {
-                self.quarantine.remove(&guest_pc);
-                Ok(self.install(core, guest_pc, &code))
+        let produced = if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
+            let code = self.build_native_thunk(func, nargs);
+            self.install(core, guest_pc, &code)
+        } else {
+            self.try_translate(core, guest_pc).and_then(|code| self.install(core, guest_pc, &code))
+        };
+        match produced {
+            Ok(host) => {
+                self.quarantine.clear(guest_pc);
+                Ok(host)
             }
             Err(fault) => {
                 if prior == 0 {
                     self.fallback_blocks += 1;
                 }
-                self.quarantine.insert(guest_pc, prior + 1);
+                self.quarantine.note_failure(guest_pc);
                 if self.obs.tracing {
                     let what = match fault {
                         TbFault::Injected => "injected fault",
                         TbFault::Frontend => "frontend decode failure",
                         TbFault::Backend => "backend lowering failure",
+                        TbFault::Verify => "translation verification failure",
                         TbFault::Quarantined => "quarantined",
                     };
                     self.obs.emit(
@@ -1562,8 +1906,14 @@ impl Emulator {
                 self.write_guest_reg(core, Gpr::RAX, a3);
             }
             syscalls::SPAWN => {
-                let child =
-                    self.machine.idle_core().ok_or(EmuError::TooManyThreads { core, pc: next })?;
+                // Pick the child by the engine-side started flag, not
+                // `Machine::idle_core`: a core whose entry block fell back
+                // to the interpreter is busy without ever having been
+                // `start_core`'d, and the machine alone would hand it out
+                // again (a spawn could then stomp the spawning core).
+                let child = (0..self.machine.n_cores())
+                    .find(|&c| !self.core_started[c])
+                    .ok_or(EmuError::TooManyThreads { core, pc: next })?;
                 self.init_core(child, Some(a2));
                 self.resume_at(child, a1)?;
                 // The child begins *now*, not at machine time zero — it
@@ -1815,6 +2165,12 @@ impl Emulator {
         r.set_counter("sb.tbs_merged", self.sb_stats.tbs_merged);
         r.set_counter("sb.side_exits", self.sb_stats.side_exits);
         r.set_counter("sb.fences_merged_cross", self.sb_opt.fences_merged_cross as u64);
+        let violations = self.verify_ir + self.verify_fence + self.verify_encoding;
+        r.set_counter("verify.checked", self.verify_checked);
+        r.set_counter("verify.violations", violations);
+        r.set_counter("verify.ir_violations", self.verify_ir);
+        r.set_counter("verify.fence_violations", self.verify_fence);
+        r.set_counter("verify.encoding_violations", self.verify_encoding);
         r.set_gauge("exec.cycles", self.machine.clock());
         r.set_gauge("exec.cores", self.machine.n_cores() as u64);
         r.set_gauge("tbcache.resident", self.machine.mapped_tbs().len() as u64);
@@ -1841,5 +2197,56 @@ impl Emulator {
             let tb_id = self.tb_ids.get(&pc).copied().unwrap_or(0);
             self.obs.profiler.record(tb_id, pc, execs, misses);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_counts_clears_and_bounds() {
+        let mut q = Quarantine::default();
+        assert_eq!(q.attempts(0x1000), 0);
+        q.note_failure(0x1000);
+        q.note_failure(0x1000);
+        assert_eq!(q.attempts(0x1000), 2);
+        assert!(q.contains(0x1000));
+        q.clear(0x1000);
+        assert!(!q.contains(0x1000));
+        assert_eq!(q.attempts(0x1000), 0);
+    }
+
+    #[test]
+    fn quarantine_capacity_is_enforced_with_lru_eviction() {
+        let mut q = Quarantine::default();
+        for pc in 0..QUARANTINE_CAPACITY as u64 {
+            q.note_failure(pc);
+        }
+        assert_eq!(q.len(), QUARANTINE_CAPACITY);
+        // Touch pc 0 so it is no longer the LRU victim.
+        assert_eq!(q.attempts(0), 1);
+        q.note_failure(0xDEAD_0000);
+        assert_eq!(q.len(), QUARANTINE_CAPACITY, "insertion beyond capacity must evict");
+        assert!(q.contains(0xDEAD_0000));
+        assert!(q.contains(0), "recently touched entry must survive eviction");
+        assert!(!q.contains(1), "least-recently-touched entry is the victim");
+        // A sweep of fresh failing pcs can never grow the map.
+        for pc in 0..10 * QUARANTINE_CAPACITY as u64 {
+            q.note_failure(0x4000_0000 + pc);
+            assert!(q.len() <= QUARANTINE_CAPACITY);
+        }
+    }
+
+    #[test]
+    fn quarantine_retry_counts_survive_unrelated_churn() {
+        let mut q = Quarantine::default();
+        q.note_failure(0x42);
+        q.note_failure(0x42);
+        q.note_failure(0x42);
+        for pc in 0..(QUARANTINE_CAPACITY / 2) as u64 {
+            q.note_failure(0x9000_0000 + pc);
+        }
+        assert_eq!(q.attempts(0x42), 3, "below capacity, counts are exact");
     }
 }

@@ -85,6 +85,7 @@ pub struct FaultPlan {
     corrupt_pcs: BTreeSet<u64>,
     host_calls: BTreeSet<String>,
     syscall_nths: BTreeSet<u64>,
+    install_nths: BTreeSet<u64>,
 }
 
 impl FaultPlan {
@@ -135,6 +136,18 @@ impl FaultPlan {
         self
     }
 
+    /// Flip one byte of the `nth` code install (0-based, counted across
+    /// the run, superblocks included) immediately after the bytes land
+    /// in the code cache. The damage is only *detected* when the
+    /// verifier's install-time read-back check is enabled
+    /// ([`VerifyLevel::Install`](crate::VerifyLevel) or stronger), so
+    /// this knob is never part of the background-rate sweeps.
+    #[must_use]
+    pub fn corrupt_install_at(mut self, nth: u64) -> Self {
+        self.install_nths.insert(nth);
+        self
+    }
+
     /// Sets the background failure probability of `site` to
     /// `per_64k` / 65536 per decision.
     #[must_use]
@@ -176,6 +189,12 @@ impl FaultPlan {
         self.corrupt_pcs.remove(&pc)
     }
 
+    /// Takes (and consumes) the planned install-time corruption for the
+    /// `nth` install, if any.
+    pub fn take_install_corruption(&mut self, nth: u64) -> bool {
+        self.install_nths.remove(&nth)
+    }
+
     /// Guest pcs with a pending explicit corruption.
     pub fn pending_corruptions(&self) -> Vec<u64> {
         self.corrupt_pcs.iter().copied().collect()
@@ -210,6 +229,7 @@ impl FaultPlan {
             && self.corrupt_pcs.is_empty()
             && self.host_calls.is_empty()
             && self.syscall_nths.is_empty()
+            && self.install_nths.is_empty()
     }
 }
 

@@ -42,7 +42,7 @@ pub mod obs;
 
 pub use engine::{
     CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, SbStats, Setup,
-    TierConfig, ENV_REGION, SPILL_REGION,
+    TierConfig, VerifyLevel, ENV_REGION, SPILL_REGION,
 };
 pub use faults::{FaultPlan, FaultSite};
 pub use idl::{Idl, IdlError, IdlFunc, IdlType};
@@ -51,3 +51,4 @@ pub use obs::{
     RingBufferSink, TraceEvent, TraceSink, TraceStage,
 };
 pub use risotto_host_arm::{RmwStyle, SchedPolicy};
+pub use risotto_tcg::{VerifyError, VerifyPass};

@@ -188,6 +188,11 @@ impl MetricsRegistry {
             spec("sb.tbs_merged", Counter, "blocks", "Tier-1 blocks merged into superblocks (sum of trace lengths)"),
             spec("sb.side_exits", Counter, "guards", "SideExit guards emitted across installed superblocks"),
             spec("sb.fences_merged_cross", Counter, "fences", "Fence merges that crossed a former TB boundary"),
+            spec("verify.checked", Counter, "checks", "Translation-verifier checks executed (static passes and install read-backs)"),
+            spec("verify.violations", Counter, "violations", "Translations rejected by the verifier (sum of the per-pass counters)"),
+            spec("verify.ir_violations", Counter, "violations", "IR-lint (pass 1) rejections"),
+            spec("verify.fence_violations", Counter, "violations", "Fence-obligation (pass 2) rejections"),
+            spec("verify.encoding_violations", Counter, "violations", "Encoding / install read-back (pass 3) rejections"),
             spec("exec.cycles", Gauge, "cycles", "Simulated parallel runtime (max core clock)"),
             spec("exec.cores", Gauge, "cores", "Cores configured for the run"),
             spec("tbcache.resident", Gauge, "blocks", "TB mappings resident at snapshot time"),

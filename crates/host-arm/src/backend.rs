@@ -339,7 +339,7 @@ impl Alloc {
 // Lowering.
 // ---------------------------------------------------------------------
 
-fn helper_index(h: Helper) -> u8 {
+pub(crate) fn helper_index(h: Helper) -> u8 {
     match h {
         Helper::CmpxchgSc => 0,
         Helper::XaddSc => 1,
@@ -353,7 +353,7 @@ fn helper_index(h: Helper) -> u8 {
     }
 }
 
-fn fp_op_of(h: Helper) -> Option<AFpOp> {
+pub(crate) fn fp_op_of(h: Helper) -> Option<AFpOp> {
     Some(match h {
         Helper::FpAdd => AFpOp::Add,
         Helper::FpSub => AFpOp::Sub,

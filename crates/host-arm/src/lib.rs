@@ -33,6 +33,7 @@ mod backend;
 mod cost;
 mod insn;
 mod machine;
+mod verify;
 
 pub use backend::{
     lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE,
@@ -45,3 +46,4 @@ pub use machine::{
     CacheStats, ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult,
     SchedPolicy, TbProf, CODE_BASE,
 };
+pub use verify::check_encoding;

@@ -643,6 +643,42 @@ impl Machine {
         self.tb_map.keys().copied().collect()
     }
 
+    /// The encoded bytes of the install region starting at `host_start`
+    /// (as returned by [`Machine::install_code`]), or `None` if no such
+    /// region exists. Used by the install-time encoding verifier to
+    /// read back what actually landed in the code cache.
+    pub fn code_bytes(&self, host_start: u64) -> Option<&[u8]> {
+        let len = *self.regions.get(&host_start)?;
+        let off = host_start.checked_sub(CODE_BASE)? as usize;
+        self.code.get(off..off + len)
+    }
+
+    /// Releases an install region that was never mapped (or already
+    /// unmapped) — the install-time verifier's rejection path, so a
+    /// quarantined translation doesn't leak code-cache space.
+    pub fn discard_region(&mut self, host_start: u64) {
+        self.free_region(host_start);
+    }
+
+    /// Flips one byte (xor `0xff`) inside the install region at
+    /// `host_start`, returning `true` if the offset was in bounds.
+    /// This is the fault-injection hook modelling code-cache corruption
+    /// *at install time* (bit flips between encoding and mapping);
+    /// `VerifyLevel::Install` must catch it before dispatch.
+    pub fn corrupt_code_byte(&mut self, host_start: u64, offset: usize) -> bool {
+        let Some(&len) = self.regions.get(&host_start) else {
+            return false;
+        };
+        if offset >= len {
+            return false;
+        }
+        let off = (host_start - CODE_BASE) as usize + offset;
+        self.code[off] ^= 0xff;
+        let end = host_start + len as u64;
+        self.decode_cache.retain(|&pc, _| pc < host_start || pc >= end);
+        true
+    }
+
     /// Registers a native host function; returns its index for
     /// [`HostInsn::NativeCall`].
     pub fn register_native(&mut self, f: NativeFn) -> u16 {

@@ -1,0 +1,368 @@
+//! Pass 3 of the translation validator: the host-encoding checker.
+//!
+//! After the backend lowers a verified TCG block and the engine encodes
+//! it, [`check_encoding`] decodes the Arm bytes back (via
+//! [`HostInsn::decode`]) and proves three things:
+//!
+//! 1. **byte fidelity** — the bytes are exactly the canonical encoding
+//!    of the lowered instructions, and they decode back to the same
+//!    instruction sequence (any corrupted byte either changes a decoded
+//!    field, changes the framing, or fails to decode);
+//! 2. **ordering placement** — the interleaving of `DMB` barriers,
+//!    `casal`/`ldaddal`/exclusive-pair atomics, helper calls and guest
+//!    loads/stores in the decoded stream matches what the verified IR
+//!    demands under the given [`BackendConfig`] (env and spill traffic
+//!    through [`ENV_BASE`]/[`SPILL_BASE`] is host-private and ignored);
+//! 3. **exit integrity** — every direct-jump exit carries a zeroed
+//!    chain word at [`JUMP_CHAIN_OFFSET`] and the set of exit targets
+//!    (side exits plus block exits) matches the IR.
+//!
+//! Violations are reported as [`VerifyError`]s with
+//! [`VerifyPass::Encoding`], feeding the engine's quarantine path.
+
+use crate::backend::{fp_op_of, helper_index, BackendConfig, RmwStyle, ENV_BASE, SPILL_BASE};
+use crate::insn::{Dmb, HostInsn, MemOrder, TbExitKind};
+use risotto_memmodel::FenceKind;
+use risotto_tcg::{TbExit, TcgBlock, TcgOp, VerifyError, VerifyPass};
+
+/// An ordering-relevant point in a host instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Point {
+    /// A `DMB` barrier.
+    Dmb(Dmb),
+    /// A guest memory access (`order` is [`MemOrder::Plain`] for the
+    /// byte-sized `LdrB`/`StrB`).
+    Access { load: bool, byte: bool, order: MemOrder },
+    /// `CAS`/`CASAL`.
+    Cas { acq_rel: bool },
+    /// `LDADDAL`.
+    Ldadd,
+    /// `LDXR` (with its acquire flag).
+    ExclLoad { acquire: bool },
+    /// `STXR` (with its release flag).
+    ExclStore { release: bool },
+    /// A runtime helper call (QEMU-style out-of-line memory op).
+    Helper(u8),
+}
+
+impl Point {
+    fn name(self) -> String {
+        match self {
+            Point::Dmb(d) => format!("dmb {d:?}"),
+            Point::Access { load: true, byte, .. } => {
+                format!("{}load", if byte { "byte " } else { "" })
+            }
+            Point::Access { load: false, byte, .. } => {
+                format!("{}store", if byte { "byte " } else { "" })
+            }
+            Point::Cas { acq_rel: true } => "casal".into(),
+            Point::Cas { acq_rel: false } => "cas".into(),
+            Point::Ldadd => "ldaddal".into(),
+            Point::ExclLoad { .. } => "ldxr".into(),
+            Point::ExclStore { .. } => "stxr".into(),
+            Point::Helper(h) => format!("hcall {h}"),
+        }
+    }
+}
+
+fn err(block: &TcgBlock, op_index: Option<usize>, obligation: String) -> VerifyError {
+    VerifyError { pass: VerifyPass::Encoding, guest_pc: block.guest_pc, op_index, obligation }
+}
+
+/// The ordering points the backend must have emitted for one IR op.
+fn expected_points(op: &TcgOp, cfg: BackendConfig, out: &mut Vec<Point>) {
+    let plain = MemOrder::Plain;
+    match op {
+        TcgOp::Ld { .. } => out.push(Point::Access { load: true, byte: false, order: plain }),
+        TcgOp::Ld8 { .. } => out.push(Point::Access { load: true, byte: true, order: plain }),
+        TcgOp::St { .. } => out.push(Point::Access { load: false, byte: false, order: plain }),
+        TcgOp::St8 { .. } => out.push(Point::Access { load: false, byte: true, order: plain }),
+        TcgOp::Fence(k) => {
+            if let Some(dmb) = k.arm_dmb() {
+                out.push(Point::Dmb(match dmb {
+                    FenceKind::DmbLd => Dmb::Ld,
+                    FenceKind::DmbSt => Dmb::St,
+                    _ => Dmb::Ff,
+                }));
+            }
+        }
+        TcgOp::Cas { .. } => match cfg.rmw {
+            RmwStyle::Casal => out.push(Point::Cas { acq_rel: true }),
+            RmwStyle::Rmw2Fenced => out.extend([
+                Point::Dmb(Dmb::Ff),
+                Point::ExclLoad { acquire: false },
+                Point::ExclStore { release: false },
+                Point::Dmb(Dmb::Ff),
+            ]),
+        },
+        TcgOp::AtomicAdd { .. } => match cfg.rmw {
+            RmwStyle::Casal => out.push(Point::Ldadd),
+            RmwStyle::Rmw2Fenced => out.extend([
+                Point::Dmb(Dmb::Ff),
+                Point::ExclLoad { acquire: false },
+                Point::ExclStore { release: false },
+                Point::Dmb(Dmb::Ff),
+            ]),
+        },
+        // Hardware-FP float helpers lower to an in-line `Fp` insn (or
+        // nothing without a result); everything else is an out-of-line
+        // `Hcall`.
+        TcgOp::CallHelper { helper, .. } if !(cfg.hardware_fp && fp_op_of(*helper).is_some()) => {
+            out.push(Point::Helper(helper_index(*helper)));
+        }
+        _ => {}
+    }
+}
+
+/// The ordering points actually present in a decoded host stream.
+/// `None` for host-private instructions (ALU, env/spill traffic,
+/// branches, moves).
+fn actual_point(insn: &HostInsn) -> Option<Point> {
+    match insn {
+        HostInsn::Barrier(d) => Some(Point::Dmb(*d)),
+        HostInsn::Ldr { base, order, .. } if *base != ENV_BASE && *base != SPILL_BASE => {
+            Some(Point::Access { load: true, byte: false, order: *order })
+        }
+        HostInsn::Str { base, order, .. } if *base != ENV_BASE && *base != SPILL_BASE => {
+            Some(Point::Access { load: false, byte: false, order: *order })
+        }
+        HostInsn::LdrB { base, .. } if *base != ENV_BASE && *base != SPILL_BASE => {
+            Some(Point::Access { load: true, byte: true, order: MemOrder::Plain })
+        }
+        HostInsn::StrB { base, .. } if *base != ENV_BASE && *base != SPILL_BASE => {
+            Some(Point::Access { load: false, byte: true, order: MemOrder::Plain })
+        }
+        HostInsn::Cas { acq_rel, .. } => Some(Point::Cas { acq_rel: *acq_rel }),
+        HostInsn::LdaddAl { .. } => Some(Point::Ldadd),
+        HostInsn::Ldxr { acquire, .. } => Some(Point::ExclLoad { acquire: *acquire }),
+        HostInsn::Stxr { release, .. } => Some(Point::ExclStore { release: *release }),
+        HostInsn::Hcall { helper } => Some(Point::Helper(*helper)),
+        _ => None,
+    }
+}
+
+/// Pass 3: verifies `bytes` against the lowered instructions `insns`
+/// and the verified IR `block` they were lowered from.
+///
+/// See the module docs for the three properties checked. `insns` must
+/// be the direct output of `lower_block(block, cfg)`; `bytes` the
+/// (possibly corrupted) encoding under test — freshly encoded at
+/// translation time, read back from the code cache at install time.
+pub fn check_encoding(
+    block: &TcgBlock,
+    insns: &[HostInsn],
+    bytes: &[u8],
+    cfg: BackendConfig,
+) -> Result<(), VerifyError> {
+    // 1. Byte fidelity: canonical re-encoding matches...
+    let mut expect = Vec::with_capacity(bytes.len());
+    for i in insns {
+        i.encode(&mut expect);
+    }
+    if expect != bytes {
+        let at = expect.iter().zip(bytes).position(|(a, b)| a != b);
+        return Err(err(
+            block,
+            None,
+            match at {
+                Some(o) => format!(
+                    "encoded bytes differ from canonical encoding at offset {o} (expected {:#04x}, found {:#04x})",
+                    expect[o], bytes[o]
+                ),
+                None => format!(
+                    "encoded length {} differs from canonical encoding length {}",
+                    bytes.len(),
+                    expect.len()
+                ),
+            },
+        ));
+    }
+    // ...and the bytes decode back to the same instruction stream.
+    let mut decoded: Vec<HostInsn> = Vec::with_capacity(insns.len());
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let (insn, len) = HostInsn::decode(&bytes[off..]).map_err(|e| {
+            err(block, None, format!("decode-back failed at byte offset {off}: {e}"))
+        })?;
+        decoded.push(insn);
+        off += len;
+    }
+    if decoded != insns {
+        return Err(err(
+            block,
+            None,
+            "decoded instruction stream differs from the lowered instructions".into(),
+        ));
+    }
+
+    // 2. Ordering placement: barrier/atomic/access interleaving matches
+    // the IR.
+    let mut expected = Vec::new();
+    for op in &block.ops {
+        expected_points(op, cfg, &mut expected);
+    }
+    let actual: Vec<Point> = decoded.iter().filter_map(actual_point).collect();
+    if expected != actual {
+        let at = expected
+            .iter()
+            .zip(&actual)
+            .position(|(e, a)| e != a)
+            .unwrap_or_else(|| expected.len().min(actual.len()));
+        let have = actual.get(at).map(|p| p.name()).unwrap_or_else(|| "nothing".into());
+        let want = expected.get(at).map(|p| p.name()).unwrap_or_else(|| "nothing".into());
+        return Err(err(
+            block,
+            None,
+            format!(
+                "host ordering point {at} mismatches the IR: expected {want}, encoded stream has {have}"
+            ),
+        ));
+    }
+
+    // 3. Exit integrity: chain words are zeroed, exit targets match.
+    let mut expected_jumps: Vec<u64> = block
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            TcgOp::SideExit { target, .. } => Some(*target),
+            _ => None,
+        })
+        .collect();
+    match &block.exit {
+        TbExit::Jump(pc) => expected_jumps.push(*pc),
+        TbExit::CondJump { taken, fallthrough, .. } => {
+            expected_jumps.push(*fallthrough);
+            expected_jumps.push(*taken);
+        }
+        _ => {}
+    }
+    let mut actual_jumps: Vec<u64> = Vec::new();
+    for insn in &decoded {
+        if let HostInsn::ExitTb(TbExitKind::Jump { guest_pc, chain }) = insn {
+            if *chain != 0 {
+                return Err(err(
+                    block,
+                    None,
+                    format!(
+                        "direct-jump exit to {guest_pc:#x} installed with a non-zero chain word"
+                    ),
+                ));
+            }
+            actual_jumps.push(*guest_pc);
+        }
+    }
+    expected_jumps.sort_unstable();
+    actual_jumps.sort_unstable();
+    if expected_jumps != actual_jumps {
+        return Err(err(
+            block,
+            None,
+            format!(
+                "direct-jump exit targets {actual_jumps:x?} do not match the IR's {expected_jumps:x?}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::lower_block;
+    use risotto_guest_x86::{Assembler, Gpr};
+    use risotto_tcg::{optimize, FrontendConfig, OptPolicy};
+
+    fn pipeline(cfg: FrontendConfig, be: BackendConfig) -> (TcgBlock, Vec<HostInsn>, Vec<u8>) {
+        let mut a = Assembler::new(0x1000);
+        a.load(Gpr::RAX, Gpr::RDI, 0);
+        a.store(Gpr::RSI, 0, Gpr::RAX);
+        a.hlt();
+        let (bytes, _) = a.finish().unwrap();
+        let fetch = move |addr: u64| {
+            let mut w = [0u8; 16];
+            let off = (addr - 0x1000) as usize;
+            for (i, b) in w.iter_mut().enumerate() {
+                *b = bytes.get(off + i).copied().unwrap_or(0);
+            }
+            w
+        };
+        let mut block = risotto_tcg::translate_block(0x1000, cfg, fetch).unwrap();
+        optimize(&mut block, OptPolicy::Verified);
+        let insns = lower_block(&block, be).unwrap();
+        let mut enc = Vec::new();
+        for i in &insns {
+            i.encode(&mut enc);
+        }
+        (block, insns, enc)
+    }
+
+    #[test]
+    fn clean_encoding_verifies() {
+        for be in [BackendConfig::dbt(RmwStyle::Casal), BackendConfig::dbt(RmwStyle::Rmw2Fenced)] {
+            let (block, insns, enc) = pipeline(FrontendConfig::risotto(), be);
+            check_encoding(&block, &insns, &enc, be).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_is_flagged() {
+        let be = BackendConfig::dbt(RmwStyle::Casal);
+        let (block, insns, enc) = pipeline(FrontendConfig::risotto(), be);
+        for off in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[off] ^= 0xff;
+            assert!(
+                check_encoding(&block, &insns, &bad, be).is_err(),
+                "corruption at byte {off} not flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_barrier_is_flagged() {
+        let be = BackendConfig::dbt(RmwStyle::Casal);
+        let (block, mut insns, _) = pipeline(FrontendConfig::risotto(), be);
+        let at = insns.iter().position(|i| matches!(i, HostInsn::Barrier(_))).unwrap();
+        insns.remove(at);
+        let mut enc = Vec::new();
+        for i in &insns {
+            i.encode(&mut enc);
+        }
+        let e = check_encoding(&block, &insns, &enc, be).unwrap_err();
+        assert_eq!(e.pass, VerifyPass::Encoding);
+    }
+
+    #[test]
+    fn weakened_barrier_is_flagged() {
+        let be = BackendConfig::dbt(RmwStyle::Casal);
+        let (block, mut insns, _) = pipeline(FrontendConfig::risotto(), be);
+        let at = insns.iter().position(|i| matches!(i, HostInsn::Barrier(Dmb::Ff))).unwrap();
+        insns[at] = HostInsn::Barrier(Dmb::St);
+        let mut enc = Vec::new();
+        for i in &insns {
+            i.encode(&mut enc);
+        }
+        assert!(check_encoding(&block, &insns, &enc, be).is_err());
+    }
+
+    #[test]
+    fn nonzero_chain_word_is_flagged() {
+        let be = BackendConfig::dbt(RmwStyle::Casal);
+        let (block, mut insns, _) = pipeline(FrontendConfig::risotto(), be);
+        let at = insns
+            .iter()
+            .position(|i| matches!(i, HostInsn::ExitTb(TbExitKind::Jump { .. })))
+            .unwrap_or_else(|| {
+                insns.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: 0, chain: 0 }));
+                insns.len() - 1
+            });
+        if let HostInsn::ExitTb(TbExitKind::Jump { chain, .. }) = &mut insns[at] {
+            *chain = 0xdead;
+        }
+        let mut enc = Vec::new();
+        for i in &insns {
+            i.encode(&mut enc);
+        }
+        assert!(check_encoding(&block, &insns, &enc, be).is_err());
+    }
+}

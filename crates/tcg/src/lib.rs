@@ -45,6 +45,7 @@ mod frontend;
 mod ir;
 mod opt;
 pub mod superblock;
+pub mod verify;
 
 pub use eval::{eval_block, EvalExit};
 pub use frontend::{
@@ -55,3 +56,4 @@ pub use opt::{
     constant_fold, dce, elim_may_cross, merge_fences, merge_fences_counted, merge_fences_region,
     optimize, optimize_with, ElimKind, OptPolicy, OptStats, PassConfig,
 };
+pub use verify::{VerifyError, VerifyPass};

@@ -1,0 +1,742 @@
+//! Per-TB translation validation (static analysis over emitted IR).
+//!
+//! Risotto's mapping schemes and optimizer side conditions are verified
+//! offline (`mappings::check`, `tests/opt_soundness.rs`), but a bug in
+//! the *implementation* of a pass — like the PR-2 WAW side-condition
+//! regression — only surfaces if some corpus test happens to exercise
+//! it. Following the translation-validation approach (Metere et al.,
+//! "Sound Transpilation from Binary to Machine-Independent Code"), this
+//! module checks every block the pipeline actually emits, at
+//! translation time:
+//!
+//! * [`lint`] — **Pass 1**, IR well-formedness: temps are defined
+//!   before use and in range, env register indices resolve, fences are
+//!   TCG fences, and the superblock marker ops ([`TcgOp::TbBoundary`],
+//!   [`TcgOp::SideExit`]) appear only inside superblocks. ("No ops
+//!   after a terminal exit" holds structurally: [`TcgBlock`] carries a
+//!   single [`TbExit`] after the op list, so there is nothing to
+//!   check.)
+//! * [`check_obligations`] — **Pass 2**, the fence-obligation checker:
+//!   given the frontend's *reference* IR and the optimized IR, it
+//!   recomputes every guest memory event's ordering obligation under
+//!   the configured [`FencePlacement`] and statically proves the
+//!   optimized block still discharges all of them after fence merging,
+//!   WAW store elimination and cross-TB superblock merging. The
+//!   discharge predicate is [`FenceKind::tcg_at_least`] over
+//!   [`FenceKind::tcg_join`] — the same ordering primitives the
+//!   `mappings` scheme/check layer is built on (`tests/verifier.rs`
+//!   cross-validates the two on the litmus corpus).
+//!
+//! Pass 3 (the host-encoding checker) lives in `risotto-host-arm`
+//! because it decodes Arm bytes; it reports through the same
+//! [`VerifyError`] type.
+//!
+//! The checker is *complete* for the current pass pipeline (zero false
+//! positives): no pass drops or weakens a fence, and merging replaces
+//! two fences in an access-free region with their join, so the
+//! fence-join between any two surviving accesses is invariant. It is
+//! *sound* for the targeted bug classes: a dropped, reordered or
+//! downgraded fence weakens some inter-access join, an unsoundly
+//! eliminated store (or any eliminated atomic) fails the elimination
+//! side conditions, and both are reported as [`VerifyError`]s.
+
+use crate::frontend::FencePlacement;
+use crate::ir::{env, TbExit, TcgBlock, TcgOp, Temp};
+use crate::opt::{elim_may_cross, ElimKind, OptPolicy};
+use risotto_memmodel::FenceKind;
+use std::collections::HashMap;
+
+/// Which verifier pass rejected the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyPass {
+    /// Pass 1: IR well-formedness lint.
+    IrLint,
+    /// Pass 2: fence-obligation / translation-validation check.
+    FenceObligations,
+    /// Pass 3: host-encoding decode-back check (reported by
+    /// `risotto-host-arm`).
+    Encoding,
+}
+
+impl VerifyPass {
+    /// Short name used in diagnostics and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyPass::IrLint => "ir-lint",
+            VerifyPass::FenceObligations => "fence-obligations",
+            VerifyPass::Encoding => "encoding",
+        }
+    }
+}
+
+/// A structured verifier diagnostic.
+///
+/// The engine attaches the TB id and routes the block into the
+/// quarantine/re-translate fault path instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Which pass rejected the block.
+    pub pass: VerifyPass,
+    /// Guest pc of the rejected block (superblock head for tier-2).
+    pub guest_pc: u64,
+    /// Index of the offending op in the block the violation was found
+    /// in (the optimized block unless the message says otherwise), when
+    /// attributable to a single op.
+    pub op_index: Option<usize>,
+    /// Human-readable statement of the violated obligation.
+    pub obligation: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verify[{}] at {:#x}", self.pass.name(), self.guest_pc)?;
+        if let Some(i) = self.op_index {
+            write!(f, " op {i}")?;
+        }
+        write!(f, ": {}", self.obligation)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+// ---------------------------------------------------------------------
+// Pass 1: IR lint.
+// ---------------------------------------------------------------------
+
+/// Pass 1: checks IR well-formedness. `in_superblock` admits the
+/// stitcher's marker ops; tier-1 blocks must not contain them.
+pub fn lint(block: &TcgBlock, in_superblock: bool) -> Result<(), VerifyError> {
+    let err = |op_index: Option<usize>, obligation: String| VerifyError {
+        pass: VerifyPass::IrLint,
+        guest_pc: block.guest_pc,
+        op_index,
+        obligation,
+    };
+    let n = block.n_temps;
+    let mut defined = vec![false; n as usize];
+    for (i, op) in block.ops.iter().enumerate() {
+        for Temp(u) in op.uses() {
+            if u >= n {
+                return Err(err(Some(i), format!("use of out-of-range temp t{u} (n_temps {n})")));
+            }
+            if !defined[u as usize] {
+                return Err(err(Some(i), format!("use of t{u} before definition")));
+            }
+        }
+        if let Some(Temp(d)) = op.def() {
+            if d >= n {
+                return Err(err(Some(i), format!("def of out-of-range temp t{d} (n_temps {n})")));
+            }
+            defined[d as usize] = true;
+        }
+        match op {
+            TcgOp::Fence(k) if !k.is_tcg() => {
+                return Err(err(Some(i), format!("non-TCG fence {k:?} in IR")));
+            }
+            TcgOp::GetReg { reg, .. } | TcgOp::SetReg { reg, .. }
+                if *reg as usize >= env::COUNT =>
+            {
+                return Err(err(Some(i), format!("env register {reg} out of range")));
+            }
+            TcgOp::SideExit { .. } | TcgOp::TbBoundary { .. } if !in_superblock => {
+                return Err(err(Some(i), "superblock marker op in a tier-1 block".into()));
+            }
+            _ => {}
+        }
+    }
+    let exit_temp = match &block.exit {
+        TbExit::JumpReg(t) => Some(*t),
+        TbExit::CondJump { flag, .. } => Some(*flag),
+        _ => None,
+    };
+    if let Some(Temp(u)) = exit_temp {
+        if u >= n {
+            return Err(err(None, format!("exit uses out-of-range temp t{u} (n_temps {n})")));
+        }
+        if !defined[u as usize] {
+            return Err(err(None, format!("exit uses t{u} before definition")));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: fence obligations (translation validation).
+// ---------------------------------------------------------------------
+
+/// Shape of a guest memory event, for matching reference against
+/// optimized IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Ld,
+    Ld8,
+    St,
+    St8,
+    Cas,
+    AtomicAdd,
+    Helper(crate::ir::Helper),
+}
+
+impl Shape {
+    fn name(self) -> &'static str {
+        match self {
+            Shape::Ld => "load",
+            Shape::Ld8 => "byte load",
+            Shape::St => "store",
+            Shape::St8 => "byte store",
+            Shape::Cas => "cas",
+            Shape::AtomicAdd => "atomic add",
+            Shape::Helper(_) => "helper call",
+        }
+    }
+}
+
+/// One memory event of a block.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    shape: Shape,
+    /// Index in `block.ops`.
+    op_index: usize,
+    /// Defining temp (loads / RMWs / helpers-with-result); stores have
+    /// none and are matched positionally.
+    def: Option<Temp>,
+}
+
+/// The fence-relevant contents of the gap *before* event `i` (or after
+/// the last event, for the final gap).
+#[derive(Debug, Clone, Default)]
+struct Gap {
+    fences: Vec<FenceKind>,
+    side_exit: bool,
+}
+
+impl Gap {
+    fn join(&self) -> Option<FenceKind> {
+        self.fences.iter().copied().reduce(FenceKind::tcg_join)
+    }
+}
+
+/// Splits a block into its memory-event sequence and the `events + 1`
+/// fence gaps around them.
+fn extract(block: &TcgBlock) -> (Vec<Ev>, Vec<Gap>) {
+    let mut events = Vec::new();
+    let mut gaps = vec![Gap::default()];
+    for (i, op) in block.ops.iter().enumerate() {
+        let shape = match op {
+            TcgOp::Ld { .. } => Some(Shape::Ld),
+            TcgOp::Ld8 { .. } => Some(Shape::Ld8),
+            TcgOp::St { .. } => Some(Shape::St),
+            TcgOp::St8 { .. } => Some(Shape::St8),
+            TcgOp::Cas { .. } => Some(Shape::Cas),
+            TcgOp::AtomicAdd { .. } => Some(Shape::AtomicAdd),
+            TcgOp::CallHelper { helper, .. } => Some(Shape::Helper(*helper)),
+            _ => None,
+        };
+        if let Some(shape) = shape {
+            events.push(Ev { shape, op_index: i, def: op.def() });
+            gaps.push(Gap::default());
+            continue;
+        }
+        let gap = gaps.last_mut().expect("at least one gap");
+        match op {
+            TcgOp::Fence(k) => gap.fences.push(*k),
+            TcgOp::SideExit { .. } => gap.side_exit = true,
+            _ => {}
+        }
+    }
+    (events, gaps)
+}
+
+/// Joins every fence in the gap range `lo..=hi`.
+fn join_gaps(gaps: &[Gap], lo: usize, hi: usize) -> Option<FenceKind> {
+    gaps[lo..=hi].iter().flat_map(|g| g.fences.iter().copied()).reduce(FenceKind::tcg_join)
+}
+
+/// `true` when the ordering provided by `have` covers the requirement
+/// `need` (`None` = no fence).
+fn at_least(have: Option<FenceKind>, need: Option<FenceKind>) -> bool {
+    match (have, need) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some(h), Some(n)) => h.tcg_at_least(n),
+    }
+}
+
+fn fence_name(f: Option<FenceKind>) -> String {
+    match f {
+        None => "none".into(),
+        Some(k) => k.tcg_name().map(str::to_owned).unwrap_or_else(|| format!("{k:?}")),
+    }
+}
+
+/// The per-event obligations of a mapping scheme: the minimum fence
+/// join required before/after each event shape.
+fn scheme_obligation(
+    placement: FencePlacement,
+    shape: Shape,
+) -> (Option<FenceKind>, Option<FenceKind>) {
+    match (placement, shape) {
+        (FencePlacement::VerifiedTrailing, Shape::Ld | Shape::Ld8) => (None, Some(FenceKind::Frm)),
+        (FencePlacement::VerifiedTrailing, Shape::St | Shape::St8) => (Some(FenceKind::Fww), None),
+        (FencePlacement::QemuLeading, Shape::Ld | Shape::Ld8) => (Some(FenceKind::Frr), None),
+        (FencePlacement::QemuLeading, Shape::St | Shape::St8) => (Some(FenceKind::Fmw), None),
+        // RMWs and helper calls carry SC semantics in the op itself;
+        // FencePlacement::None is the (incorrect) fence-free oracle.
+        _ => (None, None),
+    }
+}
+
+/// Checks that every event of `block` discharges its scheme obligation
+/// from the fences in its adjacent gaps.
+fn check_scheme(
+    block: &TcgBlock,
+    events: &[Ev],
+    gaps: &[Gap],
+    placement: FencePlacement,
+) -> Result<(), VerifyError> {
+    for (i, ev) in events.iter().enumerate() {
+        let (before, after) = scheme_obligation(placement, ev.shape);
+        if !at_least(gaps[i].join(), before) {
+            return Err(VerifyError {
+                pass: VerifyPass::FenceObligations,
+                guest_pc: block.guest_pc,
+                op_index: Some(ev.op_index),
+                obligation: format!(
+                    "{} requires a leading fence >= {} but the preceding gap provides {}",
+                    ev.shape.name(),
+                    fence_name(before),
+                    fence_name(gaps[i].join()),
+                ),
+            });
+        }
+        if !at_least(gaps[i + 1].join(), after) {
+            return Err(VerifyError {
+                pass: VerifyPass::FenceObligations,
+                guest_pc: block.guest_pc,
+                op_index: Some(ev.op_index),
+                obligation: format!(
+                    "{} requires a trailing fence >= {} but the following gap provides {}",
+                    ev.shape.name(),
+                    fence_name(after),
+                    fence_name(gaps[i + 1].join()),
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `true` when deleting a store may cross fence `f` under `policy`
+/// (mirrors the optimizer's `elim_allowed`).
+fn waw_may_cross(f: FenceKind, policy: OptPolicy) -> bool {
+    match policy {
+        OptPolicy::QemuUnsound => f.is_tcg(),
+        OptPolicy::Verified => elim_may_cross(ElimKind::Waw, f),
+    }
+}
+
+/// Pass 2: proves the optimized block still discharges every ordering
+/// obligation of the reference (pre-optimization) block.
+///
+/// `reference` is the frontend's output for the same guest region —
+/// the raw translation for a tier-1 block, the stitched (pre-
+/// `optimize_region`) IR for a superblock. The proof has four parts:
+///
+/// 1. every optimized memory event matches a reference event of the
+///    same shape, in order (loads and RMWs by their SSA result temp,
+///    stores right-aligned — WAW removes the *earlier* store);
+/// 2. every reference event missing from the optimized block was
+///    legally eliminable: plain (byte) loads always (irrelevant-read /
+///    forwarding elimination), a plain store only when a later store
+///    overwrites it with only loads in between, no side exit, and
+///    every crossed fence admitted by the policy's WAW side condition;
+///    atomics, helper calls and byte stores never;
+/// 3. between any two surviving events (and the block edges) the
+///    optimized fence join is at least the reference fence join — a
+///    dropped, reordered or downgraded fence fails here;
+/// 4. each block independently satisfies the per-event scheme
+///    obligations of `placement` (e.g. `ld; >=Frm` / `>=Fww; st` for
+///    [`FencePlacement::VerifiedTrailing`]).
+pub fn check_obligations(
+    reference: &TcgBlock,
+    optimized: &TcgBlock,
+    placement: FencePlacement,
+    policy: OptPolicy,
+) -> Result<(), VerifyError> {
+    let err = |op_index: Option<usize>, obligation: String| VerifyError {
+        pass: VerifyPass::FenceObligations,
+        guest_pc: optimized.guest_pc,
+        op_index,
+        obligation,
+    };
+    if reference.guest_pc != optimized.guest_pc {
+        return Err(err(
+            None,
+            format!(
+                "reference block pc {:#x} does not match optimized pc {:#x}",
+                reference.guest_pc, optimized.guest_pc
+            ),
+        ));
+    }
+
+    let (re, rg) = extract(reference);
+    let (oe, og) = extract(optimized);
+
+    // Scheme obligations hold for both the frontend's output and the
+    // optimized block (parts 4).
+    check_scheme(reference, &re, &rg, placement)?;
+    check_scheme(optimized, &oe, &og, placement)?;
+
+    // Reference events by SSA result temp (the frontend allocates a
+    // fresh temp per def, and superblock stitching renumbers, so defs
+    // are unique).
+    let mut def_map: HashMap<u32, usize> = HashMap::new();
+    for (i, ev) in re.iter().enumerate() {
+        if let Some(Temp(t)) = ev.def {
+            if def_map.insert(t, i).is_some() {
+                return Err(err(
+                    Some(ev.op_index),
+                    format!("reference defines t{t} at two memory events (not SSA)"),
+                ));
+            }
+        }
+    }
+
+    // Part 1: match optimized events to reference events, walking
+    // backwards so stores right-align within their segment.
+    let mut partner = vec![usize::MAX; oe.len()];
+    let mut unmatched: Vec<usize> = Vec::new();
+    let mut r: isize = re.len() as isize - 1;
+    for (o, ev) in oe.iter().enumerate().rev() {
+        let p = if let Some(Temp(t)) = ev.def {
+            let Some(&p) = def_map.get(&t) else {
+                return Err(err(
+                    Some(ev.op_index),
+                    format!("{} defining t{t} has no reference counterpart", ev.shape.name()),
+                ));
+            };
+            if p as isize > r {
+                return Err(err(
+                    Some(ev.op_index),
+                    format!(
+                        "{} defining t{t} was reordered across another access",
+                        ev.shape.name()
+                    ),
+                ));
+            }
+            p
+        } else {
+            // A store: nearest same-shaped reference store at or before
+            // the cursor.
+            let mut p = r;
+            loop {
+                if p < 0 {
+                    return Err(err(
+                        Some(ev.op_index),
+                        format!("{} has no reference counterpart", ev.shape.name()),
+                    ));
+                }
+                if re[p as usize].shape == ev.shape {
+                    break;
+                }
+                p -= 1;
+            }
+            p as usize
+        };
+        if re[p].shape != ev.shape {
+            return Err(err(
+                Some(ev.op_index),
+                format!(
+                    "access changed shape: reference op {} is a {}, optimized op {} a {}",
+                    re[p].op_index,
+                    re[p].shape.name(),
+                    ev.op_index,
+                    ev.shape.name()
+                ),
+            ));
+        }
+        for k in (p + 1)..=(r as usize) {
+            unmatched.push(k);
+        }
+        partner[o] = p;
+        r = p as isize - 1;
+    }
+    for k in 0..=r {
+        unmatched.push(k as usize);
+    }
+
+    // Part 2: every eliminated reference event must have been legally
+    // eliminable.
+    for &k in &unmatched {
+        let ev = &re[k];
+        match ev.shape {
+            // Load forwarding / irrelevant-read elimination is always
+            // sound in the TCG model (reads impose no ord out-edges).
+            Shape::Ld | Shape::Ld8 => {}
+            Shape::Cas | Shape::AtomicAdd | Shape::Helper(_) => {
+                return Err(err(
+                    Some(ev.op_index),
+                    format!(
+                        "{} eliminated from reference (atomics may never be dropped)",
+                        ev.shape.name()
+                    ),
+                ));
+            }
+            Shape::St8 => {
+                return Err(err(
+                    Some(ev.op_index),
+                    "byte store eliminated from reference (no WAW elimination for St8)".into(),
+                ));
+            }
+            Shape::St => {
+                // Find the overwriting store.
+                let mut killer = None;
+                for (j, later) in re.iter().enumerate().skip(k + 1) {
+                    match later.shape {
+                        Shape::St => {
+                            killer = Some(j);
+                            break;
+                        }
+                        Shape::Ld | Shape::Ld8 => continue,
+                        _ => break,
+                    }
+                }
+                let Some(j) = killer else {
+                    return Err(err(
+                        Some(ev.op_index),
+                        "store eliminated with no overwriting store before the next atomic/helper or block end".into(),
+                    ));
+                };
+                for gap in rg.iter().take(j + 1).skip(k + 1) {
+                    if gap.side_exit {
+                        return Err(err(
+                            Some(ev.op_index),
+                            "store eliminated across a superblock side exit".into(),
+                        ));
+                    }
+                    for &f in &gap.fences {
+                        if !waw_may_cross(f, policy) {
+                            return Err(err(
+                                Some(ev.op_index),
+                                format!(
+                                    "store eliminated across fence {} (WAW side condition violated)",
+                                    fence_name(Some(f))
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Part 3: inter-access fence joins are preserved. Optimized gap i
+    // spans the reference gaps between partner(i-1) and partner(i)
+    // (block edges anchor the first and last segments).
+    for i in 0..=oe.len() {
+        let lo = if i == 0 { 0 } else { partner[i - 1] + 1 };
+        let hi = if i == oe.len() { re.len() } else { partner[i] };
+        let need = join_gaps(&rg, lo, hi);
+        let have = og[i].join();
+        if !at_least(have, need) {
+            let op_index = oe.get(i).map(|e| e.op_index);
+            return Err(err(
+                op_index,
+                format!(
+                    "fence join weakened between surviving accesses: reference requires {}, optimized provides {}",
+                    fence_name(need),
+                    fence_name(have)
+                ),
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::FrontendConfig;
+    use crate::ir::Helper;
+    use crate::opt::{optimize, PassConfig};
+    use risotto_guest_x86::{Assembler, Gpr};
+
+    fn fetcher(bytes: Vec<u8>, base: u64) -> impl Fn(u64) -> [u8; 16] {
+        move |addr: u64| {
+            let mut w = [0u8; 16];
+            let off = (addr - base) as usize;
+            for (i, b) in w.iter_mut().enumerate() {
+                *b = bytes.get(off + i).copied().unwrap_or(0);
+            }
+            w
+        }
+    }
+
+    fn sample_block(cfg: FrontendConfig) -> TcgBlock {
+        let mut a = Assembler::new(0x1000);
+        a.load(Gpr::RAX, Gpr::RDI, 0);
+        a.store(Gpr::RSI, 0, Gpr::RAX);
+        a.load(Gpr::RBX, Gpr::RDI, 8);
+        a.store(Gpr::RSI, 8, Gpr::RBX);
+        a.hlt();
+        let (bytes, _) = a.finish().unwrap();
+        crate::translate_block(0x1000, cfg, fetcher(bytes, 0x1000)).unwrap()
+    }
+
+    #[test]
+    fn clean_pipeline_verifies() {
+        for (cfg, policy) in [
+            (FrontendConfig::risotto(), OptPolicy::Verified),
+            (FrontendConfig::tcg_ver(), OptPolicy::Verified),
+            (FrontendConfig::qemu(), OptPolicy::QemuUnsound),
+            (FrontendConfig::no_fences(), OptPolicy::QemuUnsound),
+        ] {
+            let reference = sample_block(cfg);
+            let mut opt = reference.clone();
+            optimize(&mut opt, policy);
+            lint(&opt, false).unwrap();
+            check_obligations(&reference, &opt, cfg.fences, policy).unwrap();
+        }
+    }
+
+    #[test]
+    fn lint_rejects_undefined_temp_use() {
+        let block = TcgBlock {
+            guest_pc: 0x1000,
+            guest_len: 1,
+            ops: vec![TcgOp::Mov { dst: Temp(1), src: Temp(0) }],
+            exit: TbExit::Halt,
+            n_temps: 2,
+        };
+        let e = lint(&block, false).unwrap_err();
+        assert_eq!(e.pass, VerifyPass::IrLint);
+        assert_eq!(e.op_index, Some(0));
+    }
+
+    #[test]
+    fn lint_rejects_marker_outside_superblock() {
+        let block = TcgBlock {
+            guest_pc: 0x1000,
+            guest_len: 1,
+            ops: vec![TcgOp::TbBoundary { pc: 0x1010 }],
+            exit: TbExit::Halt,
+            n_temps: 0,
+        };
+        assert!(lint(&block, false).is_err());
+        assert!(lint(&block, true).is_ok());
+    }
+
+    #[test]
+    fn lint_rejects_undefined_exit_flag() {
+        let block = TcgBlock {
+            guest_pc: 0x1000,
+            guest_len: 1,
+            ops: vec![],
+            exit: TbExit::JumpReg(Temp(0)),
+            n_temps: 1,
+        };
+        let e = lint(&block, false).unwrap_err();
+        assert_eq!(e.op_index, None);
+    }
+
+    #[test]
+    fn dropped_fence_is_flagged() {
+        let cfg = FrontendConfig::risotto();
+        let reference = sample_block(cfg);
+        let mut opt = reference.clone();
+        optimize(&mut opt, OptPolicy::Verified);
+        let fence_at =
+            opt.ops.iter().position(|o| matches!(o, TcgOp::Fence(_))).expect("has a fence");
+        opt.ops.remove(fence_at);
+        let e = check_obligations(&reference, &opt, cfg.fences, OptPolicy::Verified).unwrap_err();
+        assert_eq!(e.pass, VerifyPass::FenceObligations);
+    }
+
+    #[test]
+    fn downgraded_fence_is_flagged() {
+        let cfg = FrontendConfig::risotto();
+        let reference = sample_block(cfg);
+        let mut opt = reference.clone();
+        optimize(&mut opt, OptPolicy::Verified);
+        let fence_at =
+            opt.ops.iter().position(|o| matches!(o, TcgOp::Fence(_))).expect("has a fence");
+        opt.ops[fence_at] = TcgOp::Fence(FenceKind::Facq);
+        assert!(check_obligations(&reference, &opt, cfg.fences, OptPolicy::Verified).is_err());
+    }
+
+    #[test]
+    fn reordered_fence_is_flagged() {
+        let cfg = FrontendConfig::risotto();
+        let reference = sample_block(cfg);
+        let mut opt = reference.clone();
+        optimize(&mut opt, OptPolicy::Verified);
+        // Swap a fence across an adjacent memory access.
+        let pos = opt
+            .ops
+            .iter()
+            .zip(opt.ops.iter().skip(1))
+            .position(|(a, b)| {
+                (matches!(a, TcgOp::Fence(_)) && b.is_memory_access())
+                    || (a.is_memory_access() && matches!(b, TcgOp::Fence(_)))
+            })
+            .expect("fence adjacent to an access");
+        opt.ops.swap(pos, pos + 1);
+        assert!(check_obligations(&reference, &opt, cfg.fences, OptPolicy::Verified).is_err());
+    }
+
+    #[test]
+    fn unsound_store_elimination_is_flagged() {
+        // `Fww; St; Fww; St` with the first store dropped: the WAW side
+        // condition forbids crossing Fww (the PR-2 bug class).
+        let cfg = FrontendConfig::risotto();
+        let reference = sample_block(cfg);
+        let mut opt = reference.clone();
+        optimize(&mut opt, OptPolicy::Verified);
+        let st_at =
+            opt.ops.iter().position(|o| matches!(o, TcgOp::St { .. })).expect("has a store");
+        opt.ops.remove(st_at);
+        let e = check_obligations(&reference, &opt, cfg.fences, OptPolicy::Verified).unwrap_err();
+        assert!(e.obligation.contains("store eliminated"), "{e}");
+    }
+
+    #[test]
+    fn eliminated_atomic_is_flagged() {
+        let reference = TcgBlock {
+            guest_pc: 0x1000,
+            guest_len: 1,
+            ops: vec![
+                TcgOp::MovI { dst: Temp(0), val: 0 },
+                TcgOp::CallHelper {
+                    helper: Helper::CmpxchgSc,
+                    args: vec![Temp(0)],
+                    ret: Some(Temp(1)),
+                },
+            ],
+            exit: TbExit::Halt,
+            n_temps: 2,
+        };
+        let mut opt = reference.clone();
+        opt.ops.pop();
+        let e = check_obligations(&reference, &opt, FencePlacement::None, OptPolicy::Verified)
+            .unwrap_err();
+        assert!(e.obligation.contains("atomics"), "{e}");
+    }
+
+    #[test]
+    fn pass_ablation_still_verifies() {
+        let cfg = FrontendConfig::risotto();
+        for passes in [
+            PassConfig::none(),
+            PassConfig::all_except("merge_fences"),
+            PassConfig::all_except("forward_memory"),
+            PassConfig::all_except("constant_fold"),
+            PassConfig::all_except("dce"),
+        ] {
+            let reference = sample_block(cfg);
+            let mut opt = reference.clone();
+            crate::optimize_with(&mut opt, OptPolicy::Verified, passes);
+            check_obligations(&reference, &opt, cfg.fences, OptPolicy::Verified).unwrap();
+        }
+    }
+}

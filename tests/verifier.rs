@@ -1,0 +1,321 @@
+//! The translation-verifier gate (docs/VERIFIER.md).
+//!
+//! Three claims are tested over the full Fig. 12 kernel corpus and the
+//! litmus suite:
+//!
+//! 1. **Zero false positives** — every block the real pipeline produces,
+//!    under every setup's frontend/optimizer pairing, passes all three
+//!    verifier passes; and every litmus program runs end-to-end through
+//!    the DBT at `VerifyLevel::Full` with `verify.violations == 0`.
+//! 2. **Mutation kill rate** — seeded mutants of the optimized IR
+//!    (drop one fence, swap one fence across an adjacent access,
+//!    downgrade one fence) and of the encoded bytes (flip one byte) are
+//!    each flagged by the verifier. 100% of generated mutants must die.
+//! 3. **Fault containment** — an injected install-time corruption
+//!    ([`FaultPlan::corrupt_install_at`]) is caught by
+//!    `VerifyLevel::Install` before the damaged code can dispatch, and
+//!    the run still produces the fault-free result.
+//!
+//! `RISOTTO_VERIFY_SMOKE=1` bounds the sweep for CI (fewer blocks per
+//! kernel, fewer litmus staggers).
+
+use risotto::core::{Emulator, FaultPlan, Setup, VerifyLevel};
+use risotto::guest::{GuestBinary, TEXT_BASE};
+use risotto::host::{check_encoding, lower_block, BackendConfig, CostModel, HostInsn, RmwStyle};
+use risotto::litmus::corpus;
+use risotto::memmodel::FenceKind;
+use risotto::tcg::{
+    optimize_with, translate_block, verify, FrontendConfig, OptPolicy, PassConfig, TbExit,
+    TcgBlock, TcgOp,
+};
+use risotto::workloads::kernels;
+use risotto::workloads::litmus_compile::compile_litmus;
+
+fn smoke() -> bool {
+    std::env::var("RISOTTO_VERIFY_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The frontend/optimizer pairings the engine's setups use.
+fn configs() -> [(FrontendConfig, OptPolicy); 4] {
+    [
+        (FrontendConfig::risotto(), OptPolicy::Verified),
+        (FrontendConfig::tcg_ver(), OptPolicy::Verified),
+        (FrontendConfig::qemu(), OptPolicy::QemuUnsound),
+        (FrontendConfig::no_fences(), OptPolicy::QemuUnsound),
+    ]
+}
+
+fn fetcher(bin: &GuestBinary) -> impl Fn(u64) -> [u8; 16] + '_ {
+    move |addr: u64| {
+        let mut w = [0u8; 16];
+        for (i, slot) in w.iter_mut().enumerate() {
+            let byte = addr
+                .checked_sub(TEXT_BASE)
+                .and_then(|off| off.checked_add(i as u64))
+                .and_then(|off| usize::try_from(off).ok())
+                .and_then(|off| bin.text.get(off));
+            if let Some(&b) = byte {
+                *slot = b;
+            }
+        }
+        w
+    }
+}
+
+/// BFS over the static control flow from the entry point: every block
+/// the tier-1 pipeline would translate, up to `cap` blocks.
+fn discover_blocks(bin: &GuestBinary, cfg: FrontendConfig, cap: usize) -> Vec<TcgBlock> {
+    let fetch = fetcher(bin);
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = vec![bin.entry];
+    let mut blocks = Vec::new();
+    while let Some(pc) = queue.pop() {
+        if blocks.len() >= cap || !seen.insert(pc) {
+            continue;
+        }
+        let Ok(block) = translate_block(pc, cfg, &fetch) else {
+            continue; // PLT stubs / data — the engine quarantines these too
+        };
+        match block.exit {
+            TbExit::Jump(t) => queue.push(t),
+            TbExit::CondJump { taken, fallthrough, .. } => {
+                queue.push(taken);
+                queue.push(fallthrough);
+            }
+            TbExit::Syscall { next } => queue.push(next),
+            TbExit::JumpReg(_) | TbExit::Halt => {}
+        }
+        blocks.push(block);
+    }
+    blocks
+}
+
+/// Runs the three verifier passes on an optimized block exactly as the
+/// engine's `VerifyLevel::Full` hook does.
+fn full_verify(
+    reference: &TcgBlock,
+    optimized: &TcgBlock,
+    cfg: FrontendConfig,
+    policy: OptPolicy,
+    code: &[HostInsn],
+    bytes: &[u8],
+) -> Result<(), risotto::tcg::VerifyError> {
+    verify::lint(optimized, false)?;
+    verify::check_obligations(reference, optimized, cfg.fences, policy)?;
+    check_encoding(optimized, code, bytes, BackendConfig::dbt(RmwStyle::Casal))
+}
+
+fn encode_all(code: &[HostInsn]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for i in code {
+        i.encode(&mut bytes);
+    }
+    bytes
+}
+
+/// The translated + optimized + lowered corpus for one kernel/config.
+struct Translated {
+    reference: TcgBlock,
+    optimized: TcgBlock,
+    code: Vec<HostInsn>,
+    bytes: Vec<u8>,
+}
+
+fn translate_corpus(bin: &GuestBinary, cfg: FrontendConfig, policy: OptPolicy) -> Vec<Translated> {
+    let cap = if smoke() { 12 } else { 64 };
+    discover_blocks(bin, cfg, cap)
+        .into_iter()
+        .map(|reference| {
+            let mut optimized = reference.clone();
+            optimize_with(&mut optimized, policy, PassConfig::all());
+            let code = lower_block(&optimized, BackendConfig::dbt(RmwStyle::Casal))
+                .expect("pipeline blocks lower");
+            let bytes = encode_all(&code);
+            Translated { reference, optimized, code, bytes }
+        })
+        .collect()
+}
+
+#[test]
+fn clean_kernel_corpus_has_zero_violations() {
+    let scale = if smoke() { 16 } else { 64 };
+    let mut checked = 0usize;
+    for w in kernels::all() {
+        let bin = (w.build)(scale, 2);
+        for (cfg, policy) in configs() {
+            for t in translate_corpus(&bin, cfg, policy) {
+                full_verify(&t.reference, &t.optimized, cfg, policy, &t.code, &t.bytes)
+                    .unwrap_or_else(|e| {
+                        panic!("false positive in {} ({:?}): {e}", w.name, cfg.fences)
+                    });
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 100, "corpus too small to be meaningful: {checked} blocks");
+}
+
+/// Positions of `Fence` ops in a block.
+fn fence_positions(block: &TcgBlock) -> Vec<usize> {
+    block
+        .ops
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| matches!(op, TcgOp::Fence(_)).then_some(i))
+        .collect()
+}
+
+/// A fence strictly weaker than `k` under `tcg_at_least`, if one exists
+/// (none for `Facq`/`Frel`, which every TCG fence already covers).
+fn weaker_than(k: FenceKind) -> Option<FenceKind> {
+    FenceKind::TCG_ALL.iter().copied().find(|w| !w.tcg_at_least(k))
+}
+
+#[test]
+fn verifier_kills_every_fence_and_encoding_mutant() {
+    let scale = if smoke() { 16 } else { 64 };
+    let (cfg, policy) = (FrontendConfig::risotto(), OptPolicy::Verified);
+    let (mut drops, mut swaps, mut downgrades, mut corruptions) = (0usize, 0usize, 0usize, 0usize);
+    for w in kernels::all() {
+        let bin = (w.build)(scale, 2);
+        for t in translate_corpus(&bin, cfg, policy) {
+            for i in fence_positions(&t.optimized) {
+                // Mutant 1: drop the fence.
+                let mut m = t.optimized.clone();
+                m.ops.remove(i);
+                assert!(
+                    verify::check_obligations(&t.reference, &m, cfg.fences, policy).is_err(),
+                    "{}: dropped fence at op {i} survived",
+                    w.name
+                );
+                drops += 1;
+                // Mutant 2: swap the fence across an adjacent memory
+                // access (reorder); only meaningful when one is adjacent.
+                if i + 1 < t.optimized.ops.len() && t.optimized.ops[i + 1].is_memory_access() {
+                    let mut m = t.optimized.clone();
+                    m.ops.swap(i, i + 1);
+                    assert!(
+                        verify::check_obligations(&t.reference, &m, cfg.fences, policy).is_err(),
+                        "{}: fence reordered across access at op {i} survived",
+                        w.name
+                    );
+                    swaps += 1;
+                }
+                // Mutant 3: downgrade to a strictly weaker fence.
+                let TcgOp::Fence(k) = t.optimized.ops[i] else { unreachable!() };
+                if let Some(weaker) = weaker_than(k) {
+                    let mut m = t.optimized.clone();
+                    m.ops[i] = TcgOp::Fence(weaker);
+                    assert!(
+                        verify::check_obligations(&t.reference, &m, cfg.fences, policy).is_err(),
+                        "{}: fence {k:?} downgraded to {weaker:?} at op {i} survived",
+                        w.name
+                    );
+                    downgrades += 1;
+                }
+            }
+            // Mutant 4: corrupt one encoded byte (first, middle, last).
+            for off in [0, t.bytes.len() / 2, t.bytes.len() - 1] {
+                let mut bad = t.bytes.clone();
+                bad[off] ^= 0xff;
+                assert!(
+                    check_encoding(
+                        &t.optimized,
+                        &t.code,
+                        &bad,
+                        BackendConfig::dbt(RmwStyle::Casal)
+                    )
+                    .is_err(),
+                    "{}: corrupted byte {off} survived",
+                    w.name
+                );
+                corruptions += 1;
+            }
+        }
+    }
+    assert!(drops >= 20, "too few fence-drop mutants: {drops}");
+    assert!(swaps >= 5, "too few reorder mutants: {swaps}");
+    assert!(downgrades >= 20, "too few downgrade mutants: {downgrades}");
+    assert!(corruptions >= 50, "too few byte mutants: {corruptions}");
+}
+
+#[test]
+fn litmus_corpus_runs_clean_at_full_verification() {
+    let staggers: &[&[u64]] = if smoke() {
+        &[&[0, 0], &[0, 7]]
+    } else {
+        &[&[0, 0], &[0, 40], &[40, 0], &[0, 7], &[7, 0], &[13, 11]]
+    };
+    let mut checked_total = 0u64;
+    for prog in [corpus::mp(), corpus::sb(), corpus::sb_fenced(), corpus::lb(), corpus::iriw()] {
+        for setup in [Setup::Qemu, Setup::TcgVer, Setup::Risotto] {
+            for delays in staggers {
+                let compiled = compile_litmus(&prog, delays);
+                let mut emu = Emulator::new(
+                    &compiled.binary,
+                    setup,
+                    compiled.threads,
+                    CostModel::thunderx2_like(),
+                );
+                emu.set_verify(VerifyLevel::Full);
+                emu.run(50_000_000)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", prog.name, setup.name()));
+                let m = emu.metrics();
+                assert_eq!(
+                    m.counter("verify.violations"),
+                    0,
+                    "false positive: {} under {}",
+                    prog.name,
+                    setup.name()
+                );
+                assert!(m.counter("verify.checked") > 0, "verifier did not run");
+                checked_total += m.counter("verify.checked");
+            }
+        }
+    }
+    assert!(checked_total > 0);
+}
+
+#[test]
+fn injected_install_corruption_is_caught_before_dispatch() {
+    let w = kernels::all().into_iter().find(|w| w.name == "histogram").expect("histogram kernel");
+    let bin = (w.build)(64, 2);
+    let fuel = 2_000_000_000;
+
+    let mut clean = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+    clean.set_verify(VerifyLevel::Off);
+    let reference = clean.run(fuel).expect("clean run");
+
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+    emu.set_verify(VerifyLevel::Install);
+    emu.set_fault_plan(FaultPlan::seeded(7).corrupt_install_at(0).corrupt_install_at(3));
+    let report = emu.run(fuel).expect("verified run recovers");
+
+    // The damaged installs were discarded before dispatch: results match
+    // the fault-free reference exactly.
+    assert_eq!(report.exit_vals, reference.exit_vals);
+    assert_eq!(report.output, reference.output);
+
+    let m = emu.metrics();
+    assert_eq!(m.counter("verify.violations"), 2, "both corruptions must be flagged");
+    assert_eq!(m.counter("verify.encoding_violations"), 2);
+    assert!(m.counter("verify.checked") > 0);
+    assert!(m.counter("fault.injected") >= 2);
+    assert!(report.fallback_blocks >= 1, "rejected installs fall back to the interpreter");
+    // Ordinal 0 corrupts `main`'s entry block, which executes exactly once
+    // (interpreted, never revisited); only the re-reached loop block is
+    // re-translated after its quarantine entry.
+    assert!(report.retranslations >= 1, "quarantined pcs are re-translated");
+}
+
+#[test]
+fn verify_off_skips_all_checks() {
+    let w = &kernels::all()[0];
+    let bin = (w.build)(16, 2);
+    let mut emu = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+    emu.set_verify(VerifyLevel::Off);
+    emu.run(2_000_000_000).expect("run");
+    let m = emu.metrics();
+    assert_eq!(m.counter("verify.checked"), 0);
+    assert_eq!(m.counter("verify.violations"), 0);
+}
