@@ -70,6 +70,32 @@ EOF
 fi
 rm -f "$metrics_json"
 
+# Differential-fuzz gate (docs/FUZZING.md): a seeded smoke run across
+# the full oracle matrix. The binary exits nonzero on any divergence,
+# validator violation, or fault-contract breach, and asserts the tier-2
+# promotion-rate floor; the corpus replay itself runs inside
+# `cargo test --test fuzz` above. Fixed seed: failures are replayable.
+fuzz_json="$(mktemp /tmp/fuzz_metrics.XXXXXX.json)"
+cargo run -q --release -p risotto-bench --bin fuzz -- \
+    --smoke --seed 0xC1 --metrics-json "$fuzz_json" > /dev/null
+if command -v jq > /dev/null 2>&1; then
+    jq -e '.version == 1
+           and (.workloads[0].metrics.metrics["fuzz.divergences"].value == 0)
+           and (.workloads[0].metrics.metrics["fuzz.programs"].value >= 300)
+           and (.workloads[0].metrics.metrics["fuzz.fault_runs"].value > 0)' \
+        "$fuzz_json" > /dev/null
+else
+    python3 - "$fuzz_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+m = doc["workloads"][0]["metrics"]["metrics"]
+assert m["fuzz.divergences"]["value"] == 0, m["fuzz.divergences"]
+assert m["fuzz.programs"]["value"] >= 300, m["fuzz.programs"]
+assert m["fuzz.fault_runs"]["value"] > 0, m["fuzz.fault_runs"]
+EOF
+fi
+rm -f "$fuzz_json"
+
 # Remaining figure binaries, CI-sized: every figure in the paper's
 # evaluation gets exercised, not just fig12.
 cargo run -q --release -p risotto-bench --bin fig13_openssl_sqlite -- --smoke > /dev/null

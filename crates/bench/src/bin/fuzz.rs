@@ -1,0 +1,163 @@
+//! Differential fuzzing driver: seeded random MiniX86 programs through
+//! the full oracle matrix (interpreter, tier-1, tier-1 without the
+//! optimizer, tier-2 with a lowered promotion threshold), with the
+//! translation verifier as a second oracle on every DBT run
+//! (DESIGN.md §13, docs/FUZZING.md).
+//!
+//! ```sh
+//! cargo run --release -p risotto-bench --bin fuzz -- \
+//!     [--seed <n>] [--iters <n>] [--smoke] [--metrics-json <path>]
+//! ```
+//!
+//! Every iteration is reproducible from the run seed alone; a single
+//! iteration replays as `--seed <run_seed> --iters <i+1>` (the driver
+//! derives per-iteration program seeds, it does not consume the RNG
+//! stream incrementally). Any divergent program is delta-debugged to a
+//! minimal reproducer: the `.risotto` corpus file and a ready-to-paste
+//! regression test land under `fuzz-failures/`, and the process exits 1.
+
+use risotto_bench::{print_table, BenchCli, MetricsEntry};
+use risotto_core::obs::MetricsRegistry;
+use risotto_fuzz::{
+    differential, diverges, fault_check, generate, minimize, program_seed, random_fault_plan,
+    regression_test_skeleton, to_corpus_string, GenConfig,
+};
+
+/// Default iteration counts: the full run satisfies the "≥10k seeded
+/// iterations" acceptance bar; smoke is the CI gate.
+const FULL_ITERS: u64 = 10_000;
+const SMOKE_ITERS: u64 = 300;
+
+/// Every Nth iteration also runs the fault-composed check.
+const FAULT_EVERY: u64 = 8;
+
+/// Minimizer budget per divergent program.
+const MINIMIZE_STEPS: u64 = 20_000;
+
+/// Lower bound on the fraction of iterations whose tier-2 configuration
+/// actually promoted (percent). The generator guarantees a hot loop per
+/// program, so a collapse here means the tiering hook went dead.
+const MIN_PROMOTED_PCT: u64 = 20;
+
+/// Default run seed (arbitrary fixed constant — reruns are comparable).
+const DEFAULT_SEED: u64 = 0xD1FF_F022_2026_0808;
+
+fn main() {
+    let cli = BenchCli::parse_with("fuzz", &["--seed", "--iters"]);
+    let seed = cli.u64_value("--seed", DEFAULT_SEED).unwrap_or_else(die);
+    let default_iters = if cli.smoke { SMOKE_ITERS } else { FULL_ITERS };
+    let iters = cli.u64_value("--iters", default_iters).unwrap_or_else(die);
+    let cfg = GenConfig::default();
+
+    println!("Differential fuzz: seed {seed:#x}, {iters} iterations\n");
+
+    let mut reg = MetricsRegistry::new();
+    let mut divergent: Vec<(u64, risotto_fuzz::ProgSpec, Vec<String>)> = Vec::new();
+    let (mut promoted, mut fault_completed, mut fault_degraded) = (0u64, 0u64, 0u64);
+    let mut multicore = 0u64;
+
+    for i in 0..iters {
+        let pseed = program_seed(seed, i);
+        let spec = generate(&cfg, pseed);
+        if !spec.threads.is_empty() {
+            multicore += 1;
+        }
+        let result = differential(&spec);
+        reg.add("fuzz.programs", 1);
+        reg.add("fuzz.configs_run", result.configs_run);
+        if result.promoted {
+            promoted += 1;
+            reg.add("fuzz.promoted", 1);
+        }
+        if !result.divergences.is_empty() {
+            reg.add("fuzz.divergences", 1);
+            let msgs = result.divergences.iter().map(|d| d.to_string()).collect();
+            divergent.push((pseed, spec.clone(), msgs));
+        }
+
+        if i % FAULT_EVERY == 0 {
+            reg.add("fuzz.fault_runs", 1);
+            match fault_check(&spec, random_fault_plan(pseed ^ 0xFA)) {
+                Ok(true) => fault_completed += 1,
+                Ok(false) => fault_degraded += 1,
+                Err(d) => {
+                    reg.add("fuzz.divergences", 1);
+                    divergent.push((pseed, spec, vec![d.to_string()]));
+                }
+            }
+        }
+
+        if (i + 1) % 1000 == 0 {
+            println!("  {}/{iters} programs, {} divergent", i + 1, divergent.len());
+        }
+    }
+
+    print_table(
+        &["programs", "multicore", "promoted", "fault runs", "fault degraded", "divergent"],
+        &[vec![
+            iters.to_string(),
+            multicore.to_string(),
+            promoted.to_string(),
+            (fault_completed + fault_degraded).to_string(),
+            fault_degraded.to_string(),
+            divergent.len().to_string(),
+        ]],
+    );
+
+    // Delta-debug every divergent program to a minimal reproducer and
+    // write the corpus file + regression-test skeleton.
+    for (pseed, spec, msgs) in &divergent {
+        println!("\n!! seed {pseed:#x} diverged:");
+        for m in msgs {
+            println!("   {m}");
+        }
+        let min = minimize(spec, &diverges, MINIMIZE_STEPS);
+        reg.add("fuzz.minimizer_steps", min.steps);
+        let name = format!("divergent_{pseed:016x}");
+        let dir = std::path::Path::new("fuzz-failures");
+        std::fs::create_dir_all(dir).expect("create fuzz-failures/");
+        let corpus_path = dir.join(format!("{name}.risotto"));
+        std::fs::write(&corpus_path, to_corpus_string(&min.spec))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", corpus_path.display()));
+        let test_path = dir.join(format!("{name}.rs"));
+        std::fs::write(&test_path, regression_test_skeleton(&min.spec, &name))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", test_path.display()));
+        println!(
+            "   minimized in {} steps ({} reductions) -> {}",
+            min.steps,
+            min.accepted,
+            corpus_path.display()
+        );
+        println!("   regression test skeleton -> {}", test_path.display());
+    }
+
+    if let Some(path) = &cli.metrics_json {
+        let entries = [MetricsEntry {
+            name: "fuzz".to_string(),
+            setup: "differential",
+            snapshot: reg.snapshot(),
+            hot_tbs: Vec::new(),
+        }];
+        risotto_bench::write_metrics_json(path, "fuzz", &entries);
+    }
+
+    // Tier-2 liveness gate: the harness exists to exercise promotion.
+    let promoted_pct = promoted * 100 / iters.max(1);
+    assert!(
+        promoted_pct >= MIN_PROMOTED_PCT,
+        "only {promoted_pct}% of iterations promoted a superblock (floor {MIN_PROMOTED_PCT}%)"
+    );
+
+    println!();
+    if divergent.is_empty() {
+        println!("zero divergences: all configurations agreed on every program.");
+    } else {
+        println!("!! {} divergent program(s); reproducers in fuzz-failures/", divergent.len());
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: String) -> u64 {
+    eprintln!("fuzz: {msg}");
+    std::process::exit(2);
+}

@@ -148,8 +148,10 @@ pub struct MetricsEntry {
 
 /// The common command line every `risotto-bench` binary accepts: the
 /// shared flags (`--smoke`, `--metrics-json <path>` /
-/// `--metrics-json=<path>`) plus whatever positional arguments the
-/// binary itself defines. Unknown `--flags` are rejected uniformly.
+/// `--metrics-json=<path>`), any value-carrying flags the binary
+/// declares up front (e.g. the fuzzer's `--seed` / `--iters`), plus
+/// whatever positional arguments the binary itself defines. Unknown
+/// `--flags` are rejected uniformly.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct BenchCli {
     /// `--smoke` was passed (bounded quick mode).
@@ -158,17 +160,28 @@ pub struct BenchCli {
     pub metrics_json: Option<String>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
+    /// Values of the declared extra flags, in the order given
+    /// (last occurrence wins via [`BenchCli::value`]).
+    pub values: Vec<(String, String)>,
 }
 
 impl BenchCli {
     /// Parses the process arguments; prints an error naming `tool` and
     /// exits with status 2 on an unknown flag or a missing flag value.
     pub fn parse(tool: &str) -> BenchCli {
-        match Self::try_parse(std::env::args().skip(1)) {
+        Self::parse_with(tool, &[])
+    }
+
+    /// Like [`BenchCli::parse`], but additionally accepting the declared
+    /// value-carrying flags (each named with its leading `--`, accepted
+    /// as `--flag v` or `--flag=v`).
+    pub fn parse_with(tool: &str, declared: &[&str]) -> BenchCli {
+        match Self::try_parse_with(std::env::args().skip(1), declared) {
             Ok(cli) => cli,
             Err(msg) => {
                 eprintln!("{tool}: {msg}");
-                eprintln!("{tool}: supported flags: --smoke, --metrics-json <path>");
+                let extra: String = declared.iter().map(|f| format!(", {f} <value>")).collect();
+                eprintln!("{tool}: supported flags: --smoke, --metrics-json <path>{extra}");
                 std::process::exit(2);
             }
         }
@@ -176,9 +189,18 @@ impl BenchCli {
 
     /// Flag parsing behind [`BenchCli::parse`], separated for testing.
     pub fn try_parse(args: impl Iterator<Item = String>) -> Result<BenchCli, String> {
+        Self::try_parse_with(args, &[])
+    }
+
+    /// Flag parsing behind [`BenchCli::parse_with`], separated for
+    /// testing.
+    pub fn try_parse_with(
+        args: impl Iterator<Item = String>,
+        declared: &[&str],
+    ) -> Result<BenchCli, String> {
         let mut cli = BenchCli::default();
         let mut args = args;
-        while let Some(a) = args.next() {
+        'arg: while let Some(a) = args.next() {
             if a == "--smoke" {
                 cli.smoke = true;
             } else if a == "--metrics-json" {
@@ -187,12 +209,47 @@ impl BenchCli {
             } else if let Some(p) = a.strip_prefix("--metrics-json=") {
                 cli.metrics_json = Some(p.to_owned());
             } else if a.starts_with("--") {
+                for f in declared {
+                    if a == *f {
+                        let v = args.next().ok_or(format!("{f} requires a value"))?;
+                        cli.values.push((f.to_string(), v));
+                        continue 'arg;
+                    }
+                    if let Some(v) = a.strip_prefix(&format!("{f}=")) {
+                        cli.values.push((f.to_string(), v.to_owned()));
+                        continue 'arg;
+                    }
+                }
                 return Err(format!("unknown flag `{a}`"));
             } else {
                 cli.positional.push(a);
             }
         }
         Ok(cli)
+    }
+
+    /// The value of a declared flag (last occurrence wins).
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.iter().rev().find(|(f, _)| f == flag).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a declared flag's value as an integer, with a default when
+    /// the flag was not passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn u64_value(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => {
+                let (src, radix) = match v.strip_prefix("0x") {
+                    Some(hex) => (hex, 16),
+                    None => (v, 10),
+                };
+                u64::from_str_radix(src, radix).map_err(|e| format!("{flag} `{v}`: {e}"))
+            }
+        }
     }
 }
 
@@ -300,5 +357,23 @@ mod tests {
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--smokey"]).is_err());
         assert!(parse(&["--metrics-json"]).is_err());
+    }
+
+    #[test]
+    fn declared_flags_parse_in_both_spellings_and_last_wins() {
+        let parse_with = |args: &[&str]| {
+            BenchCli::try_parse_with(args.iter().map(|s| s.to_string()), &["--seed", "--iters"])
+        };
+        let cli =
+            parse_with(&["--seed", "7", "--iters=100", "--smoke", "--seed=0x2a", "pos"]).unwrap();
+        assert!(cli.smoke);
+        assert_eq!(cli.value("--seed"), Some("0x2a"));
+        assert_eq!(cli.u64_value("--seed", 1).unwrap(), 0x2a);
+        assert_eq!(cli.u64_value("--iters", 1).unwrap(), 100);
+        assert_eq!(cli.u64_value("--unset", 9).unwrap(), 9);
+        assert_eq!(cli.positional, vec!["pos"]);
+        assert!(parse_with(&["--seed"]).is_err(), "declared flag with no value");
+        assert!(parse_with(&["--seeds=1"]).is_err(), "near-miss flag still unknown");
+        assert!(parse_with(&["--seed=zz"]).unwrap().u64_value("--seed", 0).is_err());
     }
 }

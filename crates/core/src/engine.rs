@@ -31,9 +31,9 @@ use risotto_guest_x86::{
     TEXT_BASE,
 };
 use risotto_host_arm::{
-    check_encoding, lower_block, BackendConfig, ChainStats, CoreStats, CostModel, Event,
-    HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind, Xreg,
-    ENV_BASE, SPILL_BASE,
+    check_encoding, lower_block, AtomicEvent, BackendConfig, ChainStats, CoreStats, CostModel,
+    Event, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind,
+    Xreg, ENV_BASE, SPILL_BASE,
 };
 use risotto_memmodel::FenceKind;
 use risotto_tcg::{
@@ -893,6 +893,47 @@ impl Emulator {
     /// Read access to guest/machine memory (for assertions).
     pub fn mem(&self) -> &risotto_guest_x86::SparseMem {
         &self.machine.mem
+    }
+
+    /// The architectural value of guest register `reg` on `core`.
+    ///
+    /// Valid once the core has been initialized (and after
+    /// [`run`](Emulator::run) returns): differential harnesses use this
+    /// to compare final register files against the reference interpreter.
+    /// Reads the env-slot block in the DBT setups and the pinned host
+    /// registers in the native setup, so it is setup-agnostic.
+    pub fn guest_reg(&self, core: usize, reg: Gpr) -> u64 {
+        self.read_guest_reg(core, reg)
+    }
+
+    /// The full 16-register guest file of `core`
+    /// (see [`Emulator::guest_reg`]).
+    pub fn guest_regs(&self, core: usize) -> [u64; Gpr::COUNT] {
+        let mut out = [0; Gpr::COUNT];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.read_guest_reg(core, Gpr(i as u8));
+        }
+        out
+    }
+
+    /// The architectural condition flags of `core`
+    /// (see [`Emulator::guest_reg`]).
+    pub fn guest_flags(&self, core: usize) -> Flags {
+        self.read_guest_flags(core)
+    }
+
+    /// Enables or disables the host machine's ordered atomic-access
+    /// event log (off by default; purely observational). The fuzzer's
+    /// per-access ordering oracle drains it with
+    /// [`Emulator::take_atomic_log`] after a run.
+    pub fn set_atomic_log(&mut self, on: bool) {
+        self.machine.set_atomic_log(on);
+    }
+
+    /// Drains and returns the recorded [`AtomicEvent`]s in execution
+    /// order (empty when the log is disabled).
+    pub fn take_atomic_log(&mut self) -> Vec<AtomicEvent> {
+        self.machine.take_atomic_log()
     }
 
     /// Links a host library against the binary's imports (§6.2): every

@@ -20,6 +20,7 @@
 //! let plan = FaultPlan::seeded(7).fail_translate_at(0x1_0000);
 //! ```
 
+use crate::rng::SplitMix64;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -76,8 +77,10 @@ impl fmt::Display for FaultSite {
 /// linking and running. The default plan injects nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// xorshift64* stream state; 0 means "roll nothing" (default plan).
-    state: u64,
+    /// Shared deterministic stream driving the background-rate rolls and
+    /// victim picks (see [`SplitMix64`]). The default plan never consults
+    /// it: all rates are zero.
+    rng: SplitMix64,
     /// Per-site background failure probability in 1/65536 units.
     rates: [u16; FaultSite::COUNT],
     translate_pcs: BTreeSet<u64>,
@@ -89,13 +92,11 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// A plan whose background rolls are driven by `seed` (splitmix64
-    /// initialization, so nearby seeds give unrelated streams).
+    /// A plan whose background rolls are driven by `seed` through the
+    /// workspace-shared [`SplitMix64`] stream (nearby seeds give
+    /// unrelated streams).
     pub fn seeded(seed: u64) -> FaultPlan {
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        FaultPlan { state: (z ^ (z >> 31)) | 1, ..FaultPlan::default() }
+        FaultPlan { rng: SplitMix64::new(seed), ..FaultPlan::default() }
     }
 
     /// Always fail frontend translation of the block starting at `pc`.
@@ -158,15 +159,7 @@ impl FaultPlan {
 
     fn roll(&mut self, site: FaultSite) -> bool {
         let rate = self.rates[site.index()];
-        if rate == 0 || self.state == 0 {
-            return false;
-        }
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 48) as u16) < rate
+        rate != 0 && self.rng.below(65536) < rate as u64
     }
 
     /// Whether frontend translation of the block at `pc` fails now.
@@ -213,12 +206,7 @@ impl FaultPlan {
     /// A deterministic index in `0..n` from the plan's stream (victim
     /// selection for background evictions). `n` must be non-zero.
     pub fn pick(&mut self, n: usize) -> usize {
-        let mut x = if self.state == 0 { 1 } else { self.state };
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+        self.rng.usize_below(n)
     }
 
     /// `true` if the plan can never inject anything (the default plan).

@@ -39,6 +39,7 @@ mod engine;
 mod faults;
 mod idl;
 pub mod obs;
+mod rng;
 
 pub use engine::{
     CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, SbStats, Setup,
@@ -50,5 +51,6 @@ pub use obs::{
     HotTb, HotTbProfiler, JsonLinesSink, MetricsRegistry, MetricsSnapshot, NullSink,
     RingBufferSink, TraceEvent, TraceSink, TraceStage,
 };
-pub use risotto_host_arm::{RmwStyle, SchedPolicy};
-pub use risotto_tcg::{VerifyError, VerifyPass};
+pub use risotto_host_arm::{AtomicEvent, RmwStyle, SchedPolicy};
+pub use risotto_tcg::{PassConfig, VerifyError, VerifyPass};
+pub use rng::SplitMix64;

@@ -206,6 +206,12 @@ impl MetricsRegistry {
             spec("sb.stage.select_ns", Histogram, "ns", "Wall time of tier-2 trace selection, per promotion attempt"),
             spec("sb.stage.opt_ns", Histogram, "ns", "Wall time of the region optimizer over a stitched superblock"),
             spec("sb.stage.encode_ns", Histogram, "ns", "Wall time of backend lowering for a superblock"),
+            spec("fuzz.programs", Counter, "programs", "Random programs generated and differentially executed"),
+            spec("fuzz.configs_run", Counter, "runs", "Individual oracle-configuration executions (interpreter included)"),
+            spec("fuzz.divergences", Counter, "divergences", "Programs whose oracle configurations disagreed (or tripped the validator)"),
+            spec("fuzz.minimizer_steps", Counter, "steps", "Candidate reductions attempted while delta-debugging divergent programs"),
+            spec("fuzz.fault_runs", Counter, "runs", "Fault-composed executions (random FaultPlan layered over a generated program)"),
+            spec("fuzz.promoted", Counter, "programs", "Fuzz iterations whose tier-2 configuration installed at least one superblock"),
         ];
         for k in FenceKind::TCG_ALL {
             let n = k.tcg_name().expect("TCG fence has a short name");

@@ -1,0 +1,171 @@
+//! Shared deterministic PRNG for every seeded harness in the workspace.
+//!
+//! [`FaultPlan`](crate::FaultPlan), the property tests and the
+//! `risotto-fuzz` differential fuzzer all draw from this one generator so
+//! that "seed N" means the same byte stream everywhere: a reproducer line
+//! like `fuzz 0xDEAD 1` is meaningful across tools, and no harness is
+//! allowed to derive entropy from ambient state (time, pids, ASLR).
+//!
+//! The algorithm is SplitMix64 (Steele et al., "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): a 64-bit counter
+//! advanced by the golden-ratio increment and finalized with two
+//! xor-shift-multiply rounds. It is trivially seedable from any `u64`
+//! (including 0), passes BigCrush, and — unlike xorshift families — has
+//! no forbidden zero state, which keeps `#[derive(Default)]` callers
+//! honest.
+
+/// A deterministic SplitMix64 stream.
+///
+/// ```
+/// use risotto_core::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Golden-ratio increment: 2^64 / φ, the canonical SplitMix64 gamma.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift rejection-free mapping; the bias is < 2^-32 for
+        // every n this workspace uses (all far below 2^32).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `0..n` (`0` when `n == 0`).
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// `true` with probability `num / den` (`den == 0` yields `false`).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        den != 0 && self.below(den) < num
+    }
+
+    /// An index into `weights`, chosen proportionally to the weights.
+    /// Returns 0 if the weights are empty or sum to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut roll = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w as u64;
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A fresh independent stream split off this one (advances `self`).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // Known-answer test against the published SplitMix64 stream for
+        // seed 1234567: guards against accidental algorithm drift, which
+        // would silently change every recorded fuzz seed in the repo.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(r.next_u64(), 0x2C73_F084_5854_0FA5);
+    }
+
+    #[test]
+    fn determinism_and_divergence() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let mut c = SplitMix64::new(10);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn zero_seed_is_a_valid_stream() {
+        let mut r = SplitMix64::default();
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..2000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..500 {
+            let i = r.weighted(&[0, 3, 0, 5]);
+            assert!(i == 1 || i == 3, "zero-weight arm {i} chosen");
+        }
+        assert_eq!(r.weighted(&[]), 0);
+        assert_eq!(r.weighted(&[0, 0]), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..100 {
+            assert!(!r.chance(0, 100));
+            assert!(r.chance(100, 100));
+            assert!(!r.chance(1, 0));
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = SplitMix64::new(77);
+        let mut a = root.split();
+        let mut b = root.split();
+        assert_ne!(a, b);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,540 @@
+//! The `.risotto` corpus format: a textual, versioned serialization of
+//! [`ProgSpec`] that round-trips exactly.
+//!
+//! Minimized reproducers are checked in under `tests/corpus/` and
+//! replayed as regression tests by `tests/fuzz.rs` and `ci.sh`. The
+//! format is line-oriented and human-editable:
+//!
+//! ```text
+//! risotto-fuzz v1
+//! seed 0x2a
+//! note minimized from run seed 0x2a
+//! routine 0 {
+//!   alu add rbx, 0x7
+//!   fence
+//! }
+//! thread 1 {
+//!   xadd s2 += 0x3
+//! }
+//! main {
+//!   loop 12 {
+//!     store p3 = rbx
+//!     call 0
+//!   }
+//!   if ne rbx, 0x5 {
+//!     casadd s1 += 0x2
+//!   } else {
+//!     write p2
+//!   }
+//! }
+//! ```
+//!
+//! Registers use their x86 names; `pN` is a private slot (`pN.B` a byte
+//! inside it), `sN` a shared cell. Numbers are decimal or `0x`-hex.
+//! Parsing validates the result with [`ProgSpec::validate`], so a
+//! hand-edited corpus file can never smuggle in a malformed program.
+
+use crate::spec::{ProgSpec, Src, Stmt};
+use risotto_guest_x86::{AluOp, Cond, FpOp, Gpr};
+use std::fmt::Write as _;
+
+/// Magic first line of every corpus file.
+pub const HEADER: &str = "risotto-fuzz v1";
+
+/// A corpus parse failure: line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError {
+    /// 1-based line of the offending input (0 for structural errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corpus line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn err(line: usize, msg: impl Into<String>) -> CorpusError {
+    CorpusError { line, msg: msg.into() }
+}
+
+const REG_NAMES: [(&str, Gpr); 16] = [
+    ("rax", Gpr::RAX),
+    ("rcx", Gpr::RCX),
+    ("rdx", Gpr::RDX),
+    ("rbx", Gpr::RBX),
+    ("rsp", Gpr::RSP),
+    ("rbp", Gpr::RBP),
+    ("rsi", Gpr::RSI),
+    ("rdi", Gpr::RDI),
+    ("r8", Gpr::R8),
+    ("r9", Gpr::R9),
+    ("r10", Gpr::R10),
+    ("r11", Gpr::R11),
+    ("r12", Gpr::R12),
+    ("r13", Gpr::R13),
+    ("r14", Gpr::R14),
+    ("r15", Gpr::R15),
+];
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sar => "sar",
+        AluOp::Mul => "mul",
+    }
+}
+
+fn parse_alu(s: &str) -> Option<AluOp> {
+    Some(match s {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "mul" => AluOp::Mul,
+        _ => return None,
+    })
+}
+
+fn fp_name(op: FpOp) -> &'static str {
+    match op {
+        FpOp::Add => "add",
+        FpOp::Sub => "sub",
+        FpOp::Mul => "mul",
+        FpOp::Div => "div",
+        FpOp::Sqrt => "sqrt",
+        FpOp::CvtIF => "cvtif",
+        FpOp::CvtFI => "cvtfi",
+    }
+}
+
+fn parse_fp(s: &str) -> Option<FpOp> {
+    Some(match s {
+        "add" => FpOp::Add,
+        "sub" => FpOp::Sub,
+        "mul" => FpOp::Mul,
+        "div" => FpOp::Div,
+        "sqrt" => FpOp::Sqrt,
+        "cvtif" => FpOp::CvtIF,
+        "cvtfi" => FpOp::CvtFI,
+        _ => return None,
+    })
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::E => "e",
+        Cond::Ne => "ne",
+        Cond::L => "l",
+        Cond::Ge => "ge",
+        Cond::Le => "le",
+        Cond::G => "g",
+        Cond::B => "b",
+        Cond::Ae => "ae",
+        Cond::Be => "be",
+        Cond::A => "a",
+        Cond::S => "s",
+        Cond::Ns => "ns",
+    }
+}
+
+fn parse_cond(s: &str) -> Option<Cond> {
+    Some(match s {
+        "e" => Cond::E,
+        "ne" => Cond::Ne,
+        "l" => Cond::L,
+        "ge" => Cond::Ge,
+        "le" => Cond::Le,
+        "g" => Cond::G,
+        "b" => Cond::B,
+        "ae" => Cond::Ae,
+        "be" => Cond::Be,
+        "a" => Cond::A,
+        "s" => Cond::S,
+        "ns" => Cond::Ns,
+        _ => return None,
+    })
+}
+
+fn reg_name(r: Gpr) -> &'static str {
+    REG_NAMES.iter().find(|(_, g)| *g == r).map(|(n, _)| *n).unwrap_or("r?")
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Gpr, CorpusError> {
+    REG_NAMES
+        .iter()
+        .find(|(n, _)| *n == s)
+        .map(|(_, g)| *g)
+        .ok_or_else(|| err(line, format!("unknown register `{s}`")))
+}
+
+fn parse_num(s: &str, line: usize) -> Result<u64, CorpusError> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    r.map_err(|_| err(line, format!("bad number `{s}`")))
+}
+
+fn parse_src(s: &str, line: usize) -> Result<Src, CorpusError> {
+    if s.starts_with('r') && parse_reg(s, line).is_ok() {
+        Ok(Src::Reg(parse_reg(s, line)?))
+    } else {
+        Ok(Src::Imm(parse_num(s, line)?))
+    }
+}
+
+fn src_str(s: &Src) -> String {
+    match s {
+        Src::Reg(r) => reg_name(*r).to_string(),
+        Src::Imm(i) => format!("{i:#x}"),
+    }
+}
+
+/// Serializes `spec` into the `.risotto` text format.
+pub fn to_corpus_string(spec: &ProgSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "seed {:#x}", spec.seed);
+    if !spec.note.is_empty() {
+        let _ = writeln!(out, "note {}", spec.note);
+    }
+    for (i, body) in spec.routines.iter().enumerate() {
+        let _ = writeln!(out, "routine {i} {{");
+        write_body(&mut out, body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    for (t, body) in spec.threads.iter().enumerate() {
+        let _ = writeln!(out, "thread {} {{", t + 1);
+        write_body(&mut out, body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    let _ = writeln!(out, "main {{");
+    write_body(&mut out, &spec.main, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn write_body(out: &mut String, body: &[Stmt], depth: usize) {
+    let pad = "  ".repeat(depth);
+    for s in body {
+        match s {
+            Stmt::MovImm { dst, imm } => {
+                let _ = writeln!(out, "{pad}mov {} = {imm:#x}", reg_name(*dst));
+            }
+            Stmt::MovReg { dst, src } => {
+                let _ = writeln!(out, "{pad}movr {} = {}", reg_name(*dst), reg_name(*src));
+            }
+            Stmt::Alu { op, dst, src } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}alu {} {}, {}",
+                    alu_name(*op),
+                    reg_name(*dst),
+                    src_str(src)
+                );
+            }
+            Stmt::Div { src } => {
+                let _ = writeln!(out, "{pad}div {}", reg_name(*src));
+            }
+            Stmt::Fp { op, dst, src } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}fp {} {}, {}",
+                    fp_name(*op),
+                    reg_name(*dst),
+                    reg_name(*src)
+                );
+            }
+            Stmt::Load { dst, slot } => {
+                let _ = writeln!(out, "{pad}load {} = p{slot}", reg_name(*dst));
+            }
+            Stmt::Store { slot, src } => {
+                let _ = writeln!(out, "{pad}store p{slot} = {}", reg_name(*src));
+            }
+            Stmt::LoadB { dst, slot, byte } => {
+                let _ = writeln!(out, "{pad}loadb {} = p{slot}.{byte}", reg_name(*dst));
+            }
+            Stmt::StoreB { slot, byte, src } => {
+                let _ = writeln!(out, "{pad}storeb p{slot}.{byte} = {}", reg_name(*src));
+            }
+            Stmt::LoadShared { dst, cell } => {
+                let _ = writeln!(out, "{pad}loadsh {} = s{cell}", reg_name(*dst));
+            }
+            Stmt::Cmp { a, src } => {
+                let _ = writeln!(out, "{pad}cmp {}, {}", reg_name(*a), src_str(src));
+            }
+            Stmt::Test { a, b } => {
+                let _ = writeln!(out, "{pad}test {}, {}", reg_name(*a), reg_name(*b));
+            }
+            Stmt::Fence => {
+                let _ = writeln!(out, "{pad}fence");
+            }
+            Stmt::Spill { reg, imm } => {
+                let _ = writeln!(out, "{pad}spill {}, {imm:#x}", reg_name(*reg));
+            }
+            Stmt::If { cond, a, imm, then_body, else_body } => {
+                let _ = writeln!(out, "{pad}if {} {}, {imm:#x} {{", cond_name(*cond), reg_name(*a));
+                write_body(out, then_body, depth + 1);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    write_body(out, else_body, depth + 1);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::Loop { trips, body } => {
+                let _ = writeln!(out, "{pad}loop {trips} {{");
+                write_body(out, body, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Call { routine } => {
+                let _ = writeln!(out, "{pad}call {routine}");
+            }
+            Stmt::AtomicAdd { cell, k } => {
+                let _ = writeln!(out, "{pad}xadd s{cell} += {k:#x}");
+            }
+            Stmt::CasAdd { cell, k } => {
+                let _ = writeln!(out, "{pad}casadd s{cell} += {k:#x}");
+            }
+            Stmt::Cmpxchg { slot, expect, newv } => {
+                let _ = writeln!(out, "{pad}cmpxchg p{slot} exp {expect:#x} new {newv:#x}");
+            }
+            Stmt::Write { slot } => {
+                let _ = writeln!(out, "{pad}write p{slot}");
+            }
+            Stmt::Gettid => {
+                let _ = writeln!(out, "{pad}gettid");
+            }
+        }
+    }
+}
+
+/// Parses a `.risotto` corpus file back into a validated [`ProgSpec`].
+pub fn parse_corpus(text: &str) -> Result<ProgSpec, CorpusError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut it = lines.into_iter().peekable();
+
+    let (ln, first) = it.next().ok_or_else(|| err(0, "empty corpus file"))?;
+    if first != HEADER {
+        return Err(err(ln, format!("expected `{HEADER}`, got `{first}`")));
+    }
+
+    let mut spec = ProgSpec {
+        seed: 0,
+        main: Vec::new(),
+        threads: Vec::new(),
+        routines: Vec::new(),
+        note: String::new(),
+    };
+    let mut seen_main = false;
+
+    while let Some((ln, line)) = it.next() {
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("seed") => {
+                let v = words.next().ok_or_else(|| err(ln, "seed needs a value"))?;
+                spec.seed = parse_num(v, ln)?;
+            }
+            Some("note") => {
+                spec.note = line["note".len()..].trim().to_string();
+            }
+            Some("routine") => {
+                let idx: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(ln, "routine needs an index"))?;
+                if idx != spec.routines.len() {
+                    return Err(err(ln, format!("routine {idx} out of order")));
+                }
+                expect_open(line, ln)?;
+                let (body, _) = parse_block(&mut it)?;
+                spec.routines.push(body);
+            }
+            Some("thread") => {
+                let idx: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(ln, "thread needs an index"))?;
+                if idx != spec.threads.len() + 1 {
+                    return Err(err(
+                        ln,
+                        format!("thread {idx} out of order (expected {})", spec.threads.len() + 1),
+                    ));
+                }
+                expect_open(line, ln)?;
+                let (body, _) = parse_block(&mut it)?;
+                spec.threads.push(body);
+            }
+            Some("main") => {
+                expect_open(line, ln)?;
+                let (body, _) = parse_block(&mut it)?;
+                spec.main = body;
+                seen_main = true;
+            }
+            Some(w) => return Err(err(ln, format!("unexpected section `{w}`"))),
+            None => {}
+        }
+    }
+    if !seen_main {
+        return Err(err(0, "missing `main` section"));
+    }
+    spec.validate().map_err(|e| err(0, format!("invalid spec: {e}")))?;
+    Ok(spec)
+}
+
+fn expect_open(line: &str, ln: usize) -> Result<(), CorpusError> {
+    if line.ends_with('{') {
+        Ok(())
+    } else {
+        Err(err(ln, "expected `{` at end of line"))
+    }
+}
+
+/// How a block terminated: plain `}` or `} else {`.
+enum BlockEnd {
+    Close,
+    Else,
+}
+
+type LineIter<'a> = std::iter::Peekable<std::vec::IntoIter<(usize, &'a str)>>;
+
+fn parse_block(it: &mut LineIter<'_>) -> Result<(Vec<Stmt>, BlockEnd), CorpusError> {
+    let mut body = Vec::new();
+    loop {
+        let (ln, line) = it.next().ok_or_else(|| err(0, "unterminated block"))?;
+        if line == "}" {
+            return Ok((body, BlockEnd::Close));
+        }
+        if line == "} else {" {
+            return Ok((body, BlockEnd::Else));
+        }
+        body.push(parse_stmt(line, ln, it)?);
+    }
+}
+
+fn parse_stmt(line: &str, ln: usize, it: &mut LineIter<'_>) -> Result<Stmt, CorpusError> {
+    // Drop the cosmetic separators (`+=`, `=`, `,`) so every statement
+    // is a flat token list.
+    let cleaned = line.replace("+=", " ").replace(['=', ','], " ");
+    let t: Vec<&str> = cleaned.split_whitespace().collect();
+    let get = |i: usize| -> Result<&str, CorpusError> {
+        t.get(i).copied().ok_or_else(|| err(ln, "truncated statement"))
+    };
+    let slot_of = |s: &str| -> Result<u16, CorpusError> {
+        s.strip_prefix('p')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(ln, format!("expected private slot `pN`, got `{s}`")))
+    };
+    let cell_of = |s: &str| -> Result<u8, CorpusError> {
+        s.strip_prefix('s')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(ln, format!("expected shared cell `sN`, got `{s}`")))
+    };
+    let slot_byte = |s: &str| -> Result<(u16, u8), CorpusError> {
+        let rest =
+            s.strip_prefix('p').ok_or_else(|| err(ln, format!("expected `pN.B`, got `{s}`")))?;
+        let (a, b) =
+            rest.split_once('.').ok_or_else(|| err(ln, format!("expected `pN.B`, got `{s}`")))?;
+        match (a.parse(), b.parse()) {
+            (Ok(slot), Ok(byte)) => Ok((slot, byte)),
+            _ => Err(err(ln, format!("bad slot/byte `{s}`"))),
+        }
+    };
+
+    Ok(match get(0)? {
+        "mov" => Stmt::MovImm { dst: parse_reg(get(1)?, ln)?, imm: parse_num(get(2)?, ln)? },
+        "movr" => Stmt::MovReg { dst: parse_reg(get(1)?, ln)?, src: parse_reg(get(2)?, ln)? },
+        "alu" => Stmt::Alu {
+            op: parse_alu(get(1)?).ok_or_else(|| err(ln, "unknown alu op"))?,
+            dst: parse_reg(get(2)?, ln)?,
+            src: parse_src(get(3)?, ln)?,
+        },
+        "div" => Stmt::Div { src: parse_reg(get(1)?, ln)? },
+        "fp" => Stmt::Fp {
+            op: parse_fp(get(1)?).ok_or_else(|| err(ln, "unknown fp op"))?,
+            dst: parse_reg(get(2)?, ln)?,
+            src: parse_reg(get(3)?, ln)?,
+        },
+        "load" => Stmt::Load { dst: parse_reg(get(1)?, ln)?, slot: slot_of(get(2)?)? },
+        "store" => Stmt::Store { slot: slot_of(get(1)?)?, src: parse_reg(get(2)?, ln)? },
+        "loadb" => {
+            let (slot, byte) = slot_byte(get(2)?)?;
+            Stmt::LoadB { dst: parse_reg(get(1)?, ln)?, slot, byte }
+        }
+        "storeb" => {
+            let (slot, byte) = slot_byte(get(1)?)?;
+            Stmt::StoreB { slot, byte, src: parse_reg(get(2)?, ln)? }
+        }
+        "loadsh" => Stmt::LoadShared { dst: parse_reg(get(1)?, ln)?, cell: cell_of(get(2)?)? },
+        "cmp" => Stmt::Cmp { a: parse_reg(get(1)?, ln)?, src: parse_src(get(2)?, ln)? },
+        "test" => Stmt::Test { a: parse_reg(get(1)?, ln)?, b: parse_reg(get(2)?, ln)? },
+        "fence" => Stmt::Fence,
+        "spill" => Stmt::Spill { reg: parse_reg(get(1)?, ln)?, imm: parse_num(get(2)?, ln)? },
+        "if" => {
+            let cond = parse_cond(get(1)?).ok_or_else(|| err(ln, "unknown condition"))?;
+            let a = parse_reg(get(2)?, ln)?;
+            let imm = parse_num(get(3)?, ln)?;
+            if t.last() != Some(&"{") {
+                return Err(err(ln, "expected `{` at end of if"));
+            }
+            let (then_body, end) = parse_block(it)?;
+            let else_body = match end {
+                BlockEnd::Else => {
+                    let (eb, end2) = parse_block(it)?;
+                    if matches!(end2, BlockEnd::Else) {
+                        return Err(err(ln, "double else"));
+                    }
+                    eb
+                }
+                BlockEnd::Close => Vec::new(),
+            };
+            Stmt::If { cond, a, imm, then_body, else_body }
+        }
+        "loop" => {
+            let trips = parse_num(get(1)?, ln)? as u16;
+            if t.last() != Some(&"{") {
+                return Err(err(ln, "expected `{` at end of loop"));
+            }
+            let (body, end) = parse_block(it)?;
+            if matches!(end, BlockEnd::Else) {
+                return Err(err(ln, "stray else after loop"));
+            }
+            Stmt::Loop { trips, body }
+        }
+        "call" => {
+            Stmt::Call { routine: get(1)?.parse().map_err(|_| err(ln, "bad routine index"))? }
+        }
+        "xadd" => Stmt::AtomicAdd { cell: cell_of(get(1)?)?, k: parse_num(get(2)?, ln)? as u32 },
+        "casadd" => Stmt::CasAdd { cell: cell_of(get(1)?)?, k: parse_num(get(2)?, ln)? as u32 },
+        "cmpxchg" => Stmt::Cmpxchg {
+            slot: slot_of(get(1)?)?,
+            expect: parse_num(get(3)?, ln)? as u32,
+            newv: parse_num(get(5)?, ln)? as u32,
+        },
+        "write" => Stmt::Write { slot: slot_of(get(1)?)? },
+        "gettid" => Stmt::Gettid,
+        w => return Err(err(ln, format!("unknown statement `{w}`"))),
+    })
+}

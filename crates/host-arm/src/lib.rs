@@ -43,7 +43,7 @@ pub use insn::{
     ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET,
 };
 pub use machine::{
-    CacheStats, ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn, NativeResult,
-    SchedPolicy, TbProf, CODE_BASE,
+    AtomicEvent, CacheStats, ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn,
+    NativeResult, SchedPolicy, TbProf, CODE_BASE,
 };
 pub use verify::check_encoding;

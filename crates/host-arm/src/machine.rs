@@ -139,6 +139,24 @@ pub struct CoreStats {
     pub fence_cycles: u64,
 }
 
+/// One atomic read-modify-write recorded by the machine's atomic-access
+/// log (see [`Machine::set_atomic_log`]). Every successful or failed
+/// hardware RMW — `casal`, `ldaddal`, a winning `stxr`, and the
+/// sequentially-consistent helper atomics — appends one event in
+/// execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicEvent {
+    /// Core that executed the access.
+    pub core: usize,
+    /// Target memory address.
+    pub addr: u64,
+    /// Value the RMW read from memory.
+    pub old: u64,
+    /// Value the RMW left in memory (equals `old` for a failed
+    /// compare-exchange).
+    pub new: u64,
+}
+
 /// Counters for the translation-block code cache (machine-wide totals).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -292,6 +310,9 @@ pub struct Machine {
     /// Guest pcs whose current translation is a superblock. Suppresses
     /// re-promotion signals and feeds `ChainStats::sb_entries`.
     sb_heads: HashSet<u64>,
+    /// Ordered atomic RMW event log; `None` (the default) disables
+    /// recording entirely. See [`Machine::set_atomic_log`].
+    atomic_log: Option<Vec<AtomicEvent>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -336,6 +357,28 @@ impl Machine {
             pending_free: Vec::new(),
             hot_threshold: None,
             sb_heads: HashSet::new(),
+            atomic_log: None,
+        }
+    }
+
+    /// Enables or disables the ordered atomic-access event log (off by
+    /// default; purely observational — never affects cycles, memory or
+    /// scheduling). Differential harnesses use the per-core sequence of
+    /// [`AtomicEvent`]s as an ordering oracle across translation
+    /// configurations. Toggling in either direction clears the log.
+    pub fn set_atomic_log(&mut self, on: bool) {
+        self.atomic_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains and returns the recorded atomic events (empty when the log
+    /// is disabled). Recording continues afterwards if enabled.
+    pub fn take_atomic_log(&mut self) -> Vec<AtomicEvent> {
+        self.atomic_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn log_atomic(&mut self, core: usize, addr: u64, old: u64, new: u64) {
+        if let Some(log) = &mut self.atomic_log {
+            log.push(AtomicEvent { core, addr, old, new });
         }
     }
 
@@ -1020,6 +1063,10 @@ impl Machine {
                 let ok = self.cores[core].monitor == Some(a);
                 self.cores[core].monitor = None;
                 if ok {
+                    if self.atomic_log.is_some() {
+                        let prev = self.mem.read_u64(a);
+                        self.log_atomic(core, a, prev, v);
+                    }
                     self.mem.write_u64(a, v);
                     Self::invalidate_monitors(&mut self.cores, core, a);
                 }
@@ -1038,6 +1085,7 @@ impl Machine {
                     self.mem.write_u64(a, newv);
                     Self::invalidate_monitors(&mut self.cores, core, a);
                 }
+                self.log_atomic(core, a, old, if old == expected { newv } else { old });
                 self.cores[core].set(cmp_old, old);
                 self.cores[core].stats.atomics += 1;
                 let extra = if acq_rel { cost.acq_rel_extra } else { 0 };
@@ -1051,6 +1099,7 @@ impl Machine {
                 let prev = self.mem.read_u64(a);
                 self.mem.write_u64(a, prev.wrapping_add(add));
                 Self::invalidate_monitors(&mut self.cores, core, a);
+                self.log_atomic(core, a, prev, prev.wrapping_add(add));
                 self.cores[core].set(old, prev);
                 self.cores[core].stats.atomics += 1;
                 let ac = self.atomic_cost(core, a, cost.atomic);
@@ -1220,6 +1269,7 @@ impl Machine {
                     self.mem.write_u64(a0, a2);
                     Self::invalidate_monitors(&mut self.cores, core, a0);
                 }
+                self.log_atomic(core, a0, old, if old == a1 { a2 } else { old });
                 self.cores[core].stats.atomics += 1;
                 let ac = self.atomic_cost(core, a0, cost.atomic);
                 self.cores[core].cycles += ac;
@@ -1231,6 +1281,7 @@ impl Machine {
                 let old = self.mem.read_u64(a0);
                 self.mem.write_u64(a0, old.wrapping_add(a1));
                 Self::invalidate_monitors(&mut self.cores, core, a0);
+                self.log_atomic(core, a0, old, old.wrapping_add(a1));
                 self.cores[core].stats.atomics += 1;
                 let ac = self.atomic_cost(core, a0, cost.atomic);
                 self.cores[core].cycles += ac;

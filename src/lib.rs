@@ -36,6 +36,8 @@
 
 /// The DBT engine and dynamic host linker.
 pub use risotto_core as core;
+/// Differential fuzzing: random programs, cross-tier oracles, minimizer.
+pub use risotto_fuzz as fuzz;
 /// The MiniX86 guest ISA, assembler and GELF format.
 pub use risotto_guest_x86 as guest;
 /// The MiniArm host ISA, backend and machine simulator.

@@ -18,40 +18,33 @@ use risotto::memmodel::{EventId, FenceKind, Relation};
 use risotto::tcg::{env, eval_block, optimize, BinOp, CondOp, OptPolicy, TbExit, TcgBlock, TcgOp};
 
 // ---------------------------------------------------------------------
-// Deterministic generator: splitmix64-seeded xorshift64*.
+// Deterministic generator: the workspace-shared SplitMix64 stream (the
+// same one behind FaultPlan and the fuzzer), wrapped with the width
+// helpers these properties want.
 // ---------------------------------------------------------------------
 
-struct Rng(u64);
+struct Rng(risotto::core::SplitMix64);
 
 impl Rng {
     fn new(seed: u64) -> Self {
-        // splitmix64 scramble so small consecutive seeds diverge.
-        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        Rng((z ^ (z >> 31)) | 1)
+        Rng(risotto::core::SplitMix64::new(seed))
     }
 
     fn u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        self.0.next_u64()
     }
 
     /// Uniform in `0..n` (n > 0).
     fn below(&mut self, n: u64) -> u64 {
-        self.u64() % n
+        self.0.below(n)
     }
 
     fn usize_below(&mut self, n: usize) -> usize {
-        (self.u64() % n as u64) as usize
+        self.0.usize_below(n)
     }
 
     fn u8_below(&mut self, n: u8) -> u8 {
-        (self.u64() % u64::from(n)) as u8
+        self.0.below(u64::from(n)) as u8
     }
 
     fn u16(&mut self) -> u16 {
