@@ -17,6 +17,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # mode. Any clean-corpus violation or surviving mutant fails CI.
 RISOTTO_VERIFY_SMOKE=1 cargo test -q --release --test verifier
 
+# Determinism gate: the same IR must lower to bit-identical host bytes
+# and allocation statistics twice, across the kernel/litmus/fuzz corpora
+# and stitched tier-2 superblocks, under both RMW styles.
+RISOTTO_VERIFY_SMOKE=1 cargo test -q --release --test determinism
+
 # End-to-end pipeline bench in smoke mode: runs the 16-kernel suite at a
 # CI-sized scale and emits BENCH_pipeline.json (per-kernel cycles +
 # TB-chain hit rate + registry snapshot + tier-2 superblock delta).
@@ -41,6 +46,27 @@ for k in doc["kernels"]:
     assert "cycle_delta" in sb and "fences_merged_cross" in sb, k["kernel"]
 EOF
 fi
+
+# Codegen-performance gate: per-kernel simulated cycles must not exceed
+# the checked-in ceilings (BENCH_baseline.json) on either tier. The
+# simulator is deterministic, so any increase is a genuine codegen or
+# engine regression, not noise.
+python3 - BENCH_pipeline.json BENCH_baseline.json <<'EOF'
+import json, sys
+new = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))["kernels"]
+bad = []
+for k in new["kernels"]:
+    b = base[k["kernel"]]
+    if k["cycles"] > b["cycles"]:
+        bad.append(f'{k["kernel"]}: tier-1 {k["cycles"]} > baseline {b["cycles"]}')
+    if k["superblock"]["tier2_cycles"] > b["tier2_cycles"]:
+        bad.append(
+            f'{k["kernel"]}: tier-2 {k["superblock"]["tier2_cycles"]}'
+            f' > baseline {b["tier2_cycles"]}'
+        )
+assert not bad, "cycle regression vs BENCH_baseline.json:\n  " + "\n  ".join(bad)
+EOF
 
 # Metrics-artifact smoke: fig12 at CI scale must emit a parseable,
 # versioned JSON artifact with one workload entry per kernel.

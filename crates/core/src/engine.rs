@@ -31,9 +31,9 @@ use risotto_guest_x86::{
     TEXT_BASE,
 };
 use risotto_host_arm::{
-    check_encoding, lower_block, AtomicEvent, BackendConfig, ChainStats, CoreStats, CostModel,
-    Event, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy, TbExitKind,
-    Xreg, ENV_BASE, SPILL_BASE,
+    check_encoding, lower_block_with_stats, AllocStats, AtomicEvent, BackendConfig, ChainStats,
+    CoreStats, CostModel, Event, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle,
+    SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
 };
 use risotto_memmodel::FenceKind;
 use risotto_tcg::{
@@ -588,7 +588,12 @@ impl Quarantine {
             return;
         }
         if self.map.len() >= QUARANTINE_CAPACITY {
-            if let Some(victim) = self.map.iter().min_by_key(|(_, &(_, s))| s).map(|(&pc, _)| pc) {
+            // Tie-break equal stamps on the guest pc: iteration order of
+            // the map is hash-seeded, and fault-sweep runs must be
+            // reproducible.
+            if let Some(victim) =
+                self.map.iter().min_by_key(|(&pc, &(_, s))| (s, pc)).map(|(&pc, _)| pc)
+            {
                 self.map.remove(&victim);
             }
         }
@@ -661,6 +666,9 @@ pub struct Emulator {
     /// kept out of [`Emulator::opt_totals`] so tier-1 reporting is
     /// unchanged by tiering.
     sb_opt: OptStats,
+    /// Backend register-allocation statistics summed over every lowered
+    /// block (tier-1 and tier-2), mirrored into `regalloc.*` metrics.
+    regalloc_totals: AllocStats,
     /// Frontend-emitted fences counted pre-optimization, indexed per
     /// [`FenceKind::tcg_index`].
     fence_inserted: [u64; 12],
@@ -723,6 +731,7 @@ impl Emulator {
             tiering: None,
             sb_stats: SbStats::default(),
             sb_opt: OptStats::default(),
+            regalloc_totals: AllocStats::default(),
             fence_inserted: [0; 12],
             tb_ids: HashMap::new(),
             resume_profile: HashMap::new(),
@@ -1408,8 +1417,11 @@ impl Emulator {
             backend.rmw = self.rmw_style;
         }
         let t2 = self.obs.timing.then(Instant::now);
-        let code = match lower_block(&sb, backend) {
-            Ok(code) => code,
+        let code = match lower_block_with_stats(&sb, backend) {
+            Ok(out) => {
+                self.regalloc_totals += out.alloc;
+                out.insns
+            }
             Err(_) => {
                 self.sb_stats.failures += 1;
                 return;
@@ -1547,7 +1559,12 @@ impl Emulator {
             backend.rmw = self.rmw_style;
         }
         let t2 = self.obs.timing.then(Instant::now);
-        let code = lower_block(&block, backend).map_err(|_| TbFault::Backend)?;
+        let code = lower_block_with_stats(&block, backend)
+            .map(|out| {
+                self.regalloc_totals += out.alloc;
+                out.insns
+            })
+            .map_err(|_| TbFault::Backend)?;
         let encode_ns = t2.map(|t| t.elapsed().as_nanos() as u64);
         if let Some(ns) = encode_ns {
             self.obs.registry.observe("stage.encode_ns", ns);
@@ -2027,7 +2044,9 @@ impl Emulator {
             .into_iter()
             .filter_map(|g| self.machine.lookup_tb(g).map(|h| (g, h)))
             .filter(|&(_, h)| h <= host_pc)
-            .max_by_key(|&(_, h)| h)
+            // `mapped_tbs` order is map-internal; tie-break equal host
+            // bases on the lowest guest pc so the answer is stable.
+            .max_by_key(|&(g, h)| (h, std::cmp::Reverse(g)))
             .map(|(g, _)| g)
     }
 
@@ -2212,6 +2231,14 @@ impl Emulator {
         r.set_counter("verify.ir_violations", self.verify_ir);
         r.set_counter("verify.fence_violations", self.verify_fence);
         r.set_counter("verify.encoding_violations", self.verify_encoding);
+        let ra = self.regalloc_totals;
+        r.set_counter("regalloc.env_loads", ra.env_loads);
+        r.set_counter("regalloc.env_stores", ra.env_stores);
+        r.set_counter("regalloc.env_loads_eliminated", ra.env_loads_eliminated);
+        r.set_counter("regalloc.env_stores_eliminated", ra.env_stores_eliminated);
+        r.set_counter("regalloc.spills", ra.spills);
+        r.set_counter("regalloc.reloads", ra.reloads);
+        r.set_counter("regalloc.pinned_regs", ra.pinned_regs);
         r.set_gauge("exec.cycles", self.machine.clock());
         r.set_gauge("exec.cores", self.machine.n_cores() as u64);
         r.set_gauge("tbcache.resident", self.machine.mapped_tbs().len() as u64);

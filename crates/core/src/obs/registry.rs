@@ -193,6 +193,13 @@ impl MetricsRegistry {
             spec("verify.ir_violations", Counter, "violations", "IR-lint (pass 1) rejections"),
             spec("verify.fence_violations", Counter, "violations", "Fence-obligation (pass 2) rejections"),
             spec("verify.encoding_violations", Counter, "violations", "Encoding / install read-back (pass 3) rejections"),
+            spec("regalloc.env_loads", Counter, "loads", "Env-slot LDRs emitted (first-use pin fills and refills)"),
+            spec("regalloc.env_stores", Counter, "stores", "Env-slot STRs emitted (deferred flush write-backs and dirty evictions)"),
+            spec("regalloc.env_loads_eliminated", Counter, "loads", "GetReg ops served from a pinned host register (env LDRs avoided)"),
+            spec("regalloc.env_stores_eliminated", Counter, "stores", "SetReg ops coalesced into a deferred flush (env STRs avoided)"),
+            spec("regalloc.spills", Counter, "stores", "Temp values spilled to the spill area under register pressure"),
+            spec("regalloc.reloads", Counter, "loads", "Temp values reloaded from the spill area"),
+            spec("regalloc.pinned_regs", Counter, "registers", "Distinct guest registers pinned in host registers, summed over blocks"),
             spec("exec.cycles", Gauge, "cycles", "Simulated parallel runtime (max core clock)"),
             spec("exec.cores", Gauge, "cores", "Cores configured for the run"),
             spec("tbcache.resident", Gauge, "blocks", "TB mappings resident at snapshot time"),

@@ -1,0 +1,30 @@
+//! Replays a `.risotto` corpus file through the full oracle matrix and
+//! prints every divergence. Usage:
+//!
+//! ```text
+//! cargo run -p risotto-fuzz --example replay -- path/to/file.risotto
+//! ```
+
+use risotto_fuzz::diff::{run_config, run_interp, Config};
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: replay <file.risotto>");
+    let text = std::fs::read_to_string(&path).expect("read corpus file");
+    let spec = risotto_fuzz::parse_corpus(&text).expect("parse corpus file");
+    println!("spec:\n{}", risotto_fuzz::to_corpus_string(&spec));
+    let bin = spec.lower().expect("lower");
+    let interp = run_interp(&spec, &bin).expect("interp");
+    let t1 = run_config(&spec, &bin, Config::Tier1).expect("tier1");
+    for i in 0..16 {
+        let (a, b) = (interp.regs[0][i], t1.regs[0][i]);
+        let mark = if a == b { "  " } else { "!!" };
+        println!("{mark} reg {i:2}: interp {a:#018x}  tier1 {b:#018x}");
+    }
+    println!("interp data {:x?}", interp.data);
+    println!("tier1  data {:x?}", t1.data);
+    println!("tier1 flags {:?}", t1.flags0);
+    let result = risotto_fuzz::differential(&spec);
+    for d in &result.divergences {
+        println!("DIVERGENCE {d}");
+    }
+}

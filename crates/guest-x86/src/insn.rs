@@ -94,18 +94,20 @@ pub enum FpOp {
 }
 
 impl FpOp {
-    /// Applies the operation to bit-pattern operands.
+    /// Applies the operation to bit-pattern operands, with the
+    /// deterministic NaN discipline of [`crate::softfloat`] — every
+    /// layer of the pipeline (interpreter, TCG evaluator, host helpers,
+    /// hardware FP) must produce these exact bits.
     pub fn apply(self, a: u64, b: u64) -> u64 {
-        let fa = f64::from_bits(a);
-        let fb = f64::from_bits(b);
+        use crate::softfloat as sf;
         match self {
-            FpOp::Add => (fa + fb).to_bits(),
-            FpOp::Sub => (fa - fb).to_bits(),
-            FpOp::Mul => (fa * fb).to_bits(),
-            FpOp::Div => (fa / fb).to_bits(),
-            FpOp::Sqrt => fb.sqrt().to_bits(),
-            FpOp::CvtIF => ((b as i64) as f64).to_bits(),
-            FpOp::CvtFI => (fb as i64) as u64,
+            FpOp::Add => sf::add(a, b),
+            FpOp::Sub => sf::sub(a, b),
+            FpOp::Mul => sf::mul(a, b),
+            FpOp::Div => sf::div(a, b),
+            FpOp::Sqrt => sf::sqrt(b),
+            FpOp::CvtIF => sf::cvt_if(b),
+            FpOp::CvtFI => sf::cvt_fi(b),
         }
     }
 

@@ -46,6 +46,7 @@ mod gelf;
 mod insn;
 mod interp;
 mod regs;
+pub mod softfloat;
 
 pub use asm::{AsmError, Assembler};
 pub use gelf::{

@@ -21,8 +21,9 @@
 //! `casal`.
 
 use crate::insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, TbExitKind, Xreg};
+use crate::regalloc::{AllocStats, Allocator};
 use risotto_memmodel::FenceKind;
-use risotto_tcg::{BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
+use risotto_tcg::{BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp};
 use std::collections::HashMap;
 
 /// Errors surfaced by the TCG→MiniArm backend.
@@ -44,6 +45,17 @@ pub enum BackendError {
         /// Index of the TCG op being lowered when allocation failed.
         at_op: usize,
     },
+    /// A temp was read before any op defined it. The verifier's Pass 1
+    /// lint rejects such IR, but the backend must not depend on the lint
+    /// having run: without this error a never-defined temp would
+    /// silently reload garbage from its uninitialized spill slot.
+    UndefinedTemp {
+        /// The temp index that was read before definition.
+        temp: u32,
+        /// Index of the TCG op doing the read (`ops.len()` means the
+        /// block exit).
+        at_op: usize,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -54,6 +66,9 @@ impl std::fmt::Display for BackendError {
             }
             BackendError::RegisterPressure { at_op } => {
                 write!(f, "backend: register pool exhausted at op #{at_op}")
+            }
+            BackendError::UndefinedTemp { temp, at_op } => {
+                write!(f, "backend: temp t{temp} read before definition at op #{at_op}")
             }
         }
     }
@@ -209,135 +224,13 @@ impl HostAsm {
 }
 
 // ---------------------------------------------------------------------
-// Linear-scan register allocation.
-// ---------------------------------------------------------------------
-
-#[derive(Debug)]
-struct Alloc {
-    pool: Vec<Xreg>,
-    /// temp → host reg
-    in_reg: HashMap<Temp, Xreg>,
-    /// temp → spilled flag (slot = temp index)
-    spilled: HashMap<Temp, bool>,
-    /// reg → temp
-    holder: HashMap<Xreg, Temp>,
-    last_use: Vec<usize>,
-}
-
-impl Alloc {
-    fn new(pool: Vec<Xreg>, block: &TcgBlock) -> Alloc {
-        let mut last_use = vec![0usize; block.n_temps as usize];
-        for (i, op) in block.ops.iter().enumerate() {
-            for u in op.uses() {
-                last_use[u.0 as usize] = i;
-            }
-            if let Some(d) = op.def() {
-                last_use[d.0 as usize] = last_use[d.0 as usize].max(i);
-            }
-        }
-        let exit_idx = block.ops.len();
-        match &block.exit {
-            TbExit::JumpReg(t) => last_use[t.0 as usize] = exit_idx,
-            TbExit::CondJump { flag, .. } => last_use[flag.0 as usize] = exit_idx,
-            _ => {}
-        }
-        Alloc {
-            pool,
-            in_reg: HashMap::new(),
-            spilled: HashMap::new(),
-            holder: HashMap::new(),
-            last_use,
-        }
-    }
-
-    fn free_dead(&mut self, idx: usize) {
-        let dead: Vec<Temp> =
-            self.in_reg.keys().copied().filter(|t| self.last_use[t.0 as usize] < idx).collect();
-        for t in dead {
-            if let Some(r) = self.in_reg.remove(&t) {
-                self.holder.remove(&r);
-            }
-        }
-    }
-
-    fn free_reg(
-        &mut self,
-        asm: &mut HostAsm,
-        idx: usize,
-        forbid: &[Xreg],
-    ) -> Result<Xreg, BackendError> {
-        for &r in &self.pool {
-            if !self.holder.contains_key(&r) && !forbid.contains(&r) {
-                return Ok(r);
-            }
-        }
-        // Spill the holder with the furthest next use.
-        let (&victim_reg, &victim_temp) = self
-            .holder
-            .iter()
-            .filter(|(r, _)| !forbid.contains(r))
-            .max_by_key(|(_, t)| self.last_use[t.0 as usize])
-            .ok_or(BackendError::RegisterPressure { at_op: idx })?;
-        asm.push(HostInsn::Str {
-            src: victim_reg,
-            base: SPILL_BASE,
-            off: victim_temp.0 as i32 * 8,
-            order: MemOrder::Plain,
-        });
-        self.spilled.insert(victim_temp, true);
-        self.in_reg.remove(&victim_temp);
-        self.holder.remove(&victim_reg);
-        Ok(victim_reg)
-    }
-
-    /// Register holding `t`, reloading from the spill area if needed.
-    fn use_reg(
-        &mut self,
-        asm: &mut HostAsm,
-        idx: usize,
-        t: Temp,
-        forbid: &[Xreg],
-    ) -> Result<Xreg, BackendError> {
-        if let Some(&r) = self.in_reg.get(&t) {
-            return Ok(r);
-        }
-        let r = self.free_reg(asm, idx, forbid)?;
-        debug_assert!(
-            self.spilled.get(&t).copied().unwrap_or(false),
-            "use of temp {t:?} that was never defined"
-        );
-        asm.push(HostInsn::Ldr {
-            dst: r,
-            base: SPILL_BASE,
-            off: t.0 as i32 * 8,
-            order: MemOrder::Plain,
-        });
-        self.in_reg.insert(t, r);
-        self.holder.insert(r, t);
-        Ok(r)
-    }
-
-    /// Register for defining `t`.
-    fn def_reg(
-        &mut self,
-        asm: &mut HostAsm,
-        idx: usize,
-        t: Temp,
-        forbid: &[Xreg],
-    ) -> Result<Xreg, BackendError> {
-        if let Some(&r) = self.in_reg.get(&t) {
-            return Ok(r);
-        }
-        let r = self.free_reg(asm, idx, forbid)?;
-        self.in_reg.insert(t, r);
-        self.holder.insert(r, t);
-        Ok(r)
-    }
-}
-
-// ---------------------------------------------------------------------
 // Lowering.
 // ---------------------------------------------------------------------
+//
+// Register allocation lives in `crate::regalloc`: a liveness prepass
+// plus a deterministic block-scoped allocator that pins guest env
+// registers in host registers (loads once on first use, write-back
+// deferred to the flush points below) and spills temps Belady-style.
 
 pub(crate) fn helper_index(h: Helper) -> u8 {
     match h {
@@ -401,88 +294,118 @@ fn direct_reg(env_reg: u8) -> Xreg {
     }
 }
 
+/// The backend's lowering product: the host instruction stream plus the
+/// register-allocation statistics behind it (mirrored into the
+/// `regalloc.*` registry metrics by the engine).
+#[derive(Debug, Clone)]
+pub struct LowerOutput {
+    /// Lowered host instructions, labels resolved.
+    pub insns: Vec<HostInsn>,
+    /// Allocation statistics for this block.
+    pub alloc: AllocStats,
+}
+
 /// Lowers an (optimized) TCG block to host instructions.
 ///
 /// Returns a [`BackendError`] instead of panicking when lowering cannot
-/// proceed (unbound label, unallocatable register combination).
+/// proceed (unbound label, unallocatable register combination, temp
+/// read before definition). Convenience wrapper over
+/// [`lower_block_with_stats`] for callers that do not consume the
+/// allocation statistics.
 pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>, BackendError> {
+    lower_block_with_stats(block, cfg).map(|out| out.insns)
+}
+
+/// Lowers an (optimized) TCG block and reports the allocation
+/// statistics ([`AllocStats`]) alongside the instruction stream.
+///
+/// Guest env registers are pinned in host registers for the whole block
+/// (loaded once on first use, including across `TbBoundary` seams in
+/// superblocks); dirty env registers are written back at every point
+/// where execution can leave the block or an external observer could
+/// look at the env: all block exits, `SideExit` deopt paths, helper
+/// calls, and `Cas`/`AtomicAdd` sequences.
+pub fn lower_block_with_stats(
+    block: &TcgBlock,
+    cfg: BackendConfig,
+) -> Result<LowerOutput, BackendError> {
     let pool: Vec<Xreg> = if cfg.direct_regs {
         [0, 1, 2, 3, 4, 5, 26, 29].iter().map(|&r| Xreg(r)).collect()
     } else {
         (9..=26).map(Xreg).collect()
     };
-    let mut alloc = Alloc::new(pool, block);
+    let mut alloc = Allocator::new(block, pool, !cfg.direct_regs);
     let mut asm = HostAsm::new();
+    let (mut get_regs, mut set_regs) = (0u64, 0u64);
 
     for (idx, op) in block.ops.iter().enumerate() {
         alloc.free_dead(idx);
         match op {
             TcgOp::MovI { dst, val } => {
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[])?;
-                asm.push(HostInsn::MovImm { dst: rd, imm: *val });
+                // Zero-cost: the constant is recorded and materialized
+                // (`MovImm`) only at the first read; equal constants in
+                // one block share a single host register.
+                alloc.def_const(*dst, *val);
             }
             TcgOp::Mov { dst, src } => {
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[rs])?;
-                asm.push(HostInsn::MovReg { dst: rd, src: rs });
+                if let Some(c) = alloc.const_of(*src) {
+                    alloc.def_const(*dst, c);
+                } else {
+                    let rs = alloc.read_temp(&mut asm, idx, idx, *src, &[])?;
+                    let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[rs])?;
+                    asm.push(HostInsn::MovReg { dst: rd, src: rs });
+                }
             }
             TcgOp::GetReg { dst, reg } => {
                 if cfg.direct_regs {
-                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[])?;
+                    let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[])?;
                     asm.push(HostInsn::MovReg { dst: rd, src: direct_reg(*reg) });
                 } else {
-                    let rd = alloc.def_reg(&mut asm, idx, *dst, &[])?;
-                    asm.push(HostInsn::Ldr {
-                        dst: rd,
-                        base: ENV_BASE,
-                        off: *reg as i32 * 8,
-                        order: MemOrder::Plain,
-                    });
+                    // Zero-cost alias: the env value is pinned (loaded
+                    // lazily at its first read) and `dst` reads from it.
+                    get_regs += 1;
+                    alloc.alias_env(*dst, *reg);
                 }
             }
             TcgOp::SetReg { reg, src } => {
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[])?;
+                let rs = alloc.read_temp(&mut asm, idx, idx, *src, &[])?;
                 if cfg.direct_regs {
                     asm.push(HostInsn::MovReg { dst: direct_reg(*reg), src: rs });
                 } else {
-                    asm.push(HostInsn::Str {
-                        src: rs,
-                        base: ENV_BASE,
-                        off: *reg as i32 * 8,
-                        order: MemOrder::Plain,
-                    });
+                    set_regs += 1;
+                    alloc.write_env(&mut asm, idx, idx, *reg, *src, rs)?;
                 }
             }
             TcgOp::Ld { dst, addr } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
+                let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra])?;
                 asm.push(HostInsn::Ldr { dst: rd, base: ra, off: 0, order: MemOrder::Plain });
             }
             TcgOp::St { addr, src } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
+                let rs = alloc.read_temp(&mut asm, idx, idx, *src, &[ra])?;
                 asm.push(HostInsn::Str { src: rs, base: ra, off: 0, order: MemOrder::Plain });
             }
             TcgOp::Ld8 { dst, addr } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
+                let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra])?;
                 asm.push(HostInsn::LdrB { dst: rd, base: ra, off: 0 });
             }
             TcgOp::St8 { addr, src } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
-                let rs = alloc.use_reg(&mut asm, idx, *src, &[ra])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
+                let rs = alloc.read_temp(&mut asm, idx, idx, *src, &[ra])?;
                 asm.push(HostInsn::StrB { src: rs, base: ra, off: 0 });
             }
             TcgOp::Bin { op, dst, a, b } => {
-                let ra = alloc.use_reg(&mut asm, idx, *a, &[])?;
-                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *a, &[])?;
+                let rb = alloc.read_temp(&mut asm, idx, idx, *b, &[ra])?;
+                let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra, rb])?;
                 asm.push(HostInsn::Alu { op: bin_op_of(*op), dst: rd, a: ra, b: rb });
             }
             TcgOp::Setcond { cond, dst, a, b } => {
-                let ra = alloc.use_reg(&mut asm, idx, *a, &[])?;
-                let rb = alloc.use_reg(&mut asm, idx, *b, &[ra])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rb])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *a, &[])?;
+                let rb = alloc.read_temp(&mut asm, idx, idx, *b, &[ra])?;
+                let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra, rb])?;
                 asm.push(HostInsn::Cmp { a: ra, b: rb });
                 asm.push(HostInsn::Cset { dst: rd, cond: cond_of(*cond) });
             }
@@ -501,10 +424,15 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
                 }
             }
             TcgOp::Cas { dst, addr, expect, new } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
-                let re = alloc.use_reg(&mut asm, idx, *expect, &[ra])?;
-                let rn = alloc.use_reg(&mut asm, idx, *new, &[ra, re])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, re, rn])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
+                let re = alloc.read_temp(&mut asm, idx, idx, *expect, &[ra])?;
+                let rn = alloc.read_temp(&mut asm, idx, idx, *new, &[ra, re])?;
+                let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra, re, rn])?;
+                // Atomic sequences are env flush points: an exclusive
+                // monitor/contention path must never race a stale env.
+                // The stores land before the sequence begins, so nothing
+                // intrudes between LDXR and STXR.
+                alloc.flush_env(&mut asm, true);
                 match cfg.rmw {
                     RmwStyle::Casal => {
                         // casal rd, rn, [ra] with rd preloaded with expect.
@@ -531,9 +459,10 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
                 }
             }
             TcgOp::AtomicAdd { dst, addr, val } => {
-                let ra = alloc.use_reg(&mut asm, idx, *addr, &[])?;
-                let rv = alloc.use_reg(&mut asm, idx, *val, &[ra])?;
-                let rd = alloc.def_reg(&mut asm, idx, *dst, &[ra, rv])?;
+                let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
+                let rv = alloc.read_temp(&mut asm, idx, idx, *val, &[ra])?;
+                let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra, rv])?;
+                alloc.flush_env(&mut asm, true);
                 match cfg.rmw {
                     RmwStyle::Casal => {
                         asm.push(HostInsn::LdaddAl { old: rd, addend: rv, addr: ra });
@@ -558,56 +487,74 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
                 // trace) when the flag's truth matches the profiled
                 // direction, otherwise leave via a chainable direct
                 // jump — side exits dispatch and chain exactly like a
-                // tier-1 `Jump` exit.
-                let r = alloc.use_reg(&mut asm, idx, *flag, &[])?;
+                // tier-1 `Jump` exit. The dirty-env write-back sits on
+                // the leave path only (stores do not touch nzcv, so they
+                // are safe between the compare and the exit): the hot
+                // stay path pays nothing, and the dirty bits survive for
+                // the next flush point.
+                let r = alloc.read_temp(&mut asm, idx, idx, *flag, &[])?;
                 let l_stay = asm.fresh_label();
                 asm.push(HostInsn::CmpImm { a: r, imm: 0 });
                 asm.bcond_to(if *stay_if { ACond::Ne } else { ACond::Eq }, l_stay);
+                alloc.flush_env(&mut asm, false);
                 asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *target, chain: 0 }));
                 asm.bind(l_stay);
             }
             TcgOp::TbBoundary { .. } => {
-                // Pure metadata: the seam generates no host code.
+                // Pure metadata: the seam generates no host code, and
+                // the allocation state (pinned env registers included)
+                // deliberately survives it — this is where superblock
+                // residency compounds.
             }
             TcgOp::CallHelper { helper, args, ret } => {
                 if cfg.hardware_fp {
                     if let Some(fp) = fp_op_of(*helper) {
-                        let ra = alloc.use_reg(&mut asm, idx, args[0], &[])?;
-                        let rb = alloc.use_reg(&mut asm, idx, args[1], &[ra])?;
+                        let ra = alloc.read_temp(&mut asm, idx, idx, args[0], &[])?;
+                        let rb = alloc.read_temp(&mut asm, idx, idx, args[1], &[ra])?;
                         if let Some(r) = ret {
-                            let rd = alloc.def_reg(&mut asm, idx, *r, &[ra, rb])?;
+                            let rd = alloc.def_temp(&mut asm, idx, idx, *r, &[ra, rb])?;
                             asm.push(HostInsn::Fp { op: fp, dst: rd, a: ra, b: rb });
                         }
                         continue;
                     }
                 }
-                // Marshal args into X0..; call; move result out.
+                // Out-of-line call: flush the env first (helpers model
+                // runtime code that may inspect guest state), then
+                // marshal args into X0.. and move the result out.
+                alloc.flush_env(&mut asm, true);
                 for (i, a) in args.iter().enumerate() {
-                    let ra = alloc.use_reg(&mut asm, idx, *a, &[])?;
+                    let ra = alloc.read_temp(&mut asm, idx, idx, *a, &[])?;
                     asm.push(HostInsn::MovReg { dst: Xreg(i as u8), src: ra });
                 }
                 asm.push(HostInsn::Hcall { helper: helper_index(*helper) });
                 if let Some(r) = ret {
-                    let rd = alloc.def_reg(&mut asm, idx, *r, &[])?;
+                    let rd = alloc.def_temp(&mut asm, idx, idx, *r, &[])?;
                     asm.push(HostInsn::MovReg { dst: rd, src: Xreg(0) });
                 }
             }
         }
     }
 
-    // Exit.
+    // Exit: every path out of the block writes the dirty env back
+    // first, so the engine (dispatch, syscalls, interpreter fallback,
+    // final register read-out) always sees a coherent env.
     let exit_idx = block.ops.len();
     alloc.free_dead(exit_idx);
     match &block.exit {
         TbExit::Jump(pc) => {
+            alloc.flush_env(&mut asm, true);
             asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *pc, chain: 0 }));
         }
         TbExit::JumpReg(t) => {
-            let r = alloc.use_reg(&mut asm, exit_idx, *t, &[])?;
+            let r = alloc.read_temp(&mut asm, exit_idx, exit_idx, *t, &[])?;
+            alloc.flush_env(&mut asm, true);
             asm.push(HostInsn::ExitTb(TbExitKind::JumpReg { reg: r }));
         }
         TbExit::CondJump { flag, taken, fallthrough } => {
-            let r = alloc.use_reg(&mut asm, exit_idx, *flag, &[])?;
+            let r = alloc.read_temp(&mut asm, exit_idx, exit_idx, *flag, &[])?;
+            // Both arms leave the block, so one flush before the compare
+            // serves them both.
+            alloc.flush_env(&mut asm, true);
             let l_taken = asm.fresh_label();
             asm.push(HostInsn::CmpImm { a: r, imm: 0 });
             asm.bcond_to(ACond::Ne, l_taken);
@@ -615,12 +562,20 @@ pub fn lower_block(block: &TcgBlock, cfg: BackendConfig) -> Result<Vec<HostInsn>
             asm.bind(l_taken);
             asm.push(HostInsn::ExitTb(TbExitKind::Jump { guest_pc: *taken, chain: 0 }));
         }
-        TbExit::Halt => asm.push(HostInsn::ExitTb(TbExitKind::Halt)),
+        TbExit::Halt => {
+            alloc.flush_env(&mut asm, true);
+            asm.push(HostInsn::ExitTb(TbExitKind::Halt));
+        }
         TbExit::Syscall { next } => {
+            alloc.flush_env(&mut asm, true);
             asm.push(HostInsn::ExitTb(TbExitKind::Syscall { next: *next }));
         }
     }
-    asm.finish()
+    let insns = asm.finish()?;
+    let mut stats = alloc.into_stats();
+    stats.env_loads_eliminated = get_regs.saturating_sub(stats.env_loads);
+    stats.env_stores_eliminated = set_regs.saturating_sub(stats.env_stores);
+    Ok(LowerOutput { insns, alloc: stats })
 }
 
 #[cfg(test)]
@@ -780,14 +735,20 @@ mod tests {
 
     #[test]
     fn register_pressure_spills_and_reloads() {
-        // A block with >18 simultaneously live temps: force spilling.
+        // A block with >18 simultaneously live *computed* temps: force
+        // spilling (MovI temps alone are rematerializable constants and
+        // never spill).
         let mut block =
             TcgBlock { guest_pc: 0, guest_len: 0, ops: vec![], exit: TbExit::Halt, n_temps: 0 };
+        let seed = block.new_temp();
+        block.ops.push(TcgOp::MovI { dst: seed, val: 3 });
         let mut temps = Vec::new();
-        for i in 0..24 {
+        let mut prev = seed;
+        for _ in 0..24 {
             let t = block.new_temp();
-            block.ops.push(TcgOp::MovI { dst: t, val: i as u64 });
+            block.ops.push(TcgOp::Bin { op: BinOp::Mul, dst: t, a: prev, b: seed });
             temps.push(t);
+            prev = t;
         }
         // Use them all afterwards so they stay live.
         for pair in temps.chunks(2) {

@@ -280,18 +280,21 @@ pub enum AFpOp {
 }
 
 impl AFpOp {
-    /// Applies the operation on bit patterns.
+    /// Applies the operation on bit patterns. Delegates to the shared
+    /// deterministic soft-float (`risotto_guest_x86::softfloat`) so the
+    /// hardware-FP fast path, the soft-float helpers, the TCG constant
+    /// evaluator, and the reference interpreter all agree bit-for-bit —
+    /// NaN payload propagation included.
     pub fn apply(self, a: u64, b: u64) -> u64 {
-        let fa = f64::from_bits(a);
-        let fb = f64::from_bits(b);
+        use risotto_guest_x86::softfloat as sf;
         match self {
-            AFpOp::Add => (fa + fb).to_bits(),
-            AFpOp::Sub => (fa - fb).to_bits(),
-            AFpOp::Mul => (fa * fb).to_bits(),
-            AFpOp::Div => (fa / fb).to_bits(),
-            AFpOp::Sqrt => fb.sqrt().to_bits(),
-            AFpOp::CvtIF => ((b as i64) as f64).to_bits(),
-            AFpOp::CvtFI => (f64::from_bits(b) as i64) as u64,
+            AFpOp::Add => sf::add(a, b),
+            AFpOp::Sub => sf::sub(a, b),
+            AFpOp::Mul => sf::mul(a, b),
+            AFpOp::Div => sf::div(a, b),
+            AFpOp::Sqrt => sf::sqrt(b),
+            AFpOp::CvtIF => sf::cvt_if(b),
+            AFpOp::CvtFI => sf::cvt_fi(b),
         }
     }
 

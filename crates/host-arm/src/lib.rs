@@ -33,10 +33,12 @@ mod backend;
 mod cost;
 mod insn;
 mod machine;
+mod regalloc;
 mod verify;
 
 pub use backend::{
-    lower_block, BackendConfig, BackendError, HostAsm, RmwStyle, ENV_BASE, SPILL_BASE,
+    lower_block, lower_block_with_stats, BackendConfig, BackendError, HostAsm, LowerOutput,
+    RmwStyle, ENV_BASE, SPILL_BASE,
 };
 pub use cost::CostModel;
 pub use insn::{
@@ -46,4 +48,5 @@ pub use machine::{
     AtomicEvent, CacheStats, ChainStats, CoreStats, Event, HostFaultKind, Machine, NativeFn,
     NativeResult, SchedPolicy, TbProf, CODE_BASE,
 };
+pub use regalloc::AllocStats;
 pub use verify::check_encoding;

@@ -18,7 +18,7 @@ use crate::cost::CostModel;
 #[cfg(test)]
 use crate::insn::ACond;
 use crate::insn::{AOp, Dmb, HostInsn, MemOrder, Nzcv, TbExitKind, Xreg, JUMP_CHAIN_OFFSET};
-use risotto_guest_x86::SparseMem;
+use risotto_guest_x86::{softfloat, SparseMem};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Base address where translated host code lives (outside guest ranges).
@@ -1287,34 +1287,36 @@ impl Machine {
                 self.cores[core].cycles += ac;
                 old
             }
-            // Soft-float helpers: integer emulation of f64 arithmetic.
+            // Soft-float helpers: the shared deterministic f64
+            // semantics (risotto_guest_x86::softfloat), bit-identical
+            // to the interpreter and the hardware-FP path.
             2 => {
                 self.cores[core].cycles += cost.softfloat;
-                (f64::from_bits(a0) + f64::from_bits(a1)).to_bits()
+                softfloat::add(a0, a1)
             }
             3 => {
                 self.cores[core].cycles += cost.softfloat;
-                (f64::from_bits(a0) - f64::from_bits(a1)).to_bits()
+                softfloat::sub(a0, a1)
             }
             4 => {
                 self.cores[core].cycles += cost.softfloat;
-                (f64::from_bits(a0) * f64::from_bits(a1)).to_bits()
+                softfloat::mul(a0, a1)
             }
             5 => {
                 self.cores[core].cycles += cost.softfloat;
-                (f64::from_bits(a0) / f64::from_bits(a1)).to_bits()
+                softfloat::div(a0, a1)
             }
             6 => {
                 self.cores[core].cycles += cost.softfloat * 2;
-                f64::from_bits(a1).sqrt().to_bits()
+                softfloat::sqrt(a1)
             }
             7 => {
                 self.cores[core].cycles += cost.softfloat;
-                ((a1 as i64) as f64).to_bits()
+                softfloat::cvt_if(a1)
             }
             8 => {
                 self.cores[core].cycles += cost.softfloat;
-                (f64::from_bits(a1) as i64) as u64
+                softfloat::cvt_fi(a1)
             }
             // invariant: helper > 8 returned HostFault above.
             _ => unreachable!(),

@@ -43,6 +43,11 @@ enum Point {
     ExclStore { release: bool },
     /// A runtime helper call (QEMU-style out-of-line memory op).
     Helper(u8),
+    /// A TB exit (`ExitTb` of any kind — block exits and `SideExit`
+    /// deopt points). Exits anchor the allocation-map check: every env
+    /// register the IR wrote in the segment leading up to an exit must
+    /// have its deferred write-back land before that exit.
+    Exit,
 }
 
 impl Point {
@@ -61,6 +66,7 @@ impl Point {
             Point::ExclLoad { .. } => "ldxr".into(),
             Point::ExclStore { .. } => "stxr".into(),
             Point::Helper(h) => format!("hcall {h}"),
+            Point::Exit => "exit".into(),
         }
     }
 }
@@ -110,7 +116,16 @@ fn expected_points(op: &TcgOp, cfg: BackendConfig, out: &mut Vec<Point>) {
         TcgOp::CallHelper { helper, .. } if !(cfg.hardware_fp && fp_op_of(*helper).is_some()) => {
             out.push(Point::Helper(helper_index(*helper)));
         }
+        TcgOp::SideExit { .. } => out.push(Point::Exit),
         _ => {}
+    }
+}
+
+/// The exit anchors the block's terminator must have produced.
+fn exit_points(exit: &TbExit, out: &mut Vec<Point>) {
+    match exit {
+        TbExit::CondJump { .. } => out.extend([Point::Exit, Point::Exit]),
+        _ => out.push(Point::Exit),
     }
 }
 
@@ -137,6 +152,7 @@ fn actual_point(insn: &HostInsn) -> Option<Point> {
         HostInsn::Ldxr { acquire, .. } => Some(Point::ExclLoad { acquire: *acquire }),
         HostInsn::Stxr { release, .. } => Some(Point::ExclStore { release: *release }),
         HostInsn::Hcall { helper } => Some(Point::Helper(*helper)),
+        HostInsn::ExitTb(_) => Some(Point::Exit),
         _ => None,
     }
 }
@@ -195,20 +211,31 @@ pub fn check_encoding(
         ));
     }
 
-    // 2. Ordering placement: barrier/atomic/access interleaving matches
-    // the IR.
-    let mut expected = Vec::new();
-    for op in &block.ops {
+    // 2. Ordering placement: barrier/atomic/access/exit interleaving
+    // matches the IR. Each expected point remembers the IR op it came
+    // from (`None` for the block terminator) and each actual point its
+    // host-instruction index, so the allocation-map check below can cut
+    // the streams into per-exit segments.
+    let mut expected: Vec<Point> = Vec::new();
+    let mut expected_src: Vec<Option<usize>> = Vec::new();
+    for (i, op) in block.ops.iter().enumerate() {
         expected_points(op, cfg, &mut expected);
+        expected_src.resize(expected.len(), Some(i));
     }
-    let actual: Vec<Point> = decoded.iter().filter_map(actual_point).collect();
-    if expected != actual {
+    exit_points(&block.exit, &mut expected);
+    expected_src.resize(expected.len(), None);
+    let actual: Vec<(Point, usize)> = decoded
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, insn)| actual_point(insn).map(|p| (p, pos)))
+        .collect();
+    if expected.len() != actual.len() || expected.iter().zip(&actual).any(|(e, (a, _))| e != a) {
         let at = expected
             .iter()
             .zip(&actual)
-            .position(|(e, a)| e != a)
+            .position(|(e, (a, _))| e != a)
             .unwrap_or_else(|| expected.len().min(actual.len()));
-        let have = actual.get(at).map(|p| p.name()).unwrap_or_else(|| "nothing".into());
+        let have = actual.get(at).map(|(p, _)| p.name()).unwrap_or_else(|| "nothing".into());
         let want = expected.get(at).map(|p| p.name()).unwrap_or_else(|| "nothing".into());
         return Err(err(
             block,
@@ -217,6 +244,44 @@ pub fn check_encoding(
                 "host ordering point {at} mismatches the IR: expected {want}, encoded stream has {have}"
             ),
         ));
+    }
+
+    // 2b. Allocation map: deferred env write-backs cover every exit.
+    // The backend pins guest env registers in host registers and defers
+    // the env `STR` to flush points, so for each exit anchor the
+    // verifier proves that every env register the IR wrote (`SetReg`)
+    // since the previous anchor has a `STR` to its home slot somewhere
+    // in the corresponding host segment (flush-point stores and
+    // mid-segment dirty evictions both count). Skipped in direct-regs
+    // (native-oracle) mode, where there is no env to write back.
+    if !cfg.direct_regs {
+        let mut prev_ir = 0usize;
+        let mut prev_host = 0usize;
+        for (k, pt) in expected.iter().enumerate() {
+            if *pt != Point::Exit {
+                continue;
+            }
+            let ir_end = expected_src[k].unwrap_or(block.ops.len());
+            let host_end = actual[k].1;
+            for (i, op) in block.ops[prev_ir..ir_end].iter().enumerate() {
+                let TcgOp::SetReg { reg, .. } = op else { continue };
+                let covered = decoded[prev_host..host_end].iter().any(|insn| {
+                    matches!(insn, HostInsn::Str { base, off, .. }
+                        if *base == ENV_BASE && *off == *reg as i32 * 8)
+                });
+                if !covered {
+                    return Err(err(
+                        block,
+                        Some(prev_ir + i),
+                        format!(
+                            "env register {reg} is written by the IR but has no write-back to its env slot before the exit at host instruction {host_end}"
+                        ),
+                    ));
+                }
+            }
+            prev_ir = ir_end;
+            prev_host = host_end;
+        }
     }
 
     // 3. Exit integrity: chain words are zeroed, exit targets match.
@@ -338,6 +403,51 @@ mod tests {
         let (block, mut insns, _) = pipeline(FrontendConfig::risotto(), be);
         let at = insns.iter().position(|i| matches!(i, HostInsn::Barrier(Dmb::Ff))).unwrap();
         insns[at] = HostInsn::Barrier(Dmb::St);
+        let mut enc = Vec::new();
+        for i in &insns {
+            i.encode(&mut enc);
+        }
+        assert!(check_encoding(&block, &insns, &enc, be).is_err());
+    }
+
+    #[test]
+    fn dropped_env_writeback_is_flagged() {
+        // A store into a guest register whose deferred env write-back is
+        // stripped from the host stream must fail the allocation-map
+        // check even though no ordering point changes.
+        let be = BackendConfig::dbt(RmwStyle::Casal);
+        let (block, mut insns, _) = pipeline(FrontendConfig::risotto(), be);
+        assert!(
+            block.ops.iter().any(|op| matches!(op, TcgOp::SetReg { .. })),
+            "pipeline block must write a guest register"
+        );
+        let at = insns
+            .iter()
+            .position(|i| matches!(i, HostInsn::Str { base, .. } if *base == ENV_BASE))
+            .expect("lowered stream must contain an env write-back");
+        insns.remove(at);
+        let mut enc = Vec::new();
+        for i in &insns {
+            i.encode(&mut enc);
+        }
+        let e = check_encoding(&block, &insns, &enc, be).unwrap_err();
+        assert_eq!(e.pass, VerifyPass::Encoding);
+        assert!(e.obligation.contains("write-back"), "unexpected obligation: {}", e.obligation);
+    }
+
+    #[test]
+    fn misplaced_env_writeback_is_flagged() {
+        // Moving the write-back past its exit anchor (here: after the
+        // final ExitTb) leaves the ordering stream intact but breaks the
+        // per-segment coverage.
+        let be = BackendConfig::dbt(RmwStyle::Casal);
+        let (block, mut insns, _) = pipeline(FrontendConfig::risotto(), be);
+        let at = insns
+            .iter()
+            .position(|i| matches!(i, HostInsn::Str { base, .. } if *base == ENV_BASE))
+            .expect("lowered stream must contain an env write-back");
+        let wb = insns.remove(at);
+        insns.push(wb);
         let mut enc = Vec::new();
         for i in &insns {
             i.encode(&mut enc);

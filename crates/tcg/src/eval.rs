@@ -6,7 +6,7 @@
 //! and `optimize` must preserve `eval`'s results.
 
 use crate::ir::{env, Helper, TbExit, TcgBlock, TcgOp};
-use risotto_guest_x86::SparseMem;
+use risotto_guest_x86::{softfloat, SparseMem};
 
 /// The resolved outcome of evaluating one block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,13 +86,15 @@ pub fn eval_block(block: &TcgBlock, envr: &mut [u64; env::COUNT], mem: &mut Spar
                         mem.write_u64(a, old.wrapping_add(arg(1)));
                         old
                     }
-                    Helper::FpAdd => (f64::from_bits(arg(0)) + f64::from_bits(arg(1))).to_bits(),
-                    Helper::FpSub => (f64::from_bits(arg(0)) - f64::from_bits(arg(1))).to_bits(),
-                    Helper::FpMul => (f64::from_bits(arg(0)) * f64::from_bits(arg(1))).to_bits(),
-                    Helper::FpDiv => (f64::from_bits(arg(0)) / f64::from_bits(arg(1))).to_bits(),
-                    Helper::FpSqrt => f64::from_bits(arg(1)).sqrt().to_bits(),
-                    Helper::FpCvtIF => ((arg(1) as i64) as f64).to_bits(),
-                    Helper::FpCvtFI => (f64::from_bits(arg(1)) as i64) as u64,
+                    // Shared deterministic f64 semantics — must match
+                    // the interpreter and both host FP paths exactly.
+                    Helper::FpAdd => softfloat::add(arg(0), arg(1)),
+                    Helper::FpSub => softfloat::sub(arg(0), arg(1)),
+                    Helper::FpMul => softfloat::mul(arg(0), arg(1)),
+                    Helper::FpDiv => softfloat::div(arg(0), arg(1)),
+                    Helper::FpSqrt => softfloat::sqrt(arg(1)),
+                    Helper::FpCvtIF => softfloat::cvt_if(arg(1)),
+                    Helper::FpCvtFI => softfloat::cvt_fi(arg(1)),
                 };
                 if let Some(r) = ret {
                     temps[r.0 as usize] = result;

@@ -1,0 +1,226 @@
+//! Codegen determinism suite.
+//!
+//! The backend's register allocator makes every decision over dense
+//! arrays in a fixed order (no hash-seeded iteration), so the same IR
+//! must always lower to bit-identical host bytes — a property that
+//! byte-identity verification, reproducible fault sweeps, and any
+//! future content-hash TB sharing all rely on. This suite lowers every
+//! block the real pipeline produces — the Fig. 12 kernel corpus, the
+//! litmus programs, the checked-in fuzz corpus, and tier-2 superblocks
+//! stitched from hot chains — **twice from fresh allocator state**,
+//! under both `RmwStyle`s, and asserts the two encodings and the
+//! reported allocation statistics are identical.
+//!
+//! `RISOTTO_VERIFY_SMOKE=1` bounds the sweep for CI.
+
+use risotto::fuzz::parse_corpus;
+use risotto::guest::{GuestBinary, TEXT_BASE};
+use risotto::host::{lower_block_with_stats, BackendConfig, HostInsn, RmwStyle};
+use risotto::litmus::corpus;
+use risotto::tcg::{
+    optimize_with, superblock, translate_block, FrontendConfig, OptPolicy, PassConfig, TbExit,
+    TcgBlock,
+};
+use risotto::workloads::kernels;
+use risotto::workloads::litmus_compile::compile_litmus;
+
+fn smoke() -> bool {
+    std::env::var("RISOTTO_VERIFY_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The frontend/optimizer pairings the engine's setups use.
+fn configs() -> [(FrontendConfig, OptPolicy); 4] {
+    [
+        (FrontendConfig::risotto(), OptPolicy::Verified),
+        (FrontendConfig::tcg_ver(), OptPolicy::Verified),
+        (FrontendConfig::qemu(), OptPolicy::QemuUnsound),
+        (FrontendConfig::no_fences(), OptPolicy::QemuUnsound),
+    ]
+}
+
+fn backends() -> [BackendConfig; 2] {
+    [BackendConfig::dbt(RmwStyle::Casal), BackendConfig::dbt(RmwStyle::Rmw2Fenced)]
+}
+
+fn fetcher(bin: &GuestBinary) -> impl Fn(u64) -> [u8; 16] + '_ {
+    move |addr: u64| {
+        let mut w = [0u8; 16];
+        for (i, slot) in w.iter_mut().enumerate() {
+            let byte = addr
+                .checked_sub(TEXT_BASE)
+                .and_then(|off| off.checked_add(i as u64))
+                .and_then(|off| usize::try_from(off).ok())
+                .and_then(|off| bin.text.get(off));
+            if let Some(&b) = byte {
+                *slot = b;
+            }
+        }
+        w
+    }
+}
+
+/// BFS over the static control flow from the entry point, like tier-1
+/// translation would walk it.
+fn discover_blocks(bin: &GuestBinary, cfg: FrontendConfig, cap: usize) -> Vec<TcgBlock> {
+    let fetch = fetcher(bin);
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = vec![bin.entry];
+    let mut blocks = Vec::new();
+    while let Some(pc) = queue.pop() {
+        if blocks.len() >= cap || !seen.insert(pc) {
+            continue;
+        }
+        let Ok(block) = translate_block(pc, cfg, &fetch) else {
+            continue;
+        };
+        match block.exit {
+            TbExit::Jump(t) => queue.push(t),
+            TbExit::CondJump { taken, fallthrough, .. } => {
+                queue.push(taken);
+                queue.push(fallthrough);
+            }
+            TbExit::Syscall { next } => queue.push(next),
+            TbExit::JumpReg(_) | TbExit::Halt => {}
+        }
+        blocks.push(block);
+    }
+    blocks
+}
+
+fn encode_all(code: &[HostInsn]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for i in code {
+        i.encode(&mut bytes);
+    }
+    bytes
+}
+
+/// Lowers `block` twice from fresh allocator state and asserts the
+/// encodings and allocation statistics agree bit-for-bit.
+fn assert_deterministic(block: &TcgBlock, be: BackendConfig, what: &str) {
+    let a = lower_block_with_stats(block, be)
+        .unwrap_or_else(|e| panic!("{what}: first lowering failed: {e}"));
+    let b = lower_block_with_stats(block, be)
+        .unwrap_or_else(|e| panic!("{what}: second lowering failed: {e}"));
+    assert_eq!(
+        encode_all(&a.insns),
+        encode_all(&b.insns),
+        "{what}: two lowerings of the same IR produced different bytes"
+    );
+    assert_eq!(a.alloc, b.alloc, "{what}: allocation statistics diverged");
+}
+
+/// Every optimized tier-1 block of every kernel, under all four
+/// frontend/policy pairings and both RMW styles, lowers to the same
+/// bytes twice.
+#[test]
+fn kernel_corpus_lowers_bit_identically() {
+    let scale = if smoke() { 16 } else { 64 };
+    let cap = if smoke() { 10 } else { 48 };
+    let mut checked = 0usize;
+    for w in kernels::all() {
+        let bin = (w.build)(scale, 2);
+        for (cfg, policy) in configs() {
+            for mut block in discover_blocks(&bin, cfg, cap) {
+                optimize_with(&mut block, policy, PassConfig::all());
+                for be in backends() {
+                    assert_deterministic(&block, be, w.name);
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "the sweep must cover at least one block");
+}
+
+/// The litmus corpus — fence-dense, atomic-dense blocks — lowers
+/// deterministically too.
+#[test]
+fn litmus_corpus_lowers_bit_identically() {
+    for prog in [corpus::mp(), corpus::sb(), corpus::sb_fenced(), corpus::lb(), corpus::iriw()] {
+        let compiled = compile_litmus(&prog, &[0, 0]);
+        for (cfg, policy) in configs() {
+            for mut block in discover_blocks(&compiled.binary, cfg, 32) {
+                optimize_with(&mut block, policy, PassConfig::all());
+                for be in backends() {
+                    assert_deterministic(&block, be, &prog.name);
+                }
+            }
+        }
+    }
+}
+
+/// The checked-in fuzz reproducers (`tests/corpus/*.risotto`) lower
+/// deterministically.
+#[test]
+fn fuzz_corpus_lowers_bit_identically() {
+    let corpus: [(&str, &str); 6] = [
+        ("store_store_fence", include_str!("corpus/store_store_fence.risotto")),
+        ("spawn_cas_contention", include_str!("corpus/spawn_cas_contention.risotto")),
+        ("hot_loop_promotion", include_str!("corpus/hot_loop_promotion.risotto")),
+        ("cmpxchg_fail_path", include_str!("corpus/cmpxchg_fail_path.risotto")),
+        ("fp_nan_chain", include_str!("corpus/fp_nan_chain.risotto")),
+        ("fp_nan_cross_thread", include_str!("corpus/fp_nan_cross_thread.risotto")),
+    ];
+    for (name, text) in corpus {
+        let spec = parse_corpus(text).unwrap_or_else(|e| panic!("corpus `{name}`: {e}"));
+        let bin = spec.lower().unwrap_or_else(|e| panic!("corpus `{name}`: {e}"));
+        for (cfg, policy) in configs() {
+            for mut block in discover_blocks(&bin, cfg, 32) {
+                optimize_with(&mut block, policy, PassConfig::all());
+                for be in backends() {
+                    assert_deterministic(&block, be, name);
+                }
+            }
+        }
+    }
+}
+
+/// Tier-2 superblocks — stitched multi-TB regions whose allocation
+/// state crosses `TbBoundary` seams — lower deterministically.
+#[test]
+fn tier2_superblocks_lower_bit_identically() {
+    let scale = if smoke() { 16 } else { 64 };
+    let cap = if smoke() { 12 } else { 48 };
+    let mut stitched = 0usize;
+    for w in kernels::all() {
+        let bin = (w.build)(scale, 2);
+        for (cfg, policy) in configs() {
+            let blocks = discover_blocks(&bin, cfg, cap);
+            let by_pc: std::collections::BTreeMap<u64, &TcgBlock> =
+                blocks.iter().map(|b| (b.guest_pc, b)).collect();
+            // Chase direct-jump / fallthrough chains to form traces the
+            // way tier-2 promotion would.
+            for head in &blocks {
+                let mut parts = vec![head.clone()];
+                let mut cur = head;
+                while parts.len() < 4 {
+                    let next_pc = match cur.exit {
+                        TbExit::Jump(t) => t,
+                        TbExit::CondJump { fallthrough, .. } => fallthrough,
+                        _ => break,
+                    };
+                    let Some(next) = by_pc.get(&next_pc) else { break };
+                    if parts.iter().any(|p| p.guest_pc == next_pc) {
+                        break;
+                    }
+                    parts.push((*next).clone());
+                    cur = next;
+                }
+                if parts.len() < 2 {
+                    continue;
+                }
+                let Ok(mut sb) = superblock::stitch(parts) else { continue };
+                superblock::optimize_region(&mut sb, policy, PassConfig::all());
+                for be in backends() {
+                    assert_deterministic(&sb, be, w.name);
+                }
+                stitched += 1;
+                if smoke() && stitched >= 24 {
+                    return;
+                }
+            }
+        }
+    }
+    assert!(stitched > 0, "the sweep must stitch at least one superblock");
+}

@@ -196,6 +196,13 @@ fn corpus_replay_stays_green() {
         ("spawn_cas_contention", include_str!("corpus/spawn_cas_contention.risotto")),
         ("hot_loop_promotion", include_str!("corpus/hot_loop_promotion.risotto")),
         ("cmpxchg_fail_path", include_str!("corpus/cmpxchg_fail_path.risotto")),
+        // Found by the 10k acceptance run: f64 NaN *payload* propagation
+        // differed between the interpreter and every DBT tier until all
+        // four evaluation sites were unified on guest_x86::softfloat
+        // (LLVM may commute `fa * fb`, so "identical" expressions at two
+        // call sites can return different NaN bits).
+        ("fp_nan_chain", include_str!("corpus/fp_nan_chain.risotto")),
+        ("fp_nan_cross_thread", include_str!("corpus/fp_nan_cross_thread.risotto")),
     ];
     for (name, text) in corpus {
         let spec =

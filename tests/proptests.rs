@@ -579,6 +579,94 @@ fn dbt_matches_interpreter_on_branching_programs() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Backend register pressure: spill/reload and deopt write-back paths.
+// ---------------------------------------------------------------------
+
+/// Drives the backend allocator past its 18-register pool: more than 18
+/// simultaneously-live values (temps plus pinned/dirty guest registers),
+/// a mid-block `SideExit` deopt point, and a fold that keeps every temp
+/// live to its distant use. Checks that the spill/reload and deferred
+/// write-back machinery engages, that lowering is bit-deterministic, and
+/// that the encoding verifier (including its env write-back coverage
+/// check at every exit anchor) accepts the result under both RMW styles.
+#[test]
+fn register_pressure_spills_deterministically_and_verifies() {
+    use risotto::host::{check_encoding, lower_block_with_stats, BackendConfig, RmwStyle};
+
+    check("register_pressure_spills_deterministically_and_verifies", 48, |rng| {
+        let mut block = TcgBlock {
+            guest_pc: 0x4000,
+            guest_len: 8,
+            ops: Vec::new(),
+            exit: TbExit::Halt,
+            n_temps: 0,
+        };
+        // More register-resident values than the 18-register pool can
+        // hold. Each pressure temp is *computed* (MovI alone records a
+        // rematerializable constant and never spills; GetReg results
+        // alias their pinned env value), so every one claims and holds
+        // a register until the distant fold below.
+        let n_live = 20 + rng.usize_below(6);
+        let seed = block.new_temp();
+        block.ops.push(TcgOp::MovI { dst: seed, val: rng.u64() >> 32 });
+        let mut temps = Vec::with_capacity(n_live + 4);
+        let mut prev = seed;
+        for _ in 0..n_live {
+            let t = block.new_temp();
+            block.ops.push(TcgOp::Bin { op: BinOp::Add, dst: t, a: prev, b: seed });
+            temps.push(t);
+            prev = t;
+        }
+        // Pin a few guest registers into the value set too.
+        for _ in 0..(2 + rng.usize_below(3)) {
+            let t = block.new_temp();
+            block.ops.push(TcgOp::GetReg { dst: t, reg: rng.u8_below(16) });
+            temps.push(t);
+        }
+        // Dirty a few guest registers so the deopt point owes write-backs.
+        for _ in 0..(1 + rng.usize_below(4)) {
+            let src = temps[rng.usize_below(temps.len())];
+            block.ops.push(TcgOp::SetReg { reg: rng.u8_below(16), src });
+        }
+        // Mid-block deopt: the off-trace path must see a coherent env.
+        let flag = block.new_temp();
+        block.ops.push(TcgOp::MovI { dst: flag, val: 1 });
+        block.ops.push(TcgOp::SideExit { flag, stay_if: true, target: 0x7000 });
+        // Fold every temp into an accumulator — each one stays live
+        // until this distant use, forcing spill/reload traffic.
+        let mut acc = temps[0];
+        for &t in &temps[1..] {
+            let next = block.new_temp();
+            block.ops.push(TcgOp::Bin { op: BinOp::Add, dst: next, a: acc, b: t });
+            acc = next;
+        }
+        block.ops.push(TcgOp::SetReg { reg: 0, src: acc });
+        block.exit = if rng.below(2) == 0 {
+            TbExit::Jump(0x5000)
+        } else {
+            TbExit::CondJump { flag: acc, taken: 0x5000, fallthrough: 0x5008 }
+        };
+
+        for rmw in [RmwStyle::Casal, RmwStyle::Rmw2Fenced] {
+            let be = BackendConfig::dbt(rmw);
+            let a = lower_block_with_stats(&block, be).expect("pressure block lowers");
+            let b = lower_block_with_stats(&block, be).expect("pressure block lowers again");
+            assert_eq!(a.insns, b.insns, "nondeterministic lowering under pressure");
+            assert_eq!(a.alloc, b.alloc, "nondeterministic allocation stats");
+            assert!(a.alloc.spills > 0, "pressure block must spill");
+            assert!(a.alloc.reloads > 0, "pressure block must reload");
+            assert!(a.alloc.env_stores > 0, "dirty guest registers must write back");
+            let mut bytes = Vec::new();
+            for i in &a.insns {
+                i.encode(&mut bytes);
+            }
+            check_encoding(&block, &a.insns, &bytes, be)
+                .expect("pressure block passes the encoding verifier");
+        }
+    });
+}
+
 /// The optimizer's two policies agree on single-threaded semantics
 /// (the QemuUnsound policy is only unsound *concurrently*).
 #[test]
