@@ -9,8 +9,16 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Documentation gate: rustdoc must build warning-free (missing-docs are
-# hard errors in core/tcg/host-arm via #![deny(missing_docs)]).
+# hard errors in core/tcg/host-arm/host-tso via #![deny(missing_docs)]).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Cross-backend gate (docs/BACKENDS.md): the MiniTSO backend's unit
+# suite (lowering, dialect verifier, mutant kill), then the standing
+# Arm-vs-TSO differential — kernels bit-identical at VerifyLevel::Full,
+# litmus containment, seeded fuzz matrix, engine-level Pass-3 mutant
+# kill, and the BACKENDS.md completeness test in both directions.
+cargo test -q --release -p risotto-host-tso
+cargo test -q --release --test backends
 
 # Verifier gate: the translation-validator suite (mutation tests over
 # the 16-kernel corpus + litmus at VerifyLevel::Full) in bounded smoke
@@ -29,12 +37,16 @@ cargo bench -q -p risotto-bench --bench pipeline -- smoke
 test -s BENCH_pipeline.json
 
 # Schema assert: every kernel entry must carry the tier-2 "superblock"
-# key with its cycle delta and cross-boundary fence-merge count.
+# key with its cycle delta and cross-boundary fence-merge count, and the
+# cross-backend "tso" key with its cycles and MFENCE count.
 if command -v jq > /dev/null 2>&1; then
     jq -e '(.kernels | length) == 16
            and ([.kernels[] | select(.superblock
                  and (.superblock | has("cycle_delta"))
-                 and (.superblock | has("fences_merged_cross")))] | length) == 16' \
+                 and (.superblock | has("fences_merged_cross"))
+                 and .tso
+                 and (.tso | has("cycles"))
+                 and (.tso | has("mfences")))] | length) == 16' \
         BENCH_pipeline.json > /dev/null
 else
     python3 - BENCH_pipeline.json <<'EOF'
@@ -44,6 +56,8 @@ assert len(doc["kernels"]) == 16, len(doc["kernels"])
 for k in doc["kernels"]:
     sb = k["superblock"]
     assert "cycle_delta" in sb and "fences_merged_cross" in sb, k["kernel"]
+    tso = k["tso"]
+    assert "cycles" in tso and "mfences" in tso, k["kernel"]
 EOF
 fi
 

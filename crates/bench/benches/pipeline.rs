@@ -19,7 +19,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use risotto_core::{Emulator, Setup, TierConfig};
+use risotto_core::{BackendKind, Emulator, Setup, TierConfig};
 use risotto_guest_x86::{AluOp, Assembler, Cond, Gpr};
 use risotto_host_arm::{lower_block, BackendConfig, CostModel, Event, Machine, RmwStyle};
 use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
@@ -112,7 +112,9 @@ fn bench_machine() {
 /// writes per-kernel simulated cycles + chain-hit rate to
 /// `BENCH_pipeline.json`, plus a tier-2 leg per kernel (superblock
 /// promotion enabled) whose cycle delta and cross-boundary fence merges
-/// land under the `"superblock"` key. `smoke` shrinks the scale for CI.
+/// land under the `"superblock"` key, and a MiniTSO-backend leg whose
+/// cycles and MFENCE count land under the `"tso"` key (results asserted
+/// bit-identical to the Arm run). `smoke` shrinks the scale for CI.
 fn bench_kernels(smoke: bool) {
     let (scale, threads) = if smoke { (4, 2) } else { (64, 2) };
     let mode = if smoke { "smoke" } else { "full" };
@@ -135,14 +137,29 @@ fn bench_kernels(smoke: bool) {
         assert_eq!(r2.exit_vals, r.exit_vals, "{}: tier-2 exit values diverge", w.name);
         assert_eq!(r2.output, r.output, "{}: tier-2 output diverges", w.name);
         let delta = r.cycles as i64 - r2.cycles as i64;
+
+        // MiniTSO leg: the same kernel lowered through the x86-TSO host
+        // backend. Guest-visible results must be bit-identical to the Arm
+        // tier-1 run; cycles and fence counts differ per backend (most
+        // TCG fences are no-ops under TSO, only W→R orderings cost an
+        // MFENCE, which executes as a full barrier: `fence.exec.dmb_ff`).
+        let mut tso = Emulator::new(&bin, Setup::Risotto, threads, BackendKind::Tso.cost_model());
+        tso.set_backend(BackendKind::Tso);
+        let rt = tso.run(20_000_000_000).unwrap_or_else(|e| panic!("{} (tso): {e}", w.name));
+        assert_eq!(rt.exit_vals, r.exit_vals, "{}: tso exit values diverge", w.name);
+        assert_eq!(rt.output, r.output, "{}: tso output diverges", w.name);
+        let tso_mfences = tso.metrics().counter("fence.exec.dmb_ff");
+        let arm_full = emu.metrics().counter("fence.exec.dmb_ff");
         println!(
-            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   {:>8.1} ms wall",
+            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   tso {:>12} cy ({} mfence)   {:>8.1} ms wall",
             w.name,
             r.cycles,
             100.0 * rate,
             delta,
             r2.sb.promotions,
             r2.sb.fences_merged_cross,
+            rt.cycles,
+            tso_mfences,
             wall * 1e3
         );
         // The registry snapshot is read out after the run with every
@@ -155,7 +172,9 @@ fn bench_kernels(smoke: bool) {
                 "\"dispatch_misses\": {}, \"wall_seconds\": {:.6},\n     ",
                 "\"superblock\": {{\"tier1_cycles\": {}, \"tier2_cycles\": {}, ",
                 "\"cycle_delta\": {}, \"promotions\": {}, \"tbs_merged\": {}, ",
-                "\"side_exits\": {}, \"fences_merged_cross\": {}}},\n     \"metrics\": {}}}"
+                "\"side_exits\": {}, \"fences_merged_cross\": {}}},\n     ",
+                "\"tso\": {{\"cycles\": {}, \"mfences\": {}, \"arm_dmb_ff\": {}, ",
+                "\"cycle_delta_vs_arm\": {}}},\n     \"metrics\": {}}}"
             ),
             w.name,
             r.cycles,
@@ -172,6 +191,10 @@ fn bench_kernels(smoke: bool) {
             r2.sb.tbs_merged,
             r2.sb.side_exits,
             r2.sb.fences_merged_cross,
+            rt.cycles,
+            tso_mfences,
+            arm_full,
+            r.cycles as i64 - rt.cycles as i64,
             emu.metrics().to_json()
         ));
     }

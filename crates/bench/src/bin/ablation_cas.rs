@@ -7,12 +7,21 @@
 //!   corrected Arm model of §3.3).
 
 use risotto_bench::{ops_per_sec, print_table, run, BenchCli};
-use risotto_core::{Emulator, RmwStyle, Setup};
+use risotto_core::{BackendKind, Emulator, RmwStyle, Setup};
 use risotto_host_arm::CostModel;
 use risotto_workloads::cas::{cas_bench, FIG15_CONFIGS};
 
 fn main() {
     let cli = BenchCli::parse("ablation_cas");
+    if cli.backend != BackendKind::Arm {
+        // The rmw2+ff column is an exclusive-pair lowering; the MiniTSO
+        // dialect has no exclusives, so this ablation is Arm-only.
+        eprintln!(
+            "ablation_cas compares Arm CAS lowerings; --backend {} is not applicable",
+            cli.backend.name()
+        );
+        std::process::exit(2);
+    }
     println!("CAS-translation ablation (Mops/s; §6.3)\n");
     let iters = if cli.smoke { 200u64 } else { 2000u64 };
     let mut rows = Vec::new();

@@ -12,13 +12,14 @@
 //! hot-TB profile per kernel, collected under the risotto setup and
 //! cross-checked against the legacy `Report` counters).
 
-use risotto_bench::{print_table, run, run_with_metrics, BenchCli, MetricsEntry};
+use risotto_bench::{print_table, run_on, run_with_metrics_on, BenchCli, MetricsEntry};
 use risotto_core::Setup;
 use risotto_workloads::kernels;
 
 fn main() {
     let cli = BenchCli::parse("fig12_parsec_phoenix");
     let smoke = cli.smoke;
+    let backend = cli.backend;
     let metrics_path = cli.metrics_json;
     let threads = if smoke { 2 } else { 4 };
     println!("Figure 12 — PARSEC & Phoenix run time relative to QEMU ({threads} threads)");
@@ -41,7 +42,7 @@ fn main() {
             }
         };
         let bin = (w.build)(scale, threads);
-        let qemu = run(&bin, Setup::Qemu, threads, false);
+        let qemu = run_on(&bin, Setup::Qemu, threads, false, backend);
         let mut cells = vec![w.name.to_string()];
         for (i, s) in
             [Setup::NoFences, Setup::TcgVer, Setup::Risotto, Setup::Native].iter().enumerate()
@@ -50,7 +51,7 @@ fn main() {
                 // The risotto run carries the observability payload: the
                 // registry snapshot is verified against the legacy Report
                 // counters inside run_with_metrics.
-                let (r, snap, hot) = run_with_metrics(&bin, *s, threads, false);
+                let (r, snap, hot) = run_with_metrics_on(&bin, *s, threads, false, backend);
                 metrics.push(MetricsEntry {
                     name: w.name.to_string(),
                     setup: s.name(),
@@ -59,7 +60,7 @@ fn main() {
                 });
                 r
             } else {
-                run(&bin, *s, threads, false)
+                run_on(&bin, *s, threads, false, backend)
             };
             assert_eq!(r.exit_vals[0], qemu.exit_vals[0], "{} checksum mismatch", w.name);
             let rel = 100.0 * r.cycles as f64 / qemu.cycles as f64;

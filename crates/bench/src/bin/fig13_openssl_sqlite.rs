@@ -6,7 +6,7 @@
 //! (one registry snapshot + hot-TB profile per workload, risotto setup);
 //! `--smoke` shrinks buffers/iterations to a CI-sized configuration.
 
-use risotto_bench::{ops_per_sec, print_table, run, run_risotto_collecting, speedup, BenchCli};
+use risotto_bench::{ops_per_sec, print_table, run_on, run_risotto_collecting, speedup, BenchCli};
 use risotto_core::Setup;
 use risotto_workloads::libbench::{digest_bench, rsa_bench, sqlite_bench, DigestAlgo};
 
@@ -14,6 +14,7 @@ fn main() {
     println!("Figure 13 — OpenSSL & sqlite speedup over QEMU (higher is better)\n");
     let cli = BenchCli::parse("fig13_openssl_sqlite");
     let smoke = cli.smoke;
+    let backend = cli.backend;
     let metrics_path = cli.metrics_json;
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let mut rows = Vec::new();
@@ -33,9 +34,16 @@ fn main() {
                 2
             };
             let bin = digest_bench(algo, len, iters);
-            let qemu = run(&bin, Setup::Qemu, 1, false);
-            let ris = run_risotto_collecting(&bin, &format!("{name}-{len}"), 1, true, &mut metrics);
-            let nat = run(&bin, Setup::Native, 1, true);
+            let qemu = run_on(&bin, Setup::Qemu, 1, false, backend);
+            let ris = run_risotto_collecting(
+                &bin,
+                &format!("{name}-{len}"),
+                1,
+                true,
+                &mut metrics,
+                backend,
+            );
+            let nat = run_on(&bin, Setup::Native, 1, true, backend);
             assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "{name}-{len} digest mismatch");
             assert_eq!(qemu.exit_vals[0], nat.exit_vals[0]);
             rows.push(vec![
@@ -55,9 +63,16 @@ fn main() {
     for &(nlimbs, label) in rsa {
         for (sign, op) in [(true, "sign"), (false, "verify")] {
             let bin = rsa_bench(nlimbs, sign, 1);
-            let qemu = run(&bin, Setup::Qemu, 1, false);
-            let ris = run_risotto_collecting(&bin, &format!("{label}-{op}"), 1, true, &mut metrics);
-            let nat = run(&bin, Setup::Native, 1, true);
+            let qemu = run_on(&bin, Setup::Qemu, 1, false, backend);
+            let ris = run_risotto_collecting(
+                &bin,
+                &format!("{label}-{op}"),
+                1,
+                true,
+                &mut metrics,
+                backend,
+            );
+            let nat = run_on(&bin, Setup::Native, 1, true, backend);
             assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "{label}-{op} result mismatch");
             rows.push(vec![
                 format!("{label}-{op}"),
@@ -73,9 +88,9 @@ fn main() {
     {
         let rows_n: u64 = if smoke { 4 } else { 20 };
         let bin = sqlite_bench(rows_n);
-        let qemu = run(&bin, Setup::Qemu, 1, false);
-        let ris = run_risotto_collecting(&bin, "sqlite", 1, true, &mut metrics);
-        let nat = run(&bin, Setup::Native, 1, true);
+        let qemu = run_on(&bin, Setup::Qemu, 1, false, backend);
+        let ris = run_risotto_collecting(&bin, "sqlite", 1, true, &mut metrics, backend);
+        let nat = run_on(&bin, Setup::Native, 1, true, backend);
         assert_eq!(qemu.exit_vals[0], ris.exit_vals[0], "sqlite checksum mismatch");
         rows.push(vec![
             "sqlite".into(),

@@ -4,7 +4,7 @@
 //! risotto trails native here. `--smoke` shrinks the iteration count to
 //! a CI-sized configuration.
 
-use risotto_bench::{ops_per_sec, print_table, run, run_risotto_collecting, speedup, BenchCli};
+use risotto_bench::{ops_per_sec, print_table, run_on, run_risotto_collecting, speedup, BenchCli};
 use risotto_core::Setup;
 use risotto_nativelib::mathfn::MathFn;
 use risotto_workloads::libbench::math_bench;
@@ -12,6 +12,7 @@ use risotto_workloads::libbench::math_bench;
 fn main() {
     println!("Figure 14 — math library speedup over QEMU (higher is better)\n");
     let cli = BenchCli::parse("fig14_mathlib");
+    let backend = cli.backend;
     let metrics_path = cli.metrics_json;
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let iters = if cli.smoke { 8 } else { 60 };
@@ -24,9 +25,9 @@ fn main() {
             _ => 0.8,
         };
         let bin = math_bench(f.name(), x, iters);
-        let qemu = run(&bin, Setup::Qemu, 1, false);
-        let ris = run_risotto_collecting(&bin, f.name(), 1, true, &mut metrics);
-        let nat = run(&bin, Setup::Native, 1, true);
+        let qemu = run_on(&bin, Setup::Qemu, 1, false, backend);
+        let ris = run_risotto_collecting(&bin, f.name(), 1, true, &mut metrics, backend);
+        let nat = run_on(&bin, Setup::Native, 1, true, backend);
         rows.push(vec![
             f.name().to_string(),
             speedup(qemu.cycles, ris.cycles),

@@ -3,13 +3,14 @@
 //! (§6.3) vs native execution. `--smoke` shrinks the per-thread CAS
 //! count to a CI-sized configuration.
 
-use risotto_bench::{ops_per_sec, print_table, run, run_risotto_collecting, BenchCli};
+use risotto_bench::{ops_per_sec, print_table, run_on, run_risotto_collecting, BenchCli};
 use risotto_core::Setup;
 use risotto_workloads::cas::{cas_bench, FIG15_CONFIGS};
 
 fn main() {
     println!("Figure 15 — CAS throughput (Mops/s) by (threads-vars) configuration\n");
     let cli = BenchCli::parse("fig15_cas");
+    let backend = cli.backend;
     let metrics_path = cli.metrics_json;
     let mut metrics = metrics_path.as_ref().map(|_| Vec::new());
     let iters = if cli.smoke { 200u64 } else { 2000u64 };
@@ -27,9 +28,10 @@ fn main() {
                     threads,
                     false,
                     &mut metrics,
+                    backend,
                 )
             } else {
-                run(&bin, setup, threads, false)
+                run_on(&bin, setup, threads, false, backend)
             };
             assert_eq!(r.exit_vals[0], Some(total_ops), "{setup:?} lost CAS increments");
             cells.push(format!("{:.1}", ops_per_sec(total_ops, r.cycles) / 1e6));

@@ -9,9 +9,8 @@
 #![warn(missing_debug_implementations)]
 
 use risotto_core::obs::{HotTb, MetricsSnapshot};
-use risotto_core::{Emulator, HostLibrary, Idl, Report, Setup, VerifyLevel};
+use risotto_core::{BackendKind, Emulator, HostLibrary, Idl, Report, Setup, VerifyLevel};
 use risotto_guest_x86::GuestBinary;
-use risotto_host_arm::CostModel;
 
 /// Simulated host clock (the paper's testbed runs at 2.0 GHz).
 pub const CLOCK_HZ: f64 = 2.0e9;
@@ -26,7 +25,37 @@ pub const HOT_TB_TOP_N: usize = 10;
 ///
 /// Panics on any emulation error — benchmarks must run clean.
 pub fn run(bin: &GuestBinary, setup: Setup, cores: usize, link: bool) -> Report {
-    let mut emu = Emulator::new(bin, setup, cores, CostModel::thunderx2_like());
+    run_on(bin, setup, cores, link, BackendKind::Arm)
+}
+
+/// The backend actually used for a setup: the native oracle models
+/// Arm-compiled binaries and stays on Arm whatever `--backend` says;
+/// every DBT setup honours the requested backend.
+pub fn effective_backend(setup: Setup, requested: BackendKind) -> BackendKind {
+    if setup == Setup::Native {
+        BackendKind::Arm
+    } else {
+        requested
+    }
+}
+
+/// Like [`run`], but on an explicit host backend (docs/BACKENDS.md).
+/// The machine is priced with that backend's cost model, so cycle
+/// numbers are comparable only within one backend.
+///
+/// # Panics
+///
+/// Panics on any emulation error — benchmarks must run clean.
+pub fn run_on(
+    bin: &GuestBinary,
+    setup: Setup,
+    cores: usize,
+    link: bool,
+    backend: BackendKind,
+) -> Report {
+    let backend = effective_backend(setup, backend);
+    let mut emu = Emulator::new(bin, setup, cores, backend.cost_model());
+    emu.set_backend(backend);
     // Install-time read-back is free (no simulated cycles), so every
     // benchmark run keeps it on: `verify.violations` must be zero in
     // any artifact the harness produces.
@@ -62,7 +91,26 @@ pub fn run_with_metrics(
     cores: usize,
     link: bool,
 ) -> (Report, MetricsSnapshot, Vec<HotTb>) {
-    let mut emu = Emulator::new(bin, setup, cores, CostModel::thunderx2_like());
+    run_with_metrics_on(bin, setup, cores, link, BackendKind::Arm)
+}
+
+/// Like [`run_with_metrics`], but on an explicit host backend. On the
+/// TSO backend the `fence.exec.dmb_ff` counter counts executed
+/// `MFENCE`s (the only barrier MiniTSO emits); `dmb_ld`/`dmb_st` stay 0.
+///
+/// # Panics
+///
+/// Panics on any emulation error or on a registry/`Report` mismatch.
+pub fn run_with_metrics_on(
+    bin: &GuestBinary,
+    setup: Setup,
+    cores: usize,
+    link: bool,
+    backend: BackendKind,
+) -> (Report, MetricsSnapshot, Vec<HotTb>) {
+    let backend = effective_backend(setup, backend);
+    let mut emu = Emulator::new(bin, setup, cores, backend.cost_model());
+    emu.set_backend(backend);
     emu.set_verify(VerifyLevel::Install);
     emu.set_stage_timing(true);
     emu.set_profiling(true);
@@ -108,19 +156,22 @@ pub fn run_with_metrics(
     (report, snap, hot)
 }
 
-/// Runs `bin` under [`Setup::Risotto`], collecting a [`MetricsEntry`]
-/// into `metrics` when it is `Some` (i.e. when `--metrics-json` was
-/// requested) and falling back to a plain [`run`] otherwise.
+/// Runs `bin` under [`Setup::Risotto`] on `backend`, collecting a
+/// [`MetricsEntry`] into `metrics` when it is `Some` (i.e. when
+/// `--metrics-json` was requested) and falling back to a plain
+/// [`run_on`] otherwise.
 pub fn run_risotto_collecting(
     bin: &GuestBinary,
     name: &str,
     cores: usize,
     link: bool,
     metrics: &mut Option<Vec<MetricsEntry>>,
+    backend: BackendKind,
 ) -> Report {
     match metrics {
         Some(entries) => {
-            let (report, snapshot, hot_tbs) = run_with_metrics(bin, Setup::Risotto, cores, link);
+            let (report, snapshot, hot_tbs) =
+                run_with_metrics_on(bin, Setup::Risotto, cores, link, backend);
             entries.push(MetricsEntry {
                 name: name.to_string(),
                 setup: Setup::Risotto.name(),
@@ -129,7 +180,7 @@ pub fn run_risotto_collecting(
             });
             report
         }
-        None => run(bin, Setup::Risotto, cores, link),
+        None => run_on(bin, Setup::Risotto, cores, link, backend),
     }
 }
 
@@ -148,16 +199,20 @@ pub struct MetricsEntry {
 
 /// The common command line every `risotto-bench` binary accepts: the
 /// shared flags (`--smoke`, `--metrics-json <path>` /
-/// `--metrics-json=<path>`), any value-carrying flags the binary
-/// declares up front (e.g. the fuzzer's `--seed` / `--iters`), plus
-/// whatever positional arguments the binary itself defines. Unknown
-/// `--flags` are rejected uniformly.
+/// `--metrics-json=<path>`, `--backend arm|tso`), any value-carrying
+/// flags the binary declares up front (e.g. the fuzzer's `--seed` /
+/// `--iters`), plus whatever positional arguments the binary itself
+/// defines. Unknown `--flags` are rejected uniformly.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct BenchCli {
     /// `--smoke` was passed (bounded quick mode).
     pub smoke: bool,
     /// Path from `--metrics-json`, when requested.
     pub metrics_json: Option<String>,
+    /// Host backend from `--backend` (docs/BACKENDS.md); Arm when the
+    /// flag is absent. The native-oracle setup always stays on Arm
+    /// (see [`effective_backend`]).
+    pub backend: BackendKind,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Values of the declared extra flags, in the order given
@@ -181,7 +236,9 @@ impl BenchCli {
             Err(msg) => {
                 eprintln!("{tool}: {msg}");
                 let extra: String = declared.iter().map(|f| format!(", {f} <value>")).collect();
-                eprintln!("{tool}: supported flags: --smoke, --metrics-json <path>{extra}");
+                eprintln!(
+                    "{tool}: supported flags: --smoke, --metrics-json <path>, --backend arm|tso{extra}"
+                );
                 std::process::exit(2);
             }
         }
@@ -208,6 +265,13 @@ impl BenchCli {
                     Some(args.next().ok_or("--metrics-json requires a path".to_owned())?);
             } else if let Some(p) = a.strip_prefix("--metrics-json=") {
                 cli.metrics_json = Some(p.to_owned());
+            } else if a == "--backend" {
+                let v = args.next().ok_or("--backend requires `arm` or `tso`".to_owned())?;
+                cli.backend = BackendKind::parse(&v)
+                    .ok_or(format!("--backend `{v}`: expected `arm` or `tso`"))?;
+            } else if let Some(v) = a.strip_prefix("--backend=") {
+                cli.backend = BackendKind::parse(v)
+                    .ok_or(format!("--backend `{v}`: expected `arm` or `tso`"))?;
             } else if a.starts_with("--") {
                 for f in declared {
                     if a == *f {
@@ -357,6 +421,17 @@ mod tests {
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--smokey"]).is_err());
         assert!(parse(&["--metrics-json"]).is_err());
+    }
+
+    #[test]
+    fn backend_flag_parses_and_rejects_unknown_hosts() {
+        use risotto_core::BackendKind;
+        assert_eq!(parse(&[]).unwrap().backend, BackendKind::Arm);
+        assert_eq!(parse(&["--backend", "tso"]).unwrap().backend, BackendKind::Tso);
+        assert_eq!(parse(&["--backend=arm"]).unwrap().backend, BackendKind::Arm);
+        assert!(parse(&["--backend"]).is_err());
+        assert!(parse(&["--backend", "riscv"]).is_err());
+        assert!(parse(&["--backend=x86"]).is_err());
     }
 
     #[test]

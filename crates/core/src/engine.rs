@@ -31,10 +31,11 @@ use risotto_guest_x86::{
     TEXT_BASE,
 };
 use risotto_host_arm::{
-    check_encoding, lower_block_with_stats, AllocStats, AtomicEvent, BackendConfig, ChainStats,
-    CoreStats, CostModel, Event, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle,
-    SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+    AllocStats, ArmBackend, AtomicEvent, BackendConfig, ChainStats, CoreStats, CostModel, Event,
+    HostBackend, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy,
+    TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
 };
+use risotto_host_tso::TsoBackend;
 use risotto_memmodel::FenceKind;
 use risotto_tcg::{
     env, optimize_with, superblock, translate_block, verify as tcg_verify, FrontendConfig,
@@ -132,6 +133,55 @@ impl Setup {
     /// Whether the dynamic host linker is active (§6.2).
     pub fn host_linking(self) -> bool {
         matches!(self, Setup::Risotto | Setup::Native)
+    }
+}
+
+/// Which [`HostBackend`] translates, verifies and costs the host code
+/// (docs/BACKENDS.md). Selected via [`Emulator::set_backend`] and the
+/// bench bins' `--backend` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The MiniArm weak-memory host (`risotto-host-arm`) — the paper's
+    /// ThunderX2 stand-in and the default.
+    #[default]
+    Arm,
+    /// The MiniTSO (x86-TSO) host (`risotto-host-tso`): most fences are
+    /// free, only store→load obligations emit `MFENCE`.
+    Tso,
+}
+
+impl BackendKind {
+    /// Both backends, Arm first (the cross-backend differential oracle
+    /// iterates this).
+    pub const ALL: [BackendKind; 2] = [BackendKind::Arm, BackendKind::Tso];
+
+    /// The flag/artifact name (`"arm"` / `"tso"`).
+    pub fn name(self) -> &'static str {
+        self.host().name()
+    }
+
+    /// Parses a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "arm" => Some(BackendKind::Arm),
+            "tso" => Some(BackendKind::Tso),
+            _ => None,
+        }
+    }
+
+    /// The backend implementation behind this kind.
+    pub fn host(self) -> &'static dyn HostBackend {
+        match self {
+            BackendKind::Arm => &ArmBackend,
+            BackendKind::Tso => &TsoBackend,
+        }
+    }
+
+    /// This backend's calibrated cycle model (feed it to
+    /// [`Emulator::new`] so the simulated machine prices instructions
+    /// as this host would).
+    pub fn cost_model(self) -> CostModel {
+        self.host().cost_model()
     }
 }
 
@@ -636,6 +686,9 @@ pub struct Emulator {
     core_started: Vec<bool>,
     passes: PassConfig,
     rmw_style: RmwStyle,
+    /// Host backend lowering/verifying every translation
+    /// (docs/BACKENDS.md); [`Setup::Native`] is pinned to Arm.
+    backend_kind: BackendKind,
     plan: FaultPlan,
     /// Bounded guest pc → failed-translation-attempt map (fallback
     /// bookkeeping, satellite of the translation verifier).
@@ -716,6 +769,7 @@ impl Emulator {
             core_started: vec![false; n_cores],
             passes: PassConfig::all(),
             rmw_style: RmwStyle::Casal,
+            backend_kind: BackendKind::Arm,
             plan: FaultPlan::default(),
             quarantine: Quarantine::default(),
             ever_translated: HashSet::new(),
@@ -752,6 +806,28 @@ impl Emulator {
     /// no-fences).
     pub fn set_rmw_style(&mut self, style: RmwStyle) {
         self.rmw_style = style;
+    }
+
+    /// Selects the host backend (docs/BACKENDS.md). Call it before the
+    /// first translation: installed code is not retranslated. The
+    /// native-oracle setup models Arm-compiled binaries and stays on
+    /// the Arm backend.
+    ///
+    /// # Panics
+    ///
+    /// If a non-Arm backend is requested under [`Setup::Native`].
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        assert!(
+            self.setup != Setup::Native || kind == BackendKind::Arm,
+            "the native oracle is Arm-compiled code; it has no {} rendition",
+            kind.name()
+        );
+        self.backend_kind = kind;
+    }
+
+    /// The active host backend.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
     }
 
     /// Overrides the optimizer pass configuration (ablation studies).
@@ -1191,7 +1267,7 @@ impl Emulator {
                 for i in code {
                     i.encode(&mut bytes);
                 }
-                check_encoding(optimized, code, &bytes, backend)
+                self.backend_kind.host().check_encoding(optimized, code, &bytes, backend)
             });
         result.map_err(|e| {
             self.record_verify_violation(core, &e);
@@ -1417,7 +1493,7 @@ impl Emulator {
             backend.rmw = self.rmw_style;
         }
         let t2 = self.obs.timing.then(Instant::now);
-        let code = match lower_block_with_stats(&sb, backend) {
+        let code = match self.backend_kind.host().lower_block_with_stats(&sb, backend) {
             Ok(out) => {
                 self.regalloc_totals += out.alloc;
                 out.insns
@@ -1559,7 +1635,10 @@ impl Emulator {
             backend.rmw = self.rmw_style;
         }
         let t2 = self.obs.timing.then(Instant::now);
-        let code = lower_block_with_stats(&block, backend)
+        let code = self
+            .backend_kind
+            .host()
+            .lower_block_with_stats(&block, backend)
             .map(|out| {
                 self.regalloc_totals += out.alloc;
                 out.insns

@@ -1,8 +1,9 @@
 //! Cross-tier differential execution: one program, five observers.
 //!
 //! Every generated program runs through the reference interpreter and
-//! three DBT configurations — tier-1, tier-1 with the optimizer off, and
-//! tier-2 with a lowered promotion threshold — all with
+//! four DBT configurations — tier-1, tier-1 with the optimizer off,
+//! tier-2 with a lowered promotion threshold, and tier-1 on the MiniTSO
+//! host backend (the cross-backend oracle) — all with
 //! [`VerifyLevel::Full`] as a second oracle. The comparison covers exit
 //! values, the `WRITE` byte stream, the final data-section image, final
 //! register files and flags (single-core), atomic-access event orderings
@@ -17,8 +18,8 @@
 
 use crate::spec::{ProgSpec, CELLS, SLOTS};
 use risotto_core::{
-    AtomicEvent, Emulator, FaultPlan, FaultSite, PassConfig, Report, Setup, SplitMix64, TierConfig,
-    VerifyLevel,
+    AtomicEvent, BackendKind, Emulator, FaultPlan, FaultSite, PassConfig, Report, Setup,
+    SplitMix64, TierConfig, VerifyLevel,
 };
 use risotto_guest_x86::{Flags, Gpr, GuestBinary, Interp};
 use risotto_host_arm::CostModel;
@@ -37,11 +38,16 @@ pub enum Config {
     Tier1NoOpt,
     /// Tiered execution with a lowered promotion threshold.
     Tier2,
+    /// Tier-1 on the MiniTSO host backend (docs/BACKENDS.md): the
+    /// standing cross-backend differential oracle — guest-visible
+    /// state must be bit-identical to the Arm-backend runs.
+    Tier1Tso,
 }
 
 impl Config {
     /// All DBT configurations, in comparison order.
-    pub const ALL: [Config; 3] = [Config::Tier1, Config::Tier1NoOpt, Config::Tier2];
+    pub const ALL: [Config; 4] =
+        [Config::Tier1, Config::Tier1NoOpt, Config::Tier2, Config::Tier1Tso];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -49,6 +55,7 @@ impl Config {
             Config::Tier1 => "tier1",
             Config::Tier1NoOpt => "tier1-noopt",
             Config::Tier2 => "tier2",
+            Config::Tier1Tso => "tier1-tso",
         }
     }
 }
@@ -155,7 +162,11 @@ pub fn run_interp(spec: &ProgSpec, bin: &GuestBinary) -> Result<Outcome, String>
 
 /// Builds the emulator for one oracle configuration.
 fn build_emulator(bin: &GuestBinary, cores: usize, config: Config) -> Emulator {
-    let mut emu = Emulator::new(bin, Setup::Risotto, cores, CostModel::thunderx2_like());
+    let cost = match config {
+        Config::Tier1Tso => BackendKind::Tso.cost_model(),
+        _ => CostModel::thunderx2_like(),
+    };
+    let mut emu = Emulator::new(bin, Setup::Risotto, cores, cost);
     emu.set_verify(VerifyLevel::Full);
     emu.set_atomic_log(true);
     match config {
@@ -166,6 +177,7 @@ fn build_emulator(bin: &GuestBinary, cores: usize, config: Config) -> Emulator {
             max_tbs: 8,
             min_tbs: 2,
         })),
+        Config::Tier1Tso => emu.set_backend(BackendKind::Tso),
     }
     emu
 }

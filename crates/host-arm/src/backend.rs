@@ -20,10 +20,11 @@
 //! the programmer's own `MFENCE`s still lower to `DMB FF`), and RMWs use
 //! `casal`.
 
+use crate::cost::CostModel;
 use crate::insn::{ACond, AFpOp, AOp, Dmb, HostInsn, MemOrder, TbExitKind, Xreg};
 use crate::regalloc::{AllocStats, Allocator};
 use risotto_memmodel::FenceKind;
-use risotto_tcg::{BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp};
+use risotto_tcg::{BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, VerifyError};
 use std::collections::HashMap;
 
 /// Errors surfaced by the TCG→MiniArm backend.
@@ -232,7 +233,9 @@ impl HostAsm {
 // registers in host registers (loads once on first use, write-back
 // deferred to the flush points below) and spills temps Belady-style.
 
-pub(crate) fn helper_index(h: Helper) -> u8 {
+/// The stable runtime-helper table index of a TCG [`Helper`], shared by
+/// every backend's `Hcall` lowering and the verifier's read-back.
+pub fn helper_index(h: Helper) -> u8 {
     match h {
         Helper::CmpxchgSc => 0,
         Helper::XaddSc => 1,
@@ -246,7 +249,9 @@ pub(crate) fn helper_index(h: Helper) -> u8 {
     }
 }
 
-pub(crate) fn fp_op_of(h: Helper) -> Option<AFpOp> {
+/// The hardware-FP instruction behind a float [`Helper`], or `None` for
+/// the helpers that always stay out-of-line (`CmpxchgSc`/`XaddSc`).
+pub fn fp_op_of(h: Helper) -> Option<AFpOp> {
     Some(match h {
         Helper::FpAdd => AFpOp::Add,
         Helper::FpSub => AFpOp::Sub,
@@ -294,6 +299,247 @@ fn direct_reg(env_reg: u8) -> Xreg {
     }
 }
 
+/// The MiniArm `Barrier` operand implementing a TCG fence, through the
+/// shared [`FenceKind::arm_dmb`] table: `None` for the no-op fences
+/// (`Facq`/`Frel`). This is the *single* FenceKind→[`Dmb`] conversion —
+/// the lowering and the Pass 3 read-back both call it, instead of each
+/// keeping a private copy of the match.
+pub fn arm_dmb_of(k: FenceKind) -> Option<Dmb> {
+    Some(match k.arm_dmb()? {
+        FenceKind::DmbLd => Dmb::Ld,
+        FenceKind::DmbSt => Dmb::St,
+        _ => Dmb::Ff,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The pluggable backend abstraction.
+// ---------------------------------------------------------------------
+
+/// The ordering-sensitive lowering hooks that differ per host ISA.
+///
+/// [`HostInsn`] is the shared ISA-neutral *container*: ALU work, moves,
+/// env pinning, helper calls, spills and TB exits lower identically on
+/// every backend and live in [`lower_block_with_dialect`]. What
+/// distinguishes a host architecture is exactly how TCG **fences** and
+/// **atomic RMWs** materialize — those three decisions are this trait.
+///
+/// The Arm dialect ([`ArmOrdering`]) emits `DMB`s per the Fig. 7b table
+/// and `casal`/exclusive-pair RMWs; the MiniTSO dialect in
+/// `risotto-host-tso` emits `MFENCE` (a full [`HostInsn::Barrier`]) only
+/// for store→load obligations and `LOCK`-prefixed RMW forms.
+pub trait OrderingLowering {
+    /// The host instruction implementing a TCG fence, or `None` when the
+    /// fence is a no-op on this host. This is the per-backend
+    /// fence-lowering table documented in docs/BACKENDS.md.
+    fn fence(&self, k: FenceKind) -> Option<HostInsn>;
+
+    /// Lowers a TCG `Cas`: `dst` receives the old value, `addr` the
+    /// location, `expect`/`new` the comparands. Dirty env registers are
+    /// already flushed; the emitted sequence must be atomic on this host.
+    fn cas(
+        &self,
+        asm: &mut HostAsm,
+        dst: Xreg,
+        addr: Xreg,
+        expect: Xreg,
+        new: Xreg,
+        cfg: BackendConfig,
+    );
+
+    /// Lowers a TCG `AtomicAdd`: `dst` receives the old value.
+    fn atomic_add(
+        &self,
+        asm: &mut HostAsm,
+        dst: Xreg,
+        addr: Xreg,
+        addend: Xreg,
+        cfg: BackendConfig,
+    );
+
+    /// Register-allocation hook: the allocatable host-register pool under
+    /// `cfg`. The default is the shared convention (X9–X26 for DBT mode,
+    /// the scratch set in native direct-mapped mode); backends may shrink
+    /// it to model ISAs with fewer registers.
+    fn alloc_pool(&self, cfg: BackendConfig) -> Vec<Xreg> {
+        if cfg.direct_regs {
+            [0, 1, 2, 3, 4, 5, 26, 29].iter().map(|&r| Xreg(r)).collect()
+        } else {
+            (9..=26).map(Xreg).collect()
+        }
+    }
+}
+
+/// The Arm ordering dialect (Fig. 7b): minimal `DMB`s via
+/// [`arm_dmb_of`], RMWs as `casal`/`ldaddal` or the `DMBFF`-bracketed
+/// exclusive-pair loop per [`BackendConfig::rmw`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmOrdering;
+
+impl OrderingLowering for ArmOrdering {
+    fn fence(&self, k: FenceKind) -> Option<HostInsn> {
+        arm_dmb_of(k).map(HostInsn::Barrier)
+    }
+
+    fn cas(
+        &self,
+        asm: &mut HostAsm,
+        dst: Xreg,
+        addr: Xreg,
+        expect: Xreg,
+        new: Xreg,
+        cfg: BackendConfig,
+    ) {
+        match cfg.rmw {
+            RmwStyle::Casal => {
+                // casal dst, new, [addr] with dst preloaded with expect.
+                asm.push(HostInsn::MovReg { dst, src: expect });
+                asm.push(HostInsn::Cas { cmp_old: dst, new, addr, acq_rel: true });
+            }
+            RmwStyle::Rmw2Fenced => {
+                // DMBFF; loop: ldxr dst; cmp dst, expect; b.ne done;
+                // stxr status, new; cbnz loop; done: DMBFF.
+                let status = Xreg(8); // outside the allocatable pool
+                let l_loop = asm.fresh_label();
+                let l_done = asm.fresh_label();
+                asm.push(HostInsn::Barrier(Dmb::Ff));
+                asm.bind(l_loop);
+                asm.push(HostInsn::Ldxr { dst, addr, acquire: false });
+                asm.push(HostInsn::Cmp { a: dst, b: expect });
+                asm.bcond_to(ACond::Ne, l_done);
+                asm.push(HostInsn::Stxr { status, src: new, addr, release: false });
+                asm.push(HostInsn::CmpImm { a: status, imm: 0 });
+                asm.bcond_to(ACond::Ne, l_loop);
+                asm.bind(l_done);
+                asm.push(HostInsn::Barrier(Dmb::Ff));
+            }
+        }
+    }
+
+    fn atomic_add(
+        &self,
+        asm: &mut HostAsm,
+        dst: Xreg,
+        addr: Xreg,
+        addend: Xreg,
+        cfg: BackendConfig,
+    ) {
+        match cfg.rmw {
+            RmwStyle::Casal => {
+                asm.push(HostInsn::LdaddAl { old: dst, addend, addr });
+            }
+            RmwStyle::Rmw2Fenced => {
+                let status = Xreg(8);
+                let tmp = Xreg(7);
+                let l_loop = asm.fresh_label();
+                asm.push(HostInsn::Barrier(Dmb::Ff));
+                asm.bind(l_loop);
+                asm.push(HostInsn::Ldxr { dst, addr, acquire: false });
+                asm.push(HostInsn::Alu { op: AOp::Add, dst: tmp, a: dst, b: addend });
+                asm.push(HostInsn::Stxr { status, src: tmp, addr, release: false });
+                asm.push(HostInsn::CmpImm { a: status, imm: 0 });
+                asm.bcond_to(ACond::Ne, l_loop);
+                asm.push(HostInsn::Barrier(Dmb::Ff));
+            }
+        }
+    }
+}
+
+/// A pluggable host backend: the ordering dialect plus everything the
+/// engine needs to drive a translation target end to end.
+///
+/// Implementations exist for the MiniArm host ([`ArmBackend`], this
+/// crate) and the MiniTSO host (`TsoBackend` in `risotto-host-tso`).
+/// The engine holds a `&'static dyn HostBackend` and routes every
+/// lowering, cost and Pass 3 decision through it; Passes 1–2 of the
+/// translation validator stay backend-independent in `risotto-tcg`.
+pub trait HostBackend: OrderingLowering + std::fmt::Debug + Sync {
+    /// Short stable name (`"arm"`, `"tso"`), used by `--backend` flags
+    /// and artifact keys.
+    fn name(&self) -> &'static str;
+
+    /// Lowers an optimized TCG block to host instructions with
+    /// allocation statistics. The default routes through the shared
+    /// container lowering with this backend's ordering dialect.
+    fn lower_block_with_stats(
+        &self,
+        block: &TcgBlock,
+        cfg: BackendConfig,
+    ) -> Result<LowerOutput, BackendError> {
+        lower_block_with_dialect(block, cfg, self)
+    }
+
+    /// The backend's calibrated cycle cost model (what
+    /// `Machine::new` should be fed when simulating this host).
+    fn cost_model(&self) -> CostModel;
+
+    /// Pass 3 of the translation validator: this backend's encoding
+    /// read-back. Must independently re-derive the expected ordering
+    /// points from the IR (not from the lowering) so a buggy shared
+    /// table cannot vouch for itself.
+    fn check_encoding(
+        &self,
+        block: &TcgBlock,
+        insns: &[HostInsn],
+        bytes: &[u8],
+        cfg: BackendConfig,
+    ) -> Result<(), VerifyError>;
+}
+
+/// The MiniArm host backend: [`ArmOrdering`] dialect, the ThunderX2
+/// cost calibration, and the Arm Pass 3 read-back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmBackend;
+
+impl OrderingLowering for ArmBackend {
+    fn fence(&self, k: FenceKind) -> Option<HostInsn> {
+        ArmOrdering.fence(k)
+    }
+
+    fn cas(
+        &self,
+        asm: &mut HostAsm,
+        dst: Xreg,
+        addr: Xreg,
+        expect: Xreg,
+        new: Xreg,
+        cfg: BackendConfig,
+    ) {
+        ArmOrdering.cas(asm, dst, addr, expect, new, cfg);
+    }
+
+    fn atomic_add(
+        &self,
+        asm: &mut HostAsm,
+        dst: Xreg,
+        addr: Xreg,
+        addend: Xreg,
+        cfg: BackendConfig,
+    ) {
+        ArmOrdering.atomic_add(asm, dst, addr, addend, cfg);
+    }
+}
+
+impl HostBackend for ArmBackend {
+    fn name(&self) -> &'static str {
+        "arm"
+    }
+
+    fn cost_model(&self) -> CostModel {
+        CostModel::thunderx2_like()
+    }
+
+    fn check_encoding(
+        &self,
+        block: &TcgBlock,
+        insns: &[HostInsn],
+        bytes: &[u8],
+        cfg: BackendConfig,
+    ) -> Result<(), VerifyError> {
+        crate::verify::check_encoding(block, insns, bytes, cfg)
+    }
+}
+
 /// The backend's lowering product: the host instruction stream plus the
 /// register-allocation statistics behind it (mirrored into the
 /// `regalloc.*` registry metrics by the engine).
@@ -329,11 +575,22 @@ pub fn lower_block_with_stats(
     block: &TcgBlock,
     cfg: BackendConfig,
 ) -> Result<LowerOutput, BackendError> {
-    let pool: Vec<Xreg> = if cfg.direct_regs {
-        [0, 1, 2, 3, 4, 5, 26, 29].iter().map(|&r| Xreg(r)).collect()
-    } else {
-        (9..=26).map(Xreg).collect()
-    };
+    lower_block_with_dialect(block, cfg, &ArmOrdering)
+}
+
+/// Lowers an (optimized) TCG block through an explicit ordering dialect.
+///
+/// This is the shared backend skeleton: register allocation, env
+/// pinning/write-back, ALU/branch/helper lowering and TB-exit shapes are
+/// identical for every host; the dialect (`ord`) decides what fences and
+/// atomic RMWs become. [`lower_block_with_stats`] is this function with
+/// [`ArmOrdering`]; the MiniTSO backend calls it with its own dialect.
+pub fn lower_block_with_dialect<O: OrderingLowering + ?Sized>(
+    block: &TcgBlock,
+    cfg: BackendConfig,
+    ord: &O,
+) -> Result<LowerOutput, BackendError> {
+    let pool = ord.alloc_pool(cfg);
     let mut alloc = Allocator::new(block, pool, !cfg.direct_regs);
     let mut asm = HostAsm::new();
     let (mut get_regs, mut set_regs) = (0u64, 0u64);
@@ -414,13 +671,8 @@ pub fn lower_block_with_stats(
                 // emits no guest-*ordering* fences, so any fence left in
                 // the IR is the programmer's own (MFENCE → Fsc) and must
                 // be honoured.
-                if let Some(dmb) = k.arm_dmb() {
-                    let d = match dmb {
-                        FenceKind::DmbLd => Dmb::Ld,
-                        FenceKind::DmbSt => Dmb::St,
-                        _ => Dmb::Ff,
-                    };
-                    asm.push(HostInsn::Barrier(d));
+                if let Some(barrier) = ord.fence(*k) {
+                    asm.push(barrier);
                 }
             }
             TcgOp::Cas { dst, addr, expect, new } => {
@@ -433,54 +685,14 @@ pub fn lower_block_with_stats(
                 // The stores land before the sequence begins, so nothing
                 // intrudes between LDXR and STXR.
                 alloc.flush_env(&mut asm, true);
-                match cfg.rmw {
-                    RmwStyle::Casal => {
-                        // casal rd, rn, [ra] with rd preloaded with expect.
-                        asm.push(HostInsn::MovReg { dst: rd, src: re });
-                        asm.push(HostInsn::Cas { cmp_old: rd, new: rn, addr: ra, acq_rel: true });
-                    }
-                    RmwStyle::Rmw2Fenced => {
-                        // DMBFF; loop: ldxr rd; cmp rd, re; b.ne done;
-                        // stxr status, rn; cbnz loop; done: DMBFF.
-                        let status = Xreg(8); // outside the allocatable pool
-                        let l_loop = asm.fresh_label();
-                        let l_done = asm.fresh_label();
-                        asm.push(HostInsn::Barrier(Dmb::Ff));
-                        asm.bind(l_loop);
-                        asm.push(HostInsn::Ldxr { dst: rd, addr: ra, acquire: false });
-                        asm.push(HostInsn::Cmp { a: rd, b: re });
-                        asm.bcond_to(ACond::Ne, l_done);
-                        asm.push(HostInsn::Stxr { status, src: rn, addr: ra, release: false });
-                        asm.push(HostInsn::CmpImm { a: status, imm: 0 });
-                        asm.bcond_to(ACond::Ne, l_loop);
-                        asm.bind(l_done);
-                        asm.push(HostInsn::Barrier(Dmb::Ff));
-                    }
-                }
+                ord.cas(&mut asm, rd, ra, re, rn, cfg);
             }
             TcgOp::AtomicAdd { dst, addr, val } => {
                 let ra = alloc.read_temp(&mut asm, idx, idx, *addr, &[])?;
                 let rv = alloc.read_temp(&mut asm, idx, idx, *val, &[ra])?;
                 let rd = alloc.def_temp(&mut asm, idx, idx, *dst, &[ra, rv])?;
                 alloc.flush_env(&mut asm, true);
-                match cfg.rmw {
-                    RmwStyle::Casal => {
-                        asm.push(HostInsn::LdaddAl { old: rd, addend: rv, addr: ra });
-                    }
-                    RmwStyle::Rmw2Fenced => {
-                        let status = Xreg(8);
-                        let tmp = Xreg(7);
-                        let l_loop = asm.fresh_label();
-                        asm.push(HostInsn::Barrier(Dmb::Ff));
-                        asm.bind(l_loop);
-                        asm.push(HostInsn::Ldxr { dst: rd, addr: ra, acquire: false });
-                        asm.push(HostInsn::Alu { op: AOp::Add, dst: tmp, a: rd, b: rv });
-                        asm.push(HostInsn::Stxr { status, src: tmp, addr: ra, release: false });
-                        asm.push(HostInsn::CmpImm { a: status, imm: 0 });
-                        asm.bcond_to(ACond::Ne, l_loop);
-                        asm.push(HostInsn::Barrier(Dmb::Ff));
-                    }
-                }
+                ord.atomic_add(&mut asm, rd, ra, rv, cfg);
             }
             TcgOp::SideExit { flag, stay_if, target } => {
                 // Guarded off-trace exit: fall through (stay on the

@@ -37,8 +37,9 @@ mod regalloc;
 mod verify;
 
 pub use backend::{
-    lower_block, lower_block_with_stats, BackendConfig, BackendError, HostAsm, LowerOutput,
-    RmwStyle, ENV_BASE, SPILL_BASE,
+    arm_dmb_of, fp_op_of, helper_index, lower_block, lower_block_with_dialect,
+    lower_block_with_stats, ArmBackend, ArmOrdering, BackendConfig, BackendError, HostAsm,
+    HostBackend, LowerOutput, OrderingLowering, RmwStyle, ENV_BASE, SPILL_BASE,
 };
 pub use cost::CostModel;
 pub use insn::{
@@ -49,4 +50,6 @@ pub use machine::{
     NativeResult, SchedPolicy, TbProf, CODE_BASE,
 };
 pub use regalloc::AllocStats;
-pub use verify::check_encoding;
+pub use verify::{
+    check_encoding, check_encoding_with, encoding_err, ArmEncodingDialect, EncodingDialect, Point,
+};

@@ -20,27 +20,47 @@
 //! Violations are reported as [`VerifyError`]s with
 //! [`VerifyPass::Encoding`], feeding the engine's quarantine path.
 
-use crate::backend::{fp_op_of, helper_index, BackendConfig, RmwStyle, ENV_BASE, SPILL_BASE};
+use crate::backend::{
+    arm_dmb_of, fp_op_of, helper_index, BackendConfig, RmwStyle, ENV_BASE, SPILL_BASE,
+};
 use crate::insn::{Dmb, HostInsn, MemOrder, TbExitKind};
-use risotto_memmodel::FenceKind;
 use risotto_tcg::{TbExit, TcgBlock, TcgOp, VerifyError, VerifyPass};
 
 /// An ordering-relevant point in a host instruction stream.
+///
+/// Public so each backend's [`EncodingDialect`] can state its expected
+/// ordering stream in these terms; the shared [`check_encoding_with`]
+/// machinery matches them against the decoded bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Point {
+pub enum Point {
     /// A `DMB` barrier.
     Dmb(Dmb),
-    /// A guest memory access (`order` is [`MemOrder::Plain`] for the
-    /// byte-sized `LdrB`/`StrB`).
-    Access { load: bool, byte: bool, order: MemOrder },
+    /// A guest memory access.
+    Access {
+        /// Load (`true`) or store (`false`).
+        load: bool,
+        /// Byte-sized `LdrB`/`StrB` rather than word-sized.
+        byte: bool,
+        /// Ordering annotation ([`MemOrder::Plain`] for byte accesses).
+        order: MemOrder,
+    },
     /// `CAS`/`CASAL`.
-    Cas { acq_rel: bool },
+    Cas {
+        /// Acquire-release (`casal`, ≙ `LOCK CMPXCHG` on TSO).
+        acq_rel: bool,
+    },
     /// `LDADDAL`.
     Ldadd,
-    /// `LDXR` (with its acquire flag).
-    ExclLoad { acquire: bool },
-    /// `STXR` (with its release flag).
-    ExclStore { release: bool },
+    /// `LDXR`.
+    ExclLoad {
+        /// Load-acquire variant.
+        acquire: bool,
+    },
+    /// `STXR`.
+    ExclStore {
+        /// Store-release variant.
+        release: bool,
+    },
     /// A runtime helper call (QEMU-style out-of-line memory op).
     Helper(u8),
     /// A TB exit (`ExitTb` of any kind — block exits and `SideExit`
@@ -51,7 +71,8 @@ enum Point {
 }
 
 impl Point {
-    fn name(self) -> String {
+    /// Human-readable name used in [`VerifyError`] obligations.
+    pub fn name(self) -> String {
         match self {
             Point::Dmb(d) => format!("dmb {d:?}"),
             Point::Access { load: true, byte, .. } => {
@@ -71,11 +92,53 @@ impl Point {
     }
 }
 
-fn err(block: &TcgBlock, op_index: Option<usize>, obligation: String) -> VerifyError {
+/// Builds an Encoding-pass [`VerifyError`] anchored at `block`.
+///
+/// Public so backend [`EncodingDialect`]s report their own violations
+/// (dialect-restriction failures, backend-specific obligations) in the
+/// same shape the shared checks use.
+pub fn encoding_err(block: &TcgBlock, op_index: Option<usize>, obligation: String) -> VerifyError {
     VerifyError { pass: VerifyPass::Encoding, guest_pc: block.guest_pc, op_index, obligation }
 }
 
-/// The ordering points the backend must have emitted for one IR op.
+fn err(block: &TcgBlock, op_index: Option<usize>, obligation: String) -> VerifyError {
+    encoding_err(block, op_index, obligation)
+}
+
+/// A backend's contribution to Pass 3: its expected-ordering-point
+/// table plus any dialect restrictions on the decoded stream.
+///
+/// The expected points MUST be derived from the IR independently of the
+/// lowering (re-consulting the shared fence tables, not the emitted
+/// instructions), so a bug in the lowering cannot vouch for itself.
+/// Byte fidelity, decode-back, point interleaving, env write-back
+/// coverage and exit integrity stay shared in [`check_encoding_with`].
+pub trait EncodingDialect {
+    /// The ordering points this backend must have emitted for one IR op.
+    fn expected_points(&self, op: &TcgOp, cfg: BackendConfig, out: &mut Vec<Point>);
+
+    /// Extra dialect restriction over the decoded stream — e.g. the TSO
+    /// backend rejects any instruction MiniTSO has no equivalent for
+    /// (exclusive pairs, load/store-only barriers, acquire/release
+    /// accesses, a CAS without its `LOCK`-equivalent `acq_rel` flag).
+    /// The default imposes nothing beyond the shared checks.
+    fn check_dialect(&self, _block: &TcgBlock, _decoded: &[HostInsn]) -> Result<(), VerifyError> {
+        Ok(())
+    }
+}
+
+/// The Arm encoding dialect: expected points per the Fig. 7b `DMB`
+/// table ([`arm_dmb_of`]) and the [`RmwStyle`]-selected RMW shapes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmEncodingDialect;
+
+impl EncodingDialect for ArmEncodingDialect {
+    fn expected_points(&self, op: &TcgOp, cfg: BackendConfig, out: &mut Vec<Point>) {
+        expected_points(op, cfg, out);
+    }
+}
+
+/// The ordering points the Arm backend must have emitted for one IR op.
 fn expected_points(op: &TcgOp, cfg: BackendConfig, out: &mut Vec<Point>) {
     let plain = MemOrder::Plain;
     match op {
@@ -84,12 +147,8 @@ fn expected_points(op: &TcgOp, cfg: BackendConfig, out: &mut Vec<Point>) {
         TcgOp::St { .. } => out.push(Point::Access { load: false, byte: false, order: plain }),
         TcgOp::St8 { .. } => out.push(Point::Access { load: false, byte: true, order: plain }),
         TcgOp::Fence(k) => {
-            if let Some(dmb) = k.arm_dmb() {
-                out.push(Point::Dmb(match dmb {
-                    FenceKind::DmbLd => Dmb::Ld,
-                    FenceKind::DmbSt => Dmb::St,
-                    _ => Dmb::Ff,
-                }));
+            if let Some(d) = arm_dmb_of(*k) {
+                out.push(Point::Dmb(d));
             }
         }
         TcgOp::Cas { .. } => match cfg.rmw {
@@ -158,7 +217,8 @@ fn actual_point(insn: &HostInsn) -> Option<Point> {
 }
 
 /// Pass 3: verifies `bytes` against the lowered instructions `insns`
-/// and the verified IR `block` they were lowered from.
+/// and the verified IR `block` they were lowered from, under the Arm
+/// encoding dialect.
 ///
 /// See the module docs for the three properties checked. `insns` must
 /// be the direct output of `lower_block(block, cfg)`; `bytes` the
@@ -169,6 +229,24 @@ pub fn check_encoding(
     insns: &[HostInsn],
     bytes: &[u8],
     cfg: BackendConfig,
+) -> Result<(), VerifyError> {
+    check_encoding_with(block, insns, bytes, cfg, &ArmEncodingDialect)
+}
+
+/// Pass 3 with an explicit backend [`EncodingDialect`].
+///
+/// Runs the shared checks (byte fidelity + decode-back, ordering-point
+/// interleaving against `dialect.expected_points`, env write-back
+/// coverage per exit segment, chain-word/exit-target integrity) and the
+/// dialect's own `check_dialect` restriction. [`check_encoding`] is
+/// this function with [`ArmEncodingDialect`]; `risotto-host-tso` calls
+/// it with the TSO dialect.
+pub fn check_encoding_with<D: EncodingDialect + ?Sized>(
+    block: &TcgBlock,
+    insns: &[HostInsn],
+    bytes: &[u8],
+    cfg: BackendConfig,
+    dialect: &D,
 ) -> Result<(), VerifyError> {
     // 1. Byte fidelity: canonical re-encoding matches...
     let mut expect = Vec::with_capacity(bytes.len());
@@ -211,6 +289,11 @@ pub fn check_encoding(
         ));
     }
 
+    // 1b. Dialect restriction: the decoded stream must stay inside the
+    // backend's instruction subset (a no-op for Arm, which owns the
+    // whole container ISA).
+    dialect.check_dialect(block, &decoded)?;
+
     // 2. Ordering placement: barrier/atomic/access/exit interleaving
     // matches the IR. Each expected point remembers the IR op it came
     // from (`None` for the block terminator) and each actual point its
@@ -219,7 +302,7 @@ pub fn check_encoding(
     let mut expected: Vec<Point> = Vec::new();
     let mut expected_src: Vec<Option<usize>> = Vec::new();
     for (i, op) in block.ops.iter().enumerate() {
-        expected_points(op, cfg, &mut expected);
+        dialect.expected_points(op, cfg, &mut expected);
         expected_src.resize(expected.len(), Some(i));
     }
     exit_points(&block.exit, &mut expected);

@@ -263,6 +263,57 @@ impl MappingScheme for VerifiedTcgToArm {
 }
 
 // ---------------------------------------------------------------------
+// TCG IR → x86-TSO
+// ---------------------------------------------------------------------
+
+/// The weakest x86 fence implementing a TCG fence's ordering on a TSO
+/// host: delegates to [`FenceKind::tso_fence`] — `MFENCE` exactly when
+/// the fence's ordering covers write→read (the only reordering TSO
+/// performs), nothing for every other TCG fence.
+pub fn lower_tcg_fence_tso(kind: FenceKind) -> Option<FenceKind> {
+    kind.tso_fence()
+}
+
+/// The verified TCG→x86-TSO mapping implemented by `risotto-host-tso`:
+/// plain `ld`/`st` to plain `MOV`s, fences via [`lower_tcg_fence_tso`]
+/// (most become no-ops), and TCG RMWs to a `LOCK`-prefixed `CMPXCHG`
+/// ([`RmwKind::X86Lock`], whose TSO semantics are a full fence).
+///
+/// Unlike [`VerifiedTcgToArm`] there is no RMW-style choice: x86 has a
+/// single atomic-RMW idiom, and `LOCK` already carries the bracketing
+/// `MFENCE` semantics the `Rmw2Fenced` style reconstructs on Arm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifiedTcgToTso;
+
+impl MappingScheme for VerifiedTcgToTso {
+    fn name(&self) -> &str {
+        "verified-tcg-to-tso"
+    }
+
+    fn map_instr(&self, instr: &Instr) -> Vec<Instr> {
+        match instr {
+            Instr::Load { mode: AccessMode::Plain, .. }
+            | Instr::Store { mode: AccessMode::Plain, .. }
+            | Instr::Let { .. } => vec![instr.clone()],
+            Instr::Rmw { dst, loc, expected, desired, kind: RmwKind::TcgSc } => {
+                vec![Instr::Rmw {
+                    dst: *dst,
+                    loc: *loc,
+                    expected: expected.clone(),
+                    desired: desired.clone(),
+                    kind: RmwKind::X86Lock,
+                }]
+            }
+            Instr::Fence(k) if k.is_tcg() => match lower_tcg_fence_tso(*k) {
+                Some(mfence) => vec![Instr::Fence(mfence)],
+                None => vec![],
+            },
+            other => panic!("{}: not a TCG instruction: {other:?}", self.name()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // x86 → Arm (direct)
 // ---------------------------------------------------------------------
 
@@ -374,6 +425,12 @@ pub fn verified_x86_to_arm(rmw: RmwLowering) -> impl MappingScheme {
     Composed::new(VerifiedX86ToTcg, VerifiedTcgToArm { rmw }, "verified-x86-to-arm")
 }
 
+/// The end-to-end verified x86→x86 scheme through TCG IR and back onto a
+/// TSO host: the round trip the `risotto-host-tso` backend performs.
+pub fn verified_x86_to_tso() -> impl MappingScheme {
+    Composed::new(VerifiedX86ToTcg, VerifiedTcgToTso, "verified-x86-to-tso")
+}
+
 /// Qemu's end-to-end x86→Arm scheme (Fig. 2), with the `Fmr → Frr` demotion
 /// Qemu applies for x86 guests (§3.1) expressed in the fence lowering: the
 /// leading `Fmr`/`Fmw` become `DMB LD`/`DMB FF` as in Fig. 2.
@@ -442,6 +499,45 @@ mod tests {
         assert_eq!(lower_tcg_fence(FenceKind::Fmw), Some(FenceKind::DmbFf));
         assert_eq!(lower_tcg_fence(FenceKind::Facq), None);
         assert_eq!(lower_tcg_fence(FenceKind::Frel), None);
+    }
+
+    #[test]
+    fn tso_fence_lowering_is_mfence_iff_store_load() {
+        // MFENCE exactly for the five W→R-covering kinds…
+        for k in [FenceKind::Fwr, FenceKind::Fwm, FenceKind::Fmr, FenceKind::Fmm, FenceKind::Fsc] {
+            assert_eq!(lower_tcg_fence_tso(k), Some(FenceKind::MFence), "{k:?}");
+        }
+        // …and a no-op for every other TCG fence.
+        for k in [
+            FenceKind::Frr,
+            FenceKind::Frw,
+            FenceKind::Frm,
+            FenceKind::Fww,
+            FenceKind::Fmw,
+            FenceKind::Facq,
+            FenceKind::Frel,
+        ] {
+            assert_eq!(lower_tcg_fence_tso(k), None, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn tso_mapping_erases_free_fences_and_locks_rmws() {
+        // The verified x86→TCG→TSO round trip: the trailing Frm / leading
+        // Fww that protect the Arm lowering vanish on a TSO host, so MP
+        // maps back to plain MOVs with no fences at all.
+        let p = verified_x86_to_tso().map_program(&corpus::mp());
+        for t in &p.threads {
+            assert!(t.instrs.iter().all(|i| !matches!(i, Instr::Fence(_))), "{:?}", t.instrs);
+        }
+        // SB's programmer MFENCE (→ Fsc) survives as MFENCE.
+        let sb = verified_x86_to_tso().map_program(&corpus::sb_fenced());
+        for t in &sb.threads {
+            assert!(t.instrs.iter().any(|i| matches!(i, Instr::Fence(FenceKind::MFence))));
+        }
+        // TCG RMWs come back as LOCK-prefixed x86 RMWs.
+        let al = verified_x86_to_tso().map_program(&corpus::sbal_x86());
+        assert!(matches!(al.threads[0].instrs[0], Instr::Rmw { kind: RmwKind::X86Lock, .. }));
     }
 
     #[test]

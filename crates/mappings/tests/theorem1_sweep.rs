@@ -7,8 +7,8 @@ use risotto_litmus::corpus;
 use risotto_mappings::check::{check_translation, verify_suite, BehaviorScope};
 use risotto_mappings::gen::{generate_two_thread, x86_alphabet, x86_alphabet_small};
 use risotto_mappings::scheme::{
-    qemu_x86_to_arm, verified_x86_to_arm, HelperStyle, MappingScheme, QemuX86ToTcg, RmwLowering,
-    VerifiedTcgToArm, VerifiedX86ToTcg,
+    qemu_x86_to_arm, verified_x86_to_arm, verified_x86_to_tso, HelperStyle, MappingScheme,
+    QemuX86ToTcg, RmwLowering, VerifiedTcgToArm, VerifiedTcgToTso, VerifiedX86ToTcg,
 };
 use risotto_mappings::transform::{
     eliminate_at, eliminate_false_deps, merge_fences_at, reorder_at, Elimination, FencePolicy,
@@ -59,6 +59,84 @@ fn verified_tcg_to_arm_passes_tcg_corpus() {
             verify_suite(&VerifiedTcgToArm { rmw }, &tcg_corpus, &TcgIr::new(), &Arm::corrected());
         assert!(failures.is_empty(), "rmw={rmw:?}: {failures:?}");
     }
+}
+
+#[test]
+fn verified_tcg_to_tso_passes_tcg_corpus() {
+    // The TSO mirror of `verified_tcg_to_arm_passes_tcg_corpus`: the same
+    // TCG-translated corpus, checked against the executable x86-TSO model
+    // instead of the corrected Arm model. Theorem 1 requires
+    // behaviors(target, X86Tso) ⊆ behaviors(source, TcgIr) even though the
+    // scheme erases most fences.
+    let tcg_corpus: Vec<_> = x86_corpus().iter().map(|p| VerifiedX86ToTcg.map_program(p)).collect();
+    let failures = verify_suite(&VerifiedTcgToTso, &tcg_corpus, &TcgIr::new(), &X86Tso::new());
+    assert!(failures.is_empty(), "failures: {failures:?}");
+}
+
+#[test]
+fn verified_tcg_to_tso_exhaustive_fence_patterns() {
+    // Exhaustive Theorem-1 enumeration over every TCG-event/fence pattern:
+    // for each TCG fence kind, a two-thread MP/SB-shaped skeleton with the
+    // fence between the two accesses of each thread, in all four
+    // load/store orientations. Every one of these programs must check
+    // under the no-op/MFENCE lowering — this is the enumeration recorded
+    // in DESIGN.md §14.
+    use risotto_litmus::{Program, Reg};
+    use risotto_memmodel::{FenceKind, Loc};
+    let (x, y) = (Loc(0), Loc(1));
+    let mut family = Vec::new();
+    for &k in &FenceKind::TCG_ALL {
+        for (t0_store_first, t1_store_first) in
+            [(true, true), (true, false), (false, true), (false, false)]
+        {
+            let name = format!("tso-enum-{k:?}-{t0_store_first}-{t1_store_first}");
+            let p = Program::builder(&name)
+                .thread(|t| {
+                    if t0_store_first {
+                        t.store(x, 1).fence(k).load(Reg(0), y);
+                    } else {
+                        t.load(Reg(0), x).fence(k).store(y, 1);
+                    }
+                })
+                .thread(|t| {
+                    if t1_store_first {
+                        t.store(y, 1).fence(k).load(Reg(1), x);
+                    } else {
+                        t.load(Reg(1), y).fence(k).store(x, 1);
+                    }
+                })
+                .build();
+            family.push(p);
+        }
+    }
+    assert_eq!(family.len(), 48, "12 TCG fence kinds x 4 orientations");
+    let failures = verify_suite(&VerifiedTcgToTso, &family, &TcgIr::new(), &X86Tso::new());
+    assert!(failures.is_empty(), "TSO lowering violates Theorem 1: {failures:?}");
+}
+
+#[test]
+fn verified_end_to_end_tso_passes_corpus() {
+    let s = verified_x86_to_tso();
+    let failures = verify_suite(&s, &x86_corpus(), &X86Tso::new(), &X86Tso::new());
+    assert!(failures.is_empty(), "failures: {failures:?}");
+}
+
+#[test]
+fn generated_sweep_verified_tso_scheme_subsampled() {
+    // The TSO mirror of `generated_sweep_verified_scheme_subsampled`.
+    let family = generate_two_thread(&x86_alphabet(), 2, 24);
+    let s = verified_x86_to_tso();
+    let failures = verify_suite(&s, &family, &X86Tso::new(), &X86Tso::new());
+    assert!(failures.is_empty(), "failures: {failures:?}");
+}
+
+#[test]
+fn generated_sweep_verified_tso_small_alphabet_exhaustive() {
+    // All 325 programs over the fence-free alphabet, x86→TCG→TSO.
+    let family = generate_two_thread(&x86_alphabet_small(), 2, 1);
+    let s = verified_x86_to_tso();
+    let failures = verify_suite(&s, &family, &X86Tso::new(), &X86Tso::new());
+    assert!(failures.is_empty(), "failures: {failures:?}");
 }
 
 #[test]

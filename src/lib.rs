@@ -42,6 +42,8 @@ pub use risotto_fuzz as fuzz;
 pub use risotto_guest_x86 as guest;
 /// The MiniArm host ISA, backend and machine simulator.
 pub use risotto_host_arm as host;
+/// The MiniTSO (x86-TSO) host backend.
+pub use risotto_host_tso as host_tso;
 /// Litmus tests and exhaustive behavior enumeration.
 pub use risotto_litmus as litmus;
 /// Mapping schemes and Theorem-1 checking.
