@@ -37,8 +37,13 @@ cargo bench -q -p risotto-bench --bench pipeline -- smoke
 test -s BENCH_pipeline.json
 
 # Schema assert: every kernel entry must carry the tier-2 "superblock"
-# key with its cycle delta and cross-boundary fence-merge count, and the
-# cross-backend "tso" key with its cycles and MFENCE count.
+# key with its cycle delta and cross-boundary fence-merge count, the
+# cross-backend "tso" key with its cycles and MFENCE count, and the
+# tier-0 "tier0" key with its template counters. The top-level
+# "cold_start" object must show tier-0 template translation strictly
+# cheaper per guest instruction than the tier-1 IR pipeline (the
+# simulator's only wall-time gate; the measured gap is ≥ 5×, so a
+# strict < holds with wide margin on any machine).
 if command -v jq > /dev/null 2>&1; then
     jq -e '(.kernels | length) == 16
            and ([.kernels[] | select(.superblock
@@ -46,7 +51,13 @@ if command -v jq > /dev/null 2>&1; then
                  and (.superblock | has("fences_merged_cross"))
                  and .tso
                  and (.tso | has("cycles"))
-                 and (.tso | has("mfences")))] | length) == 16' \
+                 and (.tso | has("mfences"))
+                 and .tier0
+                 and (.tier0 | has("cycles"))
+                 and (.tier0.blocks > 0)
+                 and (.tier0 | has("ns_per_insn")))] | length) == 16
+           and (.cold_start.tier0_insns > 0)
+           and (.cold_start.tier0_ns_per_insn < .cold_start.tier1_ns_per_insn)' \
         BENCH_pipeline.json > /dev/null
 else
     python3 - BENCH_pipeline.json <<'EOF'
@@ -58,6 +69,12 @@ for k in doc["kernels"]:
     assert "cycle_delta" in sb and "fences_merged_cross" in sb, k["kernel"]
     tso = k["tso"]
     assert "cycles" in tso and "mfences" in tso, k["kernel"]
+    t0 = k["tier0"]
+    assert "cycles" in t0 and "ns_per_insn" in t0, k["kernel"]
+    assert t0["blocks"] > 0, k["kernel"]
+cold = doc["cold_start"]
+assert cold["tier0_insns"] > 0, cold
+assert cold["tier0_ns_per_insn"] < cold["tier1_ns_per_insn"], cold
 EOF
 fi
 
@@ -122,7 +139,9 @@ if command -v jq > /dev/null 2>&1; then
     jq -e '.version == 1
            and (.workloads[0].metrics.metrics["fuzz.divergences"].value == 0)
            and (.workloads[0].metrics.metrics["fuzz.programs"].value >= 300)
-           and (.workloads[0].metrics.metrics["fuzz.fault_runs"].value > 0)' \
+           and (.workloads[0].metrics.metrics["fuzz.fault_runs"].value > 0)
+           and (.workloads[0].metrics.metrics["fuzz.configs_run"].value
+                == 6 * .workloads[0].metrics.metrics["fuzz.programs"].value)' \
         "$fuzz_json" > /dev/null
 else
     python3 - "$fuzz_json" <<'EOF'
@@ -132,6 +151,9 @@ m = doc["workloads"][0]["metrics"]["metrics"]
 assert m["fuzz.divergences"]["value"] == 0, m["fuzz.divergences"]
 assert m["fuzz.programs"]["value"] >= 300, m["fuzz.programs"]
 assert m["fuzz.fault_runs"]["value"] > 0, m["fuzz.fault_runs"]
+# The full oracle matrix is interp + tier0 + tier1 + tier1-noopt +
+# tier2 + tier1-tso: exactly six configurations per program.
+assert m["fuzz.configs_run"]["value"] == 6 * m["fuzz.programs"]["value"], m
 EOF
 fi
 rm -f "$fuzz_json"

@@ -76,6 +76,16 @@ fn fetcher(bytes: Vec<u8>) -> impl Fn(u64) -> [u8; 16] {
 fn bench_pipeline() {
     let bytes = hot_block_bytes();
     let fetch = fetcher(bytes);
+    bench("template_translate_block", 10_000, || {
+        risotto_template::translate_block_template(
+            0x1000,
+            FrontendConfig::risotto(),
+            BackendConfig::dbt(RmwStyle::Casal),
+            BackendKind::Arm.ordering(),
+            &fetch,
+        )
+        .expect("template translate")
+    });
     bench("frontend_translate_block", 10_000, || {
         translate_block(0x1000, FrontendConfig::risotto(), &fetch).expect("translate")
     });
@@ -112,14 +122,24 @@ fn bench_machine() {
 /// writes per-kernel simulated cycles + chain-hit rate to
 /// `BENCH_pipeline.json`, plus a tier-2 leg per kernel (superblock
 /// promotion enabled) whose cycle delta and cross-boundary fence merges
-/// land under the `"superblock"` key, and a MiniTSO-backend leg whose
+/// land under the `"superblock"` key, a MiniTSO-backend leg whose
 /// cycles and MFENCE count land under the `"tso"` key (results asserted
-/// bit-identical to the Arm run). `smoke` shrinks the scale for CI.
+/// bit-identical to the Arm run), and a tier-0 cold-start leg whose
+/// template counters and translation wall time land under the `"tier0"`
+/// key. The cold-start comparison — every block translated exactly
+/// once, run once, per tier — is aggregated over all kernels into the
+/// top-level `"cold_start"` object (ns per guest instruction, tier-0 vs
+/// tier-1; ci.sh gates tier-0 strictly cheaper). `smoke` shrinks the
+/// scale for CI.
 fn bench_kernels(smoke: bool) {
     let (scale, threads) = if smoke { (4, 2) } else { (64, 2) };
     let mode = if smoke { "smoke" } else { "full" };
     println!("\nkernel suite ({mode}, scale {scale}, {threads} threads):");
     let mut entries = Vec::new();
+    // Cold-start aggregates: translation wall-ns and guest instructions
+    // covered, per tier, summed over every kernel.
+    let (mut cold_t0_ns, mut cold_t0_insns) = (0u64, 0u64);
+    let (mut cold_t1_ns, mut cold_t1_insns) = (0u64, 0u64);
     for w in kernels::all() {
         let bin = (w.build)(scale, threads);
         let t0 = Instant::now();
@@ -150,8 +170,49 @@ fn bench_kernels(smoke: bool) {
         assert_eq!(rt.output, r.output, "{}: tso output diverges", w.name);
         let tso_mfences = tso.metrics().counter("fence.exec.dmb_ff");
         let arm_full = emu.metrics().counter("fence.exec.dmb_ff");
+
+        // Tier-0 cold-start leg: every block pinned to the template
+        // translator (both thresholds at MAX so nothing re-translates),
+        // stage timing on so `stage.template_ns` fills. Wall-time
+        // histograms never touch simulated state, so results must stay
+        // bit-identical to the tier-1 run.
+        let mut t0 = Emulator::new(&bin, Setup::Risotto, threads, CostModel::thunderx2_like());
+        t0.set_tiering(Some(TierConfig {
+            hot_threshold: u64::MAX,
+            warm_threshold: Some(u64::MAX),
+            ..TierConfig::default()
+        }));
+        t0.set_stage_timing(true);
+        let r0 = t0.run(20_000_000_000).unwrap_or_else(|e| panic!("{} (tier-0): {e}", w.name));
+        assert_eq!(r0.exit_vals, r.exit_vals, "{}: tier-0 exit values diverge", w.name);
+        assert_eq!(r0.output, r.output, "{}: tier-0 output diverges", w.name);
+        let t0m = t0.metrics();
+        let t0_ns = t0m.histogram("stage.template_ns").sum;
+        let t0_insns = t0m.counter("template.insns");
+        assert!(t0m.counter("template.blocks") > 0, "{}: tier-0 leg translated nothing", w.name);
+        assert_eq!(t0m.counter("translate.insns"), 0, "{}: tier-1 ran in the tier-0 leg", w.name);
+
+        // Tier-1 cold-start reference: the same translate-once/run-once
+        // workload through the IR pipeline, stage-timed. (The baseline
+        // `emu` run above deliberately keeps observability off so its
+        // cycle numbers stay bit-identical to an uninstrumented build.)
+        let mut t1c = Emulator::new(&bin, Setup::Risotto, threads, CostModel::thunderx2_like());
+        t1c.set_stage_timing(true);
+        let r1c = t1c.run(20_000_000_000).unwrap_or_else(|e| panic!("{} (tier-1): {e}", w.name));
+        assert_eq!(r1c.exit_vals, r.exit_vals, "{}: stage-timed tier-1 diverges", w.name);
+        let t1m = t1c.metrics();
+        let t1_ns = t1m.histogram("stage.decode_ns").sum
+            + t1m.histogram("stage.opt_ns").sum
+            + t1m.histogram("stage.encode_ns").sum;
+        let t1_insns = t1m.counter("translate.insns");
+        cold_t0_ns += t0_ns;
+        cold_t0_insns += t0_insns;
+        cold_t1_ns += t1_ns;
+        cold_t1_insns += t1_insns;
+        let per = |ns: u64, insns: u64| if insns == 0 { 0.0 } else { ns as f64 / insns as f64 };
+
         println!(
-            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   tso {:>12} cy ({} mfence)   {:>8.1} ms wall",
+            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   tso {:>12} cy ({} mfence)   t0 {:>6.1} vs t1 {:>6.1} ns/insn   {:>8.1} ms wall",
             w.name,
             r.cycles,
             100.0 * rate,
@@ -160,6 +221,8 @@ fn bench_kernels(smoke: bool) {
             r2.sb.fences_merged_cross,
             rt.cycles,
             tso_mfences,
+            per(t0_ns, t0_insns),
+            per(t1_ns, t1_insns),
             wall * 1e3
         );
         // The registry snapshot is read out after the run with every
@@ -174,7 +237,11 @@ fn bench_kernels(smoke: bool) {
                 "\"cycle_delta\": {}, \"promotions\": {}, \"tbs_merged\": {}, ",
                 "\"side_exits\": {}, \"fences_merged_cross\": {}}},\n     ",
                 "\"tso\": {{\"cycles\": {}, \"mfences\": {}, \"arm_dmb_ff\": {}, ",
-                "\"cycle_delta_vs_arm\": {}}},\n     \"metrics\": {}}}"
+                "\"cycle_delta_vs_arm\": {}}},\n     ",
+                "\"tier0\": {{\"cycles\": {}, \"blocks\": {}, \"insns\": {}, ",
+                "\"translate_ns\": {}, \"ns_per_insn\": {:.2}, ",
+                "\"tier1_translate_ns\": {}, \"tier1_insns\": {}, ",
+                "\"tier1_ns_per_insn\": {:.2}}},\n     \"metrics\": {}}}"
             ),
             w.name,
             r.cycles,
@@ -195,12 +262,45 @@ fn bench_kernels(smoke: bool) {
             tso_mfences,
             arm_full,
             r.cycles as i64 - rt.cycles as i64,
+            r0.cycles,
+            r0.template.blocks,
+            t0_insns,
+            t0_ns,
+            per(t0_ns, t0_insns),
+            t1_ns,
+            t1_insns,
+            per(t1_ns, t1_insns),
             emu.metrics().to_json()
         ));
     }
+    // The cold-start headline: wall-ns of translation per guest
+    // instruction, aggregated over the whole suite. Template
+    // instantiation skips IR building, optimization and register
+    // allocation, so it must come out far cheaper than the tier-1
+    // pipeline (ci.sh gates `tier0 < tier1`; the paper-style target is
+    // ≥ 5×).
+    let t0_per = if cold_t0_insns == 0 { 0.0 } else { cold_t0_ns as f64 / cold_t0_insns as f64 };
+    let t1_per = if cold_t1_insns == 0 { 0.0 } else { cold_t1_ns as f64 / cold_t1_insns as f64 };
+    let ratio = if t0_per == 0.0 { 0.0 } else { t1_per / t0_per };
+    println!(
+        "\ncold start: tier-0 {t0_per:.1} ns/insn ({cold_t0_insns} insns) vs tier-1 {t1_per:.1} ns/insn ({cold_t1_insns} insns) — {ratio:.1}x cheaper"
+    );
     let json = format!(
-        "{{\n  \"mode\": \"{mode}\",\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"kernels\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        concat!(
+            "{{\n  \"mode\": \"{mode}\",\n  \"scale\": {scale},\n  \"threads\": {threads},\n",
+            "  \"cold_start\": {{\"tier0_ns_per_insn\": {t0:.2}, \"tier0_insns\": {t0i}, ",
+            "\"tier1_ns_per_insn\": {t1:.2}, \"tier1_insns\": {t1i}, \"speedup\": {sp:.2}}},\n",
+            "  \"kernels\": [\n{kernels}\n  ]\n}}\n"
+        ),
+        mode = mode,
+        scale = scale,
+        threads = threads,
+        t0 = t0_per,
+        t0i = cold_t0_insns,
+        t1 = t1_per,
+        t1i = cold_t1_insns,
+        sp = ratio,
+        kernels = entries.join(",\n")
     );
     // Cargo runs benches with the package dir as CWD; anchor the artifact
     // at the workspace root instead.

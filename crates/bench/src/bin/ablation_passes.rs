@@ -31,6 +31,9 @@ fn main() {
         for (i, (_, passes)) in variants.iter().enumerate() {
             let mut emu = Emulator::new(&bin, Setup::TcgVer, threads, CostModel::thunderx2_like());
             emu.set_passes(*passes);
+            if let Some(tiers) = risotto_bench::tier_policy() {
+                emu.set_tiering(Some(tiers));
+            }
             let r = emu.run(10_000_000_000).unwrap();
             match expect {
                 None => expect = Some(r.exit_vals[0]),

@@ -73,6 +73,24 @@ fn main() {
             }
         };
         println!("\n################ setup: {} ################", setup.name());
+        // `--tiers 0`: show what the tier-0 template translator emits
+        // for the same block — straight from guest bytes to host code,
+        // no IR stage to print (the native oracle has no tiers).
+        if cli.tiers == Some(0) && setup != Setup::Native {
+            let ord = cli.backend.ordering();
+            let tpl = risotto_template::translate_block_template(0x1000, fe, be, ord, fetch)
+                .expect("template translation");
+            println!(
+                "--- tier-0 template host ({}, {} insns from {} guest insns) ---",
+                cli.backend.name(),
+                tpl.code.len(),
+                tpl.insns
+            );
+            for insn in &tpl.code {
+                println!("  {insn:?}");
+            }
+            continue;
+        }
         let mut block = translate_block(0x1000, fe, fetch).unwrap();
         println!("--- TCG IR (frontend output: {} ops) ---", block.ops.len());
         for op in &block.ops {

@@ -59,6 +59,11 @@ fn main() {
         for seed in 0..seeds {
             let setup = setups[(seed % setups.len() as u64) as usize];
             let mut emu = Emulator::new(&bin, setup, 2, CostModel::thunderx2_like());
+            if setup != Setup::Native {
+                if let Some(tiers) = risotto_bench::tier_policy() {
+                    emu.set_tiering(Some(tiers));
+                }
+            }
             emu.set_fault_plan(plan_for(seed));
             match emu.run(FUEL) {
                 Ok(r) => {
@@ -84,6 +89,9 @@ fn main() {
                 .rate(FaultSite::Lower, 8000)
                 .rate(FaultSite::TbCache, 8000);
             let mut emu = Emulator::new(&bin, Setup::Risotto, 2, CostModel::thunderx2_like());
+            if let Some(tiers) = risotto_bench::tier_policy() {
+                emu.set_tiering(Some(tiers));
+            }
             emu.set_fault_plan(plan);
             emu.set_stage_timing(true);
             emu.set_profiling(true);

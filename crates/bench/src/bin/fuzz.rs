@@ -44,6 +44,13 @@ const DEFAULT_SEED: u64 = 0xD1FF_F022_2026_0808;
 
 fn main() {
     let cli = BenchCli::parse_with("fuzz", &["--seed", "--iters"]);
+    if cli.tiers.is_some() {
+        eprintln!(
+            "fuzz: --tiers cannot be combined with the differential driver: \
+             the oracle matrix already runs every tier (interp, tier-0, tier-1, tier-2)"
+        );
+        std::process::exit(2);
+    }
     let seed = cli.u64_value("--seed", DEFAULT_SEED).unwrap_or_else(die);
     let default_iters = if cli.smoke { SMOKE_ITERS } else { FULL_ITERS };
     let iters = cli.u64_value("--iters", default_iters).unwrap_or_else(die);

@@ -8,8 +8,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::sync::OnceLock;
+
 use risotto_core::obs::{HotTb, MetricsSnapshot};
-use risotto_core::{BackendKind, Emulator, HostLibrary, Idl, Report, Setup, VerifyLevel};
+use risotto_core::{
+    BackendKind, Emulator, HostLibrary, Idl, Report, Setup, TierConfig, VerifyLevel,
+};
 use risotto_guest_x86::GuestBinary;
 
 /// Simulated host clock (the paper's testbed runs at 2.0 GHz).
@@ -17,6 +21,17 @@ pub const CLOCK_HZ: f64 = 2.0e9;
 
 /// How many hot TBs each workload records in the metrics artifact.
 pub const HOT_TB_TOP_N: usize = 10;
+
+/// The tier pin selected by `--tiers` for this process, applied by the
+/// shared runners to every DBT emulator they construct. Set once by
+/// [`BenchCli::parse_with`]; `None` (flag absent, or `--tiers 1`) keeps
+/// today's tier-1-only default.
+static TIER_POLICY: OnceLock<Option<TierConfig>> = OnceLock::new();
+
+/// The process-wide tier pin from `--tiers`, if one was selected.
+pub fn tier_policy() -> Option<TierConfig> {
+    TIER_POLICY.get().copied().flatten()
+}
 
 /// Runs a binary under a setup, optionally linking the standard host
 /// libraries (libm + libcrypto + libkv).
@@ -60,6 +75,13 @@ pub fn run_on(
     // benchmark run keeps it on: `verify.violations` must be zero in
     // any artifact the harness produces.
     emu.set_verify(VerifyLevel::Install);
+    // A `--tiers` pin applies to every DBT setup; the native oracle runs
+    // precompiled host code and has no translation tiers to pin.
+    if setup != Setup::Native {
+        if let Some(cfg) = tier_policy() {
+            emu.set_tiering(Some(cfg));
+        }
+    }
     if link {
         let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
         for lib in [
@@ -114,6 +136,11 @@ pub fn run_with_metrics_on(
     emu.set_verify(VerifyLevel::Install);
     emu.set_stage_timing(true);
     emu.set_profiling(true);
+    if setup != Setup::Native {
+        if let Some(cfg) = tier_policy() {
+            emu.set_tiering(Some(cfg));
+        }
+    }
     if link {
         let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
         for lib in [
@@ -199,10 +226,10 @@ pub struct MetricsEntry {
 
 /// The common command line every `risotto-bench` binary accepts: the
 /// shared flags (`--smoke`, `--metrics-json <path>` /
-/// `--metrics-json=<path>`, `--backend arm|tso`), any value-carrying
-/// flags the binary declares up front (e.g. the fuzzer's `--seed` /
-/// `--iters`), plus whatever positional arguments the binary itself
-/// defines. Unknown `--flags` are rejected uniformly.
+/// `--metrics-json=<path>`, `--backend arm|tso`, `--tiers 0|1|2`), any
+/// value-carrying flags the binary declares up front (e.g. the fuzzer's
+/// `--seed` / `--iters`), plus whatever positional arguments the binary
+/// itself defines. Unknown `--flags` are rejected uniformly.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct BenchCli {
     /// `--smoke` was passed (bounded quick mode).
@@ -213,6 +240,11 @@ pub struct BenchCli {
     /// flag is absent. The native-oracle setup always stays on Arm
     /// (see [`effective_backend`]).
     pub backend: BackendKind,
+    /// Tier ceiling from `--tiers` (docs/ARCHITECTURE.md): `0` pins
+    /// every block to the tier-0 template translator, `1` is today's
+    /// tier-1-only default, `2` enables the full three-tier ladder
+    /// (templates → IR pipeline → superblocks). `None` when absent.
+    pub tiers: Option<u8>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Values of the declared extra flags, in the order given
@@ -232,12 +264,17 @@ impl BenchCli {
     /// as `--flag v` or `--flag=v`).
     pub fn parse_with(tool: &str, declared: &[&str]) -> BenchCli {
         match Self::try_parse_with(std::env::args().skip(1), declared) {
-            Ok(cli) => cli,
+            Ok(cli) => {
+                // Publish the tier pin for the shared runners; first
+                // parse in the process wins (binaries parse once).
+                let _ = TIER_POLICY.set(cli.tier_config());
+                cli
+            }
             Err(msg) => {
                 eprintln!("{tool}: {msg}");
                 let extra: String = declared.iter().map(|f| format!(", {f} <value>")).collect();
                 eprintln!(
-                    "{tool}: supported flags: --smoke, --metrics-json <path>, --backend arm|tso{extra}"
+                    "{tool}: supported flags: --smoke, --metrics-json <path>, --backend arm|tso, --tiers 0|1|2{extra}"
                 );
                 std::process::exit(2);
             }
@@ -272,6 +309,11 @@ impl BenchCli {
             } else if let Some(v) = a.strip_prefix("--backend=") {
                 cli.backend = BackendKind::parse(v)
                     .ok_or(format!("--backend `{v}`: expected `arm` or `tso`"))?;
+            } else if a == "--tiers" {
+                let v = args.next().ok_or("--tiers requires `0`, `1` or `2`".to_owned())?;
+                cli.tiers = Some(Self::parse_tiers(&v)?);
+            } else if let Some(v) = a.strip_prefix("--tiers=") {
+                cli.tiers = Some(Self::parse_tiers(v)?);
             } else if a.starts_with("--") {
                 for f in declared {
                     if a == *f {
@@ -290,6 +332,38 @@ impl BenchCli {
             }
         }
         Ok(cli)
+    }
+
+    fn parse_tiers(v: &str) -> Result<u8, String> {
+        match v {
+            "0" => Ok(0),
+            "1" => Ok(1),
+            "2" => Ok(2),
+            _ => Err(format!("--tiers `{v}`: expected `0`, `1` or `2`")),
+        }
+    }
+
+    /// The tier policy the `--tiers` selection pins on every DBT
+    /// emulator the shared runners build:
+    ///
+    /// * `--tiers 0` — templates only: every block stays tier-0 forever
+    ///   (both thresholds at `u64::MAX` never fire, so nothing is ever
+    ///   re-translated through the IR pipeline or promoted).
+    /// * `--tiers 1` (or no flag) — today's default: the IR pipeline
+    ///   translates everything, no tiering at all (`None`).
+    /// * `--tiers 2` — the full ladder: cold blocks via templates, warm
+    ///   blocks re-translated at 32 entries, hot traces promoted to
+    ///   superblocks at the default threshold.
+    pub fn tier_config(&self) -> Option<TierConfig> {
+        match self.tiers {
+            Some(0) => Some(TierConfig {
+                hot_threshold: u64::MAX,
+                warm_threshold: Some(u64::MAX),
+                ..TierConfig::default()
+            }),
+            Some(2) => Some(TierConfig { warm_threshold: Some(32), ..TierConfig::default() }),
+            _ => None,
+        }
     }
 
     /// The value of a declared flag (last occurrence wins).
@@ -432,6 +506,29 @@ mod tests {
         assert!(parse(&["--backend"]).is_err());
         assert!(parse(&["--backend", "riscv"]).is_err());
         assert!(parse(&["--backend=x86"]).is_err());
+    }
+
+    #[test]
+    fn tiers_flag_parses_and_rejects_invalid_combinations() {
+        use risotto_core::TierConfig;
+        assert_eq!(parse(&[]).unwrap().tiers, None);
+        assert_eq!(parse(&["--tiers", "0"]).unwrap().tiers, Some(0));
+        assert_eq!(parse(&["--tiers=2"]).unwrap().tiers, Some(2));
+        assert!(parse(&["--tiers"]).is_err(), "missing value");
+        assert!(parse(&["--tiers", "3"]).is_err(), "out-of-range tier");
+        assert!(parse(&["--tiers=templates"]).is_err(), "non-numeric tier");
+        assert!(parse(&["--tiers=01"]).is_err(), "non-canonical spelling");
+
+        // Tier 1 (and the flag's absence) keep the engine default; 0
+        // pins templates forever; 2 opens the whole ladder.
+        assert_eq!(parse(&[]).unwrap().tier_config(), None);
+        assert_eq!(parse(&["--tiers", "1"]).unwrap().tier_config(), None);
+        let t0 = parse(&["--tiers", "0"]).unwrap().tier_config().unwrap();
+        assert_eq!(t0.hot_threshold, u64::MAX);
+        assert_eq!(t0.warm_threshold, Some(u64::MAX));
+        let t2 = parse(&["--tiers", "2"]).unwrap().tier_config().unwrap();
+        assert_eq!(t2.hot_threshold, TierConfig::default().hot_threshold);
+        assert_eq!(t2.warm_threshold, Some(32));
     }
 
     #[test]

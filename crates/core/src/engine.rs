@@ -32,8 +32,8 @@ use risotto_guest_x86::{
 };
 use risotto_host_arm::{
     AllocStats, ArmBackend, AtomicEvent, BackendConfig, ChainStats, CoreStats, CostModel, Event,
-    HostBackend, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, RmwStyle, SchedPolicy,
-    TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
+    HostBackend, HostFaultKind, HostInsn, Machine, MemOrder, NativeFn, OrderingLowering, RmwStyle,
+    SchedPolicy, TbExitKind, Xreg, ENV_BASE, SPILL_BASE,
 };
 use risotto_host_tso::TsoBackend;
 use risotto_memmodel::FenceKind;
@@ -42,6 +42,7 @@ use risotto_tcg::{
     OptPolicy, OptStats, PassConfig, TbExit, TcgBlock, TcgOp, TranslateError, VerifyError,
     VerifyPass,
 };
+use risotto_template::{translate_block_template, TemplateError};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
@@ -171,6 +172,16 @@ impl BackendKind {
 
     /// The backend implementation behind this kind.
     pub fn host(self) -> &'static dyn HostBackend {
+        match self {
+            BackendKind::Arm => &ArmBackend,
+            BackendKind::Tso => &TsoBackend,
+        }
+    }
+
+    /// The ordering dialect behind this kind — the fence/RMW lowering
+    /// hooks shared by the tier-1 lowering driver and the tier-0
+    /// template translator.
+    pub fn ordering(self) -> &'static dyn OrderingLowering {
         match self {
             BackendKind::Arm => &ArmBackend,
             BackendKind::Tso => &TsoBackend,
@@ -471,6 +482,9 @@ pub struct Report {
     /// Tier-2 superblock statistics (all zero unless
     /// [`Emulator::set_tiering`] enabled promotion).
     pub sb: SbStats,
+    /// Tier-0 template-translation statistics (all zero unless
+    /// [`TierConfig::warm_threshold`] enabled the template tier).
+    pub template: TemplateStats,
 }
 
 /// Tier-2 promotion policy, enabled via [`Emulator::set_tiering`].
@@ -494,11 +508,32 @@ pub struct TierConfig {
     /// Minimum trace length worth promoting (clamped to ≥ 2: a
     /// one-block "superblock" is just the tier-1 body again).
     pub min_tbs: usize,
+    /// `Some(w)` enables the tier-0 template tier: cold blocks are first
+    /// translated by IR-less template instantiation (`risotto-template`)
+    /// and re-translated through the full tier-1 pipeline once their
+    /// entry count crosses `w`. `None` (the default) keeps the two-tier
+    /// engine: every block goes straight through tier-1.
+    pub warm_threshold: Option<u64>,
 }
 
 impl Default for TierConfig {
     fn default() -> Self {
-        TierConfig { hot_threshold: 512, max_tbs: 8, min_tbs: 2 }
+        TierConfig { hot_threshold: 512, max_tbs: 8, min_tbs: 2, warm_threshold: None }
+    }
+}
+
+impl TierConfig {
+    /// The machine-side profiler threshold: the smallest entry count at
+    /// which any promotion decision (tier-0→1 at
+    /// [`TierConfig::warm_threshold`], tier-1→2 at
+    /// [`TierConfig::hot_threshold`]) can fire. The profile event
+    /// re-fires at every multiple, so the engine re-checks the larger
+    /// threshold on later crossings.
+    fn machine_threshold(&self) -> u64 {
+        match self.warm_threshold {
+            Some(w) => w.min(self.hot_threshold),
+            None => self.hot_threshold,
+        }
     }
 }
 
@@ -524,6 +559,22 @@ pub struct SbStats {
     pub subsumed: u64,
     /// Machine transfers that entered a superblock head.
     pub entries: u64,
+}
+
+/// Tier-0 template-translation counters (see `docs/METRICS.md`,
+/// `template.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Blocks translated by template instantiation.
+    pub blocks: u64,
+    /// Guest instructions covered by template translations.
+    pub insns: u64,
+    /// Template blocks re-translated through the tier-1 IR pipeline
+    /// after crossing [`TierConfig::warm_threshold`].
+    pub promotions: u64,
+    /// Tier-0→1 promotions that failed (injected fault or pipeline
+    /// error); the template translation stays installed.
+    pub promotion_failures: u64,
 }
 
 impl Report {
@@ -712,6 +763,11 @@ pub struct Emulator {
     opt_totals: OptStats,
     /// Tier-2 promotion policy (`None` = tier-1 only).
     tiering: Option<TierConfig>,
+    /// Guest pcs whose current translation is a tier-0 template block
+    /// (promotion candidates for the tier-1 re-translate).
+    tier0_pcs: HashSet<u64>,
+    /// Tier-0 template-translation counters.
+    template_stats: TemplateStats,
     /// Engine-side superblock counters (`subsumed`/`entries` live on the
     /// machine and are merged in at snapshot time).
     sb_stats: SbStats,
@@ -734,6 +790,9 @@ pub struct Emulator {
     tbcache_hits: u64,
     /// Injected faults encountered (translate / lower / syscall).
     faults_injected: u64,
+    /// Guest instructions covered by tier-1 translations (denominator
+    /// of the per-tier translation-cost comparison).
+    tier1_insns: u64,
     /// Active translation-verifier level (docs/VERIFIER.md).
     verify: VerifyLevel,
     /// Verification checks executed (each level-applicable check on a
@@ -783,6 +842,8 @@ impl Emulator {
             obs: Obs::new(),
             opt_totals: OptStats::default(),
             tiering: None,
+            tier0_pcs: HashSet::new(),
+            template_stats: TemplateStats::default(),
             sb_stats: SbStats::default(),
             sb_opt: OptStats::default(),
             regalloc_totals: AllocStats::default(),
@@ -791,6 +852,7 @@ impl Emulator {
             resume_profile: HashMap::new(),
             tbcache_hits: 0,
             faults_injected: 0,
+            tier1_insns: 0,
             verify: VerifyLevel::default(),
             verify_checked: 0,
             verify_ir: 0,
@@ -922,8 +984,21 @@ impl Emulator {
     /// Cycle counts *do* change — that is the point.
     pub fn set_tiering(&mut self, cfg: Option<TierConfig>) {
         self.tiering = cfg;
-        self.machine.set_hot_threshold(cfg.map(|c| c.hot_threshold));
+        self.machine.set_hot_threshold(cfg.map(|c| c.machine_threshold()));
         self.machine.set_profiling(self.obs.profiling || cfg.is_some());
+    }
+
+    /// Tier-0 template statistics so far (also in [`Report::template`]
+    /// after a run).
+    pub fn template_stats(&self) -> TemplateStats {
+        self.template_stats
+    }
+
+    /// `true` while the tier-0 template tier serves cold translations:
+    /// tiering must be on with a [`TierConfig::warm_threshold`], and the
+    /// setup must be a DBT one (the native oracle has no guest decode).
+    fn tier0_active(&self) -> bool {
+        self.setup != Setup::Native && self.tiering.is_some_and(|c| c.warm_threshold.is_some())
     }
 
     /// Tier-2 statistics so far (also in [`Report::sb`] after a run).
@@ -1437,7 +1512,58 @@ impl Emulator {
         (parts, false)
     }
 
-    /// Services [`Event::HotTb`]: select → stitch → region-optimize →
+    /// Routes [`Event::HotTb`] per the tier ladder: a tier-0 template
+    /// block crossing [`TierConfig::warm_threshold`] re-translates
+    /// through the tier-1 IR pipeline; a tier-1 block crossing
+    /// [`TierConfig::hot_threshold`] becomes a tier-2 superblock
+    /// candidate. The machine profile fires at every multiple of the
+    /// smaller threshold, so the larger one is re-checked on later
+    /// crossings rather than missed.
+    fn on_hot_tb(&mut self, core: usize, guest_pc: u64) {
+        let Some(cfg) = self.tiering else { return };
+        let Some(warm) = cfg.warm_threshold else {
+            self.try_promote(core, guest_pc);
+            return;
+        };
+        if self.tier0_pcs.contains(&guest_pc) {
+            if self.entry_count(guest_pc) >= warm {
+                self.promote_template(core, guest_pc);
+            }
+        } else if self.entry_count(guest_pc) >= cfg.hot_threshold {
+            self.try_promote(core, guest_pc);
+        }
+    }
+
+    /// Promotes a warm tier-0 pc: the block re-translates through the
+    /// full tier-1 pipeline (optimizer, register allocator, Full-level
+    /// verifier passes when enabled) and the result is installed over
+    /// the template body — the rebind unlinks chain words into the old
+    /// code. Failure (injected or real) keeps the template translation:
+    /// correctness never depends on promotion.
+    fn promote_template(&mut self, core: usize, guest_pc: u64) {
+        if self.machine.lookup_tb(guest_pc).is_none()
+            || self.machine.is_sb_head(guest_pc)
+            || self.plt_natives.contains_key(&guest_pc)
+            || self.quarantine.contains(guest_pc)
+        {
+            // Stale candidate: evicted, subsumed by a superblock, or
+            // quarantined since it was marked.
+            self.tier0_pcs.remove(&guest_pc);
+            return;
+        }
+        let produced = self
+            .try_translate(Some(core), guest_pc)
+            .and_then(|code| self.install(Some(core), guest_pc, &code));
+        match produced {
+            Ok(_) => {
+                self.tier0_pcs.remove(&guest_pc);
+                self.template_stats.promotions += 1;
+            }
+            Err(_) => self.template_stats.promotion_failures += 1,
+        }
+    }
+
+    /// Services a tier-2 candidate: select → stitch → region-optimize →
     /// lower → install. Failures at any stage leave the tier-1 world
     /// untouched (counted, never fatal); the triggering core needs no
     /// resume — its transfer completed before the event fired.
@@ -1603,6 +1729,20 @@ impl Emulator {
                 format!("{} ops", block.ops.len()),
             );
         }
+        // Guest-instruction count for the per-tier translation-cost
+        // metrics (`translate.insns`), re-decoded outside the timed
+        // stages; decoding already succeeded above.
+        let mut p = guest_pc;
+        let end = guest_pc + block.guest_len as u64;
+        while p < end {
+            match Insn::decode(&fetch(p)) {
+                Ok((_, len)) => {
+                    self.tier1_insns += 1;
+                    p += len as u64;
+                }
+                Err(_) => break,
+            }
+        }
         // The unoptimized block is the fence-obligation reference the
         // Full-level verifier validates the optimized result against.
         let reference = (self.verify == VerifyLevel::Full).then(|| block.clone());
@@ -1664,6 +1804,74 @@ impl Emulator {
         Ok(code)
     }
 
+    /// Tier-0: translates one block by IR-less template instantiation —
+    /// no `TcgOp` block is built and no optimizer, register allocator or
+    /// per-block static verifier pass runs. The template set is verified
+    /// once, statically, by the test suite (Theorem-1 per template per
+    /// backend); only the install-time encoding read-back remains on
+    /// this path. Fault-injection sites mirror tier-1: `translate_fails`
+    /// before decode, `lower_fails` after.
+    fn try_template(
+        &mut self,
+        core: Option<usize>,
+        guest_pc: u64,
+    ) -> Result<Vec<HostInsn>, TbFault> {
+        if self.plan.translate_fails(guest_pc) {
+            self.faults_injected += 1;
+            return Err(TbFault::Injected);
+        }
+        let mut backend = self.setup.backend();
+        backend.rmw = self.rmw_style;
+        let text = &self.text;
+        let fetch = |addr: u64| -> [u8; 16] {
+            let mut w = [0u8; 16];
+            for (i, slot) in w.iter_mut().enumerate() {
+                let byte = addr
+                    .checked_sub(TEXT_BASE)
+                    .and_then(|off| off.checked_add(i as u64))
+                    .and_then(|off| usize::try_from(off).ok())
+                    .and_then(|off| text.get(off));
+                if let Some(&b) = byte {
+                    *slot = b;
+                }
+            }
+            w
+        };
+        let t0 = self.obs.timing.then(Instant::now);
+        let blk = translate_block_template(
+            guest_pc,
+            self.setup.frontend(),
+            backend,
+            self.backend_kind.ordering(),
+            fetch,
+        )
+        .map_err(|e| match e {
+            TemplateError::Decode(_) => TbFault::Frontend,
+            TemplateError::Lower(_) => TbFault::Backend,
+        })?;
+        let template_ns = t0.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(ns) = template_ns {
+            self.obs.registry.observe("stage.template_ns", ns);
+        }
+        if self.plan.lower_fails(guest_pc) {
+            self.faults_injected += 1;
+            return Err(TbFault::Injected);
+        }
+        self.template_stats.blocks += 1;
+        self.template_stats.insns += blk.insns as u64;
+        if self.obs.tracing {
+            self.obs.emit(
+                TraceStage::Decode,
+                core,
+                Some(guest_pc),
+                None,
+                template_ns,
+                format!("tier-0 template: {} guest insns", blk.insns),
+            );
+        }
+        Ok(blk.code)
+    }
+
     /// Ensures a translation exists for `guest_pc`; returns its host pc,
     /// or the (recoverable) reason none could be produced. Verifier
     /// rejections take the same quarantine path as pipeline failures:
@@ -1684,6 +1892,16 @@ impl Emulator {
         let produced = if let Some(&(func, nargs)) = self.plt_natives.get(&guest_pc) {
             let code = self.build_native_thunk(func, nargs);
             self.install(core, guest_pc, &code)
+        } else if self.tier0_active() {
+            // Cold code gets the near-zero-latency template tier; the
+            // profiler re-translates it through tier-1 when it warms up.
+            let produced = self
+                .try_template(core, guest_pc)
+                .and_then(|code| self.install(core, guest_pc, &code));
+            if produced.is_ok() {
+                self.tier0_pcs.insert(guest_pc);
+            }
+            produced
         } else {
             self.try_translate(core, guest_pc).and_then(|code| self.install(core, guest_pc, &code))
         };
@@ -2203,7 +2421,7 @@ impl Emulator {
                     // The transfer already completed: promotion (or a
                     // decline) needs no resume and cannot perturb the
                     // core's execution.
-                    self.try_promote(core, guest_pc);
+                    self.on_hot_tb(core, guest_pc);
                 }
                 Event::HostFault { core, host_pc, kind } => {
                     return Err(EmuError::HostFault {
@@ -2249,6 +2467,7 @@ impl Emulator {
             chain: self.machine.chain_stats(),
             opt: self.opt_totals,
             sb: self.sb_stats(),
+            template: self.template_stats,
         })
     }
 
@@ -2264,7 +2483,12 @@ impl Emulator {
         r.set_counter("translate.fallback_blocks", self.fallback_blocks as u64);
         r.set_counter("translate.interp_steps", self.interp_steps);
         r.set_counter("translate.tbcache_hits", self.tbcache_hits);
+        r.set_counter("translate.insns", self.tier1_insns);
         r.set_counter("fault.injected", self.faults_injected);
+        r.set_counter("template.blocks", self.template_stats.blocks);
+        r.set_counter("template.insns", self.template_stats.insns);
+        r.set_counter("template.promotions", self.template_stats.promotions);
+        r.set_counter("template.promotion_failures", self.template_stats.promotion_failures);
         r.set_counter("opt.folded", self.opt_totals.folded as u64);
         r.set_counter("opt.loads_forwarded", self.opt_totals.loads_forwarded as u64);
         r.set_counter("opt.stores_eliminated", self.opt_totals.stores_eliminated as u64);

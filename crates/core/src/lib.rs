@@ -43,7 +43,7 @@ mod rng;
 
 pub use engine::{
     BackendKind, CoreDump, EmuError, Emulator, HostExport, HostLibrary, LinkError, Report, SbStats,
-    Setup, TierConfig, VerifyLevel, ENV_REGION, SPILL_REGION,
+    Setup, TemplateStats, TierConfig, VerifyLevel, ENV_REGION, SPILL_REGION,
 };
 pub use faults::{FaultPlan, FaultSite};
 pub use idl::{Idl, IdlError, IdlFunc, IdlType};

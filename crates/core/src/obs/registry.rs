@@ -156,6 +156,11 @@ impl MetricsRegistry {
             spec("translate.fallback_blocks", Counter, "blocks", "Quarantine episodes: blocks that entered interpreter fallback"),
             spec("translate.interp_steps", Counter, "insns", "Guest instructions executed by the fallback interpreter"),
             spec("translate.tbcache_hits", Counter, "lookups", "Engine-side TB-map lookups that found an existing translation"),
+            spec("translate.insns", Counter, "insns", "Guest instructions covered by tier-1 translations"),
+            spec("template.blocks", Counter, "blocks", "Blocks translated by tier-0 template instantiation"),
+            spec("template.insns", Counter, "insns", "Guest instructions covered by tier-0 template translations"),
+            spec("template.promotions", Counter, "blocks", "Tier-0 blocks re-translated through the tier-1 pipeline on warming"),
+            spec("template.promotion_failures", Counter, "blocks", "Tier-0→1 promotions that failed; the template stays installed"),
             spec("fault.injected", Counter, "faults", "Injected translate/lower/syscall faults encountered"),
             spec("opt.folded", Counter, "ops", "Constants folded by the optimizer"),
             spec("opt.loads_forwarded", Counter, "ops", "Loads forwarded (RAR + RAW elimination)"),
@@ -206,6 +211,7 @@ impl MetricsRegistry {
             spec("code.bytes", Gauge, "bytes", "Code-cache footprint (incl. holes awaiting reuse)"),
             spec("core.<i>.insns", Gauge, "insns", "Host instructions retired by core i"),
             spec("core.<i>.cycles", Gauge, "cycles", "Local clock of core i"),
+            spec("stage.template_ns", Histogram, "ns", "Wall time of tier-0 template translation, per block"),
             spec("stage.decode_ns", Histogram, "ns", "Wall time of frontend decode+translate, per block"),
             spec("stage.opt_ns", Histogram, "ns", "Wall time of the optimizer pipeline, per block"),
             spec("stage.encode_ns", Histogram, "ns", "Wall time of backend lowering, per block"),

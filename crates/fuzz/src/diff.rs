@@ -1,9 +1,11 @@
-//! Cross-tier differential execution: one program, five observers.
+//! Cross-tier differential execution: one program, six observers.
 //!
 //! Every generated program runs through the reference interpreter and
-//! four DBT configurations — tier-1, tier-1 with the optimizer off,
-//! tier-2 with a lowered promotion threshold, and tier-1 on the MiniTSO
-//! host backend (the cross-backend oracle) — all with
+//! five DBT configurations — tier-1, tier-1 with the optimizer off,
+//! tier-2 with a lowered promotion threshold, the full three-tier
+//! ladder with the tier-0 template translator enabled (cold blocks are
+//! IR-less templates that promote through tier-1 to tier-2), and
+//! tier-1 on the MiniTSO host backend (the cross-backend oracle) — all with
 //! [`VerifyLevel::Full`] as a second oracle. The comparison covers exit
 //! values, the `WRITE` byte stream, the final data-section image, final
 //! register files and flags (single-core), atomic-access event orderings
@@ -38,6 +40,10 @@ pub enum Config {
     Tier1NoOpt,
     /// Tiered execution with a lowered promotion threshold.
     Tier2,
+    /// The full three-tier ladder: cold blocks start as tier-0 IR-less
+    /// templates, re-translate through tier-1 at a low warm threshold,
+    /// and can still promote to tier-2 superblocks.
+    Tier0,
     /// Tier-1 on the MiniTSO host backend (docs/BACKENDS.md): the
     /// standing cross-backend differential oracle — guest-visible
     /// state must be bit-identical to the Arm-backend runs.
@@ -46,8 +52,8 @@ pub enum Config {
 
 impl Config {
     /// All DBT configurations, in comparison order.
-    pub const ALL: [Config; 4] =
-        [Config::Tier1, Config::Tier1NoOpt, Config::Tier2, Config::Tier1Tso];
+    pub const ALL: [Config; 5] =
+        [Config::Tier1, Config::Tier1NoOpt, Config::Tier2, Config::Tier0, Config::Tier1Tso];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -55,6 +61,7 @@ impl Config {
             Config::Tier1 => "tier1",
             Config::Tier1NoOpt => "tier1-noopt",
             Config::Tier2 => "tier2",
+            Config::Tier0 => "tier0",
             Config::Tier1Tso => "tier1-tso",
         }
     }
@@ -176,6 +183,16 @@ fn build_emulator(bin: &GuestBinary, cores: usize, config: Config) -> Emulator {
             hot_threshold: FUZZ_HOT_THRESHOLD,
             max_tbs: 8,
             min_tbs: 2,
+            warm_threshold: None,
+        })),
+        // The three-tier ladder: templates at birth, tier-1 at half the
+        // (doubled) hot threshold, superblocks after that — every
+        // generated hot loop crosses all three tiers.
+        Config::Tier0 => emu.set_tiering(Some(TierConfig {
+            hot_threshold: FUZZ_HOT_THRESHOLD * 2,
+            max_tbs: 8,
+            min_tbs: 2,
+            warm_threshold: Some(FUZZ_HOT_THRESHOLD),
         })),
         Config::Tier1Tso => emu.set_backend(BackendKind::Tso),
     }

@@ -149,6 +149,12 @@ impl HostAsm {
         l
     }
 
+    /// Reserves room for `n` more items (instructions, labels or
+    /// branches) ahead of a burst of pushes.
+    pub fn reserve(&mut self, n: usize) {
+        self.items.reserve(n);
+    }
+
     /// Emits an instruction.
     pub fn push(&mut self, i: HostInsn) {
         self.items.push(Item::Insn(i));
@@ -174,22 +180,19 @@ impl HostAsm {
     /// Returns [`BackendError::UnboundLabel`] if a branch targets a
     /// label that was never [`bind`](Self::bind)-ed.
     pub fn finish(self) -> Result<Vec<HostInsn>, BackendError> {
-        // Pass 1: byte offsets.
-        let size_of = |i: &Item| -> usize {
+        // Pass 1: byte offsets. One scratch buffer serves every sizing
+        // encode — a fresh `Vec` per item made `finish` the hottest
+        // part of tier-0 template translation.
+        let mut scratch = Vec::with_capacity(16);
+        let mut size_of = |i: &Item| -> usize {
+            scratch.clear();
             match i {
-                Item::Insn(insn) => {
-                    let mut b = Vec::new();
-                    insn.encode(&mut b)
-                }
+                Item::Insn(insn) => insn.encode(&mut scratch),
                 Item::Label(_) => 0,
                 Item::BCondTo(..) => {
-                    let mut b = Vec::new();
-                    HostInsn::BCond { cond: ACond::Eq, rel: 0 }.encode(&mut b)
+                    HostInsn::BCond { cond: ACond::Eq, rel: 0 }.encode(&mut scratch)
                 }
-                Item::BTo(_) => {
-                    let mut b = Vec::new();
-                    HostInsn::B { rel: 0 }.encode(&mut b)
-                }
+                Item::BTo(_) => HostInsn::B { rel: 0 }.encode(&mut scratch),
             }
         };
         let mut offsets = Vec::with_capacity(self.items.len() + 1);
@@ -203,10 +206,11 @@ impl HostAsm {
             off += size_of(item);
         }
         offsets.push(off);
-        // Pass 2: materialize.
+        // Pass 2: materialize. `offsets[idx + 1]` is the end of this
+        // item, so nothing needs re-sizing.
         let mut out = Vec::with_capacity(self.items.len());
         for (idx, item) in self.items.iter().enumerate() {
-            let next = offsets[idx] + size_of(item);
+            let next = offsets[idx + 1];
             match item {
                 Item::Insn(i) => out.push(*i),
                 Item::Label(_) => {}

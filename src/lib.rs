@@ -54,5 +54,7 @@ pub use risotto_memmodel as memmodel;
 pub use risotto_nativelib as nativelib;
 /// The TCG-style IR, frontend and optimizer.
 pub use risotto_tcg as tcg;
+/// Tier-0 IR-less template translator.
+pub use risotto_template as template;
 /// The evaluation workloads.
 pub use risotto_workloads as workloads;
