@@ -38,8 +38,12 @@ test -s BENCH_pipeline.json
 
 # Schema assert: every kernel entry must carry the tier-2 "superblock"
 # key with its cycle delta and cross-boundary fence-merge count, the
-# cross-backend "tso" key with its cycles and MFENCE count, and the
-# tier-0 "tier0" key with its template counters. The top-level
+# cross-backend "tso" key with its cycles and MFENCE count, the tier-0
+# "tier0" key with its template counters, and the whole-program
+# "analysis" key (docs/ANALYSIS.md) with its relaxed-fence count and
+# cycle delta — the delta must never be negative (analysis-on can only
+# remove ordering cost) and at least one kernel must actually relax
+# fences, or the analysis subsystem went dead. The top-level
 # "cold_start" object must show tier-0 template translation strictly
 # cheaper per guest instruction than the tier-1 IR pipeline (the
 # simulator's only wall-time gate; the measured gap is ≥ 5×, so a
@@ -55,7 +59,11 @@ if command -v jq > /dev/null 2>&1; then
                  and .tier0
                  and (.tier0 | has("cycles"))
                  and (.tier0.blocks > 0)
-                 and (.tier0 | has("ns_per_insn")))] | length) == 16
+                 and (.tier0 | has("ns_per_insn"))
+                 and .analysis
+                 and (.analysis | has("relaxed"))
+                 and (.analysis.cycle_delta_vs_off >= 0))] | length) == 16
+           and ([.kernels[] | select(.analysis.relaxed > 0)] | length) >= 1
            and (.cold_start.tier0_insns > 0)
            and (.cold_start.tier0_ns_per_insn < .cold_start.tier1_ns_per_insn)' \
         BENCH_pipeline.json > /dev/null
@@ -72,6 +80,11 @@ for k in doc["kernels"]:
     t0 = k["tier0"]
     assert "cycles" in t0 and "ns_per_insn" in t0, k["kernel"]
     assert t0["blocks"] > 0, k["kernel"]
+    an = k["analysis"]
+    assert "relaxed" in an, k["kernel"]
+    assert an["cycle_delta_vs_off"] >= 0, k["kernel"]
+assert any(k["analysis"]["relaxed"] > 0 for k in doc["kernels"]), \
+    "no kernel relaxed any fences"
 cold = doc["cold_start"]
 assert cold["tier0_insns"] > 0, cold
 assert cold["tier0_ns_per_insn"] < cold["tier1_ns_per_insn"], cold
@@ -98,6 +111,33 @@ for k in new["kernels"]:
         )
 assert not bad, "cycle regression vs BENCH_baseline.json:\n  " + "\n  ".join(bad)
 EOF
+
+# Static-analysis gate (docs/ANALYSIS.md): the analyzer over the
+# 16-kernel and litmus corpora must report zero lint findings (the
+# corpora are known-clean; any finding is a false positive) and at
+# least one kernel with relaxable accesses.
+analysis_json="$(mktemp /tmp/analysis.XXXXXX.json)"
+cargo run -q --release -p risotto-bench --bin analyze -- \
+    --smoke --json "$analysis_json" > /dev/null
+if command -v jq > /dev/null 2>&1; then
+    jq -e '(.version == 1)
+           and (.kernels | length) == 16
+           and ([.kernels[], .litmus[] | select((.lints | length) > 0)]
+                | length) == 0
+           and ([.kernels[] | select(.relaxable > 0)] | length) >= 1' \
+        "$analysis_json" > /dev/null
+else
+    python3 - "$analysis_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == 1
+assert len(doc["kernels"]) == 16, len(doc["kernels"])
+for img in doc["kernels"] + doc["litmus"]:
+    assert img["lints"] == [], f'{img["name"]}: false-positive lints {img["lints"]}'
+assert any(k["relaxable"] > 0 for k in doc["kernels"]), "no relaxable kernel accesses"
+EOF
+fi
+rm -f "$analysis_json"
 
 # Metrics-artifact smoke: fig12 at CI scale must emit a parseable,
 # versioned JSON artifact with one workload entry per kernel.
@@ -141,7 +181,7 @@ if command -v jq > /dev/null 2>&1; then
            and (.workloads[0].metrics.metrics["fuzz.programs"].value >= 300)
            and (.workloads[0].metrics.metrics["fuzz.fault_runs"].value > 0)
            and (.workloads[0].metrics.metrics["fuzz.configs_run"].value
-                == 6 * .workloads[0].metrics.metrics["fuzz.programs"].value)' \
+                == 7 * .workloads[0].metrics.metrics["fuzz.programs"].value)' \
         "$fuzz_json" > /dev/null
 else
     python3 - "$fuzz_json" <<'EOF'
@@ -152,8 +192,9 @@ assert m["fuzz.divergences"]["value"] == 0, m["fuzz.divergences"]
 assert m["fuzz.programs"]["value"] >= 300, m["fuzz.programs"]
 assert m["fuzz.fault_runs"]["value"] > 0, m["fuzz.fault_runs"]
 # The full oracle matrix is interp + tier0 + tier1 + tier1-noopt +
-# tier2 + tier1-tso: exactly six configurations per program.
-assert m["fuzz.configs_run"]["value"] == 6 * m["fuzz.programs"]["value"], m
+# tier2 + tier1-tso + tier1-analysis: exactly seven configurations
+# per program.
+assert m["fuzz.configs_run"]["value"] == 7 * m["fuzz.programs"]["value"], m
 EOF
 fi
 rm -f "$fuzz_json"

@@ -1,0 +1,355 @@
+//! Whole-program static analysis over loaded MiniX86 guest images.
+//!
+//! This crate recovers a control-flow graph from the guest text
+//! ([`mod@cfg`]), runs dataflow analyses over it ([`dataflow`] is the
+//! shared solver), and distils the results into [`ImageFacts`]: a
+//! per-site classification of every static memory access plus lint
+//! findings. The engine consumes the facts to *relax* fence/ordering
+//! obligations on provably core-private or read-only accesses before
+//! lowering; the translation verifier re-derives the relaxation mask
+//! from the same facts, so an engine (or a mutant) claiming a wrong
+//! "private" produces a structured verification error at install time.
+//!
+//! The three analysis clients:
+//!
+//! * [`escape`] — shared-memory escape analysis: classifies every
+//!   static access as core-private / read-only-shared / shared /
+//!   atomic across all spawned-core instances.
+//! * [`knownbits`] — value-range / known-bits over translated TCG
+//!   blocks, feeding the optimizer's constant folding and dead-branch
+//!   pruning via `risotto_tcg::IrHints`.
+//! * [`mod@lint`] — guest program smells (unreachable code, misaligned or
+//!   mixed-size atomics, fences that order nothing before exit).
+
+#![deny(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod escape;
+pub mod knownbits;
+pub mod lint;
+
+pub use escape::{AccessKind, EscapeFacts, InstanceInfo, Poison, Site, SiteClass};
+pub use knownbits::ir_hints;
+pub use lint::{lint, Finding, LintKind};
+
+use risotto_guest_x86::{GuestBinary, Insn};
+use std::collections::BTreeMap;
+
+/// 64-bit FNV-1a over the execution-relevant parts of a guest binary:
+/// entry point, text, data and the dynamic-symbol table. Debug symbols
+/// are excluded — they cannot change behaviour, so two binaries that
+/// differ only in labels share one analysis cache entry.
+pub fn content_hash(bin: &GuestBinary) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn eat(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn eat_u64(&mut self, v: u64) {
+            self.eat(&v.to_le_bytes());
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    h.eat_u64(bin.entry);
+    h.eat_u64(bin.text.len() as u64);
+    h.eat(&bin.text);
+    h.eat_u64(bin.data.len() as u64);
+    h.eat(&bin.data);
+    h.eat_u64(bin.dynsyms.len() as u64);
+    for sym in &bin.dynsyms {
+        h.eat(sym.name.as_bytes());
+        h.eat(&[0]);
+        h.eat_u64(sym.plt_vaddr);
+    }
+    h.0
+}
+
+/// Aggregate summary of an image's analysis (the `analyze` bench bin
+/// serialises this; `analysis.*` metrics mirror the counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisSummary {
+    /// Static memory-access sites discovered.
+    pub sites: u64,
+    /// Sites proven core-private.
+    pub private: u64,
+    /// Sites proven read-only-shared.
+    pub readonly: u64,
+    /// Sites that may be written by more than one core.
+    pub shared: u64,
+    /// Atomic RMW sites (never relaxable).
+    pub atomics: u64,
+    /// Sites whose ordering obligation may be relaxed
+    /// (private + read-only, zero whenever the image is poisoned).
+    pub relaxable: u64,
+    /// Soundness poisons (unresolved indirection, solver limits, …).
+    pub poisons: u64,
+    /// Lint findings.
+    pub lints: u64,
+    /// Core instances analysed (root + spawned).
+    pub instances: u64,
+    /// Counted loops refined by the bounded-unrolling pass.
+    pub refined_loops: u64,
+}
+
+/// Everything the whole-program analysis learned about one image.
+///
+/// Produced by [`analyze_image`]; cached by the engine keyed on
+/// [`content_hash`]. The struct is immutable after construction — the
+/// engine's relaxation mask and the verifier's re-derived mask both
+/// come from the same pristine facts.
+#[derive(Debug, Clone)]
+pub struct ImageFacts {
+    /// [`content_hash`] of the analysed binary (the cache key).
+    pub hash: u64,
+    /// Guest entry point.
+    pub entry: u64,
+    /// The CFG had unresolved indirect control flow (coverage facts are
+    /// lower bounds; the unreachable-code lint is suppressed).
+    pub unresolved_cfg: bool,
+    /// Per-pc classification of every static memory access.
+    pub sites: BTreeMap<u64, Site>,
+    /// Soundness poisons; non-empty ⇒ nothing is relaxable.
+    pub poisons: Vec<Poison>,
+    /// Lint findings.
+    pub lints: Vec<Finding>,
+    /// Core instances analysed.
+    pub instances: Vec<InstanceInfo>,
+    /// Counted loops the escape analysis refined.
+    pub refined_loops: u32,
+}
+
+impl ImageFacts {
+    /// Whether any soundness poison forbids relaxation image-wide.
+    pub fn poisoned(&self) -> bool {
+        !self.poisons.is_empty()
+    }
+
+    /// Whether the access at guest `pc` may have its ordering
+    /// obligation relaxed: the image is poison-free and the site is
+    /// proven core-private or read-only-shared. Unknown pcs are never
+    /// relaxable.
+    pub fn relaxable(&self, pc: u64) -> bool {
+        !self.poisoned() && self.sites.get(&pc).map(|s| s.class.relaxable()).unwrap_or(false)
+    }
+
+    /// Builds the per-memory-event relaxation mask for the translation
+    /// block at `[pc, pc + guest_len)`, in the exact event order the
+    /// frontend emits (and the verifier's `check_obligations_masked`
+    /// consumes): one entry per `Ld`/`Ld8`/`St`/`St8`/`Cas`/
+    /// `AtomicAdd`/`CallHelper` op. RMW and helper events always get
+    /// `false` — their ordering lives inside the op. A decode failure
+    /// yields an empty (all-conservative) mask.
+    pub fn relax_mask(
+        &self,
+        pc: u64,
+        guest_len: u64,
+        fetch: impl Fn(u64) -> [u8; 16],
+    ) -> Vec<bool> {
+        event_sites(pc, guest_len, fetch)
+            .into_iter()
+            .map(|(p, plain)| plain && self.relaxable(p))
+            .collect()
+    }
+
+    /// Aggregate counters for metrics and the bench JSON report.
+    pub fn summary(&self) -> AnalysisSummary {
+        let mut s = AnalysisSummary {
+            sites: self.sites.len() as u64,
+            poisons: self.poisons.len() as u64,
+            lints: self.lints.len() as u64,
+            instances: self.instances.len() as u64,
+            refined_loops: self.refined_loops as u64,
+            ..AnalysisSummary::default()
+        };
+        for site in self.sites.values() {
+            match site.class {
+                SiteClass::Private => s.private += 1,
+                SiteClass::ReadOnly => s.readonly += 1,
+                SiteClass::Shared => s.shared += 1,
+                SiteClass::Atomic => s.atomics += 1,
+            }
+            if !self.poisoned() && site.class.relaxable() {
+                s.relaxable += 1;
+            }
+        }
+        s
+    }
+}
+
+/// Guest pc and kind of every frontend memory event emitted for the
+/// translation block at `[pc, pc + guest_len)`, in emission order —
+/// index-parallel to the masks [`ImageFacts::relax_mask`] builds and
+/// `relax_block`/`check_obligations_masked` consume. The flag is `true`
+/// for plain load/store events (whose scheme fence can be relaxed) and
+/// `false` for RMW/helper events (ordering intrinsic to the op). An
+/// undecodable byte ends the walk with an empty vector: the frontend
+/// would have rejected the block too, so there are no events to map.
+pub fn event_sites(pc: u64, guest_len: u64, fetch: impl Fn(u64) -> [u8; 16]) -> Vec<(u64, bool)> {
+    let mut events = Vec::new();
+    let mut p = pc;
+    let end = pc.saturating_add(guest_len);
+    while p < end {
+        let Ok((insn, len)) = Insn::decode(&fetch(p)) else {
+            return Vec::new();
+        };
+        match insn {
+            // One plain load/store event each (Call pushes the return
+            // address; Ret pops it).
+            Insn::Load { .. }
+            | Insn::LoadB { .. }
+            | Insn::Store { .. }
+            | Insn::StoreB { .. }
+            | Insn::Push { .. }
+            | Insn::Pop { .. }
+            | Insn::Ret
+            | Insn::Call { .. }
+            | Insn::CallReg { .. } => events.push((p, true)),
+            // One event whose ordering is intrinsic to the op.
+            Insn::Fp { .. } | Insn::LockCmpxchg { .. } | Insn::LockXadd { .. } => {
+                events.push((p, false))
+            }
+            _ => {}
+        }
+        p += len as u64;
+    }
+    events
+}
+
+/// Runs the full whole-program pipeline over one image: CFG recovery,
+/// multi-instance escape analysis, and the lint pass.
+pub fn analyze_image(bin: &GuestBinary) -> ImageFacts {
+    let cfg = cfg::recover(bin);
+    let facts = escape::analyze(bin, &cfg);
+    let lints = lint::lint(bin, &cfg, &facts);
+    ImageFacts {
+        hash: content_hash(bin),
+        entry: bin.entry,
+        unresolved_cfg: cfg.unresolved,
+        sites: facts.sites,
+        poisons: facts.poisons,
+        lints,
+        instances: facts.instances,
+        refined_loops: facts.refined_loops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risotto_guest_x86::{syscalls, GelfBuilder, Gpr};
+
+    fn image(build: impl FnOnce(&mut GelfBuilder, &mut Vec<u64>)) -> GuestBinary {
+        let mut b = GelfBuilder::new("main");
+        b.asm.label("main");
+        let mut addrs = Vec::new();
+        build(&mut b, &mut addrs);
+        b.finish().expect("image assembles")
+    }
+
+    /// Straight-line single-core program: one load, one store, exit.
+    fn simple() -> GuestBinary {
+        image(|b, addrs| {
+            let cell = b.data_u64(&[7]);
+            addrs.push(cell);
+            b.asm.mov_ri(Gpr::RBX, cell);
+            b.asm.load(Gpr::RCX, Gpr::RBX, 0);
+            b.asm.store(Gpr::RBX, 0, Gpr::RCX);
+            b.asm.mov_ri(Gpr::RAX, syscalls::EXIT);
+            b.asm.syscall();
+        })
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let a = simple();
+        let b = simple();
+        assert_eq!(content_hash(&a), content_hash(&b), "identical builds hash alike");
+        let mut c = simple();
+        c.data[0] ^= 1;
+        assert_ne!(content_hash(&a), content_hash(&c), "data bytes are hashed");
+        let mut d = simple();
+        d.entry += 0; // no-op change keeps hash
+        assert_eq!(content_hash(&a), content_hash(&d));
+    }
+
+    #[test]
+    fn analyze_image_classifies_and_summarises() {
+        let bin = image(|b, addrs| {
+            let cell = b.data_u64(&[7]);
+            addrs.push(cell);
+            b.asm.mov_ri(Gpr::RBX, cell);
+            b.asm.load(Gpr::RCX, Gpr::RBX, 0);
+            b.asm.store(Gpr::RBX, 0, Gpr::RCX);
+            b.asm.mov_ri(Gpr::RAX, syscalls::EXIT);
+            b.asm.syscall();
+        });
+        let facts = analyze_image(&bin);
+        assert!(!facts.poisoned());
+        assert_eq!(facts.instances.len(), 1);
+        let s = facts.summary();
+        assert_eq!(s.sites, 2);
+        assert_eq!(s.private, 2, "single-core accesses are all private");
+        assert_eq!(s.relaxable, 2);
+        assert_eq!(s.lints, 0);
+        assert_eq!(facts.hash, content_hash(&bin));
+    }
+
+    #[test]
+    fn relax_mask_follows_frontend_event_order() {
+        let bin = image(|b, addrs| {
+            let cell = b.data_u64(&[1]);
+            addrs.push(cell);
+            b.asm.mov_ri(Gpr::RBX, cell);
+            b.asm.load(Gpr::RCX, Gpr::RBX, 0); // event 0: relaxable load
+            b.asm.mov_ri(Gpr::RAX, 1);
+            b.asm.insn(risotto_guest_x86::Insn::LockXadd {
+                base: Gpr::RBX,
+                disp: 0,
+                src: Gpr::RAX,
+            }); // event 1: atomic
+            b.asm.store(Gpr::RBX, 0, Gpr::RCX); // event 2: relaxable store
+            b.asm.mov_ri(Gpr::RAX, syscalls::EXIT);
+            b.asm.syscall();
+        });
+        let facts = analyze_image(&bin);
+        assert!(!facts.poisoned());
+        let text = bin.text.clone();
+        let fetch = |addr: u64| {
+            let mut w = [0u8; 16];
+            for (i, slot) in w.iter_mut().enumerate() {
+                if let Some(&b) = addr
+                    .checked_sub(risotto_guest_x86::TEXT_BASE)
+                    .and_then(|o| text.get(o as usize + i))
+                {
+                    *slot = b;
+                }
+            }
+            w
+        };
+        let mask = facts.relax_mask(risotto_guest_x86::TEXT_BASE, bin.text.len() as u64, fetch);
+        // Atomic sites are classified Atomic (not relaxable); the two
+        // plain accesses are private in a single-core program. But the
+        // atomic makes the *cell* contended? No other core exists, so
+        // both plain accesses stay private.
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn poisoned_image_relaxes_nothing() {
+        let bin = image(|b, _| {
+            b.asm.mov_ri(Gpr::RBX, 0x12345);
+            b.asm.insn(risotto_guest_x86::Insn::JmpReg { reg: Gpr::RBX });
+        });
+        let facts = analyze_image(&bin);
+        // Static recovery cannot resolve the register jump through an
+        // arbitrary constant? The CFG const-tracker resolves MovRI, so
+        // this may decode as a resolved jump to a bad pc instead; in
+        // either case the image must end poisoned and unrelaxable.
+        assert!(facts.poisoned());
+        assert_eq!(facts.summary().relaxable, 0);
+        assert!(!facts.relaxable(risotto_guest_x86::TEXT_BASE));
+    }
+}

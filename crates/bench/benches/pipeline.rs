@@ -171,6 +171,33 @@ fn bench_kernels(smoke: bool) {
         let tso_mfences = tso.metrics().counter("fence.exec.dmb_ff");
         let arm_full = emu.metrics().counter("fence.exec.dmb_ff");
 
+        // Analysis leg: the same kernel with whole-program fence
+        // relaxation on (docs/ANALYSIS.md). Results must be
+        // bit-identical — the analysis only removes ordering that no
+        // other core can observe — and cycles must never regress; the
+        // delta and the `analysis.*` counters land under the
+        // `"analysis"` key.
+        let mut an = Emulator::new(&bin, Setup::Risotto, threads, CostModel::thunderx2_like());
+        an.set_analysis(true);
+        let ra = an.run(20_000_000_000).unwrap_or_else(|e| panic!("{} (analysis): {e}", w.name));
+        assert_eq!(ra.exit_vals, r.exit_vals, "{}: analysis exit values diverge", w.name);
+        assert_eq!(ra.output, r.output, "{}: analysis output diverges", w.name);
+        assert!(
+            ra.cycles <= r.cycles,
+            "{}: analysis-on run regressed cycles ({} > {})",
+            w.name,
+            ra.cycles,
+            r.cycles
+        );
+        let anm = an.metrics();
+        let an_relaxed = anm.counter("analysis.relaxed");
+        let an_relaxable = anm.counter("analysis.relaxable");
+        let an_sites = anm.counter("analysis.sites");
+        let an_private = anm.counter("analysis.private");
+        let an_poisons = anm.counter("analysis.poisons");
+        let an_folded = anm.counter("analysis.hint_folded");
+        let an_pruned = anm.counter("analysis.branches_pruned");
+
         // Tier-0 cold-start leg: every block pinned to the template
         // translator (both thresholds at MAX so nothing re-translates),
         // stage timing on so `stage.template_ns` fills. Wall-time
@@ -212,13 +239,15 @@ fn bench_kernels(smoke: bool) {
         let per = |ns: u64, insns: u64| if insns == 0 { 0.0 } else { ns as f64 / insns as f64 };
 
         println!(
-            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   tso {:>12} cy ({} mfence)   t0 {:>6.1} vs t1 {:>6.1} ns/insn   {:>8.1} ms wall",
+            "{:32} {:>12} cycles   chain {:>5.1}%   sb {:+6} cy ({} prom, {} xfence)   an {:+6} cy ({} relax)   tso {:>12} cy ({} mfence)   t0 {:>6.1} vs t1 {:>6.1} ns/insn   {:>8.1} ms wall",
             w.name,
             r.cycles,
             100.0 * rate,
             delta,
             r2.sb.promotions,
             r2.sb.fences_merged_cross,
+            r.cycles as i64 - ra.cycles as i64,
+            an_relaxed,
             rt.cycles,
             tso_mfences,
             per(t0_ns, t0_insns),
@@ -238,6 +267,10 @@ fn bench_kernels(smoke: bool) {
                 "\"side_exits\": {}, \"fences_merged_cross\": {}}},\n     ",
                 "\"tso\": {{\"cycles\": {}, \"mfences\": {}, \"arm_dmb_ff\": {}, ",
                 "\"cycle_delta_vs_arm\": {}}},\n     ",
+                "\"analysis\": {{\"cycles\": {}, \"cycle_delta_vs_off\": {}, ",
+                "\"relaxed\": {}, \"relaxable\": {}, \"sites\": {}, ",
+                "\"private\": {}, \"poisons\": {}, \"hint_folded\": {}, ",
+                "\"branches_pruned\": {}}},\n     ",
                 "\"tier0\": {{\"cycles\": {}, \"blocks\": {}, \"insns\": {}, ",
                 "\"translate_ns\": {}, \"ns_per_insn\": {:.2}, ",
                 "\"tier1_translate_ns\": {}, \"tier1_insns\": {}, ",
@@ -262,6 +295,15 @@ fn bench_kernels(smoke: bool) {
             tso_mfences,
             arm_full,
             r.cycles as i64 - rt.cycles as i64,
+            ra.cycles,
+            r.cycles as i64 - ra.cycles as i64,
+            an_relaxed,
+            an_relaxable,
+            an_sites,
+            an_private,
+            an_poisons,
+            an_folded,
+            an_pruned,
             r0.cycles,
             r0.template.blocks,
             t0_insns,

@@ -5,15 +5,129 @@
 //! ```sh
 //! cargo run --release -p risotto-bench --bin dump_translation [setup]
 //! ```
+//!
+//! With `--analysis on` the tool instead dumps the whole-program
+//! analysis of a representative two-core image: per-access
+//! classification (private / read-only / shared / atomic), the
+//! relaxation mask for the entry block, and the TCG IR before and
+//! after analysis-driven fence relaxation (docs/ANALYSIS.md).
 
+use risotto_analysis::{analyze_image, event_sites, SiteClass};
 use risotto_bench::BenchCli;
 use risotto_core::Setup;
-use risotto_guest_x86::{disassemble, AluOp, Assembler, FpOp, Gpr};
+use risotto_guest_x86::{
+    disassemble, syscalls, AluOp, Assembler, FpOp, GelfBuilder, Gpr, Insn, TEXT_BASE,
+};
 use risotto_host_arm::{lower_block, BackendConfig, RmwStyle};
-use risotto_tcg::{optimize, translate_block, FrontendConfig, OptPolicy};
+use risotto_tcg::{optimize, translate_block, verify, FrontendConfig, OptPolicy};
+
+/// The `--analysis on` mode: a two-worker image with disjoint private
+/// slices, a read-only input, a shared atomic counter — every
+/// classification the escape analysis produces, on one page.
+fn dump_analysis() {
+    let mut b = GelfBuilder::new("main");
+    let out = b.data_zeroed(16);
+    let input = b.data_u64(&[123]);
+    let counter = b.data_u64(&[0]);
+    let a = &mut b.asm;
+    a.label("main");
+    for i in 0..2u64 {
+        a.mov_ri(Gpr::RAX, syscalls::SPAWN);
+        a.mov_label(Gpr::RDI, "worker");
+        a.mov_ri(Gpr::RSI, i);
+        a.syscall();
+    }
+    a.hlt();
+    a.label("worker");
+    // slice = out + arg*8: disjoint per worker → private.
+    a.mov_rr(Gpr::RBX, Gpr::RDI);
+    a.alu_ri(AluOp::Mul, Gpr::RBX, 8);
+    a.alu_ri(AluOp::Add, Gpr::RBX, out);
+    a.mov_ri(Gpr::RDX, input);
+    a.load(Gpr::RCX, Gpr::RDX, 0); // both workers read → read-only
+    a.store(Gpr::RBX, 0, Gpr::RCX); // disjoint slices → private
+    a.mov_ri(Gpr::RDX, counter);
+    a.mov_ri(Gpr::RCX, 1);
+    a.insn(Insn::LockXadd { base: Gpr::RDX, disp: 0, src: Gpr::RCX }); // atomic
+    a.hlt();
+    let bin = b.finish().expect("analysis demo image assembles");
+
+    let facts = analyze_image(&bin);
+    println!("=== whole-program analysis (docs/ANALYSIS.md) ===");
+    println!("  image hash:    {:#018x}", facts.hash);
+    println!(
+        "  instances:     {} (root + {} spawned)",
+        facts.instances.len(),
+        facts.instances.len().saturating_sub(1)
+    );
+    println!("  poisons:       {:?}", facts.poisons);
+    println!("  refined loops: {}", facts.refined_loops);
+    println!("\n--- per-access classification ---");
+    for (pc, site) in &facts.sites {
+        let relaxed = facts.relaxable(*pc);
+        println!(
+            "  {pc:#07x}  {:<6} w{}  {:<9} {:<28} obligation {}",
+            format!("{:?}", site.kind).to_lowercase(),
+            site.width,
+            site.class.tag(),
+            format!("{:?}", site.region),
+            if relaxed { "RELAXED" } else { "kept" },
+        );
+    }
+    for finding in &facts.lints {
+        println!("  lint {:#07x}: {}", finding.pc, finding.detail);
+    }
+
+    // The worker block is where relaxation bites: show the frontend IR
+    // before and after `relax_block` removes the scheme fences of the
+    // private/read-only events.
+    let text = bin.text.clone();
+    let fetch = move |addr: u64| {
+        let mut w = [0u8; 16];
+        for (i, slot) in w.iter_mut().enumerate() {
+            if let Some(&byte) = addr.checked_sub(TEXT_BASE).and_then(|o| text.get(o as usize + i))
+            {
+                *slot = byte;
+            }
+        }
+        w
+    };
+    let worker = bin.symbols["worker"];
+    let fe = FrontendConfig::risotto();
+    let mut block = translate_block(worker, fe, &fetch).expect("worker translates");
+    let mask = facts.relax_mask(worker, block.guest_len as u64, &fetch);
+    println!("\n--- relaxation mask for tb@{worker:#x} (event order) ---");
+    for ((pc, plain), m) in event_sites(worker, block.guest_len as u64, &fetch).iter().zip(&mask) {
+        let class = facts.sites.get(pc).map(|s| s.class).unwrap_or(SiteClass::Shared);
+        println!(
+            "  event @{pc:#07x}  {}  {:<9} -> {}",
+            if *plain { "plain " } else { "atomic" },
+            class.tag(),
+            if *m { "relax" } else { "keep" }
+        );
+    }
+    println!("\n--- TCG IR (frontend output: {} ops) ---", block.ops.len());
+    for op in &block.ops {
+        println!("  {op:?}");
+    }
+    let removed = verify::relax_block(&mut block, fe.fences, &mask);
+    let stats = optimize(&mut block, OptPolicy::Verified);
+    println!(
+        "--- TCG IR (relaxed {removed} fences, optimized: {} ops; merged {}) ---",
+        block.ops.len(),
+        stats.fences_merged
+    );
+    for op in &block.ops {
+        println!("  {op:?}");
+    }
+}
 
 fn main() {
     let cli = BenchCli::parse("dump_translation");
+    if cli.analysis == Some(true) {
+        dump_analysis();
+        return;
+    }
     let which = cli.positional.first().cloned().unwrap_or_else(|| "risotto".into());
     let setups: Vec<Setup> = match which.as_str() {
         "all" => Setup::ALL.to_vec(),

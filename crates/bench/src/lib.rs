@@ -33,6 +33,17 @@ pub fn tier_policy() -> Option<TierConfig> {
     TIER_POLICY.get().copied().flatten()
 }
 
+/// The analysis toggle selected by `--analysis` for this process,
+/// applied by the shared runners to every DBT emulator they construct.
+/// Set once by [`BenchCli::parse_with`]; benchmarks default to **on**
+/// (the flag exists to measure the unrelaxed baseline).
+static ANALYSIS_POLICY: OnceLock<bool> = OnceLock::new();
+
+/// The process-wide analysis toggle from `--analysis` (default `true`).
+pub fn analysis_policy() -> bool {
+    ANALYSIS_POLICY.get().copied().unwrap_or(true)
+}
+
 /// Runs a binary under a setup, optionally linking the standard host
 /// libraries (libm + libcrypto + libkv).
 ///
@@ -75,12 +86,14 @@ pub fn run_on(
     // benchmark run keeps it on: `verify.violations` must be zero in
     // any artifact the harness produces.
     emu.set_verify(VerifyLevel::Install);
-    // A `--tiers` pin applies to every DBT setup; the native oracle runs
-    // precompiled host code and has no translation tiers to pin.
+    // A `--tiers` pin and the `--analysis` toggle apply to every DBT
+    // setup; the native oracle runs precompiled host code and has
+    // neither translation tiers nor fence obligations to relax.
     if setup != Setup::Native {
         if let Some(cfg) = tier_policy() {
             emu.set_tiering(Some(cfg));
         }
+        emu.set_analysis(analysis_policy());
     }
     if link {
         let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
@@ -140,6 +153,7 @@ pub fn run_with_metrics_on(
         if let Some(cfg) = tier_policy() {
             emu.set_tiering(Some(cfg));
         }
+        emu.set_analysis(analysis_policy());
     }
     if link {
         let idl = Idl::parse(risotto_nativelib::hostlibs::IDL_TEXT).expect("IDL parses");
@@ -245,6 +259,10 @@ pub struct BenchCli {
     /// tier-1-only default, `2` enables the full three-tier ladder
     /// (templates → IR pipeline → superblocks). `None` when absent.
     pub tiers: Option<u8>,
+    /// Whole-program analysis toggle from `--analysis on|off`
+    /// (docs/ANALYSIS.md). `None` when absent — the shared runners
+    /// default to on.
+    pub analysis: Option<bool>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Values of the declared extra flags, in the order given
@@ -265,16 +283,18 @@ impl BenchCli {
     pub fn parse_with(tool: &str, declared: &[&str]) -> BenchCli {
         match Self::try_parse_with(std::env::args().skip(1), declared) {
             Ok(cli) => {
-                // Publish the tier pin for the shared runners; first
-                // parse in the process wins (binaries parse once).
+                // Publish the tier pin and analysis toggle for the
+                // shared runners; first parse in the process wins
+                // (binaries parse once).
                 let _ = TIER_POLICY.set(cli.tier_config());
+                let _ = ANALYSIS_POLICY.set(cli.analysis.unwrap_or(true));
                 cli
             }
             Err(msg) => {
                 eprintln!("{tool}: {msg}");
                 let extra: String = declared.iter().map(|f| format!(", {f} <value>")).collect();
                 eprintln!(
-                    "{tool}: supported flags: --smoke, --metrics-json <path>, --backend arm|tso, --tiers 0|1|2{extra}"
+                    "{tool}: supported flags: --smoke, --metrics-json <path>, --backend arm|tso, --tiers 0|1|2, --analysis on|off{extra}"
                 );
                 std::process::exit(2);
             }
@@ -314,6 +334,11 @@ impl BenchCli {
                 cli.tiers = Some(Self::parse_tiers(&v)?);
             } else if let Some(v) = a.strip_prefix("--tiers=") {
                 cli.tiers = Some(Self::parse_tiers(v)?);
+            } else if a == "--analysis" {
+                let v = args.next().ok_or("--analysis requires `on` or `off`".to_owned())?;
+                cli.analysis = Some(Self::parse_analysis(&v)?);
+            } else if let Some(v) = a.strip_prefix("--analysis=") {
+                cli.analysis = Some(Self::parse_analysis(v)?);
             } else if a.starts_with("--") {
                 for f in declared {
                     if a == *f {
@@ -340,6 +365,14 @@ impl BenchCli {
             "1" => Ok(1),
             "2" => Ok(2),
             _ => Err(format!("--tiers `{v}`: expected `0`, `1` or `2`")),
+        }
+    }
+
+    fn parse_analysis(v: &str) -> Result<bool, String> {
+        match v {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            _ => Err(format!("--analysis `{v}`: expected `on` or `off`")),
         }
     }
 
@@ -529,6 +562,16 @@ mod tests {
         let t2 = parse(&["--tiers", "2"]).unwrap().tier_config().unwrap();
         assert_eq!(t2.hot_threshold, TierConfig::default().hot_threshold);
         assert_eq!(t2.warm_threshold, Some(32));
+    }
+
+    #[test]
+    fn analysis_flag_parses_and_rejects_invalid_values() {
+        assert_eq!(parse(&[]).unwrap().analysis, None);
+        assert_eq!(parse(&["--analysis", "on"]).unwrap().analysis, Some(true));
+        assert_eq!(parse(&["--analysis=off"]).unwrap().analysis, Some(false));
+        assert!(parse(&["--analysis"]).is_err(), "missing value");
+        assert!(parse(&["--analysis", "maybe"]).is_err(), "invalid value");
+        assert!(parse(&["--analysis=1"]).is_err(), "numeric spelling rejected");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::faults::{FaultPlan, FaultSite};
 use crate::idl::Idl;
 use crate::obs::{HotTb, MetricsSnapshot, NullSink, Obs, TraceSink, TraceStage};
+use risotto_analysis::{analyze_image, content_hash, event_sites, ir_hints, ImageFacts};
 use risotto_guest_x86::{
     syscalls, AluOp, Flags, Gpr, GuestBinary, Insn, Operand, DATA_BASE, STACK_SIZE, STACK_TOP,
     TEXT_BASE,
@@ -38,13 +39,14 @@ use risotto_host_arm::{
 use risotto_host_tso::TsoBackend;
 use risotto_memmodel::FenceKind;
 use risotto_tcg::{
-    env, optimize_with, superblock, translate_block, verify as tcg_verify, FrontendConfig,
-    OptPolicy, OptStats, PassConfig, TbExit, TcgBlock, TcgOp, TranslateError, VerifyError,
-    VerifyPass,
+    apply_hints, env, optimize_with, superblock, translate_block, verify as tcg_verify,
+    FrontendConfig, HintStats, OptPolicy, OptStats, PassConfig, TbExit, TcgBlock, TcgOp,
+    TranslateError, VerifyError, VerifyPass,
 };
 use risotto_template::{translate_block_template, TemplateError};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Per-core guest env block base (20 regs × 8 bytes, padded to 0x100).
@@ -65,6 +67,30 @@ const QUARANTINE_CAPACITY: usize = 1024;
 const INTERP_CYCLES_PER_INSN: u64 = 12;
 /// Interpreted basic blocks are capped like translated ones.
 const MAX_INTERP_BLOCK: usize = 64;
+/// Bound on the process-wide analysis cache; reaching it clears the
+/// cache (simple and safe — facts are recomputable).
+const ANALYSIS_CACHE_CAPACITY: usize = 256;
+
+/// Process-wide whole-program-analysis cache keyed by image content
+/// hash, shared across emulator instances so a bench pipeline or fuzz
+/// campaign analyses each distinct image once (docs/ANALYSIS.md).
+static ANALYSIS_CACHE: OnceLock<Mutex<HashMap<u64, Arc<ImageFacts>>>> = OnceLock::new();
+
+/// Cache lookup; returns the facts plus whether the lookup hit.
+fn cached_analysis(bin: &GuestBinary) -> (Arc<ImageFacts>, bool) {
+    let hash = content_hash(bin);
+    let cache = ANALYSIS_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(f) = map.get(&hash) {
+        return (Arc::clone(f), true);
+    }
+    if map.len() >= ANALYSIS_CACHE_CAPACITY {
+        map.clear();
+    }
+    let facts = Arc::new(analyze_image(bin));
+    map.insert(hash, Arc::clone(&facts));
+    (facts, false)
+}
 
 /// The evaluation setups of §7.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -808,6 +834,24 @@ pub struct Emulator {
     /// Code installs so far (ordinal for
     /// [`FaultPlan::corrupt_install_at`]).
     installs_done: u64,
+    /// The loaded image, kept so analysis can run on demand.
+    binary: GuestBinary,
+    /// Whole-program analysis facts driving fence relaxation
+    /// (docs/ANALYSIS.md); `None` = analysis disabled (the default).
+    analysis: Option<Arc<ImageFacts>>,
+    /// Test hook: guest pcs the relaxer pretends are private (mutant
+    /// injection for verifier kill tests; see `force_private_for_test`).
+    forced_private: HashSet<u64>,
+    /// Analysis-cache lookups that found existing facts.
+    analysis_cache_hits: u64,
+    /// Analysis-cache lookups that ran the full analysis.
+    analysis_cache_misses: u64,
+    /// Fences removed by analysis-driven relaxation at translate time.
+    analysis_relaxed: u64,
+    /// Tier-1 translations with at least one relaxed event.
+    analysis_relaxed_blocks: u64,
+    /// Known-bits hint statistics summed over tier-1 translations.
+    hint_totals: HintStats,
 }
 
 impl Emulator {
@@ -859,6 +903,14 @@ impl Emulator {
             verify_fence: 0,
             verify_encoding: 0,
             installs_done: 0,
+            binary: binary.clone(),
+            analysis: None,
+            forced_private: HashSet::new(),
+            analysis_cache_hits: 0,
+            analysis_cache_misses: 0,
+            analysis_relaxed: 0,
+            analysis_relaxed_blocks: 0,
+            hint_totals: HintStats::default(),
         }
     }
 
@@ -915,6 +967,50 @@ impl Emulator {
     /// The active translation-verifier level.
     pub fn verify_level(&self) -> VerifyLevel {
         self.verify
+    }
+
+    /// Enables or disables whole-program analysis-driven fence
+    /// relaxation (docs/ANALYSIS.md). Facts are computed once per
+    /// distinct image and cached process-wide keyed by [`content_hash`];
+    /// already-installed translations are not retroactively changed, so
+    /// flip this before running. Relaxation never weakens verification:
+    /// the Full-level verifier re-derives its own mask from the pristine
+    /// facts and rejects any translation that relaxed more.
+    pub fn set_analysis(&mut self, on: bool) {
+        if !on {
+            self.analysis = None;
+            return;
+        }
+        if self.analysis.is_some() {
+            return;
+        }
+        let (facts, hit) = cached_analysis(&self.binary);
+        if hit {
+            self.analysis_cache_hits += 1;
+        } else {
+            self.analysis_cache_misses += 1;
+        }
+        self.analysis = Some(facts);
+    }
+
+    /// Whether analysis-driven relaxation is enabled.
+    pub fn analysis_enabled(&self) -> bool {
+        self.analysis.is_some()
+    }
+
+    /// The analysis facts for the loaded image (None while disabled).
+    pub fn analysis_facts(&self) -> Option<&ImageFacts> {
+        self.analysis.as_deref()
+    }
+
+    /// Test hook (mutant injection): forces the relaxer to treat the
+    /// access at `pc` as private regardless of what the analysis
+    /// proved. The verifier mask is still derived from the pristine
+    /// facts, so a wrong claim surfaces as a structured
+    /// fence-obligation [`VerifyError`] at install time.
+    #[doc(hidden)]
+    pub fn force_private_for_test(&mut self, pc: u64) {
+        self.forced_private.insert(pc);
     }
 
     /// Number of guest pcs currently quarantined (bounded by the
@@ -1322,6 +1418,7 @@ impl Emulator {
         optimized: &TcgBlock,
         code: &[HostInsn],
         in_superblock: bool,
+        relax_mask: &[bool],
     ) -> Result<(), TbFault> {
         self.verify_checked += 1;
         let mut backend = self.setup.backend();
@@ -1330,11 +1427,12 @@ impl Emulator {
         }
         let result = tcg_verify::lint(optimized, in_superblock)
             .and_then(|()| {
-                tcg_verify::check_obligations(
+                tcg_verify::check_obligations_masked(
                     reference,
                     optimized,
                     self.setup.frontend().fences,
                     self.setup.opt_policy(),
+                    relax_mask,
                 )
             })
             .and_then(|()| {
@@ -1641,7 +1739,7 @@ impl Emulator {
             }
         }
         if let Some(reference) = reference.as_ref() {
-            if self.verify_translation(Some(core), reference, &sb, &code, true).is_err() {
+            if self.verify_translation(Some(core), reference, &sb, &code, true, &[]).is_err() {
                 self.sb_stats.failures += 1;
                 return;
             }
@@ -1743,9 +1841,47 @@ impl Emulator {
                 Err(_) => break,
             }
         }
+        // Analysis-driven relaxation (docs/ANALYSIS.md): the engine
+        // mask relaxes the frontend block before optimization; the
+        // verifier mask is re-derived from the pristine facts, so a
+        // wrong "private" claim (e.g. an injected mutant) is rejected
+        // by Pass 2 at install time.
+        let masks = self.analysis.as_ref().map(|facts| {
+            let sites = event_sites(guest_pc, block.guest_len as u64, fetch);
+            let verifier: Vec<bool> =
+                sites.iter().map(|&(p, plain)| plain && facts.relaxable(p)).collect();
+            let engine: Vec<bool> = if self.forced_private.is_empty() {
+                verifier.clone()
+            } else {
+                sites
+                    .iter()
+                    .zip(&verifier)
+                    .map(|(&(p, plain), &v)| v || (plain && self.forced_private.contains(&p)))
+                    .collect()
+            };
+            (engine, verifier)
+        });
         // The unoptimized block is the fence-obligation reference the
         // Full-level verifier validates the optimized result against.
         let reference = (self.verify == VerifyLevel::Full).then(|| block.clone());
+        if let Some((engine_mask, _)) = &masks {
+            let removed =
+                tcg_verify::relax_block(&mut block, self.setup.frontend().fences, engine_mask);
+            if removed > 0 {
+                self.analysis_relaxed += removed as u64;
+                self.analysis_relaxed_blocks += 1;
+            }
+        }
+        // Known-bits hints (docs/ANALYSIS.md): IR-level value-range
+        // facts fold pure ops and prune statically-decided branches
+        // before the regular pass pipeline. Events and fences are never
+        // touched, so the verifier reference stays valid.
+        if self.analysis.is_some() {
+            let hints = ir_hints(&block);
+            let hs = apply_hints(&mut block, &hints);
+            self.hint_totals.folded += hs.folded;
+            self.hint_totals.branches_pruned += hs.branches_pruned;
+        }
         let t1 = self.obs.timing.then(Instant::now);
         let stats = optimize_with(&mut block, self.setup.opt_policy(), self.passes);
         self.opt_totals += stats;
@@ -1799,7 +1935,8 @@ impl Emulator {
             );
         }
         if let Some(reference) = reference.as_ref() {
-            self.verify_translation(core, reference, &block, &code, false)?;
+            let mask = masks.as_ref().map(|(_, v)| v.as_slice()).unwrap_or(&[]);
+            self.verify_translation(core, reference, &block, &code, false, mask)?;
         }
         Ok(code)
     }
@@ -2534,6 +2671,24 @@ impl Emulator {
         r.set_counter("verify.ir_violations", self.verify_ir);
         r.set_counter("verify.fence_violations", self.verify_fence);
         r.set_counter("verify.encoding_violations", self.verify_encoding);
+        let asum = self.analysis.as_ref().map(|f| f.summary()).unwrap_or_default();
+        r.set_gauge("analysis.enabled", self.analysis.is_some() as u64);
+        r.set_counter("analysis.sites", asum.sites);
+        r.set_counter("analysis.private", asum.private);
+        r.set_counter("analysis.readonly", asum.readonly);
+        r.set_counter("analysis.shared", asum.shared);
+        r.set_counter("analysis.atomics", asum.atomics);
+        r.set_counter("analysis.relaxable", asum.relaxable);
+        r.set_counter("analysis.poisons", asum.poisons);
+        r.set_counter("analysis.lints", asum.lints);
+        r.set_counter("analysis.instances", asum.instances);
+        r.set_counter("analysis.refined_loops", asum.refined_loops);
+        r.set_counter("analysis.relaxed", self.analysis_relaxed);
+        r.set_counter("analysis.relaxed_blocks", self.analysis_relaxed_blocks);
+        r.set_counter("analysis.cache_hits", self.analysis_cache_hits);
+        r.set_counter("analysis.cache_misses", self.analysis_cache_misses);
+        r.set_counter("analysis.hint_folded", self.hint_totals.folded as u64);
+        r.set_counter("analysis.branches_pruned", self.hint_totals.branches_pruned as u64);
         let ra = self.regalloc_totals;
         r.set_counter("regalloc.env_loads", ra.env_loads);
         r.set_counter("regalloc.env_stores", ra.env_stores);

@@ -198,6 +198,23 @@ impl MetricsRegistry {
             spec("verify.ir_violations", Counter, "violations", "IR-lint (pass 1) rejections"),
             spec("verify.fence_violations", Counter, "violations", "Fence-obligation (pass 2) rejections"),
             spec("verify.encoding_violations", Counter, "violations", "Encoding / install read-back (pass 3) rejections"),
+            spec("analysis.enabled", Gauge, "flag", "1 while whole-program analysis facts are active"),
+            spec("analysis.sites", Counter, "sites", "Static memory-access sites the analysis discovered"),
+            spec("analysis.private", Counter, "sites", "Sites proven core-private"),
+            spec("analysis.readonly", Counter, "sites", "Sites proven read-only-shared"),
+            spec("analysis.shared", Counter, "sites", "Sites possibly written by more than one core"),
+            spec("analysis.atomics", Counter, "sites", "Atomic RMW sites (never relaxable)"),
+            spec("analysis.relaxable", Counter, "sites", "Private + read-only sites on a poison-free image"),
+            spec("analysis.poisons", Counter, "poisons", "Soundness poisons (unresolved indirection, solver limits, ...)"),
+            spec("analysis.lints", Counter, "findings", "Guest lint findings"),
+            spec("analysis.instances", Counter, "cores", "Core instances analysed (root + spawned)"),
+            spec("analysis.refined_loops", Counter, "loops", "Counted loops refined by bounded unrolling"),
+            spec("analysis.relaxed", Counter, "fences", "Fences removed by analysis-driven relaxation at translate time"),
+            spec("analysis.relaxed_blocks", Counter, "blocks", "Tier-1 translations with at least one relaxed event"),
+            spec("analysis.cache_hits", Counter, "lookups", "Analysis-cache lookups that found existing facts"),
+            spec("analysis.cache_misses", Counter, "lookups", "Analysis-cache lookups that ran the full analysis"),
+            spec("analysis.hint_folded", Counter, "ops", "Pure IR ops replaced by constants via known-bits hints"),
+            spec("analysis.branches_pruned", Counter, "branches", "Conditional exits statically decided by known-bits hints"),
             spec("regalloc.env_loads", Counter, "loads", "Env-slot LDRs emitted (first-use pin fills and refills)"),
             spec("regalloc.env_stores", Counter, "stores", "Env-slot STRs emitted (deferred flush write-backs and dirty evictions)"),
             spec("regalloc.env_loads_eliminated", Counter, "loads", "GetReg ops served from a pinned host register (env LDRs avoided)"),

@@ -48,12 +48,23 @@ pub enum Config {
     /// standing cross-backend differential oracle — guest-visible
     /// state must be bit-identical to the Arm-backend runs.
     Tier1Tso,
+    /// Tier-1 with whole-program analysis-driven fence relaxation
+    /// enabled (docs/ANALYSIS.md): guest-visible state must be
+    /// bit-identical to the unrelaxed tier-1 run, and the Full-level
+    /// verifier must accept every relaxed translation.
+    Tier1Analysis,
 }
 
 impl Config {
     /// All DBT configurations, in comparison order.
-    pub const ALL: [Config; 5] =
-        [Config::Tier1, Config::Tier1NoOpt, Config::Tier2, Config::Tier0, Config::Tier1Tso];
+    pub const ALL: [Config; 6] = [
+        Config::Tier1,
+        Config::Tier1NoOpt,
+        Config::Tier2,
+        Config::Tier0,
+        Config::Tier1Tso,
+        Config::Tier1Analysis,
+    ];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -63,6 +74,7 @@ impl Config {
             Config::Tier2 => "tier2",
             Config::Tier0 => "tier0",
             Config::Tier1Tso => "tier1-tso",
+            Config::Tier1Analysis => "tier1-analysis",
         }
     }
 }
@@ -195,6 +207,7 @@ fn build_emulator(bin: &GuestBinary, cores: usize, config: Config) -> Emulator {
             warm_threshold: Some(FUZZ_HOT_THRESHOLD),
         })),
         Config::Tier1Tso => emu.set_backend(BackendKind::Tso),
+        Config::Tier1Analysis => emu.set_analysis(true),
     }
     emu
 }

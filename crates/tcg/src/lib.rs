@@ -53,7 +53,8 @@ pub use frontend::{
 };
 pub use ir::{env, BinOp, CondOp, Helper, TbExit, TcgBlock, TcgOp, Temp};
 pub use opt::{
-    constant_fold, dce, elim_may_cross, merge_fences, merge_fences_counted, merge_fences_region,
-    optimize, optimize_with, ElimKind, OptPolicy, OptStats, PassConfig,
+    apply_hints, constant_fold, dce, elim_may_cross, merge_fences, merge_fences_counted,
+    merge_fences_region, optimize, optimize_with, ElimKind, HintStats, IrHints, OptPolicy,
+    OptStats, PassConfig,
 };
 pub use verify::{VerifyError, VerifyPass};

@@ -287,14 +287,21 @@ fn scheme_obligation(
 }
 
 /// Checks that every event of `block` discharges its scheme obligation
-/// from the fences in its adjacent gaps.
+/// from the fences in its adjacent gaps. Events whose index is set in
+/// `relaxed` carry an analysis-relaxed obligation and are exempt (the
+/// relaxation itself was already recomputed from the analysis facts by
+/// [`check_obligations_masked`]).
 fn check_scheme(
     block: &TcgBlock,
     events: &[Ev],
     gaps: &[Gap],
     placement: FencePlacement,
+    relaxed: &[bool],
 ) -> Result<(), VerifyError> {
     for (i, ev) in events.iter().enumerate() {
+        if relaxed.get(i).copied().unwrap_or(false) {
+            continue;
+        }
         let (before, after) = scheme_obligation(placement, ev.shape);
         if !at_least(gaps[i].join(), before) {
             return Err(VerifyError {
@@ -363,6 +370,108 @@ pub fn check_obligations(
     placement: FencePlacement,
     policy: OptPolicy,
 ) -> Result<(), VerifyError> {
+    check_obligations_masked(reference, optimized, placement, policy, &[])
+}
+
+/// Analysis-driven relaxation: removes the scheme-attached fence of each
+/// masked memory event from `block`, which must be raw frontend output
+/// (the fences still sit adjacent to their access). `mask` is indexed by
+/// memory-event order (the order [`check_obligations`] matches events
+/// in); entries for RMW/helper events are ignored — their ordering lives
+/// in the op itself and can never be relaxed. Returns the number of
+/// fences removed.
+///
+/// Soundness contract: a masked event must be provably core-private or
+/// read-only-shared (no inter-thread ordering can be observed through
+/// it), which is exactly what `risotto-analysis` certifies and what
+/// [`check_obligations_masked`] re-derives from the pristine facts at
+/// install time.
+pub fn relax_block(block: &mut TcgBlock, placement: FencePlacement, mask: &[bool]) -> u32 {
+    if placement == FencePlacement::None || !mask.iter().any(|&m| m) {
+        return 0;
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        Load,
+        Store,
+        Other,
+    }
+    let mut drop = vec![false; block.ops.len()];
+    let mut event = 0usize;
+    let mut removed = 0u32;
+    for i in 0..block.ops.len() {
+        let kind = match block.ops[i] {
+            TcgOp::Ld { .. } | TcgOp::Ld8 { .. } => Kind::Load,
+            TcgOp::St { .. } | TcgOp::St8 { .. } => Kind::Store,
+            TcgOp::Cas { .. } | TcgOp::AtomicAdd { .. } | TcgOp::CallHelper { .. } => Kind::Other,
+            _ => continue,
+        };
+        let masked = mask.get(event).copied().unwrap_or(false);
+        event += 1;
+        if !masked || kind == Kind::Other {
+            continue;
+        }
+        // The frontend emits each access's scheme fence directly adjacent
+        // to it; anything else (already-optimized IR, a hand-built block)
+        // conservatively relaxes nothing for this event.
+        let expected: Option<(usize, FenceKind)> = match (placement, kind) {
+            (FencePlacement::VerifiedTrailing, Kind::Load) => Some((i + 1, FenceKind::Frm)),
+            (FencePlacement::VerifiedTrailing, Kind::Store) if i > 0 => {
+                Some((i - 1, FenceKind::Fww))
+            }
+            (FencePlacement::QemuLeading, Kind::Load) if i > 0 => Some((i - 1, FenceKind::Frr)),
+            (FencePlacement::QemuLeading, Kind::Store) if i > 0 => Some((i - 1, FenceKind::Fmw)),
+            _ => None,
+        };
+        if let Some((j, want)) = expected {
+            if matches!(block.ops.get(j), Some(TcgOp::Fence(k)) if *k == want) && !drop[j] {
+                drop[j] = true;
+                removed += 1;
+            }
+        }
+    }
+    if removed > 0 {
+        let mut i = 0;
+        block.ops.retain(|_| {
+            let keep = !drop[i];
+            i += 1;
+            keep
+        });
+    }
+    removed
+}
+
+/// [`check_obligations`] against an analysis-relaxed reference: the
+/// obligations of events set in `mask` are recomputed as relaxed (their
+/// scheme fence removed via [`relax_block`] on a copy of `reference`)
+/// before the four-part proof runs. The caller must derive `mask` from
+/// the *pristine* analysis facts — never from the mask the translation
+/// pipeline actually applied — so a pipeline that relaxed an event the
+/// facts do not certify fails part 3/4 here with a structured
+/// [`VerifyError`].
+pub fn check_obligations_masked(
+    reference: &TcgBlock,
+    optimized: &TcgBlock,
+    placement: FencePlacement,
+    policy: OptPolicy,
+    mask: &[bool],
+) -> Result<(), VerifyError> {
+    if mask.iter().any(|&m| m) {
+        let mut relaxed = reference.clone();
+        relax_block(&mut relaxed, placement, mask);
+        obligations_impl(&relaxed, optimized, placement, policy, mask)
+    } else {
+        obligations_impl(reference, optimized, placement, policy, &[])
+    }
+}
+
+fn obligations_impl(
+    reference: &TcgBlock,
+    optimized: &TcgBlock,
+    placement: FencePlacement,
+    policy: OptPolicy,
+    mask: &[bool],
+) -> Result<(), VerifyError> {
     let err = |op_index: Option<usize>, obligation: String| VerifyError {
         pass: VerifyPass::FenceObligations,
         guest_pc: optimized.guest_pc,
@@ -382,10 +491,10 @@ pub fn check_obligations(
     let (re, rg) = extract(reference);
     let (oe, og) = extract(optimized);
 
-    // Scheme obligations hold for both the frontend's output and the
-    // optimized block (parts 4).
-    check_scheme(reference, &re, &rg, placement)?;
-    check_scheme(optimized, &oe, &og, placement)?;
+    // Scheme obligations hold for the frontend's (possibly analysis-
+    // relaxed) output (part 4; the optimized block is checked after
+    // event matching, when relaxed events can be mapped through).
+    check_scheme(reference, &re, &rg, placement, mask)?;
 
     // Reference events by SSA result temp (the frontend allocates a
     // fresh temp per def, and superblock stitching renumbers, so defs
@@ -464,6 +573,12 @@ pub fn check_obligations(
     for k in 0..=r {
         unmatched.push(k as usize);
     }
+
+    // Part 4 for the optimized block: scheme obligations per surviving
+    // event, exempting events whose reference partner was relaxed.
+    let relaxed_o: Vec<bool> =
+        (0..oe.len()).map(|o| mask.get(partner[o]).copied().unwrap_or(false)).collect();
+    check_scheme(optimized, &oe, &og, placement, &relaxed_o)?;
 
     // Part 2: every eliminated reference event must have been legally
     // eliminable.
@@ -721,6 +836,56 @@ mod tests {
         let e = check_obligations(&reference, &opt, FencePlacement::None, OptPolicy::Verified)
             .unwrap_err();
         assert!(e.obligation.contains("atomics"), "{e}");
+    }
+
+    #[test]
+    fn relaxed_block_verifies_only_under_matching_mask() {
+        let cfg = FrontendConfig::risotto();
+        let reference = sample_block(cfg);
+        // Events: Ld, St, Ld, St. Relax the first load.
+        let mask = [true, false, false, false];
+        let mut opt = reference.clone();
+        let removed = relax_block(&mut opt, cfg.fences, &mask);
+        assert_eq!(removed, 1, "one Frm dropped");
+        optimize(&mut opt, OptPolicy::Verified);
+        // The unmasked checker must reject the missing Frm…
+        let e = check_obligations(&reference, &opt, cfg.fences, OptPolicy::Verified).unwrap_err();
+        assert_eq!(e.pass, VerifyPass::FenceObligations);
+        // …while the masked checker re-derives the relaxation and accepts.
+        check_obligations_masked(&reference, &opt, cfg.fences, OptPolicy::Verified, &mask).unwrap();
+    }
+
+    #[test]
+    fn over_relaxation_is_flagged() {
+        let cfg = FrontendConfig::risotto();
+        let reference = sample_block(cfg);
+        // The pipeline relaxed the first store, but the (pristine) facts
+        // only certify the first load: Pass 2 must reject.
+        let mut opt = reference.clone();
+        relax_block(&mut opt, cfg.fences, &[false, true, false, false]);
+        optimize(&mut opt, OptPolicy::Verified);
+        let e = check_obligations_masked(
+            &reference,
+            &opt,
+            cfg.fences,
+            OptPolicy::Verified,
+            &[true, false, false, false],
+        )
+        .unwrap_err();
+        assert_eq!(e.pass, VerifyPass::FenceObligations);
+    }
+
+    #[test]
+    fn relax_ignores_atomic_events() {
+        // Cas carries its ordering in the op; masking it must remove
+        // nothing.
+        let mut a = Assembler::new(0x1000);
+        a.cmpxchg(Gpr::RSI, 0, Gpr::RAX);
+        a.hlt();
+        let (bytes, _) = a.finish().unwrap();
+        let cfg = FrontendConfig::risotto();
+        let mut block = crate::translate_block(0x1000, cfg, fetcher(bytes, 0x1000)).unwrap();
+        assert_eq!(relax_block(&mut block, cfg.fences, &[true]), 0);
     }
 
     #[test]

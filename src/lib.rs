@@ -34,6 +34,9 @@
 
 #![warn(missing_docs)]
 
+/// Whole-program static analysis: CFG recovery, dataflow, escape
+/// analysis driving sound fence relaxation (docs/ANALYSIS.md).
+pub use risotto_analysis as analysis;
 /// The DBT engine and dynamic host linker.
 pub use risotto_core as core;
 /// Differential fuzzing: random programs, cross-tier oracles, minimizer.

@@ -159,7 +159,7 @@ fn differential_sweep_finds_no_divergence() {
             result.divergences,
             to_corpus_string(&spec),
         );
-        assert_eq!(result.configs_run, 6, "seed {seed:#x}: oracle matrix incomplete");
+        assert_eq!(result.configs_run, 7, "seed {seed:#x}: oracle matrix incomplete");
         if result.promoted {
             promoted += 1;
         }
